@@ -1,0 +1,50 @@
+package dsketch
+
+import "dsketch/internal/parallel"
+
+// Concurrent is the interface shared by Delegation Sketch and the paper's
+// baseline parallelization designs, for side-by-side comparison. Thread
+// ids are explicit, exactly as with Sketch/Handle.
+type Concurrent interface {
+	// Name identifies the design ("delegation", "thread-local", ...).
+	Name() string
+	// Threads returns T.
+	Threads() int
+	// Insert records one occurrence of key on behalf of thread tid.
+	Insert(tid int, key uint64)
+	// Query answers a point query on behalf of thread tid.
+	Query(tid int, key uint64) uint64
+	// Idle donates a time slice while thread tid waits for others.
+	Idle(tid int)
+	// Flush drains buffered state (quiescent only).
+	Flush()
+	// MemoryBytes reports the design's total footprint.
+	MemoryBytes() int
+}
+
+// BaselineDesign names one of the paper's parallelization designs.
+type BaselineDesign string
+
+// The designs evaluated by the paper (§3, §7.1).
+const (
+	// DesignThreadLocal: one sketch per thread; queries search all T.
+	DesignThreadLocal BaselineDesign = "thread-local"
+	// DesignSingleShared: one shared sketch with atomic counters.
+	DesignSingleShared BaselineDesign = "single-shared"
+	// DesignAugmented: thread-local with a hot-key filter per thread.
+	DesignAugmented BaselineDesign = "augmented"
+	// DesignDelegation: the paper's contribution, via this package.
+	DesignDelegation BaselineDesign = "delegation"
+)
+
+// NewBaseline builds any of the paper's designs under the evaluation's
+// equal-total-memory rule, anchored at width×depth per thread. Use it to
+// reproduce comparisons or to pick a baseline that better fits a
+// specialized workload (e.g. DesignSingleShared for query-dominated use).
+func NewBaseline(design BaselineDesign, threads, width, depth int, seed uint64) Concurrent {
+	return parallel.New(parallel.Kind(design), parallel.Budget{
+		Threads:   threads,
+		Depth:     depth,
+		BaseWidth: width,
+	}, seed)
+}

@@ -1,0 +1,280 @@
+// bench_test.go wires every table and figure of the paper into
+// `go test -bench`. Figure benchmarks run the corresponding experiment
+// from internal/expt in quick mode and report the headline numbers as
+// custom metrics; micro-benchmarks exercise the hot paths directly; the
+// ablation benchmarks cover the design choices DESIGN.md §7 calls out.
+//
+// The full-size artifacts are produced by cmd/dsbench (see EXPERIMENTS.md).
+package dsketch_test
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+
+	"dsketch"
+	"dsketch/internal/delegation"
+	"dsketch/internal/expt"
+	"dsketch/internal/parallel"
+	"dsketch/internal/sim"
+	"dsketch/internal/sketch"
+	"dsketch/internal/zipf"
+)
+
+// ---------------------------------------------------------------------------
+// Figure/table benchmarks: each runs its experiment once per iteration.
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := expt.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		tables := e.Run(expt.Options{Quick: true, Seed: 42})
+		if len(tables) == 0 {
+			b.Fatal("experiment produced no tables")
+		}
+	}
+}
+
+func BenchmarkTable1Summary(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkFig2(b *testing.B)          { benchExperiment(b, "fig2") }
+func BenchmarkFig3(b *testing.B)          { benchExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B)          { benchExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)          { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)          { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)          { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)          { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)          { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)         { benchExperiment(b, "fig10") }
+func BenchmarkAppendixBound(b *testing.B) { benchExperiment(b, "appendix") }
+
+// ---------------------------------------------------------------------------
+// Native micro-benchmarks: per-design insert and mixed paths on this host.
+
+func benchKeys(universe int, skew float64) []uint64 {
+	g := zipf.New(zipf.Config{Universe: universe, Skew: skew, Seed: 1, PermuteKeys: true})
+	keys := make([]uint64, 1<<16)
+	for i := range keys {
+		keys[i] = g.Next()
+	}
+	return keys
+}
+
+// BenchmarkNativeInsert measures the per-operation insert cost of each
+// design, driven single-threaded (the sequential fast path; concurrent
+// scaling is the simulator's and dsbench's job).
+func BenchmarkNativeInsert(b *testing.B) {
+	keys := benchKeys(100_000, 1.5)
+	for _, kind := range parallel.AllKinds() {
+		b.Run(string(kind), func(b *testing.B) {
+			d := parallel.New(kind, parallel.Budget{Threads: 4, Depth: 8, BaseWidth: 4096}, 1)
+			b.ResetTimer()
+			if del, ok := d.(*parallel.Delegation); ok {
+				for i := 0; i < b.N; i++ {
+					del.InsertSequential(0, keys[i&(1<<16-1)])
+				}
+				return
+			}
+			for i := 0; i < b.N; i++ {
+				d.Insert(0, keys[i&(1<<16-1)])
+			}
+		})
+	}
+}
+
+// BenchmarkNativeQuery measures the per-operation point-query cost of
+// each design after a warm fill, including the O(T) search the
+// thread-local designs pay.
+func BenchmarkNativeQuery(b *testing.B) {
+	keys := benchKeys(100_000, 1.5)
+	for _, threads := range []int{4, 16, 64} {
+		for _, kind := range parallel.AllKinds() {
+			b.Run(fmt.Sprintf("%s/threads=%d", kind, threads), func(b *testing.B) {
+				d := parallel.New(kind, parallel.Budget{Threads: threads, Depth: 8, BaseWidth: 1024}, 1)
+				del, isDel := d.(*parallel.Delegation)
+				for tid := 0; tid < threads; tid++ {
+					for i := 0; i < 2000; i++ {
+						if isDel {
+							del.InsertSequential(tid, keys[(tid*2000+i)&(1<<16-1)])
+						} else {
+							d.Insert(tid, keys[(tid*2000+i)&(1<<16-1)])
+						}
+					}
+				}
+				var sink uint64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					k := keys[i&(1<<16-1)]
+					if isDel {
+						sink += del.QueryQuiescent(k)
+					} else {
+						sink += d.Query(0, k)
+					}
+				}
+				_ = sink
+			})
+		}
+	}
+}
+
+// BenchmarkConcurrentMixed runs the real concurrent driver per design on
+// this host's cores with a 0.3% query mix (Figure 5c's workload shape)
+// and reports measured Mops/s.
+func BenchmarkConcurrentMixed(b *testing.B) {
+	for _, kind := range parallel.AllKinds() {
+		b.Run(string(kind), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d := parallel.New(kind, parallel.Budget{Threads: 4, Depth: 8, BaseWidth: 4096}, 1)
+				res := parallel.Run(d, parallel.Workload{
+					OpsPerThread: 100_000,
+					QueryRatio:   0.003,
+					Keys: func(tid int) func() uint64 {
+						g := zipf.New(zipf.Config{Universe: 100_000, Skew: 1.5,
+							Seed: uint64(tid) + 3, PermuteKeys: true, PermSeed: 9})
+						return g.Next
+					},
+					Seed: 7,
+				})
+				b.ReportMetric(res.Throughput/1e6, "Mops/s")
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation benchmarks (DESIGN.md §7).
+
+// BenchmarkUnderlyingSketch swaps the sketch under Delegation Sketch.
+func BenchmarkUnderlyingSketch(b *testing.B) {
+	keys := benchKeys(100_000, 1.5)
+	for _, backend := range []delegation.Backend{
+		delegation.BackendCountMin,
+		delegation.BackendAugmented,
+		delegation.BackendConservative,
+		delegation.BackendCountSketch,
+	} {
+		b.Run(backend.String(), func(b *testing.B) {
+			d := delegation.New(delegation.Config{
+				Threads: 4, Depth: 8, Width: 4096, Seed: 1, Backend: backend,
+			})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.InsertSequential(0, keys[i&(1<<16-1)])
+			}
+		})
+	}
+}
+
+// BenchmarkOwnerMapping compares K mod T against the mixed mapping.
+func BenchmarkOwnerMapping(b *testing.B) {
+	keys := benchKeys(100_000, 1.5)
+	for _, mod := range []bool{false, true} {
+		name := "mix64"
+		if mod {
+			name = "mod"
+		}
+		b.Run(name, func(b *testing.B) {
+			d := delegation.New(delegation.Config{
+				Threads: 8, Depth: 8, Width: 4096, Seed: 1, OwnerMod: mod,
+			})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.InsertSequential(0, keys[i&(1<<16-1)])
+			}
+		})
+	}
+}
+
+// BenchmarkFilterSize varies the delegation filter capacity.
+func BenchmarkFilterSize(b *testing.B) {
+	keys := benchKeys(100_000, 1.5)
+	for _, size := range []int{8, 16, 32, 64} {
+		b.Run(strconv.Itoa(size), func(b *testing.B) {
+			d := delegation.New(delegation.Config{
+				Threads: 4, Depth: 8, Width: 4096, Seed: 1, FilterSize: size,
+			})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.InsertSequential(0, keys[i&(1<<16-1)])
+			}
+		})
+	}
+}
+
+// BenchmarkHelpInterval varies how often the fast path checks for
+// delegated work, under a concurrent mixed load.
+func BenchmarkHelpInterval(b *testing.B) {
+	for _, interval := range []int{1, 8, 64} {
+		b.Run(strconv.Itoa(interval), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d := parallel.NewDelegation(delegation.Config{
+					Threads: 4, Depth: 8, Width: 4096, Seed: 1, HelpInterval: interval,
+				})
+				res := parallel.Run(d, parallel.Workload{
+					OpsPerThread: 50_000,
+					QueryRatio:   0.003,
+					Keys: func(tid int) func() uint64 {
+						g := zipf.New(zipf.Config{Universe: 100_000, Skew: 1.5,
+							Seed: uint64(tid) + 3, PermuteKeys: true, PermSeed: 9})
+						return g.Next
+					},
+					Seed: 7,
+				})
+				b.ReportMetric(res.Throughput/1e6, "Mops/s")
+			}
+		})
+	}
+}
+
+// BenchmarkSquashing compares delegation with and without query squashing
+// in the simulator's high-skew hot-query regime (Figure 9's setting).
+func BenchmarkSquashing(b *testing.B) {
+	for _, kind := range []parallel.Kind{parallel.KindDelegation, parallel.KindDelegationNoSquash} {
+		b.Run(string(kind), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := sim.Run(kind, sim.PlatformA(), 64, 8, sim.DefaultCosts(), sim.Workload{
+					OpsPerThread: 20_000, QueryRatio: 0.003,
+					Universe: 100_000, Skew: 2.0, Seed: 7,
+				})
+				b.ReportMetric(r.Throughput/1e6, "virtual-Mops/s")
+			}
+		})
+	}
+}
+
+// BenchmarkPublicAPIInsert measures the end-user insert path.
+func BenchmarkPublicAPIInsert(b *testing.B) {
+	s := dsketch.New(dsketch.Config{Threads: 1})
+	h := s.Handle(0)
+	keys := benchKeys(100_000, 1.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Insert(keys[i&(1<<16-1)])
+	}
+}
+
+// BenchmarkPublicAPIQueryString measures the string-key query path.
+func BenchmarkPublicAPIQueryString(b *testing.B) {
+	s := dsketch.New(dsketch.Config{Threads: 1})
+	h := s.Handle(0)
+	h.InsertString("192.168.0.1")
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += h.QueryString("192.168.0.1")
+	}
+	_ = sink
+}
+
+// BenchmarkReferenceCountMin anchors everything: the plain sequential
+// sketch the paper's single-thread baselines use.
+func BenchmarkReferenceCountMin(b *testing.B) {
+	s := sketch.NewCountMin(sketch.Config{Depth: 8, Width: 4096, Seed: 1})
+	keys := benchKeys(100_000, 1.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Insert(keys[i&(1<<16-1)], 1)
+	}
+}

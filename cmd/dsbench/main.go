@@ -1,0 +1,73 @@
+// Command dsbench regenerates the paper's evaluation artifacts: every
+// table and figure has an experiment id (see DESIGN.md §3).
+//
+// Usage:
+//
+//	dsbench -list
+//	dsbench -experiment fig5            # simulated platform A scaling
+//	dsbench -experiment fig5 -mode both # also run natively on this host
+//	dsbench -experiment all -quick -format csv > results.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dsketch/internal/expt"
+)
+
+func main() {
+	var (
+		id     = flag.String("experiment", "", "experiment id (e.g. fig5, table1) or 'all'")
+		list   = flag.Bool("list", false, "list available experiments")
+		mode   = flag.String("mode", "sim", "throughput engine: sim | native | both")
+		quick  = flag.Bool("quick", false, "shrink sweeps for a fast run")
+		format = flag.String("format", "text", "output format: text | csv")
+		ops    = flag.Int("ops", 0, "operations per thread (0 = experiment default)")
+		seed   = flag.Uint64("seed", 42, "workload and hash seed")
+	)
+	flag.Parse()
+
+	if *list || *id == "" {
+		fmt.Println("Available experiments (paper artifact -> id):")
+		for _, e := range expt.All() {
+			fmt.Printf("  %-9s %s\n", e.ID, e.Title)
+		}
+		if *id == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	opts := expt.Options{
+		Mode:         *mode,
+		Quick:        *quick,
+		OpsPerThread: *ops,
+		Seed:         *seed,
+	}
+
+	var exps []expt.Experiment
+	if *id == "all" {
+		exps = expt.All()
+	} else {
+		e, err := expt.ByID(*id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		exps = []expt.Experiment{e}
+	}
+
+	for _, e := range exps {
+		fmt.Printf("# %s — %s\n\n", e.ID, e.Title)
+		for _, tbl := range e.Run(opts) {
+			if *format == "csv" {
+				tbl.RenderCSV(os.Stdout)
+				fmt.Println()
+			} else {
+				tbl.Render(os.Stdout)
+			}
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Command dsgen generates key traces in the repository's binary trace
+// format: synthetic Zipf streams or the CAIDA-like IP/port data sets used
+// by the evaluation (DESIGN.md §5).
+//
+// Usage:
+//
+//	dsgen -kind zipf -skew 1.5 -universe 1000000 -n 5000000 -out trace.dsk
+//	dsgen -kind ips   -n 22000000 -out ips.dsk
+//	dsgen -kind ports -n 22000000 -out ports.dsk
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dsketch/internal/trace"
+	"dsketch/internal/zipf"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "zipf", "trace kind: zipf | ips | ports")
+		n        = flag.Int("n", 1_000_000, "number of keys")
+		universe = flag.Int("universe", 1_000_000, "distinct keys (zipf only)")
+		skew     = flag.Float64("skew", 1.0, "Zipf skew parameter (zipf only)")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+		out      = flag.String("out", "", "output file (required)")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "dsgen: -out is required")
+		os.Exit(2)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsgen: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsgen: %v\n", err)
+		os.Exit(1)
+	}
+
+	write := func(keys []uint64) {
+		for _, k := range keys {
+			if err := w.WriteKey(k); err != nil {
+				fmt.Fprintf(os.Stderr, "dsgen: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	switch *kind {
+	case "zipf":
+		g := zipf.New(zipf.Config{Universe: *universe, Skew: *skew, Seed: *seed, PermuteKeys: true})
+		for i := 0; i < *n; i++ {
+			if err := w.WriteKey(g.Next()); err != nil {
+				fmt.Fprintf(os.Stderr, "dsgen: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	case "ips":
+		write(trace.SyntheticIPs(*n, *seed))
+	case "ports":
+		write(trace.SyntheticPorts(*n, *seed))
+	default:
+		fmt.Fprintf(os.Stderr, "dsgen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	if err := w.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "dsgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d keys to %s\n", w.Count(), *out)
+}

@@ -1,0 +1,154 @@
+// Command dsquery builds a Delegation Sketch from a trace file using T
+// concurrent threads, then answers point queries — from -keys, from a
+// stdin batch, or the top-k heavy hitters — and reports accuracy against
+// exact counts when -exact is set.
+//
+// Usage:
+//
+//	dsquery -trace ports.dsk -threads 8 -keys 443,80,22
+//	dsquery -trace ports.dsk -threads 8 -top 10 -exact
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"dsketch"
+	"dsketch/internal/count"
+	"dsketch/internal/stream"
+	"dsketch/internal/topk"
+	"dsketch/internal/trace"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "input trace file (required)")
+		threads   = flag.Int("threads", runtime.NumCPU(), "number of insertion threads")
+		width     = flag.Int("width", 4096, "sketch buckets per row")
+		depth     = flag.Int("depth", 8, "sketch rows")
+		keysFlag  = flag.String("keys", "", "comma-separated keys to query")
+		top       = flag.Int("top", 0, "also report the top-k heavy hitters")
+		exact     = flag.Bool("exact", false, "compare against exact counts")
+		stdin     = flag.Bool("stdin", false, "read one key per line from stdin")
+	)
+	flag.Parse()
+	if *tracePath == "" {
+		fmt.Fprintln(os.Stderr, "dsquery: -trace is required")
+		os.Exit(2)
+	}
+
+	keys, err := readTrace(*tracePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsquery: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("trace: %d keys\n", len(keys))
+
+	s := dsketch.New(dsketch.Config{Threads: *threads, Width: *width, Depth: *depth})
+	subs := stream.Split(keys, *threads)
+
+	var tk *topk.SpaceSaving
+	if *top > 0 {
+		tk = topk.New(*top * 4)
+	}
+	var tkMu sync.Mutex
+
+	var done atomic.Int32
+	var wg sync.WaitGroup
+	for tid := 0; tid < *threads; tid++ {
+		h := s.Handle(tid)
+		sub := subs[tid]
+		wg.Add(1)
+		go func(h *dsketch.Handle, sub []uint64) {
+			defer wg.Done()
+			for _, k := range sub {
+				h.Insert(k)
+				if tk != nil {
+					tkMu.Lock()
+					tk.Observe(k, 1)
+					tkMu.Unlock()
+				}
+			}
+			done.Add(1)
+			for int(done.Load()) < *threads {
+				h.Help()
+				runtime.Gosched()
+			}
+		}(h, sub)
+	}
+	wg.Wait()
+	s.Flush()
+
+	var oracle *count.Exact
+	if *exact {
+		oracle = count.NewExact()
+		for _, k := range keys {
+			oracle.Add(k, 1)
+		}
+	}
+
+	report := func(k uint64) {
+		est := s.Query(k) // workers exited: quiescent query path
+		if oracle != nil {
+			truth := oracle.Count(k)
+			fmt.Printf("key %-12d estimate %-10d exact %-10d error %d\n", k, est, truth, est-truth)
+		} else {
+			fmt.Printf("key %-12d estimate %d\n", k, est)
+		}
+	}
+
+	if *keysFlag != "" {
+		for _, part := range strings.Split(*keysFlag, ",") {
+			k, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dsquery: bad key %q: %v\n", part, err)
+				os.Exit(2)
+			}
+			report(k)
+		}
+	}
+	if *stdin {
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				continue
+			}
+			k, err := strconv.ParseUint(line, 10, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dsquery: bad key %q: %v\n", line, err)
+				continue
+			}
+			report(k)
+		}
+	}
+	if tk != nil {
+		fmt.Printf("\ntop-%d heavy hitters (Space-Saving + sketch estimates):\n", *top)
+		for i, e := range tk.Top(*top) {
+			fmt.Printf("%2d. key %-12d sketch-estimate %d\n", i+1, e.Key, s.Query(e.Key))
+		}
+	}
+	st := s.Stats()
+	fmt.Printf("\nstats: drains=%d served-queries=%d squashed=%d\n",
+		st.Drains, st.ServedQueries, st.Squashed)
+}
+
+func readTrace(path string) ([]uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return nil, err
+	}
+	return r.ReadAll()
+}

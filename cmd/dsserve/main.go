@@ -1,0 +1,248 @@
+// Command dsserve runs a Delegation Sketch as a small network monitoring
+// daemon: keys are ingested and queried over HTTP while the sketch's
+// worker threads run the cooperative delegation protocol underneath.
+//
+// It demonstrates the integration pattern for environments where requests
+// arrive on arbitrary goroutines (HTTP handlers, RPC servers) but the
+// sketch requires one goroutine per thread id: a fixed pool of workers
+// owns the Handles and consumes from sharded channels; handlers only
+// enqueue.
+//
+// Endpoints:
+//
+//	POST /insert?key=<uint64|string>[&count=n]
+//	GET  /query?key=<uint64|string>
+//	GET  /topk?k=10        (requires -topk)
+//	GET  /stats
+//
+// Usage:
+//
+//	dsserve -addr :8080 -threads 4 -topk
+//	curl -X POST 'localhost:8080/insert?key=10.0.0.1'
+//	curl 'localhost:8080/query?key=10.0.0.1'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"dsketch"
+)
+
+// insertReq is one enqueued insertion.
+type insertReq struct {
+	key   uint64
+	count uint64
+}
+
+// queryReq is one enqueued point query; the result is sent on reply.
+type queryReq struct {
+	key   uint64
+	reply chan uint64
+}
+
+// pauseReq parks a worker for a window of true quiescence (required by
+// Flush and HeavyHitters). The barrier is two-phase: a worker that has
+// reached the barrier must keep *helping* until every worker has reached
+// it — another worker may be blocked mid-operation waiting for this one
+// to serve delegated work — and only then stop touching the sketch and
+// wait passively for resume.
+type pauseReq struct {
+	parked chan struct{} // phase 1 ack: reached the barrier (still helping)
+	hold   chan struct{} // closed by the coordinator when all have parked
+	held   chan struct{} // phase 2 ack: stopped helping
+	resume chan struct{} // closed by the coordinator after fn runs
+}
+
+// server owns the sketch and the worker pool.
+type server struct {
+	sketch  *dsketch.Sketch
+	inserts []chan insertReq
+	queries []chan queryReq
+	pauses  []chan pauseReq
+	next    atomic.Uint64 // round-robin shard cursor
+	topk    bool
+}
+
+// quiesce parks every worker (two-phase, see pauseReq), runs fn on the
+// quiescent sketch, and resumes them.
+func (s *server) quiesce(fn func()) {
+	req := pauseReq{
+		parked: make(chan struct{}, len(s.pauses)),
+		hold:   make(chan struct{}),
+		held:   make(chan struct{}, len(s.pauses)),
+		resume: make(chan struct{}),
+	}
+	for tid := range s.pauses {
+		s.pauses[tid] <- req
+	}
+	for range s.pauses {
+		<-req.parked // everyone is at the barrier (no op in flight)
+	}
+	close(req.hold)
+	for range s.pauses {
+		<-req.held // everyone has stopped touching the sketch
+	}
+	fn()
+	close(req.resume)
+}
+
+// worker is the goroutine owning thread tid's Handle: it consumes its
+// shard's channels and keeps helping (the delegation protocol's liveness
+// requirement) whenever it is otherwise idle.
+func (s *server) worker(tid int) {
+	h := s.sketch.Handle(tid)
+	idle := time.NewTicker(100 * time.Microsecond)
+	defer idle.Stop()
+	for {
+		select {
+		case req, ok := <-s.inserts[tid]:
+			if !ok {
+				return
+			}
+			h.InsertCount(req.key, req.count)
+		case q := <-s.queries[tid]:
+			q.reply <- h.Query(q.key)
+		case p := <-s.pauses[tid]:
+			p.parked <- struct{}{}
+			holding := true
+			for holding {
+				select {
+				case <-p.hold:
+					holding = false
+				default:
+					h.Help() // someone may be blocked on us mid-op
+					runtime.Gosched()
+				}
+			}
+			p.held <- struct{}{}
+			<-p.resume
+		case <-idle.C:
+			h.Help()
+			runtime.Gosched()
+		}
+	}
+}
+
+// shard picks the next worker round-robin.
+func (s *server) shard() int {
+	return int(s.next.Add(1) % uint64(len(s.inserts)))
+}
+
+// parseKey accepts either a decimal uint64 or an arbitrary string (which
+// is fingerprinted, matching InsertString/QueryString semantics).
+func parseKey(raw string) (uint64, error) {
+	if raw == "" {
+		return 0, fmt.Errorf("missing key parameter")
+	}
+	if k, err := strconv.ParseUint(raw, 10, 64); err == nil {
+		return k, nil
+	}
+	return dsketch.Fingerprint(raw), nil
+}
+
+func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	key, err := parseKey(r.URL.Query().Get("key"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	count := uint64(1)
+	if c := r.URL.Query().Get("count"); c != "" {
+		count, err = strconv.ParseUint(c, 10, 64)
+		if err != nil || count == 0 {
+			http.Error(w, "bad count", http.StatusBadRequest)
+			return
+		}
+	}
+	s.inserts[s.shard()] <- insertReq{key: key, count: count}
+	w.WriteHeader(http.StatusAccepted)
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	key, err := parseKey(r.URL.Query().Get("key"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	reply := make(chan uint64, 1)
+	s.queries[s.shard()] <- queryReq{key: key, reply: reply}
+	fmt.Fprintf(w, "%d\n", <-reply)
+}
+
+func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	if !s.topk {
+		http.Error(w, "server started without -topk", http.StatusNotFound)
+		return
+	}
+	k := 10
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		if v, err := strconv.Atoi(raw); err == nil && v > 0 {
+			k = v
+		}
+	}
+	// HeavyHitters and Flush are quiescent-only: park the workers, flush
+	// so filter-resident counts are visible, snapshot, resume.
+	s.quiesce(func() {
+		s.sketch.Flush()
+		for i, e := range s.sketch.HeavyHitters(k) {
+			fmt.Fprintf(w, "%2d. key=%d count=%d (±%d)\n", i+1, e.Key, e.Count, e.Err)
+		}
+	})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := s.sketch.Stats()
+	fmt.Fprintf(w, "drains=%d served_queries=%d squashed=%d direct_queries=%d memory_bytes=%d\n",
+		st.Drains, st.ServedQueries, st.Squashed, st.DirectQueries, s.sketch.MemoryBytes())
+}
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		threads = flag.Int("threads", runtime.NumCPU(), "sketch worker threads")
+		width   = flag.Int("width", 4096, "sketch buckets per row")
+		depth   = flag.Int("depth", 8, "sketch rows")
+		topk    = flag.Bool("topk", false, "enable the /topk endpoint")
+	)
+	flag.Parse()
+
+	s := &server{
+		sketch: dsketch.New(dsketch.Config{
+			Threads:           *threads,
+			Width:             *width,
+			Depth:             *depth,
+			TrackHeavyHitters: *topk,
+		}),
+		inserts: make([]chan insertReq, *threads),
+		queries: make([]chan queryReq, *threads),
+		topk:    *topk,
+	}
+	s.pauses = make([]chan pauseReq, *threads)
+	for tid := 0; tid < *threads; tid++ {
+		s.inserts[tid] = make(chan insertReq, 1024)
+		s.queries[tid] = make(chan queryReq, 64)
+		s.pauses[tid] = make(chan pauseReq, 1)
+		go s.worker(tid)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/insert", s.handleInsert)
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/topk", s.handleTopK)
+	mux.HandleFunc("/stats", s.handleStats)
+
+	log.Printf("dsserve: %d threads, %d bytes of sketch, listening on %s",
+		*threads, s.sketch.MemoryBytes(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}

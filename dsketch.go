@@ -1,0 +1,280 @@
+// Package dsketch is a Go implementation of Delegation Sketch
+// (Stylianopoulos et al., EuroSys '20): a parallelization design for
+// sketch-based frequency summaries that supports fast, accurate
+// *concurrent* insertions and point queries.
+//
+// # Model
+//
+// A Sketch is shared by a fixed number of threads, T. Each thread id in
+// [0, T) must be driven by exactly one goroutine, obtained via Handle.
+// Insertions aggregate in small per-(owner, producer) delegation filters
+// and are flushed in batches to the sketch of the key's owner thread;
+// queries are delegated to the owner, which answers concurrent queries on
+// the same key with a single search ("query squashing"). Domain splitting
+// guarantees all occurrences of a key land in one sketch, so queries are
+// both cheap and as accurate as a single sketch of the same total memory.
+//
+// # Consistency
+//
+// Queries are regular (§2.2 of the paper): a query observes every
+// insertion that completed before it began and may observe a subset of
+// concurrent ones. Count-Min backed configurations never under-estimate.
+//
+// # Quick start
+//
+//	s := dsketch.New(dsketch.Config{Threads: 4})
+//	var wg sync.WaitGroup
+//	for t := 0; t < 4; t++ {
+//	    h := s.Handle(t)
+//	    wg.Add(1)
+//	    go func() {
+//	        defer wg.Done()
+//	        for _, k := range myKeys {
+//	            h.Insert(k)
+//	        }
+//	        fmt.Println(h.Query(someKey))
+//	    }()
+//	}
+//	wg.Wait()
+//
+// Threads that stay idle while others run should call Handle.Help
+// periodically so delegated work keeps flowing (see Handle.Help).
+package dsketch
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dsketch/internal/delegation"
+	"dsketch/internal/hash"
+	"dsketch/internal/sketch"
+)
+
+// Backend selects the sequential sketch each owner thread maintains.
+type Backend int
+
+// Available backends. The default, BackendAugmented, is the configuration
+// the paper evaluates: a Count-Min sketch behind a small hot-key filter.
+const (
+	BackendAugmented Backend = iota
+	BackendCountMin
+	BackendConservative
+	BackendCountSketch
+)
+
+func (b Backend) internal() delegation.Backend {
+	switch b {
+	case BackendCountMin:
+		return delegation.BackendCountMin
+	case BackendConservative:
+		return delegation.BackendConservative
+	case BackendCountSketch:
+		return delegation.BackendCountSketch
+	default:
+		return delegation.BackendAugmented
+	}
+}
+
+// Config assembles a Sketch. The zero value of every field selects a
+// sensible default (paper parameters).
+type Config struct {
+	// Threads is the number of cooperating threads T (default 1). Each
+	// thread owns one sketch and one Handle.
+	Threads int
+	// Epsilon and Delta, when both set, size each owner's sketch for the
+	// Count-Min guarantee f̂ ≤ f + ε·N with probability 1−δ. Otherwise
+	// Width and Depth are used directly (defaults 4096×8).
+	Epsilon, Delta float64
+	// Width and Depth size each owner's sketch explicitly.
+	Width, Depth int
+	// FilterSize is the delegation filter capacity (default 16).
+	FilterSize int
+	// Backend picks the per-owner sketch (default BackendAugmented).
+	Backend Backend
+	// DisableSquashing turns off query squashing (for ablation only).
+	DisableSquashing bool
+	// Seed fixes hash functions and the owner mapping (default 1).
+	Seed uint64
+	// TrackHeavyHitters attaches a per-owner Space-Saving summary fed by
+	// the drain path, enabling Sketch.HeavyHitters. Domain splitting
+	// makes the per-owner summaries exact to merge (every key is counted
+	// at one owner), at ~6 KB per thread.
+	TrackHeavyHitters bool
+}
+
+// Sketch is a Delegation Sketch shared by Config.Threads threads.
+type Sketch struct {
+	ds *delegation.DS
+}
+
+// New builds a Sketch from cfg.
+func New(cfg Config) *Sketch {
+	width, depth := cfg.Width, cfg.Depth
+	if cfg.Epsilon > 0 && cfg.Delta > 0 {
+		width, depth = sketch.DimensionsForError(cfg.Epsilon, cfg.Delta)
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	ds := delegation.New(delegation.Config{
+		Threads:          cfg.Threads,
+		Depth:            depth,
+		Width:            width,
+		Seed:             seed,
+		FilterSize:       cfg.FilterSize,
+		Backend:          cfg.Backend.internal(),
+		DisableSquashing: cfg.DisableSquashing,
+	})
+	if cfg.TrackHeavyHitters {
+		ds.EnableHeavyHitters()
+	}
+	return &Sketch{ds: ds}
+}
+
+// Threads returns T.
+func (s *Sketch) Threads() int { return s.ds.Threads() }
+
+// Handle returns thread tid's handle. Exactly one goroutine may use a
+// given handle at a time; handles with distinct tids are safe to use
+// concurrently.
+func (s *Sketch) Handle(tid int) *Handle {
+	if tid < 0 || tid >= s.ds.Threads() {
+		panic(fmt.Sprintf("dsketch: thread id %d out of range [0,%d)", tid, s.ds.Threads()))
+	}
+	return &Handle{s: s.ds, tid: tid}
+}
+
+// Query answers a point query without delegation, by searching the
+// owner's filters and sketch directly. It requires quiescence: no
+// concurrent Handle operations. Use it for end-of-stream reporting after
+// the worker goroutines have stopped — a Handle.Query at that point would
+// wait forever for an owner thread that is no longer serving delegated
+// work.
+func (s *Sketch) Query(key uint64) uint64 { return s.ds.EstimateQuiescent(key) }
+
+// QueryString is the quiescent Query for string keys.
+func (s *Sketch) QueryString(key string) uint64 {
+	return s.ds.EstimateQuiescent(hash.FingerprintString(key))
+}
+
+// Run spawns one goroutine per thread id, calls fn with that thread's
+// Handle, and blocks until every goroutine returns. Threads that finish
+// early automatically keep serving delegated work until all are done, so
+// callers do not need to hand-roll the cooperative helping tail. After
+// Run returns the sketch is quiescent: use Sketch.Query / HeavyHitters /
+// Flush directly.
+func (s *Sketch) Run(fn func(h *Handle)) {
+	t := s.ds.Threads()
+	var done atomic.Int32
+	var wg sync.WaitGroup
+	for tid := 0; tid < t; tid++ {
+		h := s.Handle(tid)
+		wg.Add(1)
+		go func(h *Handle) {
+			defer wg.Done()
+			fn(h)
+			done.Add(1)
+			for int(done.Load()) < t {
+				h.Help()
+				runtime.Gosched()
+			}
+		}(h)
+	}
+	wg.Wait()
+}
+
+// HeavyHitter is one entry of a top-k report: Count over-estimates the
+// true frequency by at most Err.
+type HeavyHitter struct {
+	Key   uint64
+	Count uint64
+	Err   uint64
+}
+
+// HeavyHitters returns the k most frequent keys, merged exactly from the
+// per-owner trackers. Requires Config.TrackHeavyHitters; call Flush
+// first (quiescent) so all drained counts are visible.
+func (s *Sketch) HeavyHitters(k int) []HeavyHitter {
+	entries := s.ds.HeavyHitters(k)
+	out := make([]HeavyHitter, len(entries))
+	for i, e := range entries {
+		out[i] = HeavyHitter{Key: e.Key, Count: e.Count, Err: e.Err}
+	}
+	return out
+}
+
+// Flush drains all buffered insertions into the owner sketches. It
+// requires quiescence: no concurrent Handle operations. Queries are
+// correct without flushing (they search the filters too); Flush exists
+// for end-of-stream accounting.
+func (s *Sketch) Flush() { s.ds.Flush() }
+
+// MemoryBytes reports the total footprint: sketches, delegation filters
+// and pending-query slots.
+func (s *Sketch) MemoryBytes() int { return s.ds.MemoryBytes() }
+
+// Stats reports cumulative event counters.
+type Stats struct {
+	// Drains counts full delegation filters flushed into sketches.
+	Drains uint64
+	// ServedQueries counts delegated queries answered, including
+	// squashed ones.
+	ServedQueries uint64
+	// Squashed counts queries answered by copying another query's
+	// result.
+	Squashed uint64
+	// DirectQueries counts self-owned queries answered in place.
+	DirectQueries uint64
+}
+
+// Stats returns a snapshot of the sketch's event counters.
+func (s *Sketch) Stats() Stats {
+	st := s.ds.Stats()
+	return Stats{
+		Drains:        st.Drains,
+		ServedQueries: st.ServedQueries,
+		Squashed:      st.Squashed,
+		DirectQueries: st.DirectQueries,
+	}
+}
+
+// Handle is one thread's interface to the Sketch.
+type Handle struct {
+	s   *delegation.DS
+	tid int
+}
+
+// Thread returns the handle's thread id.
+func (h *Handle) Thread() int { return h.tid }
+
+// Insert records one occurrence of key.
+func (h *Handle) Insert(key uint64) { h.s.Insert(h.tid, key) }
+
+// InsertCount records count occurrences of key.
+func (h *Handle) InsertCount(key uint64, count uint64) { h.s.InsertCount(h.tid, key, count) }
+
+// InsertString records one occurrence of a string key (fingerprinted to
+// 64 bits; use the same form consistently for inserts and queries).
+func (h *Handle) InsertString(key string) { h.s.Insert(h.tid, hash.FingerprintString(key)) }
+
+// Query estimates key's frequency across all threads' insertions.
+func (h *Handle) Query(key uint64) uint64 { return h.s.Query(h.tid, key) }
+
+// QueryString estimates a string key's frequency.
+func (h *Handle) QueryString(key string) uint64 {
+	return h.s.Query(h.tid, hash.FingerprintString(key))
+}
+
+// Help serves work other threads have delegated to this thread: draining
+// ready filters into its sketch and answering pending queries. Insert and
+// Query already help on every call; a thread that goes idle while other
+// threads keep working must call Help in its wait loop so the system
+// keeps making progress.
+func (h *Handle) Help() { h.s.Help(h.tid) }
+
+// Fingerprint hashes an arbitrary string to the 64-bit key space, the
+// same mapping InsertString and QueryString use.
+func Fingerprint(key string) uint64 { return hash.FingerprintString(key) }

@@ -1,0 +1,92 @@
+package dsketch_test
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dsketch"
+)
+
+// Example shows the basic concurrent insert/query flow: one goroutine per
+// thread id, cooperative helping after each worker finishes, quiescent
+// queries for the final report.
+func Example() {
+	const threads = 4
+	s := dsketch.New(dsketch.Config{Threads: threads, Seed: 1})
+
+	var done atomic.Int32
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		h := s.Handle(tid)
+		wg.Add(1)
+		go func(h *dsketch.Handle) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Insert(uint64(i % 10))
+			}
+			// Keep serving delegated work until all threads finish.
+			done.Add(1)
+			for int(done.Load()) < threads {
+				h.Help()
+				runtime.Gosched()
+			}
+		}(h)
+	}
+	wg.Wait()
+
+	fmt.Println(s.Query(7)) // 4 threads x 100 occurrences each
+	// Output: 400
+}
+
+// ExampleSketch_QueryString demonstrates string keys: both sides use the
+// same fingerprinting, so estimates line up.
+func ExampleSketch_QueryString() {
+	s := dsketch.New(dsketch.Config{Threads: 1, Seed: 1})
+	h := s.Handle(0)
+	for i := 0; i < 42; i++ {
+		h.InsertString("10.1.2.3")
+	}
+	fmt.Println(h.QueryString("10.1.2.3"))
+	// Output: 42
+}
+
+// ExampleConfig_epsilonDelta sizes the sketch from an error target
+// instead of explicit dimensions.
+func ExampleConfig_epsilonDelta() {
+	s := dsketch.New(dsketch.Config{
+		Threads: 2,
+		Epsilon: 0.01, // additive error at most 1% of the stream length...
+		Delta:   0.01, // ...with probability 99%
+	})
+	h := s.Handle(0)
+	h.InsertCount(5, 100)
+	fmt.Println(h.Query(5) >= 100) // Count-Min never under-estimates
+	// Output: true
+}
+
+// ExampleNewBaseline builds the paper's single-shared baseline for a
+// query-dominated workload.
+func ExampleNewBaseline() {
+	c := dsketch.NewBaseline(dsketch.DesignSingleShared, 2, 4096, 8, 1)
+	c.Insert(0, 99)
+	c.Insert(1, 99)
+	fmt.Println(c.Name(), c.Query(0, 99))
+	// Output: single-shared 2
+}
+
+// ExampleSketch_Run shows the convenience runner: no manual goroutine or
+// helping-tail management.
+func ExampleSketch_Run() {
+	s := dsketch.New(dsketch.Config{Threads: 4, Seed: 1, TrackHeavyHitters: true})
+	s.Run(func(h *dsketch.Handle) {
+		for i := 0; i < 1000; i++ {
+			h.Insert(uint64(i % 3)) // keys 0,1,2 dominate
+		}
+	})
+	s.Flush()
+	hh := s.HeavyHitters(1)
+	fmt.Println(len(hh), hh[0].Count)
+	// Output: 1 1336
+}

@@ -1,0 +1,87 @@
+// wordcount exercises the string-key API on text-like data ("word count
+// in a corpus of text" is one of the paper's canonical Zipf-distributed
+// workloads, §7.1). A synthetic corpus is sharded across threads; the
+// sketch answers word-frequency queries and is compared against exact
+// counts, demonstrating the memory/accuracy trade-off.
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dsketch"
+	"dsketch/internal/count"
+	"dsketch/internal/zipf"
+)
+
+// vocabulary builds a deterministic fake lexicon: rank r maps to a word;
+// word frequencies follow Zipf (as natural language does).
+func word(rank uint64) string {
+	const letters = "etaoinshrdlucmfw"
+	if rank == 0 {
+		return "the"
+	}
+	var b []byte
+	for v := rank; v > 0; v /= uint64(len(letters)) {
+		b = append(b, letters[v%uint64(len(letters))])
+	}
+	return string(b)
+}
+
+func main() {
+	const (
+		threads   = 4
+		perThread = 500_000
+		vocab     = 50_000
+	)
+	s := dsketch.New(dsketch.Config{Threads: threads, Width: 2048, Depth: 8})
+
+	universe := zipf.NewSharedUniverse(zipf.Config{Universe: vocab, Skew: 1.05, PermSeed: 5})
+	truths := make([]*count.Exact, threads)
+
+	var done atomic.Int32
+	var wg sync.WaitGroup
+	for tid := 0; tid < threads; tid++ {
+		h := s.Handle(tid)
+		g := universe.Generator(uint64(tid) + 11)
+		wg.Add(1)
+		go func(tid int, h *dsketch.Handle, g *zipf.Generator) {
+			defer wg.Done()
+			truth := count.NewExact()
+			for i := 0; i < perThread; i++ {
+				w := word(g.Next())
+				h.InsertString(w)
+				truth.Add(dsketch.Fingerprint(w), 1)
+			}
+			truths[tid] = truth
+			done.Add(1)
+			for int(done.Load()) < threads {
+				h.Help()
+				runtime.Gosched()
+			}
+		}(tid, h, g)
+	}
+	wg.Wait()
+
+	truth := count.NewExact()
+	for _, t := range truths {
+		truth.Merge(t)
+	}
+
+	// Reverse index for display: fingerprint -> word.
+	byFingerprint := make(map[uint64]string, vocab)
+	for r := uint64(0); r < vocab; r++ {
+		w := word(r)
+		byFingerprint[dsketch.Fingerprint(w)] = w
+	}
+
+	fmt.Printf("corpus: %d words, %d distinct; sketch memory %d bytes (exact counting needs ~%d)\n",
+		truth.Total(), truth.Distinct(), s.MemoryBytes(), truth.Distinct()*24)
+	fmt.Println("\nmost frequent words (sketch estimate vs exact):")
+	for i, kc := range truth.TopK(10) {
+		est := s.Query(kc.Key)
+		fmt.Printf("%2d. %-10q estimate %-8d exact %-8d\n", i+1, byFingerprint[kc.Key], est, kc.Count)
+	}
+}

@@ -1,0 +1,3 @@
+module dsketch
+
+go 1.22

@@ -1,0 +1,187 @@
+// Package accuracy implements the deterministic, single-goroutine accuracy
+// experiments of the paper: Figure 2 (average relative error vs number of
+// threads, with the memory table of Figure 2c) and Figure 4 (absolute
+// per-key error sorted by frequency). Accuracy depends only on *where*
+// keys land, not on interleaving, so each parallel design is driven
+// sequentially through a placement-identical path, which makes the results
+// exactly reproducible.
+package accuracy
+
+import (
+	"dsketch/internal/count"
+	"dsketch/internal/metrics"
+	"dsketch/internal/parallel"
+	"dsketch/internal/sketch"
+	"dsketch/internal/stream"
+	"dsketch/internal/zipf"
+)
+
+// Config parameterizes an accuracy experiment.
+type Config struct {
+	// Threads is T, the number of sub-streams and per-thread sketches.
+	Threads int
+	// Depth and BaseWidth anchor the §7.1 memory budget (the reference
+	// sketch is Depth × BaseWidth).
+	Depth, BaseWidth int
+	// Universe and StreamLen describe the input (paper Fig. 2: 600K keys
+	// from a universe of 100K).
+	Universe, StreamLen int
+	// Skew is the Zipf parameter; 0 is the uniform distribution.
+	Skew float64
+	// Seed fixes workload and hash functions.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threads <= 0 {
+		c.Threads = 4
+	}
+	if c.Depth <= 0 {
+		c.Depth = 8
+	}
+	if c.BaseWidth <= 0 {
+		c.BaseWidth = 512
+	}
+	if c.Universe <= 0 {
+		c.Universe = 100_000
+	}
+	if c.StreamLen <= 0 {
+		c.StreamLen = 600_000
+	}
+	return c
+}
+
+// DesignResult is one design's accuracy at one configuration.
+type DesignResult struct {
+	Design      string
+	ARE         float64
+	MemoryBytes int
+}
+
+// generate builds the global stream, its round-robin sub-streams, and the
+// exact ground truth.
+func generate(cfg Config) (subs [][]uint64, truth *count.Exact) {
+	g := zipf.New(zipf.Config{
+		Universe:    cfg.Universe,
+		Skew:        cfg.Skew,
+		Seed:        cfg.Seed,
+		PermuteKeys: true,
+	})
+	keys := make([]uint64, cfg.StreamLen)
+	truth = count.NewExact()
+	for i := range keys {
+		keys[i] = g.Next()
+		truth.Add(keys[i], 1)
+	}
+	return stream.Split(keys, cfg.Threads), truth
+}
+
+// estimator pairs a design name with its point-query function and
+// footprint after the stream has been inserted.
+type estimator struct {
+	name     string
+	estimate func(key uint64) uint64
+	memory   int
+}
+
+// buildEstimators inserts the sub-streams into every design (reference,
+// thread-local, single-shared, augmented, delegation) under the §7.1
+// equal-memory budget and returns their estimators.
+func buildEstimators(cfg Config, subs [][]uint64) []estimator {
+	budget := parallel.Budget{
+		Threads:   cfg.Threads,
+		Depth:     cfg.Depth,
+		BaseWidth: cfg.BaseWidth,
+	}.WithDefaults()
+
+	ref := sketch.NewCountMin(sketch.Config{Depth: cfg.Depth, Width: cfg.BaseWidth, Seed: cfg.Seed})
+	for _, sub := range subs {
+		for _, k := range sub {
+			ref.Insert(k, 1)
+		}
+	}
+
+	ests := []estimator{{name: "reference", estimate: ref.Estimate, memory: ref.MemoryBytes()}}
+	for _, kind := range parallel.AllKinds() {
+		d := parallel.New(kind, budget, cfg.Seed)
+		if del, ok := d.(*parallel.Delegation); ok {
+			for tid, sub := range subs {
+				for _, k := range sub {
+					del.InsertSequential(tid, k)
+				}
+			}
+			// No flush: queries search the delegation filters too, and
+			// flushing would be unrepresentative of live operation.
+			ests = append(ests, estimator{
+				name:     d.Name(),
+				estimate: del.QueryQuiescent,
+				memory:   d.MemoryBytes(),
+			})
+			continue
+		}
+		for tid, sub := range subs {
+			for _, k := range sub {
+				d.Insert(tid, k)
+			}
+		}
+		// No flush: the Augmented baseline's filters answer queries for
+		// the hottest keys exactly (the paper's Figure 4 zero-error
+		// region); flushing would erase that, skewing the comparison.
+		dd := d
+		ests = append(ests, estimator{
+			name:     d.Name(),
+			estimate: func(k uint64) uint64 { return dd.Query(0, k) },
+			memory:   d.MemoryBytes(),
+		})
+	}
+	return ests
+}
+
+// RunARE reproduces one x-position of Figure 2: it inserts the stream into
+// every design and reports each design's average relative error (querying
+// every key of the universe once, as the paper does) and memory footprint
+// (the Figure 2c table).
+func RunARE(cfg Config) []DesignResult {
+	cfg = cfg.withDefaults()
+	subs, truth := generate(cfg)
+	ests := buildEstimators(cfg, subs)
+	keys := truth.Keys()
+	out := make([]DesignResult, len(ests))
+	for i, e := range ests {
+		out[i] = DesignResult{
+			Design:      e.name,
+			ARE:         metrics.ARE(truth, e.estimate, keys),
+			MemoryBytes: e.memory,
+		}
+	}
+	return out
+}
+
+// Series is one design's per-key error curve for Figure 4.
+type Series struct {
+	Design string
+	// Errors is the running-mean absolute error per key, keys sorted by
+	// descending true frequency (the paper's x-axis), downsampled.
+	Errors []float64
+}
+
+// RunPerKeyError reproduces Figure 4: the absolute error at every key,
+// sorted by true frequency, smoothed with the paper's 1,000-key running
+// mean, downsampled to points samples per design.
+func RunPerKeyError(cfg Config, window, points int) []Series {
+	cfg = cfg.withDefaults()
+	subs, truth := generate(cfg)
+	ests := buildEstimators(cfg, subs)
+	out := make([]Series, 0, len(ests))
+	for _, e := range ests {
+		if e.name == "reference" {
+			continue // Figure 4 compares the parallel designs
+		}
+		abs := metrics.AbsoluteErrors(truth, e.estimate)
+		out = append(out, Series{
+			Design: e.name,
+			Errors: metrics.Downsample(metrics.RunningMean(abs, window), points),
+		})
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package accuracy
+
+import (
+	"math"
+	"testing"
+)
+
+// small configuration keeps the tests fast while preserving the paper's
+// qualitative relationships.
+func cfg(threads int, skew float64) Config {
+	return Config{
+		Threads:   threads,
+		Depth:     4,
+		BaseWidth: 256,
+		Universe:  20000,
+		StreamLen: 120000,
+		Skew:      skew,
+		Seed:      42,
+	}
+}
+
+func areOf(results []DesignResult, name string) float64 {
+	for _, r := range results {
+		if r.Design == name {
+			return r.ARE
+		}
+	}
+	return math.NaN()
+}
+
+func TestFig2Relationships(t *testing.T) {
+	// The paper's §5.1 claims, verified empirically:
+	//  (1) thread-local ARE ≈ reference ARE despite T× the memory;
+	//  (2) delegation (domain splitting) ARE ≈ single-shared ARE;
+	//  (3) delegation ARE << thread-local ARE at the same total memory.
+	res := RunARE(cfg(8, 1.0))
+	ref := areOf(res, "reference")
+	tl := areOf(res, "thread-local")
+	ss := areOf(res, "single-shared")
+	dg := areOf(res, "delegation")
+	if ref <= 0 || tl <= 0 {
+		t.Fatalf("degenerate AREs: ref=%v tl=%v", ref, tl)
+	}
+	// (1) thread-local is no better than half the reference error
+	// (the paper observes "only slightly less error").
+	if tl < ref*0.4 {
+		t.Errorf("thread-local ARE %v implausibly better than reference %v", tl, ref)
+	}
+	// (3) delegation at least 3x more accurate than thread-local here.
+	if dg > tl/3 {
+		t.Errorf("delegation ARE %v not clearly better than thread-local %v", dg, tl)
+	}
+	// (2) delegation within 2.5x of single-shared (same memory).
+	if dg > ss*2.5+1e-9 {
+		t.Errorf("delegation ARE %v much worse than single-shared %v", dg, ss)
+	}
+}
+
+func TestFig2ErrorDecreasesWithThreads(t *testing.T) {
+	// §5.1: with domain splitting, error decreases as threads (sketches)
+	// are added, because each sketch sees ~N/T keys.
+	areAt := func(threads int) float64 {
+		return areOf(RunARE(cfg(threads, 1.0)), "delegation")
+	}
+	a2, a16 := areAt(2), areAt(16)
+	if a16 >= a2 {
+		t.Fatalf("delegation ARE did not decrease with threads: T=2 %v, T=16 %v", a2, a16)
+	}
+}
+
+func TestFig2MemoryTable(t *testing.T) {
+	// Figure 2c: reference = w·d; the three parallel designs ≈ T·w·d.
+	res := RunARE(cfg(4, 0))
+	var ref, tl int
+	for _, r := range res {
+		switch r.Design {
+		case "reference":
+			ref = r.MemoryBytes
+		case "thread-local":
+			tl = r.MemoryBytes
+		}
+	}
+	if tl != 4*ref {
+		t.Fatalf("thread-local memory %d != 4x reference %d", tl, ref)
+	}
+	for _, r := range res {
+		if r.Design == "reference" {
+			continue
+		}
+		if r.MemoryBytes > tl || r.MemoryBytes < tl*9/10 {
+			t.Errorf("%s memory %d not within equal-budget band of %d", r.Design, r.MemoryBytes, tl)
+		}
+	}
+}
+
+func TestFig2UniformMatchesZipfOrdering(t *testing.T) {
+	// The design ordering holds for the uniform distribution too (2a).
+	res := RunARE(cfg(8, 0))
+	if areOf(res, "delegation") > areOf(res, "thread-local") {
+		t.Fatal("delegation should beat thread-local under uniform input")
+	}
+}
+
+func TestFig4SeriesShape(t *testing.T) {
+	series := RunPerKeyError(cfg(4, 1.0), 1000, 100)
+	if len(series) != 4 {
+		t.Fatalf("expected 4 designs, got %d", len(series))
+	}
+	byName := map[string][]float64{}
+	for _, s := range series {
+		if len(s.Errors) == 0 {
+			t.Fatalf("%s: empty error series", s.Design)
+		}
+		byName[s.Design] = s.Errors
+	}
+	// Filter-backed designs have (near-)zero error on the hottest keys.
+	head := func(name string) float64 { return byName[name][0] }
+	if head("delegation") > head("thread-local") {
+		t.Errorf("delegation head error %v should not exceed thread-local %v",
+			head("delegation"), head("thread-local"))
+	}
+	// Mean error over the curve: delegation must beat thread-local.
+	mean := func(xs []float64) float64 {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	if mean(byName["delegation"]) > mean(byName["thread-local"]) {
+		t.Error("delegation mean per-key error should beat thread-local")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	res := RunARE(Config{Threads: 2, Universe: 1000, StreamLen: 5000, BaseWidth: 128, Depth: 2, Seed: 1})
+	if len(res) != 5 { // reference + 4 designs
+		t.Fatalf("got %d results", len(res))
+	}
+}

@@ -1,0 +1,81 @@
+// Package count provides an exact frequency oracle used as ground truth in
+// accuracy experiments and in the consistency checker. It intentionally does
+// what sketches exist to avoid — storing every key — so tests and experiment
+// harnesses can quantify sketch error.
+package count
+
+import "sort"
+
+// Exact counts exact key frequencies. It is not safe for concurrent use;
+// per-thread instances should be merged with Merge.
+type Exact struct {
+	m     map[uint64]uint64
+	total uint64
+}
+
+// NewExact returns an empty oracle.
+func NewExact() *Exact { return &Exact{m: make(map[uint64]uint64)} }
+
+// Add records count occurrences of key.
+func (e *Exact) Add(key, count uint64) {
+	e.m[key] += count
+	e.total += count
+}
+
+// Count returns the exact frequency of key (0 if never seen).
+func (e *Exact) Count(key uint64) uint64 { return e.m[key] }
+
+// Total returns the total number of recorded occurrences (stream length N).
+func (e *Exact) Total() uint64 { return e.total }
+
+// Distinct returns the number of distinct keys seen.
+func (e *Exact) Distinct() int { return len(e.m) }
+
+// Merge folds other into e.
+func (e *Exact) Merge(other *Exact) {
+	for k, v := range other.m {
+		e.m[k] += v
+	}
+	e.total += other.total
+}
+
+// Keys returns all distinct keys in unspecified order.
+func (e *Exact) Keys() []uint64 {
+	keys := make([]uint64, 0, len(e.m))
+	for k := range e.m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// KeyCount pairs a key with its exact frequency.
+type KeyCount struct {
+	Key   uint64
+	Count uint64
+}
+
+// ByFrequency returns all (key, count) pairs sorted by descending count,
+// ties broken by ascending key for determinism. This is the ordering the
+// paper's Figure 4 x-axis uses.
+func (e *Exact) ByFrequency() []KeyCount {
+	out := make([]KeyCount, 0, len(e.m))
+	for k, v := range e.m {
+		out = append(out, KeyCount{Key: k, Count: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// TopK returns the k most frequent keys (fewer if the oracle holds fewer).
+func (e *Exact) TopK(k int) []KeyCount {
+	all := e.ByFrequency()
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}

@@ -1,0 +1,93 @@
+package count
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddAndCount(t *testing.T) {
+	e := NewExact()
+	e.Add(1, 3)
+	e.Add(1, 2)
+	e.Add(2, 1)
+	if e.Count(1) != 5 || e.Count(2) != 1 || e.Count(99) != 0 {
+		t.Fatalf("counts wrong: %d %d %d", e.Count(1), e.Count(2), e.Count(99))
+	}
+	if e.Total() != 6 {
+		t.Fatalf("total = %d, want 6", e.Total())
+	}
+	if e.Distinct() != 2 {
+		t.Fatalf("distinct = %d, want 2", e.Distinct())
+	}
+}
+
+func TestMergeEquivalentToSequential(t *testing.T) {
+	f := func(a, b []uint64) bool {
+		seq := NewExact()
+		ea, eb := NewExact(), NewExact()
+		for _, k := range a {
+			seq.Add(k%50, 1)
+			ea.Add(k%50, 1)
+		}
+		for _, k := range b {
+			seq.Add(k%50, 1)
+			eb.Add(k%50, 1)
+		}
+		ea.Merge(eb)
+		if ea.Total() != seq.Total() || ea.Distinct() != seq.Distinct() {
+			return false
+		}
+		for _, k := range seq.Keys() {
+			if ea.Count(k) != seq.Count(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestByFrequencyOrdering(t *testing.T) {
+	e := NewExact()
+	e.Add(10, 5)
+	e.Add(20, 9)
+	e.Add(30, 5)
+	e.Add(40, 1)
+	got := e.ByFrequency()
+	if got[0].Key != 20 {
+		t.Fatalf("most frequent should be 20, got %d", got[0].Key)
+	}
+	// ties by ascending key: 10 before 30
+	if got[1].Key != 10 || got[2].Key != 30 {
+		t.Fatalf("tie-break wrong: %v", got)
+	}
+	if got[3].Key != 40 {
+		t.Fatalf("least frequent should be last: %v", got)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	e := NewExact()
+	for i := uint64(0); i < 10; i++ {
+		e.Add(i, i+1)
+	}
+	top := e.TopK(3)
+	if len(top) != 3 || top[0].Key != 9 || top[1].Key != 8 || top[2].Key != 7 {
+		t.Fatalf("TopK wrong: %v", top)
+	}
+	if len(e.TopK(100)) != 10 {
+		t.Fatal("TopK should clamp to distinct count")
+	}
+}
+
+func TestKeysComplete(t *testing.T) {
+	e := NewExact()
+	e.Add(5, 1)
+	e.Add(6, 1)
+	ks := e.Keys()
+	if len(ks) != 2 {
+		t.Fatalf("Keys() = %v", ks)
+	}
+}

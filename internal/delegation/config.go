@@ -1,0 +1,105 @@
+// Package delegation implements the paper's primary contribution: the
+// Delegation Sketch parallelization design (§4–§6). It combines
+//
+//   - domain splitting: Owner(K) maps every key to exactly one of the T
+//     per-thread sketches, so a point query touches one sketch;
+//   - delegation filters: a small filter per (owner, producer) pair lets a
+//     producer aggregate repeated keys locally and hand a full filter to
+//     the owner through a lock-free ready list (Algorithms 1–2);
+//   - delegated queries with squashing: queries are posted to the owner's
+//     PendingQueries array and answered by the owner, which copies one
+//     search result to every concurrent query on the same key (§6.2.1).
+//
+// There are no dedicated server goroutines: exactly as in the paper, every
+// thread both produces operations and cooperatively serves the work
+// delegated to it ("helping"), including inside every spin loop, which is
+// what guarantees progress (Claim 1).
+package delegation
+
+// Backend selects the sequential sketch each owner thread maintains.
+// The design is generic over any sketch supporting insert + point query
+// (§4.2); these are the backends built in this repository.
+type Backend int
+
+const (
+	// BackendCountMin is the plain Count-Min sketch (the reference).
+	BackendCountMin Backend = iota
+	// BackendAugmented is Count-Min behind an Augmented Sketch filter —
+	// the configuration evaluated in the paper (§7.1).
+	BackendAugmented
+	// BackendConservative is conservative-update Count-Min (ablation).
+	BackendConservative
+	// BackendCountSketch is the Charikar Count Sketch (ablation).
+	BackendCountSketch
+)
+
+// String returns the backend's name for tables and benchmarks.
+func (b Backend) String() string {
+	switch b {
+	case BackendCountMin:
+		return "count-min"
+	case BackendAugmented:
+		return "augmented"
+	case BackendConservative:
+		return "conservative"
+	case BackendCountSketch:
+		return "count-sketch"
+	default:
+		return "unknown"
+	}
+}
+
+// Config assembles a Delegation Sketch.
+type Config struct {
+	// Threads is T: the number of cooperating threads, each of which owns
+	// one sketch. Every thread id in [0,T) must be driven by exactly one
+	// goroutine.
+	Threads int
+	// Depth and Width size each owner's sketch (d rows × w counters).
+	// Width is per owner; the equal-memory helper in internal/parallel
+	// derates it to pay for the delegation filters (§7.1).
+	Depth, Width int
+	// Seed derives hash functions and the owner mapping.
+	Seed uint64
+	// FilterSize is the delegation filter capacity (paper: 16).
+	FilterSize int
+	// Backend picks the per-owner sketch; BackendAugmented is the paper's
+	// evaluated configuration.
+	Backend Backend
+	// AugmentedFilterSize sizes the Augmented Sketch filter when Backend
+	// is BackendAugmented (paper: 16).
+	AugmentedFilterSize int
+	// DisableSquashing turns off the query-squashing optimization, for
+	// the Figure 9 ablation.
+	DisableSquashing bool
+	// OwnerMod uses the paper's simplest mapping Owner(K) = K mod T
+	// instead of the default mixed mapping mix64(K) mod T (ablation; the
+	// mixed mapping is robust to structured key spaces).
+	OwnerMod bool
+	// HelpInterval makes a thread check for delegated work every
+	// HelpInterval operations (1 = every operation, the default).
+	HelpInterval int
+}
+
+// withDefaults fills unset fields with the paper's defaults.
+func (c Config) withDefaults() Config {
+	if c.Threads <= 0 {
+		c.Threads = 1
+	}
+	if c.Depth <= 0 {
+		c.Depth = 8
+	}
+	if c.Width <= 0 {
+		c.Width = 1 << 12
+	}
+	if c.FilterSize <= 0 {
+		c.FilterSize = 16
+	}
+	if c.AugmentedFilterSize <= 0 {
+		c.AugmentedFilterSize = 16
+	}
+	if c.HelpInterval <= 0 {
+		c.HelpInterval = 1
+	}
+	return c
+}

@@ -1,0 +1,505 @@
+package delegation
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"dsketch/internal/count"
+	"dsketch/internal/sketch"
+	"dsketch/internal/zipf"
+)
+
+// runWorkers drives a DS with one goroutine per thread id. Each worker
+// executes work(tid), then keeps helping until every worker has finished,
+// which is the cooperative-progress protocol the design requires.
+func runWorkers(d *DS, work func(tid int)) {
+	var done atomic.Int32
+	var wg sync.WaitGroup
+	t := d.Threads()
+	for tid := 0; tid < t; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			work(tid)
+			done.Add(1)
+			for int(done.Load()) < t {
+				d.Help(tid)
+				runtime.Gosched()
+			}
+		}(tid)
+	}
+	wg.Wait()
+}
+
+func TestSingleThreadInsertQueryExactSmall(t *testing.T) {
+	d := New(Config{Threads: 1, Depth: 4, Width: 1 << 12, Seed: 1, Backend: BackendCountMin})
+	for k := uint64(0); k < 10; k++ {
+		for n := uint64(0); n <= k; n++ {
+			d.Insert(0, k)
+		}
+	}
+	// Queries see filter contents without a flush.
+	for k := uint64(0); k < 10; k++ {
+		if got := d.Query(0, k); got != k+1 {
+			t.Fatalf("Query(%d) = %d, want %d", k, got, k+1)
+		}
+	}
+}
+
+func TestOwnerMappingInRangeAndDeterministic(t *testing.T) {
+	d := New(Config{Threads: 7, Seed: 3})
+	for k := uint64(0); k < 10000; k++ {
+		o := d.Owner(k)
+		if o < 0 || o >= 7 {
+			t.Fatalf("Owner(%d) = %d out of range", k, o)
+		}
+		if o != d.Owner(k) {
+			t.Fatal("Owner not deterministic")
+		}
+	}
+}
+
+func TestOwnerModMapping(t *testing.T) {
+	d := New(Config{Threads: 5, OwnerMod: true})
+	for k := uint64(0); k < 100; k++ {
+		if d.Owner(k) != int(k%5) {
+			t.Fatalf("OwnerMod: Owner(%d) = %d", k, d.Owner(k))
+		}
+	}
+}
+
+func TestOwnerMappingBalanced(t *testing.T) {
+	d := New(Config{Threads: 8, Seed: 1})
+	counts := make([]int, 8)
+	for k := uint64(0); k < 80000; k++ {
+		counts[d.Owner(k)]++
+	}
+	for i, c := range counts {
+		if c < 8000 || c > 12000 {
+			t.Fatalf("owner %d got %d/80000 sequential keys", i, c)
+		}
+	}
+}
+
+func TestConcurrentInsertsRowSumInvariant(t *testing.T) {
+	// Claim 3's strongest observable: after a quiescent flush, every row
+	// of every owner Count-Min sums to exactly the number of insertions —
+	// any double count or lost update breaks this.
+	const threads = 8
+	const perThread = 20000
+	d := New(Config{Threads: threads, Depth: 4, Width: 256, Seed: 5, Backend: BackendCountMin})
+	runWorkers(d, func(tid int) {
+		g := zipf.New(zipf.Config{Universe: 5000, Skew: 1.2, Seed: uint64(tid + 1)})
+		for i := 0; i < perThread; i++ {
+			d.Insert(tid, g.Next())
+		}
+	})
+	d.Flush()
+	var total uint64
+	for i := 0; i < threads; i++ {
+		cm := d.OwnerSketch(i).(*sketch.CountMin)
+		rs := cm.RowSum(0)
+		for row := 1; row < cm.Depth(); row++ {
+			if cm.RowSum(row) != rs {
+				t.Fatalf("owner %d: row sums differ", i)
+			}
+		}
+		total += rs
+	}
+	if total != threads*perThread {
+		t.Fatalf("row-sum total = %d, want %d (lost or double-counted inserts)", total, threads*perThread)
+	}
+}
+
+func TestConcurrentInsertsAugmentedConservesCounts(t *testing.T) {
+	const threads = 4
+	const perThread = 10000
+	d := New(Config{Threads: threads, Depth: 4, Width: 256, Seed: 7, Backend: BackendAugmented})
+	runWorkers(d, func(tid int) {
+		g := zipf.New(zipf.Config{Universe: 1000, Skew: 1.5, Seed: uint64(tid + 10)})
+		for i := 0; i < perThread; i++ {
+			d.Insert(tid, g.Next())
+		}
+	})
+	d.Flush()
+	d.DrainBackingFilters()
+	var total uint64
+	for i := 0; i < threads; i++ {
+		aug := d.OwnerSketch(i).(*sketch.Augmented)
+		cm := aug.Backing().(*sketch.CountMin)
+		total += cm.RowSum(0)
+	}
+	if total != threads*perThread {
+		t.Fatalf("total = %d, want %d", total, threads*perThread)
+	}
+}
+
+func TestQueryNeverUnderestimatesAfterQuiescence(t *testing.T) {
+	// All inserts complete, no flush: queries must still see every
+	// completed insert (they search filters too) — Claim 2.
+	const threads = 4
+	d := New(Config{Threads: threads, Depth: 4, Width: 1 << 10, Seed: 9, Backend: BackendCountMin})
+	exacts := make([]*count.Exact, threads)
+	runWorkers(d, func(tid int) {
+		e := count.NewExact()
+		g := zipf.New(zipf.Config{Universe: 300, Skew: 1, Seed: uint64(tid + 21)})
+		for i := 0; i < 5000; i++ {
+			k := g.Next()
+			d.Insert(tid, k)
+			e.Add(k, 1)
+		}
+		exacts[tid] = e
+	})
+	truth := count.NewExact()
+	for _, e := range exacts {
+		truth.Merge(e)
+	}
+	// Query from a single goroutine driving all tids round-robin; other
+	// "threads" are idle, so the serving happens via the querier helping
+	// itself (tid == owner) or via our explicit Help calls.
+	var wrong int
+	runWorkers(d, func(tid int) {
+		if tid != 0 {
+			return
+		}
+		for _, k := range truth.Keys() {
+			if d.Query(0, k) < truth.Count(k) {
+				wrong++
+			}
+		}
+	})
+	if wrong > 0 {
+		t.Fatalf("%d keys under-estimated after quiescence", wrong)
+	}
+}
+
+func TestConcurrentQueriesSeeCompletedInserts(t *testing.T) {
+	// Thread 0 inserts hot key K exactly n times and then raises a flag;
+	// queriers started after the flag must never see < n, even while other
+	// threads keep inserting unrelated keys (regular consistency).
+	const threads = 6
+	const n = 2000
+	d := New(Config{Threads: threads, Depth: 4, Width: 1 << 12, Seed: 11, Backend: BackendCountMin})
+	const hot = uint64(424242)
+	var ready atomic.Bool
+	var failed atomic.Int64
+	runWorkers(d, func(tid int) {
+		switch tid {
+		case 0:
+			for i := 0; i < n; i++ {
+				d.Insert(0, hot)
+			}
+			ready.Store(true)
+		case 1, 2:
+			for !ready.Load() {
+				d.Help(tid)
+				runtime.Gosched()
+			}
+			for i := 0; i < 300; i++ {
+				if got := d.Query(tid, hot); got < n {
+					failed.Store(int64(got))
+					return
+				}
+			}
+		default:
+			g := zipf.New(zipf.Config{Universe: 10000, Skew: 0.5, Seed: uint64(tid)})
+			for i := 0; i < 30000; i++ {
+				k := g.Next()
+				if k == hot {
+					continue
+				}
+				d.Insert(tid, k)
+			}
+		}
+	})
+	if v := failed.Load(); v != 0 {
+		t.Fatalf("a query returned %d < completed count %d", v, n)
+	}
+}
+
+func TestQuerySquashingTriggers(t *testing.T) {
+	// Many threads querying the same hot key concurrently: with squashing
+	// enabled the owner must answer some queries by copying.
+	const threads = 8
+	d := New(Config{Threads: threads, Depth: 4, Width: 256, Seed: 13, Backend: BackendCountMin})
+	const hot = uint64(7)
+	runWorkers(d, func(tid int) {
+		for i := 0; i < 2000; i++ {
+			if i%4 == 0 {
+				d.Query(tid, hot)
+			} else {
+				d.Insert(tid, hot)
+			}
+		}
+	})
+	s := d.Stats()
+	if s.ServedQueries == 0 {
+		t.Fatal("no delegated queries served")
+	}
+	if s.Squashed == 0 {
+		t.Fatal("squashing never triggered under a hot-key query storm")
+	}
+}
+
+func TestDisableSquashing(t *testing.T) {
+	const threads = 8
+	d := New(Config{Threads: threads, Depth: 4, Width: 256, Seed: 13,
+		Backend: BackendCountMin, DisableSquashing: true})
+	const hot = uint64(7)
+	runWorkers(d, func(tid int) {
+		for i := 0; i < 1000; i++ {
+			if i%4 == 0 {
+				d.Query(tid, hot)
+			} else {
+				d.Insert(tid, hot)
+			}
+		}
+	})
+	if s := d.Stats(); s.Squashed != 0 {
+		t.Fatalf("squashing disabled but Squashed = %d", s.Squashed)
+	}
+}
+
+func TestFlushMakesSketchComplete(t *testing.T) {
+	// After Flush, the owner sketches alone (no filters) hold everything.
+	d := New(Config{Threads: 3, Depth: 4, Width: 1 << 12, Seed: 15, Backend: BackendCountMin})
+	truth := count.NewExact()
+	runWorkers(d, func(tid int) {
+		g := zipf.New(zipf.Config{Universe: 200, Skew: 1, Seed: uint64(tid + 31)})
+		for i := 0; i < 3000; i++ {
+			k := g.Next()
+			d.Insert(tid, k)
+		}
+	})
+	// Rebuild truth deterministically with the same generators.
+	for tid := 0; tid < 3; tid++ {
+		g := zipf.New(zipf.Config{Universe: 200, Skew: 1, Seed: uint64(tid + 31)})
+		for i := 0; i < 3000; i++ {
+			truth.Add(g.Next(), 1)
+		}
+	}
+	d.Flush()
+	for _, k := range truth.Keys() {
+		est := d.OwnerSketch(d.Owner(k)).Estimate(k)
+		if est < truth.Count(k) {
+			t.Fatalf("key %d: post-flush sketch estimate %d < true %d", k, est, truth.Count(k))
+		}
+	}
+}
+
+func TestFlushIdempotent(t *testing.T) {
+	d := New(Config{Threads: 2, Depth: 4, Width: 256, Seed: 17, Backend: BackendCountMin})
+	runWorkers(d, func(tid int) {
+		for i := 0; i < 100; i++ {
+			d.Insert(tid, uint64(i))
+		}
+	})
+	d.Flush()
+	before := d.OwnerSketch(0).(*sketch.CountMin).RowSum(0)
+	d.Flush()
+	if after := d.OwnerSketch(0).(*sketch.CountMin).RowSum(0); after != before {
+		t.Fatalf("second Flush changed row sum: %d -> %d", before, after)
+	}
+}
+
+func TestBackendSelection(t *testing.T) {
+	for _, b := range []Backend{BackendCountMin, BackendAugmented, BackendConservative, BackendCountSketch} {
+		d := New(Config{Threads: 2, Depth: 4, Width: 128, Seed: 19, Backend: b})
+		runWorkers(d, func(tid int) {
+			for i := 0; i < 500; i++ {
+				d.Insert(tid, uint64(i%50))
+			}
+		})
+		q := make(chan uint64, 1)
+		runWorkers(d, func(tid int) {
+			if tid == 0 {
+				q <- d.Query(0, 25)
+			}
+		})
+		got := <-q
+		if got < 10 { // true count is 20 (10 per thread x 2 threads)
+			t.Errorf("backend %v: Query(25) = %d, implausibly low", b, got)
+		}
+	}
+}
+
+func TestBackendStrings(t *testing.T) {
+	want := map[Backend]string{
+		BackendCountMin:     "count-min",
+		BackendAugmented:    "augmented",
+		BackendConservative: "conservative",
+		BackendCountSketch:  "count-sketch",
+		Backend(99):         "unknown",
+	}
+	for b, s := range want {
+		if b.String() != s {
+			t.Errorf("Backend(%d).String() = %q, want %q", int(b), b.String(), s)
+		}
+	}
+}
+
+func TestMemoryBytesAccounting(t *testing.T) {
+	cfg := Config{Threads: 4, Depth: 4, Width: 256, Seed: 1, FilterSize: 16, Backend: BackendCountMin}
+	d := New(cfg)
+	sketchBytes := 4 * 4 * 256 * 8
+	filterBytes := 4 * 4 * 16 * 16 // T owners x T filters x 16 slots x 16B
+	pendingBytes := 4 * 4 * 64
+	want := sketchBytes + filterBytes + pendingBytes
+	if got := d.MemoryBytes(); got != want {
+		t.Fatalf("MemoryBytes = %d, want %d", got, want)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	d := New(Config{})
+	cfg := d.Config()
+	if cfg.Threads != 1 || cfg.FilterSize != 16 || cfg.HelpInterval != 1 || cfg.Depth != 8 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+}
+
+func TestHighContentionSmallUniverse(t *testing.T) {
+	// Stress: tiny universe, all threads hammer the same few keys, mixed
+	// with queries — exercises filter full/drain cycles heavily.
+	const threads = 8
+	d := New(Config{Threads: threads, Depth: 4, Width: 64, Seed: 23, Backend: BackendAugmented, FilterSize: 4})
+	runWorkers(d, func(tid int) {
+		g := zipf.New(zipf.Config{Universe: 8, Skew: 0.2, Seed: uint64(tid + 41)})
+		for i := 0; i < 20000; i++ {
+			if i%100 == 7 {
+				d.Query(tid, g.Next())
+			} else {
+				d.Insert(tid, g.Next())
+			}
+		}
+	})
+	d.Flush()
+	d.DrainBackingFilters()
+	var total uint64
+	for i := 0; i < threads; i++ {
+		aug := d.OwnerSketch(i).(*sketch.Augmented)
+		total += aug.Backing().(*sketch.CountMin).RowSum(0)
+	}
+	var inserted uint64 = threads * 20000
+	inserted -= d.Stats().DirectQueries + d.Stats().DelegatedPosts // queries are not inserts
+	if total != inserted {
+		t.Fatalf("conservation broken: rows sum to %d, inserted %d", total, inserted)
+	}
+}
+
+func TestHelpIntervalVariants(t *testing.T) {
+	// Correctness must hold for sparse helping: the spin loops still help
+	// unconditionally, so progress is preserved; only fast-path cadence
+	// changes.
+	for _, interval := range []int{1, 4, 32, 256} {
+		d := New(Config{Threads: 4, Depth: 4, Width: 512, Seed: 19,
+			Backend: BackendCountMin, HelpInterval: interval})
+		runWorkers(d, func(tid int) {
+			g := zipf.New(zipf.Config{Universe: 2000, Skew: 1.0, Seed: uint64(tid + 3)})
+			for i := 0; i < 10000; i++ {
+				if i%500 == 250 {
+					d.Query(tid, g.Next())
+				} else {
+					d.Insert(tid, g.Next())
+				}
+			}
+		})
+		d.Flush()
+		var total uint64
+		for i := 0; i < 4; i++ {
+			total += d.OwnerSketch(i).(*sketch.CountMin).RowSum(0)
+		}
+		if total == 0 {
+			t.Fatalf("interval %d: nothing inserted", interval)
+		}
+	}
+}
+
+func TestSequentialPathMatchesExactOracleProperty(t *testing.T) {
+	// Property: with a wide sketch (no collisions among few keys) the
+	// delegation structure reports exact counts for any insertion
+	// sequence, under any thread attribution.
+	f := func(seq []uint8, tids []uint8) bool {
+		const threads = 3
+		d := New(Config{Threads: threads, Depth: 4, Width: 1 << 14, Seed: 3, Backend: BackendCountMin})
+		exact := count.NewExact()
+		for i, b := range seq {
+			tid := 0
+			if len(tids) > 0 {
+				tid = int(tids[i%len(tids)]) % threads
+			}
+			d.InsertSequential(tid, uint64(b))
+			exact.Add(uint64(b), 1)
+		}
+		for _, k := range exact.Keys() {
+			if d.EstimateQuiescent(k) != exact.Count(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialMatchesConcurrentPlacement(t *testing.T) {
+	// The sequential harness path must land every count in the same owner
+	// sketch as the concurrent path (placement equivalence is what makes
+	// the accuracy experiments representative).
+	cfgBase := Config{Threads: 4, Depth: 4, Width: 512, Seed: 21, Backend: BackendCountMin}
+	seqD := New(cfgBase)
+	conD := New(cfgBase)
+	keys := make([]uint64, 20000)
+	g := zipf.New(zipf.Config{Universe: 3000, Skew: 1.1, Seed: 5})
+	for i := range keys {
+		keys[i] = g.Next()
+	}
+	for i, k := range keys {
+		seqD.InsertSequential(i%4, k)
+	}
+	runWorkers(conD, func(tid int) {
+		for i, k := range keys {
+			if i%4 == tid {
+				conD.Insert(tid, k)
+			}
+		}
+	})
+	seqD.Flush()
+	conD.Flush()
+	for i := 0; i < 4; i++ {
+		sCM := seqD.OwnerSketch(i).(*sketch.CountMin)
+		cCM := conD.OwnerSketch(i).(*sketch.CountMin)
+		if sCM.RowSum(0) != cCM.RowSum(0) {
+			t.Fatalf("owner %d: sequential placement %d != concurrent %d",
+				i, sCM.RowSum(0), cCM.RowSum(0))
+		}
+	}
+}
+
+func TestMixedOwnerMappingDefeatsAdversarialKeys(t *testing.T) {
+	// Keys that are all congruent mod T would pile onto one owner under
+	// the paper's simplest Owner(K) = K mod T; the default mixed mapping
+	// must spread them (the DESIGN.md §7 owner-mapping ablation).
+	const threads = 8
+	dMod := New(Config{Threads: threads, OwnerMod: true, Seed: 1})
+	dMix := New(Config{Threads: threads, Seed: 1})
+	perOwnerMod := make([]int, threads)
+	perOwnerMix := make([]int, threads)
+	for i := 0; i < 8000; i++ {
+		k := uint64(i * threads) // ≡ 0 mod T
+		perOwnerMod[dMod.Owner(k)]++
+		perOwnerMix[dMix.Owner(k)]++
+	}
+	if perOwnerMod[0] != 8000 {
+		t.Fatalf("mod mapping should send all adversarial keys to owner 0, got %v", perOwnerMod)
+	}
+	for i, c := range perOwnerMix {
+		if c < 700 || c > 1300 {
+			t.Fatalf("mixed mapping unbalanced at owner %d: %d/8000", i, c)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package delegation
+
+import (
+	"sync/atomic"
+
+	"dsketch/internal/spsc"
+)
+
+// dfilter is one Delegation Filter F[i][j]: reserved for producer thread j
+// at the sketch owned by thread i (§6). Ownership alternates:
+//
+//   - While size < capacity, producer j exclusively mutates the filter:
+//     it appends keys (plain writes, published by the atomic size store)
+//     and bumps counts (atomic adds, because owner i may concurrently read
+//     them while answering a delegated query).
+//   - When the filter fills, j pushes the filter's intrusive node onto
+//     owner i's ready stack and waits for size to return to zero; from the
+//     push until the owner's size.Store(0), the owner exclusively drains
+//     the contents into its sketch (Algorithm 2). The store-load pair on
+//     size is the hand-back edge (Claim 1's "marked as empty").
+type dfilter struct {
+	keys   []uint64
+	counts []uint64
+	size   atomic.Uint32
+	node   *spsc.Node // allocated once; the hot path never allocates
+}
+
+func newDFilter(capacity int) *dfilter {
+	f := &dfilter{
+		keys:   make([]uint64, capacity),
+		counts: make([]uint64, capacity),
+	}
+	f.node = spsc.NewNode(f)
+	return f
+}
+
+// insert adds count occurrences of key on behalf of the producer. It
+// reports true when the filter just became full and must be handed to the
+// owner. Producer-side only, and only while the producer holds the filter.
+func (f *dfilter) insert(key, count uint64) (nowFull bool) {
+	n := int(f.size.Load())
+	for k := 0; k < n; k++ {
+		if f.keys[k] == key {
+			atomic.AddUint64(&f.counts[k], count)
+			return false
+		}
+	}
+	f.keys[n] = key
+	atomic.StoreUint64(&f.counts[n], count)
+	f.size.Store(uint32(n + 1)) // publish the new slot
+	return n+1 == len(f.keys)
+}
+
+// lookup returns the filter's current count for key. Owner-side: called by
+// the owner while answering delegated queries, concurrently with producer
+// increments. It may miss an in-flight insertion (allowed by regular
+// consistency) but never reads an unpublished slot.
+func (f *dfilter) lookup(key uint64) uint64 {
+	n := int(f.size.Load())
+	for k := 0; k < n; k++ {
+		if f.keys[k] == key {
+			return atomic.LoadUint64(&f.counts[k])
+		}
+	}
+	return 0
+}
+
+// drainInto flushes every (key, count) pair into sink and hands the filter
+// back to its producer by zeroing size. Owner-side only, after popping the
+// filter's node from the ready stack (or during a quiescent flush).
+func (f *dfilter) drainInto(sink func(key, count uint64)) {
+	n := int(f.size.Load())
+	for k := 0; k < n; k++ {
+		sink(f.keys[k], atomic.LoadUint64(&f.counts[k]))
+	}
+	f.size.Store(0) // hand the filter back to the producer
+}
+
+// memoryBytes is the footprint of the two slot arrays.
+func (f *dfilter) memoryBytes() int { return len(f.keys) * 16 }

@@ -1,0 +1,54 @@
+package delegation
+
+import "sync/atomic"
+
+// pendingSlot is one entry of an owner's PendingQueries array (§6.2): slot
+// j belongs to querying thread j. The flag is the synchronization point:
+// the querier publishes {key, result=0} with flag.Store(1) and spins
+// (helping) until the owner answers and releases with flag.Store(0).
+//
+// Each slot is padded to a cache line so queriers spinning on their own
+// flags do not false-share with neighbours — on the paper's 72/288-thread
+// platforms this is what keeps the array from becoming a bottleneck.
+type pendingSlot struct {
+	key    atomic.Uint64
+	result atomic.Uint64
+	flag   atomic.Uint32
+	_      [44]byte // pad the 20 payload bytes out to 64
+}
+
+// pendingQueries is one owner's array of T slots plus an O(1) "is there
+// anything to do?" counter so the insert fast path does not scan T flags.
+type pendingQueries struct {
+	slots []pendingSlot
+	// count over-approximates the number of raised flags: queriers
+	// increment before raising, the owner decrements after lowering.
+	count atomic.Int32
+}
+
+func newPendingQueries(threads int) *pendingQueries {
+	return &pendingQueries{slots: make([]pendingSlot, threads)}
+}
+
+// post publishes a query for key in slot j and returns the slot for the
+// caller to spin on. Querier-side.
+func (p *pendingQueries) post(j int, key uint64) *pendingSlot {
+	s := &p.slots[j]
+	s.key.Store(key)
+	s.result.Store(0)
+	p.count.Add(1) // before the flag: count never under-counts raised flags
+	s.flag.Store(1)
+	return s
+}
+
+// serve answers pending query t with result and lowers its flag.
+// Owner-side.
+func (p *pendingQueries) serve(t int, result uint64) {
+	s := &p.slots[t]
+	s.result.Store(result)
+	s.flag.Store(0)
+	p.count.Add(-1)
+}
+
+// maybeWork reports whether any query might be pending.
+func (p *pendingQueries) maybeWork() bool { return p.count.Load() > 0 }

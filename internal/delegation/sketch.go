@@ -1,0 +1,335 @@
+package delegation
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"dsketch/internal/hash"
+	"dsketch/internal/sketch"
+	"dsketch/internal/spsc"
+	"dsketch/internal/topk"
+)
+
+// DS is a Delegation Sketch: T cooperating threads, each owning one sketch
+// plus the delegation machinery around it. Thread ids are explicit; every
+// id must be driven by exactly one goroutine at a time. All methods taking
+// a tid are safe to call concurrently across distinct tids.
+type DS struct {
+	cfg    Config
+	owners []*owner
+	ticks  []tick // per-thread help-interval counters (own-thread access)
+}
+
+// tick is a cache-line-padded per-thread counter, so threads counting
+// down their help intervals never share a line.
+type tick struct {
+	n int
+	_ [56]byte
+}
+
+// owner is the per-thread state: the sketch thread i owns, the T delegation
+// filters reserved for producers at this sketch, the ready list of full
+// filters, and the pending-query slots (Figure 1 of the paper).
+type owner struct {
+	sk      sketch.Sketch
+	aug     *sketch.Augmented // non-nil iff Backend == BackendAugmented
+	filters []*dfilter        // index = producer thread id
+	ready   spsc.Stack
+	pending *pendingQueries
+	stats   ownerStats
+	hh      *topk.SpaceSaving // optional heavy-hitter tracker (topk.go)
+}
+
+// ownerStats counts events for experiments and tests. Owner-side fields
+// are only touched by the owning thread; totals are read after quiescence
+// or via atomic loads (values are monotone uint64s, read with atomics).
+type ownerStats struct {
+	drains         atomic.Uint64 // full filters flushed into the sketch
+	searches       atomic.Uint64 // filter+sketch searches performed
+	servedQueries  atomic.Uint64 // pending queries answered (incl. squashed)
+	squashed       atomic.Uint64 // queries answered by copying a result
+	directQueries  atomic.Uint64 // self-owned queries answered in place
+	delegatedPosts atomic.Uint64 // queries posted to another thread
+}
+
+// New builds a Delegation Sketch from cfg (unset fields take the paper's
+// defaults).
+func New(cfg Config) *DS {
+	cfg = cfg.withDefaults()
+	d := &DS{
+		cfg:    cfg,
+		owners: make([]*owner, cfg.Threads),
+		ticks:  make([]tick, cfg.Threads),
+	}
+	for i := range d.owners {
+		scfg := sketch.Config{
+			Depth: cfg.Depth,
+			Width: cfg.Width,
+			// Distinct hash functions per owner sketch, like distinct
+			// sketch instances in the authors' implementation.
+			Seed: hash.Mix64(cfg.Seed + uint64(i)),
+		}
+		o := &owner{
+			filters: make([]*dfilter, cfg.Threads),
+			pending: newPendingQueries(cfg.Threads),
+		}
+		switch cfg.Backend {
+		case BackendAugmented:
+			o.aug = sketch.NewAugmented(sketch.NewCountMin(scfg), cfg.AugmentedFilterSize)
+			o.sk = o.aug
+		case BackendConservative:
+			o.sk = sketch.NewConservativeCountMin(scfg)
+		case BackendCountSketch:
+			o.sk = sketch.NewCountSketch(scfg)
+		default:
+			o.sk = sketch.NewCountMin(scfg)
+		}
+		for j := range o.filters {
+			o.filters[j] = newDFilter(cfg.FilterSize)
+		}
+		d.owners[i] = o
+	}
+	return d
+}
+
+// Threads returns T.
+func (d *DS) Threads() int { return d.cfg.Threads }
+
+// Config returns the (defaulted) configuration the sketch was built with.
+func (d *DS) Config() Config { return d.cfg }
+
+// Owner returns the thread id responsible for key (§4.1). With the default
+// mapping, structured key spaces (sequential IPs, ports) still spread
+// evenly across threads.
+func (d *DS) Owner(key uint64) int {
+	t := uint64(d.cfg.Threads)
+	if d.cfg.OwnerMod {
+		return int(key % t)
+	}
+	return int(hash.Mix64(key) % t)
+}
+
+// Insert records one occurrence of key on behalf of thread tid
+// (Algorithm 1).
+func (d *DS) Insert(tid int, key uint64) { d.InsertCount(tid, key, 1) }
+
+// InsertCount records count occurrences of key on behalf of thread tid.
+func (d *DS) InsertCount(tid int, key uint64, count uint64) {
+	i := d.Owner(key)
+	o := d.owners[i]
+	f := o.filters[tid]
+	if f.insert(key, count) {
+		// Filter full: hand it to the owner and wait until it is
+		// consumed, helping with our own delegated work meanwhile
+		// (Algorithm 1 lines 11-15).
+		o.ready.Push(f.node)
+		for f.size.Load() != 0 {
+			d.Help(tid)
+			runtime.Gosched()
+		}
+	}
+	d.maybeHelp(tid)
+}
+
+// Query answers a point query for key issued by thread tid (Algorithm 3).
+func (d *DS) Query(tid int, key uint64) uint64 {
+	i := d.Owner(key)
+	o := d.owners[i]
+	if i == tid {
+		// We own the key: we are the only thread that drains these
+		// filters or touches this sketch, so searching in place cannot
+		// double count (Claim 3).
+		o.stats.directQueries.Add(1)
+		return o.localSearch(key)
+	}
+	o.stats.delegatedPosts.Add(1)
+	slot := o.pending.post(tid, key)
+	for slot.flag.Load() != 0 {
+		d.Help(tid)
+		runtime.Gosched()
+	}
+	d.maybeHelp(tid)
+	return slot.result.Load()
+}
+
+// maybeHelp runs the O(1)-guarded help check every HelpInterval
+// operations (§6.1: "this check can be performed at different points").
+func (d *DS) maybeHelp(tid int) {
+	t := &d.ticks[tid]
+	t.n++
+	if t.n >= d.cfg.HelpInterval {
+		t.n = 0
+		d.help(tid)
+	}
+}
+
+// Help makes thread tid serve all work currently delegated to it: draining
+// ready filters into its sketch and answering pending queries. It is
+// called from every spin loop (progress, Claim 1) and periodically from
+// the fast paths; drivers should also call it while a thread is otherwise
+// idle but the system is still running.
+func (d *DS) Help(tid int) {
+	o := d.owners[tid]
+	d.processPendingInserts(o)
+	d.processPendingQueries(o)
+}
+
+// help is the fast-path hook: identical to Help but guarded by the two
+// O(1) emptiness checks so the per-operation overhead stays negligible.
+func (d *DS) help(tid int) {
+	o := d.owners[tid]
+	if !o.ready.Empty() {
+		d.processPendingInserts(o)
+	}
+	if o.pending.maybeWork() {
+		d.processPendingQueries(o)
+	}
+}
+
+// processPendingInserts drains every ready filter into the owner's sketch
+// (Algorithm 2). Owner-side.
+func (d *DS) processPendingInserts(o *owner) {
+	for n := o.ready.Pop(); n != nil; n = o.ready.Pop() {
+		f := n.Value().(*dfilter)
+		f.drainInto(func(key, count uint64) {
+			o.sk.Insert(key, count)
+			o.observeHH(key, count)
+		})
+		o.stats.drains.Add(1)
+	}
+}
+
+// processPendingQueries answers every raised pending query, squashing
+// duplicates of the same key into a single search (§6.2.1). Owner-side.
+func (d *DS) processPendingQueries(o *owner) {
+	if !o.pending.maybeWork() {
+		return
+	}
+	slots := o.pending.slots
+	for t := range slots {
+		if slots[t].flag.Load() != 1 {
+			continue
+		}
+		key := slots[t].key.Load()
+		res := o.localSearch(key)
+		o.pending.serve(t, res)
+		o.stats.servedQueries.Add(1)
+		if d.cfg.DisableSquashing {
+			continue
+		}
+		for t2 := t + 1; t2 < len(slots); t2++ {
+			if slots[t2].flag.Load() == 1 && slots[t2].key.Load() == key {
+				o.pending.serve(t2, res)
+				o.stats.servedQueries.Add(1)
+				o.stats.squashed.Add(1)
+			}
+		}
+	}
+}
+
+// localSearch counts all occurrences of key visible at this owner: the T
+// delegation filters plus the owner's sketch (§6.2). Owner-side (or the
+// key's owner querying itself).
+func (o *owner) localSearch(key uint64) uint64 {
+	o.stats.searches.Add(1)
+	var res uint64
+	for _, f := range o.filters {
+		res += f.lookup(key)
+	}
+	return res + o.sk.Estimate(key)
+}
+
+// InsertSequential records key exactly as thread tid's concurrent Insert
+// would — same filter, same owner sketch, same drain-on-full placement —
+// but drains the full filter in place instead of delegating it. It exists
+// for deterministic single-goroutine harnesses (the accuracy experiments),
+// where the cooperative protocol would otherwise wait on threads that are
+// not running. Not safe for concurrent use.
+func (d *DS) InsertSequential(tid int, key uint64) {
+	o := d.owners[d.Owner(key)]
+	f := o.filters[tid]
+	if f.insert(key, 1) {
+		f.drainInto(func(k, c uint64) {
+			o.sk.Insert(k, c)
+			o.observeHH(k, c)
+		})
+		o.stats.drains.Add(1)
+	}
+}
+
+// EstimateQuiescent answers a point query without delegation by searching
+// the owner's filters and sketch directly. Quiescent use only (accuracy
+// harnesses, post-run verification); concurrent callers must use Query.
+func (d *DS) EstimateQuiescent(key uint64) uint64 {
+	return d.owners[d.Owner(key)].localSearch(key)
+}
+
+// Flush drains every ready list and every partial delegation filter into
+// the owners' sketches. It requires quiescence: no concurrent Insert,
+// Query or Help calls. Use it before whole-structure accounting or when a
+// stream ends.
+func (d *DS) Flush() {
+	for _, o := range d.owners {
+		d.processPendingInserts(o)
+		for _, f := range o.filters {
+			f.drainInto(func(key, count uint64) {
+				o.sk.Insert(key, count)
+				o.observeHH(key, count)
+			})
+		}
+	}
+}
+
+// DrainBackingFilters pushes Augmented Sketch filter contents into the
+// backing Count-Min sketches, so that row-sum invariants can be checked.
+// Quiescent only; a no-op for other backends.
+func (d *DS) DrainBackingFilters() {
+	for _, o := range d.owners {
+		if o.aug != nil {
+			o.aug.Drain()
+		}
+	}
+}
+
+// OwnerSketch exposes owner i's sketch for verification and accuracy
+// introspection (quiescent use only).
+func (d *DS) OwnerSketch(i int) sketch.Sketch { return d.owners[i].sk }
+
+// MemoryBytes reports the total footprint: sketches, delegation filters
+// and pending-query arrays — the quantity the evaluation equalizes across
+// designs (§7.1).
+func (d *DS) MemoryBytes() int {
+	var total int
+	for _, o := range d.owners {
+		total += o.sk.MemoryBytes()
+		for _, f := range o.filters {
+			total += f.memoryBytes()
+		}
+		total += len(o.pending.slots) * 64
+	}
+	return total
+}
+
+// Stats aggregates event counters across owners.
+type Stats struct {
+	Drains         uint64 // full delegation filters flushed
+	Searches       uint64 // filter+sketch search operations
+	ServedQueries  uint64 // pending queries answered (incl. squashed)
+	Squashed       uint64 // of which answered by result copying
+	DirectQueries  uint64 // self-owned queries served in place
+	DelegatedPosts uint64 // queries posted to another thread
+}
+
+// Stats returns a snapshot of the aggregate counters.
+func (d *DS) Stats() Stats {
+	var s Stats
+	for _, o := range d.owners {
+		s.Drains += o.stats.drains.Load()
+		s.Searches += o.stats.searches.Load()
+		s.ServedQueries += o.stats.servedQueries.Load()
+		s.Squashed += o.stats.squashed.Load()
+		s.DirectQueries += o.stats.directQueries.Load()
+		s.DelegatedPosts += o.stats.delegatedPosts.Load()
+	}
+	return s
+}

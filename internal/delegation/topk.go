@@ -1,0 +1,68 @@
+package delegation
+
+import (
+	"sort"
+
+	"dsketch/internal/topk"
+)
+
+// Per-owner heavy-hitter tracking (extension).
+//
+// The paper's introduction motivates sketches with top-k queries but
+// evaluates only point queries. Domain splitting makes a top-k extension
+// natural: every occurrence of a key is counted at exactly one owner, so
+// a per-owner Space-Saving summary — updated only by the owner, on the
+// same drain path that feeds the sketch — needs no synchronization at
+// all, and the global top-k is the exact merge of the T owner summaries.
+// (Under the thread-local design the same summary would need k·T space
+// and lossy merging, since each thread sees only a slice of each key.)
+
+// trackerCapacity is the per-owner Space-Saving capacity when tracking is
+// enabled: any key with frequency above N_owner/capacity is guaranteed
+// present.
+const trackerCapacity = 256
+
+// EnableHeavyHitters attaches a Space-Saving tracker to every owner.
+// Must be called before any insertions (quiescent).
+func (d *DS) EnableHeavyHitters() {
+	for _, o := range d.owners {
+		o.hh = topk.New(trackerCapacity)
+	}
+}
+
+// observeHH is called on the owner's drain and direct-insert paths.
+func (o *owner) observeHH(key, count uint64) {
+	if o.hh != nil {
+		o.hh.Observe(key, count)
+	}
+}
+
+// HeavyHitters returns the k globally most frequent keys with their
+// sketch frequency estimates, merged from the per-owner trackers.
+// Quiescent only; call Flush first so drained counts are visible.
+func (d *DS) HeavyHitters(k int) []topk.Entry {
+	var all []topk.Entry
+	for i, o := range d.owners {
+		if o.hh == nil {
+			continue
+		}
+		for _, e := range o.hh.Top(trackerCapacity) {
+			// Refine the Space-Saving over-estimate with the owner's
+			// sketch estimate: both are upper bounds, take the tighter.
+			if est := d.owners[i].localSearch(e.Key); est < e.Count {
+				e.Count = est
+			}
+			all = append(all, e)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].Key < all[j].Key
+	})
+	if k < len(all) {
+		all = all[:k]
+	}
+	return all
+}

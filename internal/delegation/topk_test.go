@@ -1,0 +1,78 @@
+package delegation
+
+import (
+	"testing"
+
+	"dsketch/internal/count"
+	"dsketch/internal/zipf"
+)
+
+func TestHeavyHittersFindsTopKeys(t *testing.T) {
+	const threads = 4
+	d := New(Config{Threads: threads, Depth: 8, Width: 1 << 12, Seed: 31, Backend: BackendCountMin})
+	d.EnableHeavyHitters()
+	truth := count.NewExact()
+	u := zipf.NewSharedUniverse(zipf.Config{Universe: 5000, Skew: 1.3, PermuteKeys: true, PermSeed: 3})
+	runWorkers(d, func(tid int) {
+		g := u.Generator(uint64(tid) + 1)
+		for i := 0; i < 30000; i++ {
+			d.Insert(tid, g.Next())
+		}
+	})
+	for tid := 0; tid < threads; tid++ {
+		g := u.Generator(uint64(tid) + 1)
+		for i := 0; i < 30000; i++ {
+			truth.Add(g.Next(), 1)
+		}
+	}
+	d.Flush()
+	got := d.HeavyHitters(10)
+	if len(got) != 10 {
+		t.Fatalf("got %d entries", len(got))
+	}
+	want := map[uint64]bool{}
+	for _, kc := range truth.TopK(5) {
+		want[kc.Key] = true
+	}
+	found := map[uint64]bool{}
+	for _, e := range got {
+		found[e.Key] = true
+		f := truth.Count(e.Key)
+		if e.Count < f-e.Err {
+			t.Errorf("key %d: reported %d (err %d), true %d — lower bound broken", e.Key, e.Count, e.Err, f)
+		}
+	}
+	for k := range want {
+		if !found[k] {
+			t.Errorf("true top-5 key %d missing from heavy hitters", k)
+		}
+	}
+	// Refined counts must not exceed the sketch upper bound semantics:
+	// for the top entry, the count should be close to truth.
+	top := got[0]
+	if tf := truth.Count(top.Key); top.Count > tf*11/10+16 {
+		t.Errorf("top entry count %d far above true %d", top.Count, tf)
+	}
+}
+
+func TestHeavyHittersDisabledByDefault(t *testing.T) {
+	d := New(Config{Threads: 2, Seed: 1})
+	d.InsertSequential(0, 5)
+	d.Flush()
+	if got := d.HeavyHitters(3); len(got) != 0 {
+		t.Fatalf("tracking disabled but got %v", got)
+	}
+}
+
+func TestHeavyHittersSequentialPath(t *testing.T) {
+	d := New(Config{Threads: 2, Depth: 4, Width: 512, Seed: 7, Backend: BackendAugmented, FilterSize: 4})
+	d.EnableHeavyHitters()
+	for i := 0; i < 10000; i++ {
+		d.InsertSequential(i%2, uint64(i%50))
+	}
+	d.Flush()
+	hh := d.HeavyHitters(5)
+	if len(hh) == 0 {
+		t.Fatal("no heavy hitters after sequential inserts")
+	}
+}

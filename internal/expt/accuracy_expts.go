@@ -1,0 +1,140 @@
+package expt
+
+import (
+	"fmt"
+
+	"dsketch/internal/accuracy"
+	"dsketch/internal/count"
+	"dsketch/internal/trace"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig2",
+		Title: "Figure 2: average relative error vs number of threads (uniform and Zipf skew=1), with the Figure 2c memory table",
+		Run:   runFig2,
+	})
+	register(Experiment{
+		ID:    "fig3",
+		Title: "Figure 3: normalized frequency of the 20 most frequent keys in the CAIDA-like data sets",
+		Run:   runFig3,
+	})
+	register(Experiment{
+		ID:    "fig4",
+		Title: "Figure 4: absolute error per key, keys sorted by descending true frequency (running mean of 1000)",
+		Run:   runFig4,
+	})
+}
+
+// fig2 sweeps thread counts. The paper uses 600K keys from a 100K-key
+// universe and queries every key in the universe once.
+func runFig2(o Options) []*Table {
+	o = o.withDefaults()
+	threads := []int{1, 2, 4, 8, 12, 16, 24}
+	streamLen, universe := 600_000, 100_000
+	if o.Quick {
+		threads = []int{2, 8, 16}
+		streamLen, universe = 120_000, 20_000
+	}
+	designCols := []string{"reference", "thread-local", "single-shared", "augmented", "delegation"}
+
+	var tables []*Table
+	for _, dist := range []struct {
+		label string
+		skew  float64
+	}{{"uniform (Fig. 2a)", 0}, {"Zipf skew=1 (Fig. 2b)", 1}} {
+		tbl := NewTable("Figure 2 ARE, "+dist.label, append([]string{"threads"}, designCols...)...)
+		var lastMem map[string]int
+		for _, t := range threads {
+			res := accuracy.RunARE(accuracy.Config{
+				Threads:   t,
+				Depth:     8,
+				BaseWidth: 512,
+				Universe:  universe,
+				StreamLen: streamLen,
+				Skew:      dist.skew,
+				Seed:      o.Seed,
+			})
+			byName := map[string]float64{}
+			lastMem = map[string]int{}
+			for _, r := range res {
+				byName[r.Design] = r.ARE
+				lastMem[r.Design] = r.MemoryBytes
+			}
+			row := []string{fmt.Sprint(t)}
+			for _, d := range designCols {
+				row = append(row, F(byName[d]))
+			}
+			tbl.Add(row...)
+		}
+		tables = append(tables, tbl)
+		if dist.skew == 0 {
+			mem := NewTable("Figure 2c: memory consumption at the largest thread count", "design", "bytes")
+			for _, d := range designCols {
+				mem.Add(d, fmt.Sprint(lastMem[d]))
+			}
+			tables = append(tables, mem)
+		}
+	}
+	return tables
+}
+
+// fig3 regenerates the top-20 marginals of the two synthetic CAIDA-like
+// data sets (the proprietary-trace substitution, DESIGN.md §5).
+func runFig3(o Options) []*Table {
+	o = o.withDefaults()
+	n := o.ops(2_000_000, 200_000)
+	tbl := NewTable("Figure 3: normalized top-20 key frequencies",
+		"rank", "ips-key", "ips-freq", "ports-key", "ports-freq")
+	ips := count.NewExact()
+	for _, k := range trace.SyntheticIPs(n, o.Seed) {
+		ips.Add(k, 1)
+	}
+	ports := count.NewExact()
+	for _, k := range trace.SyntheticPorts(n, o.Seed+1) {
+		ports.Add(k, 1)
+	}
+	ti, tp := ips.TopK(20), ports.TopK(20)
+	for r := 0; r < 20; r++ {
+		tbl.Add(
+			fmt.Sprint(r+1),
+			fmt.Sprint(ti[r].Key), F(float64(ti[r].Count)/float64(ips.Total())),
+			fmt.Sprint(tp[r].Key), F(float64(tp[r].Count)/float64(ports.Total())),
+		)
+	}
+	return []*Table{tbl}
+}
+
+// fig4 reports the per-key error curve. The paper's text says "d = 256 and
+// w = 8" which is transposed relative to every other configuration in the
+// paper (256 hash evaluations per op would be absurd); we use w=256, d=8.
+func runFig4(o Options) []*Table {
+	o = o.withDefaults()
+	cfg := accuracy.Config{
+		Threads:   4,
+		Depth:     8,
+		BaseWidth: 256,
+		Universe:  100_000,
+		StreamLen: 600_000,
+		Skew:      1,
+		Seed:      o.Seed,
+	}
+	points := 25
+	if o.Quick {
+		cfg.Universe, cfg.StreamLen = 20_000, 120_000
+	}
+	series := accuracy.RunPerKeyError(cfg, 1000, points)
+	cols := []string{"key-percentile"}
+	for _, s := range series {
+		cols = append(cols, s.Design)
+	}
+	tbl := NewTable("Figure 4: running-mean absolute error per key (sorted by true frequency, hottest first)", cols...)
+	for i := 0; i < points && i < len(series[0].Errors); i++ {
+		row := []string{fmt.Sprintf("%d%%", i*100/points)}
+		for _, s := range series {
+			row = append(row, F(s.Errors[i]))
+		}
+		tbl.Add(row...)
+	}
+	return []*Table{tbl}
+}

@@ -1,0 +1,96 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dsketch/internal/sim"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"appendix", "fig10", "fig2", "fig3", "fig4", "fig5",
+		"fig6", "fig7", "fig8", "fig9", "table1"}
+	got := All()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
+	}
+	for i, e := range got {
+		if e.ID != want[i] {
+			t.Fatalf("registry[%d] = %q, want %q", i, e.ID, want[i])
+		}
+		if e.Title == "" {
+			t.Errorf("%s: empty title", e.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("fig5"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("expected error for unknown id")
+	}
+}
+
+func TestAllExperimentsRunQuick(t *testing.T) {
+	// Every registered experiment must run end to end in quick mode and
+	// produce non-empty, renderable tables.
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables := e.Run(Options{Quick: true, Seed: 7})
+			if len(tables) == 0 {
+				t.Fatal("no tables produced")
+			}
+			for _, tbl := range tables {
+				if len(tbl.Rows) == 0 {
+					t.Errorf("table %q has no rows", tbl.Title)
+				}
+				var buf bytes.Buffer
+				tbl.Render(&buf)
+				if !strings.Contains(buf.String(), tbl.Columns[0]) {
+					t.Errorf("render of %q lacks header", tbl.Title)
+				}
+				var csv bytes.Buffer
+				tbl.RenderCSV(&csv)
+				if len(strings.Split(strings.TrimSpace(csv.String()), "\n")) < 3 {
+					t.Errorf("CSV of %q too short", tbl.Title)
+				}
+			}
+		})
+	}
+}
+
+func TestTableAddPanicsOnArity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTable("x", "a", "b").Add("only-one")
+}
+
+func TestFormatting(t *testing.T) {
+	if F(0) != "0" {
+		t.Errorf("F(0) = %q", F(0))
+	}
+	if F(12345) != "12345" {
+		t.Errorf("F(12345) = %q", F(12345))
+	}
+	if F(0.5) != "0.5000" {
+		t.Errorf("F(0.5) = %q", F(0.5))
+	}
+	if Mops(2_500_000) != "2.5" {
+		t.Errorf("Mops = %q", Mops(2_500_000))
+	}
+}
+
+func TestNativeModeRunsScaling(t *testing.T) {
+	// The native path must work too (tiny workload on this host).
+	tables := runScaling(Options{Mode: "native", Quick: true, OpsPerThread: 2000, Seed: 3}, sim.PlatformA())
+	if len(tables) != 3 {
+		t.Fatalf("native scaling produced %d tables, want 3", len(tables))
+	}
+}

@@ -1,0 +1,82 @@
+package expt
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Options tune an experiment run.
+type Options struct {
+	// Mode selects the throughput engine: "sim" (cost-model simulator,
+	// the default — deterministic and faithful to the paper's multi-core
+	// shapes on any host), "native" (the real concurrent implementation
+	// on this machine's cores), or "both".
+	Mode string
+	// OpsPerThread overrides the per-thread operation count (0 = the
+	// experiment's default).
+	OpsPerThread int
+	// Quick shrinks sweeps for fast runs (CI, go test).
+	Quick bool
+	// Seed fixes workloads and hash functions.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Mode == "" {
+		o.Mode = "sim"
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+func (o Options) ops(def, quick int) int {
+	if o.OpsPerThread > 0 {
+		return o.OpsPerThread
+	}
+	if o.Quick {
+		return quick
+	}
+	return def
+}
+
+// Experiment regenerates one table or figure of the paper.
+type Experiment struct {
+	// ID is the artifact identifier ("fig5", "table1", ...).
+	ID string
+	// Title describes what the paper artifact shows.
+	Title string
+	// Run produces the artifact's tables.
+	Run func(o Options) []*Table
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every registered experiment, sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID finds one experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("expt: unknown experiment %q (use one of %v)", id, ids())
+}
+
+func ids() []string {
+	out := make([]string, 0, len(registry))
+	for _, e := range All() {
+		out = append(out, e.ID)
+	}
+	return out
+}

@@ -1,0 +1,312 @@
+package expt
+
+import (
+	"fmt"
+
+	"dsketch/internal/parallel"
+	"dsketch/internal/sim"
+	"dsketch/internal/stream"
+	"dsketch/internal/trace"
+	"dsketch/internal/zipf"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig5",
+		Title: "Figure 5: throughput vs threads on platform A (Zipf skew=1.5; 0%, 0.1%, 0.3% queries)",
+		Run:   func(o Options) []*Table { return runScaling(o, sim.PlatformA()) },
+	})
+	register(Experiment{
+		ID:    "fig6",
+		Title: "Figure 6: throughput vs threads on platform B (Zipf skew=1.5; 0%, 0.1%, 0.3% queries)",
+		Run:   func(o Options) []*Table { return runScaling(o, sim.PlatformB()) },
+	})
+	register(Experiment{
+		ID:    "fig7",
+		Title: "Figure 7: the effect of query rate at full parallelism, platforms A and B",
+		Run:   runFig7,
+	})
+	register(Experiment{
+		ID:    "fig8",
+		Title: "Figure 8: throughput vs input skew and with CAIDA-like data (72 threads; 0%, 0.1%, 0.3% queries)",
+		Run:   runFig8,
+	})
+	register(Experiment{
+		ID:    "fig9",
+		Title: "Figure 9: the effect of query squashing (scalability and input skew, 0.3% queries)",
+		Run:   runFig9,
+	})
+	register(Experiment{
+		ID:    "fig10",
+		Title: "Figure 10: average query latency vs threads (Zipf skew=1.2) and vs skew at 72 threads",
+		Run:   runFig10,
+	})
+}
+
+// designs compared in the throughput figures, in the paper's legend order.
+var throughputKinds = []parallel.Kind{
+	parallel.KindSingleShared,
+	parallel.KindThreadLocal,
+	parallel.KindAugmented,
+	parallel.KindDelegation,
+}
+
+func kindCols() []string {
+	cols := make([]string, len(throughputKinds))
+	for i, k := range throughputKinds {
+		cols[i] = string(k)
+	}
+	return cols
+}
+
+// simThroughput runs the cost-model simulator for one point.
+func simThroughput(o Options, plat sim.Platform, kind parallel.Kind, threads int, w sim.Workload) sim.Result {
+	return sim.Run(kind, plat, threads, 8, sim.DefaultCosts(), w)
+}
+
+// nativeThroughput runs the real concurrent implementation for one point.
+func nativeThroughput(o Options, kind parallel.Kind, threads int, ratio, skew float64, universe, ops int) parallel.Result {
+	d := parallel.New(kind, parallel.Budget{Threads: threads, Depth: 8, BaseWidth: 4096}, o.Seed)
+	return parallel.Run(d, parallel.Workload{
+		OpsPerThread: ops,
+		QueryRatio:   ratio,
+		Keys:         sharedZipf(universe, skew, o.Seed),
+		Seed:         o.Seed,
+	})
+}
+
+// sharedZipf builds per-thread generators that are sub-streams of one
+// logical stream: independent sampling, shared tables and hot-key
+// permutation (built once).
+func sharedZipf(universe int, skew float64, seed uint64) func(tid int) func() uint64 {
+	u := zipf.NewSharedUniverse(zipf.Config{
+		Universe:    universe,
+		Skew:        skew,
+		PermuteKeys: true,
+		PermSeed:    seed ^ 0x5eedbeef,
+	})
+	return func(tid int) func() uint64 {
+		return u.Generator(seed + uint64(tid)*131).Next
+	}
+}
+
+func threadSweep(plat sim.Platform, quick bool) []int {
+	if plat.MaxThreads >= 288 {
+		if quick {
+			return []int{4, 32, 96, 288}
+		}
+		return []int{1, 4, 8, 16, 32, 64, 96, 144, 192, 240, 288}
+	}
+	if quick {
+		return []int{2, 8, 36, 72}
+	}
+	return []int{1, 2, 4, 8, 16, 24, 36, 48, 60, 72}
+}
+
+// runScaling produces Figures 5 (platform A) and 6 (platform B): one table
+// per query rate, sim mode by default, native rows appended on request.
+func runScaling(o Options, plat sim.Platform) []*Table {
+	o = o.withDefaults()
+	ops := o.ops(60_000, 15_000)
+	sweep := threadSweep(plat, o.Quick)
+	var tables []*Table
+	for _, ratio := range []float64{0, 0.001, 0.003} {
+		if o.Mode == "sim" || o.Mode == "both" {
+			tbl := NewTable(
+				fmt.Sprintf("Throughput (Mops/s, simulated platform %s), %.1f%% queries, Zipf skew=1.5", plat.Name, ratio*100),
+				append([]string{"threads"}, kindCols()...)...)
+			for _, t := range sweep {
+				row := []string{fmt.Sprint(t)}
+				for _, kind := range throughputKinds {
+					r := simThroughput(o, plat, kind, t, sim.Workload{
+						OpsPerThread: ops, QueryRatio: ratio,
+						Universe: 1_000_000, Skew: 1.5, Seed: o.Seed,
+					})
+					row = append(row, Mops(r.Throughput))
+				}
+				tbl.Add(row...)
+			}
+			tables = append(tables, tbl)
+		}
+		if o.Mode == "native" || o.Mode == "both" {
+			tbl := NewTable(
+				fmt.Sprintf("Throughput (Mops/s, native on this host), %.1f%% queries, Zipf skew=1.5", ratio*100),
+				append([]string{"threads"}, kindCols()...)...)
+			for _, t := range sweep {
+				row := []string{fmt.Sprint(t)}
+				for _, kind := range throughputKinds {
+					r := nativeThroughput(o, kind, t, ratio, 1.5, 1_000_000, ops)
+					row = append(row, Mops(r.Throughput))
+				}
+				tbl.Add(row...)
+			}
+			tables = append(tables, tbl)
+		}
+	}
+	return tables
+}
+
+// runFig7 sweeps the query rate at each platform's full parallelism.
+func runFig7(o Options) []*Table {
+	o = o.withDefaults()
+	ops := o.ops(60_000, 15_000)
+	rates := []float64{0, 0.0005, 0.001, 0.002, 0.003, 0.005, 0.01}
+	if o.Quick {
+		rates = []float64{0, 0.001, 0.01}
+	}
+	var tables []*Table
+	for _, plat := range []sim.Platform{sim.PlatformA(), sim.PlatformB()} {
+		threads := plat.MaxThreads
+		tbl := NewTable(
+			fmt.Sprintf("Throughput (Mops/s, simulated platform %s) vs query rate at %d threads, Zipf skew=1.5", plat.Name, threads),
+			append([]string{"query-rate-%"}, kindCols()...)...)
+		for _, rate := range rates {
+			row := []string{fmt.Sprintf("%.2f", rate*100)}
+			for _, kind := range throughputKinds {
+				r := simThroughput(o, plat, kind, threads, sim.Workload{
+					OpsPerThread: ops, QueryRatio: rate,
+					Universe: 1_000_000, Skew: 1.5, Seed: o.Seed,
+				})
+				row = append(row, Mops(r.Throughput))
+			}
+			tbl.Add(row...)
+		}
+		tables = append(tables, tbl)
+	}
+	return tables
+}
+
+// runFig8 sweeps input skew and replays the CAIDA-like traces at 72
+// threads, for each query rate.
+func runFig8(o Options) []*Table {
+	o = o.withDefaults()
+	ops := o.ops(60_000, 15_000)
+	threads := 72
+	skews := []float64{0, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0, 2.5, 3.0}
+	if o.Quick {
+		skews = []float64{0.5, 1.5, 3.0}
+	}
+	plat := sim.PlatformA()
+	var tables []*Table
+	for _, ratio := range []float64{0, 0.001, 0.003} {
+		tbl := NewTable(
+			fmt.Sprintf("Throughput (Mops/s, simulated platform A) vs input skew at %d threads, %.1f%% queries", threads, ratio*100),
+			append([]string{"skew"}, kindCols()...)...)
+		for _, skew := range skews {
+			row := []string{F(skew)}
+			for _, kind := range throughputKinds {
+				r := simThroughput(o, plat, kind, threads, sim.Workload{
+					OpsPerThread: ops, QueryRatio: ratio,
+					Universe: 1_000_000, Skew: skew, Seed: o.Seed,
+				})
+				row = append(row, Mops(r.Throughput))
+			}
+			tbl.Add(row...)
+		}
+		// Real-world-like data rows (Figures 8b/8d/8f).
+		ipSubs := stream.Split(trace.SyntheticIPs(ops*8, o.Seed), threads)
+		portSubs := stream.Split(trace.SyntheticPorts(ops*8, o.Seed+1), threads)
+		for _, data := range []struct {
+			label string
+			subs  [][]uint64
+		}{{"caida-ips", ipSubs}, {"caida-ports", portSubs}} {
+			row := []string{data.label}
+			for _, kind := range throughputKinds {
+				r := simThroughput(o, plat, kind, threads, sim.Workload{
+					OpsPerThread: ops, QueryRatio: ratio,
+					Keys: data.subs, Seed: o.Seed,
+				})
+				row = append(row, Mops(r.Throughput))
+			}
+			tbl.Add(row...)
+		}
+		tables = append(tables, tbl)
+	}
+	return tables
+}
+
+// runFig9 isolates query squashing: scalability at skew 1.5 (9a) and a
+// skew sweep at 72 threads (9b), both with 0.3% queries.
+func runFig9(o Options) []*Table {
+	o = o.withDefaults()
+	ops := o.ops(60_000, 15_000)
+	plat := sim.PlatformA()
+	kinds := []parallel.Kind{parallel.KindDelegation, parallel.KindDelegationNoSquash}
+
+	scal := NewTable("Figure 9a: query squashing vs threads (Mops/s, 0.3% queries, Zipf skew=1.5)",
+		"threads", "delegation", "delegation-nosquash", "speedup", "squashed-queries")
+	for _, t := range threadSweep(plat, o.Quick) {
+		var thr [2]float64
+		var squashed uint64
+		for i, kind := range kinds {
+			r := simThroughput(o, plat, kind, t, sim.Workload{
+				OpsPerThread: ops, QueryRatio: 0.003,
+				Universe: 1_000_000, Skew: 1.5, Seed: o.Seed,
+			})
+			thr[i] = r.Throughput
+			if i == 0 {
+				squashed = r.Squashed
+			}
+		}
+		scal.Add(fmt.Sprint(t), Mops(thr[0]), Mops(thr[1]), F(thr[0]/thr[1]), fmt.Sprint(squashed))
+	}
+
+	skewT := NewTable("Figure 9b: query squashing vs input skew (Mops/s, 72 threads, 0.3% queries)",
+		"skew", "delegation", "delegation-nosquash", "speedup")
+	skews := []float64{0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0}
+	if o.Quick {
+		skews = []float64{0.5, 2.0, 3.0}
+	}
+	for _, skew := range skews {
+		var thr [2]float64
+		for i, kind := range kinds {
+			r := simThroughput(o, plat, kind, 72, sim.Workload{
+				OpsPerThread: ops, QueryRatio: 0.003,
+				Universe: 1_000_000, Skew: skew, Seed: o.Seed,
+			})
+			thr[i] = r.Throughput
+		}
+		skewT.Add(F(skew), Mops(thr[0]), Mops(thr[1]), F(thr[0]/thr[1]))
+	}
+	return []*Table{scal, skewT}
+}
+
+// runFig10 measures average query latency vs threads (10a) and vs skew.
+func runFig10(o Options) []*Table {
+	o = o.withDefaults()
+	ops := o.ops(60_000, 15_000)
+	plat := sim.PlatformA()
+
+	byThreads := NewTable("Figure 10a: average query latency (µs, simulated platform A), 0.3% queries, Zipf skew=1.2",
+		append([]string{"threads"}, kindCols()...)...)
+	for _, t := range threadSweep(plat, o.Quick) {
+		row := []string{fmt.Sprint(t)}
+		for _, kind := range throughputKinds {
+			r := simThroughput(o, plat, kind, t, sim.Workload{
+				OpsPerThread: ops, QueryRatio: 0.003,
+				Universe: 1_000_000, Skew: 1.2, Seed: o.Seed,
+			})
+			row = append(row, F(float64(r.QueryLat.Mean())/1000))
+		}
+		byThreads.Add(row...)
+	}
+
+	bySkew := NewTable("Figure 10 (text): average query latency (µs) vs input skew at 72 threads, 0.3% queries",
+		append([]string{"skew"}, kindCols()...)...)
+	skews := []float64{0.5, 1.0, 1.5, 2.0, 2.5, 3.0}
+	if o.Quick {
+		skews = []float64{0.5, 2.0}
+	}
+	for _, skew := range skews {
+		row := []string{F(skew)}
+		for _, kind := range throughputKinds {
+			r := simThroughput(o, plat, kind, 72, sim.Workload{
+				OpsPerThread: ops, QueryRatio: 0.003,
+				Universe: 1_000_000, Skew: skew, Seed: o.Seed,
+			})
+			row = append(row, F(float64(r.QueryLat.Mean())/1000))
+		}
+		bySkew.Add(row...)
+	}
+	return []*Table{byThreads, bySkew}
+}

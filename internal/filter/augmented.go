@@ -1,0 +1,118 @@
+package filter
+
+import "sync/atomic"
+
+// Augmented is the Augmented Sketch filter of Roy et al.: each slot tracks
+// the item, its count since admission (newCount) and its sketch estimate at
+// admission time (oldCount). On eviction, newCount−oldCount is pushed into
+// the backing sketch so no occurrence is lost or double counted.
+//
+// Counts are read and written through atomics because the paper's
+// thread-local Augmented Sketch baseline lets *other* threads read a
+// thread's filter during queries without further synchronization (§7.1
+// treats the baseline "favourably"); atomics keep that favourable treatment
+// while staying within the Go memory model.
+type Augmented struct {
+	items     []uint64
+	newCounts []uint64
+	oldCounts []uint64
+	size      atomic.Int32
+}
+
+// NewAugmented returns an empty augmented filter with the given capacity.
+func NewAugmented(capacity int) *Augmented {
+	if capacity <= 0 {
+		panic("filter: non-positive capacity")
+	}
+	return &Augmented{
+		items:     make([]uint64, capacity),
+		newCounts: make([]uint64, capacity),
+		oldCounts: make([]uint64, capacity),
+	}
+}
+
+// Capacity returns the slot count.
+func (f *Augmented) Capacity() int { return len(f.items) }
+
+// Len returns the number of occupied slots.
+func (f *Augmented) Len() int { return int(f.size.Load()) }
+
+// Lookup returns the tracked frequency of key and whether it is present.
+// Safe to call from threads other than the owner.
+func (f *Augmented) Lookup(key uint64) (uint64, bool) {
+	n := int(f.size.Load())
+	for i := 0; i < n; i++ {
+		if atomic.LoadUint64(&f.items[i]) == key {
+			return atomic.LoadUint64(&f.newCounts[i]), true
+		}
+	}
+	return 0, false
+}
+
+// Increment adds count to key's slot if present (owner thread only).
+func (f *Augmented) Increment(key, count uint64) bool {
+	n := int(f.size.Load())
+	for i := 0; i < n; i++ {
+		if f.items[i] == key {
+			atomic.AddUint64(&f.newCounts[i], count)
+			return true
+		}
+	}
+	return false
+}
+
+// Add occupies an empty slot for key (owner thread only). It reports false
+// when the filter is full.
+func (f *Augmented) Add(key, count uint64) bool {
+	n := int(f.size.Load())
+	if n == len(f.items) {
+		return false
+	}
+	atomic.StoreUint64(&f.items[n], key)
+	atomic.StoreUint64(&f.newCounts[n], count)
+	f.oldCounts[n] = 0
+	f.size.Store(int32(n + 1)) // publish the slot after its contents
+	return true
+}
+
+// MinSlot returns the index and newCount of the slot with the smallest
+// newCount. It must only be called on a full, non-empty filter by the owner.
+func (f *Augmented) MinSlot() (idx int, newCount uint64) {
+	n := int(f.size.Load())
+	idx = 0
+	newCount = f.newCounts[0]
+	for i := 1; i < n; i++ {
+		if f.newCounts[i] < newCount {
+			idx, newCount = i, f.newCounts[i]
+		}
+	}
+	return idx, newCount
+}
+
+// Slot returns the contents of slot i (owner thread only).
+func (f *Augmented) Slot(i int) (item, newCount, oldCount uint64) {
+	return f.items[i], f.newCounts[i], f.oldCounts[i]
+}
+
+// Replace overwrites slot i with a newly admitted item whose sketch
+// estimate at admission is est (owner thread only).
+func (f *Augmented) Replace(i int, item, est uint64) {
+	atomic.StoreUint64(&f.newCounts[i], est)
+	f.oldCounts[i] = est
+	atomic.StoreUint64(&f.items[i], item)
+}
+
+// Iterate calls fn(item, newCount, oldCount) for each occupied slot
+// (owner thread only; used when draining the filter into the sketch).
+func (f *Augmented) Iterate(fn func(item, newCount, oldCount uint64)) {
+	n := int(f.size.Load())
+	for i := 0; i < n; i++ {
+		fn(f.items[i], f.newCounts[i], f.oldCounts[i])
+	}
+}
+
+// Reset empties the filter (owner thread only, quiescent).
+func (f *Augmented) Reset() { f.size.Store(0) }
+
+// MemoryBytes returns the footprint of the three slot arrays.
+func (f *Augmented) MemoryBytes() int { return len(f.items) * 24 }

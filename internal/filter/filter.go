@@ -1,0 +1,99 @@
+// Package filter implements the small fixed-capacity key/count filters that
+// both Augmented Sketch (Roy et al., SIGMOD'16) and the Delegation Sketch
+// design place in front of sketches. A filter is two parallel arrays (keys
+// and counts) scanned linearly; the paper scans them with SIMD, which a
+// fixed-size scalar loop substitutes for in Go (see DESIGN.md §5.3).
+package filter
+
+// DefaultSize is the filter capacity used throughout the paper's evaluation
+// (16 keys and 16 counters, following the Augmented Sketch analysis).
+const DefaultSize = 16
+
+// KV is a sequential fixed-capacity key→count filter. It is the building
+// block for the delegation filters' logic and is used directly where no
+// cross-thread access occurs.
+type KV struct {
+	keys   []uint64
+	counts []uint64
+	size   int
+}
+
+// NewKV returns an empty filter with the given capacity.
+func NewKV(capacity int) *KV {
+	if capacity <= 0 {
+		panic("filter: non-positive capacity")
+	}
+	return &KV{
+		keys:   make([]uint64, capacity),
+		counts: make([]uint64, capacity),
+	}
+}
+
+// Capacity returns the maximum number of distinct keys the filter holds.
+func (f *KV) Capacity() int { return len(f.keys) }
+
+// Len returns the number of distinct keys currently held.
+func (f *KV) Len() int { return f.size }
+
+// Full reports whether no empty slot remains.
+func (f *KV) Full() bool { return f.size == len(f.keys) }
+
+// Lookup returns the count of key and whether it is present.
+func (f *KV) Lookup(key uint64) (uint64, bool) {
+	for i := 0; i < f.size; i++ {
+		if f.keys[i] == key {
+			return f.counts[i], true
+		}
+	}
+	return 0, false
+}
+
+// Increment adds count to key if present and reports whether it was.
+func (f *KV) Increment(key, count uint64) bool {
+	for i := 0; i < f.size; i++ {
+		if f.keys[i] == key {
+			f.counts[i] += count
+			return true
+		}
+	}
+	return false
+}
+
+// Add inserts a new key with the given count. It reports false when the
+// filter is full or the key is already present (callers are expected to try
+// Increment first).
+func (f *KV) Add(key, count uint64) bool {
+	if f.Full() {
+		return false
+	}
+	if _, ok := f.Lookup(key); ok {
+		return false
+	}
+	f.keys[f.size] = key
+	f.counts[f.size] = count
+	f.size++
+	return true
+}
+
+// InsertOrAdd increments key if present, otherwise adds it. It reports
+// false only when the key is absent and the filter is full.
+func (f *KV) InsertOrAdd(key, count uint64) bool {
+	if f.Increment(key, count) {
+		return true
+	}
+	return f.Add(key, count)
+}
+
+// Reset empties the filter.
+func (f *KV) Reset() { f.size = 0 }
+
+// Iterate calls fn for every (key, count) pair currently held.
+func (f *KV) Iterate(fn func(key, count uint64)) {
+	for i := 0; i < f.size; i++ {
+		fn(f.keys[i], f.counts[i])
+	}
+}
+
+// MemoryBytes returns the memory footprint of the filter arrays. This feeds
+// the equal-total-memory accounting of the evaluation (§7.1).
+func (f *KV) MemoryBytes() int { return len(f.keys) * 16 }

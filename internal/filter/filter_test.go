@@ -1,0 +1,229 @@
+package filter
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKVBasic(t *testing.T) {
+	f := NewKV(4)
+	if f.Capacity() != 4 || f.Len() != 0 || f.Full() {
+		t.Fatal("fresh filter state wrong")
+	}
+	if !f.Add(10, 1) {
+		t.Fatal("Add to empty filter failed")
+	}
+	if !f.Increment(10, 2) {
+		t.Fatal("Increment of present key failed")
+	}
+	c, ok := f.Lookup(10)
+	if !ok || c != 3 {
+		t.Fatalf("Lookup = (%d,%v), want (3,true)", c, ok)
+	}
+	if f.Increment(99, 1) {
+		t.Fatal("Increment of absent key should fail")
+	}
+	if _, ok := f.Lookup(99); ok {
+		t.Fatal("Lookup of absent key should fail")
+	}
+}
+
+func TestKVAddRejectsDuplicate(t *testing.T) {
+	f := NewKV(4)
+	f.Add(7, 1)
+	if f.Add(7, 1) {
+		t.Fatal("Add of existing key should be rejected")
+	}
+	if f.Len() != 1 {
+		t.Fatalf("Len = %d after duplicate Add", f.Len())
+	}
+}
+
+func TestKVFull(t *testing.T) {
+	f := NewKV(2)
+	f.Add(1, 1)
+	f.Add(2, 1)
+	if !f.Full() {
+		t.Fatal("filter should be full")
+	}
+	if f.Add(3, 1) {
+		t.Fatal("Add to full filter should fail")
+	}
+	if f.InsertOrAdd(3, 1) {
+		t.Fatal("InsertOrAdd of new key to full filter should fail")
+	}
+	if !f.InsertOrAdd(1, 5) {
+		t.Fatal("InsertOrAdd of present key must succeed even when full")
+	}
+}
+
+func TestKVReset(t *testing.T) {
+	f := NewKV(2)
+	f.Add(1, 1)
+	f.Reset()
+	if f.Len() != 0 {
+		t.Fatal("Reset did not empty filter")
+	}
+	if _, ok := f.Lookup(1); ok {
+		t.Fatal("key visible after Reset")
+	}
+}
+
+func TestKVIterateSums(t *testing.T) {
+	f := NewKV(8)
+	want := map[uint64]uint64{3: 2, 4: 7, 5: 1}
+	for k, c := range want {
+		f.InsertOrAdd(k, c)
+	}
+	got := map[uint64]uint64{}
+	f.Iterate(func(k, c uint64) { got[k] = c })
+	if len(got) != len(want) {
+		t.Fatalf("Iterate visited %d keys, want %d", len(got), len(want))
+	}
+	for k, c := range want {
+		if got[k] != c {
+			t.Errorf("key %d: got %d want %d", k, got[k], c)
+		}
+	}
+}
+
+func TestKVAggregationEquivalence(t *testing.T) {
+	// Property: feeding any sequence through the filter and summing what
+	// Iterate reports equals exact per-key counts, as long as the filter
+	// never fills (capacity = universe size).
+	f := func(seq []uint8) bool {
+		flt := NewKV(256)
+		exact := map[uint64]uint64{}
+		for _, b := range seq {
+			k := uint64(b)
+			if !flt.InsertOrAdd(k, 1) {
+				return false
+			}
+			exact[k]++
+		}
+		got := map[uint64]uint64{}
+		flt.Iterate(func(k, c uint64) { got[k] = c })
+		if len(got) != len(exact) {
+			return false
+		}
+		for k, c := range exact {
+			if got[k] != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKVPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewKV(0)
+}
+
+func TestKVMemoryBytes(t *testing.T) {
+	if NewKV(16).MemoryBytes() != 256 {
+		t.Fatalf("16-slot KV should be 256 bytes, got %d", NewKV(16).MemoryBytes())
+	}
+}
+
+func TestAugmentedBasic(t *testing.T) {
+	f := NewAugmented(2)
+	if !f.Add(1, 1) || !f.Add(2, 5) {
+		t.Fatal("Add failed")
+	}
+	if f.Add(3, 1) {
+		t.Fatal("Add to full augmented filter should fail")
+	}
+	if !f.Increment(1, 3) {
+		t.Fatal("Increment failed")
+	}
+	c, ok := f.Lookup(1)
+	if !ok || c != 4 {
+		t.Fatalf("Lookup = (%d,%v)", c, ok)
+	}
+}
+
+func TestAugmentedMinSlot(t *testing.T) {
+	f := NewAugmented(3)
+	f.Add(10, 5)
+	f.Add(20, 2)
+	f.Add(30, 9)
+	idx, c := f.MinSlot()
+	if c != 2 {
+		t.Fatalf("MinSlot count = %d, want 2", c)
+	}
+	if item, _, _ := f.Slot(idx); item != 20 {
+		t.Fatalf("MinSlot item = %d, want 20", item)
+	}
+}
+
+func TestAugmentedReplace(t *testing.T) {
+	f := NewAugmented(1)
+	f.Add(10, 5)
+	f.Replace(0, 99, 7)
+	item, newC, oldC := f.Slot(0)
+	if item != 99 || newC != 7 || oldC != 7 {
+		t.Fatalf("Replace wrong: %d %d %d", item, newC, oldC)
+	}
+	if _, ok := f.Lookup(10); ok {
+		t.Fatal("evicted item still visible")
+	}
+}
+
+func TestAugmentedIterate(t *testing.T) {
+	f := NewAugmented(4)
+	f.Add(1, 2)
+	f.Add(2, 3)
+	var n int
+	var sum uint64
+	f.Iterate(func(item, newC, oldC uint64) {
+		n++
+		sum += newC - oldC
+	})
+	if n != 2 || sum != 5 {
+		t.Fatalf("Iterate n=%d sum=%d", n, sum)
+	}
+}
+
+func TestAugmentedReset(t *testing.T) {
+	f := NewAugmented(2)
+	f.Add(1, 1)
+	f.Reset()
+	if f.Len() != 0 {
+		t.Fatal("Reset did not empty")
+	}
+}
+
+func TestAugmentedPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewAugmented(-1)
+}
+
+func BenchmarkKVInsertOrAddHit(b *testing.B) {
+	f := NewKV(16)
+	f.Add(5, 1)
+	for i := 0; i < b.N; i++ {
+		f.InsertOrAdd(5, 1)
+	}
+}
+
+func BenchmarkKVLookupMissFull(b *testing.B) {
+	f := NewKV(16)
+	for k := uint64(0); k < 16; k++ {
+		f.Add(k, 1)
+	}
+	for i := 0; i < b.N; i++ {
+		f.Lookup(999)
+	}
+}

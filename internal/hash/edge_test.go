@@ -1,0 +1,34 @@
+package hash
+
+import "testing"
+
+// Regression for the pre-reduction overflow: products near 2^125.
+func TestMulAddMod61ExtremeInputs(t *testing.T) {
+	cases := [][3]uint64{
+		{MersennePrime61 - 1, ^uint64(0), 0},
+		{MersennePrime61 - 1, ^uint64(0), MersennePrime61 - 1},
+		{MersennePrime61 - 2, ^uint64(0) - 1, 5},
+	}
+	for _, c := range cases {
+		got := mulAddMod61(c[0], c[1], c[2])
+		if got >= MersennePrime61 {
+			t.Fatalf("result %d not reduced", got)
+		}
+		// cross-check with double-and-add
+		want := func(a, x, b uint64) uint64 {
+			a %= MersennePrime61
+			x %= MersennePrime61
+			var acc uint64
+			for bit := 63; bit >= 0; bit-- {
+				acc = addMod(acc, acc)
+				if x&(1<<uint(bit)) != 0 {
+					acc = addMod(acc, a)
+				}
+			}
+			return addMod(acc, b%MersennePrime61)
+		}(c[0], c[1]%MersennePrime61, c[2])
+		if got != want {
+			t.Fatalf("mulAddMod61(%d,%d,%d) = %d, want %d", c[0], c[1], c[2], got, want)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package hash
+
+// Family is an ordered collection of d independent Pairwise hash functions
+// sharing one range width — exactly the d row hashes of a Count-Min sketch.
+type Family struct {
+	fns []Pairwise
+}
+
+// NewFamily draws d pairwise-independent functions with range [0, width)
+// from the family, deterministically from seed.
+func NewFamily(d, width int, seed uint64) *Family {
+	if d <= 0 {
+		panic("hash: non-positive depth")
+	}
+	rng := NewRand(seed)
+	fns := make([]Pairwise, d)
+	for i := range fns {
+		fns[i] = NewPairwise(rng.Next(), rng.Next(), width)
+	}
+	return &Family{fns: fns}
+}
+
+// Depth returns the number of functions in the family.
+func (f *Family) Depth() int { return len(f.fns) }
+
+// Width returns the shared range width.
+func (f *Family) Width() int { return f.fns[0].Width() }
+
+// Hash returns h_i(x).
+func (f *Family) Hash(i int, x uint64) uint64 { return f.fns[i].Hash(x) }
+
+// HashAll fills dst (which must have length Depth) with h_0(x)..h_{d-1}(x).
+// Using a caller-provided buffer keeps the hot insert path allocation-free.
+func (f *Family) HashAll(x uint64, dst []uint64) {
+	for i := range f.fns {
+		dst[i] = f.fns[i].Hash(x)
+	}
+}
+
+// SignFamily is a family of 2-universal functions mapping keys to {-1, +1},
+// as required by the Count Sketch estimator.
+type SignFamily struct {
+	fns []Pairwise
+}
+
+// NewSignFamily draws d sign functions deterministically from seed.
+func NewSignFamily(d int, seed uint64) *SignFamily {
+	rng := NewRand(seed)
+	fns := make([]Pairwise, d)
+	for i := range fns {
+		fns[i] = NewPairwise(rng.Next(), rng.Next(), 2)
+	}
+	return &SignFamily{fns: fns}
+}
+
+// Sign returns -1 or +1 for key x under function i.
+func (s *SignFamily) Sign(i int, x uint64) int64 {
+	if s.fns[i].Hash(x) == 0 {
+		return -1
+	}
+	return 1
+}

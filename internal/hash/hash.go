@@ -1,0 +1,87 @@
+// Package hash provides the hashing substrate used throughout the repository:
+// a Carter–Wegman 2-universal (pairwise-independent) hash family over the
+// Mersenne prime 2^61-1 for sketch rows, a splitmix64 finalizer used for
+// domain splitting (Owner mapping), and a 64-bit string fingerprint.
+//
+// Everything here is deterministic given a seed, which the experiment harness
+// relies on for reproducibility.
+package hash
+
+// MersennePrime61 is the modulus of the Carter–Wegman family. Using a
+// Mersenne prime allows reduction without division.
+const MersennePrime61 = (1 << 61) - 1
+
+// Pairwise is a single hash function drawn from the 2-universal family
+//
+//	h(x) = ((a*x + b) mod p) mod w,  p = 2^61 - 1, 1 <= a < p, 0 <= b < p.
+//
+// Pairwise independence is exactly the guarantee the Count-Min analysis
+// (Cormode & Muthukrishnan) requires of each row's hash function.
+type Pairwise struct {
+	a, b  uint64
+	width uint64
+}
+
+// NewPairwise returns the hash function with the given coefficients and
+// range width. Coefficients are reduced into the valid range; a zero
+// multiplier is bumped to 1 to stay within the family.
+func NewPairwise(a, b uint64, width int) Pairwise {
+	if width <= 0 {
+		panic("hash: non-positive width")
+	}
+	a %= MersennePrime61
+	if a == 0 {
+		a = 1
+	}
+	return Pairwise{a: a, b: b % MersennePrime61, width: uint64(width)}
+}
+
+// Width returns the size of the hash range.
+func (h Pairwise) Width() int { return int(h.width) }
+
+// Hash maps x to [0, width).
+func (h Pairwise) Hash(x uint64) uint64 {
+	return mod61(mulAddMod61(h.a, x, h.b)) % h.width
+}
+
+// mulAddMod61 computes (a*x + b) mod 2^61-1 using 128-bit intermediate
+// arithmetic (hi/lo decomposition, no math/bits dependency on Div).
+func mulAddMod61(a, x, b uint64) uint64 {
+	hi, lo := mul64(a, x)
+	// Split the 128-bit product into chunks of 61 bits and fold them:
+	// p = hi*2^64 + lo = (hi*8 + lo>>61)*2^61 + (lo & mask61)
+	// and 2^61 ≡ 1 (mod 2^61-1). With a < 2^61 the folded term
+	// hi*8 + lo>>61 (the OR is exact: hi*8 has zero low bits) can occupy
+	// the full 64 bits, so it must be reduced *before* the final
+	// addition — otherwise products near 2^125 overflow the sum.
+	const mask61 = MersennePrime61
+	part := mod61((hi << 3) | (lo >> 61))
+	sum := (lo & mask61) + part // both < 2^61: cannot overflow
+	sum = mod61(sum)
+	sum += b
+	return mod61(sum)
+}
+
+// mod61 reduces a value < 2^63 modulo 2^61-1.
+func mod61(x uint64) uint64 {
+	x = (x & MersennePrime61) + (x >> 61)
+	if x >= MersennePrime61 {
+		x -= MersennePrime61
+	}
+	return x
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += x0 * y1
+	hi = x1*y1 + w2 + w1>>32
+	lo = x * y
+	return hi, lo
+}

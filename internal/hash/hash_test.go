@@ -1,0 +1,286 @@
+package hash
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPairwiseRange(t *testing.T) {
+	h := NewPairwise(12345, 6789, 97)
+	for x := uint64(0); x < 10000; x++ {
+		v := h.Hash(x)
+		if v >= 97 {
+			t.Fatalf("Hash(%d) = %d, out of range [0,97)", x, v)
+		}
+	}
+}
+
+func TestPairwiseDeterministic(t *testing.T) {
+	h1 := NewPairwise(42, 7, 1024)
+	h2 := NewPairwise(42, 7, 1024)
+	for x := uint64(0); x < 1000; x++ {
+		if h1.Hash(x) != h2.Hash(x) {
+			t.Fatalf("same coefficients disagree at %d", x)
+		}
+	}
+}
+
+func TestNewPairwiseZeroMultiplier(t *testing.T) {
+	h := NewPairwise(0, 0, 16)
+	// a=0 must be bumped: the function must not be constant.
+	seen := map[uint64]bool{}
+	for x := uint64(0); x < 64; x++ {
+		seen[h.Hash(x)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("zero multiplier produced a constant hash")
+	}
+}
+
+func TestNewPairwisePanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for width 0")
+		}
+	}()
+	NewPairwise(1, 1, 0)
+}
+
+func TestMulAddMod61MatchesBigIntSemantics(t *testing.T) {
+	// Cross-check the 128-bit folding against a slow double-and-add
+	// implementation, on a quick-check distribution of inputs.
+	slow := func(a, x, b uint64) uint64 {
+		a %= MersennePrime61
+		x %= MersennePrime61
+		var acc uint64
+		// double-and-add multiplication mod p
+		for bit := 63; bit >= 0; bit-- {
+			acc = addMod(acc, acc)
+			if x&(1<<uint(bit)) != 0 {
+				acc = addMod(acc, a)
+			}
+		}
+		return addMod(acc, b%MersennePrime61)
+	}
+	f := func(a, x, b uint64) bool {
+		return mulAddMod61(a%MersennePrime61, x, b%MersennePrime61) == slow(a, x%MersennePrime61, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func addMod(a, b uint64) uint64 {
+	s := a + b
+	if s >= MersennePrime61 || s < a {
+		s -= MersennePrime61
+	}
+	return s
+}
+
+func TestMod61(t *testing.T) {
+	cases := []struct{ in, want uint64 }{
+		{0, 0},
+		{MersennePrime61 - 1, MersennePrime61 - 1},
+		{MersennePrime61, 0},
+		{MersennePrime61 + 5, 5},
+		{2*MersennePrime61 - 1, MersennePrime61 - 1},
+	}
+	for _, c := range cases {
+		if got := mod61(c.in); got != c.want {
+			t.Errorf("mod61(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMul64(t *testing.T) {
+	f := func(x, y uint64) bool {
+		hi, lo := mul64(x, y)
+		// verify via 32-bit schoolbook done independently with big-ish math
+		x0, x1 := x&0xffffffff, x>>32
+		y0, y1 := y&0xffffffff, y>>32
+		lo2 := x * y
+		carry := ((x0*y0)>>32 + (x1*y0)&0xffffffff + (x0*y1)&0xffffffff) >> 32
+		hi2 := x1*y1 + (x1*y0)>>32 + (x0*y1)>>32 + carry
+		return lo == lo2 && hi == hi2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFamilyDepthWidth(t *testing.T) {
+	f := NewFamily(8, 256, 1)
+	if f.Depth() != 8 || f.Width() != 256 {
+		t.Fatalf("got depth=%d width=%d", f.Depth(), f.Width())
+	}
+}
+
+func TestFamilyHashAllMatchesHash(t *testing.T) {
+	f := NewFamily(5, 333, 99)
+	dst := make([]uint64, 5)
+	for x := uint64(0); x < 500; x++ {
+		f.HashAll(x, dst)
+		for i := 0; i < 5; i++ {
+			if dst[i] != f.Hash(i, x) {
+				t.Fatalf("HashAll disagrees with Hash at row %d key %d", i, x)
+			}
+		}
+	}
+}
+
+func TestFamilyRowsDiffer(t *testing.T) {
+	// Different rows must (with overwhelming probability) be different
+	// functions: count agreements over a sample.
+	f := NewFamily(4, 1<<16, 7)
+	same := 0
+	for x := uint64(0); x < 1000; x++ {
+		if f.Hash(0, x) == f.Hash(1, x) {
+			same++
+		}
+	}
+	if same > 100 {
+		t.Fatalf("rows 0 and 1 agree on %d/1000 keys; not independent", same)
+	}
+}
+
+func TestFamilyUniformity(t *testing.T) {
+	// Chi-squared-ish sanity: bucket counts of 100k sequential keys into 64
+	// buckets should all be within 3x of the mean.
+	f := NewFamily(1, 64, 3)
+	counts := make([]int, 64)
+	const n = 100000
+	for x := uint64(0); x < n; x++ {
+		counts[f.Hash(0, x)]++
+	}
+	mean := n / 64
+	for b, c := range counts {
+		if c < mean/3 || c > mean*3 {
+			t.Fatalf("bucket %d has count %d, mean %d — badly non-uniform", b, c, mean)
+		}
+	}
+}
+
+func TestSignFamilyValues(t *testing.T) {
+	s := NewSignFamily(4, 11)
+	plus, minus := 0, 0
+	for x := uint64(0); x < 10000; x++ {
+		switch s.Sign(0, x) {
+		case 1:
+			plus++
+		case -1:
+			minus++
+		default:
+			t.Fatalf("sign not in {-1,1}")
+		}
+	}
+	if plus < 3000 || minus < 3000 {
+		t.Fatalf("signs unbalanced: +%d -%d", plus, minus)
+	}
+}
+
+func TestMix64Bijective(t *testing.T) {
+	// spot-check injectivity on a sample
+	seen := make(map[uint64]uint64)
+	for x := uint64(0); x < 200000; x++ {
+		m := Mix64(x)
+		if prev, ok := seen[m]; ok {
+			t.Fatalf("collision: Mix64(%d) == Mix64(%d)", x, prev)
+		}
+		seen[m] = x
+	}
+}
+
+func TestMix64SpreadsSequentialKeys(t *testing.T) {
+	// The Owner mapping uses Mix64(k) % T; sequential keys must spread.
+	const T = 7
+	counts := make([]int, T)
+	for x := uint64(0); x < 70000; x++ {
+		counts[Mix64(x)%T]++
+	}
+	for i, c := range counts {
+		if c < 7000 || c > 13000 {
+			t.Fatalf("owner %d got %d of 70000 sequential keys", i, c)
+		}
+	}
+}
+
+func TestFingerprintStringMatchesBytes(t *testing.T) {
+	f := func(s string) bool {
+		return FingerprintString(s) == Fingerprint64([]byte(s))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFingerprintDistinct(t *testing.T) {
+	a := FingerprintString("10.0.0.1")
+	b := FingerprintString("10.0.0.2")
+	if a == b {
+		t.Fatal("adjacent strings collide")
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	r1, r2 := NewRand(99), NewRand(99)
+	for i := 0; i < 100; i++ {
+		if r1.Next() != r2.Next() {
+			t.Fatal("same seed diverges")
+		}
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(5)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRandIntn(t *testing.T) {
+	r := NewRand(5)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(13)
+		if v < 0 || v >= 13 {
+			t.Fatalf("Intn out of range: %v", v)
+		}
+	}
+}
+
+func TestRandIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRand(1).Intn(0)
+}
+
+func BenchmarkPairwiseHash(b *testing.B) {
+	h := NewPairwise(12345, 67890, 1<<16)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += h.Hash(uint64(i))
+	}
+	_ = sink
+}
+
+func BenchmarkMix64(b *testing.B) {
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += Mix64(uint64(i))
+	}
+	_ = sink
+}
+
+func BenchmarkHashAllDepth8(b *testing.B) {
+	f := NewFamily(8, 1<<16, 1)
+	dst := make([]uint64, 8)
+	for i := 0; i < b.N; i++ {
+		f.HashAll(uint64(i), dst)
+	}
+}

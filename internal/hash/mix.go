@@ -1,0 +1,75 @@
+package hash
+
+// Mix64 is the splitmix64 finalizer: a fast bijective mixer on 64-bit words.
+// It is used for the Owner(K) mapping of domain splitting, where we want
+// adjacent or structured keys (sequential IPs, ports) to spread evenly over
+// threads, and for seeding.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Fingerprint64 hashes an arbitrary byte string to a 64-bit key using
+// FNV-1a followed by a splitmix64 finalizer (FNV alone distributes the low
+// bits of short keys poorly, which matters for `mod T` owner mapping).
+func Fingerprint64(b []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime
+	}
+	return Mix64(h)
+}
+
+// FingerprintString is Fingerprint64 for strings without forcing a copy at
+// the call site.
+func FingerprintString(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return Mix64(h)
+}
+
+// Rand is a small, fast, seedable PRNG (splitmix64 sequence). It exists so
+// that substrate packages do not depend on math/rand and remain
+// deterministic across Go releases.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with seed.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Next returns the next pseudo-random 64-bit value.
+func (r *Rand) Next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	x := r.state
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Next()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("hash: Intn with non-positive n")
+	}
+	return int(r.Next() % uint64(n))
+}

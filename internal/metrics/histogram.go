@@ -1,0 +1,129 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// Histogram is a log2-bucketed latency histogram: durations are counted in
+// power-of-two nanosecond buckets, giving ~±50% resolution over the whole
+// nanosecond–minute range with a fixed 64-slot footprint. Good enough to
+// reproduce the paper's average/percentile latency comparisons (Figure 10)
+// without the allocation cost of recording raw samples.
+type Histogram struct {
+	buckets [64]uint64
+	sum     uint64 // total nanoseconds, for exact averages
+	count   uint64
+	max     uint64
+}
+
+// Record adds one duration observation.
+func (h *Histogram) Record(d time.Duration) {
+	ns := uint64(d.Nanoseconds())
+	if d < 0 {
+		ns = 0
+	}
+	h.buckets[bucketOf(ns)]++
+	h.sum += ns
+	h.count++
+	if ns > h.max {
+		h.max = ns
+	}
+}
+
+func bucketOf(ns uint64) int {
+	b := 0
+	for v := ns; v > 0; v >>= 1 {
+		b++
+	}
+	if b >= 64 {
+		b = 63
+	}
+	return b
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the exact average of all observations.
+func (h *Histogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / h.count)
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max) }
+
+// Percentile returns an upper bound of the p-th percentile (p in [0,100]),
+// at bucket resolution.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	target := uint64(math.Ceil(float64(h.count) * p / 100))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for b, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			// upper edge of bucket b: 2^b - 1
+			if b >= 63 {
+				return time.Duration(h.max)
+			}
+			return time.Duration((uint64(1) << uint(b)) - 1)
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for i := range h.buckets {
+		h.buckets[i] += other.buckets[i]
+	}
+	h.sum += other.sum
+	h.count += other.count
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// String summarizes the histogram for logs and tables.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		h.count, h.Mean(), h.Percentile(50), h.Percentile(99), h.Max())
+}
+
+// SharedHistogram is a mutex-guarded histogram for cases where worker
+// threads cannot each own a private histogram; workers should prefer
+// private histograms merged after the run.
+type SharedHistogram struct {
+	mu sync.Mutex
+	h  Histogram
+}
+
+// Record adds an observation (thread-safe).
+func (s *SharedHistogram) Record(d time.Duration) {
+	s.mu.Lock()
+	s.h.Record(d)
+	s.mu.Unlock()
+}
+
+// Snapshot returns a copy of the underlying histogram.
+func (s *SharedHistogram) Snapshot() Histogram {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.h
+}

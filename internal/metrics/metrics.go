@@ -1,0 +1,104 @@
+// Package metrics implements the three measurement tools the paper's
+// evaluation uses (§7.1): average relative error (ARE) for accuracy,
+// per-key absolute error curves (Figure 4), and a log-bucketed latency
+// histogram plus throughput accounting for the performance experiments.
+package metrics
+
+import (
+	"math"
+	"time"
+
+	"dsketch/internal/count"
+)
+
+// ARE computes the average relative error of an estimator against the
+// exact oracle over the given keys:  mean over keys of (f̂(k)−f(k))/f(k).
+// Keys with zero true frequency are skipped (relative error is undefined
+// there); this matches the paper's usage, which queries keys drawn from
+// the input universe.
+func ARE(truth *count.Exact, estimate func(key uint64) uint64, keys []uint64) float64 {
+	var sum float64
+	var n int
+	for _, k := range keys {
+		f := truth.Count(k)
+		if f == 0 {
+			continue
+		}
+		fh := estimate(k)
+		var err float64
+		if fh >= f {
+			err = float64(fh-f) / float64(f)
+		} else {
+			err = float64(f-fh) / float64(f)
+		}
+		sum += err
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// AbsoluteErrors returns, for keys sorted by descending true frequency,
+// the absolute error |f̂ − f| of each — the raw series behind Figure 4.
+func AbsoluteErrors(truth *count.Exact, estimate func(key uint64) uint64) []float64 {
+	by := truth.ByFrequency()
+	out := make([]float64, len(by))
+	for i, kc := range by {
+		fh := estimate(kc.Key)
+		if fh >= kc.Count {
+			out[i] = float64(fh - kc.Count)
+		} else {
+			out[i] = float64(kc.Count - fh)
+		}
+	}
+	return out
+}
+
+// RunningMean smooths a series with a trailing window of the given size,
+// as the paper does for Figure 4 ("running mean of 1,000 keys").
+func RunningMean(series []float64, window int) []float64 {
+	if window <= 1 {
+		out := make([]float64, len(series))
+		copy(out, series)
+		return out
+	}
+	out := make([]float64, len(series))
+	var sum float64
+	for i, v := range series {
+		sum += v
+		if i >= window {
+			sum -= series[i-window]
+			out[i] = sum / float64(window)
+		} else {
+			out[i] = sum / float64(i+1)
+		}
+	}
+	return out
+}
+
+// Downsample keeps ~points evenly spaced samples of a series, for
+// rendering long per-key curves as table rows.
+func Downsample(series []float64, points int) []float64 {
+	if points <= 0 || len(series) <= points {
+		out := make([]float64, len(series))
+		copy(out, series)
+		return out
+	}
+	out := make([]float64, points)
+	step := float64(len(series)) / float64(points)
+	for i := range out {
+		idx := int(math.Floor(float64(i) * step))
+		out[i] = series[idx]
+	}
+	return out
+}
+
+// Throughput converts an operation count and duration to ops/second.
+func Throughput(ops int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(ops) / d.Seconds()
+}

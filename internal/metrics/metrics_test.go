@@ -1,0 +1,214 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dsketch/internal/count"
+)
+
+func TestAREZeroForPerfectEstimator(t *testing.T) {
+	truth := count.NewExact()
+	truth.Add(1, 10)
+	truth.Add(2, 20)
+	are := ARE(truth, truth.Count, []uint64{1, 2})
+	if are != 0 {
+		t.Fatalf("ARE of perfect estimator = %v", are)
+	}
+}
+
+func TestAREOverestimate(t *testing.T) {
+	truth := count.NewExact()
+	truth.Add(1, 10)
+	truth.Add(2, 20)
+	est := func(k uint64) uint64 { return truth.Count(k) * 2 } // +100% each
+	if are := ARE(truth, est, []uint64{1, 2}); math.Abs(are-1.0) > 1e-12 {
+		t.Fatalf("ARE = %v, want 1.0", are)
+	}
+}
+
+func TestARESkipsUnseenKeys(t *testing.T) {
+	truth := count.NewExact()
+	truth.Add(1, 10)
+	est := func(k uint64) uint64 { return 1000 }
+	// key 99 unseen: must not contribute
+	if are := ARE(truth, est, []uint64{1, 99}); math.Abs(are-99.0) > 1e-12 {
+		t.Fatalf("ARE = %v, want 99 (only key 1 counted)", are)
+	}
+}
+
+func TestAREEmpty(t *testing.T) {
+	if ARE(count.NewExact(), func(uint64) uint64 { return 0 }, nil) != 0 {
+		t.Fatal("empty ARE should be 0")
+	}
+}
+
+func TestAbsoluteErrorsSortedByFrequency(t *testing.T) {
+	truth := count.NewExact()
+	truth.Add(1, 100)
+	truth.Add(2, 50)
+	truth.Add(3, 10)
+	est := func(k uint64) uint64 { return truth.Count(k) + k } // error = key
+	errs := AbsoluteErrors(truth, est)
+	want := []float64{1, 2, 3} // ordered by descending frequency
+	for i, w := range want {
+		if errs[i] != w {
+			t.Fatalf("errs = %v, want %v", errs, want)
+		}
+	}
+}
+
+func TestRunningMeanWindow(t *testing.T) {
+	in := []float64{1, 2, 3, 4, 5, 6}
+	out := RunningMean(in, 3)
+	// positions >= window use a full trailing window
+	if math.Abs(out[5]-5) > 1e-12 { // mean(4,5,6)
+		t.Fatalf("out[5] = %v, want 5", out[5])
+	}
+	// early positions average what is available
+	if math.Abs(out[0]-1) > 1e-12 || math.Abs(out[1]-1.5) > 1e-12 {
+		t.Fatalf("warm-up means wrong: %v", out[:2])
+	}
+}
+
+func TestRunningMeanWindowOneIsIdentity(t *testing.T) {
+	f := func(in []float64) bool {
+		out := RunningMean(in, 1)
+		if len(out) != len(in) {
+			return false
+		}
+		for i := range in {
+			if out[i] != in[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	in := make([]float64, 1000)
+	for i := range in {
+		in[i] = float64(i)
+	}
+	out := Downsample(in, 10)
+	if len(out) != 10 {
+		t.Fatalf("len = %d", len(out))
+	}
+	if out[0] != 0 || out[9] != 900 {
+		t.Fatalf("samples wrong: %v", out)
+	}
+	short := Downsample([]float64{1, 2}, 10)
+	if len(short) != 2 {
+		t.Fatal("short series should pass through")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := Throughput(1000, time.Second); got != 1000 {
+		t.Fatalf("Throughput = %v", got)
+	}
+	if Throughput(10, 0) != 0 {
+		t.Fatal("zero duration should yield 0")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Percentile(50) != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	h.Record(100 * time.Nanosecond)
+	h.Record(200 * time.Nanosecond)
+	h.Record(300 * time.Nanosecond)
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Mean() != 200*time.Nanosecond {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	if h.Max() != 300*time.Nanosecond {
+		t.Fatalf("Max = %v", h.Max())
+	}
+}
+
+func TestHistogramPercentileResolution(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 99; i++ {
+		h.Record(time.Microsecond)
+	}
+	h.Record(time.Second)
+	p50 := h.Percentile(50)
+	if p50 > 4*time.Microsecond {
+		t.Fatalf("p50 = %v, should be ~1µs", p50)
+	}
+	p100 := h.Percentile(100)
+	if p100 < 500*time.Millisecond {
+		t.Fatalf("p100 = %v, should reach the 1s outlier's bucket", p100)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Record(time.Millisecond)
+	b.Record(3 * time.Millisecond)
+	a.Merge(&b)
+	if a.Count() != 2 || a.Mean() != 2*time.Millisecond {
+		t.Fatalf("merged: count=%d mean=%v", a.Count(), a.Mean())
+	}
+}
+
+func TestHistogramNegativeDuration(t *testing.T) {
+	var h Histogram
+	h.Record(-time.Second) // clock skew defensively recorded as 0
+	if h.Count() != 1 || h.Max() != 0 {
+		t.Fatalf("negative duration handling wrong: %v", h.String())
+	}
+}
+
+func TestHistogramPercentileClamps(t *testing.T) {
+	var h Histogram
+	h.Record(time.Microsecond)
+	if h.Percentile(-5) != h.Percentile(0) {
+		t.Fatal("negative percentile should clamp")
+	}
+	if h.Percentile(200) != h.Percentile(100) {
+		t.Fatal("percentile > 100 should clamp")
+	}
+}
+
+func TestSharedHistogramConcurrent(t *testing.T) {
+	var sh SharedHistogram
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			for i := 0; i < 1000; i++ {
+				sh.Record(time.Microsecond)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	snap := sh.Snapshot()
+	if got := snap.Count(); got != 4000 {
+		t.Fatalf("Count = %d, want 4000", got)
+	}
+}
+
+func TestBucketOfMonotone(t *testing.T) {
+	prev := -1
+	for _, ns := range []uint64{0, 1, 2, 3, 4, 7, 8, 1023, 1024, 1 << 40} {
+		b := bucketOf(ns)
+		if b < prev {
+			t.Fatalf("bucketOf not monotone at %d", ns)
+		}
+		prev = b
+	}
+}

@@ -1,0 +1,116 @@
+package parallel
+
+import (
+	"dsketch/internal/filter"
+	"dsketch/internal/hash"
+	"dsketch/internal/sketch"
+)
+
+// AugmentedLocal is the "Augmented Sketch using the thread-local design"
+// baseline of §7.1: one sketch *and one filter* per thread. Inserts go
+// through the owner's filter (hot keys never touch the sketch); a query
+// searches every thread's filter and sketch and sums.
+//
+// Following the paper, the baseline is treated favourably: filters are not
+// made thread-safe beyond what queries need — querying threads read other
+// threads' filters directly (atomic loads), with no synchronization against
+// concurrent eviction.
+type AugmentedLocal struct {
+	sketches []*sketch.AtomicCountMin
+	filters  []*filter.Augmented
+}
+
+// NewAugmentedLocal builds the design with T (sketch, filter) pairs.
+func NewAugmentedLocal(threads, depth, width, filterSize int, seed uint64) *AugmentedLocal {
+	if threads <= 0 {
+		panic("parallel: non-positive thread count")
+	}
+	a := &AugmentedLocal{
+		sketches: make([]*sketch.AtomicCountMin, threads),
+		filters:  make([]*filter.Augmented, threads),
+	}
+	for i := range a.sketches {
+		a.sketches[i] = sketch.NewAtomicCountMin(sketch.Config{
+			Depth: depth,
+			Width: width,
+			Seed:  hash.Mix64(seed + uint64(i)),
+		})
+		a.filters[i] = filter.NewAugmented(filterSize)
+	}
+	return a
+}
+
+// Name implements Design.
+func (a *AugmentedLocal) Name() string { return "augmented" }
+
+// Threads implements Design.
+func (a *AugmentedLocal) Threads() int { return len(a.sketches) }
+
+// Insert implements Design with the Augmented Sketch admission policy on
+// the thread's own filter.
+func (a *AugmentedLocal) Insert(tid int, key uint64) {
+	flt, sk := a.filters[tid], a.sketches[tid]
+	if flt.Increment(key, 1) {
+		return
+	}
+	if flt.Add(key, 1) {
+		return
+	}
+	sk.Insert(key, 1)
+	est := sk.Estimate(key)
+	idx, minCount := flt.MinSlot()
+	if est > minCount {
+		evicted, newC, oldC := flt.Slot(idx)
+		if newC > oldC {
+			sk.Insert(evicted, newC-oldC)
+		}
+		flt.Replace(idx, key, est)
+	}
+}
+
+// Query implements Design: per thread, prefer the filter count, falling
+// back to the sketch estimate; sum across threads (§3.1 semantics with the
+// filter in front).
+func (a *AugmentedLocal) Query(_ int, key uint64) uint64 {
+	var sum uint64
+	for i := range a.sketches {
+		if c, ok := a.filters[i].Lookup(key); ok {
+			sum += c
+		} else {
+			sum += a.sketches[i].Estimate(key)
+		}
+	}
+	return sum
+}
+
+// Idle implements Design.
+func (a *AugmentedLocal) Idle(int) { gosched() }
+
+// Flush implements Design: drains every filter's outstanding counts into
+// its thread's sketch. Quiescent only.
+func (a *AugmentedLocal) Flush() {
+	for i, flt := range a.filters {
+		sk := a.sketches[i]
+		flt.Iterate(func(item, newC, oldC uint64) {
+			if newC > oldC {
+				sk.Insert(item, newC-oldC)
+			}
+		})
+		flt.Reset()
+	}
+}
+
+// MemoryBytes implements Design.
+func (a *AugmentedLocal) MemoryBytes() int {
+	var total int
+	for i := range a.sketches {
+		total += a.sketches[i].MemoryBytes() + a.filters[i].MemoryBytes()
+	}
+	return total
+}
+
+// Sketch exposes thread i's sketch for verification.
+func (a *AugmentedLocal) Sketch(i int) *sketch.AtomicCountMin { return a.sketches[i] }
+
+// Filter exposes thread i's filter for verification and introspection.
+func (a *AugmentedLocal) Filter(i int) *filter.Augmented { return a.filters[i] }

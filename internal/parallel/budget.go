@@ -1,0 +1,128 @@
+package parallel
+
+import "dsketch/internal/delegation"
+
+// Budget implements the evaluation's fair-comparison rule (§7.1): for a
+// given thread count every design gets the same total memory, *including*
+// filters and pending-query arrays. The number of rows is kept constant
+// across designs — same δ, same per-operation hash count — and the number
+// of buckets per row is reduced to pay for auxiliary structures, exactly
+// as the paper does.
+type Budget struct {
+	// Threads is T.
+	Threads int
+	// Depth is the shared row count d.
+	Depth int
+	// BaseWidth is the per-thread bucket count w of the plain
+	// thread-local design, which anchors the total budget T·w·d counters.
+	BaseWidth int
+	// FilterSize is the delegation filter capacity (16 in the paper).
+	FilterSize int
+	// AugFilterSize is the Augmented Sketch filter capacity (16).
+	AugFilterSize int
+}
+
+// WithDefaults fills unset sizes with the paper's values.
+func (b Budget) WithDefaults() Budget {
+	if b.Threads <= 0 {
+		b.Threads = 1
+	}
+	if b.Depth <= 0 {
+		b.Depth = 8
+	}
+	if b.BaseWidth <= 0 {
+		b.BaseWidth = 1 << 12
+	}
+	if b.FilterSize <= 0 {
+		b.FilterSize = 16
+	}
+	if b.AugFilterSize <= 0 {
+		b.AugFilterSize = 16
+	}
+	return b
+}
+
+// TotalBytes is the budget every design must fit in.
+func (b Budget) TotalBytes() int { return b.Threads * b.Depth * b.BaseWidth * 8 }
+
+// ThreadLocalWidth returns the per-thread width of the plain thread-local
+// design (the anchor: exactly BaseWidth).
+func (b Budget) ThreadLocalWidth() int { return b.BaseWidth }
+
+// SharedWidth returns the single-shared sketch's width: T·w buckets per
+// row, same total memory as T sketches of width w (§7.1).
+func (b Budget) SharedWidth() int { return b.BaseWidth * b.Threads }
+
+// AugmentedWidth returns the per-thread width of the Augmented baseline,
+// derated to pay for each thread's filter.
+func (b Budget) AugmentedWidth() int {
+	return derate(b.BaseWidth, b.augFilterBytes(), b.Depth)
+}
+
+// DelegationWidth returns the per-owner width of Delegation Sketch,
+// derated to pay for the T delegation filters, the pending-query slots and
+// the underlying Augmented filter at each owner.
+func (b Budget) DelegationWidth() int {
+	aux := b.Threads*b.delegationFilterBytes() + // T delegation filters
+		b.Threads*64 + // pending-query slots (one cache line each)
+		b.augFilterBytes() // the underlying Augmented Sketch filter
+	return derate(b.BaseWidth, aux, b.Depth)
+}
+
+func (b Budget) delegationFilterBytes() int { return b.FilterSize * 16 }
+func (b Budget) augFilterBytes() int        { return b.AugFilterSize * 24 }
+
+// derate removes enough buckets per row to free auxBytes, keeping at
+// least one bucket.
+func derate(width, auxBytes, depth int) int {
+	buckets := (auxBytes + depth*8 - 1) / (depth * 8)
+	w := width - buckets
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Kind names a parallelization design for the factory and tables.
+type Kind string
+
+// The designs compared throughout the evaluation.
+const (
+	KindThreadLocal        Kind = "thread-local"
+	KindSingleShared       Kind = "single-shared"
+	KindAugmented          Kind = "augmented"
+	KindDelegation         Kind = "delegation"
+	KindDelegationNoSquash Kind = "delegation-nosquash"
+)
+
+// AllKinds lists the four designs of the paper's figures, in the order the
+// tables print them.
+func AllKinds() []Kind {
+	return []Kind{KindSingleShared, KindThreadLocal, KindAugmented, KindDelegation}
+}
+
+// New builds a design under the equal-memory budget.
+func New(kind Kind, b Budget, seed uint64) Design {
+	b = b.WithDefaults()
+	switch kind {
+	case KindThreadLocal:
+		return NewThreadLocal(b.Threads, b.Depth, b.ThreadLocalWidth(), seed)
+	case KindSingleShared:
+		return NewSingleShared(b.Threads, b.Depth, b.SharedWidth(), seed)
+	case KindAugmented:
+		return NewAugmentedLocal(b.Threads, b.Depth, b.AugmentedWidth(), b.AugFilterSize, seed)
+	case KindDelegation, KindDelegationNoSquash:
+		return NewDelegation(delegation.Config{
+			Threads:             b.Threads,
+			Depth:               b.Depth,
+			Width:               b.DelegationWidth(),
+			Seed:                seed,
+			FilterSize:          b.FilterSize,
+			Backend:             delegation.BackendAugmented,
+			AugmentedFilterSize: b.AugFilterSize,
+			DisableSquashing:    kind == KindDelegationNoSquash,
+		})
+	default:
+		panic("parallel: unknown design kind " + string(kind))
+	}
+}

@@ -1,0 +1,54 @@
+package parallel
+
+import "dsketch/internal/delegation"
+
+// Delegation adapts delegation.DS to the Design interface so the driver
+// and experiment harness treat it uniformly with the baselines.
+type Delegation struct {
+	ds *delegation.DS
+}
+
+// NewDelegation wraps a Delegation Sketch built from cfg.
+func NewDelegation(cfg delegation.Config) *Delegation {
+	return &Delegation{ds: delegation.New(cfg)}
+}
+
+// DS exposes the wrapped sketch for stats and verification.
+func (d *Delegation) DS() *delegation.DS { return d.ds }
+
+// Name implements Design.
+func (d *Delegation) Name() string {
+	if d.ds.Config().DisableSquashing {
+		return "delegation-nosquash"
+	}
+	return "delegation"
+}
+
+// Threads implements Design.
+func (d *Delegation) Threads() int { return d.ds.Threads() }
+
+// Insert implements Design.
+func (d *Delegation) Insert(tid int, key uint64) { d.ds.Insert(tid, key) }
+
+// Query implements Design.
+func (d *Delegation) Query(tid int, key uint64) uint64 { return d.ds.Query(tid, key) }
+
+// Idle implements Design: keep serving delegated work while waiting, which
+// is what guarantees system-wide progress (Claim 1).
+func (d *Delegation) Idle(tid int) {
+	d.ds.Help(tid)
+	gosched()
+}
+
+// Flush implements Design. Quiescent only.
+func (d *Delegation) Flush() { d.ds.Flush() }
+
+// InsertSequential and QueryQuiescent expose the deterministic
+// single-goroutine paths for the accuracy harness (see delegation.DS).
+func (d *Delegation) InsertSequential(tid int, key uint64) { d.ds.InsertSequential(tid, key) }
+
+// QueryQuiescent answers a query without delegation. Quiescent only.
+func (d *Delegation) QueryQuiescent(key uint64) uint64 { return d.ds.EstimateQuiescent(key) }
+
+// MemoryBytes implements Design.
+func (d *Delegation) MemoryBytes() int { return d.ds.MemoryBytes() }

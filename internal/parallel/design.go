@@ -1,0 +1,33 @@
+// Package parallel defines the common interface over the paper's four
+// parallelization designs (§3) — thread-local, single-shared, thread-local
+// Augmented Sketch, and Delegation Sketch — together with the
+// equal-total-memory sizing rule of §7.1 and the workload driver that the
+// throughput and latency experiments (Figures 5–10) run on.
+package parallel
+
+import "runtime"
+
+// Design is a concurrent sketch under test. Thread ids are explicit: each
+// id in [0, Threads()) must be driven by exactly one goroutine; calls with
+// distinct tids are safe concurrently.
+type Design interface {
+	// Name identifies the design in tables ("thread-local", ...).
+	Name() string
+	// Threads returns T.
+	Threads() int
+	// Insert records one occurrence of key on behalf of thread tid.
+	Insert(tid int, key uint64)
+	// Query answers a point query for key on behalf of thread tid.
+	Query(tid int, key uint64) uint64
+	// Idle lets thread tid donate a time slice while it waits for other
+	// threads (delegation uses it to keep helping; others just yield).
+	Idle(tid int)
+	// Flush drains any buffered state into the sketches. Quiescent only.
+	Flush()
+	// MemoryBytes reports the design's total footprint for the
+	// equal-memory comparison.
+	MemoryBytes() int
+}
+
+// gosched is the default Idle behaviour.
+func gosched() { runtime.Gosched() }

@@ -1,0 +1,144 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dsketch/internal/hash"
+	"dsketch/internal/metrics"
+)
+
+// Workload describes one run of the throughput/latency harness: T
+// per-thread operation schedules with a given insert/query mix, mirroring
+// the paper's system model where each thread processes its own sub-stream
+// and occasionally serves a query (§2.2).
+type Workload struct {
+	// OpsPerThread is the number of operations each thread performs.
+	OpsPerThread int
+	// QueryRatio is the fraction of operations that are queries (e.g.
+	// 0.001 for the paper's "0.1%" workloads).
+	QueryRatio float64
+	// Keys returns the key for thread tid's op-th insertion; the driver
+	// pre-materializes schedules so generator cost stays out of the
+	// measured region.
+	Keys func(tid int) func() uint64
+	// QueryKeys returns the key for thread tid's op-th query. If nil,
+	// Keys is used — the paper draws query keys from the same
+	// distribution as insertions (§7.1).
+	QueryKeys func(tid int) func() uint64
+	// Seed randomizes which positions in the schedule are queries.
+	Seed uint64
+	// MeasureLatency records a per-query latency histogram (used for
+	// Figure 10); adds two clock reads per query.
+	MeasureLatency bool
+}
+
+// Result is one measured run.
+type Result struct {
+	Design     string
+	Threads    int
+	Ops        int
+	Inserts    int
+	Queries    int
+	Duration   time.Duration
+	Throughput float64 // operations per second, inserts + queries
+	QueryLat   metrics.Histogram
+}
+
+// op schedules are pre-materialized: keys plus a query bitmask.
+type schedule struct {
+	keys    []uint64
+	isQuery []bool
+	queries int
+}
+
+func buildSchedule(w Workload, tid int) schedule {
+	s := schedule{
+		keys:    make([]uint64, w.OpsPerThread),
+		isQuery: make([]bool, w.OpsPerThread),
+	}
+	insertKeys := w.Keys(tid)
+	queryKeys := insertKeys
+	if w.QueryKeys != nil {
+		queryKeys = w.QueryKeys(tid)
+	}
+	rng := hash.NewRand(hash.Mix64(w.Seed + uint64(tid)*0x9e37))
+	for i := 0; i < w.OpsPerThread; i++ {
+		if w.QueryRatio > 0 && rng.Float64() < w.QueryRatio {
+			s.isQuery[i] = true
+			s.keys[i] = queryKeys()
+			s.queries++
+		} else {
+			s.keys[i] = insertKeys()
+		}
+	}
+	return s
+}
+
+// Run drives design with the workload: one goroutine per thread id, a
+// start barrier, and a cooperative tail in which finished threads keep
+// donating Idle slices until every thread completes (required for
+// delegation's helping protocol, harmless for the baselines). It returns
+// aggregate throughput and, when requested, the query latency histogram.
+func Run(d Design, w Workload) Result {
+	t := d.Threads()
+	schedules := make([]schedule, t)
+	for tid := range schedules {
+		schedules[tid] = buildSchedule(w, tid)
+	}
+
+	var (
+		start = make(chan struct{})
+		done  atomic.Int32
+		wg    sync.WaitGroup
+		hists = make([]metrics.Histogram, t)
+		sink  atomic.Uint64
+	)
+	for tid := 0; tid < t; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			s := &schedules[tid]
+			<-start
+			var local uint64
+			for i, key := range s.keys {
+				if s.isQuery[i] {
+					if w.MeasureLatency {
+						t0 := time.Now()
+						local += d.Query(tid, key)
+						hists[tid].Record(time.Since(t0))
+					} else {
+						local += d.Query(tid, key)
+					}
+				} else {
+					d.Insert(tid, key)
+				}
+			}
+			sink.Add(local) // defeat dead-code elimination of queries
+			done.Add(1)
+			for int(done.Load()) < t {
+				d.Idle(tid)
+			}
+		}(tid)
+	}
+
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	res := Result{
+		Design:   d.Name(),
+		Threads:  t,
+		Ops:      t * w.OpsPerThread,
+		Duration: elapsed,
+	}
+	for tid := range schedules {
+		res.Queries += schedules[tid].queries
+		res.QueryLat.Merge(&hists[tid])
+	}
+	res.Inserts = res.Ops - res.Queries
+	res.Throughput = metrics.Throughput(res.Ops, elapsed)
+	return res
+}

@@ -1,0 +1,273 @@
+package parallel
+
+import (
+	"testing"
+
+	"dsketch/internal/count"
+	"dsketch/internal/sketch"
+	"dsketch/internal/zipf"
+)
+
+func zipfKeys(universe int, skew float64, base uint64) func(tid int) func() uint64 {
+	return func(tid int) func() uint64 {
+		g := zipf.New(zipf.Config{Universe: universe, Skew: skew, Seed: base + uint64(tid), PermuteKeys: true})
+		return g.Next
+	}
+}
+
+func smallBudget(threads int) Budget {
+	return Budget{Threads: threads, Depth: 4, BaseWidth: 512}.WithDefaults()
+}
+
+func TestAllDesignsRunMixedWorkload(t *testing.T) {
+	for _, kind := range append(AllKinds(), KindDelegationNoSquash) {
+		d := New(kind, smallBudget(4), 1)
+		res := Run(d, Workload{
+			OpsPerThread: 5000,
+			QueryRatio:   0.01,
+			Keys:         zipfKeys(1000, 1.2, 7),
+			Seed:         3,
+		})
+		if res.Ops != 4*5000 {
+			t.Errorf("%s: Ops = %d", kind, res.Ops)
+		}
+		if res.Queries == 0 || res.Inserts == 0 {
+			t.Errorf("%s: mix wrong: %d inserts, %d queries", kind, res.Inserts, res.Queries)
+		}
+		if res.Throughput <= 0 {
+			t.Errorf("%s: throughput %v", kind, res.Throughput)
+		}
+		if res.Design == "" {
+			t.Errorf("%s: empty design name", kind)
+		}
+	}
+}
+
+func TestEqualMemoryAcrossDesigns(t *testing.T) {
+	// §7.1: all designs must consume (at most, and nearly exactly) the
+	// same total memory. The derated designs may undershoot by at most
+	// one bucket-row worth of slack.
+	b := Budget{Threads: 8, Depth: 8, BaseWidth: 4096}.WithDefaults()
+	total := b.TotalBytes()
+	slack := b.Depth * 8 // one bucket column of rounding
+	for _, kind := range AllKinds() {
+		d := New(kind, b, 1)
+		got := d.MemoryBytes()
+		if got > total {
+			t.Errorf("%s: memory %d exceeds budget %d", kind, got, total)
+		}
+		if got < total-8*(slack+b.Threads*64+1024) {
+			t.Errorf("%s: memory %d far below budget %d — unfair comparison", kind, got, total)
+		}
+	}
+}
+
+func TestBudgetWidths(t *testing.T) {
+	b := Budget{Threads: 4, Depth: 8, BaseWidth: 1024, FilterSize: 16, AugFilterSize: 16}
+	if b.ThreadLocalWidth() != 1024 {
+		t.Fatal("thread-local width must equal base width")
+	}
+	if b.SharedWidth() != 4096 {
+		t.Fatalf("shared width = %d, want 4096", b.SharedWidth())
+	}
+	if aw := b.AugmentedWidth(); aw >= 1024 || aw < 1000 {
+		t.Fatalf("augmented width = %d, implausible derate", aw)
+	}
+	dw := b.DelegationWidth()
+	if dw >= b.AugmentedWidth() {
+		t.Fatal("delegation width must be derated more than augmented")
+	}
+	if dw < 900 {
+		t.Fatalf("delegation width = %d, over-derated", dw)
+	}
+}
+
+func TestDerateFloor(t *testing.T) {
+	if w := derate(4, 1<<20, 2); w != 1 {
+		t.Fatalf("derate floor = %d, want 1", w)
+	}
+}
+
+func TestNewUnknownKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Kind("bogus"), smallBudget(2), 1)
+}
+
+func TestThreadLocalQuerySumsAllSketches(t *testing.T) {
+	d := NewThreadLocal(3, 4, 1<<12, 1)
+	d.Insert(0, 42)
+	d.Insert(1, 42)
+	d.Insert(2, 42)
+	if got := d.Query(0, 42); got != 3 {
+		t.Fatalf("Query = %d, want 3 (sum over thread sketches)", got)
+	}
+}
+
+func TestSingleSharedCountsAcrossThreads(t *testing.T) {
+	d := NewSingleShared(3, 4, 1<<12, 1)
+	d.Insert(0, 42)
+	d.Insert(1, 42)
+	d.Insert(2, 42)
+	if got := d.Query(1, 42); got != 3 {
+		t.Fatalf("Query = %d, want 3", got)
+	}
+}
+
+func TestAugmentedLocalFilterExactForHotKey(t *testing.T) {
+	d := NewAugmentedLocal(2, 4, 256, 16, 1)
+	for i := 0; i < 100; i++ {
+		d.Insert(0, 7)
+		d.Insert(1, 7)
+	}
+	if got := d.Query(0, 7); got != 200 {
+		t.Fatalf("hot key query = %d, want exactly 200 (filter hit)", got)
+	}
+}
+
+func TestRunNeverLosesInsertsAnyDesign(t *testing.T) {
+	// After a mixed concurrent run + flush, each design's sketches must
+	// account for exactly the number of insertions (row-sum invariant).
+	const threads = 4
+	const ops = 8000
+	for _, kind := range AllKinds() {
+		d := New(kind, smallBudget(threads), 11)
+		res := Run(d, Workload{
+			OpsPerThread: ops,
+			QueryRatio:   0.05,
+			Keys:         zipfKeys(500, 1.0, 31),
+			Seed:         13,
+		})
+		d.Flush()
+		var got uint64
+		switch v := d.(type) {
+		case *ThreadLocal:
+			for i := 0; i < threads; i++ {
+				got += v.Sketch(i).RowSum(0)
+			}
+		case *SingleShared:
+			got = v.Sketch().RowSum(0)
+		case *AugmentedLocal:
+			for i := 0; i < threads; i++ {
+				got += v.Sketch(i).RowSum(0)
+			}
+		case *Delegation:
+			v.DS().DrainBackingFilters()
+			for i := 0; i < threads; i++ {
+				aug := v.DS().OwnerSketch(i).(*sketch.Augmented)
+				got += aug.Backing().(*sketch.CountMin).RowSum(0)
+			}
+		}
+		if got != uint64(res.Inserts) {
+			t.Errorf("%s: sketches hold %d, inserted %d", kind, got, res.Inserts)
+		}
+	}
+}
+
+func TestRunQueriesNeverUnderestimateAfterFlushDelegation(t *testing.T) {
+	const threads = 4
+	d := New(KindDelegation, smallBudget(threads), 5)
+	w := Workload{
+		OpsPerThread: 5000,
+		QueryRatio:   0,
+		Keys:         zipfKeys(300, 1.0, 77),
+		Seed:         17,
+	}
+	Run(d, w)
+	d.Flush()
+	// Rebuild ground truth with the same deterministic schedules.
+	truth := count.NewExact()
+	for tid := 0; tid < threads; tid++ {
+		s := buildSchedule(w, tid)
+		for i, k := range s.keys {
+			if !s.isQuery[i] {
+				truth.Add(k, 1)
+			}
+		}
+	}
+	ds := d.(*Delegation).DS()
+	for _, k := range truth.Keys() {
+		if est := ds.OwnerSketch(ds.Owner(k)).Estimate(k); est < truth.Count(k) {
+			t.Fatalf("key %d: estimate %d < true %d", k, est, truth.Count(k))
+		}
+	}
+}
+
+func TestRunMeasuresLatency(t *testing.T) {
+	d := New(KindSingleShared, smallBudget(2), 1)
+	res := Run(d, Workload{
+		OpsPerThread:   2000,
+		QueryRatio:     0.1,
+		Keys:           zipfKeys(100, 1, 3),
+		Seed:           7,
+		MeasureLatency: true,
+	})
+	if res.QueryLat.Count() == 0 {
+		t.Fatal("latency histogram empty despite MeasureLatency")
+	}
+	if int(res.QueryLat.Count()) != res.Queries {
+		t.Fatalf("histogram count %d != queries %d", res.QueryLat.Count(), res.Queries)
+	}
+}
+
+func TestRunSeparateQueryKeyDistribution(t *testing.T) {
+	d := New(KindSingleShared, smallBudget(1), 1)
+	constKey := func(int) func() uint64 {
+		return func() uint64 { return 999 }
+	}
+	res := Run(d, Workload{
+		OpsPerThread: 1000,
+		QueryRatio:   0.5,
+		Keys:         zipfKeys(100, 1, 3),
+		QueryKeys:    constKey,
+		Seed:         7,
+	})
+	if res.Queries < 400 {
+		t.Fatalf("query count %d implausible for ratio 0.5", res.Queries)
+	}
+}
+
+func TestDelegationKindNames(t *testing.T) {
+	d1 := New(KindDelegation, smallBudget(2), 1)
+	d2 := New(KindDelegationNoSquash, smallBudget(2), 1)
+	if d1.Name() != "delegation" || d2.Name() != "delegation-nosquash" {
+		t.Fatalf("names: %q %q", d1.Name(), d2.Name())
+	}
+}
+
+func TestDesignConstructorsPanicOnBadThreads(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"threadlocal": func() { NewThreadLocal(0, 4, 16, 1) },
+		"shared":      func() { NewSingleShared(0, 4, 16, 1) },
+		"augmented":   func() { NewAugmentedLocal(0, 4, 16, 16, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestStatsFlowThroughDelegationAdapter(t *testing.T) {
+	d := New(KindDelegation, smallBudget(4), 3).(*Delegation)
+	Run(d, Workload{
+		OpsPerThread: 4000,
+		QueryRatio:   0.05,
+		Keys:         zipfKeys(5000, 1.0, 9),
+		Seed:         21,
+	})
+	s := d.DS().Stats()
+	if s.Drains == 0 {
+		t.Error("no filter drains recorded")
+	}
+	if s.ServedQueries+s.DirectQueries == 0 {
+		t.Error("no queries recorded")
+	}
+}

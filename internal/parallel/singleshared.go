@@ -1,0 +1,48 @@
+package parallel
+
+import "dsketch/internal/sketch"
+
+// SingleShared is the "single-shared design" of §3.2: one sketch shared by
+// all threads, counters updated with atomic fetch-and-add. Queries are fast
+// and as accurate as the memory allows (Equation 5: ε/T · N with the T-wide
+// sketch), but insertions contend on shared cache lines and do not scale.
+type SingleShared struct {
+	s       *sketch.AtomicCountMin
+	threads int
+}
+
+// NewSingleShared builds the design. To match the other designs' total
+// memory, callers pass width = T × (per-thread width), per §7.1.
+func NewSingleShared(threads, depth, width int, seed uint64) *SingleShared {
+	if threads <= 0 {
+		panic("parallel: non-positive thread count")
+	}
+	return &SingleShared{
+		s:       sketch.NewAtomicCountMin(sketch.Config{Depth: depth, Width: width, Seed: seed}),
+		threads: threads,
+	}
+}
+
+// Name implements Design.
+func (s *SingleShared) Name() string { return "single-shared" }
+
+// Threads implements Design.
+func (s *SingleShared) Threads() int { return s.threads }
+
+// Insert implements Design: atomic adds on the shared counters.
+func (s *SingleShared) Insert(_ int, key uint64) { s.s.Insert(key, 1) }
+
+// Query implements Design: a single sketch search.
+func (s *SingleShared) Query(_ int, key uint64) uint64 { return s.s.Estimate(key) }
+
+// Idle implements Design.
+func (s *SingleShared) Idle(int) { gosched() }
+
+// Flush implements Design (nothing is buffered).
+func (s *SingleShared) Flush() {}
+
+// MemoryBytes implements Design.
+func (s *SingleShared) MemoryBytes() int { return s.s.MemoryBytes() }
+
+// Sketch exposes the shared sketch for verification.
+func (s *SingleShared) Sketch() *sketch.AtomicCountMin { return s.s }

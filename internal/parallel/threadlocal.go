@@ -1,0 +1,72 @@
+package parallel
+
+import (
+	"dsketch/internal/hash"
+	"dsketch/internal/sketch"
+)
+
+// ThreadLocal is the "thread-local design" of §3.1: one sketch per thread;
+// every thread inserts only into its own sketch; a query reads *all* T
+// sketches and sums the estimates. Insertions scale perfectly, queries
+// cost O(T) sketch searches and their errors add up (Equation 3).
+//
+// Counters are atomic so that cross-thread query reads are well-defined
+// under concurrent insertions (the paper's C implementation relies on
+// x86 word-access atomicity for the same purpose).
+type ThreadLocal struct {
+	sketches []*sketch.AtomicCountMin
+}
+
+// NewThreadLocal builds the design with T sketches of depth×width each.
+func NewThreadLocal(threads, depth, width int, seed uint64) *ThreadLocal {
+	if threads <= 0 {
+		panic("parallel: non-positive thread count")
+	}
+	t := &ThreadLocal{sketches: make([]*sketch.AtomicCountMin, threads)}
+	for i := range t.sketches {
+		t.sketches[i] = sketch.NewAtomicCountMin(sketch.Config{
+			Depth: depth,
+			Width: width,
+			Seed:  hash.Mix64(seed + uint64(i)),
+		})
+	}
+	return t
+}
+
+// Name implements Design.
+func (t *ThreadLocal) Name() string { return "thread-local" }
+
+// Threads implements Design.
+func (t *ThreadLocal) Threads() int { return len(t.sketches) }
+
+// Insert implements Design: thread-private sketch, no communication.
+func (t *ThreadLocal) Insert(tid int, key uint64) {
+	t.sketches[tid].Insert(key, 1)
+}
+
+// Query implements Design: search every sketch and sum the estimates.
+func (t *ThreadLocal) Query(_ int, key uint64) uint64 {
+	var sum uint64
+	for _, s := range t.sketches {
+		sum += s.Estimate(key)
+	}
+	return sum
+}
+
+// Idle implements Design.
+func (t *ThreadLocal) Idle(int) { gosched() }
+
+// Flush implements Design (nothing is buffered).
+func (t *ThreadLocal) Flush() {}
+
+// MemoryBytes implements Design.
+func (t *ThreadLocal) MemoryBytes() int {
+	var total int
+	for _, s := range t.sketches {
+		total += s.MemoryBytes()
+	}
+	return total
+}
+
+// Sketch exposes thread i's sketch for verification.
+func (t *ThreadLocal) Sketch(i int) *sketch.AtomicCountMin { return t.sketches[i] }

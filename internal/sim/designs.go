@@ -1,0 +1,424 @@
+package sim
+
+import (
+	"time"
+
+	"dsketch/internal/filter"
+	"dsketch/internal/hash"
+)
+
+// simFilter is the actual delegation-filter state the simulator maintains:
+// real keys, real fill/drain cycles. Timing is charged by the models; the
+// *dynamics* (when a filter fills, whether a key hits) come from this real
+// state, which is where the design's skew-dependence lives.
+type simFilter = filter.KV
+
+// simOp is one scheduled operation.
+type simOp struct {
+	key   uint64
+	query bool
+}
+
+// simASketch mimics Augmented Sketch admission dynamics using an exact
+// oracle as the backing sketch's estimate (the simulator does not carry
+// counter arrays; only hit/miss behaviour matters for timing).
+type simASketch struct {
+	keys   []uint64
+	counts []uint64
+	size   int
+	oracle map[uint64]uint64
+}
+
+func newSimASketch(capacity int) *simASketch {
+	return &simASketch{
+		keys:   make([]uint64, capacity),
+		counts: make([]uint64, capacity),
+		oracle: make(map[uint64]uint64),
+	}
+}
+
+// insert records count occurrences and reports whether the filter absorbed
+// them (true) or the sketch was touched (false).
+func (s *simASketch) insert(key, count uint64) bool {
+	for i := 0; i < s.size; i++ {
+		if s.keys[i] == key {
+			s.counts[i] += count
+			return true
+		}
+	}
+	if s.size < len(s.keys) {
+		s.keys[s.size] = key
+		s.counts[s.size] = count
+		s.size++
+		return true
+	}
+	// Sketch insert + possible swap with the min slot.
+	s.oracle[key] += count
+	est := s.oracle[key]
+	minI := 0
+	for i := 1; i < s.size; i++ {
+		if s.counts[i] < s.counts[minI] {
+			minI = i
+		}
+	}
+	if est > s.counts[minI] {
+		s.oracle[s.keys[minI]] += s.counts[minI]
+		s.keys[minI] = key
+		s.counts[minI] = est
+	}
+	return false
+}
+
+// lookup reports whether a query for key hits the filter.
+func (s *simASketch) lookup(key uint64) bool {
+	for i := 0; i < s.size; i++ {
+		if s.keys[i] == key {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+
+// threadLocalModel: inserts are thread-private L1 work; queries read every
+// thread's sketch, paying coherence latency and interconnect bandwidth for
+// the T−1 remote ones (§3.1).
+type threadLocalModel struct {
+	sched [][]simOp
+	depth int
+}
+
+func (m *threadLocalModel) name() string { return "thread-local" }
+
+func (m *threadLocalModel) parkable(t *vthread) bool { return t.finished }
+
+func (m *threadLocalModel) step(e *engine, t *vthread) {
+	if t.finished {
+		t.clock += e.cost.Spin
+		return
+	}
+	op := m.sched[t.id][t.pos]
+	if op.query {
+		t.queryStart = t.clock
+		tn := len(e.threads)
+		t.clock += int64(tn*m.depth)*e.cost.Hash + int64(m.depth)*e.cost.L1
+		e.remoteRead(t, (tn-1)*m.depth, 1)
+		t.lat.Record(time.Duration(t.clock - t.queryStart))
+	} else {
+		t.clock += int64(m.depth) * (e.cost.Hash + e.cost.L1)
+	}
+	e.finishOp(t, len(m.sched[t.id]))
+}
+
+// sharedModel: every insert does d atomic RMWs on lines that, with
+// probability (T−1)/T, were last written by another core — the coherence
+// and bandwidth costs that keep the single-shared design from scaling
+// (§3.2). Queries pay the same d remote reads but nothing else.
+type sharedModel struct {
+	sched [][]simOp
+	depth int
+}
+
+func (m *sharedModel) name() string { return "single-shared" }
+
+func (m *sharedModel) parkable(t *vthread) bool { return t.finished }
+
+func (m *sharedModel) step(e *engine, t *vthread) {
+	if t.finished {
+		t.clock += e.cost.Spin
+		return
+	}
+	op := m.sched[t.id][t.pos]
+	tn := len(e.threads)
+	contention := float64(tn-1) / float64(tn)
+	if op.query {
+		t.queryStart = t.clock
+		t.clock += int64(m.depth) * (e.cost.Hash + e.cost.L1)
+		e.remoteRead(t, m.depth, contention)
+		t.lat.Record(time.Duration(t.clock - t.queryStart))
+	} else {
+		t.clock += int64(m.depth) * (e.cost.Hash + e.cost.L1)
+		e.interconnect(t, m.depth, contention)
+	}
+	e.finishOp(t, len(m.sched[t.id]))
+}
+
+// augmentedModel: the thread-local Augmented Sketch baseline. Filter
+// hit/miss dynamics come from real per-thread filter state; queries scan
+// every thread's filter (remote lines) and fall through to that thread's
+// sketch on a miss.
+type augmentedModel struct {
+	sched   [][]simOp
+	depth   int
+	filters []*simASketch
+}
+
+func (m *augmentedModel) name() string { return "augmented" }
+
+func (m *augmentedModel) parkable(t *vthread) bool { return t.finished }
+
+func (m *augmentedModel) step(e *engine, t *vthread) {
+	if t.finished {
+		t.clock += e.cost.Spin
+		return
+	}
+	op := m.sched[t.id][t.pos]
+	if op.query {
+		t.queryStart = t.clock
+		for i, f := range m.filters {
+			t.clock += e.cost.FilterScan
+			if i != t.id {
+				e.remoteRead(t, 2, 1) // the remote filter's lines
+			}
+			if !f.lookup(op.key) {
+				t.clock += int64(m.depth) * e.cost.Hash
+				if i == t.id {
+					t.clock += int64(m.depth) * e.cost.L1
+				} else {
+					e.remoteRead(t, m.depth, 1)
+				}
+			}
+		}
+		t.lat.Record(time.Duration(t.clock - t.queryStart))
+	} else {
+		t.clock += e.cost.FilterScan
+		if !m.filters[t.id].insert(op.key, 1) {
+			// filter miss: sketch insert + admission bookkeeping
+			t.clock += int64(m.depth)*(e.cost.Hash+e.cost.L1) + e.cost.FilterScan
+		}
+	}
+	e.finishOp(t, len(m.sched[t.id]))
+}
+
+// delegationModel: the full Delegation Sketch protocol in virtual time —
+// real delegation filters filling, drain jobs and pending queries flowing
+// through owner mailboxes, blocked producers helping, query squashing
+// collapsing concurrent hot-key queries (§4–6).
+type delegationModel struct {
+	sched   [][]simOp
+	depth   int
+	squash  bool
+	filters [][]*simFilter // [owner][producer]
+	backend []*simASketch  // per-owner Augmented Sketch state
+	// jobFree[i] is owner i's job-service resource: the earliest instant
+	// a new delegated job can start there. Owners check for delegated
+	// work after every operation (the O(1) help check), so service can
+	// begin at the job's arrival — not at whatever point the simulator
+	// happened to advance the owner's own clock to — while still
+	// serializing jobs at one owner behind each other. Without this the
+	// min-clock scheduler serves jobs "late" whenever the owner's clock
+	// ran ahead, a causality artifact that inflates every fill wait.
+	jobFree []int64
+
+	// event counters surfaced in Result for the Fig. 9 analysis
+	drains   uint64
+	served   uint64
+	squashed uint64
+}
+
+func newDelegationModel(sched [][]simOp, depth, filterSize int, squash bool) *delegationModel {
+	tn := len(sched)
+	m := &delegationModel{sched: sched, depth: depth, squash: squash}
+	m.filters = make([][]*simFilter, tn)
+	m.backend = make([]*simASketch, tn)
+	for i := 0; i < tn; i++ {
+		m.filters[i] = make([]*simFilter, tn)
+		for j := 0; j < tn; j++ {
+			m.filters[i][j] = filter.NewKV(filterSize)
+		}
+		m.backend[i] = newSimASketch(16)
+	}
+	m.jobFree = make([]int64, tn)
+	return m
+}
+
+func (m *delegationModel) name() string {
+	if m.squash {
+		return "delegation"
+	}
+	return "delegation-nosquash"
+}
+
+// parkable: a delegation thread may still owe service to others, so it
+// parks only when finished, unblocked, and with an empty mailbox; posting
+// a job unparks it.
+func (m *delegationModel) parkable(t *vthread) bool {
+	return t.finished && t.waiting == nil && len(t.mailbox) == 0
+}
+
+func (m *delegationModel) ownerOf(key uint64, threads int) int {
+	return int(hash.Mix64(key) % uint64(threads))
+}
+
+func (m *delegationModel) step(e *engine, t *vthread) {
+	// 1. Blocked on a delegated job: observe completion or help.
+	if t.waiting != nil {
+		j := t.waiting
+		if j.done {
+			if t.clock < j.completedAt {
+				t.clock = j.completedAt
+			}
+			e.remoteRead(t, 1, 1) // the owner-written flag/result line
+			t.clock += e.cost.Wakeup
+			t.waiting = nil
+			e.blocked--
+			if j.kind == jobQuery {
+				t.lat.Record(time.Duration(t.clock - t.queryStart))
+			}
+			e.finishOp(t, len(m.sched[t.id])) // the blocking op completes
+			return
+		}
+		if m.execOne(e, t) {
+			return
+		}
+		t.clock += e.cost.Spin
+		return
+	}
+	// 2. Serve delegated work before taking the next own op (the O(1)
+	// help check of the fast path).
+	if m.execOne(e, t) {
+		return
+	}
+	if t.finished {
+		t.clock += e.cost.Spin
+		return
+	}
+	// 3. Next own operation.
+	op := m.sched[t.id][t.pos]
+	tn := len(e.threads)
+	owner := m.ownerOf(op.key, tn)
+	if op.query {
+		t.queryStart = t.clock
+		t.clock += e.cost.OwnerCalc
+		if owner == t.id {
+			m.chargeSearch(e, t, op.key)
+			t.lat.Record(time.Duration(t.clock - t.queryStart))
+			e.finishOp(t, len(m.sched[t.id]))
+			return
+		}
+		t.clock += e.cost.Push
+		e.interconnect(t, 1, 1)
+		j := &job{kind: jobQuery, key: op.key, postedAt: t.clock, issuer: t.id}
+		m.post(e, owner, j)
+		t.waiting = j
+		e.blocked++
+		return
+	}
+	// Insert: local filter work; a fill hands the filter to the owner.
+	t.clock += e.cost.OwnerCalc + e.cost.FilterScan
+	f := m.filters[owner][t.id]
+	if !f.InsertOrAdd(op.key, 1) {
+		// cannot happen: producers block until their full filter drains
+		panic("sim: insert into full delegation filter")
+	}
+	if f.Full() {
+		t.clock += e.cost.Push
+		e.interconnect(t, 1, 1)
+		j := &job{kind: jobDrain, fill: f, postedAt: t.clock, issuer: t.id}
+		m.post(e, owner, j)
+		t.waiting = j
+		e.blocked++
+		return
+	}
+	e.finishOp(t, len(m.sched[t.id]))
+}
+
+// post appends j to the owner's mailbox.
+func (m *delegationModel) post(e *engine, owner int, j *job) {
+	o := e.threads[owner]
+	o.mailbox = append(o.mailbox, j)
+	e.jobs++
+	e.unpark(o)
+}
+
+// execOne executes the oldest mailbox job already visible at t's clock.
+// The job's service window starts when the job arrived (plus flag
+// propagation and the owner's help-check granularity) or when the owner's
+// previous job finished, whichever is later; the owner's own clock pays
+// for the work it performs.
+func (m *delegationModel) execOne(e *engine, t *vthread) bool {
+	best := -1
+	for i, j := range t.mailbox {
+		if j.postedAt <= t.clock && (best < 0 || j.postedAt < t.mailbox[best].postedAt) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return false
+	}
+	j := t.mailbox[best]
+	t.mailbox = append(t.mailbox[:best], t.mailbox[best+1:]...)
+	e.jobs--
+	detect := e.cost.Wakeup + e.cost.RemoteLat // flag write propagation + help check
+	start := j.postedAt + detect
+	if m.jobFree[t.id] > start {
+		start = m.jobFree[t.id]
+	}
+	var cost int64
+	switch j.kind {
+	case jobDrain:
+		m.drains++
+		cost += int64(4) * e.cost.RemoteLat // the full filter's key/count lines
+		j.fill.Iterate(func(key, count uint64) {
+			cost += e.cost.FilterScan
+			if !m.backend[t.id].insert(key, count) {
+				cost += int64(m.depth)*(e.cost.Hash+e.cost.L1) + e.cost.FilterScan
+			}
+		})
+		j.fill.Reset()
+		j.completedAt = start + cost
+		j.done = true
+	case jobQuery:
+		m.served++
+		cost += m.searchCost(e, len(e.threads), t.id, j.key)
+		j.completedAt = start + cost
+		j.done = true
+		if m.squash {
+			// Answer every concurrent pending query on the same key by
+			// copying the result (§6.2.1).
+			kept := t.mailbox[:0]
+			end := j.completedAt
+			for _, o := range t.mailbox {
+				if o.kind == jobQuery && o.key == j.key && o.postedAt <= t.clock {
+					cost += e.cost.Copy
+					end += e.cost.Copy
+					o.done = true
+					o.completedAt = end
+					e.jobs--
+					m.served++
+					m.squashed++
+					continue
+				}
+				kept = append(kept, o)
+			}
+			t.mailbox = kept
+			j.completedAt = end // conservatively, issuer waits for the batch
+		}
+	}
+	m.jobFree[t.id] = start + cost
+	t.clock += cost // the owner really spends this compute
+	return true
+}
+
+// searchCost is the owner-side cost of serving one delegated query: scan
+// the T pending slots (mostly clean lines; the raised flags are dirty),
+// scan the T delegation filters (their key arrays are written only when a
+// producer adds a *new* key, so after warm-up they are read-mostly and
+// cached at the owner; the matching slot's count line is dirty), then the
+// backend sketch (§6.2).
+func (m *delegationModel) searchCost(e *engine, tn, owner int, key uint64) int64 {
+	cost := int64(tn)*e.cost.L1 + 2*e.cost.RemoteLat // pending-array scan
+	cost += int64(tn)*e.cost.FilterScan + 2*e.cost.RemoteLat
+	cost += e.cost.FilterScan // backend Augmented filter
+	if !m.backend[owner].lookup(key) {
+		cost += int64(m.depth) * (e.cost.Hash + e.cost.L1)
+	}
+	return cost
+}
+
+// chargeSearch applies searchCost to the calling owner's clock (used on
+// the self-owned direct query path).
+func (m *delegationModel) chargeSearch(e *engine, t *vthread, key uint64) {
+	t.clock += m.searchCost(e, len(e.threads), t.id, key)
+}

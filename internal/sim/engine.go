@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"container/heap"
+
+	"dsketch/internal/metrics"
+)
+
+// vthread is one virtual thread: a schedule cursor, a virtual clock, and —
+// for the delegation design — a mailbox of delegated jobs plus a blocking
+// slot.
+type vthread struct {
+	id    int
+	clock int64
+	pos   int // next op in the schedule
+
+	finished   bool
+	completeAt int64 // clock when the last own op finished
+
+	// delegation state
+	mailbox []*job
+	waiting *job
+
+	// latency accounting
+	queryStart int64
+	lat        metrics.Histogram
+
+	heapIdx int
+	parked  bool // out of the scheduler heap (finished and idle)
+}
+
+// job is a unit of delegated work in an owner's mailbox.
+type job struct {
+	kind        jobKind
+	key         uint64     // query jobs
+	fill        *simFilter // drain jobs
+	postedAt    int64      // visible to the owner once its clock reaches this
+	done        bool
+	completedAt int64
+	issuer      int
+}
+
+type jobKind int
+
+const (
+	jobDrain jobKind = iota
+	jobQuery
+)
+
+// threadHeap orders virtual threads by clock: the engine always advances
+// the most-behind thread, which keeps cross-thread causality consistent.
+type threadHeap []*vthread
+
+func (h threadHeap) Len() int           { return len(h) }
+func (h threadHeap) Less(i, j int) bool { return h[i].clock < h[j].clock }
+func (h threadHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+func (h *threadHeap) Push(x any) {
+	t := x.(*vthread)
+	t.heapIdx = len(*h)
+	*h = append(*h, t)
+}
+func (h *threadHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	*h = old[:n-1]
+	return t
+}
+
+// engine drives the micro-step loop over a design model. Models maintain
+// the three liveness counters; the loop runs until no thread has schedule
+// work, no delegated job is outstanding, and no thread is blocked.
+type engine struct {
+	cost    CostModel
+	threads []*vthread
+	heap    threadHeap
+	icFree  int64 // interconnect: next instant the shared bandwidth frees
+
+	unfinished int // threads that still have schedule ops
+	jobs       int // posted but unexecuted mailbox jobs
+	blocked    int // threads waiting on a job
+}
+
+// transfer charges a batch of remote-line transfers: the thread pays the
+// miss latency, and the shared coherence/bandwidth resource is occupied
+// for occPerLine per line, serializing against every other thread's
+// traffic. contention in [0,1] scales both (a single thread reusing its
+// own lines pays nothing).
+func (e *engine) transfer(t *vthread, lines int, occPerLine float64, contention float64) {
+	if lines <= 0 || contention <= 0 {
+		return
+	}
+	lat := int64(float64(lines) * float64(e.cost.RemoteLat) * contention)
+	occ := int64(float64(lines) * occPerLine * contention)
+	if occ <= 0 {
+		// Latency-only traffic must not touch the shared resource: even
+		// a zero-occupancy reservation would ratchet its timeline up to
+		// the fastest thread's clock and stall everyone behind it.
+		t.clock += lat
+		return
+	}
+	start := t.clock
+	if e.icFree > start {
+		start = e.icFree
+	}
+	e.icFree = start + occ
+	end := start + lat
+	if end < e.icFree {
+		end = e.icFree
+	}
+	t.clock = end
+}
+
+// interconnect charges RMW (ownership-stealing) traffic.
+func (e *engine) interconnect(t *vthread, lines int, contention float64) {
+	e.transfer(t, lines, e.cost.XferOcc, contention)
+}
+
+// remoteRead charges read-only coherence traffic: full miss latency,
+// near-zero shared occupancy.
+func (e *engine) remoteRead(t *vthread, lines int, contention float64) {
+	e.transfer(t, lines, e.cost.ReadOcc, contention)
+}
+
+// finishOp marks thread t's schedule as advanced; when the last op
+// completes, the completion time is recorded for the makespan.
+func (e *engine) finishOp(t *vthread, scheduleLen int) {
+	t.pos++
+	if t.pos >= scheduleLen && !t.finished {
+		t.finished = true
+		t.completeAt = t.clock
+		e.unfinished--
+	}
+}
+
+// model is one parallelization design's behaviour under the cost model.
+// step advances thread t by one micro-step: one schedule op, one mailbox
+// job, one unblock attempt, or one spin. parkable reports whether t has
+// nothing left to contribute until new work is delegated to it — parked
+// threads leave the scheduler heap instead of spinning, which matters
+// enormously once hundreds of finished threads would otherwise chase the
+// last runner's clock in Spin-sized steps.
+type model interface {
+	name() string
+	step(e *engine, t *vthread)
+	parkable(t *vthread) bool
+}
+
+// unpark puts a parked thread back into the scheduler heap (new work was
+// delegated to it). Its clock stays where it was; the job-service
+// backdating keeps completion times honest regardless.
+func (e *engine) unpark(t *vthread) {
+	if t.parked {
+		t.parked = false
+		heap.Push(&e.heap, t)
+	}
+}
+
+// run executes the schedules to completion and returns the makespan: the
+// largest per-thread completion time of its own schedule.
+func run(e *engine, m model) int64 {
+	h := &e.heap
+	*h = (*h)[:0]
+	for _, t := range e.threads {
+		heap.Push(h, t)
+	}
+	for e.unfinished > 0 || e.jobs > 0 || e.blocked > 0 {
+		t := (*h)[0]
+		m.step(e, t)
+		if m.parkable(t) {
+			t.parked = true
+			heap.Remove(h, t.heapIdx)
+			continue
+		}
+		heap.Fix(h, t.heapIdx)
+	}
+	var makespan int64
+	for _, t := range e.threads {
+		if t.completeAt > makespan {
+			makespan = t.completeAt
+		}
+	}
+	return makespan
+}

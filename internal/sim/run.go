@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"time"
+
+	"dsketch/internal/hash"
+	"dsketch/internal/metrics"
+	"dsketch/internal/parallel"
+	"dsketch/internal/zipf"
+)
+
+// Workload parameterizes one simulated run.
+type Workload struct {
+	// OpsPerThread is the schedule length of each virtual thread.
+	OpsPerThread int
+	// QueryRatio is the fraction of operations that are queries.
+	QueryRatio float64
+	// Universe and Skew describe the synthetic Zipf input. Ignored when
+	// Keys is set.
+	Universe int
+	Skew     float64
+	// Keys optionally replays real per-thread sub-streams (e.g. the
+	// CAIDA-like traces); each slice is cycled to OpsPerThread length.
+	Keys [][]uint64
+	// Seed fixes schedules.
+	Seed uint64
+}
+
+// Result is one simulated measurement point.
+type Result struct {
+	Design      string
+	Platform    string
+	Threads     int
+	Ops         int
+	Queries     int
+	VirtualTime time.Duration
+	// Throughput is operations per virtual second.
+	Throughput float64
+	// QueryLat is the virtual query-latency histogram.
+	QueryLat metrics.Histogram
+	// Drains, ServedQueries and Squashed are delegation event counters
+	// (zero for the other designs).
+	Drains, ServedQueries, Squashed uint64
+}
+
+// buildSchedules materializes per-thread op sequences, mirroring the
+// native driver's policy: query positions are chosen pseudo-randomly at
+// QueryRatio, query keys are drawn from the same distribution as inserts
+// (§7.1).
+func buildSchedules(threads int, w Workload) [][]simOp {
+	var universe *zipf.SharedUniverse
+	if w.Keys == nil {
+		// One logical stream: all sub-streams share the alias table and
+		// the hot-key permutation; only the sampling sequences differ.
+		universe = zipf.NewSharedUniverse(zipf.Config{
+			Universe:    w.Universe,
+			Skew:        w.Skew,
+			PermuteKeys: true,
+			PermSeed:    w.Seed ^ 0x5eedbeef,
+		})
+	}
+	sched := make([][]simOp, threads)
+	for tid := 0; tid < threads; tid++ {
+		var next func() uint64
+		if w.Keys != nil {
+			sub := w.Keys[tid%len(w.Keys)]
+			if len(sub) == 0 {
+				sub = []uint64{0}
+			}
+			pos := 0
+			next = func() uint64 {
+				k := sub[pos]
+				pos++
+				if pos == len(sub) {
+					pos = 0
+				}
+				return k
+			}
+		} else {
+			next = universe.Generator(w.Seed + uint64(tid)*131).Next
+		}
+		rng := hash.NewRand(hash.Mix64(w.Seed + uint64(tid)*0x51ed))
+		ops := make([]simOp, w.OpsPerThread)
+		for i := range ops {
+			ops[i] = simOp{key: next(), query: w.QueryRatio > 0 && rng.Float64() < w.QueryRatio}
+		}
+		sched[tid] = ops
+	}
+	return sched
+}
+
+// Run simulates one design at one thread count on one platform and
+// returns the virtual throughput and query latency. Deterministic in all
+// inputs.
+func Run(kind parallel.Kind, plat Platform, threads, depth int, base CostModel, w Workload) Result {
+	if threads <= 0 {
+		panic("sim: non-positive thread count")
+	}
+	if w.OpsPerThread <= 0 {
+		return Result{Design: string(kind), Platform: plat.Name, Threads: threads}
+	}
+	if depth <= 0 {
+		depth = 8
+	}
+	if w.Universe <= 0 {
+		w.Universe = 1_000_000
+	}
+	sched := buildSchedules(threads, w)
+
+	var m model
+	switch kind {
+	case parallel.KindThreadLocal:
+		m = &threadLocalModel{sched: sched, depth: depth}
+	case parallel.KindSingleShared:
+		m = &sharedModel{sched: sched, depth: depth}
+	case parallel.KindAugmented:
+		am := &augmentedModel{sched: sched, depth: depth}
+		am.filters = make([]*simASketch, threads)
+		for i := range am.filters {
+			am.filters[i] = newSimASketch(16)
+		}
+		m = am
+	case parallel.KindDelegation:
+		m = newDelegationModel(sched, depth, 16, true)
+	case parallel.KindDelegationNoSquash:
+		m = newDelegationModel(sched, depth, 16, false)
+	default:
+		panic("sim: unknown design kind " + string(kind))
+	}
+
+	e := &engine{
+		cost:    resolve(base, plat, threads),
+		threads: make([]*vthread, threads),
+	}
+	for i := range e.threads {
+		e.threads[i] = &vthread{id: i}
+	}
+	e.unfinished = threads
+
+	makespan := run(e, m)
+
+	res := Result{
+		Design:      m.name(),
+		Platform:    plat.Name,
+		Threads:     threads,
+		Ops:         threads * w.OpsPerThread,
+		VirtualTime: time.Duration(makespan),
+	}
+	for _, t := range e.threads {
+		res.QueryLat.Merge(&t.lat)
+	}
+	if dm, ok := m.(*delegationModel); ok {
+		res.Drains = dm.drains
+		res.ServedQueries = dm.served
+		res.Squashed = dm.squashed
+	}
+	res.Queries = int(res.QueryLat.Count())
+	res.Throughput = metrics.Throughput(res.Ops, res.VirtualTime)
+	return res
+}

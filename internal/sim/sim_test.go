@@ -1,0 +1,213 @@
+package sim
+
+import (
+	"testing"
+
+	"dsketch/internal/parallel"
+)
+
+func wl(ratio, skew float64) Workload {
+	return Workload{
+		OpsPerThread: 20000,
+		QueryRatio:   ratio,
+		Universe:     100000,
+		Skew:         skew,
+		Seed:         7,
+	}
+}
+
+func thr(t *testing.T, kind parallel.Kind, threads int, w Workload) float64 {
+	t.Helper()
+	r := Run(kind, PlatformA(), threads, 8, DefaultCosts(), w)
+	if r.Throughput <= 0 {
+		t.Fatalf("%s@%d: non-positive throughput", kind, threads)
+	}
+	return r.Throughput
+}
+
+func TestDeterministic(t *testing.T) {
+	a := Run(parallel.KindDelegation, PlatformA(), 16, 8, DefaultCosts(), wl(0.003, 1.5))
+	b := Run(parallel.KindDelegation, PlatformA(), 16, 8, DefaultCosts(), wl(0.003, 1.5))
+	if a.Throughput != b.Throughput || a.VirtualTime != b.VirtualTime {
+		t.Fatal("simulation is not deterministic")
+	}
+}
+
+func TestInsertOnlyOrderingFig5a(t *testing.T) {
+	// Paper Fig. 5a at high thread counts, skew 1.5, 0% queries:
+	// delegation > augmented > thread-local >> single-shared.
+	w := wl(0, 1.5)
+	dg := thr(t, parallel.KindDelegation, 36, w)
+	au := thr(t, parallel.KindAugmented, 36, w)
+	tl := thr(t, parallel.KindThreadLocal, 36, w)
+	ss := thr(t, parallel.KindSingleShared, 36, w)
+	if !(dg > au) {
+		t.Errorf("delegation %.0f should beat augmented %.0f at 0%% queries, skew 1.5", dg, au)
+	}
+	if !(au > tl) {
+		t.Errorf("augmented %.0f should beat thread-local %.0f at skew 1.5", au, tl)
+	}
+	if !(tl > 3*ss) {
+		t.Errorf("thread-local %.0f should dwarf single-shared %.0f", tl, ss)
+	}
+}
+
+func TestSharedDoesNotScale(t *testing.T) {
+	// §3.2: the single-shared design's throughput is flat in T.
+	w := wl(0, 1.5)
+	t4 := thr(t, parallel.KindSingleShared, 4, w)
+	t32 := thr(t, parallel.KindSingleShared, 32, w)
+	if t32 > 2*t4 {
+		t.Fatalf("single-shared scaled %0.f -> %0.f; should be nearly flat", t4, t32)
+	}
+}
+
+func TestDelegationScalesWithThreads(t *testing.T) {
+	w := wl(0, 1.5)
+	t4 := thr(t, parallel.KindDelegation, 4, w)
+	t32 := thr(t, parallel.KindDelegation, 32, w)
+	if t32 < 3*t4 {
+		t.Fatalf("delegation did not scale: %.0f at 4t, %.0f at 32t", t4, t32)
+	}
+}
+
+func TestQueriesBreakThreadLocalScalingFig5c(t *testing.T) {
+	// Fig. 5c: with 0.3% queries, thread-local stops scaling (more
+	// threads = more sketches per query) while delegation keeps going.
+	w := wl(0.003, 1.5)
+	tl16 := thr(t, parallel.KindThreadLocal, 16, w)
+	tl64 := thr(t, parallel.KindThreadLocal, 64, w)
+	if tl64 > tl16*2 {
+		t.Errorf("thread-local kept scaling under queries: %.0f -> %.0f", tl16, tl64)
+	}
+	dg64 := thr(t, parallel.KindDelegation, 64, w)
+	if dg64 < 2*tl64 {
+		t.Errorf("delegation %.0f should clearly beat thread-local %.0f at 64 threads, 0.3%% queries", dg64, tl64)
+	}
+}
+
+func TestQueryRateDegradesAllButSharedFig7(t *testing.T) {
+	// Fig. 7: raising the query rate does not hurt single-shared but
+	// costs the others.
+	base := wl(0, 1.5)
+	loaded := wl(0.01, 1.5)
+	ss0, ss1 := thr(t, parallel.KindSingleShared, 36, base), thr(t, parallel.KindSingleShared, 36, loaded)
+	if ss1 < ss0*0.7 {
+		t.Errorf("single-shared should be insensitive to query rate: %.0f -> %.0f", ss0, ss1)
+	}
+	tl0, tl1 := thr(t, parallel.KindThreadLocal, 36, base), thr(t, parallel.KindThreadLocal, 36, loaded)
+	if tl1 > tl0*0.7 {
+		t.Errorf("thread-local should degrade under queries: %.0f -> %.0f", tl0, tl1)
+	}
+}
+
+func TestSkewHelpsFilterDesignsFig8(t *testing.T) {
+	// Fig. 8a: at skew >= 1.5 the filter-based designs pull far ahead of
+	// where they are at skew 0.5; thread-local is much less sensitive.
+	lo, hi := wl(0, 0.5), wl(0, 2.0)
+	dgLo := thr(t, parallel.KindDelegation, 36, lo)
+	dgHi := thr(t, parallel.KindDelegation, 36, hi)
+	if dgHi < 2*dgLo {
+		t.Errorf("delegation should speed up dramatically with skew: %.0f -> %.0f", dgLo, dgHi)
+	}
+	tlLo := thr(t, parallel.KindThreadLocal, 36, lo)
+	if dgLo > tlLo*2 {
+		t.Errorf("at low skew delegation %.0f should not dwarf thread-local %.0f (Fig 8a)", dgLo, tlLo)
+	}
+}
+
+func TestSquashingHelpsUnderHotQueriesFig9(t *testing.T) {
+	// Fig. 9: with 0.3% queries and skewed input, squashing wins at high
+	// thread counts.
+	w := wl(0.003, 2.0)
+	sq := thr(t, parallel.KindDelegation, 64, w)
+	no := thr(t, parallel.KindDelegationNoSquash, 64, w)
+	if sq <= no {
+		t.Errorf("squashing %.0f should beat no-squash %.0f under hot queries", sq, no)
+	}
+}
+
+func TestLatencyOrderingFig10(t *testing.T) {
+	// Fig. 10a: single-shared has by far the lowest query latency;
+	// delegation beats augmented and thread-local at high parallelism.
+	w := wl(0.003, 1.2)
+	lat := func(kind parallel.Kind) float64 {
+		r := Run(kind, PlatformA(), 48, 8, DefaultCosts(), w)
+		if r.QueryLat.Count() == 0 {
+			t.Fatalf("%s: no queries recorded", kind)
+		}
+		return float64(r.QueryLat.Mean())
+	}
+	ss := lat(parallel.KindSingleShared)
+	dg := lat(parallel.KindDelegation)
+	au := lat(parallel.KindAugmented)
+	tl := lat(parallel.KindThreadLocal)
+	if !(ss < dg && dg < au && au < tl) {
+		t.Errorf("latency ordering wrong: shared=%v delegation=%v augmented=%v thread-local=%v", ss, dg, au, tl)
+	}
+}
+
+func TestPlatformBSlowerPerThread(t *testing.T) {
+	// Platform B has a lower clock: same design, same T, lower absolute
+	// throughput (Fig. 6's "raw throughput is different").
+	w := wl(0, 1.5)
+	a := Run(parallel.KindDelegation, PlatformA(), 16, 8, DefaultCosts(), w)
+	b := Run(parallel.KindDelegation, PlatformB(), 16, 8, DefaultCosts(), w)
+	if b.Throughput >= a.Throughput {
+		t.Fatalf("platform B %.0f should be slower than A %.0f at equal T", b.Throughput, a.Throughput)
+	}
+}
+
+func TestTraceReplayKeys(t *testing.T) {
+	keys := [][]uint64{{1, 2, 3}, {4, 5, 6}}
+	r := Run(parallel.KindDelegation, PlatformA(), 2, 8, DefaultCosts(), Workload{
+		OpsPerThread: 1000,
+		QueryRatio:   0.01,
+		Keys:         keys,
+		Seed:         3,
+	})
+	if r.Ops != 2000 || r.Throughput <= 0 {
+		t.Fatalf("trace replay failed: %+v", r)
+	}
+}
+
+func TestZeroOpsGuard(t *testing.T) {
+	r := Run(parallel.KindThreadLocal, PlatformA(), 4, 8, DefaultCosts(), Workload{})
+	if r.Ops != 0 || r.Throughput != 0 {
+		t.Fatalf("zero-op run should be empty: %+v", r)
+	}
+}
+
+func TestUnknownKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Run(parallel.Kind("nope"), PlatformA(), 2, 8, DefaultCosts(), wl(0, 1))
+}
+
+func TestHyperThreadingSlowsCompute(t *testing.T) {
+	ca := resolve(DefaultCosts(), PlatformA(), 72) // 2-way HT
+	cb := resolve(DefaultCosts(), PlatformA(), 16) // under-subscribed
+	if ca.Hash <= cb.Hash {
+		t.Fatal("hyper-threading should raise compute costs")
+	}
+}
+
+func TestSimASketchDynamics(t *testing.T) {
+	s := newSimASketch(2)
+	if !s.insert(1, 1) || !s.insert(2, 1) {
+		t.Fatal("filter should absorb first two keys")
+	}
+	if s.insert(3, 1) {
+		t.Fatal("full filter with cold key should go to sketch")
+	}
+	// Key 3 becomes hot: after enough inserts it must displace a slot.
+	for i := 0; i < 10; i++ {
+		s.insert(3, 1)
+	}
+	if !s.lookup(3) {
+		t.Fatal("hot key should be admitted to the filter")
+	}
+}

@@ -1,0 +1,81 @@
+package sketch
+
+import "dsketch/internal/filter"
+
+// Augmented is the Augmented Sketch of Roy et al. (SIGMOD'16, the paper's
+// [32]): a small filter that tracks (hopefully) the hottest keys in front
+// of any backing Sketch. Inserts and queries that hit the filter never
+// touch the sketch, which both speeds up skewed streams and removes the
+// sketch's approximation error for the filtered keys (paper Fig. 4).
+//
+// Admission policy (as in the original): when the filter is full and an
+// incoming key's sketch estimate exceeds the smallest filter count, the
+// smallest entry is evicted — its count accumulated since admission
+// (newCount − oldCount) is pushed into the sketch — and the incoming key is
+// admitted with both counts set to its estimate.
+type Augmented struct {
+	flt   *filter.Augmented
+	sk    Sketch
+	total uint64
+}
+
+// NewAugmented wraps sk with a filter of filterSize slots.
+func NewAugmented(sk Sketch, filterSize int) *Augmented {
+	return &Augmented{flt: filter.NewAugmented(filterSize), sk: sk}
+}
+
+// Backing exposes the wrapped sketch (used by accuracy introspection).
+func (a *Augmented) Backing() Sketch { return a.sk }
+
+// Filter exposes the filter (the thread-local Augmented baseline lets other
+// threads read it during queries, matching the paper's favourable
+// treatment of that baseline).
+func (a *Augmented) Filter() *filter.Augmented { return a.flt }
+
+// Total returns the total inserted count.
+func (a *Augmented) Total() uint64 { return a.total }
+
+// Insert records count occurrences of key.
+func (a *Augmented) Insert(key, count uint64) {
+	a.total += count
+	if a.flt.Increment(key, count) {
+		return
+	}
+	if a.flt.Add(key, count) {
+		return
+	}
+	// Filter full: go through the sketch, then consider a swap.
+	a.sk.Insert(key, count)
+	est := a.sk.Estimate(key)
+	idx, minCount := a.flt.MinSlot()
+	if est > minCount {
+		evicted, newC, oldC := a.flt.Slot(idx)
+		if newC > oldC {
+			a.sk.Insert(evicted, newC-oldC)
+		}
+		a.flt.Replace(idx, key, est)
+	}
+}
+
+// Estimate answers a point query, preferring the exact filter count.
+func (a *Augmented) Estimate(key uint64) uint64 {
+	if c, ok := a.flt.Lookup(key); ok {
+		return c
+	}
+	return a.sk.Estimate(key)
+}
+
+// Drain flushes every filter entry's outstanding count into the backing
+// sketch and empties the filter. Used before whole-sketch accounting
+// (e.g. row-sum checks) where the filter would otherwise hide counts.
+func (a *Augmented) Drain() {
+	a.flt.Iterate(func(item, newCount, oldCount uint64) {
+		if newCount > oldCount {
+			a.sk.Insert(item, newCount-oldCount)
+		}
+	})
+	a.flt.Reset()
+}
+
+// MemoryBytes returns the combined filter + sketch footprint.
+func (a *Augmented) MemoryBytes() int { return a.flt.MemoryBytes() + a.sk.MemoryBytes() }

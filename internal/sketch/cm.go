@@ -1,0 +1,92 @@
+package sketch
+
+import "dsketch/internal/hash"
+
+// CountMin is the sequential Count-Min sketch of §2.1: a d×w array of
+// counters, one pairwise-independent hash function per row. Point queries
+// return the minimum counter over the rows and never under-estimate.
+type CountMin struct {
+	cfg      Config
+	fam      *hash.Family
+	counters []uint64 // row-major: counters[row*width + col]
+	scratch  []uint64 // hash buffer, keeps Insert/Estimate allocation-free
+	total    uint64
+}
+
+// NewCountMin builds a sketch from cfg.
+func NewCountMin(cfg Config) *CountMin {
+	cfg.validate()
+	return &CountMin{
+		cfg:      cfg,
+		fam:      hash.NewFamily(cfg.Depth, cfg.Width, cfg.Seed),
+		counters: make([]uint64, cfg.Depth*cfg.Width),
+		scratch:  make([]uint64, cfg.Depth),
+	}
+}
+
+// Depth returns the number of rows d.
+func (s *CountMin) Depth() int { return s.cfg.Depth }
+
+// Width returns the counters per row w.
+func (s *CountMin) Width() int { return s.cfg.Width }
+
+// Total returns the total count inserted so far (N).
+func (s *CountMin) Total() uint64 { return s.total }
+
+// Insert records count occurrences of key by incrementing one counter in
+// every row.
+func (s *CountMin) Insert(key, count uint64) {
+	s.fam.HashAll(key, s.scratch)
+	for row := 0; row < s.cfg.Depth; row++ {
+		s.counters[row*s.cfg.Width+int(s.scratch[row])] += count
+	}
+	s.total += count
+}
+
+// Estimate answers a point query: the minimum counter across rows.
+func (s *CountMin) Estimate(key uint64) uint64 {
+	s.fam.HashAll(key, s.scratch)
+	min := s.counters[int(s.scratch[0])]
+	for row := 1; row < s.cfg.Depth; row++ {
+		if c := s.counters[row*s.cfg.Width+int(s.scratch[row])]; c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// RowSum returns the sum of row i's counters. For a Count-Min sketch every
+// row sum equals Total() — the no-lost-update / no-double-count invariant
+// the verification package checks across all parallel designs.
+func (s *CountMin) RowSum(row int) uint64 {
+	var sum uint64
+	base := row * s.cfg.Width
+	for col := 0; col < s.cfg.Width; col++ {
+		sum += s.counters[base+col]
+	}
+	return sum
+}
+
+// Merge adds other's counters into s. Both sketches must share Config
+// (same dimensions and seed), otherwise Merge panics: merging sketches
+// with different hash functions is meaningless.
+func (s *CountMin) Merge(other *CountMin) {
+	if s.cfg != other.cfg {
+		panic("sketch: merging incompatible Count-Min sketches")
+	}
+	for i, c := range other.counters {
+		s.counters[i] += c
+	}
+	s.total += other.total
+}
+
+// Reset zeroes all counters.
+func (s *CountMin) Reset() {
+	for i := range s.counters {
+		s.counters[i] = 0
+	}
+	s.total = 0
+}
+
+// MemoryBytes returns the counter array footprint.
+func (s *CountMin) MemoryBytes() int { return len(s.counters) * 8 }

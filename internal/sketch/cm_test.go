@@ -1,0 +1,207 @@
+package sketch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dsketch/internal/count"
+	"dsketch/internal/zipf"
+)
+
+func testConfig() Config { return Config{Depth: 4, Width: 256, Seed: 42} }
+
+func TestCountMinNeverUnderestimates(t *testing.T) {
+	// The defining Count-Min invariant: f̂(k) >= f(k) for every key, on any
+	// input sequence. Property-based over random streams.
+	f := func(seq []uint16) bool {
+		s := NewCountMin(Config{Depth: 3, Width: 64, Seed: 7})
+		exact := count.NewExact()
+		for _, k := range seq {
+			s.Insert(uint64(k), 1)
+			exact.Add(uint64(k), 1)
+		}
+		for _, k := range exact.Keys() {
+			if s.Estimate(k) < exact.Count(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountMinExactWhenNoCollisions(t *testing.T) {
+	// With few keys and a wide sketch, estimates are exact with high
+	// probability; verify for a fixed seed (deterministic).
+	s := NewCountMin(Config{Depth: 4, Width: 1 << 14, Seed: 1})
+	for k := uint64(0); k < 10; k++ {
+		s.Insert(k, k+1)
+	}
+	for k := uint64(0); k < 10; k++ {
+		if got := s.Estimate(k); got != k+1 {
+			t.Fatalf("Estimate(%d) = %d, want %d", k, got, k+1)
+		}
+	}
+}
+
+func TestCountMinErrorWithinBound(t *testing.T) {
+	// Insert a Zipf stream and check the ε·N bound holds for (nearly) all
+	// keys. With depth d the failure probability per key is e^-d; with
+	// d=6 and 10k queried keys we expect ~25 failures, allow 3x slack.
+	cfg := Config{Depth: 6, Width: 512, Seed: 3}
+	s := NewCountMin(cfg)
+	exact := count.NewExact()
+	g := zipf.New(zipf.Config{Universe: 10000, Skew: 1, Seed: 5})
+	const n = 200000
+	for i := 0; i < n; i++ {
+		k := g.Next()
+		s.Insert(k, 1)
+		exact.Add(k, 1)
+	}
+	bound := uint64(OverestimateBound(cfg.Width, exact.Total()))
+	fails := 0
+	for _, k := range exact.Keys() {
+		if s.Estimate(k) > exact.Count(k)+bound {
+			fails++
+		}
+	}
+	if fails > 75 {
+		t.Fatalf("%d/%d keys exceeded the CM bound", fails, exact.Distinct())
+	}
+}
+
+func TestCountMinRowSumInvariant(t *testing.T) {
+	f := func(seq []uint16) bool {
+		s := NewCountMin(Config{Depth: 3, Width: 32, Seed: 9})
+		var total uint64
+		for _, k := range seq {
+			s.Insert(uint64(k), 1)
+			total++
+		}
+		for row := 0; row < s.Depth(); row++ {
+			if s.RowSum(row) != total {
+				return false
+			}
+		}
+		return s.Total() == total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountMinMergeEqualsCombinedStream(t *testing.T) {
+	f := func(a, b []uint16) bool {
+		cfg := Config{Depth: 3, Width: 64, Seed: 11}
+		s1, s2, all := NewCountMin(cfg), NewCountMin(cfg), NewCountMin(cfg)
+		for _, k := range a {
+			s1.Insert(uint64(k), 1)
+			all.Insert(uint64(k), 1)
+		}
+		for _, k := range b {
+			s2.Insert(uint64(k), 1)
+			all.Insert(uint64(k), 1)
+		}
+		s1.Merge(s2)
+		if s1.Total() != all.Total() {
+			return false
+		}
+		for k := uint64(0); k < 100; k++ {
+			if s1.Estimate(k) != all.Estimate(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountMinMergeIncompatiblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCountMin(Config{Depth: 2, Width: 8, Seed: 1}).
+		Merge(NewCountMin(Config{Depth: 2, Width: 8, Seed: 2}))
+}
+
+func TestCountMinReset(t *testing.T) {
+	s := NewCountMin(testConfig())
+	s.Insert(5, 10)
+	s.Reset()
+	if s.Estimate(5) != 0 || s.Total() != 0 {
+		t.Fatal("Reset left state behind")
+	}
+}
+
+func TestCountMinMemoryBytes(t *testing.T) {
+	s := NewCountMin(Config{Depth: 4, Width: 100, Seed: 1})
+	if s.MemoryBytes() != 4*100*8 {
+		t.Fatalf("MemoryBytes = %d", s.MemoryBytes())
+	}
+}
+
+func TestConfigValidatePanics(t *testing.T) {
+	for _, cfg := range []Config{{Depth: 0, Width: 1}, {Depth: 1, Width: 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("cfg %+v: expected panic", cfg)
+				}
+			}()
+			NewCountMin(cfg)
+		}()
+	}
+}
+
+func TestDimensionsForError(t *testing.T) {
+	w, d := DimensionsForError(0.01, 0.01)
+	if w < 271 || w > 273 {
+		t.Fatalf("width = %d, want ~e/0.01", w)
+	}
+	if d != 5 {
+		t.Fatalf("depth = %d, want ceil(ln 100) = 5", d)
+	}
+	eps, delta := ErrorBound(w, d)
+	if eps > 0.0101 || delta > 0.011 {
+		t.Fatalf("round-trip bound loose: eps=%v delta=%v", eps, delta)
+	}
+}
+
+func TestDimensionsForErrorPanics(t *testing.T) {
+	for _, c := range [][2]float64{{0, 0.1}, {0.1, 0}, {0.1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("(%v,%v): expected panic", c[0], c[1])
+				}
+			}()
+			DimensionsForError(c[0], c[1])
+		}()
+	}
+}
+
+func BenchmarkCountMinInsert(b *testing.B) {
+	s := NewCountMin(Config{Depth: 8, Width: 4096, Seed: 1})
+	for i := 0; i < b.N; i++ {
+		s.Insert(uint64(i), 1)
+	}
+}
+
+func BenchmarkCountMinEstimate(b *testing.B) {
+	s := NewCountMin(Config{Depth: 8, Width: 4096, Seed: 1})
+	for i := 0; i < 100000; i++ {
+		s.Insert(uint64(i%1000), 1)
+	}
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += s.Estimate(uint64(i % 1000))
+	}
+	_ = sink
+}

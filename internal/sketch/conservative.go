@@ -1,0 +1,73 @@
+package sketch
+
+import "dsketch/internal/hash"
+
+// ConservativeCountMin is the conservative-update ("CU") variant of
+// Count-Min: an insert raises each row counter only as far as
+// max(counter, estimate+count). It strictly dominates plain Count-Min on
+// accuracy for point queries but loses mergeability and the per-row-sum
+// invariant; the repo includes it as an ablation backend for Delegation
+// Sketch (DESIGN.md §7).
+type ConservativeCountMin struct {
+	cfg      Config
+	fam      *hash.Family
+	counters []uint64
+	scratch  []uint64
+	total    uint64
+}
+
+// NewConservativeCountMin builds a CU sketch from cfg.
+func NewConservativeCountMin(cfg Config) *ConservativeCountMin {
+	cfg.validate()
+	return &ConservativeCountMin{
+		cfg:      cfg,
+		fam:      hash.NewFamily(cfg.Depth, cfg.Width, cfg.Seed),
+		counters: make([]uint64, cfg.Depth*cfg.Width),
+		scratch:  make([]uint64, cfg.Depth),
+	}
+}
+
+// Depth returns the number of rows d.
+func (s *ConservativeCountMin) Depth() int { return s.cfg.Depth }
+
+// Width returns the counters per row w.
+func (s *ConservativeCountMin) Width() int { return s.cfg.Width }
+
+// Total returns the total inserted count.
+func (s *ConservativeCountMin) Total() uint64 { return s.total }
+
+// Insert records count occurrences of key with the conservative-update
+// rule.
+func (s *ConservativeCountMin) Insert(key, count uint64) {
+	s.fam.HashAll(key, s.scratch)
+	// current estimate = min over rows
+	min := s.counters[int(s.scratch[0])]
+	for row := 1; row < s.cfg.Depth; row++ {
+		if c := s.counters[row*s.cfg.Width+int(s.scratch[row])]; c < min {
+			min = c
+		}
+	}
+	target := min + count
+	for row := 0; row < s.cfg.Depth; row++ {
+		p := &s.counters[row*s.cfg.Width+int(s.scratch[row])]
+		if *p < target {
+			*p = target
+		}
+	}
+	s.total += count
+}
+
+// Estimate answers a point query (minimum over rows).
+func (s *ConservativeCountMin) Estimate(key uint64) uint64 {
+	s.fam.HashAll(key, s.scratch)
+	min := s.counters[int(s.scratch[0])]
+	for row := 1; row < s.cfg.Depth; row++ {
+		if c := s.counters[row*s.cfg.Width+int(s.scratch[row])]; c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// MemoryBytes returns the counter array footprint.
+func (s *ConservativeCountMin) MemoryBytes() int { return len(s.counters) * 8 }

@@ -1,0 +1,76 @@
+package sketch
+
+import (
+	"sort"
+
+	"dsketch/internal/hash"
+)
+
+// CountSketch is the sketch of Charikar, Chen and Farach-Colton: each row
+// adds sign(key)·count to one counter and the estimator takes the median of
+// the signed row readings. Unlike Count-Min it can under-estimate, but its
+// error scales with the L2 norm of the stream rather than L1. It is
+// included as one of the alternative backends the paper's §4.2 says can sit
+// under Delegation Sketch [3].
+type CountSketch struct {
+	cfg      Config
+	fam      *hash.Family
+	signs    *hash.SignFamily
+	counters []int64
+	scratch  []int64
+	total    uint64
+}
+
+// NewCountSketch builds a Count Sketch from cfg.
+func NewCountSketch(cfg Config) *CountSketch {
+	cfg.validate()
+	return &CountSketch{
+		cfg:      cfg,
+		fam:      hash.NewFamily(cfg.Depth, cfg.Width, cfg.Seed),
+		signs:    hash.NewSignFamily(cfg.Depth, cfg.Seed^0xabcdef12345678),
+		counters: make([]int64, cfg.Depth*cfg.Width),
+		scratch:  make([]int64, cfg.Depth),
+	}
+}
+
+// Depth returns the number of rows d.
+func (s *CountSketch) Depth() int { return s.cfg.Depth }
+
+// Width returns the counters per row w.
+func (s *CountSketch) Width() int { return s.cfg.Width }
+
+// Total returns the total inserted count.
+func (s *CountSketch) Total() uint64 { return s.total }
+
+// Insert records count occurrences of key.
+func (s *CountSketch) Insert(key, count uint64) {
+	for row := 0; row < s.cfg.Depth; row++ {
+		col := s.fam.Hash(row, key)
+		s.counters[row*s.cfg.Width+int(col)] += s.signs.Sign(row, key) * int64(count)
+	}
+	s.total += count
+}
+
+// Estimate answers a point query: the median of the signed row readings,
+// clamped to zero since frequencies are non-negative.
+func (s *CountSketch) Estimate(key uint64) uint64 {
+	for row := 0; row < s.cfg.Depth; row++ {
+		col := s.fam.Hash(row, key)
+		s.scratch[row] = s.signs.Sign(row, key) * s.counters[row*s.cfg.Width+int(col)]
+	}
+	sort.Slice(s.scratch, func(i, j int) bool { return s.scratch[i] < s.scratch[j] })
+	var med int64
+	d := s.cfg.Depth
+	if d%2 == 1 {
+		med = s.scratch[d/2]
+	} else {
+		med = (s.scratch[d/2-1] + s.scratch[d/2]) / 2
+	}
+	if med < 0 {
+		return 0
+	}
+	return uint64(med)
+}
+
+// MemoryBytes returns the counter array footprint.
+func (s *CountSketch) MemoryBytes() int { return len(s.counters) * 8 }

@@ -1,0 +1,90 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Serialization for Count-Min sketches: the "summarize a stream once,
+// query it later (or elsewhere)" workflow that motivates the
+// single-shared design in §3.2, and the practical need behind mergeable
+// sketches in distributed monitoring [13]. The format stores the exact
+// Config, so a decoded sketch is mergeable with any sketch built from the
+// same Config.
+
+var cmMagic = [6]byte{'D', 'S', 'C', 'M', '0', '1'}
+
+// ErrBadSketchFormat reports an input that is not an encoded Count-Min.
+var ErrBadSketchFormat = errors.New("sketch: bad magic, not an encoded Count-Min sketch")
+
+// Encode writes the sketch (config, total, counters) to w.
+func (s *CountMin) Encode(w io.Writer) error {
+	if _, err := w.Write(cmMagic[:]); err != nil {
+		return fmt.Errorf("sketch: writing header: %w", err)
+	}
+	hdr := make([]byte, 8*4)
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(s.cfg.Depth))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(s.cfg.Width))
+	binary.LittleEndian.PutUint64(hdr[16:], s.cfg.Seed)
+	binary.LittleEndian.PutUint64(hdr[24:], s.total)
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("sketch: writing dimensions: %w", err)
+	}
+	buf := make([]byte, 8*1024)
+	for off := 0; off < len(s.counters); {
+		n := 0
+		for n < len(buf)/8 && off < len(s.counters) {
+			binary.LittleEndian.PutUint64(buf[n*8:], s.counters[off])
+			n++
+			off++
+		}
+		if _, err := w.Write(buf[:n*8]); err != nil {
+			return fmt.Errorf("sketch: writing counters: %w", err)
+		}
+	}
+	return nil
+}
+
+// DecodeCountMin reads a sketch previously written by Encode.
+func DecodeCountMin(r io.Reader) (*CountMin, error) {
+	var magic [6]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("sketch: reading header: %w", err)
+	}
+	if magic != cmMagic {
+		return nil, ErrBadSketchFormat
+	}
+	hdr := make([]byte, 8*4)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("sketch: reading dimensions: %w", err)
+	}
+	depth := binary.LittleEndian.Uint64(hdr[0:])
+	width := binary.LittleEndian.Uint64(hdr[8:])
+	const maxDim = 1 << 28 // 2 GiB of counters; reject corrupt headers
+	if depth == 0 || width == 0 || depth > maxDim || width > maxDim || depth*width > maxDim {
+		return nil, fmt.Errorf("sketch: implausible dimensions %dx%d", depth, width)
+	}
+	s := NewCountMin(Config{
+		Depth: int(depth),
+		Width: int(width),
+		Seed:  binary.LittleEndian.Uint64(hdr[16:]),
+	})
+	s.total = binary.LittleEndian.Uint64(hdr[24:])
+	buf := make([]byte, 8*1024)
+	for off := 0; off < len(s.counters); {
+		want := (len(s.counters) - off) * 8
+		if want > len(buf) {
+			want = len(buf)
+		}
+		if _, err := io.ReadFull(r, buf[:want]); err != nil {
+			return nil, fmt.Errorf("sketch: reading counters: %w", err)
+		}
+		for b := 0; b < want; b += 8 {
+			s.counters[off] = binary.LittleEndian.Uint64(buf[b:])
+			off++
+		}
+	}
+	return s, nil
+}

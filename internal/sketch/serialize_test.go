@@ -1,0 +1,107 @@
+package sketch
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"dsketch/internal/zipf"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := NewCountMin(Config{Depth: 5, Width: 333, Seed: 77})
+	g := zipf.New(zipf.Config{Universe: 1000, Skew: 1, Seed: 3})
+	for i := 0; i < 50000; i++ {
+		s.Insert(g.Next(), 1)
+	}
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCountMin(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Depth() != 5 || got.Width() != 333 || got.Total() != s.Total() {
+		t.Fatalf("metadata mismatch: %d %d %d", got.Depth(), got.Width(), got.Total())
+	}
+	for k := uint64(0); k < 1000; k++ {
+		if got.Estimate(k) != s.Estimate(k) {
+			t.Fatalf("estimate diverges at key %d", k)
+		}
+	}
+}
+
+func TestDecodedSketchMergeable(t *testing.T) {
+	cfg := Config{Depth: 3, Width: 64, Seed: 5}
+	a, b := NewCountMin(cfg), NewCountMin(cfg)
+	a.Insert(1, 10)
+	b.Insert(1, 20)
+	var buf bytes.Buffer
+	if err := a.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeCountMin(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded.Merge(b)
+	if decoded.Estimate(1) != 30 {
+		t.Fatalf("merged estimate = %d, want 30", decoded.Estimate(1))
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := DecodeCountMin(bytes.NewReader([]byte("definitely not a sketch"))); err != ErrBadSketchFormat {
+		t.Fatalf("err = %v, want ErrBadSketchFormat", err)
+	}
+}
+
+func TestDecodeRejectsTruncated(t *testing.T) {
+	s := NewCountMin(Config{Depth: 2, Width: 32, Seed: 1})
+	s.Insert(1, 1)
+	var buf bytes.Buffer
+	s.Encode(&buf)
+	trunc := buf.Bytes()[:buf.Len()-8]
+	if _, err := DecodeCountMin(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("expected error on truncated input")
+	}
+}
+
+func TestDecodeRejectsImplausibleDimensions(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(cmMagic[:])
+	hdr := make([]byte, 32)
+	hdr[7] = 0xff // depth = huge
+	hdr[15] = 0xff
+	buf.Write(hdr)
+	if _, err := DecodeCountMin(&buf); err == nil {
+		t.Fatal("expected rejection of corrupt dimensions")
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(keys []uint16) bool {
+		s := NewCountMin(Config{Depth: 3, Width: 128, Seed: 9})
+		for _, k := range keys {
+			s.Insert(uint64(k), 1)
+		}
+		var buf bytes.Buffer
+		if err := s.Encode(&buf); err != nil {
+			return false
+		}
+		got, err := DecodeCountMin(&buf)
+		if err != nil {
+			return false
+		}
+		for _, k := range keys {
+			if got.Estimate(uint64(k)) != s.Estimate(uint64(k)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,73 @@
+// Package sketch implements the sequential sketch substrate the paper
+// builds on: the Count-Min sketch (Cormode & Muthukrishnan), a
+// conservative-update variant, the Count Sketch (Charikar et al.) as an
+// alternative backend with the same interface, and the Augmented Sketch
+// filter front-end (Roy et al.) that Delegation Sketch uses as its
+// underlying sketch. A concurrent (atomic) Count-Min lives in
+// cm_atomic.go for the single-shared and thread-local baselines.
+package sketch
+
+import "math"
+
+// Sketch is the interface the paper requires of an underlying sketch:
+// insertions and point queries ("different sketches that have the same
+// interface can be used as well", §4.2). Implementations are sequential;
+// concurrency is the job of the parallelization designs layered above.
+type Sketch interface {
+	// Insert records count occurrences of key.
+	Insert(key, count uint64)
+	// Estimate answers a point query for key's frequency.
+	Estimate(key uint64) uint64
+	// MemoryBytes reports the counter/filter memory, for the evaluation's
+	// equal-total-memory accounting.
+	MemoryBytes() int
+}
+
+// Config sizes a sketch.
+type Config struct {
+	// Depth is the number of rows d (one pairwise-independent hash each).
+	Depth int
+	// Width is the number of counters per row, w.
+	Width int
+	// Seed derives the hash functions. Two sketches built with equal
+	// Depth, Width and Seed are mergeable.
+	Seed uint64
+}
+
+func (c Config) validate() {
+	if c.Depth <= 0 || c.Width <= 0 {
+		panic("sketch: non-positive dimensions")
+	}
+}
+
+// DimensionsForError returns the (width, depth) needed for the Count-Min
+// guarantee  f̂(i) ≤ f(i) + ε·N  with probability 1−δ:
+// w = ⌈e/ε⌉, d = ⌈ln(1/δ)⌉  (paper §5.1, Equation 1).
+func DimensionsForError(epsilon, delta float64) (width, depth int) {
+	if epsilon <= 0 || delta <= 0 || delta >= 1 {
+		panic("sketch: epsilon must be > 0 and delta in (0,1)")
+	}
+	width = int(math.Ceil(math.E / epsilon))
+	depth = int(math.Ceil(math.Log(1 / delta)))
+	if depth < 1 {
+		depth = 1
+	}
+	return width, depth
+}
+
+// ErrorBound inverts DimensionsForError: given a geometry it returns the
+// (ε, δ) of the Count-Min guarantee.
+func ErrorBound(width, depth int) (epsilon, delta float64) {
+	if width <= 0 || depth <= 0 {
+		panic("sketch: non-positive dimensions")
+	}
+	return math.E / float64(width), math.Exp(-float64(depth))
+}
+
+// OverestimateBound returns the additive error ε·N that a Count-Min sketch
+// of the given width guarantees (with probability 1−δ) after n insertions.
+// Used by the accuracy experiments and by the appendix bound check.
+func OverestimateBound(width int, n uint64) float64 {
+	eps, _ := ErrorBound(width, 1)
+	return eps * float64(n)
+}

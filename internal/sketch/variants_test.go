@@ -1,0 +1,288 @@
+package sketch
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"dsketch/internal/count"
+	"dsketch/internal/zipf"
+)
+
+func TestAtomicCountMinMatchesSequential(t *testing.T) {
+	// Single-threaded, the atomic sketch must behave exactly like the
+	// sequential one (same hash family seed).
+	cfg := Config{Depth: 4, Width: 128, Seed: 21}
+	a, s := NewAtomicCountMin(cfg), NewCountMin(cfg)
+	g := zipf.New(zipf.Config{Universe: 500, Skew: 1.2, Seed: 2})
+	for i := 0; i < 50000; i++ {
+		k := g.Next()
+		a.Insert(k, 1)
+		s.Insert(k, 1)
+	}
+	for k := uint64(0); k < 500; k++ {
+		if a.Estimate(k) != s.Estimate(k) {
+			t.Fatalf("estimates diverge at key %d: %d vs %d", k, a.Estimate(k), s.Estimate(k))
+		}
+	}
+}
+
+func TestAtomicCountMinConcurrentNoLostUpdates(t *testing.T) {
+	// T goroutines insert known counts concurrently; afterwards every row
+	// sum must equal the total (atomic adds can lose nothing) and every
+	// estimate must be >= truth.
+	cfg := Config{Depth: 4, Width: 256, Seed: 5}
+	a := NewAtomicCountMin(cfg)
+	const goroutines = 8
+	const perG = 20000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			gen := zipf.New(zipf.Config{Universe: 300, Skew: 1, Seed: uint64(g)})
+			for i := 0; i < perG; i++ {
+				a.Insert(gen.Next(), 1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	const total = goroutines * perG
+	if a.Total() != total {
+		t.Fatalf("Total = %d, want %d", a.Total(), total)
+	}
+	for row := 0; row < cfg.Depth; row++ {
+		if a.RowSum(row) != total {
+			t.Fatalf("row %d sum = %d, want %d (lost or duplicated updates)", row, a.RowSum(row), total)
+		}
+	}
+}
+
+func TestAtomicCountMinConcurrentQueriesDoNotUnderestimateCompleted(t *testing.T) {
+	// Insert key 7 exactly n times, then query concurrently with unrelated
+	// inserts: the estimate must never drop below n (regular consistency
+	// lower bound + CM no-underestimate).
+	cfg := Config{Depth: 4, Width: 512, Seed: 5}
+	a := NewAtomicCountMin(cfg)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		a.Insert(7, 1)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		k := uint64(100)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				a.Insert(k, 1)
+				k++
+			}
+		}
+	}()
+	for i := 0; i < 10000; i++ {
+		if got := a.Estimate(7); got < n {
+			close(stop)
+			t.Fatalf("estimate %d < completed count %d", got, n)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestAtomicCountMinReset(t *testing.T) {
+	a := NewAtomicCountMin(Config{Depth: 2, Width: 16, Seed: 1})
+	a.Insert(3, 4)
+	a.Reset()
+	if a.Estimate(3) != 0 || a.Total() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestConservativeNeverUnderestimates(t *testing.T) {
+	f := func(seq []uint16) bool {
+		s := NewConservativeCountMin(Config{Depth: 3, Width: 64, Seed: 13})
+		exact := count.NewExact()
+		for _, k := range seq {
+			s.Insert(uint64(k), 1)
+			exact.Add(uint64(k), 1)
+		}
+		for _, k := range exact.Keys() {
+			if s.Estimate(k) < exact.Count(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConservativeDominatesPlainCM(t *testing.T) {
+	// Conservative update must never report a larger estimate than plain
+	// Count-Min with the same geometry and hash functions.
+	cfg := Config{Depth: 4, Width: 64, Seed: 17}
+	cu, cm := NewConservativeCountMin(cfg), NewCountMin(cfg)
+	g := zipf.New(zipf.Config{Universe: 2000, Skew: 0.8, Seed: 3})
+	for i := 0; i < 100000; i++ {
+		k := g.Next()
+		cu.Insert(k, 1)
+		cm.Insert(k, 1)
+	}
+	for k := uint64(0); k < 2000; k++ {
+		if cu.Estimate(k) > cm.Estimate(k) {
+			t.Fatalf("CU estimate %d > CM estimate %d at key %d", cu.Estimate(k), cm.Estimate(k), k)
+		}
+	}
+}
+
+func TestCountSketchReasonableOnHeavyKeys(t *testing.T) {
+	// Count Sketch is unbiased; for heavy keys the median estimate should
+	// land near the truth. Check a generous relative window.
+	s := NewCountSketch(Config{Depth: 5, Width: 1024, Seed: 19})
+	exact := count.NewExact()
+	g := zipf.New(zipf.Config{Universe: 10000, Skew: 1.3, Seed: 4})
+	for i := 0; i < 300000; i++ {
+		k := g.Next()
+		s.Insert(k, 1)
+		exact.Add(k, 1)
+	}
+	for _, kc := range exact.TopK(10) {
+		got := s.Estimate(kc.Key)
+		lo, hi := kc.Count*8/10, kc.Count*12/10
+		if got < lo || got > hi {
+			t.Fatalf("key %d: estimate %d outside [%d,%d] (true %d)", kc.Key, got, lo, hi, kc.Count)
+		}
+	}
+}
+
+func TestCountSketchEstimateNonNegative(t *testing.T) {
+	s := NewCountSketch(Config{Depth: 4, Width: 16, Seed: 23})
+	for k := uint64(0); k < 1000; k++ {
+		s.Insert(k, 1)
+	}
+	for k := uint64(0); k < 2000; k++ {
+		// Estimate returns uint64; absurdly huge values indicate a
+		// negative median was not clamped.
+		if s.Estimate(k) > 1<<40 {
+			t.Fatalf("unclamped negative estimate at key %d", k)
+		}
+	}
+}
+
+func TestAugmentedMatchesExactForHotKeysInFilter(t *testing.T) {
+	// Keys that stay in the filter are counted exactly (paper Fig. 4's
+	// zero-error region for frequent keys).
+	a := NewAugmented(NewCountMin(Config{Depth: 4, Width: 32, Seed: 29}), 16)
+	exact := count.NewExact()
+	// 8 hot keys only: they all fit in the filter, error must be zero.
+	g := zipf.New(zipf.Config{Universe: 8, Skew: 1, Seed: 6})
+	for i := 0; i < 50000; i++ {
+		k := g.Next()
+		a.Insert(k, 1)
+		exact.Add(k, 1)
+	}
+	for k := uint64(0); k < 8; k++ {
+		if a.Estimate(k) != exact.Count(k) {
+			t.Fatalf("key %d: filter estimate %d != exact %d", k, a.Estimate(k), exact.Count(k))
+		}
+	}
+}
+
+func TestAugmentedNeverUnderestimatesWithCMBacking(t *testing.T) {
+	f := func(seq []uint16) bool {
+		a := NewAugmented(NewCountMin(Config{Depth: 3, Width: 64, Seed: 31}), 4)
+		exact := count.NewExact()
+		for _, k := range seq {
+			a.Insert(uint64(k), 1)
+			exact.Add(uint64(k), 1)
+		}
+		for _, k := range exact.Keys() {
+			if a.Estimate(k) < exact.Count(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAugmentedDrainConservesRowSums(t *testing.T) {
+	// After draining the filter, the backing CM's row sums must equal the
+	// total number of insertions: eviction accounting loses nothing.
+	cm := NewCountMin(Config{Depth: 3, Width: 64, Seed: 37})
+	a := NewAugmented(cm, 4)
+	g := zipf.New(zipf.Config{Universe: 1000, Skew: 1.5, Seed: 8})
+	const n = 30000
+	for i := 0; i < n; i++ {
+		a.Insert(g.Next(), 1)
+	}
+	a.Drain()
+	for row := 0; row < cm.Depth(); row++ {
+		if cm.RowSum(row) != n {
+			t.Fatalf("row %d sum = %d, want %d", row, cm.RowSum(row), n)
+		}
+	}
+}
+
+func TestAugmentedTotal(t *testing.T) {
+	a := NewAugmented(NewCountMin(Config{Depth: 2, Width: 16, Seed: 1}), 2)
+	a.Insert(1, 3)
+	a.Insert(2, 4)
+	if a.Total() != 7 {
+		t.Fatalf("Total = %d", a.Total())
+	}
+}
+
+func TestAugmentedMemoryBytesIncludesFilter(t *testing.T) {
+	cm := NewCountMin(Config{Depth: 2, Width: 16, Seed: 1})
+	a := NewAugmented(cm, 16)
+	if a.MemoryBytes() <= cm.MemoryBytes() {
+		t.Fatal("augmented memory must include the filter")
+	}
+}
+
+func BenchmarkAtomicCountMinInsert(b *testing.B) {
+	s := NewAtomicCountMin(Config{Depth: 8, Width: 4096, Seed: 1})
+	b.RunParallel(func(pb *testing.PB) {
+		i := uint64(0)
+		for pb.Next() {
+			s.Insert(i, 1)
+			i++
+		}
+	})
+}
+
+func BenchmarkAugmentedInsertSkewed(b *testing.B) {
+	a := NewAugmented(NewCountMin(Config{Depth: 8, Width: 4096, Seed: 1}), 16)
+	g := zipf.New(zipf.Config{Universe: 100000, Skew: 1.5, Seed: 1})
+	keys := make([]uint64, 1<<16)
+	for i := range keys {
+		keys[i] = g.Next()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Insert(keys[i&(1<<16-1)], 1)
+	}
+}
+
+func BenchmarkConservativeInsert(b *testing.B) {
+	s := NewConservativeCountMin(Config{Depth: 8, Width: 4096, Seed: 1})
+	for i := 0; i < b.N; i++ {
+		s.Insert(uint64(i%10000), 1)
+	}
+}
+
+func BenchmarkCountSketchInsert(b *testing.B) {
+	s := NewCountSketch(Config{Depth: 8, Width: 4096, Seed: 1})
+	for i := 0; i < b.N; i++ {
+		s.Insert(uint64(i%10000), 1)
+	}
+}

@@ -1,0 +1,58 @@
+package spsc
+
+import "sync/atomic"
+
+// Ring is a bounded single-producer single-consumer queue of uint64 values
+// (keys), wait-free on both sides. The trace-replay tooling uses it to feed
+// per-thread sub-streams without locks, mirroring the paper's system model
+// where "each thread has its own input sub-stream" handed over from an
+// upstream pipeline stage (§2.2).
+type Ring struct {
+	buf  []uint64
+	mask uint64
+	head atomic.Uint64 // next slot to read (consumer)
+	tail atomic.Uint64 // next slot to write (producer)
+}
+
+// NewRing returns a ring with the given capacity, rounded up to a power of
+// two (minimum 2).
+func NewRing(capacity int) *Ring {
+	if capacity < 2 {
+		capacity = 2
+	}
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
+	return &Ring{buf: make([]uint64, size), mask: uint64(size - 1)}
+}
+
+// Capacity returns the usable slot count.
+func (r *Ring) Capacity() int { return len(r.buf) }
+
+// Enqueue appends v; it reports false when the ring is full.
+// Producer-side only.
+func (r *Ring) Enqueue(v uint64) bool {
+	tail := r.tail.Load()
+	if tail-r.head.Load() == uint64(len(r.buf)) {
+		return false
+	}
+	r.buf[tail&r.mask] = v
+	r.tail.Store(tail + 1) // release: publishes the slot write
+	return true
+}
+
+// Dequeue removes the oldest value; ok is false when the ring is empty.
+// Consumer-side only.
+func (r *Ring) Dequeue() (v uint64, ok bool) {
+	head := r.head.Load()
+	if head == r.tail.Load() {
+		return 0, false
+	}
+	v = r.buf[head&r.mask]
+	r.head.Store(head + 1)
+	return v, true
+}
+
+// Len returns the number of buffered values at the instant of the check.
+func (r *Ring) Len() int { return int(r.tail.Load() - r.head.Load()) }

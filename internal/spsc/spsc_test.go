@@ -1,0 +1,179 @@
+package spsc
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestStackLIFOSequential(t *testing.T) {
+	var s Stack
+	if !s.Empty() {
+		// fresh stack must be empty
+	} else if s.Pop() != nil {
+		t.Fatal("Pop on empty stack should return nil")
+	}
+	a, b, c := NewNode(1), NewNode(2), NewNode(3)
+	s.Push(a)
+	s.Push(b)
+	s.Push(c)
+	if s.Empty() {
+		t.Fatal("stack should not be empty")
+	}
+	for _, want := range []int{3, 2, 1} {
+		n := s.Pop()
+		if n == nil || n.Value().(int) != want {
+			t.Fatalf("Pop = %v, want %d", n, want)
+		}
+	}
+	if s.Pop() != nil || !s.Empty() {
+		t.Fatal("stack should be drained")
+	}
+}
+
+func TestStackNodeReusable(t *testing.T) {
+	var s Stack
+	n := NewNode("x")
+	for i := 0; i < 100; i++ {
+		s.Push(n)
+		if got := s.Pop(); got != n {
+			t.Fatal("node identity lost across reuse")
+		}
+	}
+}
+
+func TestStackMPSCAllNodesDeliveredExactlyOnce(t *testing.T) {
+	// P producers push N nodes each; one consumer pops concurrently.
+	// Every node must be received exactly once.
+	const producers = 8
+	const perProducer = 2000
+	var s Stack
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				s.Push(NewNode(p*perProducer + i))
+			}
+		}(p)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	seen := make(map[int]bool, producers*perProducer)
+	finished := false
+	for !finished || !s.Empty() {
+		select {
+		case <-done:
+			finished = true
+		default:
+			runtime.Gosched() // let producers run on small GOMAXPROCS
+		}
+		for n := s.Pop(); n != nil; n = s.Pop() {
+			v := n.Value().(int)
+			if seen[v] {
+				t.Fatalf("value %d delivered twice", v)
+			}
+			seen[v] = true
+		}
+	}
+	if len(seen) != producers*perProducer {
+		t.Fatalf("delivered %d values, want %d", len(seen), producers*perProducer)
+	}
+}
+
+func TestRingFIFO(t *testing.T) {
+	r := NewRing(4)
+	for i := uint64(0); i < 4; i++ {
+		if !r.Enqueue(i) {
+			t.Fatalf("Enqueue(%d) failed on non-full ring", i)
+		}
+	}
+	if r.Enqueue(99) {
+		t.Fatal("Enqueue on full ring should fail")
+	}
+	for i := uint64(0); i < 4; i++ {
+		v, ok := r.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("Dequeue = (%d,%v), want (%d,true)", v, ok, i)
+		}
+	}
+	if _, ok := r.Dequeue(); ok {
+		t.Fatal("Dequeue on empty ring should fail")
+	}
+}
+
+func TestRingCapacityRounding(t *testing.T) {
+	if c := NewRing(5).Capacity(); c != 8 {
+		t.Fatalf("capacity = %d, want 8", c)
+	}
+	if c := NewRing(0).Capacity(); c != 2 {
+		t.Fatalf("capacity = %d, want 2", c)
+	}
+}
+
+func TestRingWrapAround(t *testing.T) {
+	r := NewRing(4)
+	for round := 0; round < 100; round++ {
+		for i := uint64(0); i < 3; i++ {
+			if !r.Enqueue(uint64(round)*10 + i) {
+				t.Fatal("enqueue failed")
+			}
+		}
+		for i := uint64(0); i < 3; i++ {
+			v, ok := r.Dequeue()
+			if !ok || v != uint64(round)*10+i {
+				t.Fatalf("round %d: got (%d,%v)", round, v, ok)
+			}
+		}
+	}
+}
+
+func TestRingConcurrentSPSC(t *testing.T) {
+	r := NewRing(64)
+	const n = 200000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); i < n; {
+			if r.Enqueue(i) {
+				i++
+			} else {
+				runtime.Gosched() // ring full: let the consumer run
+			}
+		}
+	}()
+	for i := uint64(0); i < n; {
+		if v, ok := r.Dequeue(); ok {
+			if v != i {
+				t.Fatalf("out of order: got %d want %d", v, i)
+			}
+			i++
+		} else {
+			runtime.Gosched() // ring empty: let the producer run
+		}
+	}
+	wg.Wait()
+	if r.Len() != 0 {
+		t.Fatalf("ring should be empty, Len=%d", r.Len())
+	}
+}
+
+func BenchmarkStackPushPop(b *testing.B) {
+	var s Stack
+	n := NewNode(0)
+	for i := 0; i < b.N; i++ {
+		s.Push(n)
+		s.Pop()
+	}
+}
+
+func BenchmarkRingEnqueueDequeue(b *testing.B) {
+	r := NewRing(1024)
+	for i := 0; i < b.N; i++ {
+		r.Enqueue(uint64(i))
+		r.Dequeue()
+	}
+}

@@ -1,0 +1,68 @@
+// Package spsc provides the minimal lock-free queueing substrate the
+// delegation protocol needs: an intrusive multi-producer single-consumer
+// (MPSC) Treiber stack used as each owner's "ready filters" list, and a
+// bounded single-producer single-consumer ring used by tooling.
+//
+// The paper (§6.1) calls for a "single-producer single-consumer concurrent
+// linked list" per (producer, owner) pair; collapsing those T lists into
+// one MPSC stack per owner is behaviour-preserving — the owner still drains
+// every ready filter exactly once — and is what the authors' artifact does
+// in practice with a single list per sketch.
+package spsc
+
+import "sync/atomic"
+
+// Node is the intrusive link embedded in items pushed onto a Stack.
+// An item may be on at most one stack at a time and must not be re-pushed
+// until it has been popped.
+type Node struct {
+	next  atomic.Pointer[Node]
+	value any
+}
+
+// NewNode returns a node carrying value. Delegation filters allocate one
+// node each, up front, so the hot path never allocates.
+func NewNode(value any) *Node { return &Node{value: value} }
+
+// Value returns the payload the node was created with.
+func (n *Node) Value() any { return n.value }
+
+// Stack is a Treiber stack: lock-free pushes from any number of producers.
+// Pop must only be called by the single consumer (the owner thread). With
+// one consumer the classic ABA hazard of Treiber pop cannot occur: a node
+// observed as head stays on the stack until this same consumer removes it,
+// so its next pointer remains valid across the CAS.
+type Stack struct {
+	head atomic.Pointer[Node]
+}
+
+// Push adds n on top of the stack. Safe for concurrent producers.
+func (s *Stack) Push(n *Node) {
+	for {
+		old := s.head.Load()
+		n.next.Store(old)
+		if s.head.CompareAndSwap(old, n) {
+			return
+		}
+	}
+}
+
+// Pop removes and returns the top node, or nil when the stack is empty.
+// Single consumer only.
+func (s *Stack) Pop() *Node {
+	for {
+		top := s.head.Load()
+		if top == nil {
+			return nil
+		}
+		next := top.next.Load()
+		if s.head.CompareAndSwap(top, next) {
+			top.next.Store(nil)
+			return top
+		}
+	}
+}
+
+// Empty reports whether the stack had no nodes at the instant of the check.
+// This is the O(1) "any pending work?" test on the insert/query fast path.
+func (s *Stack) Empty() bool { return s.head.Load() == nil }

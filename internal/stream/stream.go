@@ -1,0 +1,111 @@
+// Package stream models the paper's input model (§2.2): a key stream is
+// split into per-thread sub-streams by an upstream pipeline stage (in the
+// network-monitoring motivation, RSS on the NIC distributes packets to
+// CPUs). The package provides sources, splitting, and replay helpers used
+// by the workload drivers and examples.
+package stream
+
+import "dsketch/internal/zipf"
+
+// Source yields keys until exhaustion.
+type Source interface {
+	// Next returns the next key; ok is false when the source is drained.
+	Next() (key uint64, ok bool)
+}
+
+// SliceSource replays a fixed key slice.
+type SliceSource struct {
+	keys []uint64
+	pos  int
+}
+
+// NewSliceSource returns a source over keys (not copied).
+func NewSliceSource(keys []uint64) *SliceSource { return &SliceSource{keys: keys} }
+
+// Next implements Source.
+func (s *SliceSource) Next() (uint64, bool) {
+	if s.pos >= len(s.keys) {
+		return 0, false
+	}
+	k := s.keys[s.pos]
+	s.pos++
+	return k, true
+}
+
+// Remaining returns how many keys are left.
+func (s *SliceSource) Remaining() int { return len(s.keys) - s.pos }
+
+// ZipfSource yields n keys from a Zipf generator.
+type ZipfSource struct {
+	gen  *zipf.Generator
+	left int
+}
+
+// NewZipfSource returns a source producing n keys from cfg.
+func NewZipfSource(cfg zipf.Config, n int) *ZipfSource {
+	return &ZipfSource{gen: zipf.New(cfg), left: n}
+}
+
+// Next implements Source.
+func (z *ZipfSource) Next() (uint64, bool) {
+	if z.left <= 0 {
+		return 0, false
+	}
+	z.left--
+	return z.gen.Next(), true
+}
+
+// Split distributes one stream round-robin into t sub-streams, the way a
+// NIC's receive-side scaling hands packets to CPUs. Round-robin preserves
+// per-key global frequencies while giving every thread an equal share.
+func Split(keys []uint64, t int) [][]uint64 {
+	if t <= 0 {
+		panic("stream: non-positive sub-stream count")
+	}
+	subs := make([][]uint64, t)
+	per := (len(keys) + t - 1) / t
+	for i := range subs {
+		subs[i] = make([]uint64, 0, per)
+	}
+	for i, k := range keys {
+		subs[i%t] = append(subs[i%t], k)
+	}
+	return subs
+}
+
+// Drain materializes a source into a slice.
+func Drain(s Source) []uint64 {
+	var out []uint64
+	for {
+		k, ok := s.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, k)
+	}
+}
+
+// Repeat cycles a fixed slice forever — handy for padding per-thread
+// schedules to equal length.
+type Repeat struct {
+	keys []uint64
+	pos  int
+}
+
+// NewRepeat returns a cyclic source over keys; keys must be non-empty.
+func NewRepeat(keys []uint64) *Repeat {
+	if len(keys) == 0 {
+		panic("stream: empty repeat source")
+	}
+	return &Repeat{keys: keys}
+}
+
+// Next returns the next key, wrapping around at the end.
+func (r *Repeat) Next() uint64 {
+	k := r.keys[r.pos]
+	r.pos++
+	if r.pos == len(r.keys) {
+		r.pos = 0
+	}
+	return k
+}

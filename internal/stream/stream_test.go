@@ -1,0 +1,116 @@
+package stream
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dsketch/internal/zipf"
+)
+
+func TestSliceSource(t *testing.T) {
+	s := NewSliceSource([]uint64{1, 2, 3})
+	for want := uint64(1); want <= 3; want++ {
+		k, ok := s.Next()
+		if !ok || k != want {
+			t.Fatalf("Next = (%d,%v), want (%d,true)", k, ok, want)
+		}
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("exhausted source should report !ok")
+	}
+	if s.Remaining() != 0 {
+		t.Fatalf("Remaining = %d", s.Remaining())
+	}
+}
+
+func TestZipfSourceYieldsExactlyN(t *testing.T) {
+	s := NewZipfSource(zipf.Config{Universe: 100, Skew: 1, Seed: 1}, 50)
+	n := 0
+	for {
+		_, ok := s.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 50 {
+		t.Fatalf("yielded %d keys, want 50", n)
+	}
+}
+
+func TestSplitPreservesAllKeys(t *testing.T) {
+	f := func(keys []uint64, tRaw uint8) bool {
+		tn := int(tRaw%8) + 1
+		subs := Split(keys, tn)
+		if len(subs) != tn {
+			return false
+		}
+		counts := map[uint64]int{}
+		total := 0
+		for _, sub := range subs {
+			for _, k := range sub {
+				counts[k]++
+				total++
+			}
+		}
+		if total != len(keys) {
+			return false
+		}
+		want := map[uint64]int{}
+		for _, k := range keys {
+			want[k]++
+		}
+		for k, c := range want {
+			if counts[k] != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitBalanced(t *testing.T) {
+	keys := make([]uint64, 100)
+	subs := Split(keys, 3)
+	if len(subs[0]) != 34 || len(subs[1]) != 33 || len(subs[2]) != 33 {
+		t.Fatalf("sub-stream sizes: %d %d %d", len(subs[0]), len(subs[1]), len(subs[2]))
+	}
+}
+
+func TestSplitPanicsOnZeroThreads(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Split(nil, 0)
+}
+
+func TestDrain(t *testing.T) {
+	got := Drain(NewSliceSource([]uint64{9, 8, 7}))
+	if len(got) != 3 || got[0] != 9 || got[2] != 7 {
+		t.Fatalf("Drain = %v", got)
+	}
+}
+
+func TestRepeatCycles(t *testing.T) {
+	r := NewRepeat([]uint64{1, 2})
+	want := []uint64{1, 2, 1, 2, 1}
+	for i, w := range want {
+		if got := r.Next(); got != w {
+			t.Fatalf("step %d: got %d want %d", i, got, w)
+		}
+	}
+}
+
+func TestRepeatPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRepeat(nil)
+}

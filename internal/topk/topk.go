@@ -1,0 +1,92 @@
+// Package topk implements the Space-Saving algorithm (Metwally, Agrawal,
+// El Abbadi) for top-k / heavy-hitter tracking. The paper's introduction
+// motivates sketches with exactly this query class ("top-k most common
+// elements"); the example applications pair a Space-Saving summary with
+// Delegation Sketch frequency estimates.
+package topk
+
+import "sort"
+
+// Entry is one monitored key with its (over-)estimated count and the
+// maximum possible overestimation.
+type Entry struct {
+	Key   uint64
+	Count uint64
+	// Err bounds the overestimation: Count−Err ≤ true count ≤ Count.
+	Err uint64
+}
+
+// SpaceSaving monitors at most capacity keys; any key whose true frequency
+// exceeds N/capacity is guaranteed to be present.
+type SpaceSaving struct {
+	capacity int
+	entries  map[uint64]*ssEntry
+	total    uint64
+}
+
+type ssEntry struct {
+	key   uint64
+	count uint64
+	err   uint64
+}
+
+// New returns a tracker holding up to capacity keys.
+func New(capacity int) *SpaceSaving {
+	if capacity <= 0 {
+		panic("topk: non-positive capacity")
+	}
+	return &SpaceSaving{
+		capacity: capacity,
+		entries:  make(map[uint64]*ssEntry, capacity),
+	}
+}
+
+// Observe records count occurrences of key.
+func (s *SpaceSaving) Observe(key, count uint64) {
+	s.total += count
+	if e, ok := s.entries[key]; ok {
+		e.count += count
+		return
+	}
+	if len(s.entries) < s.capacity {
+		s.entries[key] = &ssEntry{key: key, count: count}
+		return
+	}
+	// Evict the minimum-count entry; the newcomer inherits its count as
+	// potential error (the Space-Saving replacement rule).
+	var min *ssEntry
+	for _, e := range s.entries {
+		if min == nil || e.count < min.count {
+			min = e
+		}
+	}
+	delete(s.entries, min.key)
+	s.entries[key] = &ssEntry{key: key, count: min.count + count, err: min.count}
+}
+
+// Total returns the number of observed occurrences.
+func (s *SpaceSaving) Total() uint64 { return s.total }
+
+// Top returns up to k entries by descending count (ties by ascending key).
+func (s *SpaceSaving) Top(k int) []Entry {
+	out := make([]Entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, Entry{Key: e.key, Count: e.count, Err: e.err})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// Guaranteed reports whether entry e's key certainly has true frequency
+// above threshold (its lower bound clears it).
+func Guaranteed(e Entry, threshold uint64) bool {
+	return e.Count-e.Err > threshold
+}

@@ -1,0 +1,106 @@
+package topk
+
+import (
+	"testing"
+
+	"dsketch/internal/count"
+	"dsketch/internal/zipf"
+)
+
+func TestExactWhenUnderCapacity(t *testing.T) {
+	s := New(10)
+	for k := uint64(0); k < 5; k++ {
+		s.Observe(k, k+1)
+	}
+	top := s.Top(5)
+	if len(top) != 5 || top[0].Key != 4 || top[0].Count != 5 || top[0].Err != 0 {
+		t.Fatalf("Top = %v", top)
+	}
+}
+
+func TestGuaranteedHeavyHittersFound(t *testing.T) {
+	// Space-Saving guarantee: every key with frequency > N/capacity is
+	// monitored.
+	g := zipf.New(zipf.Config{Universe: 10000, Skew: 1.2, Seed: 3})
+	s := New(100)
+	truth := count.NewExact()
+	const n = 200000
+	for i := 0; i < n; i++ {
+		k := g.Next()
+		s.Observe(k, 1)
+		truth.Add(k, 1)
+	}
+	threshold := uint64(n / 100)
+	monitored := map[uint64]bool{}
+	for _, e := range s.Top(100) {
+		monitored[e.Key] = true
+	}
+	for _, kc := range truth.ByFrequency() {
+		if kc.Count <= threshold {
+			break
+		}
+		if !monitored[kc.Key] {
+			t.Fatalf("heavy hitter %d (count %d > %d) not monitored", kc.Key, kc.Count, threshold)
+		}
+	}
+}
+
+func TestCountBounds(t *testing.T) {
+	// Count is an over-estimate; Count-Err is a lower bound.
+	g := zipf.New(zipf.Config{Universe: 1000, Skew: 1.0, Seed: 9})
+	s := New(50)
+	truth := count.NewExact()
+	for i := 0; i < 50000; i++ {
+		k := g.Next()
+		s.Observe(k, 1)
+		truth.Add(k, 1)
+	}
+	for _, e := range s.Top(50) {
+		f := truth.Count(e.Key)
+		if e.Count < f {
+			t.Fatalf("key %d: Count %d < true %d", e.Key, e.Count, f)
+		}
+		if e.Count-e.Err > f {
+			t.Fatalf("key %d: lower bound %d > true %d", e.Key, e.Count-e.Err, f)
+		}
+	}
+}
+
+func TestTopOrderingAndClamp(t *testing.T) {
+	s := New(4)
+	s.Observe(1, 10)
+	s.Observe(2, 30)
+	s.Observe(3, 20)
+	top := s.Top(2)
+	if len(top) != 2 || top[0].Key != 2 || top[1].Key != 3 {
+		t.Fatalf("Top(2) = %v", top)
+	}
+}
+
+func TestGuaranteed(t *testing.T) {
+	if !Guaranteed(Entry{Count: 100, Err: 10}, 80) {
+		t.Fatal("90 > 80 should be guaranteed")
+	}
+	if Guaranteed(Entry{Count: 100, Err: 30}, 80) {
+		t.Fatal("70 > 80 should not be guaranteed")
+	}
+}
+
+func TestTotal(t *testing.T) {
+	s := New(2)
+	s.Observe(1, 5)
+	s.Observe(2, 5)
+	s.Observe(3, 5) // evicts, still counts toward total
+	if s.Total() != 15 {
+		t.Fatalf("Total = %d", s.Total())
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0)
+}

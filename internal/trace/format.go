@@ -1,0 +1,103 @@
+// Package trace provides (a) a compact binary on-disk format for key
+// traces, used by the cmd/dsgen and cmd/dsquery tools, and (b) synthetic
+// generators reproducing the marginal key-frequency distributions of the
+// CAIDA Anonymized Internet Traces 2018 data sets the paper evaluates on
+// (§7.1) — source IPs (low skew) and source ports (high skew). The real
+// traces are proprietary; DESIGN.md §5 documents the substitution.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// magic identifies the trace format, versioned.
+var magic = [8]byte{'D', 'S', 'K', 'T', 'R', 'C', '0', '1'}
+
+// ErrBadMagic reports a stream that is not a dsketch trace.
+var ErrBadMagic = errors.New("trace: bad magic, not a dsketch trace file")
+
+// Writer streams keys to a trace file.
+type Writer struct {
+	w     *bufio.Writer
+	count uint64
+	buf   [binary.MaxVarintLen64]byte
+}
+
+// NewWriter writes the header and returns a Writer. Call Close to flush.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// WriteKey appends one key.
+func (t *Writer) WriteKey(key uint64) error {
+	n := binary.PutUvarint(t.buf[:], key)
+	if _, err := t.w.Write(t.buf[:n]); err != nil {
+		return fmt.Errorf("trace: writing key: %w", err)
+	}
+	t.count++
+	return nil
+}
+
+// Count returns the number of keys written so far.
+func (t *Writer) Count() uint64 { return t.count }
+
+// Close flushes buffered data. It does not close the underlying writer.
+func (t *Writer) Close() error {
+	if err := t.w.Flush(); err != nil {
+		return fmt.Errorf("trace: flushing: %w", err)
+	}
+	return nil
+}
+
+// Reader streams keys from a trace file.
+type Reader struct {
+	r *bufio.Reader
+}
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var got [8]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if got != magic {
+		return nil, ErrBadMagic
+	}
+	return &Reader{r: br}, nil
+}
+
+// ReadKey returns the next key; io.EOF signals a clean end of trace.
+func (t *Reader) ReadKey() (uint64, error) {
+	k, err := binary.ReadUvarint(t.r)
+	if err == io.EOF {
+		return 0, io.EOF
+	}
+	if err != nil {
+		return 0, fmt.Errorf("trace: reading key: %w", err)
+	}
+	return k, nil
+}
+
+// ReadAll drains the remaining keys.
+func (t *Reader) ReadAll() ([]uint64, error) {
+	var keys []uint64
+	for {
+		k, err := t.ReadKey()
+		if err == io.EOF {
+			return keys, nil
+		}
+		if err != nil {
+			return keys, err
+		}
+		keys = append(keys, k)
+	}
+}

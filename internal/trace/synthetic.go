@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"dsketch/internal/hash"
+	"dsketch/internal/zipf"
+)
+
+// The two synthetic data sets below reproduce the properties the paper
+// actually uses from the CAIDA 2018 traces (§7.1 and Figure 3):
+//
+//   - source IPs: many distinct keys, frequencies "resemble a Zipf
+//     distribution with low skew" — the most frequent IP holds a few
+//     percent of the traffic;
+//   - source ports: a small universe (65536) dominated by a handful of
+//     well-known ports — the most frequent port holds roughly a quarter
+//     of the packets ("a Zipf distribution with high skew").
+
+// SyntheticIPs generates n source-IP keys: a low-skew Zipf (α≈0.9) over a
+// universe of distinct, realistic-looking IPv4 addresses encoded as
+// uint64s.
+func SyntheticIPs(n int, seed uint64) []uint64 {
+	const universe = 200_000
+	g := zipf.New(zipf.Config{Universe: universe, Skew: 0.9, Seed: seed})
+	// Map ranks to IPv4-looking addresses: pseudo-random 32-bit values
+	// with the private-range bit patterns mixed in, deterministically.
+	keys := make([]uint64, n)
+	for i := range keys {
+		rank := g.Next()
+		keys[i] = uint64(uint32(hash.Mix64(rank + seed*0x9e3779b9)))
+	}
+	return keys
+}
+
+// wellKnownPorts carries the head of the port distribution: (port, share
+// of total packets). The shares follow the shape of high-speed backbone
+// traffic where HTTPS dominates.
+var wellKnownPorts = []struct {
+	port  uint64
+	share float64
+}{
+	{443, 0.26}, {80, 0.11}, {53, 0.055}, {123, 0.03}, {22, 0.022},
+	{8080, 0.018}, {25, 0.014}, {3389, 0.012}, {993, 0.010}, {445, 0.009},
+	{8443, 0.008}, {110, 0.007}, {143, 0.006}, {5060, 0.005}, {1900, 0.005},
+	{21, 0.004}, {989, 0.004}, {995, 0.003}, {587, 0.003}, {465, 0.003},
+}
+
+// SyntheticPorts generates n source-port keys: the explicit well-known
+// head above plus a Zipf(1.1) tail over the ephemeral range, yielding the
+// strongly skewed marginal of the paper's port data set.
+func SyntheticPorts(n int, seed uint64) []uint64 {
+	var headMass float64
+	for _, p := range wellKnownPorts {
+		headMass += p.share
+	}
+	tail := zipf.New(zipf.Config{Universe: 64512, Skew: 1.1, Seed: seed ^ 0xbeef})
+	rng := hash.NewRand(seed)
+	keys := make([]uint64, n)
+	for i := range keys {
+		u := rng.Float64()
+		if u < headMass {
+			// pick the well-known port whose cumulative share brackets u
+			var cum float64
+			for _, p := range wellKnownPorts {
+				cum += p.share
+				if u < cum {
+					keys[i] = p.port
+					break
+				}
+			}
+		} else {
+			// ephemeral range 1024..65535, rank-permuted
+			rank := tail.Next()
+			keys[i] = 1024 + (hash.Mix64(rank+seed) % 64512)
+		}
+	}
+	return keys
+}

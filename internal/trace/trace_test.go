@@ -1,0 +1,168 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"dsketch/internal/count"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	f := func(keys []uint64) bool {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		for _, k := range keys {
+			if err := w.WriteKey(k); err != nil {
+				return false
+			}
+		}
+		if w.Count() != uint64(len(keys)) {
+			return false
+		}
+		if err := w.Close(); err != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		got, err := r.ReadAll()
+		if err != nil {
+			return false
+		}
+		if len(got) != len(keys) {
+			return false
+		}
+		for i := range keys {
+			if got[i] != keys[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	_, err := NewReader(bytes.NewReader([]byte("not a trace file at all")))
+	if err != ErrBadMagic {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestReaderRejectsTruncatedHeader(t *testing.T) {
+	_, err := NewReader(bytes.NewReader([]byte{1, 2, 3}))
+	if err == nil {
+		t.Fatal("expected error on truncated header")
+	}
+}
+
+func TestReadKeyEOF(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.WriteKey(5)
+	w.Close()
+	r, _ := NewReader(&buf)
+	if k, err := r.ReadKey(); err != nil || k != 5 {
+		t.Fatalf("first key: (%d,%v)", k, err)
+	}
+	if _, err := r.ReadKey(); err != io.EOF {
+		t.Fatalf("err = %v, want io.EOF", err)
+	}
+}
+
+func TestSyntheticIPsLowSkew(t *testing.T) {
+	keys := SyntheticIPs(400000, 1)
+	e := count.NewExact()
+	for _, k := range keys {
+		e.Add(k, 1)
+	}
+	top := e.TopK(20)
+	topShare := float64(top[0].Count) / float64(e.Total())
+	// Figure 3: IP data set top key is a small share (a few percent).
+	if topShare < 0.005 || topShare > 0.10 {
+		t.Fatalf("IP top key share %v outside low-skew range", topShare)
+	}
+	if e.Distinct() < 50000 {
+		t.Fatalf("IP universe too small: %d distinct", e.Distinct())
+	}
+	// Shares must be non-increasing (TopK ordering sanity).
+	for i := 1; i < len(top); i++ {
+		if top[i].Count > top[i-1].Count {
+			t.Fatal("TopK not sorted")
+		}
+	}
+}
+
+func TestSyntheticPortsHighSkew(t *testing.T) {
+	keys := SyntheticPorts(400000, 2)
+	e := count.NewExact()
+	for _, k := range keys {
+		e.Add(k, 1)
+	}
+	top := e.TopK(2)
+	if top[0].Key != 443 {
+		t.Fatalf("most frequent port = %d, want 443", top[0].Key)
+	}
+	share := float64(top[0].Count) / float64(e.Total())
+	// Figure 3: ports top key holds roughly a quarter of the traffic.
+	if share < 0.20 || share > 0.32 {
+		t.Fatalf("port 443 share %v outside calibrated range", share)
+	}
+	// All ports must be valid 16-bit values.
+	for _, k := range keys {
+		if k > 65535 {
+			t.Fatalf("invalid port %d", k)
+		}
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := SyntheticPorts(1000, 7)
+	b := SyntheticPorts(1000, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed diverges")
+		}
+	}
+	c := SyntheticPorts(1000, 8)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestSyntheticIPsAreUint32(t *testing.T) {
+	for _, k := range SyntheticIPs(10000, 3) {
+		if k > 0xffffffff {
+			t.Fatalf("IP key %d exceeds 32 bits", k)
+		}
+	}
+}
+
+func BenchmarkWriterThroughput(b *testing.B) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.WriteKey(uint64(i))
+	}
+}
+
+func BenchmarkSyntheticPorts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		SyntheticPorts(10000, uint64(i))
+	}
+}

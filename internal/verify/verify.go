@@ -1,0 +1,126 @@
+// Package verify checks the paper's consistency specification (§2.2,
+// Claims 2–3) against a running parallel design. The specification is
+// regularity: a query must reflect every insertion that *completed* before
+// the query was issued; it may or may not reflect overlapping insertions.
+//
+// For Count-Min-based designs the estimate never drops below the counted
+// occurrences, so the checkable invariant is the lower bound:
+//
+//	Query(K) >= (# of Insert(K) calls that returned before Query(K) began)
+//
+// Double counting is checked separately through the row-sum invariant
+// (every Count-Min row sums to exactly the number of insertions), which
+// the package-level design tests assert after quiescent flushes.
+package verify
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dsketch/internal/zipf"
+)
+
+// SUT is the surface a system under test must expose; parallel.Design
+// satisfies it.
+type SUT interface {
+	Threads() int
+	Insert(tid int, key uint64)
+	Query(tid int, key uint64) uint64
+	Idle(tid int)
+}
+
+// Violation records one regularity breach.
+type Violation struct {
+	Thread int
+	Key    uint64
+	Got    uint64 // the query result
+	Floor  uint64 // completed insertions at query start
+}
+
+// String formats the violation for test failure messages.
+func (v Violation) String() string {
+	return fmt.Sprintf("thread %d: Query(%d) = %d < %d completed insertions",
+		v.Thread, v.Key, v.Got, v.Floor)
+}
+
+// Report summarizes one checked run.
+type Report struct {
+	Ops        int
+	Queries    int
+	Violations []Violation
+}
+
+// Config parameterizes a checked run.
+type Config struct {
+	// OpsPerThread is the number of operations each thread performs.
+	OpsPerThread int
+	// Universe bounds the key space (tracker state is per key).
+	Universe int
+	// Skew is the Zipf skew of the workload.
+	Skew float64
+	// QueryRatio is the fraction of operations that are queries.
+	QueryRatio float64
+	// Seed makes the run deterministic up to scheduling.
+	Seed uint64
+}
+
+// Check drives sut with a mixed workload while tracking, per key, the
+// number of completed insertions, and validates every query against the
+// regularity lower bound. At most 32 violations are retained.
+func Check(sut SUT, cfg Config) Report {
+	t := sut.Threads()
+	completed := make([]atomic.Uint64, cfg.Universe)
+	var (
+		mu      sync.Mutex
+		rep     Report
+		queries atomic.Int64
+		done    atomic.Int32
+		wg      sync.WaitGroup
+	)
+	for tid := 0; tid < t; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			g := zipf.New(zipf.Config{
+				Universe: cfg.Universe,
+				Skew:     cfg.Skew,
+				Seed:     cfg.Seed + uint64(tid)*977,
+			})
+			queryEvery := 0
+			if cfg.QueryRatio > 0 {
+				queryEvery = int(1 / cfg.QueryRatio)
+			}
+			for i := 0; i < cfg.OpsPerThread; i++ {
+				k := g.Next()
+				if queryEvery > 0 && i%queryEvery == queryEvery-1 {
+					floor := completed[k].Load()
+					got := sut.Query(tid, k)
+					queries.Add(1)
+					if got < floor {
+						mu.Lock()
+						if len(rep.Violations) < 32 {
+							rep.Violations = append(rep.Violations, Violation{
+								Thread: tid, Key: k, Got: got, Floor: floor,
+							})
+						}
+						mu.Unlock()
+					}
+				} else {
+					sut.Insert(tid, k)
+					completed[k].Add(1)
+				}
+			}
+			done.Add(1)
+			for int(done.Load()) < t {
+				sut.Idle(tid)
+				runtime.Gosched()
+			}
+		}(tid)
+	}
+	wg.Wait()
+	rep.Ops = t * cfg.OpsPerThread
+	rep.Queries = int(queries.Load())
+	return rep
+}

@@ -1,0 +1,86 @@
+package verify
+
+import (
+	"testing"
+
+	"dsketch/internal/parallel"
+)
+
+func budget(threads int) parallel.Budget {
+	return parallel.Budget{Threads: threads, Depth: 4, BaseWidth: 512}
+}
+
+func TestAllDesignsSatisfyRegularity(t *testing.T) {
+	for _, kind := range append(parallel.AllKinds(), parallel.KindDelegationNoSquash) {
+		d := parallel.New(kind, budget(4), 1)
+		rep := Check(d, Config{
+			OpsPerThread: 20000,
+			Universe:     2000,
+			Skew:         1.2,
+			QueryRatio:   0.01,
+			Seed:         3,
+		})
+		if rep.Queries == 0 {
+			t.Fatalf("%s: no queries executed", kind)
+		}
+		if len(rep.Violations) > 0 {
+			t.Errorf("%s: regularity violated: %v", kind, rep.Violations[0])
+		}
+	}
+}
+
+func TestDelegationRegularityHighSkewHotKey(t *testing.T) {
+	// High skew concentrates inserts and queries on one owner: the
+	// squashing path is exercised under the consistency check.
+	d := parallel.New(parallel.KindDelegation, budget(8), 5)
+	rep := Check(d, Config{
+		OpsPerThread: 30000,
+		Universe:     100,
+		Skew:         2.5,
+		QueryRatio:   0.05,
+		Seed:         9,
+	})
+	if len(rep.Violations) > 0 {
+		t.Fatalf("violated: %v", rep.Violations[0])
+	}
+	if rep.Ops != 8*30000 {
+		t.Fatalf("Ops = %d", rep.Ops)
+	}
+}
+
+func TestCheckNoQueries(t *testing.T) {
+	d := parallel.New(parallel.KindThreadLocal, budget(2), 1)
+	rep := Check(d, Config{OpsPerThread: 1000, Universe: 100, Skew: 1, QueryRatio: 0, Seed: 1})
+	if rep.Queries != 0 || len(rep.Violations) != 0 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Thread: 2, Key: 7, Got: 3, Floor: 5}
+	if v.String() == "" {
+		t.Fatal("empty violation string")
+	}
+}
+
+// brokenSUT always answers 0, so every query on a previously inserted key
+// violates the regularity floor — the checker must catch it.
+type brokenSUT struct{ threads int }
+
+func (b *brokenSUT) Threads() int             { return b.threads }
+func (b *brokenSUT) Insert(int, uint64)       {}
+func (b *brokenSUT) Query(int, uint64) uint64 { return 0 }
+func (b *brokenSUT) Idle(int)                 {}
+
+func TestCheckerDetectsViolations(t *testing.T) {
+	rep := Check(&brokenSUT{threads: 2}, Config{
+		OpsPerThread: 5000,
+		Universe:     10,
+		Skew:         0,
+		QueryRatio:   0.1,
+		Seed:         7,
+	})
+	if len(rep.Violations) == 0 {
+		t.Fatal("checker failed to flag an always-zero SUT")
+	}
+}

@@ -1,0 +1,95 @@
+package zipf
+
+import "dsketch/internal/hash"
+
+// Alias is Walker's alias table over a fixed discrete distribution:
+// constant-time sampling after linear-time setup.
+type Alias struct {
+	prob  []float64 // acceptance threshold per column, scaled to [0,1]
+	alias []int     // fallback outcome per column
+	pmf   []float64 // original probabilities, kept for introspection
+}
+
+// NewAlias builds the table for the given probabilities, which must be
+// non-negative and sum to (approximately) 1; they are renormalized
+// defensively.
+func NewAlias(probs []float64) *Alias {
+	n := len(probs)
+	if n == 0 {
+		panic("zipf: empty distribution")
+	}
+	var sum float64
+	for _, p := range probs {
+		if p < 0 {
+			panic("zipf: negative probability")
+		}
+		sum += p
+	}
+	if sum <= 0 {
+		panic("zipf: zero-mass distribution")
+	}
+	a := &Alias{
+		prob:  make([]float64, n),
+		alias: make([]int, n),
+		pmf:   make([]float64, n),
+	}
+	// Scale each probability by n so the "fair share" per column is 1.
+	scaled := make([]float64, n)
+	for i, p := range probs {
+		a.pmf[i] = p / sum
+		scaled[i] = a.pmf[i] * float64(n)
+	}
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, s := range scaled {
+		if s < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Leftovers are 1 up to floating-point error.
+	for _, i := range large {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	for _, i := range small {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	return a
+}
+
+// Len returns the number of outcomes.
+func (a *Alias) Len() int { return len(a.prob) }
+
+// Prob returns the normalized probability of outcome i.
+func (a *Alias) Prob(i int) float64 { return a.pmf[i] }
+
+// Sample draws one outcome using rng.
+func (a *Alias) Sample(rng *hash.Rand) int {
+	u := rng.Float64() * float64(len(a.prob))
+	col := int(u)
+	if col >= len(a.prob) { // guard the u == n edge from float rounding
+		col = len(a.prob) - 1
+	}
+	frac := u - float64(col)
+	if frac < a.prob[col] {
+		return col
+	}
+	return a.alias[col]
+}

@@ -1,0 +1,165 @@
+// Package zipf implements a seedable Zipf(α, n) sampler over a finite
+// universe, supporting any skew α >= 0 — including α = 0 (uniform), α = 1,
+// and the α ∈ [0,3] range swept by the paper's Figure 8 — which the standard
+// library's rand.Zipf (α > 1 only) cannot express.
+//
+// Sampling uses Walker's alias method: O(n) preprocessing and O(1) per
+// sample, fast enough to feed throughput experiments without the generator
+// dominating the measurement.
+package zipf
+
+import (
+	"math"
+
+	"dsketch/internal/hash"
+)
+
+// Generator draws keys from a Zipf-distributed universe. The i-th most
+// frequent key has probability proportional to 1/(i+1)^alpha. Ranks are
+// mapped to key values via an optional permutation so that "hot" keys are
+// not simply the numerically smallest ones.
+type Generator struct {
+	rng   *hash.Rand
+	alias *Alias
+	keys  []uint64 // rank -> key value
+}
+
+// Config describes a Zipf universe.
+type Config struct {
+	// Universe is the number of distinct keys (n). Must be > 0.
+	Universe int
+	// Skew is the Zipf exponent alpha. 0 means uniform.
+	Skew float64
+	// Seed makes the generator deterministic.
+	Seed uint64
+	// PermuteKeys maps ranks to pseudo-random distinct key values instead
+	// of using key = rank. The paper's owner mapping and hash functions
+	// should not be handed suspiciously sequential hot keys.
+	PermuteKeys bool
+	// PermSeed, when non-zero, seeds the rank→key permutation separately
+	// from the sampling sequence. Per-thread sub-streams of one logical
+	// stream must share a PermSeed (same hot keys) while using distinct
+	// Seeds (independent sampling) — otherwise every thread has its own
+	// "most frequent key", which is not how sub-streams of a single
+	// stream behave.
+	PermSeed uint64
+}
+
+// New builds a generator. It panics on a non-positive universe or negative
+// skew, which are programming errors rather than runtime conditions.
+func New(cfg Config) *Generator {
+	if cfg.Universe <= 0 {
+		panic("zipf: non-positive universe")
+	}
+	if cfg.Skew < 0 {
+		panic("zipf: negative skew")
+	}
+	probs := Probabilities(cfg.Universe, cfg.Skew)
+	g := &Generator{
+		rng:   hash.NewRand(cfg.Seed ^ 0xd1b54a32d192ed03),
+		alias: NewAlias(probs),
+	}
+	if cfg.PermuteKeys {
+		ps := cfg.PermSeed
+		if ps == 0 {
+			ps = cfg.Seed
+		}
+		g.keys = permutation(cfg.Universe, ps^0x8cb92ba72f3d8dd7)
+	}
+	return g
+}
+
+// SharedUniverse is the precomputed, immutable part of a Zipf universe —
+// the alias table and the rank→key permutation. Per-thread sub-streams of
+// one logical stream share a SharedUniverse (one O(n) build instead of T)
+// and draw independent samples from it. Safe for concurrent Generator
+// construction and sampling, since it is never mutated after New.
+type SharedUniverse struct {
+	alias *Alias
+	keys  []uint64
+}
+
+// NewSharedUniverse precomputes the tables for cfg (the Seed matters only
+// for the permutation).
+func NewSharedUniverse(cfg Config) *SharedUniverse {
+	if cfg.Universe <= 0 {
+		panic("zipf: non-positive universe")
+	}
+	if cfg.Skew < 0 {
+		panic("zipf: negative skew")
+	}
+	u := &SharedUniverse{alias: NewAlias(Probabilities(cfg.Universe, cfg.Skew))}
+	if cfg.PermuteKeys {
+		ps := cfg.PermSeed
+		if ps == 0 {
+			ps = cfg.Seed
+		}
+		u.keys = permutation(cfg.Universe, ps^0x8cb92ba72f3d8dd7)
+	}
+	return u
+}
+
+// Generator returns a sampler over the shared universe with its own
+// sampling sequence.
+func (u *SharedUniverse) Generator(seed uint64) *Generator {
+	return &Generator{
+		rng:   hash.NewRand(seed ^ 0xd1b54a32d192ed03),
+		alias: u.alias,
+		keys:  u.keys,
+	}
+}
+
+// Universe returns the number of distinct keys.
+func (g *Generator) Universe() int { return g.alias.Len() }
+
+// Next draws one key.
+func (g *Generator) Next() uint64 {
+	rank := g.alias.Sample(g.rng)
+	if g.keys != nil {
+		return g.keys[rank]
+	}
+	return uint64(rank)
+}
+
+// KeyForRank returns the key value of the given frequency rank
+// (0 = most frequent).
+func (g *Generator) KeyForRank(rank int) uint64 {
+	if g.keys != nil {
+		return g.keys[rank]
+	}
+	return uint64(rank)
+}
+
+// Prob returns the probability of the key at the given rank.
+func (g *Generator) Prob(rank int) float64 { return g.alias.Prob(rank) }
+
+// Probabilities returns the normalized Zipf pmf over n ranks with exponent
+// alpha: p(i) ∝ 1/(i+1)^alpha.
+func Probabilities(n int, alpha float64) []float64 {
+	p := make([]float64, n)
+	var sum float64
+	for i := range p {
+		p[i] = 1 / math.Pow(float64(i+1), alpha)
+		sum += p[i]
+	}
+	inv := 1 / sum
+	for i := range p {
+		p[i] *= inv
+	}
+	return p
+}
+
+// permutation returns a pseudo-random permutation of 0..n-1 as key values,
+// Fisher–Yates with the package RNG.
+func permutation(n int, seed uint64) []uint64 {
+	p := make([]uint64, n)
+	for i := range p {
+		p[i] = uint64(i)
+	}
+	rng := hash.NewRand(seed)
+	for i := n - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

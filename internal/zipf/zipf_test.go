@@ -1,0 +1,302 @@
+package zipf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dsketch/internal/hash"
+)
+
+func TestProbabilitiesNormalized(t *testing.T) {
+	for _, alpha := range []float64{0, 0.5, 1, 1.5, 2, 3} {
+		p := Probabilities(1000, alpha)
+		var sum float64
+		for _, v := range p {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("alpha=%v: pmf sums to %v", alpha, sum)
+		}
+	}
+}
+
+func TestProbabilitiesMonotone(t *testing.T) {
+	p := Probabilities(100, 1.2)
+	for i := 1; i < len(p); i++ {
+		if p[i] > p[i-1] {
+			t.Fatalf("pmf not non-increasing at %d", i)
+		}
+	}
+}
+
+func TestProbabilitiesUniformAtZeroSkew(t *testing.T) {
+	p := Probabilities(64, 0)
+	for i, v := range p {
+		if math.Abs(v-1.0/64) > 1e-12 {
+			t.Fatalf("rank %d has prob %v, want uniform 1/64", i, v)
+		}
+	}
+}
+
+func TestProbabilitiesZipfRatio(t *testing.T) {
+	// p(1)/p(2) must equal 2^alpha.
+	p := Probabilities(10, 2)
+	if math.Abs(p[0]/p[1]-4) > 1e-9 {
+		t.Fatalf("p0/p1 = %v, want 4", p[0]/p[1])
+	}
+}
+
+func TestAliasMatchesPMF(t *testing.T) {
+	// Empirical frequencies from the alias table must converge to the pmf.
+	probs := []float64{0.5, 0.25, 0.125, 0.0625, 0.0625}
+	a := NewAlias(probs)
+	rng := hash.NewRand(42)
+	const n = 2_000_000
+	counts := make([]int, len(probs))
+	for i := 0; i < n; i++ {
+		counts[a.Sample(rng)]++
+	}
+	for i, p := range probs {
+		got := float64(counts[i]) / n
+		if math.Abs(got-p) > 0.01 {
+			t.Errorf("outcome %d: empirical %v want %v", i, got, p)
+		}
+	}
+}
+
+func TestAliasRenormalizes(t *testing.T) {
+	a := NewAlias([]float64{2, 2}) // sums to 4, should behave as {0.5, 0.5}
+	if math.Abs(a.Prob(0)-0.5) > 1e-12 {
+		t.Fatalf("Prob(0) = %v", a.Prob(0))
+	}
+}
+
+func TestAliasPanics(t *testing.T) {
+	for name, probs := range map[string][]float64{
+		"empty":    {},
+		"negative": {0.5, -0.1},
+		"zeroMass": {0, 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			NewAlias(probs)
+		}()
+	}
+}
+
+func TestAliasSampleInRangeProperty(t *testing.T) {
+	f := func(seed uint64, sizeRaw uint8) bool {
+		size := int(sizeRaw%50) + 1
+		probs := Probabilities(size, 1.1)
+		a := NewAlias(probs)
+		rng := hash.NewRand(seed)
+		for i := 0; i < 200; i++ {
+			s := a.Sample(rng)
+			if s < 0 || s >= size {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	cfg := Config{Universe: 1000, Skew: 1.0, Seed: 7, PermuteKeys: true}
+	g1, g2 := New(cfg), New(cfg)
+	for i := 0; i < 1000; i++ {
+		if g1.Next() != g2.Next() {
+			t.Fatal("same seed diverges")
+		}
+	}
+}
+
+func TestGeneratorKeysInUniverse(t *testing.T) {
+	g := New(Config{Universe: 100, Skew: 1.5, Seed: 3, PermuteKeys: true})
+	for i := 0; i < 10000; i++ {
+		if k := g.Next(); k >= 100 {
+			t.Fatalf("key %d outside universe", k)
+		}
+	}
+}
+
+func TestGeneratorPermutationBijective(t *testing.T) {
+	g := New(Config{Universe: 512, Skew: 1, Seed: 9, PermuteKeys: true})
+	seen := make(map[uint64]bool)
+	for r := 0; r < 512; r++ {
+		k := g.KeyForRank(r)
+		if seen[k] {
+			t.Fatalf("rank permutation repeats key %d", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestGeneratorHotKeyDominatesAtHighSkew(t *testing.T) {
+	g := New(Config{Universe: 10000, Skew: 3, Seed: 1})
+	hot := g.KeyForRank(0)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if g.Next() == hot {
+			hits++
+		}
+	}
+	// At alpha=3 the top key has ~83% of the mass.
+	if hits < n*7/10 {
+		t.Fatalf("top key drew only %d/%d at skew 3", hits, n)
+	}
+}
+
+func TestGeneratorUniformSpread(t *testing.T) {
+	g := New(Config{Universe: 16, Skew: 0, Seed: 2})
+	counts := make([]int, 16)
+	const n = 160000
+	for i := 0; i < n; i++ {
+		counts[g.Next()]++
+	}
+	for k, c := range counts {
+		if c < 8000 || c > 12000 {
+			t.Fatalf("key %d drawn %d times, expected ~10000", k, c)
+		}
+	}
+}
+
+func TestGeneratorEmpiricalMatchesPMFSkew1(t *testing.T) {
+	g := New(Config{Universe: 1000, Skew: 1, Seed: 4})
+	const n = 1_000_000
+	counts := make(map[uint64]int)
+	for i := 0; i < n; i++ {
+		counts[g.Next()]++
+	}
+	for r := 0; r < 5; r++ {
+		want := g.Prob(r)
+		got := float64(counts[g.KeyForRank(r)]) / n
+		if math.Abs(got-want) > want*0.1+0.001 {
+			t.Errorf("rank %d: empirical %v want %v", r, got, want)
+		}
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"zeroUniverse": {Universe: 0, Skew: 1},
+		"negativeSkew": {Universe: 10, Skew: -1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func BenchmarkGeneratorNext(b *testing.B) {
+	g := New(Config{Universe: 100000, Skew: 1.5, Seed: 1, PermuteKeys: true})
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += g.Next()
+	}
+	_ = sink
+}
+
+func BenchmarkAliasBuild100k(b *testing.B) {
+	probs := Probabilities(100000, 1.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewAlias(probs)
+	}
+}
+
+func TestPermSeedSharesHotKeysAcrossStreams(t *testing.T) {
+	// Two sub-streams of one logical stream: different sampling seeds,
+	// same PermSeed — they must agree on which key is rank 0.
+	a := New(Config{Universe: 1000, Skew: 2, Seed: 1, PermuteKeys: true, PermSeed: 42})
+	b := New(Config{Universe: 1000, Skew: 2, Seed: 2, PermuteKeys: true, PermSeed: 42})
+	if a.KeyForRank(0) != b.KeyForRank(0) {
+		t.Fatal("shared PermSeed should give identical rank->key maps")
+	}
+	// And differ when PermSeed differs.
+	c := New(Config{Universe: 1000, Skew: 2, Seed: 1, PermuteKeys: true, PermSeed: 43})
+	same := 0
+	for r := 0; r < 100; r++ {
+		if a.KeyForRank(r) == c.KeyForRank(r) {
+			same++
+		}
+	}
+	if same > 50 {
+		t.Fatal("different PermSeeds should give different permutations")
+	}
+	// Sampling sequences must differ between a and b.
+	diverged := false
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("different Seeds should sample differently")
+	}
+}
+
+func TestSharedUniverseMatchesPerGeneratorConfig(t *testing.T) {
+	// A SharedUniverse generator must behave exactly like a Generator
+	// built from the equivalent Config.
+	u := NewSharedUniverse(Config{Universe: 500, Skew: 1.2, PermuteKeys: true, PermSeed: 7})
+	g2 := New(Config{Universe: 500, Skew: 1.2, Seed: 99, PermuteKeys: true, PermSeed: 7})
+	g3 := u.Generator(99)
+	for i := 0; i < 1000; i++ {
+		if g3.Next() != g2.Next() {
+			t.Fatal("shared-universe generator diverges from equivalent Config")
+		}
+	}
+}
+
+func TestSharedUniversePanics(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"zeroUniverse": {Universe: 0},
+		"negativeSkew": {Universe: 5, Skew: -0.1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			NewSharedUniverse(cfg)
+		}()
+	}
+}
+
+func TestSharedUniverseConcurrentGenerators(t *testing.T) {
+	u := NewSharedUniverse(Config{Universe: 100, Skew: 1})
+	done := make(chan bool, 4)
+	for g := 0; g < 4; g++ {
+		go func(seed uint64) {
+			gen := u.Generator(seed)
+			ok := true
+			for i := 0; i < 10000; i++ {
+				if gen.Next() >= 100 {
+					ok = false
+				}
+			}
+			done <- ok
+		}(uint64(g))
+	}
+	for g := 0; g < 4; g++ {
+		if !<-done {
+			t.Fatal("shared universe produced out-of-range key")
+		}
+	}
+}
