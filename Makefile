@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+## check: everything CI runs — vet, build, tests, and the -race stress
+## suites for the concurrency-critical packages.
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/pool ./internal/delegation
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem .

@@ -9,7 +9,10 @@ package dsketch_test
 
 import (
 	"fmt"
+	"runtime"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"dsketch"
@@ -239,6 +242,150 @@ func BenchmarkSquashing(b *testing.B) {
 					Universe: 100_000, Skew: 2.0, Seed: 7,
 				})
 				b.ReportMetric(r.Throughput/1e6, "virtual-Mops/s")
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Pool (serving front-end) benchmarks: the layer between arbitrary
+// goroutines and the one-goroutine-per-thread protocol.
+
+// chanPool is the baseline the Pool's batched ingestion replaces: one
+// channel send per key into per-worker channels, one channel receive per
+// key on the worker (the pattern cmd/dsserve used to hand-roll).
+type chanPool struct {
+	s     *dsketch.Sketch
+	chans []chan uint64
+	next  atomic.Uint64
+	wg    sync.WaitGroup
+	done  atomic.Int32
+}
+
+func newChanPool(threads int) *chanPool {
+	p := &chanPool{
+		s:     dsketch.New(dsketch.Config{Threads: threads, Width: 4096, Depth: 8}),
+		chans: make([]chan uint64, threads),
+	}
+	for tid := 0; tid < threads; tid++ {
+		p.chans[tid] = make(chan uint64, 1024)
+		h := p.s.Handle(tid)
+		p.wg.Add(1)
+		go func(tid int, h *dsketch.Handle) {
+			defer p.wg.Done()
+			for k := range p.chans[tid] {
+				h.Insert(k)
+			}
+			// Cooperative tail: keep helping until every worker drained.
+			p.done.Add(1)
+			for int(p.done.Load()) < threads {
+				h.Help()
+				runtime.Gosched()
+			}
+		}(tid, h)
+	}
+	return p
+}
+
+func (p *chanPool) insert(key uint64) {
+	p.chans[p.next.Add(1)%uint64(len(p.chans))] <- key
+}
+
+func (p *chanPool) close() {
+	for _, c := range p.chans {
+		close(c)
+	}
+	p.wg.Wait()
+}
+
+// BenchmarkPoolInsert compares the Pool's batched ingestion against the
+// per-key channel-send baseline, with producers on all cores. The
+// acceptance bar: batched beats chansend at 4+ shards.
+func BenchmarkPoolInsert(b *testing.B) {
+	keys := benchKeys(100_000, 1.5)
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("batched/shards=%d", shards), func(b *testing.B) {
+			p := dsketch.NewPool(dsketch.PoolConfig{
+				Config: dsketch.Config{Threads: shards, Width: 4096, Depth: 8},
+			})
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				var i int
+				for pb.Next() {
+					p.Insert(keys[i&(1<<16-1)])
+					i++
+				}
+			})
+			b.StopTimer()
+			p.Close()
+		})
+		b.Run(fmt.Sprintf("chansend/shards=%d", shards), func(b *testing.B) {
+			p := newChanPool(shards)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				var i int
+				for pb.Next() {
+					p.insert(keys[i&(1<<16-1)])
+					i++
+				}
+			})
+			b.StopTimer()
+			p.close()
+		})
+	}
+}
+
+// BenchmarkPoolQuery measures live delegated point queries against a
+// pool under no insert load (worst case for helping latency).
+func BenchmarkPoolQuery(b *testing.B) {
+	keys := benchKeys(100_000, 1.5)
+	p := dsketch.NewPool(dsketch.PoolConfig{
+		Config: dsketch.Config{Threads: 4, Width: 4096, Depth: 8},
+	})
+	defer p.Close()
+	for i := 0; i < 1<<14; i++ {
+		p.Insert(keys[i])
+	}
+	p.Quiesce(func(*dsketch.Sketch) {})
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += p.Query(keys[i&(1<<16-1)])
+	}
+	_ = sink
+}
+
+// BenchmarkPoolQueryBatch amortizes the request hand-off over a batch.
+func BenchmarkPoolQueryBatch(b *testing.B) {
+	keys := benchKeys(100_000, 1.5)
+	p := dsketch.NewPool(dsketch.PoolConfig{
+		Config: dsketch.Config{Threads: 4, Width: 4096, Depth: 8},
+	})
+	defer p.Close()
+	for i := 0; i < 1<<14; i++ {
+		p.Insert(keys[i])
+	}
+	p.Quiesce(func(*dsketch.Sketch) {})
+	batch := keys[:64]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := p.QueryBatch(batch)
+		_ = out
+	}
+}
+
+// BenchmarkPoolQuiesce measures the full two-phase pause (park all
+// workers, run an empty fn, resume) on an otherwise idle pool.
+func BenchmarkPoolQuiesce(b *testing.B) {
+	for _, threads := range []int{2, 8} {
+		b.Run(strconv.Itoa(threads), func(b *testing.B) {
+			p := dsketch.NewPool(dsketch.PoolConfig{
+				Config: dsketch.Config{Threads: threads, Width: 1024, Depth: 4},
+			})
+			defer p.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Quiesce(func(*dsketch.Sketch) {})
 			}
 		})
 	}

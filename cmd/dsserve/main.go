@@ -2,16 +2,15 @@
 // daemon: keys are ingested and queried over HTTP while the sketch's
 // worker threads run the cooperative delegation protocol underneath.
 //
-// It demonstrates the integration pattern for environments where requests
-// arrive on arbitrary goroutines (HTTP handlers, RPC servers) but the
-// sketch requires one goroutine per thread id: a fixed pool of workers
-// owns the Handles and consumes from sharded channels; handlers only
-// enqueue.
+// It is a thin shim over dsketch.Pool, which owns the worker goroutines,
+// the batched sharded ingestion, and the quiescence machinery — requests
+// may arrive on arbitrary goroutines (HTTP handlers) and the pool bridges
+// them to the sketch's one-goroutine-per-thread protocol.
 //
 // Endpoints:
 //
 //	POST /insert?key=<uint64|string>[&count=n]
-//	GET  /query?key=<uint64|string>
+//	GET  /query?key=<uint64|string>[&key=...]   (repeat key for a batch)
 //	GET  /topk?k=10        (requires -topk)
 //	GET  /stats
 //
@@ -20,6 +19,7 @@
 //	dsserve -addr :8080 -threads 4 -topk
 //	curl -X POST 'localhost:8080/insert?key=10.0.0.1'
 //	curl 'localhost:8080/query?key=10.0.0.1'
+//	curl 'localhost:8080/query?key=10.0.0.1&key=10.0.0.2'
 package main
 
 import (
@@ -29,110 +29,15 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
-	"sync/atomic"
 	"time"
 
 	"dsketch"
 )
 
-// insertReq is one enqueued insertion.
-type insertReq struct {
-	key   uint64
-	count uint64
-}
-
-// queryReq is one enqueued point query; the result is sent on reply.
-type queryReq struct {
-	key   uint64
-	reply chan uint64
-}
-
-// pauseReq parks a worker for a window of true quiescence (required by
-// Flush and HeavyHitters). The barrier is two-phase: a worker that has
-// reached the barrier must keep *helping* until every worker has reached
-// it — another worker may be blocked mid-operation waiting for this one
-// to serve delegated work — and only then stop touching the sketch and
-// wait passively for resume.
-type pauseReq struct {
-	parked chan struct{} // phase 1 ack: reached the barrier (still helping)
-	hold   chan struct{} // closed by the coordinator when all have parked
-	held   chan struct{} // phase 2 ack: stopped helping
-	resume chan struct{} // closed by the coordinator after fn runs
-}
-
-// server owns the sketch and the worker pool.
+// server is the HTTP surface over the pool.
 type server struct {
-	sketch  *dsketch.Sketch
-	inserts []chan insertReq
-	queries []chan queryReq
-	pauses  []chan pauseReq
-	next    atomic.Uint64 // round-robin shard cursor
-	topk    bool
-}
-
-// quiesce parks every worker (two-phase, see pauseReq), runs fn on the
-// quiescent sketch, and resumes them.
-func (s *server) quiesce(fn func()) {
-	req := pauseReq{
-		parked: make(chan struct{}, len(s.pauses)),
-		hold:   make(chan struct{}),
-		held:   make(chan struct{}, len(s.pauses)),
-		resume: make(chan struct{}),
-	}
-	for tid := range s.pauses {
-		s.pauses[tid] <- req
-	}
-	for range s.pauses {
-		<-req.parked // everyone is at the barrier (no op in flight)
-	}
-	close(req.hold)
-	for range s.pauses {
-		<-req.held // everyone has stopped touching the sketch
-	}
-	fn()
-	close(req.resume)
-}
-
-// worker is the goroutine owning thread tid's Handle: it consumes its
-// shard's channels and keeps helping (the delegation protocol's liveness
-// requirement) whenever it is otherwise idle.
-func (s *server) worker(tid int) {
-	h := s.sketch.Handle(tid)
-	idle := time.NewTicker(100 * time.Microsecond)
-	defer idle.Stop()
-	for {
-		select {
-		case req, ok := <-s.inserts[tid]:
-			if !ok {
-				return
-			}
-			h.InsertCount(req.key, req.count)
-		case q := <-s.queries[tid]:
-			q.reply <- h.Query(q.key)
-		case p := <-s.pauses[tid]:
-			p.parked <- struct{}{}
-			holding := true
-			for holding {
-				select {
-				case <-p.hold:
-					holding = false
-				default:
-					h.Help() // someone may be blocked on us mid-op
-					runtime.Gosched()
-				}
-			}
-			p.held <- struct{}{}
-			<-p.resume
-		case <-idle.C:
-			h.Help()
-			runtime.Gosched()
-		}
-	}
-}
-
-// shard picks the next worker round-robin.
-func (s *server) shard() int {
-	return int(s.next.Add(1) % uint64(len(s.inserts)))
+	pool *dsketch.Pool
+	topk bool
 }
 
 // parseKey accepts either a decimal uint64 or an arbitrary string (which
@@ -165,19 +70,33 @@ func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.inserts[s.shard()] <- insertReq{key: key, count: count}
+	s.pool.InsertCount(key, count)
 	w.WriteHeader(http.StatusAccepted)
 }
 
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	key, err := parseKey(r.URL.Query().Get("key"))
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	raws := r.URL.Query()["key"]
+	if len(raws) == 0 {
+		http.Error(w, "missing key parameter", http.StatusBadRequest)
 		return
 	}
-	reply := make(chan uint64, 1)
-	s.queries[s.shard()] <- queryReq{key: key, reply: reply}
-	fmt.Fprintf(w, "%d\n", <-reply)
+	keys := make([]uint64, len(raws))
+	for i, raw := range raws {
+		k, err := parseKey(raw)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		keys[i] = k
+	}
+	if len(keys) == 1 {
+		fmt.Fprintf(w, "%d\n", s.pool.Query(keys[0]))
+		return
+	}
+	// A multi-key query is answered by one worker in a single pass.
+	for i, c := range s.pool.QueryBatch(keys) {
+		fmt.Fprintf(w, "%s %d\n", raws[i], c)
+	}
 }
 
 func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
@@ -191,20 +110,25 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			k = v
 		}
 	}
-	// HeavyHitters and Flush are quiescent-only: park the workers, flush
-	// so filter-resident counts are visible, snapshot, resume.
-	s.quiesce(func() {
-		s.sketch.Flush()
-		for i, e := range s.sketch.HeavyHitters(k) {
-			fmt.Fprintf(w, "%2d. key=%d count=%d (±%d)\n", i+1, e.Key, e.Count, e.Err)
-		}
-	})
+	// One quiescent pause: flush, snapshot the heavy hitters, resume.
+	snap := s.pool.Snapshot(k)
+	for i, e := range snap.HeavyHitters {
+		fmt.Fprintf(w, "%2d. key=%d count=%d (±%d)\n", i+1, e.Key, e.Count, e.Err)
+	}
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	st := s.sketch.Stats()
-	fmt.Fprintf(w, "drains=%d served_queries=%d squashed=%d direct_queries=%d memory_bytes=%d\n",
-		st.Drains, st.ServedQueries, st.Squashed, st.DirectQueries, s.sketch.MemoryBytes())
+	st := s.pool.Stats()
+	fmt.Fprintf(w, "drains=%d searches=%d served_queries=%d squashed=%d direct_queries=%d delegated_posts=%d memory_bytes=%d\n",
+		st.Drains, st.Searches, st.ServedQueries, st.Squashed, st.DirectQueries,
+		st.DelegatedPosts, s.pool.MemoryBytes())
+	m := s.pool.Metrics()
+	fmt.Fprintf(w, "pool_inserts=%d pool_queries=%d pool_query_keys=%d backpressure=%d quiesces=%d\n",
+		m.Inserts, m.Queries, m.QueryKeys, m.Backpressure, m.Quiesces)
+	fmt.Fprintf(w, "batches=%d batch_mean=%.1f batch_max=%d depth_mean=%.1f depth_max=%d\n",
+		m.Batches, m.BatchMean, m.BatchMax, m.DepthMean, m.DepthMax)
+	fmt.Fprintf(w, "enqueue_p50=%v enqueue_p99=%v enqueue_max=%v pause_mean=%v pause_max=%v\n",
+		m.EnqueueP50, m.EnqueueP99, m.EnqueueMax, m.PauseMean, m.PauseMax)
 }
 
 func main() {
@@ -214,26 +138,26 @@ func main() {
 		width   = flag.Int("width", 4096, "sketch buckets per row")
 		depth   = flag.Int("depth", 8, "sketch rows")
 		topk    = flag.Bool("topk", false, "enable the /topk endpoint")
+		batch   = flag.Int("batch", 256, "max insertions drained per chunk")
+		queue   = flag.Int("queue", 4096, "per-shard ingest buffer capacity")
+		idle    = flag.Duration("idlehelp", 100*time.Microsecond,
+			"idle worker helping period (0 busy-polls: lower latency, one core per idle worker)")
 	)
 	flag.Parse()
 
 	s := &server{
-		sketch: dsketch.New(dsketch.Config{
-			Threads:           *threads,
-			Width:             *width,
-			Depth:             *depth,
-			TrackHeavyHitters: *topk,
+		pool: dsketch.NewPool(dsketch.PoolConfig{
+			Config: dsketch.Config{
+				Threads:           *threads,
+				Width:             *width,
+				Depth:             *depth,
+				TrackHeavyHitters: *topk,
+			},
+			BatchSize:     *batch,
+			QueueCapacity: *queue,
+			IdleHelp:      *idle,
 		}),
-		inserts: make([]chan insertReq, *threads),
-		queries: make([]chan queryReq, *threads),
-		topk:    *topk,
-	}
-	s.pauses = make([]chan pauseReq, *threads)
-	for tid := 0; tid < *threads; tid++ {
-		s.inserts[tid] = make(chan insertReq, 1024)
-		s.queries[tid] = make(chan queryReq, 64)
-		s.pauses[tid] = make(chan pauseReq, 1)
-		go s.worker(tid)
+		topk: *topk,
 	}
 
 	mux := http.NewServeMux()
@@ -243,6 +167,6 @@ func main() {
 	mux.HandleFunc("/stats", s.handleStats)
 
 	log.Printf("dsserve: %d threads, %d bytes of sketch, listening on %s",
-		*threads, s.sketch.MemoryBytes(), *addr)
+		s.pool.Threads(), s.pool.MemoryBytes(), *addr)
 	log.Fatal(http.ListenAndServe(*addr, mux))
 }

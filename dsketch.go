@@ -228,16 +228,24 @@ type Stats struct {
 	Squashed uint64
 	// DirectQueries counts self-owned queries answered in place.
 	DirectQueries uint64
+	// Searches counts filter+sketch search operations performed by
+	// owners (each serves one or more queries, thanks to squashing).
+	Searches uint64
+	// DelegatedPosts counts queries posted to another thread's pending
+	// array (DirectQueries + DelegatedPosts = total queries issued).
+	DelegatedPosts uint64
 }
 
 // Stats returns a snapshot of the sketch's event counters.
 func (s *Sketch) Stats() Stats {
 	st := s.ds.Stats()
 	return Stats{
-		Drains:        st.Drains,
-		ServedQueries: st.ServedQueries,
-		Squashed:      st.Squashed,
-		DirectQueries: st.DirectQueries,
+		Drains:         st.Drains,
+		ServedQueries:  st.ServedQueries,
+		Squashed:       st.Squashed,
+		DirectQueries:  st.DirectQueries,
+		Searches:       st.Searches,
+		DelegatedPosts: st.DelegatedPosts,
 	}
 }
 

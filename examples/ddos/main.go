@@ -6,14 +6,15 @@
 // and latency advantages matter.
 //
 // Phase 1 is benign low-skew traffic; in phase 2 a botnet floods one
-// victim port, spiking the skew. A detector thread polls candidate ports
-// every few microseconds and raises an alert when one crosses a rate
-// threshold.
+// victim port, spiking the skew. A detector goroutine polls candidate
+// ports and raises an alert when one crosses a rate threshold.
+//
+// Producers and the detector are ordinary goroutines over dsketch.Pool;
+// the pool owns the sketch's worker threads and the delegation protocol.
 package main
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -24,86 +25,83 @@ import (
 
 func main() {
 	const (
-		workers    = 6
-		threads    = workers + 1
-		benignOps  = 400_000    // per worker
-		attackOps  = 400_000    // per worker
+		producers  = 6
+		threads    = 4
+		benignOps  = 400_000    // per producer
+		attackOps  = 400_000    // per producer
 		victimPort = uint64(53) // DNS amplification target
 	)
 
-	s := dsketch.New(dsketch.Config{Threads: threads, Width: 4096, Depth: 8})
+	p := dsketch.NewPool(dsketch.PoolConfig{
+		Config: dsketch.Config{Threads: threads, Width: 4096, Depth: 8},
+	})
 
 	var phase atomic.Int32 // 0 benign, 1 attack
-	var done atomic.Int32
 	var alerted atomic.Bool
 	var wg sync.WaitGroup
 
-	// Ingest workers: benign CAIDA-like ports, then the attack mix where
-	// half the packets hit the victim port.
-	for tid := 0; tid < workers; tid++ {
-		h := s.Handle(tid)
-		benign := trace.SyntheticPorts(benignOps, uint64(tid)+7)
-		attackG := zipf.New(zipf.Config{Universe: 64512, Skew: 0.5, Seed: uint64(tid) + 77})
+	// Ingest producers: benign CAIDA-like ports, then the attack mix
+	// where half the packets hit the victim port.
+	for i := 0; i < producers; i++ {
+		benign := trace.SyntheticPorts(benignOps, uint64(i)+7)
+		attackG := zipf.New(zipf.Config{Universe: 64512, Skew: 0.5, Seed: uint64(i) + 77})
 		wg.Add(1)
-		go func(h *dsketch.Handle, benign []uint64, attackG *zipf.Generator) {
+		go func(benign []uint64, attackG *zipf.Generator) {
 			defer wg.Done()
 			for _, k := range benign {
-				h.Insert(k)
+				p.Insert(k)
 			}
 			phase.Store(1)
 			for i := 0; i < attackOps; i++ {
 				if i%2 == 0 {
-					h.Insert(victimPort) // the flood
+					p.Insert(victimPort) // the flood
 				} else {
-					h.Insert(1024 + attackG.Next())
+					p.Insert(1024 + attackG.Next())
 				}
 			}
-			done.Add(1)
-			for int(done.Load()) < threads {
-				h.Help()
-				runtime.Gosched()
-			}
-		}(h, benign, attackG)
+		}(benign, attackG)
 	}
 
-	// Detector: continuously polls a candidate port set; alert when any
-	// port exceeds 20% of a running total estimate.
-	wg.Add(1)
+	// Detector: continuously polls a candidate port set (one batched
+	// query per round); alert when any port exceeds 20% of the stream.
+	done := make(chan struct{})
+	detected := make(chan struct{})
 	go func() {
-		defer wg.Done()
-		h := s.Handle(workers)
+		defer close(detected)
 		candidates := []uint64{443, 80, 53, 22, 123, 8080}
-		var inserted uint64
-		for int(done.Load()) < workers {
-			inserted += 1 // cheap pacing; real detectors track link rate
-			for _, p := range candidates {
-				c := h.Query(p)
-				total := uint64(workers) * uint64(benignOps+attackOps)
+		total := uint64(producers) * uint64(benignOps+attackOps)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			for i, c := range p.QueryBatch(candidates) {
 				if c > total/5 && !alerted.Load() {
 					alerted.Store(true)
 					fmt.Printf("ALERT: port %d at %d packets — flood detected during phase %d\n",
-						p, c, phase.Load())
+						candidates[i], c, phase.Load())
 				}
 			}
-			h.Help()
-			runtime.Gosched()
-		}
-		done.Add(1)
-		for int(done.Load()) < threads {
-			h.Help()
-			runtime.Gosched()
 		}
 	}()
+
 	wg.Wait()
+	close(done)
+	<-detected
+	p.Close()
 
 	fmt.Printf("\nfinal counts: victim port %d -> %d packets; port 443 -> %d packets\n",
-		victimPort, s.Query(victimPort), s.Query(443))
+		victimPort, p.Query(victimPort), p.Query(443))
 	if alerted.Load() {
 		fmt.Println("detector fired while ingestion was live (concurrent queries worked)")
 	} else {
 		fmt.Println("detector did not fire — unexpected for this workload")
 	}
-	st := s.Stats()
-	fmt.Printf("stats: drains=%d served-queries=%d squashed=%d\n",
-		st.Drains, st.ServedQueries, st.Squashed)
+	st := p.Stats()
+	m := p.Metrics()
+	fmt.Printf("stats: drains=%d served-queries=%d squashed=%d searches=%d delegated-posts=%d\n",
+		st.Drains, st.ServedQueries, st.Squashed, st.Searches, st.DelegatedPosts)
+	fmt.Printf("pool: %d inserts in %d batches (mean %.0f keys), %d query rounds\n",
+		m.Inserts, m.Batches, m.BatchMean, m.Queries)
 }

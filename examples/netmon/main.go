@@ -1,9 +1,15 @@
 // netmon is the paper's motivating application (§1): network traffic
-// monitoring at the ingress of a large network. Worker threads ingest
-// per-CPU packet sub-streams (as a NIC's receive-side scaling would
-// deliver them) while a monitoring thread concurrently asks "how many
-// packets has this source sent?" — the insert-heavy, query-at-any-time
-// workload that breaks the thread-local and single-shared baselines.
+// monitoring at the ingress of a large network. Producer goroutines
+// ingest per-CPU packet sub-streams (as a NIC's receive-side scaling
+// would deliver them) while a monitoring goroutine concurrently asks
+// "how many packets has this source sent?" — the insert-heavy,
+// query-at-any-time workload that breaks the thread-local and
+// single-shared baselines.
+//
+// The producers and the monitor are ordinary goroutines: dsketch.Pool
+// owns the sketch's worker threads and the cooperative delegation
+// protocol underneath, so nobody here touches a Handle, helps, or
+// hand-rolls a quiescence barrier.
 //
 // The packet stream is the repository's CAIDA-like synthetic IP trace
 // (the real CAIDA trace is proprietary; DESIGN.md §5).
@@ -11,9 +17,7 @@ package main
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"dsketch"
 	"dsketch/internal/count"
@@ -28,14 +32,14 @@ func ipString(k uint64) string {
 
 func main() {
 	const (
-		workers = 6 // ingest threads; thread id workers..: monitor
-		threads = workers + 1
-		packets = 2_000_000
+		producers = 6 // ingest goroutines (e.g. one per NIC queue)
+		threads   = 4 // sketch worker threads owned by the pool
+		packets   = 2_000_000
 	)
 
 	fmt.Printf("generating %d-packet CAIDA-like IP trace...\n", packets)
 	pkts := trace.SyntheticIPs(packets, 2024)
-	subs := stream.Split(pkts, workers)
+	subs := stream.Split(pkts, producers)
 
 	// Ground truth for the final accuracy report.
 	truth := count.NewExact()
@@ -45,67 +49,73 @@ func main() {
 		hh.Observe(k, 1)
 	}
 	suspects := hh.Top(5)
+	suspectKeys := make([]uint64, len(suspects))
+	for i, e := range suspects {
+		suspectKeys[i] = e.Key
+	}
 
-	s := dsketch.New(dsketch.Config{Threads: threads, Width: 8192, Depth: 8})
-	var done atomic.Int32
+	p := dsketch.NewPool(dsketch.PoolConfig{
+		Config: dsketch.Config{Threads: threads, Width: 8192, Depth: 8},
+	})
+
 	var wg sync.WaitGroup
+	done := make(chan struct{})
 
-	// Ingest workers.
-	for tid := 0; tid < workers; tid++ {
-		h := s.Handle(tid)
-		sub := subs[tid]
+	// Ingest producers: arbitrary goroutines feeding the pool.
+	for i := 0; i < producers; i++ {
+		sub := subs[i]
 		wg.Add(1)
-		go func(h *dsketch.Handle, sub []uint64) {
+		go func(sub []uint64) {
 			defer wg.Done()
 			for _, k := range sub {
-				h.Insert(k)
+				p.Insert(k)
 			}
-			done.Add(1)
-			for int(done.Load()) < threads {
-				h.Help()
-				runtime.Gosched()
-			}
-		}(h, sub)
+		}(sub)
 	}
 
 	// Monitor: polls the heaviest sources while ingestion runs, e.g. to
-	// feed a DoS detector or an SDN flow scheduler.
-	wg.Add(1)
+	// feed a DoS detector or an SDN flow scheduler. One QueryBatch per
+	// round answers all suspects in a single worker pass.
+	monitored := make(chan struct{})
 	go func() {
-		defer wg.Done()
-		h := s.Handle(workers)
-		for round := 1; int(done.Load()) < workers; round++ {
-			var busiest uint64
-			var busiestKey uint64
-			for _, e := range suspects {
-				if c := h.Query(e.Key); c > busiest {
-					busiest, busiestKey = c, e.Key
+		defer close(monitored)
+		for round := 1; ; round++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			counts := p.QueryBatch(suspectKeys)
+			var busiest, busiestKey uint64
+			for i, c := range counts {
+				if c > busiest {
+					busiest, busiestKey = c, suspectKeys[i]
 				}
 			}
 			if round%2000 == 0 {
 				fmt.Printf("  monitor: busiest source so far %s with ~%d packets\n",
 					ipString(busiestKey), busiest)
 			}
-			h.Help()
-			runtime.Gosched()
-		}
-		done.Add(1)
-		for int(done.Load()) < threads {
-			h.Help()
-			runtime.Gosched()
 		}
 	}()
-	wg.Wait()
 
-	// Final report (workers exited: quiescent queries).
+	wg.Wait()
+	close(done)
+	<-monitored
+	p.Close() // drain buffers, flush filters: the sketch is quiescent
+
+	// Final report through the quiescent sketch.
 	fmt.Println("\ntop talkers (sketch estimate vs exact):")
 	for i, e := range suspects {
-		est := s.Query(e.Key)
+		est := p.Query(e.Key)
 		exact := truth.Count(e.Key)
 		fmt.Printf("%2d. %-15s estimate %-8d exact %-8d overestimate %d\n",
 			i+1, ipString(e.Key), est, exact, est-exact)
 	}
-	st := s.Stats()
-	fmt.Printf("\n%d packets ingested by %d workers; %d drains, %d delegated queries (%d squashed)\n",
-		packets, workers, st.Drains, st.ServedQueries, st.Squashed)
+	st := p.Stats()
+	m := p.Metrics()
+	fmt.Printf("\n%d packets from %d producers through %d workers; %d drains, %d delegated queries (%d squashed)\n",
+		packets, producers, p.Threads(), st.Drains, st.ServedQueries, st.Squashed)
+	fmt.Printf("pool: %d batches (mean %.0f keys), enqueue p99 %v, backpressure %d\n",
+		m.Batches, m.BatchMean, m.EnqueueP99, m.Backpressure)
 }

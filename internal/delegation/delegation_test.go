@@ -49,6 +49,33 @@ func TestSingleThreadInsertQueryExactSmall(t *testing.T) {
 	}
 }
 
+func TestInsertCountZeroIsNoOp(t *testing.T) {
+	d := New(Config{Threads: 1, Depth: 4, Width: 1 << 12, Seed: 1, Backend: BackendCountMin, FilterSize: 4})
+	// Zero-count inserts of distinct keys used to consume one filter slot
+	// each, eventually triggering a drain of nothing.
+	for k := uint64(0); k < 64; k++ {
+		d.InsertCount(0, k, 0)
+	}
+	if st := d.Stats(); st.Drains != 0 {
+		t.Fatalf("zero-count inserts triggered %d drains, want 0", st.Drains)
+	}
+	for k := uint64(0); k < 64; k++ {
+		if got := d.Query(0, k); got != 0 {
+			t.Fatalf("Query(%d) = %d after zero-count insert, want 0", k, got)
+		}
+	}
+	// The filter must still have all its slots: 4 real inserts of distinct
+	// keys fill it (and drain exactly once), with nothing lost.
+	for k := uint64(100); k < 104; k++ {
+		d.InsertCount(0, k, 2)
+	}
+	for k := uint64(100); k < 104; k++ {
+		if got := d.Query(0, k); got != 2 {
+			t.Fatalf("Query(%d) = %d, want 2", k, got)
+		}
+	}
+}
+
 func TestOwnerMappingInRangeAndDeterministic(t *testing.T) {
 	d := New(Config{Threads: 7, Seed: 3})
 	for k := uint64(0); k < 10000; k++ {

@@ -114,7 +114,12 @@ func (d *DS) Owner(key uint64) int {
 func (d *DS) Insert(tid int, key uint64) { d.InsertCount(tid, key, 1) }
 
 // InsertCount records count occurrences of key on behalf of thread tid.
+// A zero count is a no-op: it must not consume a filter slot (and possibly
+// trigger a drain) for an insertion that adds nothing.
 func (d *DS) InsertCount(tid int, key uint64, count uint64) {
+	if count == 0 {
+		return
+	}
 	i := d.Owner(key)
 	o := d.owners[i]
 	f := o.filters[tid]

@@ -25,11 +25,18 @@ func (h *Histogram) Record(d time.Duration) {
 	if d < 0 {
 		ns = 0
 	}
-	h.buckets[bucketOf(ns)]++
-	h.sum += ns
+	h.RecordValue(ns)
+}
+
+// RecordValue adds one observation of a unitless magnitude (batch size,
+// queue depth, …). Durations and values share the log2 bucketing; a
+// histogram should record one kind or the other, not both.
+func (h *Histogram) RecordValue(v uint64) {
+	h.buckets[bucketOf(v)]++
+	h.sum += v
 	h.count++
-	if ns > h.max {
-		h.max = ns
+	if v > h.max {
+		h.max = v
 	}
 }
 
@@ -58,9 +65,25 @@ func (h *Histogram) Mean() time.Duration {
 // Max returns the largest observation.
 func (h *Histogram) Max() time.Duration { return time.Duration(h.max) }
 
+// MeanValue returns the exact average of unitless observations.
+func (h *Histogram) MeanValue() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// MaxValue returns the largest unitless observation.
+func (h *Histogram) MaxValue() uint64 { return h.max }
+
 // Percentile returns an upper bound of the p-th percentile (p in [0,100]),
 // at bucket resolution.
 func (h *Histogram) Percentile(p float64) time.Duration {
+	return time.Duration(h.PercentileValue(p))
+}
+
+// PercentileValue is Percentile for unitless observations.
+func (h *Histogram) PercentileValue(p float64) uint64 {
 	if h.count == 0 {
 		return 0
 	}
@@ -78,14 +101,18 @@ func (h *Histogram) Percentile(p float64) time.Duration {
 	for b, c := range h.buckets {
 		cum += c
 		if cum >= target {
-			// upper edge of bucket b: 2^b - 1
 			if b >= 63 {
-				return time.Duration(h.max)
+				return h.max
 			}
-			return time.Duration((uint64(1) << uint(b)) - 1)
+			// Upper edge of bucket b (2^b - 1), clamped so a percentile
+			// never reports above the observed maximum.
+			if edge := (uint64(1) << uint(b)) - 1; edge < h.max {
+				return edge
+			}
+			return h.max
 		}
 	}
-	return time.Duration(h.max)
+	return h.max
 }
 
 // Merge folds other into h.
@@ -118,6 +145,13 @@ type SharedHistogram struct {
 func (s *SharedHistogram) Record(d time.Duration) {
 	s.mu.Lock()
 	s.h.Record(d)
+	s.mu.Unlock()
+}
+
+// RecordValue adds a unitless observation (thread-safe).
+func (s *SharedHistogram) RecordValue(v uint64) {
+	s.mu.Lock()
+	s.h.RecordValue(v)
 	s.mu.Unlock()
 }
 

@@ -212,3 +212,32 @@ func TestBucketOfMonotone(t *testing.T) {
 		prev = b
 	}
 }
+
+func TestHistogramValueObservations(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{1, 2, 3, 4, 10} {
+		h.RecordValue(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("Count = %d, want 5", got)
+	}
+	if got := h.MeanValue(); got != 4 {
+		t.Fatalf("MeanValue = %v, want 4", got)
+	}
+	if got := h.MaxValue(); got != 10 {
+		t.Fatalf("MaxValue = %d, want 10", got)
+	}
+	if p50 := h.PercentileValue(50); p50 < 3 || p50 > h.MaxValue() {
+		t.Fatalf("PercentileValue(50) = %d out of range", p50)
+	}
+	if got := h.PercentileValue(100); got < 10 {
+		t.Fatalf("PercentileValue(100) = %d, want >= 10", got)
+	}
+	// Values and durations share the bucketing: Record is RecordValue in
+	// nanoseconds.
+	var d Histogram
+	d.Record(10 * time.Nanosecond)
+	if d.MaxValue() != 10 {
+		t.Fatalf("Record(10ns) recorded %d", d.MaxValue())
+	}
+}

@@ -1,0 +1,535 @@
+// Package pool is the serving front-end for the delegation sketch: it
+// bridges the paper's protocol — exactly one goroutine per thread id,
+// every thread cooperatively helping — to environments where insertions
+// and queries arrive on arbitrary goroutines (HTTP handlers, RPC
+// servers, pipeline stages).
+//
+// A Pool owns the T worker goroutines that drive the delegation
+// protocol. Producers never touch a Handle; they interact with three
+// goroutine-safe mechanisms:
+//
+//   - Batched ingestion: InsertCount appends to a per-shard buffer under
+//     a short mutex; the shard's worker drains the buffer in chunks and
+//     feeds the delegation filters. One lock acquisition replaces one
+//     channel send per key, and the worker amortizes its loop overhead
+//     over whole chunks instead of paying a channel receive per key.
+//   - Delegated queries: Query/QueryBatch hand a request to a worker
+//     over a channel; the worker answers through the protocol's pending
+//     array (with squashing), so concurrent hot-key queries stay cheap.
+//   - Two-phase quiescence: Quiesce parks every worker at a barrier —
+//     each keeps helping until all have arrived, because another worker
+//     may be blocked mid-operation waiting for its delegated work —
+//     then runs fn on the quiescent sketch and resumes them. This is
+//     what makes Flush and HeavyHitters (quiescent-only operations)
+//     available while the pool keeps serving before and after the pause.
+//
+// The pool records its own serving metrics (enqueue latency, batch
+// sizes, queue depths at drain, quiesce pause durations) in
+// internal/metrics histograms, exposed via Metrics.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dsketch/internal/delegation"
+	"dsketch/internal/metrics"
+)
+
+// Options tunes the front-end (the sketch itself is configured on the
+// delegation.DS passed to New). The zero value of every field selects a
+// sensible default.
+type Options struct {
+	// BatchSize caps how many buffered insertions a worker feeds to the
+	// sketch per chunk (default 256). Smaller chunks bound the latency
+	// of queries queued behind a drain; larger chunks amortize better.
+	BatchSize int
+	// QueueCapacity caps each shard's ingest buffer (default 4096
+	// entries). Producers that find the buffer full back off (yielding)
+	// until the worker catches up, bounding memory under overload.
+	QueueCapacity int
+	// IdleHelp selects the workers' idle behavior. Zero (the default)
+	// busy-polls: an idle worker continuously serves delegated work,
+	// which is the paper's always-helping model and gives the lowest
+	// latencies at the cost of a spinning core per idle worker. A
+	// positive duration makes idle workers block and help only every
+	// IdleHelp, trading tail latency for CPU (use ~100µs for daemons).
+	IdleHelp time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.BatchSize <= 0 {
+		o.BatchSize = 256
+	}
+	if o.QueueCapacity <= 0 {
+		o.QueueCapacity = 4096
+	}
+	return o
+}
+
+// entry is one buffered insertion.
+type entry struct {
+	key   uint64
+	count uint64
+}
+
+// queryReq asks a worker to answer point queries for keys, writing
+// results into out (len(out) == len(keys)) and closing done.
+type queryReq struct {
+	keys []uint64
+	out  []uint64
+	done chan struct{}
+}
+
+// pauseReq parks a worker for a window of true quiescence. The barrier
+// is two-phase: a worker that has reached the barrier must keep helping
+// until every worker has reached it — another worker may be blocked
+// mid-operation waiting for this one to serve its delegated work — and
+// only then stop touching the sketch and wait passively for resume.
+type pauseReq struct {
+	parked chan struct{} // phase 1 ack: reached the barrier (still helping)
+	hold   chan struct{} // closed by the coordinator when all have parked
+	held   chan struct{} // phase 2 ack: stopped helping
+	resume chan struct{} // closed by the coordinator after fn runs
+}
+
+// shard is one worker's ingest lane: the buffer producers append to,
+// the channels carrying queries and pause requests, and the shard's
+// share of the pool metrics.
+type shard struct {
+	mu      sync.Mutex
+	buf     []entry // appended by producers, swapped out by the worker
+	spare   []entry // the drained buffer, recycled at the next swap
+	inserts uint64  // accepted insert ops (guarded by mu)
+
+	wake    chan struct{} // capacity 1: buffer went non-empty
+	queries chan *queryReq
+	pauses  chan pauseReq
+
+	seq     atomic.Uint64 // enqueue-latency sampling counter
+	enqueue metrics.SharedHistogram
+	batches metrics.SharedHistogram // chunk sizes fed to the sketch
+	depths  metrics.SharedHistogram // buffer length at each drain
+}
+
+// notify wakes the shard's worker if it is blocked; a pending signal is
+// enough, so the send never blocks.
+func (sh *shard) notify() {
+	select {
+	case sh.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Pool runs the worker goroutines for a delegation.DS and exposes its
+// operations to arbitrary goroutines. All exported methods are safe for
+// concurrent use, except that Close must not run concurrently with
+// Insert/Query callers (stop producers first; see Close).
+type Pool struct {
+	ds     *delegation.DS
+	opt    Options
+	shards []*shard
+	next   atomic.Uint64 // round-robin shard cursor
+
+	closed     atomic.Bool
+	done       chan struct{} // closed by Close: workers wind down
+	closedDone chan struct{} // closed when shutdown fully completed
+	exited     atomic.Int32  // workers past their final drain
+	wg         sync.WaitGroup
+
+	quiesceMu sync.Mutex // serializes Quiesce and Close
+
+	queries      atomic.Uint64 // query requests served
+	queryKeys    atomic.Uint64 // individual keys answered
+	backpressure atomic.Uint64 // insert backoffs on a full buffer
+	quiesces     atomic.Uint64
+	pauseHist    metrics.SharedHistogram // quiesce pause durations
+}
+
+// New wraps ds — whose thread ids must not be driven by any other
+// goroutines — in a Pool and starts its T workers.
+func New(ds *delegation.DS, opt Options) *Pool {
+	opt = opt.withDefaults()
+	t := ds.Threads()
+	p := &Pool{
+		ds:         ds,
+		opt:        opt,
+		shards:     make([]*shard, t),
+		done:       make(chan struct{}),
+		closedDone: make(chan struct{}),
+	}
+	for i := range p.shards {
+		p.shards[i] = &shard{
+			buf:     make([]entry, 0, opt.QueueCapacity),
+			spare:   make([]entry, 0, opt.QueueCapacity),
+			wake:    make(chan struct{}, 1),
+			queries: make(chan *queryReq, 8),
+			pauses:  make(chan pauseReq, 1),
+		}
+	}
+	p.wg.Add(t)
+	for tid := 0; tid < t; tid++ {
+		go p.worker(tid)
+	}
+	return p
+}
+
+// Threads returns the number of workers (= sketch threads = shards).
+func (p *Pool) Threads() int { return len(p.shards) }
+
+// pick returns the next shard round-robin.
+func (p *Pool) pick() *shard {
+	return p.shards[p.next.Add(1)%uint64(len(p.shards))]
+}
+
+// enqueueSampleMask samples 1 in 32 insertions for enqueue latency, so
+// the hot path does not pay two clock reads per key.
+const enqueueSampleMask = 31
+
+// Insert records one occurrence of key. Goroutine-safe.
+func (p *Pool) Insert(key uint64) { p.InsertCount(key, 1) }
+
+// InsertCount records count occurrences of key. A zero count is a no-op.
+// Goroutine-safe; if the shard's buffer is full the caller backs off
+// until the worker catches up.
+func (p *Pool) InsertCount(key, count uint64) {
+	if count == 0 || p.closed.Load() {
+		return
+	}
+	sh := p.pick()
+	sample := sh.seq.Add(1)&enqueueSampleMask == 0
+	var t0 time.Time
+	if sample {
+		t0 = time.Now()
+	}
+	for {
+		sh.mu.Lock()
+		if len(sh.buf) < p.opt.QueueCapacity {
+			sh.buf = append(sh.buf, entry{key, count})
+			n := len(sh.buf)
+			sh.inserts++
+			sh.mu.Unlock()
+			if n == 1 {
+				sh.notify()
+			}
+			if sample {
+				sh.enqueue.Record(time.Since(t0))
+			}
+			return
+		}
+		sh.mu.Unlock()
+		p.backpressure.Add(1)
+		sh.notify()
+		runtime.Gosched()
+		if p.closed.Load() {
+			return
+		}
+	}
+}
+
+// Query answers a point query for key. Goroutine-safe; may run
+// concurrently with insertions. The answer counts every insertion a
+// worker has drained into the sketch and may count buffered ones; an
+// insertion whose InsertCount call returned can be briefly invisible
+// while it sits in a shard buffer (workers are woken immediately, so
+// the window is normally microseconds). Quiesce and Close are the
+// barriers that make all completed insertions visible.
+func (p *Pool) Query(key uint64) uint64 {
+	// One scratch array serves as both key and result slot (results are
+	// written after the key is read), so a query costs one allocation.
+	one := [1]uint64{key}
+	p.QueryBatch(one[:], one[:0])
+	return one[0]
+}
+
+// QueryBatch answers a point query per key, appending the results to out
+// (which may be nil) and returning it. A worker answers the whole batch
+// in one pass, so per-request overhead is paid once, not per key.
+func (p *Pool) QueryBatch(keys []uint64, out []uint64) []uint64 {
+	base := len(out)
+	need := base + len(keys)
+	if cap(out) < need {
+		grown := make([]uint64, need)
+		copy(grown, out)
+		out = grown
+	} else {
+		out = out[:need]
+	}
+	res := out[base:]
+	if len(keys) == 0 {
+		return out
+	}
+	p.queries.Add(1)
+	p.queryKeys.Add(uint64(len(keys)))
+	if p.closed.Load() {
+		p.answerQuiescent(keys, res)
+		return out
+	}
+	req := &queryReq{keys: keys, out: res, done: make(chan struct{})}
+	select {
+	case p.pick().queries <- req:
+		<-req.done
+	case <-p.done:
+		p.answerQuiescent(keys, res)
+	}
+	return out
+}
+
+// answerQuiescent serves queries after shutdown, when no worker is left
+// to delegate to: it waits for shutdown to finish (so no goroutine is
+// mutating the sketch) and searches directly.
+func (p *Pool) answerQuiescent(keys, out []uint64) {
+	<-p.closedDone
+	for i, k := range keys {
+		out[i] = p.ds.EstimateQuiescent(k)
+	}
+}
+
+// Quiesce parks every worker at the two-phase barrier, runs fn while the
+// sketch is quiescent (Flush, HeavyHitters and direct reads are safe
+// inside fn), and resumes the workers. Each worker drains its ingest
+// buffer before parking, so fn observes every insertion whose
+// InsertCount call returned before Quiesce was called. Insertions and
+// queries issued during the pause are buffered and served after resume.
+func (p *Pool) Quiesce(fn func()) {
+	p.quiesceMu.Lock()
+	defer p.quiesceMu.Unlock()
+	if p.closed.Load() {
+		// Workers are gone (Close holds quiesceMu until shutdown has
+		// completed): the sketch is already quiescent.
+		fn()
+		return
+	}
+	p.quiesces.Add(1)
+	t0 := time.Now()
+	req := pauseReq{
+		parked: make(chan struct{}, len(p.shards)),
+		hold:   make(chan struct{}),
+		held:   make(chan struct{}, len(p.shards)),
+		resume: make(chan struct{}),
+	}
+	for _, sh := range p.shards {
+		sh.pauses <- req
+	}
+	for range p.shards {
+		<-req.parked // everyone is at the barrier (no op in flight)
+	}
+	close(req.hold)
+	for range p.shards {
+		<-req.held // everyone has stopped touching the sketch
+	}
+	fn()
+	close(req.resume)
+	p.pausesDone(t0)
+}
+
+func (p *Pool) pausesDone(t0 time.Time) {
+	p.pauseHist.Record(time.Since(t0))
+}
+
+// Close stops accepting insertions, waits for the workers to drain every
+// buffered insertion into the sketch, flushes the delegation filters,
+// and leaves the sketch quiescent: Query/QueryBatch keep working (served
+// directly), and the owner may use quiescent-only sketch operations.
+// Close must not be called concurrently with in-flight Insert calls —
+// stop producers first; a racing insert may be dropped (never torn).
+// Close is idempotent.
+func (p *Pool) Close() {
+	p.quiesceMu.Lock()
+	defer p.quiesceMu.Unlock()
+	if p.closed.Swap(true) {
+		return
+	}
+	close(p.done)
+	p.wg.Wait()
+	// Answer any queries still queued: the workers are gone, but the
+	// sketch is now quiescent, so a direct search is safe.
+	for _, sh := range p.shards {
+		for {
+			select {
+			case q := <-sh.queries:
+				for i, k := range q.keys {
+					q.out[i] = p.ds.EstimateQuiescent(k)
+				}
+				close(q.done)
+				continue
+			default:
+			}
+			break
+		}
+	}
+	p.ds.Flush()
+	close(p.closedDone)
+}
+
+// worker is the goroutine owning thread tid: it drains its shard's
+// buffer, answers delegated query batches, parks at quiescence barriers,
+// and keeps helping (the protocol's liveness requirement) when idle.
+func (p *Pool) worker(tid int) {
+	defer p.wg.Done()
+	sh := p.shards[tid]
+	spin := p.opt.IdleHelp <= 0
+	var idleC <-chan time.Time
+	if !spin {
+		t := time.NewTicker(p.opt.IdleHelp)
+		defer t.Stop()
+		idleC = t.C
+	}
+	for {
+		select {
+		case <-sh.wake:
+			p.drain(tid, sh)
+		case q := <-sh.queries:
+			p.serve(tid, q)
+		case pr := <-sh.pauses:
+			p.pause(tid, sh, pr)
+		case <-p.done:
+			p.shutdown(tid, sh)
+			return
+		default:
+			if spin {
+				p.ds.Help(tid)
+				runtime.Gosched()
+				continue
+			}
+			select {
+			case <-sh.wake:
+				p.drain(tid, sh)
+			case q := <-sh.queries:
+				p.serve(tid, q)
+			case pr := <-sh.pauses:
+				p.pause(tid, sh, pr)
+			case <-p.done:
+				p.shutdown(tid, sh)
+				return
+			case <-idleC:
+				p.drain(tid, sh) // catch anything a lost race left behind
+				p.ds.Help(tid)
+			}
+		}
+	}
+}
+
+// drain swaps the shard's buffer out and feeds it to the sketch in
+// chunks of at most BatchSize, repeating until the buffer stays empty.
+// Worker-side only.
+func (p *Pool) drain(tid int, sh *shard) {
+	var recycled []entry
+	for {
+		sh.mu.Lock()
+		if recycled != nil {
+			sh.spare = recycled
+			recycled = nil
+		}
+		n := len(sh.buf)
+		if n == 0 {
+			sh.mu.Unlock()
+			return
+		}
+		batch := sh.buf
+		if sh.spare != nil {
+			sh.buf = sh.spare[:0]
+			sh.spare = nil
+		} else {
+			sh.buf = make([]entry, 0, p.opt.QueueCapacity)
+		}
+		sh.mu.Unlock()
+
+		sh.depths.RecordValue(uint64(n))
+		for off := 0; off < n; off += p.opt.BatchSize {
+			end := off + p.opt.BatchSize
+			if end > n {
+				end = n
+			}
+			for _, e := range batch[off:end] {
+				p.ds.InsertCount(tid, e.key, e.count)
+			}
+			sh.batches.RecordValue(uint64(end - off))
+		}
+		recycled = batch[:0]
+	}
+}
+
+// serve answers one query batch through the delegation protocol.
+// Worker-side only.
+func (p *Pool) serve(tid int, q *queryReq) {
+	for i, k := range q.keys {
+		q.out[i] = p.ds.Query(tid, k)
+	}
+	close(q.done)
+}
+
+// pause executes one quiescence barrier from the worker's side: drain
+// the ingest buffer (so completed insertions are visible to fn), ack
+// phase 1 and keep helping until everyone arrives, ack phase 2, then
+// wait passively for resume.
+func (p *Pool) pause(tid int, sh *shard, pr pauseReq) {
+	p.drain(tid, sh)
+	pr.parked <- struct{}{}
+	holding := true
+	for holding {
+		select {
+		case <-pr.hold:
+			holding = false
+		default:
+			p.ds.Help(tid) // someone may be blocked on us mid-op
+			runtime.Gosched()
+		}
+	}
+	pr.held <- struct{}{}
+	<-pr.resume
+}
+
+// shutdown winds a worker down: final drain, then the cooperative tail —
+// keep helping until every worker has finished its final drain, because
+// a peer's drain may block on delegated work only we can serve.
+func (p *Pool) shutdown(tid int, sh *shard) {
+	p.drain(tid, sh)
+	t := int32(len(p.shards))
+	p.exited.Add(1)
+	for p.exited.Load() < t {
+		p.drain(tid, sh) // a racing insert may still land in our lane
+		p.ds.Help(tid)
+		runtime.Gosched()
+	}
+}
+
+// Metrics is a snapshot of the pool's serving counters and histograms.
+// Histograms record: Enqueue — sampled (1/32) producer-side buffer
+// append latency; Batches — chunk sizes fed to the sketch; Depths —
+// buffer length at each drain; Pauses — Quiesce wall time (barrier + fn).
+type Metrics struct {
+	Inserts      uint64
+	Queries      uint64
+	QueryKeys    uint64
+	Backpressure uint64
+	Quiesces     uint64
+	Enqueue      metrics.Histogram
+	Batches      metrics.Histogram
+	Depths       metrics.Histogram
+	Pauses       metrics.Histogram
+}
+
+// Metrics aggregates the per-shard histograms and counters. Safe to call
+// at any time.
+func (p *Pool) Metrics() Metrics {
+	m := Metrics{
+		Queries:      p.queries.Load(),
+		QueryKeys:    p.queryKeys.Load(),
+		Backpressure: p.backpressure.Load(),
+		Quiesces:     p.quiesces.Load(),
+		Pauses:       p.pauseHist.Snapshot(),
+	}
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		m.Inserts += sh.inserts
+		sh.mu.Unlock()
+		e, b, d := sh.enqueue.Snapshot(), sh.batches.Snapshot(), sh.depths.Snapshot()
+		m.Enqueue.Merge(&e)
+		m.Batches.Merge(&b)
+		m.Depths.Merge(&d)
+	}
+	return m
+}

@@ -1,0 +1,251 @@
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dsketch/internal/delegation"
+)
+
+func newDS(threads int) *delegation.DS {
+	// BackendCountMin with a wide sketch: with only a few dozen distinct
+	// keys, collisions are (practically) impossible, so quiescent sums
+	// are exact and the tests can assert equality.
+	return delegation.New(delegation.Config{
+		Threads: threads, Depth: 8, Width: 1 << 12, Seed: 1,
+		Backend: delegation.BackendCountMin,
+	})
+}
+
+func TestPoolInsertThenQuiescentQuery(t *testing.T) {
+	ds := newDS(4)
+	p := New(ds, Options{})
+	defer p.Close()
+	for k := uint64(0); k < 100; k++ {
+		for n := uint64(0); n <= k%7; n++ {
+			p.Insert(k)
+		}
+	}
+	p.Quiesce(func() {
+		for k := uint64(0); k < 100; k++ {
+			if got, want := ds.EstimateQuiescent(k), k%7+1; got != want {
+				t.Fatalf("key %d: got %d want %d", k, got, want)
+			}
+		}
+	})
+}
+
+func TestPoolLiveQueryAndBatch(t *testing.T) {
+	ds := newDS(3)
+	p := New(ds, Options{})
+	defer p.Close()
+	p.InsertCount(7, 5)
+	p.InsertCount(9, 2)
+	// Ingestion is buffered: quiesce once so the completed inserts are
+	// guaranteed visible, then exercise the live delegated-query path.
+	p.Quiesce(func() {})
+	if got := p.Query(7); got != 5 {
+		t.Fatalf("Query(7) = %d, want 5", got)
+	}
+	out := p.QueryBatch([]uint64{7, 8, 9}, nil)
+	if out[0] != 5 || out[1] != 0 || out[2] != 2 {
+		t.Fatalf("QueryBatch = %v, want [5 0 2]", out)
+	}
+	// Appending to a non-empty out slice preserves the prefix.
+	out2 := p.QueryBatch([]uint64{9}, []uint64{42})
+	if len(out2) != 2 || out2[0] != 42 || out2[1] != 2 {
+		t.Fatalf("QueryBatch append = %v, want [42 2]", out2)
+	}
+}
+
+func TestPoolZeroCountInsertIsNoOp(t *testing.T) {
+	ds := newDS(2)
+	p := New(ds, Options{})
+	defer p.Close()
+	p.InsertCount(3, 0)
+	p.InsertCount(3, 4)
+	p.Quiesce(func() {})
+	if got := p.Query(3); got != 4 {
+		t.Fatalf("Query(3) = %d, want 4", got)
+	}
+	if m := p.Metrics(); m.Inserts != 1 {
+		t.Fatalf("Inserts metric = %d, want 1 (zero-count not admitted)", m.Inserts)
+	}
+}
+
+func TestPoolCloseDrainsAndServesQuiescently(t *testing.T) {
+	ds := newDS(4)
+	p := New(ds, Options{QueueCapacity: 64})
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		p.Insert(uint64(i % 16))
+	}
+	p.Close()
+	var sum uint64
+	for k := uint64(0); k < 16; k++ {
+		sum += p.Query(k) // served directly after Close
+	}
+	if sum != n {
+		t.Fatalf("sum after Close = %d, want %d", sum, n)
+	}
+	p.Close() // idempotent
+	if p.Query(0) != n/16 {
+		t.Fatal("query after second Close broken")
+	}
+}
+
+func TestPoolBackpressureBoundsBuffer(t *testing.T) {
+	ds := newDS(1)
+	p := New(ds, Options{QueueCapacity: 8, BatchSize: 4})
+	for i := 0; i < 5_000; i++ {
+		p.Insert(uint64(i % 4))
+	}
+	p.Quiesce(func() {
+		var sum uint64
+		for k := uint64(0); k < 4; k++ {
+			sum += ds.EstimateQuiescent(k)
+		}
+		if sum != 5_000 {
+			t.Fatalf("sum = %d, want 5000", sum)
+		}
+	})
+	m := p.Metrics()
+	if max := m.Depths.MaxValue(); max > 8 {
+		t.Fatalf("drain saw a buffer of %d entries, capacity 8", max)
+	}
+	if max := m.Batches.MaxValue(); max > 4 {
+		t.Fatalf("chunk of %d entries exceeds BatchSize 4", max)
+	}
+	p.Close()
+}
+
+func TestPoolMetricsCounters(t *testing.T) {
+	ds := newDS(2)
+	p := New(ds, Options{})
+	defer p.Close()
+	for i := 0; i < 1_000; i++ {
+		p.Insert(uint64(i % 10))
+	}
+	p.Query(3)
+	p.QueryBatch([]uint64{1, 2, 3}, nil)
+	p.Quiesce(func() {})
+	m := p.Metrics()
+	if m.Inserts != 1_000 {
+		t.Errorf("Inserts = %d, want 1000", m.Inserts)
+	}
+	if m.Queries != 2 || m.QueryKeys != 4 {
+		t.Errorf("Queries/QueryKeys = %d/%d, want 2/4", m.Queries, m.QueryKeys)
+	}
+	if m.Quiesces != 1 || m.Pauses.Count() != 1 {
+		t.Errorf("Quiesces = %d, pause samples = %d, want 1/1", m.Quiesces, m.Pauses.Count())
+	}
+	if m.Batches.Count() == 0 || m.Depths.Count() == 0 {
+		t.Error("batch/depth histograms empty after 1000 inserts")
+	}
+}
+
+// TestQuiesceStressNoLostUpdates is the quiescence-barrier correctness
+// test (run with -race): arbitrary producer goroutines insert over a
+// known key set while a coordinator repeatedly quiesces and a querier
+// issues live queries. Every quiescent sum must bracket the completed
+// insert count, and after all producers finish the quiescent sum must
+// equal the total exactly — no lost updates, no double counting.
+func TestQuiesceStressNoLostUpdates(t *testing.T) {
+	const (
+		threads     = 4
+		producers   = 8
+		perProducer = 20_000
+		keyCount    = 64
+	)
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	ds := newDS(threads)
+	p := New(ds, Options{IdleHelp: 50 * time.Microsecond, BatchSize: 64, QueueCapacity: 512})
+	keys := make([]uint64, keyCount)
+	for i := range keys {
+		keys[i] = uint64(i)*7919 + 3 // distinct, spread across owners
+	}
+	total := uint64(producers * perProducer)
+
+	var started, completed atomic.Uint64
+	stop := make(chan struct{})
+	var aux sync.WaitGroup
+
+	// Coordinator: quiesce in a loop, checking the bracketing invariant.
+	aux.Add(1)
+	go func() {
+		defer aux.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c0 := completed.Load()
+			var sum uint64
+			p.Quiesce(func() {
+				for _, k := range keys {
+					sum += ds.EstimateQuiescent(k)
+				}
+			})
+			c1 := started.Load()
+			if sum < c0 {
+				t.Errorf("quiescent sum %d < %d completed inserts: lost updates", sum, c0)
+			}
+			if sum > c1 {
+				t.Errorf("quiescent sum %d > %d started inserts: double counting", sum, c1)
+			}
+			runtime.Gosched()
+		}
+	}()
+
+	// Live querier, for race coverage of the delegated-query path.
+	aux.Add(1)
+	go func() {
+		defer aux.Done()
+		out := make([]uint64, 0, 8)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			out = p.QueryBatch(keys[i%(keyCount-8):i%(keyCount-8)+8], out[:0])
+			if q := p.Query(keys[i%keyCount]); q > total {
+				t.Errorf("live query %d exceeds total %d", q, total)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < producers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				started.Add(1)
+				p.Insert(keys[(g+i)%keyCount])
+				completed.Add(1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	aux.Wait()
+
+	var sum uint64
+	p.Quiesce(func() {
+		ds.Flush()
+		for _, k := range keys {
+			sum += ds.EstimateQuiescent(k)
+		}
+	})
+	if sum != total {
+		t.Fatalf("final quiescent sum = %d, want %d (lost or duplicated updates)", sum, total)
+	}
+	p.Close()
+}

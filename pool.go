@@ -1,0 +1,207 @@
+package dsketch
+
+import (
+	"time"
+
+	"dsketch/internal/hash"
+	"dsketch/internal/pool"
+)
+
+// Pool is the serving front-end: a Sketch plus the worker goroutines
+// that drive it, behind a goroutine-safe API. Use it when insertions
+// and queries arrive on arbitrary goroutines (HTTP handlers, RPC
+// servers, pipeline stages) instead of the one-goroutine-per-Handle
+// model the core protocol requires.
+//
+// Ingestion is batched: Insert appends to a per-shard buffer under a
+// short critical section, and the shard's worker drains whole chunks
+// into the delegation filters, amortizing hand-off overhead that a
+// channel send per key would pay. Queries are delegated to a worker and
+// answered through the protocol's pending array, so concurrent hot-key
+// queries benefit from squashing.
+//
+// Consistency: an insertion becomes visible to queries when its worker
+// drains it — normally within microseconds, since workers are woken as
+// soon as a buffer goes non-empty — and Quiesce, Snapshot and Close are
+// barriers after which every completed insertion is visible. Under the
+// hood each worker obeys the paper's cooperative protocol, so delegated
+// work keeps flowing even while the pool is otherwise idle.
+type Pool struct {
+	s *Sketch
+	p *pool.Pool
+}
+
+// PoolConfig assembles a Pool: the embedded Config sizes the sketch
+// (Config.Threads is also the number of workers and ingest shards), and
+// the pool fields tune the serving layer. Zero values select defaults.
+type PoolConfig struct {
+	Config
+
+	// BatchSize caps how many buffered insertions a worker feeds to the
+	// sketch per chunk (default 256). Smaller values bound the latency
+	// of queries queued behind a drain; larger values amortize better.
+	BatchSize int
+	// QueueCapacity caps each shard's ingest buffer, in insertions
+	// (default 4096). Producers back off when their shard is full, so
+	// memory stays bounded under overload.
+	QueueCapacity int
+	// IdleHelp selects idle-worker behavior: 0 (default) busy-polls —
+	// lowest latency, one spinning core per idle worker — while a
+	// positive duration makes idle workers sleep and help only every
+	// IdleHelp (use ~100µs for long-running daemons).
+	IdleHelp time.Duration
+}
+
+// NewPool builds the Sketch described by cfg.Config and starts
+// cfg.Threads worker goroutines over it. Call Close to release them.
+func NewPool(cfg PoolConfig) *Pool {
+	s := New(cfg.Config)
+	return &Pool{
+		s: s,
+		p: pool.New(s.ds, pool.Options{
+			BatchSize:     cfg.BatchSize,
+			QueueCapacity: cfg.QueueCapacity,
+			IdleHelp:      cfg.IdleHelp,
+		}),
+	}
+}
+
+// Threads returns the number of workers (= sketch threads = shards).
+func (p *Pool) Threads() int { return p.p.Threads() }
+
+// Insert records one occurrence of key. Goroutine-safe.
+func (p *Pool) Insert(key uint64) { p.p.Insert(key) }
+
+// InsertCount records count occurrences of key (a zero count is a
+// no-op). Goroutine-safe.
+func (p *Pool) InsertCount(key uint64, count uint64) { p.p.InsertCount(key, count) }
+
+// InsertString records one occurrence of a string key (fingerprinted to
+// 64 bits; use the same form consistently for inserts and queries).
+func (p *Pool) InsertString(key string) { p.p.Insert(hash.FingerprintString(key)) }
+
+// Query estimates key's frequency. Goroutine-safe; see Pool's
+// consistency note.
+func (p *Pool) Query(key uint64) uint64 { return p.p.Query(key) }
+
+// QueryString estimates a string key's frequency.
+func (p *Pool) QueryString(key string) uint64 {
+	return p.p.Query(hash.FingerprintString(key))
+}
+
+// QueryBatch estimates each key's frequency in one round trip to a
+// worker: the per-request hand-off is paid once for the whole batch,
+// and results come back positionally.
+func (p *Pool) QueryBatch(keys []uint64) []uint64 {
+	return p.p.QueryBatch(keys, nil)
+}
+
+// Quiesce pauses the pool — every worker parks at a two-phase barrier
+// after draining its ingest buffer — runs fn on the quiescent Sketch,
+// and resumes. Inside fn every completed insertion is visible and the
+// quiescent-only Sketch operations (Flush, HeavyHitters, Query) are
+// safe. Insertions and queries issued during the pause are buffered and
+// served after resume. Quiesce calls serialize with each other.
+func (p *Pool) Quiesce(fn func(s *Sketch)) {
+	p.p.Quiesce(func() { fn(p.s) })
+}
+
+// PoolSnapshot is a consistent view captured in a single pause.
+type PoolSnapshot struct {
+	// HeavyHitters holds the top-k report when Config.TrackHeavyHitters
+	// is set (nil otherwise).
+	HeavyHitters []HeavyHitter
+	// Stats are the sketch's cumulative event counters.
+	Stats Stats
+	// MemoryBytes is the sketch footprint (see Sketch.MemoryBytes).
+	MemoryBytes int
+	// Metrics are the pool's serving metrics (taken with the same
+	// snapshot, though they are safe to read at any time).
+	Metrics PoolMetrics
+}
+
+// Snapshot flushes the sketch and captures heavy hitters (when tracked),
+// stats and metrics in one quiescent pause, then resumes serving. k
+// bounds the heavy-hitter report size.
+func (p *Pool) Snapshot(k int) PoolSnapshot {
+	var snap PoolSnapshot
+	p.Quiesce(func(s *Sketch) {
+		s.Flush()
+		// Empty unless Config.TrackHeavyHitters was set.
+		if hh := s.HeavyHitters(k); len(hh) > 0 {
+			snap.HeavyHitters = hh
+		}
+		snap.Stats = s.Stats()
+		snap.MemoryBytes = s.MemoryBytes()
+	})
+	snap.Metrics = p.Metrics()
+	return snap
+}
+
+// Stats returns the sketch's cumulative event counters. Safe at any
+// time (counters are monotone and read atomically).
+func (p *Pool) Stats() Stats { return p.s.Stats() }
+
+// MemoryBytes reports the sketch footprint. The pool's own buffers add
+// 16 bytes per queued insertion on top, bounded by
+// Threads × QueueCapacity.
+func (p *Pool) MemoryBytes() int { return p.s.MemoryBytes() }
+
+// PoolMetrics summarizes the serving layer's self-measurements.
+type PoolMetrics struct {
+	// Inserts is the number of accepted insert operations; Queries the
+	// number of query requests (a QueryBatch is one request), QueryKeys
+	// the number of individual keys answered.
+	Inserts, Queries, QueryKeys uint64
+	// Backpressure counts producer backoffs on a full shard buffer.
+	Backpressure uint64
+	// Quiesces counts completed quiescent pauses (incl. Snapshots).
+	Quiesces uint64
+	// Batches counts chunks drained into the sketch; BatchMean/BatchMax
+	// describe the chunk sizes, and DepthMean/DepthMax the shard buffer
+	// length each drain encountered.
+	Batches   uint64
+	BatchMean float64
+	BatchMax  uint64
+	DepthMean float64
+	DepthMax  uint64
+	// EnqueueP50/P99/Max describe the producer-side cost of handing an
+	// insertion to the pool (sampled 1 in 32).
+	EnqueueP50, EnqueueP99, EnqueueMax time.Duration
+	// PauseMean/PauseMax describe full Quiesce pauses (barrier + fn).
+	PauseMean, PauseMax time.Duration
+}
+
+// Metrics returns a snapshot of the pool's serving metrics.
+func (p *Pool) Metrics() PoolMetrics {
+	m := p.p.Metrics()
+	return PoolMetrics{
+		Inserts:      m.Inserts,
+		Queries:      m.Queries,
+		QueryKeys:    m.QueryKeys,
+		Backpressure: m.Backpressure,
+		Quiesces:     m.Quiesces,
+		Batches:      m.Batches.Count(),
+		BatchMean:    m.Batches.MeanValue(),
+		BatchMax:     m.Batches.MaxValue(),
+		DepthMean:    m.Depths.MeanValue(),
+		DepthMax:     m.Depths.MaxValue(),
+		EnqueueP50:   m.Enqueue.Percentile(50),
+		EnqueueP99:   m.Enqueue.Percentile(99),
+		EnqueueMax:   m.Enqueue.Max(),
+		PauseMean:    m.Pauses.Mean(),
+		PauseMax:     m.Pauses.Max(),
+	}
+}
+
+// Close stops the workers after draining every buffered insertion and
+// flushing the delegation filters, leaving the sketch quiescent: Query
+// and QueryBatch keep working (answered directly), and Sketch() may be
+// used for quiescent-only reporting. Stop producers before calling
+// Close — an Insert racing Close may be dropped. Idempotent.
+func (p *Pool) Close() { p.p.Close() }
+
+// Sketch returns the underlying Sketch. Its quiescent-only operations
+// (Flush, HeavyHitters, Sketch.Query) are safe only inside Quiesce or
+// after Close; Stats and MemoryBytes are safe at any time.
+func (p *Pool) Sketch() *Sketch { return p.s }

@@ -1,0 +1,118 @@
+package dsketch_test
+
+import (
+	"sync"
+	"testing"
+
+	"dsketch"
+)
+
+// TestPoolEndToEnd drives the public serving API the way a server
+// would: arbitrary goroutines insert and query, a snapshot is taken
+// mid-stream, and the pool is closed for final reporting.
+func TestPoolEndToEnd(t *testing.T) {
+	p := dsketch.NewPool(dsketch.PoolConfig{
+		Config: dsketch.Config{Threads: 4, Width: 4096, Depth: 8, TrackHeavyHitters: true},
+	})
+	const (
+		producers = 6
+		perKey    = 500
+	)
+	keys := []uint64{11, 22, 33, 44, 55}
+	var wg sync.WaitGroup
+	for g := 0; g < producers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perKey; i++ {
+				for _, k := range keys {
+					p.Insert(k)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// All inserts completed: a snapshot must see every one of them.
+	snap := p.Snapshot(3)
+	want := uint64(producers * perKey)
+	st := snap.Stats
+	if len(snap.HeavyHitters) != 3 {
+		t.Fatalf("got %d heavy hitters, want 3", len(snap.HeavyHitters))
+	}
+	for _, hh := range snap.HeavyHitters {
+		if hh.Count < want {
+			t.Errorf("heavy hitter %d count %d < %d", hh.Key, hh.Count, want)
+		}
+	}
+	if m := snap.Metrics; m.Inserts != uint64(producers*perKey*len(keys)) {
+		t.Errorf("Inserts metric = %d, want %d", m.Inserts, producers*perKey*len(keys))
+	}
+
+	// Live queries after the snapshot barrier see the full counts
+	// (Count-Min never under-estimates).
+	for i, got := range p.QueryBatch(keys) {
+		if got < want {
+			t.Errorf("QueryBatch[%d] = %d, want >= %d", i, got, want)
+		}
+	}
+
+	p.Close()
+	for _, k := range keys {
+		if got := p.Query(k); got < want {
+			t.Errorf("post-Close Query(%d) = %d, want >= %d", k, got, want)
+		}
+	}
+	// Satellite regression: the previously-dropped counters are wired
+	// through the public Stats struct.
+	if st.Searches == 0 {
+		t.Error("Stats.Searches not populated")
+	}
+}
+
+// TestPoolStringKeys checks the fingerprinted string path matches the
+// Sketch's own mapping.
+func TestPoolStringKeys(t *testing.T) {
+	p := dsketch.NewPool(dsketch.PoolConfig{Config: dsketch.Config{Threads: 2}})
+	p.InsertString("10.0.0.1")
+	p.InsertString("10.0.0.1")
+	p.Quiesce(func(s *dsketch.Sketch) {
+		if got := s.QueryString("10.0.0.1"); got != 2 {
+			t.Fatalf("quiescent QueryString = %d, want 2", got)
+		}
+	})
+	if got := p.QueryString("10.0.0.1"); got != 2 {
+		t.Fatalf("QueryString = %d, want 2", got)
+	}
+	if got := p.Query(dsketch.Fingerprint("10.0.0.1")); got != 2 {
+		t.Fatalf("Query(Fingerprint) = %d, want 2", got)
+	}
+	p.Close()
+}
+
+// TestPoolQuiesceGivesQuiescentSketch verifies fn can use the
+// quiescent-only Sketch surface while producers are still attached.
+func TestPoolQuiesceGivesQuiescentSketch(t *testing.T) {
+	p := dsketch.NewPool(dsketch.PoolConfig{Config: dsketch.Config{Threads: 3}})
+	defer p.Close()
+	for i := 0; i < 1000; i++ {
+		p.Insert(uint64(i % 5))
+	}
+	var total uint64
+	p.Quiesce(func(s *dsketch.Sketch) {
+		s.Flush()
+		for k := uint64(0); k < 5; k++ {
+			total += s.Query(k)
+		}
+	})
+	if total != 1000 {
+		t.Fatalf("quiescent total = %d, want 1000", total)
+	}
+	// The pool keeps serving after the pause.
+	p.Insert(7)
+	p.Quiesce(func(s *dsketch.Sketch) {
+		if got := s.Query(7); got != 1 {
+			t.Fatalf("post-pause insert invisible: got %d", got)
+		}
+	})
+}
