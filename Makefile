@@ -1,10 +1,14 @@
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check ci vet build test race lint dslint bench
 
-## check: everything CI runs — vet, build, tests, and the -race stress
-## suites for the concurrency-critical packages.
-check: vet build test race
+## check: everything CI runs — vet, build, tests, static analysis, and
+## the -race stress suites for the concurrency-critical packages.
+check: vet build test lint race
+
+## ci: the full gate ci.sh runs, as one target.
+ci:
+	./ci.sh
 
 vet:
 	$(GO) vet ./...
@@ -16,7 +20,14 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/pool ./internal/delegation
+	$(GO) test -race ./internal/pool ./internal/delegation ./internal/spsc ./internal/filter
+
+## lint: go vet plus the repository's own concurrency-invariant
+## analyzers (cmd/dslint). Fails on any unsuppressed diagnostic.
+lint: vet dslint
+
+dslint:
+	$(GO) run ./cmd/dslint ./...
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .

@@ -1,0 +1,32 @@
+#!/bin/sh
+# ci.sh — the repository's full verification gate. Every step must pass;
+# the script stops at the first failure.
+#
+#   build   — every package compiles
+#   vet     — the toolchain's own static checks
+#   test    — the full unit/property suite
+#   race    — the -race stress suites for the concurrency-critical
+#             packages (pool, delegation, spsc, filter)
+#   dslint  — the repository's concurrency-invariant analyzers
+#             (internal/lint): mutexcopy, lockpair, atomicmix,
+#             goroutinelifecycle, sleepysync, errchecklite
+set -eu
+
+GO=${GO:-go}
+
+echo "==> build"
+$GO build ./...
+
+echo "==> vet"
+$GO vet ./...
+
+echo "==> test"
+$GO test ./...
+
+echo "==> race stress (pool, delegation, spsc, filter)"
+$GO test -race -count=1 ./internal/pool ./internal/delegation ./internal/spsc ./internal/filter
+
+echo "==> dslint"
+$GO run ./cmd/dslint ./...
+
+echo "CI gate passed."

@@ -12,12 +12,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 
 	"dsketch/internal/expt"
 )
 
 func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dsbench: ")
 	var (
 		id     = flag.String("experiment", "", "experiment id (e.g. fig5, table1) or 'all'")
 		list   = flag.Bool("list", false, "list available experiments")
@@ -53,7 +56,7 @@ func main() {
 	} else {
 		e, err := expt.ByID(*id)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			log.Print(err)
 			os.Exit(2)
 		}
 		exps = []expt.Experiment{e}

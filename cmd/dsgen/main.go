@@ -12,13 +12,23 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 
 	"dsketch/internal/trace"
 	"dsketch/internal/zipf"
 )
 
+// die reports a fatal error through log (which owns its stderr write
+// errors) and exits with the given status.
+func die(code int, format string, args ...any) {
+	log.Printf(format, args...)
+	os.Exit(code)
+}
+
 func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dsgen: ")
 	var (
 		kind     = flag.String("kind", "zipf", "trace kind: zipf | ips | ports")
 		n        = flag.Int("n", 1_000_000, "number of keys")
@@ -29,28 +39,23 @@ func main() {
 	)
 	flag.Parse()
 	if *out == "" {
-		fmt.Fprintln(os.Stderr, "dsgen: -out is required")
-		os.Exit(2)
+		die(2, "-out is required")
 	}
 
 	f, err := os.Create(*out)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "dsgen: %v\n", err)
-		os.Exit(1)
+		die(1, "%v", err)
 	}
-	defer f.Close()
 
 	w, err := trace.NewWriter(f)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "dsgen: %v\n", err)
-		os.Exit(1)
+		die(1, "%v", err)
 	}
 
 	write := func(keys []uint64) {
 		for _, k := range keys {
 			if err := w.WriteKey(k); err != nil {
-				fmt.Fprintf(os.Stderr, "dsgen: %v\n", err)
-				os.Exit(1)
+				die(1, "%v", err)
 			}
 		}
 	}
@@ -60,8 +65,7 @@ func main() {
 		g := zipf.New(zipf.Config{Universe: *universe, Skew: *skew, Seed: *seed, PermuteKeys: true})
 		for i := 0; i < *n; i++ {
 			if err := w.WriteKey(g.Next()); err != nil {
-				fmt.Fprintf(os.Stderr, "dsgen: %v\n", err)
-				os.Exit(1)
+				die(1, "%v", err)
 			}
 		}
 	case "ips":
@@ -69,13 +73,16 @@ func main() {
 	case "ports":
 		write(trace.SyntheticPorts(*n, *seed))
 	default:
-		fmt.Fprintf(os.Stderr, "dsgen: unknown kind %q\n", *kind)
-		os.Exit(2)
+		die(2, "unknown kind %q", *kind)
 	}
 
 	if err := w.Close(); err != nil {
-		fmt.Fprintf(os.Stderr, "dsgen: %v\n", err)
-		os.Exit(1)
+		die(1, "%v", err)
+	}
+	// A deferred Close would swallow the one error that matters for a
+	// trace generator: the final flush landing on a full disk.
+	if err := f.Close(); err != nil {
+		die(1, "%v", err)
 	}
 	fmt.Printf("wrote %d keys to %s\n", w.Count(), *out)
 }

@@ -1,0 +1,80 @@
+// Command dslint runs the repository's concurrency-invariant static
+// analyzers (internal/lint) over package patterns and fails the build on
+// any unsuppressed finding. It is part of the canonical gate: make lint,
+// make check and ci.sh all run it alongside go vet.
+//
+// Usage:
+//
+//	dslint [-json] [-list] [packages ...]
+//
+//	dslint ./...                   # whole module (testdata is skipped)
+//	dslint ./internal/pool         # one package
+//	dslint -json ./... > lint.json
+//
+// Exit status: 0 when clean, 1 when any diagnostic survives suppression,
+// 2 on usage or load errors. Findings are suppressed in source with
+// //lint:ignore <rule> <reason> on the offending line or the line above.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"dsketch/internal/lint"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dslint: ")
+	var (
+		jsonOut = flag.Bool("json", false, "emit diagnostics as a JSON array")
+		list    = flag.Bool("list", false, "list registered analyzers and exit")
+	)
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-20s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
+	diags := lint.Run(pkgs, analyzers)
+
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, diags); err != nil {
+			log.Print(err)
+			os.Exit(2)
+		}
+	} else {
+		cwd, err := os.Getwd()
+		if err != nil {
+			cwd = loader.ModuleDir
+		}
+		lint.WriteText(os.Stdout, cwd, diags)
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			log.Printf("%d finding(s) in %d package(s)", len(diags), len(pkgs))
+		}
+		os.Exit(1)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"runtime"
 	"strconv"
@@ -27,7 +28,16 @@ import (
 	"dsketch/internal/trace"
 )
 
+// die reports a fatal error through log (which owns its stderr write
+// errors) and exits with the given status.
+func die(code int, format string, args ...any) {
+	log.Printf(format, args...)
+	os.Exit(code)
+}
+
 func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dsquery: ")
 	var (
 		tracePath = flag.String("trace", "", "input trace file (required)")
 		threads   = flag.Int("threads", runtime.NumCPU(), "number of insertion threads")
@@ -40,14 +50,12 @@ func main() {
 	)
 	flag.Parse()
 	if *tracePath == "" {
-		fmt.Fprintln(os.Stderr, "dsquery: -trace is required")
-		os.Exit(2)
+		die(2, "-trace is required")
 	}
 
 	keys, err := readTrace(*tracePath)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "dsquery: %v\n", err)
-		os.Exit(1)
+		die(1, "%v", err)
 	}
 	fmt.Printf("trace: %d keys\n", len(keys))
 
@@ -108,8 +116,7 @@ func main() {
 		for _, part := range strings.Split(*keysFlag, ",") {
 			k, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "dsquery: bad key %q: %v\n", part, err)
-				os.Exit(2)
+				die(2, "bad key %q: %v", part, err)
 			}
 			report(k)
 		}
@@ -123,7 +130,7 @@ func main() {
 			}
 			k, err := strconv.ParseUint(line, 10, 64)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "dsquery: bad key %q: %v\n", line, err)
+				log.Printf("bad key %q: %v", line, err)
 				continue
 			}
 			report(k)
@@ -145,6 +152,7 @@ func readTrace(path string) ([]uint64, error) {
 	if err != nil {
 		return nil, err
 	}
+	//lint:ignore errchecklite read-only file; a close error cannot lose data
 	defer f.Close()
 	r, err := trace.NewReader(f)
 	if err != nil {

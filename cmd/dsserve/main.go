@@ -25,6 +25,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"runtime"
@@ -38,6 +39,14 @@ import (
 type server struct {
 	pool *dsketch.Pool
 	topk bool
+}
+
+// writef writes one formatted response line; a false return means the
+// client has gone away (the only way an http.ResponseWriter write fails)
+// and the handler should stop producing output.
+func writef(w io.Writer, format string, args ...any) bool {
+	_, err := fmt.Fprintf(w, format, args...)
+	return err == nil
 }
 
 // parseKey accepts either a decimal uint64 or an arbitrary string (which
@@ -90,12 +99,14 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		keys[i] = k
 	}
 	if len(keys) == 1 {
-		fmt.Fprintf(w, "%d\n", s.pool.Query(keys[0]))
+		writef(w, "%d\n", s.pool.Query(keys[0]))
 		return
 	}
 	// A multi-key query is answered by one worker in a single pass.
 	for i, c := range s.pool.QueryBatch(keys) {
-		fmt.Fprintf(w, "%s %d\n", raws[i], c)
+		if !writef(w, "%s %d\n", raws[i], c) {
+			return
+		}
 	}
 }
 
@@ -113,21 +124,29 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	// One quiescent pause: flush, snapshot the heavy hitters, resume.
 	snap := s.pool.Snapshot(k)
 	for i, e := range snap.HeavyHitters {
-		fmt.Fprintf(w, "%2d. key=%d count=%d (±%d)\n", i+1, e.Key, e.Count, e.Err)
+		if !writef(w, "%2d. key=%d count=%d (±%d)\n", i+1, e.Key, e.Count, e.Err) {
+			return
+		}
 	}
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.pool.Stats()
-	fmt.Fprintf(w, "drains=%d searches=%d served_queries=%d squashed=%d direct_queries=%d delegated_posts=%d memory_bytes=%d\n",
+	if !writef(w, "drains=%d searches=%d served_queries=%d squashed=%d direct_queries=%d delegated_posts=%d memory_bytes=%d\n",
 		st.Drains, st.Searches, st.ServedQueries, st.Squashed, st.DirectQueries,
-		st.DelegatedPosts, s.pool.MemoryBytes())
+		st.DelegatedPosts, s.pool.MemoryBytes()) {
+		return
+	}
 	m := s.pool.Metrics()
-	fmt.Fprintf(w, "pool_inserts=%d pool_queries=%d pool_query_keys=%d backpressure=%d quiesces=%d\n",
-		m.Inserts, m.Queries, m.QueryKeys, m.Backpressure, m.Quiesces)
-	fmt.Fprintf(w, "batches=%d batch_mean=%.1f batch_max=%d depth_mean=%.1f depth_max=%d\n",
-		m.Batches, m.BatchMean, m.BatchMax, m.DepthMean, m.DepthMax)
-	fmt.Fprintf(w, "enqueue_p50=%v enqueue_p99=%v enqueue_max=%v pause_mean=%v pause_max=%v\n",
+	if !writef(w, "pool_inserts=%d pool_queries=%d pool_query_keys=%d backpressure=%d quiesces=%d\n",
+		m.Inserts, m.Queries, m.QueryKeys, m.Backpressure, m.Quiesces) {
+		return
+	}
+	if !writef(w, "batches=%d batch_mean=%.1f batch_max=%d depth_mean=%.1f depth_max=%d\n",
+		m.Batches, m.BatchMean, m.BatchMax, m.DepthMean, m.DepthMax) {
+		return
+	}
+	writef(w, "enqueue_p50=%v enqueue_p99=%v enqueue_max=%v pause_mean=%v pause_max=%v\n",
 		m.EnqueueP50, m.EnqueueP99, m.EnqueueMax, m.PauseMean, m.PauseMax)
 }
 

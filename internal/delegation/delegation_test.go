@@ -6,9 +6,11 @@ import (
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"dsketch/internal/count"
 	"dsketch/internal/sketch"
+	"dsketch/internal/testutil"
 	"dsketch/internal/zipf"
 )
 
@@ -244,6 +246,40 @@ func TestConcurrentQueriesSeeCompletedInserts(t *testing.T) {
 	})
 	if v := failed.Load(); v != 0 {
 		t.Fatalf("a query returned %d < completed count %d", v, n)
+	}
+}
+
+func TestDelegatedDrainEventuallyVisible(t *testing.T) {
+	// Thread 0 inserts keys owned by thread 1 until the delegation filter
+	// fills and is handed off; the owner drains it as soon as it helps.
+	// The test polls with a deadline (testutil.WaitUntil) rather than
+	// sleeping for a guessed delay.
+	d := New(Config{Threads: 2, OwnerMod: true, FilterSize: 4,
+		Depth: 4, Width: 1 << 10, Seed: 1, Backend: BackendCountMin})
+	var wg sync.WaitGroup
+	var inserted atomic.Bool
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 8; i++ {
+			d.Insert(0, uint64(2*i+1)) // odd keys: all owned by thread 1
+		}
+		inserted.Store(true)
+	}()
+	// Keep helping on the owner's behalf until the inserter is through:
+	// a full filter blocks the inserting thread until the owner drains it.
+	testutil.WaitUntil(t, 5*time.Second, func() bool {
+		d.Help(1)
+		return inserted.Load() && d.Stats().Drains >= 1
+	})
+	wg.Wait()
+	// Everything is quiescent now; no insert may have been lost between
+	// the filter handoff and the owner's drain.
+	for i := 0; i < 8; i++ {
+		k := uint64(2*i + 1)
+		if got := d.EstimateQuiescent(k); got != 1 {
+			t.Fatalf("EstimateQuiescent(%d) = %d, want 1", k, got)
+		}
 	}
 }
 

@@ -1,0 +1,89 @@
+package filter
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestAugmentedConcurrentReadersStress drives the exact sharing pattern
+// the delegation layer depends on: one owner mutates the filter
+// (increments, admissions, evictions via MinSlot/Replace, drains via
+// Iterate) while other threads Lookup concurrently and without further
+// synchronization. Under -race this proves the atomic publication
+// discipline in Augmented; the assertions prove readers never observe a
+// torn slot: the hot key, once admitted, stays visible with a count
+// that only grows.
+func TestAugmentedConcurrentReadersStress(t *testing.T) {
+	const readers = 4
+	const rounds = 30000
+	const hot = uint64(0xdecaf)
+	f := NewAugmented(8)
+	// Give the hot key a head start larger than any churn key's count so
+	// MinSlot never selects it for eviction.
+	if !f.Add(hot, 1_000_000) {
+		t.Fatal("Add on empty filter failed")
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last uint64
+			for !stop.Load() {
+				v, ok := f.Lookup(hot)
+				if !ok {
+					t.Error("hot key vanished from the filter")
+					return
+				}
+				if v < last {
+					t.Errorf("hot count went backwards: %d after %d", v, last)
+					return
+				}
+				last = v
+				if f.Len() > f.Capacity() {
+					t.Error("Len exceeds Capacity")
+					return
+				}
+			}
+		}()
+	}
+
+	// Owner loop: the access pattern of an owner thread absorbing its
+	// stream — hot-key increments mixed with cold-key admissions that
+	// evict through MinSlot once the filter is full.
+	cold := uint64(1)
+	for i := 0; i < rounds; i++ {
+		if !f.Increment(hot, 1) {
+			t.Fatal("Increment on resident hot key failed")
+		}
+		k := cold
+		cold++
+		if !f.Add(k, 1) {
+			idx, _ := f.MinSlot()
+			if item, _, _ := f.Slot(idx); item == hot {
+				t.Fatal("MinSlot evicted the hot key")
+			}
+			f.Replace(idx, k, 1)
+		}
+		if i%4096 == 0 {
+			var sum uint64
+			f.Iterate(func(_, newCount, oldCount uint64) {
+				sum += newCount - oldCount
+			})
+			if sum == 0 {
+				t.Fatal("Iterate saw an empty filter mid-stream")
+			}
+			runtime.Gosched()
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if v, ok := f.Lookup(hot); !ok || v != 1_000_000+rounds {
+		t.Fatalf("final hot count = (%d,%v), want (%d,true)", v, ok, 1_000_000+rounds)
+	}
+}

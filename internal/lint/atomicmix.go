@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix flags struct fields that are accessed through sync/atomic in
+// one place (atomic.AddUint64(&s.f, ...) or on an element of the field,
+// atomic.LoadUint64(&s.f[i])) and with plain loads or stores elsewhere
+// in the same package. Mixed access is the classic silent failure of
+// relaxed-synchronization sketch code: the plain access races with the
+// atomic one, and -race only notices if a schedule exposes it.
+//
+// Initialization (assigning make(...)/composite literals to the whole
+// field), len/cap, and key-only range loops are allowed: they touch the
+// slice header or length, not the shared elements. Deliberate quiescent
+// access must carry a //lint:ignore atomicmix <reason> directive.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "struct field accessed atomically in one place and plainly elsewhere",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(p *Pass) {
+	info := p.Pkg.Info
+
+	// Pass 1: every field whose address (or an element's address) feeds
+	// a sync/atomic call, plus the exact selector nodes used there.
+	atomicFields := make(map[*types.Var]token.Pos)
+	operand := make(map[*ast.SelectorExpr]bool)
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel := addressedField(un.X)
+				if sel == nil {
+					continue
+				}
+				if v := fieldVar(info, sel); v != nil {
+					if _, ok := atomicFields[v]; !ok {
+						atomicFields[v] = call.Pos()
+					}
+					operand[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+
+	// Pass 2: any other appearance of those fields is a plain access
+	// unless it is one of the allowed slice-header forms.
+	for _, f := range p.Pkg.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if sel, ok := n.(*ast.SelectorExpr); ok && !operand[sel] {
+				if v := fieldVar(info, sel); v != nil {
+					if atomicPos, tracked := atomicFields[v]; tracked && !allowedPlainUse(stack, sel) {
+						p.Reportf(sel.Pos(),
+							"non-atomic access of field %s, which is accessed with sync/atomic at %s",
+							v.Name(), p.Pkg.Fset.Position(atomicPos))
+					}
+				}
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+}
+
+// addressedField unwraps the operand of an & expression down to the
+// field selector: either the field itself (&s.f) or an element of the
+// field (&s.f[i]).
+func addressedField(x ast.Expr) *ast.SelectorExpr {
+	x = ast.Unparen(x)
+	if idx, ok := x.(*ast.IndexExpr); ok {
+		x = ast.Unparen(idx.X)
+	}
+	sel, _ := x.(*ast.SelectorExpr)
+	return sel
+}
+
+// allowedPlainUse reports whether the plain appearance of an atomically
+// accessed field touches only the slice header: initialization of the
+// whole field, len/cap, or a key-only range.
+func allowedPlainUse(stack []ast.Node, sel *ast.SelectorExpr) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	switch parent := stack[len(stack)-1].(type) {
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(parent.Fun).(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") {
+			return true
+		}
+	case *ast.RangeStmt:
+		// for i := range s.f — reads only the length.
+		return parent.X == sel && parent.Value == nil
+	case *ast.AssignStmt:
+		for i, lhs := range parent.Lhs {
+			if ast.Unparen(lhs) != sel {
+				continue
+			}
+			if len(parent.Lhs) != len(parent.Rhs) {
+				return false
+			}
+			switch rhs := ast.Unparen(parent.Rhs[i]).(type) {
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(rhs.Fun).(*ast.Ident); ok && id.Name == "make" {
+					return true
+				}
+			case *ast.CompositeLit:
+				return true
+			case *ast.Ident:
+				return rhs.Name == "nil"
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrCheckLite flags call statements that silently drop an error result.
+// It is scoped to the failure modes that matter here rather than being a
+// full errcheck clone:
+//
+//   - calls to this module's own API (any package under the module path)
+//     are checked everywhere — a dropped error from trace.Writer.WriteKey
+//     or expt.Table.Render is always a bug or a decision worth recording;
+//   - in package main (the cmd/ binaries and examples), calls into io,
+//     net/http, os, bufio and the fmt.Fprint family are checked too,
+//     because that is where HTTP hand-offs and file handling live.
+//
+// Assigning the error to _ is an explicit decision and is not flagged;
+// so is a //lint:ignore errchecklite <reason> directive.
+var ErrCheckLite = &Analyzer{
+	Name: "errchecklite",
+	Doc:  "dropped error result from the module's own APIs (and io/net/http/os in package main)",
+	Run:  runErrCheckLite,
+}
+
+// errProneStdlib are the stdlib packages whose dropped errors are
+// flagged inside package main.
+var errProneStdlib = map[string]bool{
+	"io":       true,
+	"net/http": true,
+	"os":       true,
+	"bufio":    true,
+}
+
+func runErrCheckLite(p *Pass) {
+	info := p.Pkg.Info
+	isMain := p.Pkg.Types.Name() == "main"
+	errType := types.Universe.Lookup("error").Type()
+
+	check := func(call *ast.CallExpr) {
+		sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+		if !ok {
+			return
+		}
+		dropsError := false
+		for i := 0; i < sig.Results().Len(); i++ {
+			if types.Identical(sig.Results().At(i).Type(), errType) {
+				dropsError = true
+				break
+			}
+		}
+		if !dropsError {
+			return
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return
+		}
+		path := fn.Pkg().Path()
+		moduleOwn := path == p.Pkg.ModulePath || strings.HasPrefix(path, p.Pkg.ModulePath+"/")
+		stdlibChecked := isMain && (errProneStdlib[path] ||
+			(path == "fmt" && strings.HasPrefix(fn.Name(), "Fprint")))
+		if moduleOwn || stdlibChecked {
+			p.Reportf(call.Pos(), "error result of %s is dropped; handle it or assign it to _",
+				fn.FullName())
+		}
+	}
+
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+					check(call)
+				}
+			case *ast.DeferStmt:
+				check(n.Call)
+			case *ast.GoStmt:
+				check(n.Call)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// goroutineScopePathFragments names the packages GoroutineLifecycle
+// applies to: the concurrency-core packages whose goroutines must be
+// joinable (the pool's worker registry and the parallel driver's
+// cooperative tail both depend on it), plus the analyzer's own fixture
+// package under testdata.
+var goroutineScopePathFragments = []string{
+	"internal/pool",
+	"internal/parallel",
+	"goroutinelifecycle",
+}
+
+// GoroutineLifecycle flags go statements in the concurrency-core
+// packages that are not tied to a lifecycle: no sync.WaitGroup.Add
+// earlier in the spawning function and no deferred WaitGroup.Done inside
+// the spawned function literal. An untracked goroutine in those packages
+// can outlive Close/Quiesce and mutate the sketch after the two-phase
+// barrier has declared it quiescent.
+var GoroutineLifecycle = &Analyzer{
+	Name: "goroutinelifecycle",
+	Doc:  "go statement in internal/pool or internal/parallel not tied to a WaitGroup or worker registry",
+	Run:  runGoroutineLifecycle,
+}
+
+func runGoroutineLifecycle(p *Pass) {
+	inScope := false
+	probe := p.Pkg.Path + " " + p.Pkg.Dir
+	for _, frag := range goroutineScopePathFragments {
+		if strings.Contains(probe, frag) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return
+	}
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		for _, fb := range functionBodies(f) {
+			var addPositions []ast.Node // WaitGroup.Add calls in this frame
+			var goStmts []*ast.GoStmt
+			walkShallow(fb.body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if isPkgFunc(info, n, "sync", "Add") {
+						addPositions = append(addPositions, n)
+					}
+				case *ast.GoStmt:
+					goStmts = append(goStmts, n)
+				}
+				return true
+			})
+			for _, g := range goStmts {
+				tracked := false
+				for _, add := range addPositions {
+					if add.Pos() < g.Pos() {
+						tracked = true
+						break
+					}
+				}
+				if !tracked {
+					if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok && hasDeferredDone(info, lit) {
+						tracked = true
+					}
+				}
+				if !tracked {
+					p.Reportf(g.Pos(),
+						"goroutine is not tied to a lifecycle: no WaitGroup.Add before the go statement and no deferred Done in the spawned function")
+				}
+			}
+		}
+	}
+}
+
+// hasDeferredDone reports whether the function literal defers a
+// sync.WaitGroup.Done call in its own frame.
+func hasDeferredDone(info *types.Info, lit *ast.FuncLit) bool {
+	found := false
+	walkShallow(lit.Body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok && isPkgFunc(info, d.Call, "sync", "Done") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// calleeFunc resolves the function or method a call statically invokes,
+// or nil for indirect calls through function values, conversions and
+// builtins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// isPkgFunc reports whether the call's callee is pkgPath.name (function)
+// or a method named name declared in pkgPath.
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath string, names ...string) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldVar resolves a selector to the struct field it reads or writes,
+// or nil when the selector is not a field access.
+func fieldVar(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// funcBody is one function's body, shallow-walkable: nested function
+// literals are yielded as their own funcBody, not traversed in place,
+// so per-function analyses (lock pairing, goroutine lifecycles) reason
+// about exactly one frame at a time.
+type funcBody struct {
+	name string // for messages; "func literal" for lits
+	node ast.Node
+	body *ast.BlockStmt
+}
+
+// functionBodies returns every function declaration and literal in the
+// file, each paired with its own body.
+func functionBodies(f *ast.File) []funcBody {
+	var out []funcBody
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				out = append(out, funcBody{name: fn.Name.Name, node: fn, body: fn.Body})
+			}
+		case *ast.FuncLit:
+			out = append(out, funcBody{name: "func literal", node: fn, body: fn.Body})
+		}
+		return true
+	})
+	return out
+}
+
+// walkShallow visits every node in body except the bodies of nested
+// function literals. Returning false from fn stops descent into a node.
+func walkShallow(body *ast.BlockStmt, fn func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n == body {
+			return true
+		}
+		if n == nil {
+			return true
+		}
+		return fn(n)
+	})
+}

@@ -1,0 +1,190 @@
+// Package lint is a from-scratch static-analysis framework for the
+// delegation-sketch repository, built only on the standard library's
+// go/ast, go/parser, go/token and go/types.
+//
+// The repository's correctness rests on hand-maintained concurrency
+// invariants — owner-only sketch writes, delegation-filter publication
+// order, two-phase quiescence — that go vet cannot see and that the race
+// detector only catches when a schedule exposes them. The analyzers in
+// this package machine-check the patterns those invariants force on the
+// code: no lock values copied, every Lock paired with an Unlock, no
+// field accessed both atomically and plainly, every goroutine in the
+// concurrency-core packages tied to a lifecycle, no sleep-based test
+// synchronization, and no silently dropped errors.
+//
+// Findings are suppressed with an explicit, reasoned directive placed on
+// the offending line or the line directly above it:
+//
+//	//lint:ignore <rule> <reason>
+//
+// A directive without a rule and a reason is itself a finding (rule
+// "lintdirective"): suppressions are part of the audit trail.
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"io"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, anchored to a file position.
+type Diagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Rule, d.Message)
+}
+
+// Analyzer is one named check run over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one (analyzer, package) pairing and collects reports.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Rule:    p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the default registry, in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		MutexCopy,
+		LockPair,
+		AtomicMix,
+		GoroutineLifecycle,
+		SleepySync,
+		ErrCheckLite,
+	}
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	file string
+	rule string
+	line int
+}
+
+var ignoreRe = regexp.MustCompile(`^//lint:ignore\s+(\S+)(?:\s+(.*))?$`)
+
+// collectDirectives scans a file's comments for suppression directives.
+// Malformed directives (no rule, or no reason) are reported under the
+// "lintdirective" rule instead of silently doing nothing.
+func collectDirectives(pkg *Package, f *ast.File, diags *[]Diagnostic) []ignoreDirective {
+	var out []ignoreDirective
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if !strings.HasPrefix(text, "//lint:") {
+				continue
+			}
+			pos := pkg.Fset.Position(c.Pos())
+			m := ignoreRe.FindStringSubmatch(text)
+			if m == nil || strings.TrimSpace(m[2]) == "" {
+				*diags = append(*diags, Diagnostic{
+					File: pos.Filename, Line: pos.Line, Col: pos.Column,
+					Rule:    "lintdirective",
+					Message: "malformed directive: want //lint:ignore <rule> <reason>",
+				})
+				continue
+			}
+			out = append(out, ignoreDirective{file: pos.Filename, rule: m[1], line: pos.Line})
+		}
+	}
+	return out
+}
+
+// Run executes the analyzers over the packages and returns the surviving
+// diagnostics, sorted by position. A diagnostic is suppressed when an
+// //lint:ignore directive for its rule (or for "all") sits on the same
+// line or the line immediately above it in the same file.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	key := func(file, rule string, line int) string {
+		return fmt.Sprintf("%s\x00%s\x00%d", file, rule, line)
+	}
+	suppressed := make(map[string]bool)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range collectDirectives(pkg, f, &diags) {
+				// A directive covers its own line (trailing comment) and
+				// the next line (directive on its own line above).
+				suppressed[key(d.file, d.rule, d.line)] = true
+				suppressed[key(d.file, d.rule, d.line+1)] = true
+			}
+		}
+	}
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &diags})
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if suppressed[key(d.File, d.Rule, d.Line)] || suppressed[key(d.File, "all", d.Line)] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+	return kept
+}
+
+// WriteText prints diagnostics one per line, with paths relative to dir
+// when possible (matching compiler output style).
+func WriteText(w io.Writer, dir string, diags []Diagnostic) {
+	for _, d := range diags {
+		if rel, err := filepath.Rel(dir, d.File); err == nil && !strings.HasPrefix(rel, "..") {
+			d.File = rel
+		}
+		fmt.Fprintln(w, d)
+	}
+}
+
+// WriteJSON prints diagnostics as a JSON array.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	return enc.Encode(diags)
+}

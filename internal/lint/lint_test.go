@@ -1,0 +1,244 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// fixtures maps each golden-fixture directory under testdata/src to the
+// analyzer it exercises. errcheckmain is a package main variant of
+// errchecklite proving the widened stdlib scope.
+var fixtures = map[string]string{
+	"mutexcopy":          "mutexcopy",
+	"lockpair":           "lockpair",
+	"atomicmix":          "atomicmix",
+	"goroutinelifecycle": "goroutinelifecycle",
+	"sleepysync":         "sleepysync",
+	"errchecklite":       "errchecklite",
+	"errcheckmain":       "errchecklite",
+}
+
+func analyzerByName(t *testing.T, name string) *Analyzer {
+	t.Helper()
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	t.Fatalf("no analyzer named %q in the registry", name)
+	return nil
+}
+
+// wantRe extracts the expected-diagnostic annotation from a fixture line.
+var wantRe = regexp.MustCompile(`// want "([^"]*)"`)
+
+type want struct {
+	file    string // base name
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// loadWants scans every .go file in the fixture directory for
+// trailing // want "regexp" annotations.
+func loadWants(t *testing.T, dir string) []*want {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir(%s): %v", dir, err)
+	}
+	var wants []*want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("ReadFile: %v", err)
+		}
+		for i, lineText := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(lineText)
+			if m == nil {
+				continue
+			}
+			re, err := regexp.Compile(m[1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern %q: %v", e.Name(), i+1, m[1], err)
+			}
+			wants = append(wants, &want{file: e.Name(), line: i + 1, pattern: re})
+		}
+	}
+	return wants
+}
+
+// TestFixtures runs each analyzer over its golden-fixture package and
+// requires an exact bidirectional match: every diagnostic is predicted
+// by a // want annotation on its line, and every annotation is hit.
+// Suppressed and negative lines carry no annotation, so a broken
+// suppression or a false positive fails as an unexpected diagnostic.
+func TestFixtures(t *testing.T) {
+	for dir, analyzer := range fixtures {
+		t.Run(dir, func(t *testing.T) {
+			a := analyzerByName(t, analyzer)
+			loader, err := NewLoader(".")
+			if err != nil {
+				t.Fatalf("NewLoader: %v", err)
+			}
+			pkgs, err := loader.Load("./testdata/src/" + dir)
+			if err != nil {
+				t.Fatalf("Load: %v", err)
+			}
+			diags := Run(pkgs, []*Analyzer{a})
+			wants := loadWants(t, filepath.Join("testdata", "src", dir))
+			if len(wants) == 0 {
+				t.Fatalf("fixture %s has no // want annotations", dir)
+			}
+			for _, d := range diags {
+				if d.Rule != a.Name && d.Rule != "lintdirective" {
+					t.Errorf("diagnostic from foreign rule: %s", d)
+					continue
+				}
+				matched := false
+				for _, w := range wants {
+					if w.matched || w.file != filepath.Base(d.File) || w.line != d.Line {
+						continue
+					}
+					if w.pattern.MatchString(d.Message) {
+						w.matched = true
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+			for _, w := range wants {
+				if !w.matched {
+					t.Errorf("%s:%d: want %q, got no matching diagnostic", w.file, w.line, w.pattern)
+				}
+			}
+		})
+	}
+}
+
+// TestFixturesFailFullRegistry is the exit-code contract: running the
+// full default registry over any fixture (what cmd/dslint does when
+// pointed at it) must surface at least one finding, so the binary exits
+// non-zero on every fixture.
+func TestFixturesFailFullRegistry(t *testing.T) {
+	for dir := range fixtures {
+		t.Run(dir, func(t *testing.T) {
+			loader, err := NewLoader(".")
+			if err != nil {
+				t.Fatalf("NewLoader: %v", err)
+			}
+			pkgs, err := loader.Load("./testdata/src/" + dir)
+			if err != nil {
+				t.Fatalf("Load: %v", err)
+			}
+			diags := Run(pkgs, Analyzers())
+			if len(diags) == 0 {
+				t.Fatalf("full registry found nothing in fixture %s; dslint would exit 0", dir)
+			}
+		})
+	}
+}
+
+// parseSrc type-checks nothing: it only parses, which is all the
+// directive scanner needs.
+func parseSrc(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return &Package{Path: "p", Fset: fset, Files: []*ast.File{f}}
+}
+
+func TestDirectiveParsing(t *testing.T) {
+	pkg := parseSrc(t, `package p
+
+//lint:ignore atomicmix quiescent read after barrier
+var a int
+
+//lint:ignore errchecklite
+var b int
+
+//lint:disable everything
+var c int
+`)
+	var diags []Diagnostic
+	ds := collectDirectives(pkg, pkg.Files[0], &diags)
+	if len(ds) != 1 || ds[0].rule != "atomicmix" || ds[0].line != 3 {
+		t.Fatalf("directives = %+v, want one atomicmix at line 3", ds)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("diags = %v, want 2 malformed-directive findings", diags)
+	}
+	for _, d := range diags {
+		if d.Rule != "lintdirective" {
+			t.Errorf("malformed directive reported under %q, want lintdirective", d.Rule)
+		}
+	}
+}
+
+func TestSuppressionCoversSameAndNextLine(t *testing.T) {
+	pkg := parseSrc(t, `package p
+
+//lint:ignore somerule directive above the line
+var a int
+var b int //lint:ignore somerule trailing directive
+
+var c int
+`)
+	probe := &Analyzer{Name: "somerule", Doc: "test probe", Run: func(p *Pass) {
+		f := p.Pkg.Files[0]
+		for _, decl := range f.Decls {
+			p.Reportf(decl.Pos(), "probe finding")
+		}
+	}}
+	diags := Run([]*Package{pkg}, []*Analyzer{probe})
+	// Declarations sit on lines 4, 5 and 7. The line-3 directive covers 4,
+	// the trailing directive covers 5 (and the blank line 6); line 7 survives.
+	if len(diags) != 1 || diags[0].Line != 7 {
+		t.Fatalf("diags = %v, want exactly one finding on line 7", diags)
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{File: "x.go", Line: 3, Col: 7, Rule: "lockpair", Message: "m"}
+	if got, wantStr := d.String(), "x.go:3:7: lockpair: m"; got != wantStr {
+		t.Fatalf("String() = %q, want %q", got, wantStr)
+	}
+}
+
+func TestRealTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.Load(filepath.Join(loader.ModuleDir, "..."))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	diags := Run(pkgs, Analyzers())
+	if len(diags) > 0 {
+		var sb strings.Builder
+		for _, d := range diags {
+			fmt.Fprintf(&sb, "\n  %s", d)
+		}
+		t.Fatalf("module tree has %d unsuppressed findings:%s", len(diags), sb.String())
+	}
+}

@@ -1,0 +1,373 @@
+// loader.go loads and type-checks the packages dslint analyzes, using
+// only the standard library (go/parser + go/types). Packages inside the
+// current module are type-checked from source, in dependency order, via a
+// memoizing importer; standard-library imports resolve through the
+// toolchain's export data (go/importer), falling back to type-checking
+// the stdlib from source when export data is unavailable.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked analysis unit. In-package _test.go
+// files are included (analyzers like sleepysync exist for them); an
+// external test package (package foo_test) becomes its own Package.
+type Package struct {
+	Path  string // import path ("dsketch/internal/pool")
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	// ModulePath is the module the package belongs to; analyzers use it
+	// to decide what counts as "this module's own API".
+	ModulePath string
+}
+
+// Loader expands package patterns and type-checks them. It is not safe
+// for concurrent use.
+type Loader struct {
+	ModulePath string
+	ModuleDir  string
+
+	cwd  string
+	fset *token.FileSet
+	std  types.Importer
+	srcF types.ImporterFrom // source-importer fallback
+
+	importable map[string]*types.Package // memoized non-test variants
+	importing  map[string]bool           // cycle detection
+}
+
+// NewLoader locates the enclosing module by walking up from dir to the
+// nearest go.mod.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modDir := abs
+	for {
+		if _, err := os.Stat(filepath.Join(modDir, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(modDir)
+		if parent == modDir {
+			return nil, fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+		modDir = parent
+	}
+	modPath, err := modulePath(filepath.Join(modDir, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	l := &Loader{
+		ModulePath: modPath,
+		ModuleDir:  modDir,
+		cwd:        abs,
+		fset:       fset,
+		std:        importer.Default(),
+		importable: make(map[string]*types.Package),
+		importing:  make(map[string]bool),
+	}
+	if from, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom); ok {
+		l.srcF = from
+	}
+	return l, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// Load expands patterns ("./...", "./internal/pool", "internal/lint/...")
+// relative to the directory the loader was created in and returns the
+// type-checked packages, sorted by import path. Directories named
+// testdata, vendor, or starting with "." or "_" are skipped during
+// recursive expansion, but may be named explicitly.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirs, err := l.expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		loaded, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, loaded...)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// expand resolves patterns to the list of candidate package directories.
+func (l *Loader) expand(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if pat == "..." {
+			pat, recursive = ".", true
+		} else if strings.HasSuffix(pat, "/...") {
+			pat, recursive = strings.TrimSuffix(pat, "/..."), true
+		}
+		root := pat
+		if !filepath.IsAbs(root) {
+			root = filepath.Join(l.cwd, root)
+		}
+		root = filepath.Clean(root)
+		info, err := os.Stat(root)
+		if err != nil || !info.IsDir() {
+			return nil, fmt.Errorf("lint: no such directory: %s", pat)
+		}
+		if !recursive {
+			add(root)
+			continue
+		}
+		err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && goFileName(e.Name()) {
+			return true
+		}
+	}
+	return false
+}
+
+func goFileName(name string) bool {
+	return strings.HasSuffix(name, ".go") &&
+		!strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_")
+}
+
+// importPathFor maps a directory inside the module to its import path.
+func (l *Loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.ModuleDir, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside module %s", dir, l.ModuleDir)
+	}
+	if rel == "." {
+		return l.ModulePath, nil
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// dirFor maps a module-local import path back to its directory.
+func (l *Loader) dirFor(path string) string {
+	if path == l.ModulePath {
+		return l.ModuleDir
+	}
+	rel := strings.TrimPrefix(path, l.ModulePath+"/")
+	return filepath.Join(l.ModuleDir, filepath.FromSlash(rel))
+}
+
+// parseDir parses the directory's Go files into three groups: regular
+// files, in-package test files, and external (package foo_test) files.
+func (l *Loader) parseDir(dir string) (files, inTests, extTests []*ast.File, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && goFileName(e.Name()) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var pkgName string
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		switch {
+		case !strings.HasSuffix(name, "_test.go"):
+			if pkgName == "" {
+				pkgName = f.Name.Name
+			}
+			files = append(files, f)
+		case strings.HasSuffix(f.Name.Name, "_test"):
+			extTests = append(extTests, f)
+		default:
+			inTests = append(inTests, f)
+		}
+	}
+	return files, inTests, extTests, nil
+}
+
+// loadDir type-checks one directory into one or two Packages (the package
+// itself plus, if present, its external test package).
+func (l *Loader) loadDir(dir string) ([]*Package, error) {
+	path, err := l.importPathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	files, inTests, extTests, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files)+len(inTests)+len(extTests) == 0 {
+		return nil, nil
+	}
+	var pkgs []*Package
+	if len(files)+len(inTests) > 0 {
+		// The analysis variant includes in-package test files; the
+		// importable (memoized) variant built by importPkg does not, so
+		// importers of this package never see test-only symbols.
+		all := append(append([]*ast.File(nil), files...), inTests...)
+		tp, info, err := l.check(path, all)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, &Package{
+			Path: path, Dir: dir, Fset: l.fset, Files: all,
+			Types: tp, Info: info, ModulePath: l.ModulePath,
+		})
+	}
+	if len(extTests) > 0 {
+		tp, info, err := l.check(path+"_test", extTests)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, &Package{
+			Path: path + "_test", Dir: dir, Fset: l.fset, Files: extTests,
+			Types: tp, Info: info, ModulePath: l.ModulePath,
+		})
+	}
+	return pkgs, nil
+}
+
+// check type-checks files as package path, resolving imports through the
+// loader. Type errors fail the load: dslint expects a tree that already
+// builds (run go vet / go build first).
+func (l *Loader) check(path string, files []*ast.File) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var firstErr error
+	cfg := &types.Config{
+		Importer: importerFunc(l.importPkg),
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tp, err := cfg.Check(path, l.fset, files, info)
+	if firstErr != nil {
+		return nil, nil, fmt.Errorf("lint: type-checking %s: %w", path, firstErr)
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	return tp, info, nil
+}
+
+// importPkg resolves one import: module-local packages are type-checked
+// from source (memoized, non-test files only); everything else goes to
+// the stdlib importer.
+func (l *Loader) importPkg(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := l.importable[path]; ok {
+		return p, nil
+	}
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		if l.importing[path] {
+			return nil, fmt.Errorf("import cycle through %s", path)
+		}
+		l.importing[path] = true
+		defer delete(l.importing, path)
+		dir := l.dirFor(path)
+		files, _, _, err := l.parseDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if len(files) == 0 {
+			return nil, fmt.Errorf("no Go files in %s", dir)
+		}
+		tp, _, err := l.check(path, files)
+		if err != nil {
+			return nil, err
+		}
+		l.importable[path] = tp
+		return tp, nil
+	}
+	p, err := l.std.Import(path)
+	if err != nil && l.srcF != nil {
+		// Export data unavailable (e.g. a stripped-down toolchain):
+		// type-check the dependency from GOROOT source instead.
+		p, err = l.srcF.ImportFrom(path, l.ModuleDir, 0)
+	}
+	if err != nil {
+		return nil, err
+	}
+	l.importable[path] = p
+	return p, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

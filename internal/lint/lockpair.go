@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockPair flags a mutex Lock (or RLock) with no matching Unlock
+// (RUnlock) on the same receiver expression anywhere in the same
+// function — deferred or direct. Cross-function lock handoff is a
+// deliberate design decision, and the code must say so with a
+// //lint:ignore lockpair <reason> directive.
+var LockPair = &Analyzer{
+	Name: "lockpair",
+	Doc:  "mutex Lock without a matching same-function (or deferred) Unlock",
+	Run:  runLockPair,
+}
+
+// lockMethodPair maps an acquire method to its release method.
+var lockMethodPair = map[string]string{
+	"Lock":  "Unlock",
+	"RLock": "RUnlock",
+}
+
+func runLockPair(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		for _, fb := range functionBodies(f) {
+			// released["Unlock\x00mu"] = true when mu.Unlock() appears
+			// anywhere in this function (including deferred).
+			released := make(map[string]bool)
+			type acquire struct {
+				call *ast.CallExpr
+				recv string
+				want string
+			}
+			var acquires []acquire
+			walkShallow(fb.body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+					return true
+				}
+				recv := types.ExprString(sel.X)
+				switch name := fn.Name(); name {
+				case "Lock", "RLock":
+					acquires = append(acquires, acquire{call, recv, lockMethodPair[name]})
+				case "Unlock", "RUnlock":
+					released[name+"\x00"+recv] = true
+				}
+				return true
+			})
+			for _, a := range acquires {
+				if !released[a.want+"\x00"+a.recv] {
+					p.Reportf(a.call.Pos(),
+						"%s.%s acquired but never %s'd in %s (defer the release or document the handoff)",
+						a.recv, lockName(a.want), a.want, fb.name)
+				}
+			}
+		}
+	}
+}
+
+// lockName maps a release method back to its acquire name for messages.
+func lockName(unlock string) string {
+	if unlock == "RUnlock" {
+		return "RLock"
+	}
+	return "Lock"
+}

@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MutexCopy flags signatures that move synchronization state by value:
+// parameters, results and method receivers whose type contains a
+// sync.Mutex, sync.WaitGroup, other sync primitive, or a sync/atomic
+// value type. A copied lock guards nothing — both copies start unlocked
+// and diverge — which is exactly the kind of silent invariant break a
+// refactor of the pool/delegation layers could introduce.
+var MutexCopy = &Analyzer{
+	Name: "mutexcopy",
+	Doc:  "sync.Mutex/WaitGroup (or types containing them) passed, returned or received by value",
+	Run:  runMutexCopy,
+}
+
+func runMutexCopy(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ft *ast.FuncType
+			var recv *ast.FieldList
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				ft, recv = fn.Type, fn.Recv
+			case *ast.FuncLit:
+				ft = fn.Type
+			default:
+				return true
+			}
+			if recv != nil {
+				p.checkLockFields(recv, "receiver copies lock value")
+			}
+			p.checkLockFields(ft.Params, "parameter passes lock by value")
+			p.checkLockFields(ft.Results, "result returns lock by value")
+			return true
+		})
+	}
+}
+
+func (p *Pass) checkLockFields(fl *ast.FieldList, what string) {
+	if fl == nil {
+		return
+	}
+	for _, field := range fl.List {
+		t := p.Pkg.Info.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if lock := lockPath(t, nil); lock != "" {
+			p.Reportf(field.Type.Pos(), "%s: %s contains %s (use a pointer)",
+				what, t.String(), lock)
+		}
+	}
+}
+
+// lockPath returns the name of the first synchronization primitive the
+// type contains by value (recursing through structs, arrays and named
+// types), or "" when the type is safely copyable. Pointers, slices, maps
+// and channels do not copy their referent, so recursion stops there.
+func lockPath(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+	switch u := t.(type) {
+	case *types.Named:
+		obj := u.Obj()
+		if obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync":
+				switch obj.Name() {
+				case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Map", "Pool":
+					return "sync." + obj.Name()
+				}
+			case "sync/atomic":
+				// The atomic value types rely on a single, stable
+				// memory location; a copy silently forks the state.
+				return "atomic." + obj.Name()
+			}
+		}
+		return lockPath(u.Underlying(), seen)
+	case *types.Alias:
+		return lockPath(types.Unalias(u), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if s := lockPath(u.Field(i).Type(), seen); s != "" {
+				return s
+			}
+		}
+	case *types.Array:
+		return lockPath(u.Elem(), seen)
+	}
+	return ""
+}

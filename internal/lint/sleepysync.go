@@ -1,0 +1,39 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// SleepySync flags time.Sleep in _test.go files. A sleep in a test is
+// almost always standing in for synchronization ("surely 50ms is enough
+// for the worker to drain"), which makes the suite flaky on loaded CI
+// machines and slow everywhere else. Tests should block on channels or
+// poll with a deadline via testutil.WaitUntil; deliberate pacing (rate
+// limiting a generator, say) takes a //lint:ignore sleepysync <reason>.
+var SleepySync = &Analyzer{
+	Name: "sleepysync",
+	Doc:  "time.Sleep used as synchronization in a _test.go file",
+	Run:  runSleepySync,
+}
+
+func runSleepySync(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		name := p.Pkg.Fset.Position(f.Pos()).Filename
+		if !strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isPkgFunc(info, call, "time", "Sleep") {
+				p.Reportf(call.Pos(),
+					"time.Sleep in a test is flaky synchronization; block on a channel or use testutil.WaitUntil")
+			}
+			return true
+		})
+	}
+}

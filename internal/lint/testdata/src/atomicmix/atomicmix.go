@@ -1,0 +1,53 @@
+// Package atomicmix is a golden fixture for the atomicmix analyzer.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits  uint64
+	cold  uint64 // never touched atomically: plain access is fine
+	slots []uint64
+}
+
+func (c *counters) Inc() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func (c *counters) MixedRead() uint64 {
+	return c.hits // want "non-atomic access of field hits"
+}
+
+func (c *counters) MixedWrite() {
+	c.hits = 0 // want "non-atomic access of field hits"
+}
+
+func (c *counters) ColdRead() uint64 {
+	return c.cold // ok: cold is never accessed atomically
+}
+
+func (c *counters) SlotAdd(i int) {
+	atomic.AddUint64(&c.slots[i], 1)
+}
+
+func (c *counters) MixedSlotRead(i int) uint64 {
+	return c.slots[i] // want "non-atomic access of field slots"
+}
+
+func (c *counters) Init() {
+	c.slots = make([]uint64, 8) // ok: whole-field initialization
+}
+
+func (c *counters) Cap() int {
+	return len(c.slots) // ok: slice-header read
+}
+
+func (c *counters) ResetAll() {
+	for i := range c.slots { // ok: key-only range reads the length
+		atomic.StoreUint64(&c.slots[i], 0)
+	}
+}
+
+func (c *counters) QuiescentSum() uint64 {
+	//lint:ignore atomicmix fixture: quiescent read after all writers joined
+	return c.hits
+}

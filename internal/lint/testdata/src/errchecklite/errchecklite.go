@@ -1,0 +1,61 @@
+// Package errchecklite is a golden fixture for the errchecklite
+// analyzer. The fixture package lives under the module path, so its own
+// error-returning functions count as module-own API and are checked in
+// every statement context.
+package errchecklite
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+// Flush is a module-own API returning an error.
+func Flush() error { return errors.New("flush failed") }
+
+// Close is a module-own API returning a value and an error.
+func Close() (int, error) { return 0, errors.New("close failed") }
+
+// Report returns no error; dropping its result is fine.
+func Report() int { return 1 }
+
+func dropsModuleOwn() {
+	Flush() // want "error result of .*Flush is dropped"
+}
+
+func dropsSecondResult() {
+	Close() // want "error result of .*Close is dropped"
+}
+
+func dropsInDefer() {
+	defer Flush() // want "error result of .*Flush is dropped"
+}
+
+func dropsInGo() {
+	go Flush() // want "error result of .*Flush is dropped"
+}
+
+func handles() error {
+	if err := Flush(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func explicitDiscard() {
+	_ = Flush() // ok: assigning to _ is an explicit decision
+	_, _ = Close()
+}
+
+func errorless() {
+	Report() // ok: no error result to drop
+}
+
+func notMainSoStdlibUnchecked() {
+	fmt.Fprintln(os.Stderr, "hi") // ok: stdlib set only applies in package main
+}
+
+func suppressedDrop() {
+	//lint:ignore errchecklite fixture: best-effort flush on shutdown
+	Flush()
+}

@@ -1,0 +1,29 @@
+// Command errcheckmain is a golden fixture proving that errchecklite
+// widens its scope inside package main: dropped errors from io, os,
+// bufio, net/http and the fmt.Fprint family are findings here.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	f, err := os.Create("out.txt")
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(f, "header\n") // want "error result of fmt.Fprintf is dropped"
+	f.Close()                  // want "error result of .*Close.*is dropped"
+
+	fmt.Printf("done\n") // ok: only the Fprint family is checked
+
+	var w io.Writer = f
+	io.WriteString(w, "x") // want "error result of io.WriteString is dropped"
+
+	_, _ = fmt.Fprintln(os.Stdout, "bye") // ok: explicit discard
+
+	//lint:ignore errchecklite fixture: stderr write failure has no recovery
+	fmt.Fprintln(os.Stderr, "warn")
+}

@@ -1,0 +1,38 @@
+// Package goroutinelifecycle is a golden fixture for the
+// goroutinelifecycle analyzer; the analyzer is scoped by package path
+// and matches this fixture by its directory name.
+package goroutinelifecycle
+
+import "sync"
+
+func untracked(ch chan int) {
+	go func() { ch <- 1 }() // want "not tied to a lifecycle"
+}
+
+func untrackedCall(f func()) {
+	go f() // want "not tied to a lifecycle"
+}
+
+func trackedByAdd(wg *sync.WaitGroup, ch chan int) {
+	wg.Add(1)
+	go func() { // ok: Add before the spawn
+		defer wg.Done()
+		ch <- 1
+	}()
+}
+
+func trackedByDeferredDone(wg *sync.WaitGroup) {
+	go func() { // ok: the goroutine itself carries the deferred Done
+		defer wg.Done()
+	}()
+}
+
+func addAfterSpawnIsTooLate(wg *sync.WaitGroup) {
+	go func() { wg.Wait() }() // want "not tied to a lifecycle"
+	wg.Add(1)
+}
+
+func watcher(wg *sync.WaitGroup, done chan struct{}) {
+	//lint:ignore goroutinelifecycle fixture: completion watcher exits with the wait itself
+	go func() { wg.Wait(); close(done) }()
+}

@@ -1,0 +1,69 @@
+// Package lockpair is a golden fixture for the lockpair analyzer.
+package lockpair
+
+import "sync"
+
+type store struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+func leaks(s *store) {
+	s.mu.Lock() // want "never Unlock'd"
+	s.n++
+}
+
+func balanced(s *store) {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+func deferred(s *store) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}
+
+func branches(s *store) {
+	s.mu.Lock()
+	if s.n > 0 {
+		s.mu.Unlock()
+		return
+	}
+	s.n++
+	s.mu.Unlock()
+}
+
+func readLeaks(s *store) int {
+	s.rw.RLock() // want "never RUnlock'd"
+	return s.n
+}
+
+func wrongPair(s *store) int {
+	s.rw.RLock() // want "never RUnlock'd"
+	defer s.rw.Unlock()
+	return s.n
+}
+
+func readBalanced(s *store) int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.n
+}
+
+type embedded struct {
+	sync.Mutex
+	n int
+}
+
+func promotedLeak(e *embedded) {
+	e.Lock() // want "never Unlock'd"
+	e.n++
+}
+
+func lockAndHandOff(s *store) {
+	//lint:ignore lockpair fixture: lock intentionally handed to the caller
+	s.mu.Lock()
+}

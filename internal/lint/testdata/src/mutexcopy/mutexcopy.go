@@ -1,0 +1,53 @@
+// Package mutexcopy is a golden fixture for the mutexcopy analyzer.
+// Lines annotated with want carry an expected diagnostic; unannotated
+// occurrences must stay silent.
+package mutexcopy
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type deepGuarded struct {
+	inner guarded // lock nested one struct down
+}
+
+func byValue(g guarded) int { // want "parameter passes lock by value"
+	return g.n
+}
+
+func byPointer(g *guarded) int { // ok: pointer does not copy the lock
+	return g.n
+}
+
+func deepByValue(d deepGuarded) int { // want "parameter passes lock by value"
+	return d.inner.n
+}
+
+func returnsLock() sync.Mutex { // want "result returns lock by value"
+	var mu sync.Mutex
+	return mu
+}
+
+func (g guarded) valueReceiver() int { // want "receiver copies lock value"
+	return g.n
+}
+
+func (g *guarded) pointerReceiver() int { // ok
+	return g.n
+}
+
+func waitGroupByValue(wg sync.WaitGroup) { // want "parameter passes lock by value"
+	wg.Wait()
+}
+
+func sliceOfGuarded(gs []guarded) int { // ok: the slice header is copied, not the locks
+	return len(gs)
+}
+
+//lint:ignore mutexcopy fixture: proves a reasoned suppression is honored
+func suppressedCopy(g guarded) int {
+	return g.n
+}

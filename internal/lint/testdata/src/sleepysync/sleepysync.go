@@ -1,0 +1,14 @@
+// Package sleepysync is a golden fixture for the sleepysync analyzer,
+// which only fires inside _test.go files.
+package sleepysync
+
+import "time"
+
+// Backoff sleeps in production code, which sleepysync deliberately
+// does not flag: the rule targets timing-dependent tests.
+func Backoff() {
+	time.Sleep(time.Millisecond) // ok: not a test file
+}
+
+// Ready is a trivial condition for the test fixture to poll.
+func Ready() bool { return true }

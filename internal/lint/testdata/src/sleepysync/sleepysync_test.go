@@ -1,0 +1,30 @@
+package sleepysync
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSleepToSynchronize(t *testing.T) {
+	time.Sleep(10 * time.Millisecond) // want "time.Sleep in a test is flaky synchronization"
+	if !Ready() {
+		t.Fatal("not ready")
+	}
+}
+
+func TestPollWithoutSleep(t *testing.T) {
+	deadline := time.Now().Add(time.Second)
+	for !Ready() {
+		if time.Now().After(deadline) {
+			t.Fatal("timed out")
+		}
+	}
+}
+
+func TestDeliberateRateLimit(t *testing.T) {
+	//lint:ignore sleepysync fixture: test exercises a real-time rate limit
+	time.Sleep(time.Millisecond)
+	if !Ready() {
+		t.Fatal("not ready")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dsketch/internal/delegation"
+	"dsketch/internal/testutil"
 )
 
 func newDS(threads int) *delegation.DS {
@@ -59,6 +60,23 @@ func TestPoolLiveQueryAndBatch(t *testing.T) {
 	if len(out2) != 2 || out2[0] != 42 || out2[1] != 2 {
 		t.Fatalf("QueryBatch append = %v, want [42 2]", out2)
 	}
+}
+
+func TestPoolInsertEventuallyVisibleWithoutQuiesce(t *testing.T) {
+	// Insertions are buffered per shard, but workers are woken on enqueue:
+	// a live query must see the counts without an explicit Quiesce barrier,
+	// just not necessarily on the first probe.
+	ds := newDS(2)
+	p := New(ds, Options{})
+	defer p.Close()
+	const key = uint64(77)
+	const n = uint64(50)
+	for i := uint64(0); i < n; i++ {
+		p.Insert(key)
+	}
+	testutil.WaitUntil(t, 5*time.Second, func() bool {
+		return p.Query(key) == n
+	})
 }
 
 func TestPoolZeroCountInsertIsNoOp(t *testing.T) {

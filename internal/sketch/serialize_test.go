@@ -61,7 +61,9 @@ func TestDecodeRejectsTruncated(t *testing.T) {
 	s := NewCountMin(Config{Depth: 2, Width: 32, Seed: 1})
 	s.Insert(1, 1)
 	var buf bytes.Buffer
-	s.Encode(&buf)
+	if err := s.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
 	trunc := buf.Bytes()[:buf.Len()-8]
 	if _, err := DecodeCountMin(bytes.NewReader(trunc)); err == nil {
 		t.Fatal("expected error on truncated input")

@@ -1,0 +1,117 @@
+package spsc
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestStackNodeHandoffReuseStress mirrors the delegation filter handback
+// protocol under the race detector: each producer owns one node (as each
+// dfilter owns its stack node), writes its payload plainly, pushes, and
+// spins until the consumer drains the node and hands it back. The plain
+// payload accesses are only safe if Push/Pop establish happens-before
+// through the stack head — which is exactly what -race verifies here.
+func TestStackNodeHandoffReuseStress(t *testing.T) {
+	const producers = 4
+	const rounds = 5000
+	type dfilter struct {
+		payload uint64
+		back    atomic.Bool
+	}
+	var s Stack
+	var drained atomic.Uint64
+	stop := make(chan struct{})
+
+	var consumer sync.WaitGroup
+	consumer.Add(1)
+	go func() {
+		defer consumer.Done()
+		drain := func() {
+			for n := s.Pop(); n != nil; n = s.Pop() {
+				f := n.Value().(*dfilter)
+				drained.Add(f.payload) // plain read across the handoff
+				f.back.Store(true)
+			}
+		}
+		for {
+			drain()
+			select {
+			case <-stop:
+				drain()
+				return
+			default:
+				runtime.Gosched()
+			}
+		}
+	}()
+
+	var prods sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		prods.Add(1)
+		go func() {
+			defer prods.Done()
+			f := &dfilter{}
+			n := NewNode(f)
+			for r := 0; r < rounds; r++ {
+				f.payload = 1 // plain write before the push publishes it
+				f.back.Store(false)
+				s.Push(n)
+				for !f.back.Load() {
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+	prods.Wait()
+	close(stop)
+	consumer.Wait()
+	if got := drained.Load(); got != producers*rounds {
+		t.Fatalf("drained %d handoffs, want %d (lost or duplicated nodes)",
+			got, producers*rounds)
+	}
+}
+
+// TestRingIrregularProgressStress forces wrap-arounds with mismatched
+// producer/consumer burst sizes so head and tail chase each other across
+// the full index space; values must still arrive in order, exactly once.
+func TestRingIrregularProgressStress(t *testing.T) {
+	r := NewRing(8)
+	const n = 100000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		burst := 1
+		for i := uint64(0); i < n; {
+			for b := 0; b < burst && i < n; b++ {
+				if !r.Enqueue(i) {
+					runtime.Gosched()
+					break
+				}
+				i++
+			}
+			burst = burst%7 + 1
+		}
+	}()
+	burst := 3
+	for i := uint64(0); i < n; {
+		for b := 0; b < burst && i < n; b++ {
+			v, ok := r.Dequeue()
+			if !ok {
+				runtime.Gosched()
+				break
+			}
+			if v != i {
+				t.Fatalf("out of order: got %d want %d", v, i)
+			}
+			i++
+		}
+		burst = burst%5 + 1
+	}
+	wg.Wait()
+	if r.Len() != 0 {
+		t.Fatalf("ring should be empty, Len=%d", r.Len())
+	}
+}

@@ -1,0 +1,27 @@
+// Package testutil holds small helpers shared by the repository's test
+// suites. It exists so tests never reach for time.Sleep as a
+// synchronization primitive (which dslint's sleepysync rule forbids in
+// _test.go files): a test waiting for a concurrent effect polls a
+// condition with a deadline instead of guessing a delay.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// WaitUntil polls cond until it returns true, failing the test if the
+// deadline passes first. Polling yields the processor between probes so
+// the goroutines under test make progress even with GOMAXPROCS=1.
+func WaitUntil(t testing.TB, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("condition not reached within %v", timeout)
+		}
+		runtime.Gosched()
+		time.Sleep(250 * time.Microsecond)
+	}
+}

@@ -67,8 +67,12 @@ func TestReaderRejectsTruncatedHeader(t *testing.T) {
 func TestReadKeyEOF(t *testing.T) {
 	var buf bytes.Buffer
 	w, _ := NewWriter(&buf)
-	w.WriteKey(5)
-	w.Close()
+	if err := w.WriteKey(5); err != nil {
+		t.Fatalf("WriteKey: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
 	r, _ := NewReader(&buf)
 	if k, err := r.ReadKey(); err != nil || k != 5 {
 		t.Fatalf("first key: (%d,%v)", k, err)
@@ -157,6 +161,7 @@ func BenchmarkWriterThroughput(b *testing.B) {
 	w, _ := NewWriter(&buf)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		//lint:ignore errchecklite bytes.Buffer writes cannot fail; checking would skew the benchmark
 		w.WriteKey(uint64(i))
 	}
 }
