@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check ci vet build test race lint dslint bench
+.PHONY: check ci vet build test race chaos lint dslint bench
 
 ## check: everything CI runs — vet, build, tests, static analysis, and
 ## the -race stress suites for the concurrency-critical packages.
@@ -17,10 +17,16 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on -timeout=5m ./...
 
 race:
-	$(GO) test -race ./internal/pool ./internal/delegation ./internal/spsc ./internal/filter
+	$(GO) test -race -shuffle=on -timeout=5m ./internal/pool ./internal/delegation ./internal/spsc ./internal/filter
+
+## chaos: the fault-injection suites under -race — injected delays,
+## lost wakeups, worker panics, and overload shedding, each ending in a
+## graceful drain that must account every accepted insertion exactly.
+chaos:
+	$(GO) test -race -count=1 -timeout=5m -run '^TestChaos' ./internal/pool ./internal/delegation
 
 ## lint: go vet plus the repository's own concurrency-invariant
 ## analyzers (cmd/dslint). Fails on any unsuppressed diagnostic.

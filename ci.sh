@@ -4,12 +4,15 @@
 #
 #   build   — every package compiles
 #   vet     — the toolchain's own static checks
-#   test    — the full unit/property suite
+#   test    — the full unit/property suite (shuffled order, 5m timeout)
 #   race    — the -race stress suites for the concurrency-critical
 #             packages (pool, delegation, spsc, filter)
+#   chaos   — the fault-injection suites under -race: injected delays,
+#             lost wakeups, worker panics, and overload shedding must
+#             never lose an accepted insertion across a graceful drain
 #   dslint  — the repository's concurrency-invariant analyzers
 #             (internal/lint): mutexcopy, lockpair, atomicmix,
-#             goroutinelifecycle, sleepysync, errchecklite
+#             goroutinelifecycle, recoverguard, sleepysync, errchecklite
 set -eu
 
 GO=${GO:-go}
@@ -21,10 +24,13 @@ echo "==> vet"
 $GO vet ./...
 
 echo "==> test"
-$GO test ./...
+$GO test -shuffle=on -timeout=5m ./...
 
 echo "==> race stress (pool, delegation, spsc, filter)"
-$GO test -race -count=1 ./internal/pool ./internal/delegation ./internal/spsc ./internal/filter
+$GO test -race -count=1 -shuffle=on -timeout=5m ./internal/pool ./internal/delegation ./internal/spsc ./internal/filter
+
+echo "==> chaos (fault injection under -race)"
+$GO test -race -count=1 -timeout=5m -run '^TestChaos' ./internal/pool ./internal/delegation
 
 echo "==> dslint"
 $GO run ./cmd/dslint ./...

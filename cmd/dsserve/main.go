@@ -14,6 +14,14 @@
 //	GET  /topk?k=10        (requires -topk)
 //	GET  /stats
 //
+// Overload and shutdown semantics: each request gets a deadline
+// (-reqtimeout); an insertion refused under overload (-policy shed) or
+// during shutdown answers 503, and a request that outlives its deadline
+// answers 504. On SIGINT/SIGTERM the server stops accepting connections,
+// finishes in-flight requests, then drains the pool (bounded by
+// -draintimeout) so every accepted insertion is flushed into the sketch
+// before the process exits.
+//
 // Usage:
 //
 //	dsserve -addr :8080 -threads 4 -topk
@@ -23,22 +31,106 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
+	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
+	"syscall"
 	"time"
 
 	"dsketch"
 )
 
+// config collects everything main parses from flags, so tests can build
+// a server without going through the flag package.
+type config struct {
+	threads      int
+	width        int
+	depth        int
+	topk         bool
+	batch        int
+	queue        int
+	policy       string // "block" or "shed"
+	idleHelp     time.Duration
+	reqTimeout   time.Duration // per-request operation deadline (0 = none)
+	drainTimeout time.Duration // bound on the shutdown drain
+}
+
 // server is the HTTP surface over the pool.
 type server struct {
 	pool *dsketch.Pool
-	topk bool
+	cfg  config
+}
+
+// newServer validates cfg and builds the pool under it.
+func newServer(cfg config) (*server, error) {
+	var policy dsketch.OverloadPolicy
+	switch cfg.policy {
+	case "", "block":
+		policy = dsketch.OverloadBlock
+	case "shed":
+		policy = dsketch.OverloadShed
+	default:
+		return nil, fmt.Errorf("dsserve: -policy must be block or shed, got %q", cfg.policy)
+	}
+	pool, err := dsketch.NewPoolChecked(dsketch.PoolConfig{
+		Config: dsketch.Config{
+			Threads:           cfg.threads,
+			Width:             cfg.width,
+			Depth:             cfg.depth,
+			TrackHeavyHitters: cfg.topk,
+		},
+		BatchSize:     cfg.batch,
+		QueueCapacity: cfg.queue,
+		Policy:        policy,
+		IdleHelp:      cfg.idleHelp,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &server{pool: pool, cfg: cfg}, nil
+}
+
+// mux routes the four endpoints.
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/insert", s.handleInsert)
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/topk", s.handleTopK)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+// opCtx derives the pool-operation context for one request: the
+// request's own context (cancelled when the client goes away) bounded
+// by the configured per-request timeout.
+func (s *server) opCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.reqTimeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.cfg.reqTimeout)
+}
+
+// failOp translates a pool-operation error to an HTTP status: refused
+// work (overload shedding, shutdown) is 503 so load balancers retry
+// elsewhere; a blown deadline is 504.
+func failOp(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, dsketch.ErrOverloaded) || errors.Is(err, dsketch.ErrClosed):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, "operation deadline exceeded", http.StatusGatewayTimeout)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
 }
 
 // writef writes one formatted response line; a false return means the
@@ -79,7 +171,14 @@ func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.pool.InsertCount(key, count)
+	ctx, cancel := s.opCtx(r)
+	defer cancel()
+	if err := s.pool.InsertCountCtx(ctx, key, count); err != nil {
+		failOp(w, err)
+		return
+	}
+	// 202 is the durability contract the shutdown test leans on: once a
+	// client has seen it, the insertion survives a graceful drain.
 	w.WriteHeader(http.StatusAccepted)
 }
 
@@ -98,12 +197,19 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		keys[i] = k
 	}
-	if len(keys) == 1 {
-		writef(w, "%d\n", s.pool.Query(keys[0]))
+	ctx, cancel := s.opCtx(r)
+	defer cancel()
+	// A multi-key query is answered by one worker in a single pass.
+	counts, err := s.pool.QueryBatchCtx(ctx, keys)
+	if err != nil {
+		failOp(w, err)
 		return
 	}
-	// A multi-key query is answered by one worker in a single pass.
-	for i, c := range s.pool.QueryBatch(keys) {
+	if len(keys) == 1 {
+		writef(w, "%d\n", counts[0])
+		return
+	}
+	for i, c := range counts {
 		if !writef(w, "%s %d\n", raws[i], c) {
 			return
 		}
@@ -111,7 +217,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
-	if !s.topk {
+	if !s.cfg.topk {
 		http.Error(w, "server started without -topk", http.StatusNotFound)
 		return
 	}
@@ -142,12 +248,48 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		m.Inserts, m.Queries, m.QueryKeys, m.Backpressure, m.Quiesces) {
 		return
 	}
+	if !writef(w, "dropped=%d rejected=%d queue_depth=%d worker_panics=%d\n",
+		m.Dropped, m.Rejected, m.QueueDepth, m.WorkerPanics) {
+		return
+	}
 	if !writef(w, "batches=%d batch_mean=%.1f batch_max=%d depth_mean=%.1f depth_max=%d\n",
 		m.Batches, m.BatchMean, m.BatchMax, m.DepthMean, m.DepthMax) {
 		return
 	}
 	writef(w, "enqueue_p50=%v enqueue_p99=%v enqueue_max=%v pause_mean=%v pause_max=%v\n",
 		m.EnqueueP50, m.EnqueueP99, m.EnqueueMax, m.PauseMean, m.PauseMax)
+}
+
+// serve runs the HTTP server on ln until ctx is cancelled, then performs
+// the graceful sequence: stop accepting and finish in-flight requests
+// (http.Server.Shutdown), drain the pool so every accepted insertion is
+// flushed into the sketch, and close it. Returns nil on a clean,
+// fully-drained exit. Split from main so the end-to-end test can drive
+// a real listener through a SIGTERM-style shutdown.
+func (s *server) serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{
+		Handler:           s.mux(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		// The listener failed before any shutdown was requested; the
+		// pool still holds accepted insertions, so drain it anyway.
+		s.pool.Close()
+		return err
+	case <-ctx.Done():
+	}
+	shCtx, cancel := context.WithTimeout(context.Background(), s.cfg.drainTimeout)
+	defer cancel()
+	err := srv.Shutdown(shCtx) // stop accepting, wait out in-flight requests
+	if derr := s.pool.Drain(shCtx); err == nil {
+		err = derr
+	}
+	s.pool.Close() // wait out any background drain; idempotent when clean
+	<-errc         // Serve has returned http.ErrServerClosed by now
+	return err
 }
 
 func main() {
@@ -159,33 +301,44 @@ func main() {
 		topk    = flag.Bool("topk", false, "enable the /topk endpoint")
 		batch   = flag.Int("batch", 256, "max insertions drained per chunk")
 		queue   = flag.Int("queue", 4096, "per-shard ingest buffer capacity")
-		idle    = flag.Duration("idlehelp", 100*time.Microsecond,
+		policy  = flag.String("policy", "block",
+			"full-buffer policy: block (backpressure) or shed (reject with 503)")
+		idle = flag.Duration("idlehelp", 100*time.Microsecond,
 			"idle worker helping period (0 busy-polls: lower latency, one core per idle worker)")
+		reqTimeout = flag.Duration("reqtimeout", 2*time.Second,
+			"per-request pool operation deadline (0 disables)")
+		drainTimeout = flag.Duration("draintimeout", 10*time.Second,
+			"bound on the graceful shutdown drain")
 	)
 	flag.Parse()
 
-	s := &server{
-		pool: dsketch.NewPool(dsketch.PoolConfig{
-			Config: dsketch.Config{
-				Threads:           *threads,
-				Width:             *width,
-				Depth:             *depth,
-				TrackHeavyHitters: *topk,
-			},
-			BatchSize:     *batch,
-			QueueCapacity: *queue,
-			IdleHelp:      *idle,
-		}),
-		topk: *topk,
+	s, err := newServer(config{
+		threads:      *threads,
+		width:        *width,
+		depth:        *depth,
+		topk:         *topk,
+		batch:        *batch,
+		queue:        *queue,
+		policy:       *policy,
+		idleHelp:     *idle,
+		reqTimeout:   *reqTimeout,
+		drainTimeout: *drainTimeout,
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("/insert", s.handleInsert)
-	mux.HandleFunc("/query", s.handleQuery)
-	mux.HandleFunc("/topk", s.handleTopK)
-	mux.HandleFunc("/stats", s.handleStats)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
 	log.Printf("dsserve: %d threads, %d bytes of sketch, listening on %s",
-		s.pool.Threads(), s.pool.MemoryBytes(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+		s.pool.Threads(), s.pool.MemoryBytes(), ln.Addr())
+	if err := s.serve(ctx, ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	log.Printf("dsserve: drained and exiting")
 }

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dsketch/internal/testutil"
+)
+
+func testConfig() config {
+	return config{
+		threads:      2,
+		width:        4096,
+		depth:        8,
+		batch:        64,
+		queue:        1024,
+		idleHelp:     100 * time.Microsecond,
+		reqTimeout:   2 * time.Second,
+		drainTimeout: 10 * time.Second,
+	}
+}
+
+func TestNewServerRejectsBadPolicy(t *testing.T) {
+	cfg := testConfig()
+	cfg.policy = "panic-and-pray"
+	if _, err := newServer(cfg); err == nil || !strings.Contains(err.Error(), "policy") {
+		t.Fatalf("newServer(bad policy) err = %v, want policy error", err)
+	}
+}
+
+func TestHandlersRoundTrip(t *testing.T) {
+	s, err := newServer(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.pool.Close()
+	mux := s.mux()
+
+	post := func(url string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, url, nil))
+		return rec
+	}
+	get := func(url string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+		return rec
+	}
+
+	if rec := post("/insert?key=7&count=5"); rec.Code != http.StatusAccepted {
+		t.Fatalf("insert status = %d, want 202", rec.Code)
+	}
+	rec := get("/query?key=7")
+	if rec.Code != http.StatusOK || strings.TrimSpace(rec.Body.String()) != "5" {
+		t.Fatalf("query = %d %q, want 200 \"5\"", rec.Code, rec.Body.String())
+	}
+	rec = get("/stats")
+	for _, frag := range []string{"dropped=", "rejected=", "queue_depth=", "worker_panics="} {
+		if !strings.Contains(rec.Body.String(), frag) {
+			t.Fatalf("/stats missing %q:\n%s", frag, rec.Body.String())
+		}
+	}
+}
+
+// TestGracefulShutdownKeepsAcceptedInserts is the SIGTERM end-to-end
+// test: real listener, concurrent HTTP producers, shutdown triggered
+// mid-traffic. Every insertion the server answered 202 for must be
+// queryable after serve returns — the drain may not lose updates
+// accepted before (or during) the shutdown.
+func TestGracefulShutdownKeepsAcceptedInserts(t *testing.T) {
+	s, err := newServer(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ctx cancellation stands in for the SIGTERM that
+	// signal.NotifyContext translates in main.
+	ctx, cancel := context.WithCancel(context.Background())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.serve(ctx, ln) }()
+
+	base := "http://" + ln.Addr().String()
+	keys := []uint64{101, 202, 303, 404}
+	accepted := make([]atomic.Uint64, len(keys))
+	var total atomic.Uint64
+
+	const producers = 4
+	var wg sync.WaitGroup
+	for g := 0; g < producers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			client := &http.Client{}
+			for i := 0; i < 3000; i++ {
+				ki := (g + i) % len(keys)
+				resp, err := client.Post(
+					fmt.Sprintf("%s/insert?key=%d", base, keys[ki]), "", nil)
+				if err != nil {
+					return // listener closed under us: shutdown reached
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				_ = resp.Body.Close()
+				if resp.StatusCode != http.StatusAccepted {
+					return // 503: the pool refused, shutdown reached
+				}
+				accepted[ki].Add(1)
+				total.Add(1)
+			}
+		}(g)
+	}
+
+	// Let real traffic land, then pull the plug mid-stream.
+	testutil.WaitUntil(t, 10*time.Second, func() bool { return total.Load() >= 500 })
+	cancel()
+	wg.Wait()
+	if err := <-serveErr; err != nil {
+		t.Fatalf("serve returned %v, want nil (clean drain)", err)
+	}
+
+	// The listener is gone but the handlers still answer (the pool
+	// serves queries quiescently after Close); verify through the same
+	// HTTP surface clients used. Two-sided check: every 202 the client
+	// saw must be queryable (per-key lower bound — a request can land
+	// server-side while shutdown eats the client's response, so exact
+	// equality is unknowable from the client), and the server-side
+	// accepted-op counter must equal the queried total exactly (the
+	// drain lost nothing and double-counted nothing).
+	mux := s.mux()
+	var queriedTotal uint64
+	for i, k := range keys {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(
+			http.MethodGet, fmt.Sprintf("/query?key=%d", k), nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("post-shutdown query status = %d", rec.Code)
+		}
+		got, err := strconv.ParseUint(strings.TrimSpace(rec.Body.String()), 10, 64)
+		if err != nil {
+			t.Fatalf("post-shutdown query body %q: %v", rec.Body.String(), err)
+		}
+		if want := accepted[i].Load(); got < want {
+			t.Fatalf("key %d: query = %d after drain, want at least the %d 202-accepted insertions",
+				k, got, want)
+		}
+		queriedTotal += got
+	}
+	if m := s.pool.Metrics(); queriedTotal != m.Inserts {
+		t.Fatalf("queried total %d != %d pool-accepted inserts: the drain lost or duplicated updates",
+			queriedTotal, m.Inserts)
+	}
+
+	// And post-shutdown insertions are refused with 503, not lost silently.
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/insert?key=101", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("post-shutdown insert status = %d, want 503", rec.Code)
+	}
+}

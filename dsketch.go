@@ -104,6 +104,33 @@ type Config struct {
 	TrackHeavyHitters bool
 }
 
+// Validate reports the first problem with cfg, or nil if every field is
+// usable. Zero values are always valid (they select the documented
+// defaults); Validate rejects values that are explicitly out of range —
+// negative sizes, a partial or out-of-range Epsilon/Delta pair, an
+// unknown Backend.
+func (cfg Config) Validate() error {
+	switch {
+	case cfg.Threads < 0:
+		return fmt.Errorf("dsketch: Threads must be >= 0 (0 selects the default), got %d", cfg.Threads)
+	case cfg.Width < 0:
+		return fmt.Errorf("dsketch: Width must be >= 0 (0 selects the default), got %d", cfg.Width)
+	case cfg.Depth < 0:
+		return fmt.Errorf("dsketch: Depth must be >= 0 (0 selects the default), got %d", cfg.Depth)
+	case cfg.FilterSize < 0:
+		return fmt.Errorf("dsketch: FilterSize must be >= 0 (0 selects the default), got %d", cfg.FilterSize)
+	case (cfg.Epsilon != 0) != (cfg.Delta != 0):
+		return fmt.Errorf("dsketch: Epsilon and Delta must be set together (got Epsilon=%v, Delta=%v)", cfg.Epsilon, cfg.Delta)
+	case cfg.Epsilon < 0 || cfg.Epsilon >= 1:
+		return fmt.Errorf("dsketch: Epsilon must be in (0, 1), got %v", cfg.Epsilon)
+	case cfg.Delta < 0 || cfg.Delta >= 1:
+		return fmt.Errorf("dsketch: Delta must be in (0, 1), got %v", cfg.Delta)
+	case cfg.Backend < BackendAugmented || cfg.Backend > BackendCountSketch:
+		return fmt.Errorf("dsketch: unknown Backend %d", cfg.Backend)
+	}
+	return nil
+}
+
 // Sketch is a Delegation Sketch shared by Config.Threads threads.
 type Sketch struct {
 	ds *delegation.DS

@@ -1,0 +1,129 @@
+package delegation
+
+// White-box chaos tests for the delegation layer's panic-repair
+// invariants: a panic interrupting an owner's filter drain must leave
+// the hand-off protocol recoverable — the filter back on the ready
+// stack, already-sunk entries retired — so that a recovery layer (the
+// pool's worker restart) can resume without losing or double counting
+// a single update. Run under -race via `make chaos`.
+
+import (
+	"runtime"
+	"testing"
+
+	"dsketch/internal/fault"
+)
+
+// TestChaosDrainIntoResumesWithoutDoubleCount interrupts drainInto
+// mid-sink and re-drains: entries sunk before the panic must not be
+// sunk again, entries after it must not be lost.
+func TestChaosDrainIntoResumesWithoutDoubleCount(t *testing.T) {
+	f := newDFilter(8)
+	for i := 1; i <= 8; i++ {
+		f.insert(uint64(i), uint64(i)*10)
+	}
+	if !f.full() {
+		t.Fatal("filter should be full after capacity inserts")
+	}
+	got := make(map[uint64]uint64)
+	sunk := 0
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("interrupted drain did not panic")
+			}
+		}()
+		f.drainInto(func(k, c uint64) {
+			if sunk == 3 {
+				panic("injected mid-drain fault")
+			}
+			sunk++
+			got[k] += c
+		})
+	}()
+	if f.size.Load() == 0 {
+		t.Fatal("interrupted drain handed the filter back early")
+	}
+	f.drainInto(func(k, c uint64) { got[k] += c }) // the resumed drain
+	for i := uint64(1); i <= 8; i++ {
+		if got[i] != i*10 {
+			t.Fatalf("key %d: drained %d total, want exactly %d", i, got[i], i*10)
+		}
+	}
+	if f.size.Load() != 0 {
+		t.Fatal("resumed drain did not hand the filter back")
+	}
+}
+
+// TestChaosDrainPanicRepushesFilter runs the full hand-off under an
+// injected owner-side panic: producer thread 1 fills a filter owned by
+// thread 0 and spins on the hand-back; owner 0's first drain attempt
+// panics. The repair (re-push in drainReady) must leave the producer
+// un-stranded: a later Help(0) re-drains and releases it, and every
+// insertion counts exactly once.
+func TestChaosDrainPanicRepushesFilter(t *testing.T) {
+	in := fault.New(1)
+	in.PanicAt("drain", 1)
+	d := New(Config{Threads: 2, Depth: 8, Width: 1 << 12, Seed: 1, Backend: BackendCountMin})
+	d.SetHooks(Hooks{BeforeFilterDrain: in.Hook("drain")})
+
+	// Collect exactly one filter's worth of distinct keys owned by
+	// thread 0, so the producer's last insert triggers the hand-off.
+	keys := make([]uint64, 0, d.cfg.FilterSize)
+	for k := uint64(1); len(keys) < cap(keys); k++ {
+		if d.Owner(k) == 0 {
+			keys = append(keys, k)
+		}
+	}
+
+	done := make(chan struct{})
+	go func() { // producer: thread 1
+		defer close(done)
+		for _, k := range keys {
+			d.InsertCount(1, k, 3)
+		}
+	}()
+
+	// Owner 0 helps until the producer completes. The first drain
+	// attempt panics (injected); the recover here stands in for the
+	// pool's worker restart.
+	helpOnce := func() (panicked bool) {
+		defer func() {
+			r := recover()
+			if r == nil {
+				return
+			}
+			if _, ok := r.(*fault.PanicError); !ok {
+				panic(r) // a real bug, not our injection
+			}
+			panicked = true
+		}()
+		d.Help(0)
+		return false
+	}
+	injected := 0
+	helping := true
+	for helping {
+		if helpOnce() {
+			injected++
+		}
+		select {
+		case <-done:
+			helping = false
+		default:
+			runtime.Gosched()
+		}
+	}
+	if injected != 1 {
+		t.Fatalf("injected panics recovered = %d, want exactly 1", injected)
+	}
+	d.Flush()
+	for _, k := range keys {
+		if got := d.EstimateQuiescent(k); got != 3 {
+			t.Fatalf("key %d: count = %d after panic-interrupted drain, want 3", k, got)
+		}
+	}
+	if st := in.Stats("drain"); st.Panics != 1 || st.Hits < 2 {
+		t.Fatalf("drain stats = %+v, want 1 panic and a successful retry", st)
+	}
+}

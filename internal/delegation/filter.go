@@ -65,13 +65,32 @@ func (f *dfilter) lookup(key uint64) uint64 {
 	return 0
 }
 
+// full reports whether every slot is occupied — i.e. the filter has been
+// (or is about to be) handed to the owner and must not accept inserts
+// until the owner's drain zeroes size. Producers normally never observe
+// this (they wait out the hand-off inside insert's caller), but after a
+// panic recovery a producer can come back to a filter whose drain is
+// still pending; see DS.InsertCount.
+func (f *dfilter) full() bool { return int(f.size.Load()) == len(f.keys) }
+
 // drainInto flushes every (key, count) pair into sink and hands the filter
 // back to its producer by zeroing size. Owner-side only, after popping the
 // filter's node from the ready stack (or during a quiescent flush).
+//
+// Entries are retired (count zeroed) as each sink call returns, so a
+// drain interrupted by a panic can be resumed by draining again: already
+// sunk entries are skipped and nothing is double counted. The producer
+// cannot race these stores — it stopped touching the filter when it
+// pushed it, and a quiescent flush has no producers at all.
 func (f *dfilter) drainInto(sink func(key, count uint64)) {
 	n := int(f.size.Load())
 	for k := 0; k < n; k++ {
-		sink(f.keys[k], atomic.LoadUint64(&f.counts[k]))
+		c := atomic.LoadUint64(&f.counts[k])
+		if c == 0 {
+			continue // retired by an interrupted earlier drain
+		}
+		sink(f.keys[k], c)
+		atomic.StoreUint64(&f.counts[k], 0)
 	}
 	f.size.Store(0) // hand the filter back to the producer
 }

@@ -18,7 +18,29 @@ type DS struct {
 	cfg    Config
 	owners []*owner
 	ticks  []tick // per-thread help-interval counters (own-thread access)
+	hooks  Hooks  // test seams; zero value = no-ops (set before use)
 }
+
+// Hooks are optional test seams on the delegation hot paths, used by the
+// fault-injection chaos suites to stall, reorder or poison the protocol
+// deterministically. Production callers leave them unset. A hook may
+// sleep or panic; the surrounding code restores the protocol's hand-off
+// invariants before letting a panic escape (see processPendingInserts),
+// so a recover-and-restart layer above (internal/pool) can resume
+// without lost or doubled updates.
+type Hooks struct {
+	// BeforeFilterDrain runs owner-side just before a ready delegation
+	// filter is drained into the owner's sketch.
+	BeforeFilterDrain func()
+	// BeforeQueryServe runs owner-side just before a pending-query scan
+	// answers raised queries.
+	BeforeQueryServe func()
+}
+
+// SetHooks installs h. It must be called before the sketch is shared
+// across goroutines (hooks are read without synchronization on the hot
+// paths).
+func (d *DS) SetHooks(h Hooks) { d.hooks = h }
 
 // tick is a cache-line-padded per-thread counter, so threads counting
 // down their help intervals never share a line.
@@ -117,13 +139,36 @@ func (d *DS) Insert(tid int, key uint64) { d.InsertCount(tid, key, 1) }
 // A zero count is a no-op: it must not consume a filter slot (and possibly
 // trigger a drain) for an insertion that adds nothing.
 func (d *DS) InsertCount(tid int, key uint64, count uint64) {
+	var recorded bool
+	d.InsertCountRecorded(tid, key, count, &recorded)
+}
+
+// InsertCountRecorded is InsertCount for callers that repair panics:
+// *recorded is set the moment the insertion is durably in a delegation
+// filter, so a recovery layer unwinding a panic knows whether this
+// entry must be retried (still false — the panic came from the helping
+// done while waiting for filter space) or must not be (already true —
+// retrying would double count).
+func (d *DS) InsertCountRecorded(tid int, key uint64, count uint64, recorded *bool) {
 	if count == 0 {
+		*recorded = true
 		return
 	}
 	i := d.Owner(key)
 	o := d.owners[i]
 	f := o.filters[tid]
-	if f.insert(key, count) {
+	// After a panic recovery the filter can still be in the owner's
+	// hands: the producer's post-push wait was abandoned mid-spin when
+	// the panic unwound through it. Wait out the hand-back before
+	// touching the filter — exactly the post-push wait, just hoisted —
+	// or the append below would run off the end of a full filter.
+	for f.full() {
+		d.Help(tid)
+		runtime.Gosched()
+	}
+	full := f.insert(key, count)
+	*recorded = true
+	if full {
 		// Filter full: hand it to the owner and wait until it is
 		// consumed, helping with our own delegated work meanwhile
 		// (Algorithm 1 lines 11-15).
@@ -195,13 +240,32 @@ func (d *DS) help(tid int) {
 // (Algorithm 2). Owner-side.
 func (d *DS) processPendingInserts(o *owner) {
 	for n := o.ready.Pop(); n != nil; n = o.ready.Pop() {
-		f := n.Value().(*dfilter)
-		f.drainInto(func(key, count uint64) {
-			o.sk.Insert(key, count)
-			o.observeHH(key, count)
-		})
-		o.stats.drains.Add(1)
+		d.drainReady(o, n.Value().(*dfilter))
 	}
+}
+
+// drainReady drains one popped ready filter. If the drain panics (an
+// injected fault, a poisoned key in the backend) the filter is pushed
+// back onto the ready list before the panic continues, so the producer
+// spinning on size != 0 is never stranded: whoever recovers the panic
+// (the pool restarts its worker) re-drains the filter, and drainInto's
+// per-entry retirement guarantees the resumed drain double counts
+// nothing.
+func (d *DS) drainReady(o *owner, f *dfilter) {
+	defer func() {
+		if r := recover(); r != nil {
+			o.ready.Push(f.node)
+			panic(r)
+		}
+	}()
+	if h := d.hooks.BeforeFilterDrain; h != nil {
+		h()
+	}
+	f.drainInto(func(key, count uint64) {
+		o.sk.Insert(key, count)
+		o.observeHH(key, count)
+	})
+	o.stats.drains.Add(1)
 }
 
 // processPendingQueries answers every raised pending query, squashing
@@ -209,6 +273,12 @@ func (d *DS) processPendingInserts(o *owner) {
 func (d *DS) processPendingQueries(o *owner) {
 	if !o.pending.maybeWork() {
 		return
+	}
+	// A panic below (injected or real) needs no repair here: unanswered
+	// slots keep flag == 1 and the count stays raised, so the next Help
+	// — from the restarted worker or any spinning querier — serves them.
+	if h := d.hooks.BeforeQueryServe; h != nil {
+		h()
 	}
 	slots := o.pending.slots
 	for t := range slots {
@@ -250,10 +320,18 @@ func (o *owner) localSearch(key uint64) uint64 {
 // for deterministic single-goroutine harnesses (the accuracy experiments),
 // where the cooperative protocol would otherwise wait on threads that are
 // not running. Not safe for concurrent use.
-func (d *DS) InsertSequential(tid int, key uint64) {
+func (d *DS) InsertSequential(tid int, key uint64) { d.InsertCountSequential(tid, key, 1) }
+
+// InsertCountSequential is InsertSequential for count occurrences. The
+// pool's shutdown sweep uses it to land insertions that raced Close,
+// after the workers have exited (quiescent, single goroutine).
+func (d *DS) InsertCountSequential(tid int, key uint64, count uint64) {
+	if count == 0 {
+		return
+	}
 	o := d.owners[d.Owner(key)]
 	f := o.filters[tid]
-	if f.insert(key, 1) {
+	if f.insert(key, count) {
 		f.drainInto(func(k, c uint64) {
 			o.sk.Insert(k, c)
 			o.observeHH(k, c)

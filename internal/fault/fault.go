@@ -1,0 +1,227 @@
+// Package fault is a deterministic fault-injection harness for the
+// repository's chaos tests. Production code exposes no-op hooks at its
+// hazardous points (delegation filter drains, pending-query serving, the
+// pool's wake notifications); a test arms an Injector, threads its hooks
+// through those seams, and the injector then fires delays, drops and
+// panics at the instrumented points — either probabilistically from a
+// seeded RNG (deterministic for a fixed seed and schedule) or scripted
+// at exact hit numbers (deterministic regardless of schedule).
+//
+// The package is stdlib-only and allocation-free on the no-fault path
+// after setup. Injected panics carry a *PanicError so recovery layers
+// can tell an injected panic from a real bug.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// PanicError is the value an armed panic rule throws. Recover sites can
+// assert on it to distinguish injected panics from genuine failures.
+type PanicError struct {
+	Point string // the injection point that fired
+	Hit   uint64 // the point's hit number that triggered the panic
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("fault: injected panic at point %q (hit %d)", e.Point, e.Hit)
+}
+
+// kind enumerates what a rule does when it triggers.
+type kind int
+
+const (
+	kindDelay kind = iota
+	kindDrop
+	kindPanic
+)
+
+// rule is one configured fault: a kind plus either a probability (rng
+// trigger on every hit) or an explicit set of hit numbers (scripted).
+type rule struct {
+	kind  kind
+	prob  float64
+	hits  map[uint64]bool // nil for probabilistic rules
+	delay time.Duration   // kindDelay only
+}
+
+// triggers reports whether the rule fires on the point's hit-th hit.
+// Called with the injector lock held (rng access must be serialized).
+func (r *rule) triggers(rng *rand.Rand, hit uint64) bool {
+	if r.hits != nil {
+		return r.hits[hit]
+	}
+	return rng.Float64() < r.prob
+}
+
+// Stats counts what happened at one injection point.
+type Stats struct {
+	Hits   uint64 // times the point was reached (armed or not)
+	Delays uint64 // delay faults fired
+	Drops  uint64 // drop faults fired
+	Panics uint64 // panic faults fired
+}
+
+// point is the per-name state: rules plus counters.
+type point struct {
+	rules []*rule
+	stats Stats
+}
+
+// Injector holds the armed fault rules for a set of named points. All
+// methods are safe for concurrent use; rule registration normally
+// happens before the system under test starts, but is also safe during
+// a run.
+type Injector struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	armed  bool
+	points map[string]*point
+}
+
+// New returns an armed injector whose probabilistic rules draw from a
+// rand source seeded with seed, so a fixed seed and schedule replay the
+// same fault sequence.
+func New(seed int64) *Injector {
+	return &Injector{
+		rng:    rand.New(rand.NewSource(seed)),
+		armed:  true,
+		points: make(map[string]*point),
+	}
+}
+
+func (in *Injector) pt(name string) *point {
+	p := in.points[name]
+	if p == nil {
+		p = &point{}
+		in.points[name] = p
+	}
+	return p
+}
+
+func (in *Injector) add(name string, r *rule) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.pt(name).rules = append(in.pt(name).rules, r)
+}
+
+func hitSet(hits []uint64) map[uint64]bool {
+	m := make(map[uint64]bool, len(hits))
+	for _, h := range hits {
+		m[h] = true
+	}
+	return m
+}
+
+// DelayProb makes every hit of name sleep for d with probability prob.
+func (in *Injector) DelayProb(name string, prob float64, d time.Duration) {
+	in.add(name, &rule{kind: kindDelay, prob: prob, delay: d})
+}
+
+// DelayAt makes the given (1-based) hits of name sleep for d.
+func (in *Injector) DelayAt(name string, d time.Duration, hits ...uint64) {
+	in.add(name, &rule{kind: kindDelay, hits: hitSet(hits), delay: d})
+}
+
+// DropProb makes Fire(name) report drop=true with probability prob.
+func (in *Injector) DropProb(name string, prob float64) {
+	in.add(name, &rule{kind: kindDrop, prob: prob})
+}
+
+// DropAt makes the given (1-based) hits of name report drop=true.
+func (in *Injector) DropAt(name string, hits ...uint64) {
+	in.add(name, &rule{kind: kindDrop, hits: hitSet(hits)})
+}
+
+// PanicProb makes every hit of name panic with a *PanicError with
+// probability prob.
+func (in *Injector) PanicProb(name string, prob float64) {
+	in.add(name, &rule{kind: kindPanic, prob: prob})
+}
+
+// PanicAt makes the given (1-based) hits of name panic with a
+// *PanicError.
+func (in *Injector) PanicAt(name string, hits ...uint64) {
+	in.add(name, &rule{kind: kindPanic, hits: hitSet(hits)})
+}
+
+// Arm re-enables fault firing after a Disarm.
+func (in *Injector) Arm() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.armed = true
+}
+
+// Disarm stops all faults from firing (hits are still counted). Chaos
+// tests disarm before the final drain so shutdown verifies clean-path
+// behavior after the storm.
+func (in *Injector) Disarm() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.armed = false
+}
+
+// Fire records one hit of the named point and applies its armed rules:
+// it sleeps for each triggered delay, panics with a *PanicError if a
+// panic rule triggered, and returns drop=true if a drop rule triggered
+// (the caller is responsible for actually suppressing its action).
+// Delays are slept outside the injector lock so concurrent points do
+// not serialize on an injected stall.
+func (in *Injector) Fire(name string) (drop bool) {
+	in.mu.Lock()
+	p := in.pt(name)
+	p.stats.Hits++
+	hit := p.stats.Hits
+	if !in.armed {
+		in.mu.Unlock()
+		return false
+	}
+	var sleep time.Duration
+	var panicked bool
+	for _, r := range p.rules {
+		if !r.triggers(in.rng, hit) {
+			continue
+		}
+		switch r.kind {
+		case kindDelay:
+			sleep += r.delay
+			p.stats.Delays++
+		case kindDrop:
+			drop = true
+			p.stats.Drops++
+		case kindPanic:
+			panicked = true
+			p.stats.Panics++
+		}
+	}
+	in.mu.Unlock()
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+	if panicked {
+		panic(&PanicError{Point: name, Hit: hit})
+	}
+	return drop
+}
+
+// Hook adapts a point to the func() hook seams (delay/panic faults;
+// drop results are discarded because a bare hook has nothing to drop).
+func (in *Injector) Hook(name string) func() {
+	return func() { in.Fire(name) }
+}
+
+// DropHook adapts a point to the func() bool seams, where returning
+// true tells the instrumented code to suppress its action.
+func (in *Injector) DropHook(name string) func() bool {
+	return func() bool { return in.Fire(name) }
+}
+
+// Stats returns a snapshot of the named point's counters.
+func (in *Injector) Stats(name string) Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.pt(name).stats
+}

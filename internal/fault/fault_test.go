@@ -1,0 +1,135 @@
+package fault
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestScriptedRulesFireAtExactHits(t *testing.T) {
+	in := New(1)
+	in.DropAt("p", 2, 4)
+	var drops []bool
+	for i := 0; i < 5; i++ {
+		drops = append(drops, in.Fire("p"))
+	}
+	want := []bool{false, true, false, true, false}
+	for i := range want {
+		if drops[i] != want[i] {
+			t.Fatalf("hit %d: drop=%v, want %v", i+1, drops[i], want[i])
+		}
+	}
+	st := in.Stats("p")
+	if st.Hits != 5 || st.Drops != 2 {
+		t.Fatalf("stats = %+v, want Hits=5 Drops=2", st)
+	}
+}
+
+func TestPanicCarriesPointAndHit(t *testing.T) {
+	in := New(1)
+	in.PanicAt("drain", 3)
+	fire := func() (err *PanicError) {
+		defer func() {
+			r := recover()
+			if r == nil {
+				return
+			}
+			pe, ok := r.(*PanicError)
+			if !ok {
+				t.Fatalf("recovered %v, want *PanicError", r)
+			}
+			err = pe
+		}()
+		in.Fire("drain")
+		return nil
+	}
+	if fire() != nil || fire() != nil {
+		t.Fatal("panic before scripted hit 3")
+	}
+	pe := fire()
+	if pe == nil || pe.Point != "drain" || pe.Hit != 3 {
+		t.Fatalf("panic error = %+v, want point drain hit 3", pe)
+	}
+	if fire() != nil {
+		t.Fatal("panic after scripted hit 3")
+	}
+}
+
+func TestProbabilisticIsDeterministicPerSeed(t *testing.T) {
+	run := func() []bool {
+		in := New(42)
+		in.DropProb("p", 0.5)
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = in.Fire("p")
+		}
+		return out
+	}
+	a, b := run(), run()
+	var fired int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hit %d differs across identical seeds", i+1)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("drop fired %d/%d times; want a nontrivial mix", fired, len(a))
+	}
+}
+
+func TestDisarmSuppressesFaultsButCountsHits(t *testing.T) {
+	in := New(1)
+	in.PanicProb("p", 1.0)
+	in.DropProb("p", 1.0)
+	in.Disarm()
+	if in.Fire("p") {
+		t.Fatal("disarmed injector fired a drop")
+	}
+	if st := in.Stats("p"); st.Hits != 1 || st.Drops != 0 || st.Panics != 0 {
+		t.Fatalf("stats = %+v, want only the hit counted", st)
+	}
+	in.Arm()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-armed injector did not panic")
+		}
+	}()
+	in.Fire("p")
+}
+
+func TestDelayActuallySleeps(t *testing.T) {
+	in := New(1)
+	const d = 20 * time.Millisecond
+	in.DelayAt("p", d, 1)
+	t0 := time.Now()
+	in.Fire("p")
+	if elapsed := time.Since(t0); elapsed < d {
+		t.Fatalf("Fire returned after %v, want at least %v", elapsed, d)
+	}
+	if st := in.Stats("p"); st.Delays != 1 {
+		t.Fatalf("Delays = %d, want 1", st.Delays)
+	}
+}
+
+func TestConcurrentFireIsSafe(t *testing.T) {
+	in := New(7)
+	in.DropProb("p", 0.3)
+	const goroutines, each = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				in.Fire("p")
+			}
+		}()
+	}
+	wg.Wait()
+	if st := in.Stats("p"); st.Hits != goroutines*each {
+		t.Fatalf("Hits = %d, want %d", st.Hits, goroutines*each)
+	}
+}

@@ -79,6 +79,7 @@ func Analyzers() []*Analyzer {
 		LockPair,
 		AtomicMix,
 		GoroutineLifecycle,
+		RecoverGuard,
 		SleepySync,
 		ErrCheckLite,
 	}

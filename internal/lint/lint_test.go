@@ -20,6 +20,7 @@ var fixtures = map[string]string{
 	"lockpair":           "lockpair",
 	"atomicmix":          "atomicmix",
 	"goroutinelifecycle": "goroutinelifecycle",
+	"recoverguard":       "recoverguard",
 	"sleepysync":         "sleepysync",
 	"errchecklite":       "errchecklite",
 	"errcheckmain":       "errchecklite",

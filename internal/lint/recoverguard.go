@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// recoverGuardScopePathFragments names the packages RecoverGuard applies
+// to: the concurrency-core packages whose long-lived goroutines hold
+// protocol obligations (the pool's workers, the parallel driver's
+// threads), plus the analyzer's own fixture package under testdata.
+var recoverGuardScopePathFragments = []string{
+	"internal/pool",
+	"internal/parallel",
+	"recoverguard",
+}
+
+// RecoverGuard flags worker-style goroutines — spawned functions whose
+// body runs an unconditional for loop — that have no recover path: no
+// deferred function literal calling recover() and no deferred call to a
+// same-package helper that recovers. In the concurrency-core packages a
+// panic escaping such a goroutine kills the process (or silently
+// removes a protocol participant, stranding everyone who spins on its
+// cooperation); the worker must either recover-and-restart or
+// consciously suppress this analyzer with a reason.
+var RecoverGuard = &Analyzer{
+	Name: "recoverguard",
+	Doc:  "worker-style goroutine (unconditional loop) in internal/pool or internal/parallel without a recover path",
+	Run:  runRecoverGuard,
+}
+
+func runRecoverGuard(p *Pass) {
+	inScope := false
+	probe := p.Pkg.Path + " " + p.Pkg.Dir
+	for _, frag := range recoverGuardScopePathFragments {
+		if strings.Contains(probe, frag) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return
+	}
+	info := p.Pkg.Info
+	decls := packageFuncDecls(info, p.Pkg.Files)
+	for _, f := range p.Pkg.Files {
+		for _, fb := range functionBodies(f) {
+			walkShallow(fb.body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				body := spawnedBody(info, decls, g)
+				if body == nil {
+					return true // indirect spawn (go f()): nothing to inspect
+				}
+				if !hasUnconditionalLoop(body) {
+					return true // short-lived goroutine: a panic surfaces at the join
+				}
+				if !hasRecoverPath(info, decls, body) {
+					p.Reportf(g.Pos(),
+						"worker goroutine runs an unconditional loop with no recover path: a panic would silently remove a protocol participant; add a deferred recover (restart or contain) or suppress with a reason")
+				}
+				return true
+			})
+		}
+	}
+}
+
+// packageFuncDecls maps each function or method declared in the package
+// to its declaration, so analyses can follow same-package calls.
+func packageFuncDecls(info *types.Info, files []*ast.File) map[*types.Func]*ast.FuncDecl {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	return decls
+}
+
+// spawnedBody resolves the body of the function a go statement runs: a
+// function literal in place, or a same-package function/method by name.
+func spawnedBody(info *types.Info, decls map[*types.Func]*ast.FuncDecl, g *ast.GoStmt) *ast.BlockStmt {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	if fn := calleeFunc(info, g.Call); fn != nil {
+		if fd := decls[fn]; fd != nil {
+			return fd.Body
+		}
+	}
+	return nil
+}
+
+// hasUnconditionalLoop reports whether the frame contains a `for {}`
+// loop — the signature of a worker meant to run for the component's
+// lifetime. Loops with a condition or range clause terminate on their
+// own and are not workers in this sense.
+func hasUnconditionalLoop(body *ast.BlockStmt) bool {
+	found := false
+	walkShallow(body, func(n ast.Node) bool {
+		if f, ok := n.(*ast.ForStmt); ok && f.Cond == nil {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// hasRecoverPath reports whether the frame defers something that calls
+// recover(): a deferred function literal doing so directly, or a
+// deferred same-package helper whose own frame does.
+func hasRecoverPath(info *types.Info, decls map[*types.Func]*ast.FuncDecl, body *ast.BlockStmt) bool {
+	found := false
+	walkShallow(body, func(n ast.Node) bool {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return !found
+		}
+		if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+			if callsRecover(info, lit.Body) {
+				found = true
+			}
+		} else if fn := calleeFunc(info, d.Call); fn != nil {
+			if fd := decls[fn]; fd != nil && callsRecover(info, fd.Body) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// callsRecover reports whether the frame itself calls the recover
+// builtin (nested function literals do not count: their recover would
+// not stop a panic unwinding this frame unless they are deferred here,
+// which is a separate frame analyzed on its own).
+func callsRecover(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	walkShallow(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "recover" {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

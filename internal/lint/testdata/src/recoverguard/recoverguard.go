@@ -1,0 +1,106 @@
+// Package recoverguard is a golden fixture for the recoverguard
+// analyzer; the analyzer is scoped by package path and matches this
+// fixture by its directory name.
+package recoverguard
+
+import "sync"
+
+type worker struct {
+	wg   sync.WaitGroup
+	jobs chan int
+}
+
+func (w *worker) unguardedLit() {
+	w.wg.Add(1)
+	go func() { // want "no recover path"
+		defer w.wg.Done()
+		for {
+			if _, ok := <-w.jobs; !ok {
+				return
+			}
+		}
+	}()
+}
+
+func (w *worker) run() {
+	defer w.wg.Done()
+	for {
+		if _, ok := <-w.jobs; !ok {
+			return
+		}
+	}
+}
+
+func (w *worker) unguardedNamed() {
+	w.wg.Add(1)
+	go w.run() // want "no recover path"
+}
+
+func (w *worker) guardedLit() {
+	w.wg.Add(1)
+	go func() { // ok: deferred literal recovers in this frame
+		defer func() {
+			if r := recover(); r != nil {
+				_ = r
+			}
+		}()
+		defer w.wg.Done()
+		for {
+			if _, ok := <-w.jobs; !ok {
+				return
+			}
+		}
+	}()
+}
+
+func (w *worker) contain() {
+	if r := recover(); r != nil {
+		_ = r
+	}
+}
+
+func (w *worker) guardedRun() {
+	defer w.wg.Done()
+	defer w.contain() // ok: the deferred helper recovers
+	for {
+		if _, ok := <-w.jobs; !ok {
+			return
+		}
+	}
+}
+
+func (w *worker) guardedNamed() {
+	w.wg.Add(1)
+	go w.guardedRun()
+}
+
+func (w *worker) shortLived(done chan struct{}) {
+	w.wg.Add(1)
+	go func() { // ok: no unconditional loop — a panic surfaces at the join
+		defer w.wg.Done()
+		close(done)
+	}()
+}
+
+func (w *worker) conditionalLoop(n int) {
+	w.wg.Add(1)
+	go func() { // ok: the loop has a condition, so it is not a lifetime worker
+		defer w.wg.Done()
+		for i := 0; i < n; i++ {
+			<-w.jobs
+		}
+	}()
+}
+
+func (w *worker) suppressed() {
+	w.wg.Add(1)
+	//lint:ignore recoverguard fixture: panics here must crash loudly by design
+	go func() {
+		defer w.wg.Done()
+		for {
+			if _, ok := <-w.jobs; !ok {
+				return
+			}
+		}
+	}()
+}

@@ -1,0 +1,269 @@
+package pool
+
+// Chaos suite: the fault-injection harness (internal/fault) is armed at
+// the delegation drain/serve seams and the pool's wake path while real
+// concurrent traffic runs, then disarmed for a graceful Drain. Every
+// test's final assertion is the same durability contract production
+// relies on: after Drain(ctx) returns nil, every key is queryable at
+// exactly the count of its accepted insertions — no lost updates, no
+// double counts, no deadlocks — regardless of the storm that preceded
+// it. Run under -race via `make chaos`.
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dsketch/internal/delegation"
+	"dsketch/internal/fault"
+	"dsketch/internal/testutil"
+)
+
+// chaosKeys returns n distinct keys, enough to fill the delegation
+// filters (which dedup keys) and exercise the drain seam.
+func chaosKeys(n int) []uint64 {
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(1000 + i)
+	}
+	return keys
+}
+
+// chaosRig is the shared harness: a 4-thread pool over an exact-count
+// sketch with the injector threaded through every seam.
+func chaosRig(t *testing.T, in *fault.Injector, opt Options) (*Pool, *delegation.DS) {
+	t.Helper()
+	ds := newDS(4)
+	ds.SetHooks(delegation.Hooks{
+		BeforeFilterDrain: in.Hook("drain"),
+		BeforeQueryServe:  in.Hook("serve"),
+	})
+	opt.Hooks.WakeDrop = in.DropHook("wake")
+	return New(ds, opt), ds
+}
+
+// runTraffic drives producers (exact per-key accounting) and queriers
+// (liveness only — mid-storm answers are unverifiable) until the
+// producers finish, then stops the queriers and returns the per-key
+// accepted totals.
+func runTraffic(t *testing.T, p *Pool, keys []uint64, producers, perProducer int) []uint64 {
+	t.Helper()
+	accepted := make([]atomic.Uint64, len(keys))
+	var wg sync.WaitGroup
+	for g := 0; g < producers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				ki := (g + i) % len(keys)
+				if err := p.InsertCtx(context.Background(), keys[ki]); err != nil {
+					t.Errorf("InsertCtx: %v", err)
+					return
+				}
+				accepted[ki].Add(1)
+			}
+		}(g)
+	}
+	stop := make(chan struct{})
+	var qwg sync.WaitGroup
+	for q := 0; q < 2; q++ {
+		qwg.Add(1)
+		//lint:ignore recoverguard test querier: a panic here crashes the test run loudly, which is the right outcome
+		go func() {
+			defer qwg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p.Query(keys[i%len(keys)])
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	qwg.Wait()
+	out := make([]uint64, len(keys))
+	for i := range accepted {
+		out[i] = accepted[i].Load()
+	}
+	return out
+}
+
+// verifyExact drains the pool and checks every key's quiescent count.
+func verifyExact(t *testing.T, p *Pool, keys, want []uint64) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := p.Drain(ctx); err != nil {
+		t.Fatalf("Drain after the storm: %v", err)
+	}
+	for i, k := range keys {
+		if got := p.Query(k); got != want[i] {
+			t.Fatalf("key %d: quiescent count = %d, want %d accepted", k, got, want[i])
+		}
+	}
+}
+
+// TestChaosDelaysAndLostWakeups injects latency at the drain and serve
+// seams and drops 20%% of wake notifications. Liveness must come from
+// the IdleHelp tick, and no accepted insertion may be lost.
+func TestChaosDelaysAndLostWakeups(t *testing.T) {
+	in := fault.New(1)
+	in.DelayProb("drain", 0.25, 500*time.Microsecond)
+	in.DelayProb("serve", 0.25, 500*time.Microsecond)
+	in.DropProb("wake", 0.2)
+	p, _ := chaosRig(t, in, Options{
+		BatchSize:     32,
+		QueueCapacity: 256,
+		IdleHelp:      200 * time.Microsecond, // the safety net for dropped wakes
+	})
+	// Enough distinct keys that the per-(owner, producer) delegation
+	// filters actually fill and hand off — a handful of keys would
+	// aggregate in place forever and the drain seam would never run.
+	keys := chaosKeys(256)
+	accepted := runTraffic(t, p, keys, 4, 2500)
+	in.Disarm()
+	verifyExact(t, p, keys, accepted)
+	if st := in.Stats("wake"); st.Drops == 0 {
+		t.Fatalf("wake stats = %+v: the lost-wakeup fault never fired", st)
+	}
+	if st := in.Stats("drain"); st.Hits == 0 {
+		t.Fatalf("drain stats = %+v: the drain seam was never reached", st)
+	}
+}
+
+// TestChaosWorkerPanicsRecoverWithoutLoss scripts panics into the drain
+// and serve seams. Workers must restart (counted, hook notified), the
+// interrupted filter hand-offs must be repaired, and the final drain
+// must still account every accepted insertion exactly.
+func TestChaosWorkerPanicsRecoverWithoutLoss(t *testing.T) {
+	in := fault.New(2)
+	in.PanicAt("drain", 1, 7, 19, 41, 83)
+	in.PanicAt("serve", 2, 11)
+	var recovered atomic.Uint64
+	p, _ := chaosRig(t, in, Options{
+		BatchSize:     32,
+		QueueCapacity: 128,
+		IdleHelp:      100 * time.Microsecond,
+		Hooks: Hooks{
+			OnWorkerPanic: func(tid int, r any) {
+				if _, ok := r.(*fault.PanicError); !ok {
+					t.Errorf("worker %d recovered %v, want an injected *fault.PanicError", tid, r)
+				}
+				recovered.Add(1)
+			},
+		},
+	})
+	keys := chaosKeys(256)
+	accepted := runTraffic(t, p, keys, 4, 3000)
+	// All scripted panics have hit numbers far below the drains this
+	// much traffic causes; wait for the recoveries to be observed.
+	fired := func() uint64 {
+		return in.Stats("drain").Panics + in.Stats("serve").Panics
+	}
+	if fired() == 0 {
+		t.Fatal("no scripted panic fired during the storm")
+	}
+	testutil.WaitUntil(t, 10*time.Second, func() bool { return recovered.Load() >= fired() })
+	in.Disarm()
+	verifyExact(t, p, keys, accepted)
+	if got, want := p.Metrics().WorkerPanics, fired(); got != want {
+		t.Fatalf("Metrics.WorkerPanics = %d, want %d (every injected panic accounted)", got, want)
+	}
+}
+
+// TestChaosShedKeepsLatencyBoundedAndAccountsRejections slows the
+// workers with injected drain delays behind a tiny queue under the Shed
+// policy: inserts must stay fast (reject, not block), every attempt must
+// be accounted as accepted or rejected, and the accepted ones must
+// survive the drain exactly.
+func TestChaosShedKeepsLatencyBoundedAndAccountsRejections(t *testing.T) {
+	in := fault.New(3)
+	in.DelayProb("drain", 0.5, 2*time.Millisecond)
+	p, _ := chaosRig(t, in, Options{
+		BatchSize:     8,
+		QueueCapacity: 64,
+		Policy:        Shed,
+		IdleHelp:      100 * time.Microsecond,
+	})
+	keys := chaosKeys(128) // distinct keys so filter drains (and their delays) actually happen
+	const attempts = 20000
+	acceptedPerKey := make([]uint64, len(keys))
+	var accepted, rejected uint64
+	var worst time.Duration
+	for i := 0; i < attempts; i++ {
+		ki := i % len(keys)
+		t0 := time.Now()
+		err := p.InsertCtx(context.Background(), keys[ki])
+		if d := time.Since(t0); d > worst {
+			worst = d
+		}
+		switch err {
+		case nil:
+			accepted++
+			acceptedPerKey[ki]++
+		case ErrOverloaded:
+			rejected++
+		default:
+			t.Fatalf("InsertCtx: %v", err)
+		}
+	}
+	if accepted+rejected != attempts {
+		t.Fatalf("accepted %d + rejected %d != %d attempts", accepted, rejected, attempts)
+	}
+	if rejected == 0 {
+		t.Fatal("nothing was shed behind a 64-slot queue and 2ms injected drain delays")
+	}
+	// A shedding insert is one bounded critical section — no waiting on
+	// the delayed workers. The bound is generous for CI schedulers but
+	// far below the seconds a Block policy would accumulate here.
+	if worst > 250*time.Millisecond {
+		t.Fatalf("worst shed-mode insert took %v, want bounded latency", worst)
+	}
+	if m := p.Metrics(); m.Rejected != rejected {
+		t.Fatalf("Metrics.Rejected = %d, want %d (every rejection accounted)", m.Rejected, rejected)
+	}
+	in.Disarm()
+	verifyExact(t, p, keys, acceptedPerKey)
+}
+
+// TestChaosDrainDeadlineThenCleanDrain arms heavy drain delays so a
+// short-deadline Drain must time out, then disarms and verifies the
+// background shutdown still completes cleanly with exact counts.
+func TestChaosDrainDeadlineThenCleanDrain(t *testing.T) {
+	in := fault.New(4)
+	in.DelayProb("drain", 1.0, 5*time.Millisecond)
+	p, _ := chaosRig(t, in, Options{
+		BatchSize:     4,
+		QueueCapacity: 4096,
+		IdleHelp:      100 * time.Microsecond,
+	})
+	keys := chaosKeys(256)
+	const n = 4000
+	want := make([]uint64, len(keys))
+	for i := 0; i < n; i++ {
+		ki := i % len(keys)
+		if err := p.InsertCtx(context.Background(), keys[ki]); err != nil {
+			t.Fatalf("InsertCtx: %v", err)
+		}
+		want[ki]++
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if err := p.Drain(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Drain(1ms) under 5ms-per-drain delays = %v, want DeadlineExceeded", err)
+	}
+	in.Disarm()
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatalf("follow-up Drain = %v, want nil", err)
+	}
+	for i, k := range keys {
+		if got := p.Query(k); got != want[i] {
+			t.Fatalf("after deadline-then-clean drain, Query(%d) = %d, want %d", k, got, want[i])
+		}
+	}
+}

@@ -23,12 +23,34 @@
 //     what makes Flush and HeavyHitters (quiescent-only operations)
 //     available while the pool keeps serving before and after the pause.
 //
+// # Overload and failure semantics
+//
+// Ingestion is bounded: each shard buffers at most QueueCapacity
+// insertions. When a buffer is full the Policy decides — Block (the
+// default) backs the producer off until the worker catches up, honoring
+// the caller's context on the InsertCtx path, while Shed rejects the
+// insertion immediately with ErrOverloaded so producer latency stays
+// bounded. Every refused insertion is counted (Metrics.Rejected), every
+// insertion discarded because the pool was closing is counted
+// (Metrics.Dropped), and an insertion whose Insert call succeeded is
+// never silently lost: Drain's final sweep lands even the entries that
+// raced shutdown.
+//
+// Worker goroutines are panic-isolated: a panic out of the sketch (a
+// poisoned key, an injected fault) is recovered, counted
+// (Metrics.WorkerPanics), and the shard's worker is restarted in place,
+// after the delegation layer has restored its hand-off invariants — a
+// half-drained filter is re-pushed and its already-landed entries
+// retired, so the resumed drain neither loses nor doubles updates.
+//
 // The pool records its own serving metrics (enqueue latency, batch
 // sizes, queue depths at drain, quiesce pause durations) in
 // internal/metrics histograms, exposed via Metrics.
 package pool
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -37,6 +59,41 @@ import (
 	"dsketch/internal/delegation"
 	"dsketch/internal/metrics"
 )
+
+// Policy selects what ingestion does when a shard's buffer is full.
+type Policy int
+
+const (
+	// Block (the default) makes the producer back off until the worker
+	// catches up; InsertCtx gives the wait a deadline.
+	Block Policy = iota
+	// Shed rejects the insertion immediately with ErrOverloaded,
+	// counting it in Metrics.Rejected, so producer-side latency stays
+	// bounded under sustained overload.
+	Shed
+)
+
+// Errors returned by the context-aware and load-shedding paths.
+var (
+	// ErrClosed reports an operation against a closed (or draining)
+	// pool. The insertion or query had no effect.
+	ErrClosed = errors.New("pool: closed")
+	// ErrOverloaded reports an insertion shed because the shard's
+	// ingest buffer was full and Options.Policy is Shed.
+	ErrOverloaded = errors.New("pool: overloaded: ingest buffer full")
+)
+
+// Hooks are optional seams for the fault-injection and panic-isolation
+// test suites. Production callers leave them zero.
+type Hooks struct {
+	// OnWorkerPanic runs after a worker recovers a panic (and after the
+	// panic is counted), before the replacement worker starts.
+	OnWorkerPanic func(tid int, recovered any)
+	// WakeDrop, when non-nil and returning true, suppresses one wake
+	// notification — a lost-wakeup fault. Liveness then rests on the
+	// IdleHelp tick, which is exactly what the chaos suite verifies.
+	WakeDrop func() bool
+}
 
 // Options tunes the front-end (the sketch itself is configured on the
 // delegation.DS passed to New). The zero value of every field selects a
@@ -47,9 +104,11 @@ type Options struct {
 	// of queries queued behind a drain; larger chunks amortize better.
 	BatchSize int
 	// QueueCapacity caps each shard's ingest buffer (default 4096
-	// entries). Producers that find the buffer full back off (yielding)
-	// until the worker catches up, bounding memory under overload.
+	// entries). A producer that finds the buffer full backs off or is
+	// shed, per Policy, bounding memory under overload.
 	QueueCapacity int
+	// Policy selects the full-buffer behavior: Block (default) or Shed.
+	Policy Policy
 	// IdleHelp selects the workers' idle behavior. Zero (the default)
 	// busy-polls: an idle worker continuously serves delegated work,
 	// which is the paper's always-helping model and gives the lowest
@@ -57,6 +116,8 @@ type Options struct {
 	// positive duration makes idle workers block and help only every
 	// IdleHelp, trading tail latency for CPU (use ~100µs for daemons).
 	IdleHelp time.Duration
+	// Hooks are test seams; see Hooks.
+	Hooks Hooks
 }
 
 func (o Options) withDefaults() Options {
@@ -103,6 +164,7 @@ type shard struct {
 	buf     []entry // appended by producers, swapped out by the worker
 	spare   []entry // the drained buffer, recycled at the next swap
 	inserts uint64  // accepted insert ops (guarded by mu)
+	swept   bool    // shutdown's final sweep ran; no append may follow (mu)
 
 	wake    chan struct{} // capacity 1: buffer went non-empty
 	queries chan *queryReq
@@ -125,8 +187,8 @@ func (sh *shard) notify() {
 
 // Pool runs the worker goroutines for a delegation.DS and exposes its
 // operations to arbitrary goroutines. All exported methods are safe for
-// concurrent use, except that Close must not run concurrently with
-// Insert/Query callers (stop producers first; see Close).
+// concurrent use, including racing Drain/Close against in-flight
+// Insert and Query calls.
 type Pool struct {
 	ds     *delegation.DS
 	opt    Options
@@ -134,16 +196,20 @@ type Pool struct {
 	next   atomic.Uint64 // round-robin shard cursor
 
 	closed     atomic.Bool
-	done       chan struct{} // closed by Close: workers wind down
+	done       chan struct{} // closed by Drain: workers wind down
 	closedDone chan struct{} // closed when shutdown fully completed
 	exited     atomic.Int32  // workers past their final drain
 	wg         sync.WaitGroup
+	shutdownWG sync.WaitGroup // the one finisher goroutine Drain spawns
 
-	quiesceMu sync.Mutex // serializes Quiesce and Close
+	quiesceMu sync.Mutex // serializes Quiesce and the Drain transition
 
 	queries      atomic.Uint64 // query requests served
 	queryKeys    atomic.Uint64 // individual keys answered
 	backpressure atomic.Uint64 // insert backoffs on a full buffer
+	dropped      atomic.Uint64 // inserts discarded at/after close
+	rejected     atomic.Uint64 // inserts refused: shed or ctx-cancelled
+	panics       atomic.Uint64 // worker panics recovered
 	quiesces     atomic.Uint64
 	pauseHist    metrics.SharedHistogram // quiesce pause durations
 }
@@ -184,19 +250,50 @@ func (p *Pool) pick() *shard {
 	return p.shards[p.next.Add(1)%uint64(len(p.shards))]
 }
 
+// notify routes a producer-side wake through the lost-wakeup fault seam.
+func (p *Pool) notify(sh *shard) {
+	if h := p.opt.Hooks.WakeDrop; h != nil && h() {
+		return
+	}
+	sh.notify()
+}
+
 // enqueueSampleMask samples 1 in 32 insertions for enqueue latency, so
 // the hot path does not pay two clock reads per key.
 const enqueueSampleMask = 31
 
-// Insert records one occurrence of key. Goroutine-safe.
-func (p *Pool) Insert(key uint64) { p.InsertCount(key, 1) }
+// Insert records one occurrence of key. Goroutine-safe. A refused
+// insertion (Shed policy, closed pool) is visible only in Metrics; use
+// InsertCtx to observe it as an error.
+func (p *Pool) Insert(key uint64) { _ = p.insert(nil, key, 1) }
 
-// InsertCount records count occurrences of key. A zero count is a no-op.
-// Goroutine-safe; if the shard's buffer is full the caller backs off
-// until the worker catches up.
-func (p *Pool) InsertCount(key, count uint64) {
-	if count == 0 || p.closed.Load() {
-		return
+// InsertCount records count occurrences of key (a zero count is a
+// no-op). Goroutine-safe; see Insert for refusal semantics.
+func (p *Pool) InsertCount(key, count uint64) { _ = p.insert(nil, key, count) }
+
+// InsertCtx records one occurrence of key, waiting at most until ctx is
+// done when the Block policy backs off. It returns nil on acceptance,
+// ctx.Err() if the wait was cut short, ErrOverloaded if the Shed policy
+// refused it, or ErrClosed if the pool is closed — in every non-nil
+// case the insertion had no effect.
+func (p *Pool) InsertCtx(ctx context.Context, key uint64) error {
+	return p.insert(ctx, key, 1)
+}
+
+// InsertCountCtx is InsertCtx for count occurrences.
+func (p *Pool) InsertCountCtx(ctx context.Context, key, count uint64) error {
+	return p.insert(ctx, key, count)
+}
+
+// insert is the shared ingestion path. A nil ctx blocks without a
+// deadline (the plain Insert/InsertCount entry points).
+func (p *Pool) insert(ctx context.Context, key, count uint64) error {
+	if count == 0 {
+		return nil
+	}
+	if p.closed.Load() {
+		p.dropped.Add(1)
+		return ErrClosed
 	}
 	sh := p.pick()
 	sample := sh.seq.Add(1)&enqueueSampleMask == 0
@@ -206,25 +303,45 @@ func (p *Pool) InsertCount(key, count uint64) {
 	}
 	for {
 		sh.mu.Lock()
+		if sh.swept {
+			// The shutdown sweep already ran for this shard: an append
+			// now would never be drained. Refuse instead of losing it.
+			sh.mu.Unlock()
+			p.dropped.Add(1)
+			return ErrClosed
+		}
 		if len(sh.buf) < p.opt.QueueCapacity {
 			sh.buf = append(sh.buf, entry{key, count})
 			n := len(sh.buf)
 			sh.inserts++
 			sh.mu.Unlock()
 			if n == 1 {
-				sh.notify()
+				p.notify(sh)
 			}
 			if sample {
 				sh.enqueue.Record(time.Since(t0))
 			}
-			return
+			return nil
 		}
 		sh.mu.Unlock()
+		if p.opt.Policy == Shed {
+			p.rejected.Add(1)
+			return ErrOverloaded
+		}
 		p.backpressure.Add(1)
-		sh.notify()
+		p.notify(sh)
+		if ctx != nil {
+			select {
+			case <-ctx.Done():
+				p.rejected.Add(1)
+				return ctx.Err()
+			default:
+			}
+		}
 		runtime.Gosched()
 		if p.closed.Load() {
-			return
+			p.dropped.Add(1)
+			return ErrClosed
 		}
 	}
 }
@@ -234,14 +351,27 @@ func (p *Pool) InsertCount(key, count uint64) {
 // worker has drained into the sketch and may count buffered ones; an
 // insertion whose InsertCount call returned can be briefly invisible
 // while it sits in a shard buffer (workers are woken immediately, so
-// the window is normally microseconds). Quiesce and Close are the
+// the window is normally microseconds). Quiesce and Drain are the
 // barriers that make all completed insertions visible.
 func (p *Pool) Query(key uint64) uint64 {
 	// One scratch array serves as both key and result slot (results are
 	// written after the key is read), so a query costs one allocation.
 	one := [1]uint64{key}
-	p.QueryBatch(one[:], one[:0])
+	_ = p.queryBatch(nil, one[:], one[:])
 	return one[0]
+}
+
+// QueryCtx answers a point query for key, abandoning the wait when ctx
+// is done. On error the result is 0 and meaningless.
+func (p *Pool) QueryCtx(ctx context.Context, key uint64) (uint64, error) {
+	// The scratch must be heap-allocated and private: if ctx cuts the
+	// wait short, the worker may still write the result slot later.
+	scratch := make([]uint64, 2)
+	scratch[0] = key
+	if err := p.queryBatch(ctx, scratch[:1], scratch[1:]); err != nil {
+		return 0, err
+	}
+	return scratch[1], nil
 }
 
 // QueryBatch answers a point query per key, appending the results to out
@@ -257,34 +387,87 @@ func (p *Pool) QueryBatch(keys []uint64, out []uint64) []uint64 {
 	} else {
 		out = out[:need]
 	}
-	res := out[base:]
-	if len(keys) == 0 {
-		return out
-	}
-	p.queries.Add(1)
-	p.queryKeys.Add(uint64(len(keys)))
-	if p.closed.Load() {
-		p.answerQuiescent(keys, res)
-		return out
-	}
-	req := &queryReq{keys: keys, out: res, done: make(chan struct{})}
-	select {
-	case p.pick().queries <- req:
-		<-req.done
-	case <-p.done:
-		p.answerQuiescent(keys, res)
+	if len(keys) > 0 {
+		_ = p.queryBatch(nil, keys, out[base:])
 	}
 	return out
 }
 
-// answerQuiescent serves queries after shutdown, when no worker is left
-// to delegate to: it waits for shutdown to finish (so no goroutine is
-// mutating the sketch) and searches directly.
-func (p *Pool) answerQuiescent(keys, out []uint64) {
-	<-p.closedDone
+// QueryBatchCtx answers a point query per key, abandoning the wait when
+// ctx is done (the result slice is then nil). The results are written
+// to a private slice so an abandoned request cannot scribble on caller
+// memory when a worker answers it late.
+func (p *Pool) QueryBatchCtx(ctx context.Context, keys []uint64) ([]uint64, error) {
+	res := make([]uint64, len(keys))
+	if len(keys) == 0 {
+		return res, nil
+	}
+	if err := p.queryBatch(ctx, keys, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// queryBatch hands keys to a worker and waits for the results in res
+// (len(res) == len(keys) > 0). A nil ctx waits without a deadline.
+func (p *Pool) queryBatch(ctx context.Context, keys, res []uint64) error {
+	p.queries.Add(1)
+	p.queryKeys.Add(uint64(len(keys)))
+	var ctxDone <-chan struct{}
+	if ctx != nil {
+		ctxDone = ctx.Done()
+	}
+	if p.closed.Load() {
+		return p.answerQuiescent(ctx, keys, res)
+	}
+	req := &queryReq{keys: keys, out: res, done: make(chan struct{})}
+	select {
+	case p.pick().queries <- req:
+	case <-p.done:
+		return p.answerQuiescent(ctx, keys, res)
+	case <-ctxDone:
+		return ctx.Err()
+	}
+	select {
+	case <-req.done:
+		return nil
+	case <-ctxDone:
+		return ctx.Err()
+	case <-p.closedDone:
+		// The pool finished shutting down after we enqueued; the final
+		// channel sweep may have missed our request. Workers and the
+		// sweep are both done (they happen before closedDone closes),
+		// so answering directly cannot race them.
+		select {
+		case <-req.done: // the sweep answered it after all
+			return nil
+		default:
+		}
+		for i, k := range keys {
+			res[i] = p.ds.EstimateQuiescent(k)
+		}
+		return nil
+	}
+}
+
+// answerQuiescent serves queries issued at/after shutdown, when no
+// worker is left to delegate to: it waits for shutdown to finish (so no
+// goroutine is mutating the sketch) and searches directly. A nil ctx
+// waits without a deadline.
+func (p *Pool) answerQuiescent(ctx context.Context, keys, out []uint64) error {
+	var ctxDone <-chan struct{}
+	if ctx != nil {
+		ctxDone = ctx.Done()
+	}
+	select {
+	case <-p.closedDone:
+	case <-ctxDone:
+		return ctx.Err()
+	}
 	for i, k := range keys {
 		out[i] = p.ds.EstimateQuiescent(k)
 	}
+	return nil
 }
 
 // Quiesce parks every worker at the two-phase barrier, runs fn while the
@@ -297,8 +480,9 @@ func (p *Pool) Quiesce(fn func()) {
 	p.quiesceMu.Lock()
 	defer p.quiesceMu.Unlock()
 	if p.closed.Load() {
-		// Workers are gone (Close holds quiesceMu until shutdown has
-		// completed): the sketch is already quiescent.
+		// The pool is draining or drained. Once shutdown completes the
+		// sketch is quiescent; wait it out rather than racing it.
+		<-p.closedDone
 		fn()
 		return
 	}
@@ -329,24 +513,52 @@ func (p *Pool) pausesDone(t0 time.Time) {
 	p.pauseHist.Record(time.Since(t0))
 }
 
-// Close stops accepting insertions, waits for the workers to drain every
-// buffered insertion into the sketch, flushes the delegation filters,
-// and leaves the sketch quiescent: Query/QueryBatch keep working (served
-// directly), and the owner may use quiescent-only sketch operations.
-// Close must not be called concurrently with in-flight Insert calls —
-// stop producers first; a racing insert may be dropped (never torn).
-// Close is idempotent.
-func (p *Pool) Close() {
+// Drain gracefully shuts the pool down, bounded by ctx: it stops
+// accepting insertions, waits for the workers to drain every accepted
+// insertion into the sketch and exit, answers any still-queued queries,
+// sweeps the shard buffers for entries that raced the shutdown, and
+// flushes the delegation filters, leaving the sketch quiescent. When
+// Drain returns nil, every insertion whose Insert/InsertCtx call
+// succeeded is visible to Query.
+//
+// If ctx expires first, Drain returns ctx.Err() and shutdown continues
+// in the background; a later Drain (or Close) waits for it again, and
+// queries block until it completes. Drain is idempotent and safe to
+// race with in-flight Insert/Query calls: a racing insertion either
+// lands before the final sweep (and is drained) or fails with ErrClosed
+// and is counted in Metrics.Dropped — never silently lost.
+func (p *Pool) Drain(ctx context.Context) error {
 	p.quiesceMu.Lock()
-	defer p.quiesceMu.Unlock()
-	if p.closed.Swap(true) {
-		return
+	if !p.closed.Swap(true) {
+		close(p.done)
+		p.shutdownWG.Add(1)
+		go func() {
+			defer p.shutdownWG.Done()
+			p.finishShutdown()
+		}()
 	}
-	close(p.done)
+	p.quiesceMu.Unlock()
+	select {
+	case <-p.closedDone:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close is Drain without a deadline: it blocks until the pool is fully
+// drained and the sketch quiescent. Query and QueryBatch keep working
+// afterwards (answered directly), and Sketch-level quiescent-only
+// reporting is safe. Idempotent; safe to race with Insert/Query.
+func (p *Pool) Close() { _ = p.Drain(context.Background()) }
+
+// finishShutdown completes a drain: wait out the workers, answer the
+// queries that were still queued when they exited, sweep the shard
+// buffers for insertions that landed during the shutdown race, flush
+// the delegation filters, and publish completion.
+func (p *Pool) finishShutdown() {
 	p.wg.Wait()
-	// Answer any queries still queued: the workers are gone, but the
-	// sketch is now quiescent, so a direct search is safe.
-	for _, sh := range p.shards {
+	for tid, sh := range p.shards {
 		for {
 			select {
 			case q := <-sh.queries:
@@ -359,6 +571,19 @@ func (p *Pool) Close() {
 			}
 			break
 		}
+		// Final sweep. A producer that passed the closed check before
+		// Drain set it may have appended after this worker's last
+		// drain. Marking the shard swept under its lock closes the
+		// race: an append either happened before (visible here, landed
+		// now) or its producer observes swept and gets ErrClosed.
+		sh.mu.Lock()
+		rest := sh.buf
+		sh.buf = nil
+		sh.swept = true
+		sh.mu.Unlock()
+		for _, e := range rest {
+			p.ds.InsertCountSequential(tid, e.key, e.count)
+		}
 	}
 	p.ds.Flush()
 	close(p.closedDone)
@@ -367,9 +592,29 @@ func (p *Pool) Close() {
 // worker is the goroutine owning thread tid: it drains its shard's
 // buffer, answers delegated query batches, parks at quiescence barriers,
 // and keeps helping (the protocol's liveness requirement) when idle.
+//
+// The worker is panic-isolated: a panic escaping an action (a poisoned
+// key in the sketch, an injected fault) is recovered here, counted, and
+// a replacement worker is started on the same shard, inheriting this
+// goroutine's WaitGroup slot. The layers below restore their own
+// invariants before the panic reaches this frame — the delegation layer
+// re-pushes a half-drained filter (resumably), and feed requeues the
+// batch entries the sketch has not accepted — so a restart loses
+// nothing.
 func (p *Pool) worker(tid int) {
-	defer p.wg.Done()
 	sh := p.shards[tid]
+	defer func() {
+		if r := recover(); r != nil {
+			p.panics.Add(1)
+			if h := p.opt.Hooks.OnWorkerPanic; h != nil {
+				h(tid, r)
+			}
+			//lint:ignore goroutinelifecycle the replacement inherits the panicked worker's WaitGroup slot; wg.Done stays deferred in the new frame
+			go p.worker(tid)
+			return
+		}
+		p.wg.Done()
+	}()
 	spin := p.opt.IdleHelp <= 0
 	var idleC <-chan time.Time
 	if !spin {
@@ -405,11 +650,28 @@ func (p *Pool) worker(tid int) {
 				p.shutdown(tid, sh)
 				return
 			case <-idleC:
-				p.drain(tid, sh) // catch anything a lost race left behind
+				p.drain(tid, sh) // catch anything a lost race (or fault) left behind
 				p.ds.Help(tid)
 			}
 		}
 	}
+}
+
+// contain runs f, absorbing a panic in place (counted, hook notified)
+// instead of letting it unwind the worker. It is used where the worker
+// holds protocol obligations — a quiescence barrier, the shutdown tail —
+// that a restart would strand: the coordinator is waiting on channel
+// acks only this frame will send.
+func (p *Pool) contain(tid int, f func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panics.Add(1)
+			if h := p.opt.Hooks.OnWorkerPanic; h != nil {
+				h(tid, r)
+			}
+		}
+	}()
+	f()
 }
 
 // drain swaps the shard's buffer out and feeds it to the sketch in
@@ -438,35 +700,72 @@ func (p *Pool) drain(tid int, sh *shard) {
 		sh.mu.Unlock()
 
 		sh.depths.RecordValue(uint64(n))
-		for off := 0; off < n; off += p.opt.BatchSize {
-			end := off + p.opt.BatchSize
-			if end > n {
-				end = n
-			}
-			for _, e := range batch[off:end] {
-				p.ds.InsertCount(tid, e.key, e.count)
-			}
-			sh.batches.RecordValue(uint64(end - off))
-		}
+		p.feed(tid, sh, batch[:n])
 		recycled = batch[:0]
 	}
 }
 
+// feed pushes one swapped-out batch into the sketch. If an insertion
+// panics, the deferred requeue puts the entries the sketch has not
+// accepted back on the shard buffer before the panic continues to the
+// worker's recover-and-restart. Whether the panicking entry itself is
+// requeued follows the recorded flag: the delegation layer can panic
+// either while helping before the filter append (entry not recorded —
+// requeue it) or while helping afterwards (recorded — requeueing would
+// double count). The replacement worker re-drains exactly the
+// unaccepted remainder.
+func (p *Pool) feed(tid int, sh *shard, batch []entry) {
+	cur, recorded := -1, true // before any entry: a panic requeues batch[0:]
+	defer func() {
+		if r := recover(); r != nil {
+			from := cur
+			if recorded {
+				from++
+			}
+			if rest := batch[from:]; len(rest) > 0 {
+				sh.mu.Lock()
+				sh.buf = append(sh.buf, rest...)
+				sh.mu.Unlock()
+				// Direct notify: recovery wakeups must not be lost, so
+				// this bypasses the WakeDrop fault seam.
+				sh.notify()
+			}
+			panic(r)
+		}
+	}()
+	n := len(batch)
+	for off := 0; off < n; off += p.opt.BatchSize {
+		end := off + p.opt.BatchSize
+		if end > n {
+			end = n
+		}
+		for i := off; i < end; i++ {
+			cur, recorded = i, false
+			p.ds.InsertCountRecorded(tid, batch[i].key, batch[i].count, &recorded)
+		}
+		sh.batches.RecordValue(uint64(end - off))
+	}
+}
+
 // serve answers one query batch through the delegation protocol.
-// Worker-side only.
+// Worker-side only. done is closed by the defer rather than at the end
+// so a panic mid-batch (recovered at the worker top level) still
+// releases the querier; unanswered slots keep their zero values.
 func (p *Pool) serve(tid int, q *queryReq) {
+	defer close(q.done)
 	for i, k := range q.keys {
 		q.out[i] = p.ds.Query(tid, k)
 	}
-	close(q.done)
 }
 
 // pause executes one quiescence barrier from the worker's side: drain
 // the ingest buffer (so completed insertions are visible to fn), ack
 // phase 1 and keep helping until everyone arrives, ack phase 2, then
-// wait passively for resume.
+// wait passively for resume. Drain and help panics are contained (not
+// restarted) because the Quiesce coordinator is blocked on this frame's
+// acks.
 func (p *Pool) pause(tid int, sh *shard, pr pauseReq) {
-	p.drain(tid, sh)
+	p.contain(tid, func() { p.drain(tid, sh) })
 	pr.parked <- struct{}{}
 	holding := true
 	for holding {
@@ -474,7 +773,7 @@ func (p *Pool) pause(tid int, sh *shard, pr pauseReq) {
 		case <-pr.hold:
 			holding = false
 		default:
-			p.ds.Help(tid) // someone may be blocked on us mid-op
+			p.contain(tid, func() { p.ds.Help(tid) }) // someone may be blocked on us mid-op
 			runtime.Gosched()
 		}
 	}
@@ -484,14 +783,19 @@ func (p *Pool) pause(tid int, sh *shard, pr pauseReq) {
 
 // shutdown winds a worker down: final drain, then the cooperative tail —
 // keep helping until every worker has finished its final drain, because
-// a peer's drain may block on delegated work only we can serve.
+// a peer's drain may block on delegated work only we can serve. Panics
+// are contained here (the peers' tails and finishShutdown depend on the
+// exited count this frame maintains); anything a contained panic leaves
+// buffered is landed by finishShutdown's sweep.
 func (p *Pool) shutdown(tid int, sh *shard) {
-	p.drain(tid, sh)
+	p.contain(tid, func() { p.drain(tid, sh) })
 	t := int32(len(p.shards))
 	p.exited.Add(1)
 	for p.exited.Load() < t {
-		p.drain(tid, sh) // a racing insert may still land in our lane
-		p.ds.Help(tid)
+		p.contain(tid, func() {
+			p.drain(tid, sh) // a racing insert may still land in our lane
+			p.ds.Help(tid)
+		})
 		runtime.Gosched()
 	}
 }
@@ -505,6 +809,17 @@ type Metrics struct {
 	Queries      uint64
 	QueryKeys    uint64
 	Backpressure uint64
+	// Dropped counts insertions discarded because the pool was closed
+	// or draining; Rejected counts insertions refused while serving
+	// (Shed policy, or an InsertCtx deadline during a Block backoff).
+	Dropped  uint64
+	Rejected uint64
+	// QueueDepth is the instantaneous number of buffered insertions
+	// across all shards at the moment of the snapshot.
+	QueueDepth uint64
+	// WorkerPanics counts panics recovered in worker goroutines; each
+	// either restarted the shard's worker or was contained in place.
+	WorkerPanics uint64
 	Quiesces     uint64
 	Enqueue      metrics.Histogram
 	Batches      metrics.Histogram
@@ -519,12 +834,16 @@ func (p *Pool) Metrics() Metrics {
 		Queries:      p.queries.Load(),
 		QueryKeys:    p.queryKeys.Load(),
 		Backpressure: p.backpressure.Load(),
+		Dropped:      p.dropped.Load(),
+		Rejected:     p.rejected.Load(),
+		WorkerPanics: p.panics.Load(),
 		Quiesces:     p.quiesces.Load(),
 		Pauses:       p.pauseHist.Snapshot(),
 	}
 	for _, sh := range p.shards {
 		sh.mu.Lock()
 		m.Inserts += sh.inserts
+		m.QueueDepth += uint64(len(sh.buf))
 		sh.mu.Unlock()
 		e, b, d := sh.enqueue.Snapshot(), sh.batches.Snapshot(), sh.depths.Snapshot()
 		m.Enqueue.Merge(&e)

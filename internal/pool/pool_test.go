@@ -195,6 +195,7 @@ func TestQuiesceStressNoLostUpdates(t *testing.T) {
 
 	// Coordinator: quiesce in a loop, checking the bracketing invariant.
 	aux.Add(1)
+	//lint:ignore recoverguard test coordinator: a panic here crashes the test run loudly, which is the right outcome
 	go func() {
 		defer aux.Done()
 		for {
@@ -223,6 +224,7 @@ func TestQuiesceStressNoLostUpdates(t *testing.T) {
 
 	// Live querier, for race coverage of the delegated-query path.
 	aux.Add(1)
+	//lint:ignore recoverguard test querier: a panic here crashes the test run loudly, which is the right outcome
 	go func() {
 		defer aux.Done()
 		out := make([]uint64, 0, 8)

@@ -1,0 +1,236 @@
+package dsketch_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dsketch"
+)
+
+func TestConfigValidate(t *testing.T) {
+	valid := []dsketch.Config{
+		{},
+		{Threads: 4, Width: 1024, Depth: 4},
+		{Epsilon: 0.01, Delta: 0.01},
+		{Backend: dsketch.BackendCountSketch},
+	}
+	for _, cfg := range valid {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", cfg, err)
+		}
+	}
+	invalid := []struct {
+		cfg  dsketch.Config
+		frag string
+	}{
+		{dsketch.Config{Threads: -1}, "Threads"},
+		{dsketch.Config{Width: -1}, "Width"},
+		{dsketch.Config{Depth: -8}, "Depth"},
+		{dsketch.Config{FilterSize: -16}, "FilterSize"},
+		{dsketch.Config{Epsilon: 0.01}, "together"},
+		{dsketch.Config{Delta: 0.01}, "together"},
+		{dsketch.Config{Epsilon: 1.5, Delta: 0.1}, "Epsilon"},
+		{dsketch.Config{Epsilon: 0.1, Delta: -0.5}, "Delta"},
+		{dsketch.Config{Backend: dsketch.Backend(99)}, "Backend"},
+	}
+	for _, tc := range invalid {
+		err := tc.cfg.Validate()
+		if err == nil {
+			t.Errorf("Validate(%+v) = nil, want error mentioning %q", tc.cfg, tc.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("Validate(%+v) = %q, want mention of %q", tc.cfg, err, tc.frag)
+		}
+	}
+}
+
+func TestPoolConfigValidateAndNewPoolChecked(t *testing.T) {
+	if _, err := dsketch.NewPoolChecked(dsketch.PoolConfig{BatchSize: -1}); err == nil ||
+		!strings.Contains(err.Error(), "BatchSize") {
+		t.Fatalf("NewPoolChecked(BatchSize:-1) err = %v, want BatchSize error", err)
+	}
+	if _, err := dsketch.NewPoolChecked(dsketch.PoolConfig{QueueCapacity: -2}); err == nil ||
+		!strings.Contains(err.Error(), "QueueCapacity") {
+		t.Fatalf("NewPoolChecked(QueueCapacity:-2) err = %v, want QueueCapacity error", err)
+	}
+	if _, err := dsketch.NewPoolChecked(dsketch.PoolConfig{IdleHelp: -time.Second}); err == nil ||
+		!strings.Contains(err.Error(), "IdleHelp") {
+		t.Fatalf("NewPoolChecked(IdleHelp:-1s) err = %v, want IdleHelp error", err)
+	}
+	bad := dsketch.PoolConfig{Config: dsketch.Config{Threads: -3}}
+	if _, err := dsketch.NewPoolChecked(bad); err == nil {
+		t.Fatal("NewPoolChecked with Threads=-3 succeeded")
+	}
+	p, err := dsketch.NewPoolChecked(dsketch.PoolConfig{
+		Config: dsketch.Config{Threads: 2},
+		Policy: dsketch.OverloadShed,
+	})
+	if err != nil {
+		t.Fatalf("NewPoolChecked(valid) = %v", err)
+	}
+	p.Close()
+}
+
+func TestNewPoolPanicsWithValidationMessage(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("NewPool with invalid config did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "Threads") {
+			t.Fatalf("panic value = %v, want validation message mentioning Threads", r)
+		}
+	}()
+	dsketch.NewPool(dsketch.PoolConfig{Config: dsketch.Config{Threads: -1}})
+}
+
+// TestPoolCloseIdempotentAndSafeWithInFlightOps is the regression test
+// for the Close/operation races: a second Close must be a no-op, and
+// Insert/Query racing or following Close must return promptly (error or
+// quiescent answer) — never hang, never panic, never lose an accepted
+// insertion.
+func TestPoolCloseIdempotentAndSafeWithInFlightOps(t *testing.T) {
+	p := dsketch.NewPool(dsketch.PoolConfig{
+		Config: dsketch.Config{Threads: 4, Width: 4096, Depth: 8},
+	})
+	const producers = 4
+	accepted := make([]uint64, producers)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < producers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 5000; i++ {
+				if err := p.InsertCtx(context.Background(), 7); err != nil {
+					if !errors.Is(err, dsketch.ErrClosed) {
+						t.Errorf("InsertCtx mid-close: %v", err)
+					}
+					return
+				}
+				accepted[g]++
+			}
+		}(g)
+	}
+	close(start)
+	p.Close()
+	p.Close() // idempotent: second Close is a no-op
+	wg.Wait()
+
+	var want uint64
+	for _, a := range accepted {
+		want += a
+	}
+	if got := p.Query(7); got != want {
+		t.Fatalf("after Close, Query(7) = %d, want %d accepted insertions", got, want)
+	}
+	// Post-Close operations: Insert is refused with an error and Query
+	// keeps answering quiescently.
+	if err := p.InsertCtx(context.Background(), 7); !errors.Is(err, dsketch.ErrClosed) {
+		t.Fatalf("post-Close InsertCtx err = %v, want ErrClosed", err)
+	}
+	p.Insert(7) // error-less form: must not panic or hang
+	if got := p.Query(7); got != want {
+		t.Fatalf("post-Close Insert mutated the sketch: Query(7) = %d, want %d", got, want)
+	}
+	if got, err := p.QueryCtx(context.Background(), 7); err != nil || got != want {
+		t.Fatalf("post-Close QueryCtx = %d, %v; want %d, nil", got, err, want)
+	}
+	m := p.Metrics()
+	if m.Dropped == 0 {
+		t.Fatal("refused post-Close insertions were not counted in Metrics.Dropped")
+	}
+}
+
+func TestPoolDrainDeadline(t *testing.T) {
+	p := dsketch.NewPool(dsketch.PoolConfig{
+		Config: dsketch.Config{Threads: 2, Width: 1024, Depth: 4},
+	})
+	for i := uint64(0); i < 100; i++ {
+		p.Insert(i)
+	}
+	// An already-expired context: Drain must return its error promptly
+	// while shutdown proceeds in the background...
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.Drain(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Drain(cancelled ctx) = %v, want context.Canceled", err)
+	}
+	// ...and a follow-up unbounded Drain waits it out and reports clean.
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatalf("second Drain = %v, want nil", err)
+	}
+	for i := uint64(0); i < 100; i++ {
+		if got := p.Query(i); got != 1 {
+			t.Fatalf("after Drain, Query(%d) = %d, want 1", i, got)
+		}
+	}
+}
+
+func TestPoolCtxVariants(t *testing.T) {
+	p := dsketch.NewPool(dsketch.PoolConfig{
+		Config: dsketch.Config{Threads: 2, Width: 1024, Depth: 4},
+	})
+	defer p.Close()
+	if err := p.InsertCountCtx(context.Background(), 42, 3); err != nil {
+		t.Fatalf("InsertCountCtx = %v", err)
+	}
+	if err := p.InsertCtx(context.Background(), 42); err != nil {
+		t.Fatalf("InsertCtx = %v", err)
+	}
+	// Visibility barrier: an insertion is queryable once its worker
+	// drains it; quiesce so the assertion below is deterministic.
+	p.Quiesce(func(*dsketch.Sketch) {})
+	res, err := p.QueryBatchCtx(context.Background(), []uint64{42, 99})
+	if err != nil {
+		t.Fatalf("QueryBatchCtx = %v", err)
+	}
+	if res[0] < 4 {
+		t.Fatalf("QueryBatchCtx[42] = %d, want >= 4", res[0])
+	}
+	// A cancelled context fails query waits without touching the pool.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.QueryBatchCtx(ctx, []uint64{42}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("QueryBatchCtx(cancelled) err = %v, want context.Canceled", err)
+	}
+}
+
+func TestPoolShedPolicyRejectsWhenFull(t *testing.T) {
+	// One thread, tiny queue, and a quiesce pause holding the worker:
+	// the buffer must fill and then every further insert is shed.
+	p := dsketch.NewPool(dsketch.PoolConfig{
+		Config:        dsketch.Config{Threads: 1, Width: 1024, Depth: 4},
+		QueueCapacity: 8,
+		BatchSize:     4,
+		Policy:        dsketch.OverloadShed,
+	})
+	defer p.Close()
+	blocked := make(chan struct{})
+	release := make(chan struct{})
+	go p.Quiesce(func(s *dsketch.Sketch) {
+		close(blocked)
+		<-release
+	})
+	<-blocked
+	var rejected int
+	for i := 0; i < 64; i++ {
+		if err := p.InsertCtx(context.Background(), uint64(i)); errors.Is(err, dsketch.ErrOverloaded) {
+			rejected++
+		}
+	}
+	close(release)
+	if rejected == 0 {
+		t.Fatal("no insertion was shed with a parked worker and a full 8-slot queue")
+	}
+	if m := p.Metrics(); m.Rejected != uint64(rejected) {
+		t.Fatalf("Metrics.Rejected = %d, want %d (every rejection accounted)", m.Rejected, rejected)
+	}
+}

@@ -1,11 +1,44 @@
 package dsketch
 
 import (
+	"context"
+	"fmt"
 	"time"
 
 	"dsketch/internal/hash"
 	"dsketch/internal/pool"
 )
+
+// Errors returned by the context-aware and load-shedding Pool paths.
+var (
+	// ErrClosed reports an operation against a closed (or draining)
+	// Pool; the insertion or query had no effect.
+	ErrClosed = pool.ErrClosed
+	// ErrOverloaded reports an insertion shed because the shard's ingest
+	// buffer was full and the Pool uses OverloadShed.
+	ErrOverloaded = pool.ErrOverloaded
+)
+
+// OverloadPolicy selects what Pool ingestion does when a shard's buffer
+// is full.
+type OverloadPolicy int
+
+const (
+	// OverloadBlock (the default) backs the producer off until the
+	// worker catches up; InsertCtx bounds the wait with a deadline.
+	OverloadBlock OverloadPolicy = iota
+	// OverloadShed rejects the insertion immediately with ErrOverloaded
+	// (counted in PoolMetrics.Rejected), keeping producer latency
+	// bounded under sustained overload.
+	OverloadShed
+)
+
+func (p OverloadPolicy) internal() pool.Policy {
+	if p == OverloadShed {
+		return pool.Shed
+	}
+	return pool.Block
+}
 
 // Pool is the serving front-end: a Sketch plus the worker goroutines
 // that drive it, behind a goroutine-safe API. Use it when insertions
@@ -42,9 +75,12 @@ type PoolConfig struct {
 	// of queries queued behind a drain; larger values amortize better.
 	BatchSize int
 	// QueueCapacity caps each shard's ingest buffer, in insertions
-	// (default 4096). Producers back off when their shard is full, so
-	// memory stays bounded under overload.
+	// (default 4096). A producer that finds its shard full is handled
+	// per Policy, so memory stays bounded under overload.
 	QueueCapacity int
+	// Policy selects the full-buffer behavior: OverloadBlock (default)
+	// or OverloadShed.
+	Policy OverloadPolicy
 	// IdleHelp selects idle-worker behavior: 0 (default) busy-polls —
 	// lowest latency, one spinning core per idle worker — while a
 	// positive duration makes idle workers sleep and help only every
@@ -52,18 +88,53 @@ type PoolConfig struct {
 	IdleHelp time.Duration
 }
 
-// NewPool builds the Sketch described by cfg.Config and starts
-// cfg.Threads worker goroutines over it. Call Close to release them.
-func NewPool(cfg PoolConfig) *Pool {
+// Validate reports the first problem with cfg, or nil. Zero values are
+// always valid (they select the documented defaults).
+func (cfg PoolConfig) Validate() error {
+	if err := cfg.Config.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case cfg.BatchSize < 0:
+		return fmt.Errorf("dsketch: BatchSize must be >= 0 (0 selects the default), got %d", cfg.BatchSize)
+	case cfg.QueueCapacity < 0:
+		return fmt.Errorf("dsketch: QueueCapacity must be >= 0 (0 selects the default), got %d", cfg.QueueCapacity)
+	case cfg.Policy != OverloadBlock && cfg.Policy != OverloadShed:
+		return fmt.Errorf("dsketch: unknown OverloadPolicy %d", cfg.Policy)
+	case cfg.IdleHelp < 0:
+		return fmt.Errorf("dsketch: IdleHelp must be >= 0 (0 busy-polls), got %v", cfg.IdleHelp)
+	}
+	return nil
+}
+
+// NewPoolChecked validates cfg, then builds the Sketch described by
+// cfg.Config and starts cfg.Threads worker goroutines over it. Call
+// Close (or Drain) to release them.
+func NewPoolChecked(cfg PoolConfig) (*Pool, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	s := New(cfg.Config)
 	return &Pool{
 		s: s,
 		p: pool.New(s.ds, pool.Options{
 			BatchSize:     cfg.BatchSize,
 			QueueCapacity: cfg.QueueCapacity,
+			Policy:        cfg.Policy.internal(),
 			IdleHelp:      cfg.IdleHelp,
 		}),
+	}, nil
+}
+
+// NewPool is NewPoolChecked for callers that treat a bad configuration
+// as a programming error: it panics with the validation message instead
+// of returning it.
+func NewPool(cfg PoolConfig) *Pool {
+	p, err := NewPoolChecked(cfg)
+	if err != nil {
+		panic(err.Error())
 	}
+	return p
 }
 
 // Threads returns the number of workers (= sketch threads = shards).
@@ -80,6 +151,21 @@ func (p *Pool) InsertCount(key uint64, count uint64) { p.p.InsertCount(key, coun
 // 64 bits; use the same form consistently for inserts and queries).
 func (p *Pool) InsertString(key string) { p.p.Insert(hash.FingerprintString(key)) }
 
+// InsertCtx records one occurrence of key, bounding any OverloadBlock
+// backoff by ctx. It returns nil on acceptance, ctx.Err() if the wait
+// was cut short, ErrOverloaded if OverloadShed refused it, or ErrClosed
+// if the pool is closed — in every non-nil case the insertion had no
+// effect and is counted in PoolMetrics (Rejected or Dropped).
+func (p *Pool) InsertCtx(ctx context.Context, key uint64) error {
+	return p.p.InsertCtx(ctx, key)
+}
+
+// InsertCountCtx is InsertCtx for count occurrences (a zero count is a
+// no-op).
+func (p *Pool) InsertCountCtx(ctx context.Context, key, count uint64) error {
+	return p.p.InsertCountCtx(ctx, key, count)
+}
+
 // Query estimates key's frequency. Goroutine-safe; see Pool's
 // consistency note.
 func (p *Pool) Query(key uint64) uint64 { return p.p.Query(key) }
@@ -94,6 +180,18 @@ func (p *Pool) QueryString(key string) uint64 {
 // and results come back positionally.
 func (p *Pool) QueryBatch(keys []uint64) []uint64 {
 	return p.p.QueryBatch(keys, nil)
+}
+
+// QueryCtx estimates key's frequency, abandoning the wait when ctx is
+// done (the result is then 0 and the error ctx.Err()).
+func (p *Pool) QueryCtx(ctx context.Context, key uint64) (uint64, error) {
+	return p.p.QueryCtx(ctx, key)
+}
+
+// QueryBatchCtx is QueryBatch with a deadline: the wait is abandoned
+// when ctx is done (the result slice is then nil).
+func (p *Pool) QueryBatchCtx(ctx context.Context, keys []uint64) ([]uint64, error) {
+	return p.p.QueryBatchCtx(ctx, keys)
 }
 
 // Quiesce pauses the pool — every worker parks at a two-phase barrier
@@ -155,6 +253,20 @@ type PoolMetrics struct {
 	Inserts, Queries, QueryKeys uint64
 	// Backpressure counts producer backoffs on a full shard buffer.
 	Backpressure uint64
+	// Dropped counts insertions discarded because the pool was closed or
+	// draining; Rejected counts insertions refused while serving (the
+	// OverloadShed policy, or an InsertCtx deadline during a backoff).
+	// An Insert that neither errored nor appears here is durably in the
+	// sketch after a successful Drain.
+	Dropped, Rejected uint64
+	// QueueDepth is the instantaneous number of buffered insertions
+	// across all shards at the moment of the snapshot.
+	QueueDepth uint64
+	// WorkerPanics counts panics recovered inside worker goroutines;
+	// each one restarted the shard's worker (or was contained in place
+	// during a barrier), so a non-zero value means the pool survived a
+	// fault, not that it is unhealthy now.
+	WorkerPanics uint64
 	// Quiesces counts completed quiescent pauses (incl. Snapshots).
 	Quiesces uint64
 	// Batches counts chunks drained into the sketch; BatchMean/BatchMax
@@ -180,6 +292,10 @@ func (p *Pool) Metrics() PoolMetrics {
 		Queries:      m.Queries,
 		QueryKeys:    m.QueryKeys,
 		Backpressure: m.Backpressure,
+		Dropped:      m.Dropped,
+		Rejected:     m.Rejected,
+		QueueDepth:   m.QueueDepth,
+		WorkerPanics: m.WorkerPanics,
 		Quiesces:     m.Quiesces,
 		Batches:      m.Batches.Count(),
 		BatchMean:    m.Batches.MeanValue(),
@@ -194,11 +310,26 @@ func (p *Pool) Metrics() PoolMetrics {
 	}
 }
 
-// Close stops the workers after draining every buffered insertion and
-// flushing the delegation filters, leaving the sketch quiescent: Query
-// and QueryBatch keep working (answered directly), and Sketch() may be
-// used for quiescent-only reporting. Stop producers before calling
-// Close — an Insert racing Close may be dropped. Idempotent.
+// Drain gracefully shuts the pool down, bounded by ctx: it stops
+// accepting insertions, waits for the workers to drain every accepted
+// insertion into the sketch and exit, answers still-queued queries, and
+// flushes the delegation filters, leaving the sketch quiescent. When
+// Drain returns nil, every insertion whose Insert/InsertCtx call
+// succeeded is visible to Query.
+//
+// If ctx expires first, Drain returns ctx.Err() and shutdown continues
+// in the background (a later Drain or Close waits for it again). Drain
+// is idempotent and safe to race with in-flight Insert and Query calls:
+// a racing Insert either lands before the final sweep or fails with
+// ErrClosed and is counted in PoolMetrics.Dropped — never silently
+// lost.
+func (p *Pool) Drain(ctx context.Context) error { return p.p.Drain(ctx) }
+
+// Close is Drain without a deadline: it blocks until every buffered
+// insertion is drained and the delegation filters flushed, leaving the
+// sketch quiescent. Query and QueryBatch keep working afterwards
+// (answered directly), and Sketch() may be used for quiescent-only
+// reporting. Idempotent; safe to race with in-flight Insert and Query.
 func (p *Pool) Close() { p.p.Close() }
 
 // Sketch returns the underlying Sketch. Its quiescent-only operations
