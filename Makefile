@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check ci vet build test race chaos lint dslint bench
+.PHONY: check ci vet build test race chaos fuzz lint dslint bench
 
-## check: everything CI runs — vet, build, tests, static analysis, and
-## the -race stress suites for the concurrency-critical packages.
-check: vet build test lint race
+## check: everything CI runs — vet, build, tests, static analysis, the
+## -race stress suites for the concurrency-critical packages, and the
+## decoder fuzz seed corpora.
+check: vet build test lint race fuzz
 
 ## ci: the full gate ci.sh runs, as one target.
 ci:
@@ -20,13 +21,20 @@ test:
 	$(GO) test -shuffle=on -timeout=5m ./...
 
 race:
-	$(GO) test -race -shuffle=on -timeout=5m ./internal/pool ./internal/delegation ./internal/spsc ./internal/filter
+	$(GO) test -race -shuffle=on -timeout=5m ./internal/pool ./internal/delegation ./internal/spsc ./internal/filter ./internal/persist
 
 ## chaos: the fault-injection suites under -race — injected delays,
-## lost wakeups, worker panics, and overload shedding, each ending in a
-## graceful drain that must account every accepted insertion exactly.
+## lost wakeups, worker panics, overload shedding, and torn checkpoint
+## writes at every cut point; graceful drains must account every
+## accepted insertion exactly and recovery must never lose a
+## checkpointed count.
 chaos:
-	$(GO) test -race -count=1 -timeout=5m -run '^TestChaos' ./internal/pool ./internal/delegation
+	$(GO) test -race -count=1 -timeout=5m -run '^TestChaos' ./internal/pool ./internal/delegation ./internal/persist
+
+## fuzz: execute the decoder fuzz targets over their seed corpora
+## (deterministic; use 'go test -fuzz' manually for open-ended runs).
+fuzz:
+	$(GO) test -count=1 -timeout=5m -run '^Fuzz' ./internal/sketch ./internal/persist
 
 ## lint: go vet plus the repository's own concurrency-invariant
 ## analyzers (cmd/dslint). Fails on any unsuppressed diagnostic.

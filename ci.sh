@@ -8,11 +8,16 @@
 #   race    — the -race stress suites for the concurrency-critical
 #             packages (pool, delegation, spsc, filter)
 #   chaos   — the fault-injection suites under -race: injected delays,
-#             lost wakeups, worker panics, and overload shedding must
-#             never lose an accepted insertion across a graceful drain
+#             lost wakeups, worker panics, overload shedding, and torn
+#             checkpoint writes must never lose an accepted insertion
+#             across a graceful drain nor a checkpointed count across a
+#             crash-recovery
+#   fuzz    — the decoder fuzz targets over their seed corpora
+#             (sketch and checkpoint deserializers)
 #   dslint  — the repository's concurrency-invariant analyzers
 #             (internal/lint): mutexcopy, lockpair, atomicmix,
-#             goroutinelifecycle, recoverguard, sleepysync, errchecklite
+#             goroutinelifecycle, recoverguard, sleepysync,
+#             errchecklite, closecheck
 set -eu
 
 GO=${GO:-go}
@@ -26,11 +31,14 @@ $GO vet ./...
 echo "==> test"
 $GO test -shuffle=on -timeout=5m ./...
 
-echo "==> race stress (pool, delegation, spsc, filter)"
-$GO test -race -count=1 -shuffle=on -timeout=5m ./internal/pool ./internal/delegation ./internal/spsc ./internal/filter
+echo "==> race stress (pool, delegation, spsc, filter, persist)"
+$GO test -race -count=1 -shuffle=on -timeout=5m ./internal/pool ./internal/delegation ./internal/spsc ./internal/filter ./internal/persist
 
 echo "==> chaos (fault injection under -race)"
-$GO test -race -count=1 -timeout=5m -run '^TestChaos' ./internal/pool ./internal/delegation
+$GO test -race -count=1 -timeout=5m -run '^TestChaos' ./internal/pool ./internal/delegation ./internal/persist
+
+echo "==> fuzz seed corpora (decoders)"
+$GO test -count=1 -timeout=5m -run '^Fuzz' ./internal/sketch ./internal/persist
 
 echo "==> dslint"
 $GO run ./cmd/dslint ./...

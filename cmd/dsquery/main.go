@@ -152,7 +152,7 @@ func readTrace(path string) ([]uint64, error) {
 	if err != nil {
 		return nil, err
 	}
-	//lint:ignore errchecklite read-only file; a close error cannot lose data
+	//lint:ignore all read-only file; a close error cannot lose data
 	defer f.Close()
 	r, err := trace.NewReader(f)
 	if err != nil {

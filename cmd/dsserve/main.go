@@ -13,6 +13,7 @@
 //	GET  /query?key=<uint64|string>[&key=...]   (repeat key for a batch)
 //	GET  /topk?k=10        (requires -topk)
 //	GET  /stats
+//	GET  /healthz          (200 serving, 503 recovering or draining)
 //
 // Overload and shutdown semantics: each request gets a deadline
 // (-reqtimeout); an insertion refused under overload (-policy shed) or
@@ -22,9 +23,17 @@
 // -draintimeout) so every accepted insertion is flushed into the sketch
 // before the process exits.
 //
+// Durability: with -checkpoint-dir set the pool checkpoints its state
+// atomically every -checkpoint-interval (retaining -checkpoint-keep
+// generations), takes a final checkpoint during graceful shutdown, and
+// recovers the newest intact generation at startup — falling back past
+// torn files a crash may have left behind. /healthz answers 503 until
+// recovery completes, so load balancers do not route to a still-empty
+// sketch.
+//
 // Usage:
 //
-//	dsserve -addr :8080 -threads 4 -topk
+//	dsserve -addr :8080 -threads 4 -topk -checkpoint-dir /var/lib/dsserve
 //	curl -X POST 'localhost:8080/insert?key=10.0.0.1'
 //	curl 'localhost:8080/query?key=10.0.0.1'
 //	curl 'localhost:8080/query?key=10.0.0.1&key=10.0.0.2'
@@ -43,6 +52,7 @@ import (
 	"os/signal"
 	"runtime"
 	"strconv"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -62,51 +72,185 @@ type config struct {
 	idleHelp     time.Duration
 	reqTimeout   time.Duration // per-request operation deadline (0 = none)
 	drainTimeout time.Duration // bound on the shutdown drain
+
+	ckptDir      string        // checkpoint directory ("" disables durability)
+	ckptInterval time.Duration // background checkpoint period
+	ckptKeep     int           // retained checkpoint generations
 }
 
-// server is the HTTP surface over the pool.
-type server struct {
-	pool *dsketch.Pool
-	cfg  config
-}
-
-// newServer validates cfg and builds the pool under it.
-func newServer(cfg config) (*server, error) {
+// poolConfig translates the flag surface into the library config.
+func (c config) poolConfig() (dsketch.PoolConfig, error) {
 	var policy dsketch.OverloadPolicy
-	switch cfg.policy {
+	switch c.policy {
 	case "", "block":
 		policy = dsketch.OverloadBlock
 	case "shed":
 		policy = dsketch.OverloadShed
 	default:
-		return nil, fmt.Errorf("dsserve: -policy must be block or shed, got %q", cfg.policy)
+		return dsketch.PoolConfig{}, fmt.Errorf("dsserve: -policy must be block or shed, got %q", c.policy)
 	}
-	pool, err := dsketch.NewPoolChecked(dsketch.PoolConfig{
+	pcfg := dsketch.PoolConfig{
 		Config: dsketch.Config{
-			Threads:           cfg.threads,
-			Width:             cfg.width,
-			Depth:             cfg.depth,
-			TrackHeavyHitters: cfg.topk,
+			Threads:           c.threads,
+			Width:             c.width,
+			Depth:             c.depth,
+			TrackHeavyHitters: c.topk,
 		},
-		BatchSize:     cfg.batch,
-		QueueCapacity: cfg.queue,
+		BatchSize:     c.batch,
+		QueueCapacity: c.queue,
 		Policy:        policy,
-		IdleHelp:      cfg.idleHelp,
-	})
+		IdleHelp:      c.idleHelp,
+	}
+	if c.ckptDir != "" {
+		pcfg.Checkpoint = dsketch.CheckpointConfig{
+			Dir:      c.ckptDir,
+			Interval: c.ckptInterval,
+			Keep:     c.ckptKeep,
+		}
+	}
+	return pcfg, nil
+}
+
+// validateCheckpoint rejects unusable durability flags at startup, before
+// the listener opens: a daemon that silently cannot persist is worse than
+// one that refuses to start.
+func (c config) validateCheckpoint() error {
+	if c.ckptDir == "" {
+		if c.ckptInterval != 0 || c.ckptKeep != 0 {
+			return fmt.Errorf("dsserve: -checkpoint-interval/-checkpoint-keep require -checkpoint-dir")
+		}
+		return nil
+	}
+	if c.ckptInterval <= 0 {
+		return fmt.Errorf("dsserve: -checkpoint-interval must be positive, got %v", c.ckptInterval)
+	}
+	if c.ckptKeep <= 0 {
+		return fmt.Errorf("dsserve: -checkpoint-keep must be positive, got %d", c.ckptKeep)
+	}
+	st, err := os.Stat(c.ckptDir)
+	if err != nil {
+		return fmt.Errorf("dsserve: -checkpoint-dir: %w", err)
+	}
+	if !st.IsDir() {
+		return fmt.Errorf("dsserve: -checkpoint-dir %s is not a directory", c.ckptDir)
+	}
+	// Probe writability the only portable way: actually create a file.
+	f, err := os.CreateTemp(c.ckptDir, ".dsserve-probe-*")
+	if err != nil {
+		return fmt.Errorf("dsserve: -checkpoint-dir %s is not writable: %w", c.ckptDir, err)
+	}
+	name := f.Name()
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("dsserve: -checkpoint-dir probe: %w", err)
+	}
+	return os.Remove(name)
+}
+
+// Health states, in startup order. The zero value is healthRecovering so
+// a server answers 503 from the moment its mux exists until open() has
+// finished loading durable state.
+const (
+	healthRecovering int32 = iota
+	healthServing
+	healthDraining
+)
+
+// server is the HTTP surface over the pool.
+type server struct {
+	pool     *dsketch.Pool
+	cfg      config
+	health   atomic.Int32
+	started  time.Time
+	restored *dsketch.RestoreInfo // non-nil after a successful recovery
+}
+
+// prepServer validates cfg and returns a server with no pool yet: its
+// mux already answers (healthz says 503 recovering) but open must run
+// before traffic endpoints work.
+func prepServer(cfg config) (*server, error) {
+	if _, err := cfg.poolConfig(); err != nil {
+		return nil, err
+	}
+	if err := cfg.validateCheckpoint(); err != nil {
+		return nil, err
+	}
+	return &server{cfg: cfg}, nil
+}
+
+// open builds the pool — recovering the newest intact checkpoint when a
+// checkpoint directory is configured — and flips the server to serving.
+func (s *server) open() error {
+	pcfg, err := s.cfg.poolConfig()
+	if err != nil {
+		return err
+	}
+	if s.cfg.ckptDir != "" {
+		pool, ri, err := dsketch.RestorePool(pcfg)
+		if err != nil {
+			return err
+		}
+		s.pool, s.restored = pool, ri
+	} else {
+		pool, err := dsketch.NewPoolChecked(pcfg)
+		if err != nil {
+			return err
+		}
+		s.pool = pool
+	}
+	s.started = time.Now()
+	s.health.Store(healthServing)
+	return nil
+}
+
+// newServer validates cfg, builds the pool under it, and recovers
+// durable state when configured.
+func newServer(cfg config) (*server, error) {
+	s, err := prepServer(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &server{pool: pool, cfg: cfg}, nil
+	if err := s.open(); err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
-// mux routes the four endpoints.
+// mux routes the endpoints. Traffic handlers are gated on recovery
+// having finished (the pool does not exist before open returns); after a
+// drain they keep answering queries quiescently, so only the recovering
+// state is gated, not draining.
 func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/insert", s.handleInsert)
-	mux.HandleFunc("/query", s.handleQuery)
-	mux.HandleFunc("/topk", s.handleTopK)
-	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/insert", s.recovered(s.handleInsert))
+	mux.HandleFunc("/query", s.recovered(s.handleQuery))
+	mux.HandleFunc("/topk", s.recovered(s.handleTopK))
+	mux.HandleFunc("/stats", s.recovered(s.handleStats))
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
+}
+
+// recovered answers 503 until startup recovery has completed.
+func (s *server) recovered(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.health.Load() == healthRecovering {
+			http.Error(w, "recovering", http.StatusServiceUnavailable)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// handleHealthz is the load-balancer probe: 200 only while the server is
+// fully up — recovery done, drain not begun.
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	switch s.health.Load() {
+	case healthServing:
+		writef(w, "ok\n")
+	case healthRecovering:
+		http.Error(w, "recovering", http.StatusServiceUnavailable)
+	default:
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	}
 }
 
 // opCtx derives the pool-operation context for one request: the
@@ -256,8 +400,20 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		m.Batches, m.BatchMean, m.BatchMax, m.DepthMean, m.DepthMax) {
 		return
 	}
-	writef(w, "enqueue_p50=%v enqueue_p99=%v enqueue_max=%v pause_mean=%v pause_max=%v\n",
-		m.EnqueueP50, m.EnqueueP99, m.EnqueueMax, m.PauseMean, m.PauseMax)
+	if !writef(w, "enqueue_p50=%v enqueue_p99=%v enqueue_max=%v pause_mean=%v pause_max=%v\n",
+		m.EnqueueP50, m.EnqueueP99, m.EnqueueMax, m.PauseMean, m.PauseMax) {
+		return
+	}
+	if !writef(w, "uptime_seconds=%.0f\n", time.Since(s.started).Seconds()) {
+		return
+	}
+	line := fmt.Sprintf("checkpoints=%d checkpoint_failures=%d last_checkpoint_gen=%d last_checkpoint_bytes=%d",
+		m.Checkpoints, m.CheckpointFailures, m.LastCheckpointGen, m.LastCheckpointBytes)
+	if !m.LastCheckpointAt.IsZero() {
+		line += fmt.Sprintf(" last_checkpoint_age_seconds=%.0f last_checkpoint_duration=%v",
+			time.Since(m.LastCheckpointAt).Seconds(), m.LastCheckpointDuration)
+	}
+	writef(w, "%s\n", line)
 }
 
 // serve runs the HTTP server on ln until ctx is cancelled, then performs
@@ -281,6 +437,7 @@ func (s *server) serve(ctx context.Context, ln net.Listener) error {
 		return err
 	case <-ctx.Done():
 	}
+	s.health.Store(healthDraining) // healthz flips to 503 before the listener closes
 	shCtx, cancel := context.WithTimeout(context.Background(), s.cfg.drainTimeout)
 	defer cancel()
 	err := srv.Shutdown(shCtx) // stop accepting, wait out in-flight requests
@@ -309,10 +466,16 @@ func main() {
 			"per-request pool operation deadline (0 disables)")
 		drainTimeout = flag.Duration("draintimeout", 10*time.Second,
 			"bound on the graceful shutdown drain")
+		ckptDir = flag.String("checkpoint-dir", "",
+			"directory for atomic sketch checkpoints (empty disables durability)")
+		ckptInterval = flag.Duration("checkpoint-interval", time.Minute,
+			"background checkpoint period (requires -checkpoint-dir)")
+		ckptKeep = flag.Int("checkpoint-keep", 2,
+			"checkpoint generations to retain (requires -checkpoint-dir)")
 	)
 	flag.Parse()
 
-	s, err := newServer(config{
+	cfg := config{
 		threads:      *threads,
 		width:        *width,
 		depth:        *depth,
@@ -323,9 +486,32 @@ func main() {
 		idleHelp:     *idle,
 		reqTimeout:   *reqTimeout,
 		drainTimeout: *drainTimeout,
-	})
+		ckptDir:      *ckptDir,
+	}
+	if *ckptDir != "" {
+		// Only carry the dependent knobs when durability is on, so their
+		// defaults do not trip the require-dir validation.
+		cfg.ckptInterval = *ckptInterval
+		cfg.ckptKeep = *ckptKeep
+	} else {
+		// Explicitly setting a dependent knob without the dir is a
+		// misconfiguration, not something to ignore silently.
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "checkpoint-interval" || f.Name == "checkpoint-keep" {
+				log.Fatalf("dsserve: -%s requires -checkpoint-dir", f.Name)
+			}
+		})
+	}
+	s, err := newServer(cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	switch {
+	case s.restored != nil:
+		log.Printf("dsserve: recovered checkpoint generation %d from %s (%d damaged files skipped)",
+			s.restored.Gen, s.restored.Path, len(s.restored.SkippedFiles))
+	case cfg.ckptDir != "":
+		log.Printf("dsserve: no checkpoint in %s, cold start", cfg.ckptDir)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,212 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"dsketch"
+)
+
+// ckptConfig is testConfig plus durability into dir. The background
+// interval is an hour so tests control exactly when checkpoints happen.
+func ckptConfig(dir string) config {
+	cfg := testConfig()
+	cfg.ckptDir = dir
+	cfg.ckptInterval = time.Hour
+	cfg.ckptKeep = 3
+	return cfg
+}
+
+func TestCheckpointFlagValidation(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "plain-file")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*config)
+	}{
+		{"zero interval", func(c *config) { c.ckptInterval = 0 }},
+		{"negative interval", func(c *config) { c.ckptInterval = -time.Second }},
+		{"zero keep", func(c *config) { c.ckptKeep = 0 }},
+		{"negative keep", func(c *config) { c.ckptKeep = -1 }},
+		{"nonexistent dir", func(c *config) { c.ckptDir = filepath.Join(c.ckptDir, "missing") }},
+		{"dir is a file", func(c *config) { c.ckptDir = file }},
+		{"interval without dir", func(c *config) { c.ckptDir = "" }},
+	}
+	for _, tc := range cases {
+		cfg := ckptConfig(t.TempDir())
+		tc.mut(&cfg)
+		if _, err := prepServer(cfg); err == nil {
+			t.Errorf("%s: prepServer accepted bad checkpoint flags %+v", tc.name, cfg)
+		}
+	}
+	if _, err := prepServer(ckptConfig(t.TempDir())); err != nil {
+		t.Fatalf("valid checkpoint config rejected: %v", err)
+	}
+}
+
+// TestHealthzLifecycle walks one server through its whole life:
+// 503 recovering before open, 200 serving, 503 draining after shutdown.
+func TestHealthzLifecycle(t *testing.T) {
+	s, err := prepServer(ckptConfig(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := s.mux()
+	get := func(url string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+		return rec
+	}
+	if rec := get("/healthz"); rec.Code != http.StatusServiceUnavailable ||
+		!strings.Contains(rec.Body.String(), "recovering") {
+		t.Fatalf("pre-open healthz = %d %q, want 503 recovering", rec.Code, rec.Body.String())
+	}
+	// Traffic endpoints are gated too: no pool exists yet.
+	if rec := get("/query?key=1"); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("pre-open query = %d, want 503", rec.Code)
+	}
+	if err := s.open(); err != nil {
+		t.Fatal(err)
+	}
+	if rec := get("/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("serving healthz = %d, want 200", rec.Code)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.serve(ctx, ln) }()
+	// Make sure the listener is actually serving before pulling the plug.
+	resp, err := http.Get("http://" + ln.Addr().String() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	cancel()
+	if err := <-serveErr; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	if rec := get("/healthz"); rec.Code != http.StatusServiceUnavailable ||
+		!strings.Contains(rec.Body.String(), "draining") {
+		t.Fatalf("post-drain healthz = %d %q, want 503 draining", rec.Code, rec.Body.String())
+	}
+}
+
+// TestCrashRestartRecoversCheckpointedCounts is the kill -9 end-to-end
+// test: a loaded server checkpoints, takes more traffic, then "crashes"
+// (its pool is abandoned without any graceful drain — nothing after the
+// checkpoint is persisted). A fresh server over the same directory must
+// recover, and every count acknowledged before the checkpoint must be
+// covered by the restored estimates.
+func TestCrashRestartRecoversCheckpointedCounts(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := newServer(ckptConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.restored != nil {
+		t.Fatalf("fresh dir reported a recovery: %+v", s1.restored)
+	}
+	mux1 := s1.mux()
+	keys := []uint64{11, 22, 33, 44}
+	insert := func(mux *http.ServeMux, key, count uint64) {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodPost,
+			fmt.Sprintf("/insert?key=%d&count=%d", key, count), nil))
+		if rec.Code != http.StatusAccepted {
+			t.Fatalf("insert key=%d: status %d", key, rec.Code)
+		}
+	}
+	query := func(mux *http.ServeMux, key uint64) uint64 {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet,
+			fmt.Sprintf("/query?key=%d", key), nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("query key=%d: status %d", key, rec.Code)
+		}
+		n, err := strconv.ParseUint(strings.TrimSpace(rec.Body.String()), 10, 64)
+		if err != nil {
+			t.Fatalf("query key=%d: body %q", key, rec.Body.String())
+		}
+		return n
+	}
+
+	checkpointed := make([]uint64, len(keys))
+	for i, k := range keys {
+		checkpointed[i] = uint64(i+1) * 10
+		insert(mux1, k, checkpointed[i])
+	}
+	info, err := s1.pool.Checkpoint(context.Background(), dir)
+	if err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	// Post-checkpoint traffic: acknowledged but never persisted — the
+	// crash below happens before any further checkpoint.
+	extra := make([]uint64, len(keys))
+	for i, k := range keys {
+		extra[i] = 5
+		insert(mux1, k, extra[i])
+	}
+	// Crash: abandon s1 without Drain/Close. Its workers leak for the
+	// rest of the test, exactly like a killed process's state vanishes.
+
+	s2, err := prepServer(ckptConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux2 := s2.mux()
+	rec := httptest.NewRecorder()
+	mux2.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz before recovery = %d, want 503", rec.Code)
+	}
+	if err := s2.open(); err != nil {
+		t.Fatalf("restart recovery: %v", err)
+	}
+	defer s2.pool.Close()
+	if s2.restored == nil || s2.restored.Gen != info.Gen {
+		t.Fatalf("restored = %+v, want generation %d", s2.restored, info.Gen)
+	}
+	rec = httptest.NewRecorder()
+	mux2.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz after recovery = %d, want 200", rec.Code)
+	}
+	for i, k := range keys {
+		got := query(mux2, k)
+		if got < checkpointed[i] {
+			t.Fatalf("key %d: recovered %d < %d acknowledged at the checkpoint", k, got, checkpointed[i])
+		}
+		if got > checkpointed[i]+extra[i] {
+			t.Fatalf("key %d: recovered %d > %d ever accepted (double count)", k, got, checkpointed[i]+extra[i])
+		}
+	}
+	// The recovered server keeps serving writes on top of restored state.
+	insert(mux2, keys[0], 3)
+	s2.pool.Quiesce(func(*dsketch.Sketch) {}) // flush the insert before querying
+	if got := query(mux2, keys[0]); got < checkpointed[0]+3 {
+		t.Fatalf("live insert after recovery: %d < %d", got, checkpointed[0]+3)
+	}
+	// Stats exposes the durability block.
+	rec = httptest.NewRecorder()
+	mux2.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	for _, frag := range []string{"uptime_seconds=", "checkpoints=", "checkpoint_failures=", "last_checkpoint_gen="} {
+		if !strings.Contains(rec.Body.String(), frag) {
+			t.Fatalf("/stats missing %q:\n%s", frag, rec.Body.String())
+		}
+	}
+}

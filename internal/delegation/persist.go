@@ -1,0 +1,148 @@
+package delegation
+
+import (
+	"bytes"
+	"fmt"
+
+	"dsketch/internal/persist"
+	"dsketch/internal/sketch"
+	"dsketch/internal/topk"
+)
+
+// Checkpoint/Restore bridge the delegation sketch to the persist layer.
+//
+// Domain splitting is what makes the cut cheap (see package persist):
+// once quiescent and flushed, owner i's entire durable state is one
+// Count-Min counter array plus an optional Space-Saving summary, and the
+// global state is exactly the disjoint union over owners. Both methods
+// require quiescence: no concurrent Insert, Query or Help calls (the
+// pool takes them inside its barrier).
+
+// ErrCheckpointUnsupported reports a backend whose state is not
+// Count-Min-representable (the Count Sketch ablation uses signed
+// counters and a median estimator; persisting it is out of scope).
+var ErrCheckpointUnsupported = fmt.Errorf("delegation: backend does not support checkpointing")
+
+// Checkpoint captures the sketch's durable state. It flushes the
+// delegation filters first (their counts are acknowledged insertions and
+// must not be lost), then snapshots each owner's backing Count-Min
+// without disturbing live structures — in particular the Augmented
+// backend's hot-key filter keeps its residency, so accuracy behavior is
+// unchanged after a checkpoint. Quiescent only.
+func (d *DS) Checkpoint() (*persist.Checkpoint, error) {
+	if d.cfg.Backend == BackendCountSketch {
+		return nil, fmt.Errorf("%w: %s", ErrCheckpointUnsupported, d.cfg.Backend)
+	}
+	d.Flush()
+	cp := &persist.Checkpoint{
+		Meta: persist.Meta{
+			Threads:   d.cfg.Threads,
+			Depth:     d.cfg.Depth,
+			Width:     d.cfg.Width,
+			Seed:      d.cfg.Seed,
+			Backend:   int(d.cfg.Backend),
+			TrackTopK: d.HeavyHittersEnabled(),
+		},
+		Shards: make([][]byte, d.cfg.Threads),
+		Totals: make([]uint64, d.cfg.Threads),
+	}
+	if cp.Meta.TrackTopK {
+		cp.TopK = make([]persist.ShardTopK, d.cfg.Threads)
+	}
+	for i, o := range d.owners {
+		cm, err := o.countMinView()
+		if err != nil {
+			return nil, fmt.Errorf("delegation: checkpointing owner %d: %w", i, err)
+		}
+		var buf bytes.Buffer
+		if err := cm.Encode(&buf); err != nil {
+			return nil, fmt.Errorf("delegation: encoding owner %d: %w", i, err)
+		}
+		cp.Shards[i] = buf.Bytes()
+		cp.Totals[i] = cm.Total()
+		if cp.Meta.TrackTopK {
+			total, entries := o.hh.State()
+			st := persist.ShardTopK{Total: total, Entries: make([]persist.TopKEntry, len(entries))}
+			for j, e := range entries {
+				st.Entries[j] = persist.TopKEntry{Key: e.Key, Count: e.Count, Err: e.Err}
+			}
+			cp.TopK[i] = st
+		}
+	}
+	return cp, nil
+}
+
+// countMinView returns the owner's state as a Count-Min equal to (or a
+// fold of) its live sketch, without mutating live structures.
+func (o *owner) countMinView() (*sketch.CountMin, error) {
+	switch sk := o.sk.(type) {
+	case *sketch.Augmented:
+		return sk.CountMinSnapshot()
+	case *sketch.ConservativeCountMin:
+		return sk.CountMinSnapshot(), nil
+	case *sketch.CountMin:
+		// Encode reads without mutating, so the live sketch is its own
+		// snapshot under quiescence.
+		return sk, nil
+	default:
+		return nil, ErrCheckpointUnsupported
+	}
+}
+
+// Restore loads cp into a freshly built, never-used DS. The checkpoint's
+// geometry must match the DS exactly — counters are only meaningful
+// under the same owner mapping, dimensions, seeds and backend — and the
+// DS must be pristine (restoring over live counts would double count).
+// Quiescent only.
+func (d *DS) Restore(cp *persist.Checkpoint) error {
+	m := cp.Meta
+	if m.Threads != d.cfg.Threads || m.Depth != d.cfg.Depth || m.Width != d.cfg.Width ||
+		m.Seed != d.cfg.Seed || m.Backend != int(d.cfg.Backend) {
+		return fmt.Errorf("delegation: checkpoint geometry %+v does not match sketch config (threads=%d depth=%d width=%d seed=%d backend=%d)",
+			m, d.cfg.Threads, d.cfg.Depth, d.cfg.Width, d.cfg.Seed, int(d.cfg.Backend))
+	}
+	if m.TrackTopK && !d.HeavyHittersEnabled() {
+		return fmt.Errorf("delegation: checkpoint carries heavy-hitter state but tracking is not enabled")
+	}
+	for i, o := range d.owners {
+		cm, err := sketch.DecodeCountMin(bytes.NewReader(cp.Shards[i]))
+		if err != nil {
+			return fmt.Errorf("delegation: decoding owner %d: %w", i, err)
+		}
+		if cm.Total() != cp.Totals[i] {
+			return fmt.Errorf("delegation: owner %d payload total %d disagrees with checkpoint total %d",
+				i, cm.Total(), cp.Totals[i])
+		}
+		if err := o.restoreFromCountMin(cm); err != nil {
+			return fmt.Errorf("delegation: restoring owner %d: %w", i, err)
+		}
+		if m.TrackTopK && d.HeavyHittersEnabled() {
+			st := cp.TopK[i]
+			entries := make([]topk.Entry, len(st.Entries))
+			for j, e := range st.Entries {
+				entries[j] = topk.Entry{Key: e.Key, Count: e.Count, Err: e.Err}
+			}
+			if err := o.hh.Restore(st.Total, entries); err != nil {
+				return fmt.Errorf("delegation: restoring owner %d heavy hitters: %w", i, err)
+			}
+		}
+	}
+	return nil
+}
+
+func (o *owner) restoreFromCountMin(cm *sketch.CountMin) error {
+	switch sk := o.sk.(type) {
+	case *sketch.Augmented:
+		return sk.RestoreFromCountMin(cm)
+	case *sketch.ConservativeCountMin:
+		return sk.RestoreFromCountMin(cm)
+	case *sketch.CountMin:
+		return sk.RestoreFrom(cm)
+	default:
+		return ErrCheckpointUnsupported
+	}
+}
+
+// HeavyHittersEnabled reports whether EnableHeavyHitters has attached
+// per-owner trackers.
+func (d *DS) HeavyHittersEnabled() bool { return d.owners[0].hh != nil }

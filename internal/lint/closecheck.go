@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CloseCheck flags Close() and Sync() call statements that drop their
+// error when the receiver is writable (its static type implements
+// io.Writer). On a buffered or OS-cached handle those are the calls
+// where earlier writes actually fail — a torn checkpoint that was
+// "successfully" written surfaces as a Close or Sync error and nowhere
+// else — so dropping them silently converts a durability bug into
+// corruption found only at recovery time.
+//
+// Read-side handles (io.ReadCloser, response bodies) are exempt: their
+// Close error carries no lost data. Assigning the error to _ is an
+// explicit decision and is not flagged; so is a
+// //lint:ignore closecheck <reason> directive.
+var CloseCheck = &Analyzer{
+	Name: "closecheck",
+	Doc:  "dropped Close/Sync error on a writable (io.Writer) receiver",
+	Run:  runCloseCheck,
+}
+
+// writerInterface builds io.Writer structurally — Write([]byte) (int,
+// error) — so the check needs no import of the io package's type data.
+func writerInterface() *types.Interface {
+	sig := types.NewSignatureType(nil, nil, nil,
+		types.NewTuple(types.NewVar(token.NoPos, nil, "p",
+			types.NewSlice(types.Typ[types.Byte]))),
+		types.NewTuple(
+			types.NewVar(token.NoPos, nil, "n", types.Typ[types.Int]),
+			types.NewVar(token.NoPos, nil, "err",
+				types.Universe.Lookup("error").Type())),
+		false)
+	iface := types.NewInterfaceType(
+		[]*types.Func{types.NewFunc(token.NoPos, nil, "Write", sig)}, nil)
+	iface.Complete()
+	return iface
+}
+
+func runCloseCheck(p *Pass) {
+	info := p.Pkg.Info
+	writer := writerInterface()
+	errType := types.Universe.Lookup("error").Type()
+
+	check := func(call *ast.CallExpr, how string) {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		name := sel.Sel.Name
+		if name != "Close" && name != "Sync" {
+			return
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil {
+			return
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return // a package-level Close function, not a handle method
+		}
+		returnsError := false
+		for i := 0; i < sig.Results().Len(); i++ {
+			if types.Identical(sig.Results().At(i).Type(), errType) {
+				returnsError = true
+				break
+			}
+		}
+		if !returnsError {
+			return
+		}
+		recv := info.TypeOf(sel.X)
+		if recv == nil {
+			return
+		}
+		if !types.Implements(recv, writer) &&
+			!types.Implements(types.NewPointer(recv), writer) {
+			return
+		}
+		p.Reportf(call.Pos(),
+			"%serror from %s on writable %s is dropped; buffered writes fail here — handle it or assign to _",
+			how, name, types.TypeString(recv, types.RelativeTo(p.Pkg.Types)))
+	}
+
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+					check(call, "")
+				}
+			case *ast.DeferStmt:
+				check(n.Call, "deferred ")
+			case *ast.GoStmt:
+				check(n.Call, "")
+			}
+			return true
+		})
+	}
+}

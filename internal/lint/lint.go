@@ -82,6 +82,7 @@ func Analyzers() []*Analyzer {
 		RecoverGuard,
 		SleepySync,
 		ErrCheckLite,
+		CloseCheck,
 	}
 }
 

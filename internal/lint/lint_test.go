@@ -24,6 +24,7 @@ var fixtures = map[string]string{
 	"sleepysync":         "sleepysync",
 	"errchecklite":       "errchecklite",
 	"errcheckmain":       "errchecklite",
+	"closecheck":         "closecheck",
 }
 
 func analyzerByName(t *testing.T, name string) *Analyzer {

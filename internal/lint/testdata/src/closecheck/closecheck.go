@@ -1,0 +1,51 @@
+// Package closecheck is the golden fixture for the closecheck analyzer:
+// Close/Sync errors dropped on writable receivers are flagged; read-only
+// handles, error-less methods, explicit discards and suppressions are not.
+package closecheck
+
+import (
+	"io"
+	"os"
+)
+
+// sink is writable: Write makes its Close and Sync durability calls.
+type sink struct{}
+
+func (*sink) Write(p []byte) (int, error) { return len(p), nil }
+func (*sink) Close() error                { return nil }
+func (*sink) Sync() error                 { return nil }
+func (*sink) Shutdown()                   {}
+
+// reader has a Close but no Write: its Close error carries no lost data.
+type reader struct{}
+
+func (reader) Read(p []byte) (int, error) { return 0, io.EOF }
+func (reader) Close() error               { return nil }
+
+func dropped(f *os.File, s *sink) {
+	f.Close()       // want "error from Close on writable \*os.File is dropped"
+	f.Sync()        // want "error from Sync on writable \*os.File is dropped"
+	defer f.Close() // want "deferred error from Close on writable \*os.File is dropped"
+	go f.Sync()     // want "error from Sync on writable \*os.File is dropped"
+	s.Close()       // want "error from Close on writable \*sink is dropped"
+	s.Sync()        // want "error from Sync on writable \*sink is dropped"
+}
+
+func droppedInterface(w io.WriteCloser) {
+	w.Close() // want "error from Close on writable io.WriteCloser is dropped"
+}
+
+func fine(f *os.File, s *sink, r reader, rc io.ReadCloser) error {
+	_ = f.Close() // explicit discard is a recorded decision
+	if err := s.Close(); err != nil {
+		return err
+	}
+	defer func() { _ = f.Sync() }()
+	r.Close()     // not writable
+	rc.Close()    // read side: nothing buffered to lose
+	s.Shutdown()  // no error result
+	close(make(chan int))
+	//lint:ignore closecheck fixture proves the suppression path
+	f.Close()
+	return nil
+}

@@ -1,0 +1,332 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"dsketch/internal/fault"
+)
+
+// These suites run under `make chaos` (-race, chaos tag-free: the
+// TestChaos* name prefix is the contract). Each one drives the real
+// writer/loader through a FaultFS, scripting a disk failure at one cut
+// point of the checkpoint path, and asserts the invariant that matters:
+// a failed or torn publish never damages the previously published
+// generation, and the loader always recovers the newest fully
+// consistent checkpoint.
+
+// chaosDir publishes `good` generations into a fresh temp dir through
+// the plain OS filesystem and returns the dir.
+func chaosDir(t *testing.T, good int) (string, *Checkpoint) {
+	t.Helper()
+	dir := t.TempDir()
+	cp := testCheckpoint(t, 3, true)
+	for i := 0; i < good; i++ {
+		cp.Totals[0]++
+		if _, err := Write(OS, dir, cp, 4); err != nil {
+			t.Fatalf("seeding generation %d: %v", i, err)
+		}
+	}
+	return dir, cp
+}
+
+// expectRecovery asserts that Load still recovers exactly the last
+// successfully published checkpoint.
+func expectRecovery(t *testing.T, dir string, want *Checkpoint, wantGen uint64) {
+	t.Helper()
+	got, li, err := Load(OS, dir)
+	if err != nil {
+		t.Fatalf("Load after fault: %v", err)
+	}
+	if li.Gen != wantGen {
+		t.Fatalf("recovered generation %d, want %d (skipped: %v)", li.Gen, wantGen, li.Skipped)
+	}
+	sameCheckpoint(t, want, got)
+}
+
+// TestChaosTornWriteFallsBack tears the data stream of the new
+// generation mid-write (short write, success reported — a crash or
+// lying disk). Write's read-back verification must detect the torn
+// file, refuse to count it, and leave the previous generation as the
+// one recovery finds.
+func TestChaosTornWriteFallsBack(t *testing.T) {
+	// Fire the short write at each of the first several write calls.
+	// (The writer buffers, so small checkpoints may reach the file in a
+	// single write; later hits then never fire and the write is clean.)
+	for hit := uint64(1); hit <= 4; hit++ {
+		dir, good := chaosDir(t, 2)
+		in := fault.New(int64(hit))
+		in.DropAt("persist.write", hit)
+		ffs := &FaultFS{Inner: OS, In: in}
+		next := testCheckpoint(t, 3, true)
+		next.Totals[2] += 99
+		wi, err := Write(ffs, dir, next, 4)
+		if in.Stats("persist.write").Drops == 0 {
+			if err != nil {
+				t.Fatalf("hit %d: clean write failed: %v", hit, err)
+			}
+			expectRecovery(t, dir, next, wi.Gen) // fault never fired
+			continue
+		}
+		// The disk lied about the write, but the read-back caught it.
+		if !errors.Is(err, ErrCorruptCheckpoint) {
+			t.Fatalf("hit %d: err = %v, want read-back ErrCorruptCheckpoint", hit, err)
+		}
+		expectRecovery(t, dir, good, 2)
+		// The torn file must not linger as a published generation.
+		gens, _, serr := scanDir(OS, dir)
+		if serr != nil {
+			t.Fatal(serr)
+		}
+		if len(gens) != 2 {
+			t.Fatalf("hit %d: torn generation left behind: %v", hit, gens)
+		}
+	}
+}
+
+// TestChaosWriteErrorKeepsPreviousGeneration makes the write fail
+// loudly; Write must surface the error, clean up its temp file, and
+// leave the previous generations untouched.
+func TestChaosWriteErrorKeepsPreviousGeneration(t *testing.T) {
+	dir, good := chaosDir(t, 2)
+	in := fault.New(1)
+	in.DropAt("persist.write.err", 1)
+	ffs := &FaultFS{Inner: OS, In: in}
+	if _, err := Write(ffs, dir, testCheckpoint(t, 3, true), 4); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	_, tmps, err := scanDir(OS, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tmps) != 0 {
+		t.Fatalf("temp files left after failed write: %v", tmps)
+	}
+	expectRecovery(t, dir, good, 2)
+}
+
+// TestChaosCreateErrorKeepsPreviousGeneration fails the temp-file
+// creation itself.
+func TestChaosCreateErrorKeepsPreviousGeneration(t *testing.T) {
+	dir, good := chaosDir(t, 1)
+	in := fault.New(1)
+	in.DropAt("persist.create", 1)
+	ffs := &FaultFS{Inner: OS, In: in}
+	if _, err := Write(ffs, dir, testCheckpoint(t, 3, true), 4); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	expectRecovery(t, dir, good, 1)
+}
+
+// TestChaosDroppedRenameFallsBack silently drops the publish rename —
+// the crash window between file fsync and rename. The new generation
+// never appears (which the read-back verification reports); the
+// previous one must load, and the orphaned temp file must be
+// garbage-collected by the next successful write.
+func TestChaosDroppedRenameFallsBack(t *testing.T) {
+	dir, good := chaosDir(t, 2)
+	in := fault.New(1)
+	in.DropAt("persist.rename", 1)
+	ffs := &FaultFS{Inner: OS, In: in}
+	next := testCheckpoint(t, 3, true)
+	next.Totals[1] += 7
+	if _, err := Write(ffs, dir, next, 4); err == nil {
+		t.Fatal("Write with dropped rename must fail read-back verification")
+	}
+	expectRecovery(t, dir, good, 2)
+
+	// The orphan is invisible to Load and removed by the next write.
+	_, tmps, err := scanDir(OS, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tmps) != 1 {
+		t.Fatalf("expected exactly the orphaned temp file, got %v", tmps)
+	}
+	in.Disarm()
+	wi, err := Write(ffs, dir, next, 4)
+	if err != nil {
+		t.Fatalf("clean write after fault: %v", err)
+	}
+	_, tmps, err = scanDir(OS, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tmps) != 0 {
+		t.Fatalf("orphaned temp file not collected: %v", tmps)
+	}
+	expectRecovery(t, dir, next, wi.Gen)
+}
+
+// TestChaosRenameErrorSurfacesAndKeepsPrevious fails the rename loudly.
+func TestChaosRenameErrorSurfacesAndKeepsPrevious(t *testing.T) {
+	dir, good := chaosDir(t, 1)
+	in := fault.New(1)
+	in.DropAt("persist.rename.err", 1)
+	ffs := &FaultFS{Inner: OS, In: in}
+	if _, err := Write(ffs, dir, testCheckpoint(t, 3, true), 4); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	expectRecovery(t, dir, good, 1)
+}
+
+// TestChaosSyncErrorSurfaces fails the file fsync loudly: the writer
+// must not publish a generation whose durability barrier failed.
+func TestChaosSyncErrorSurfaces(t *testing.T) {
+	dir, good := chaosDir(t, 1)
+	in := fault.New(1)
+	in.DropAt("persist.sync.err", 1)
+	ffs := &FaultFS{Inner: OS, In: in}
+	if _, err := Write(ffs, dir, testCheckpoint(t, 3, true), 4); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	gens, _, err := scanDir(OS, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 1 {
+		t.Fatalf("a generation was published despite failed fsync: %v", gens)
+	}
+	expectRecovery(t, dir, good, 1)
+}
+
+// TestChaosSkippedFsyncStillConsistent models an fsync that silently
+// does nothing (lying firmware). The write path cannot detect this; the
+// guarantee is weaker but still holds: whatever subset of bytes
+// actually landed, the loader either verifies the full new generation
+// or falls back. Here the bytes do land (no crash follows), so the new
+// generation must simply load.
+func TestChaosSkippedFsyncStillConsistent(t *testing.T) {
+	dir, _ := chaosDir(t, 1)
+	in := fault.New(1)
+	in.DropProb("persist.sync", 1.0)
+	ffs := &FaultFS{Inner: OS, In: in}
+	next := testCheckpoint(t, 3, true)
+	next.Totals[0] += 123
+	wi, err := Write(ffs, dir, next, 4)
+	if err != nil {
+		t.Fatalf("Write with skipped fsync: %v", err)
+	}
+	expectRecovery(t, dir, next, wi.Gen)
+}
+
+// TestChaosReadCorruptionFallsBack flips a bit while reading the newest
+// generation; the loader must skip it and recover the older one.
+func TestChaosReadCorruptionFallsBack(t *testing.T) {
+	dir, _ := chaosDir(t, 1)
+	older, _, err := Load(OS, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := testCheckpoint(t, 3, true)
+	next.Totals[2] += 31
+	if _, err := Write(OS, dir, next, 4); err != nil {
+		t.Fatal(err)
+	}
+	in := fault.New(1)
+	in.DropAt("persist.read", 1) // corrupt the first read, i.e. the newest file
+	ffs := &FaultFS{Inner: OS, In: in}
+	got, li, err := Load(ffs, dir)
+	if err != nil {
+		t.Fatalf("Load with read corruption: %v", err)
+	}
+	if li.Gen != 1 || len(li.Skipped) != 1 {
+		t.Fatalf("LoadInfo = %+v, want fallback to gen 1", li)
+	}
+	sameCheckpoint(t, older, got)
+}
+
+// TestChaosReadErrorFallsBack fails the read of the newest generation.
+func TestChaosReadErrorFallsBack(t *testing.T) {
+	dir, _ := chaosDir(t, 1)
+	older, _, err := Load(OS, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Write(OS, dir, testCheckpoint(t, 3, true), 4); err != nil {
+		t.Fatal(err)
+	}
+	in := fault.New(1)
+	in.DropAt("persist.read.err", 1)
+	ffs := &FaultFS{Inner: OS, In: in}
+	got, li, err := Load(ffs, dir)
+	if err != nil {
+		t.Fatalf("Load with read error: %v", err)
+	}
+	if li.Gen != 1 {
+		t.Fatalf("recovered gen %d, want fallback to 1", li.Gen)
+	}
+	sameCheckpoint(t, older, got)
+}
+
+// TestChaosEveryWriteCutPoint exhaustively kills the write at every
+// faultable operation number and verifies the previous generation
+// always survives. This is the crash-at-every-cut-point sweep over the
+// operation sequence (create, N writes, sync, rename, dirsync).
+func TestChaosEveryWriteCutPoint(t *testing.T) {
+	points := []string{"persist.create", "persist.write.err", "persist.sync.err", "persist.rename", "persist.rename.err"}
+	for _, pt := range points {
+		for hit := uint64(1); hit <= 4; hit++ {
+			dir, good := chaosDir(t, 1)
+			in := fault.New(int64(hit))
+			in.DropAt(pt, hit)
+			ffs := &FaultFS{Inner: OS, In: in}
+			next := testCheckpoint(t, 3, true)
+			next.Totals[0] += hit
+			_, werr := Write(ffs, dir, next, 4)
+			if in.Stats(pt).Drops == 0 {
+				// The operation sequence is shorter than this hit
+				// number; the write completed cleanly.
+				if werr != nil {
+					t.Fatalf("%s hit %d: unexpected error %v", pt, hit, werr)
+				}
+				expectRecovery(t, dir, next, 2)
+				continue
+			}
+			// Fault fired. Crash consistency means Load returns one
+			// side of the boundary, fully intact: either the previous
+			// generation or (when the fault hit after publish, e.g. a
+			// failed directory fsync) the complete new one — never a
+			// torn mix.
+			got, _, err := Load(OS, dir)
+			if err != nil {
+				t.Fatalf("%s hit %d: Load: %v", pt, hit, err)
+			}
+			if !checkpointEqual(good, got) && !checkpointEqual(next, got) {
+				t.Fatalf("%s hit %d: recovered checkpoint matches neither side of the fault", pt, hit)
+			}
+		}
+	}
+}
+
+// TestChaosCorpusNeverPanics feeds the raw decoder a corpus of damaged
+// encodings; it must reject each with ErrCorruptCheckpoint and never
+// panic or over-allocate.
+func TestChaosCorpusNeverPanics(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := encodeCheckpoint(&buf, testCheckpoint(t, 2, true)); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	corpus := [][]byte{
+		nil,
+		[]byte("DSCKPT01"),
+		[]byte("DSCKPT99"),
+		bytes.Repeat([]byte{0xFF}, 64),
+		append(bytes.Clone(raw), raw...),
+	}
+	for i := 0; i < len(raw); i += 7 {
+		c := bytes.Clone(raw)
+		c[i] ^= 0x10
+		corpus = append(corpus, c, raw[:i])
+	}
+	for i, c := range corpus {
+		if cp, err := decodeCheckpoint(bytes.NewReader(c)); err == nil {
+			// Only the unmodified prefix-free original may decode.
+			if !bytes.Equal(c, raw) {
+				t.Fatalf("corpus[%d] (%d bytes) decoded: %+v", i, len(c), cp.Meta)
+			}
+		}
+	}
+}

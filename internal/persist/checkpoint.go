@@ -1,0 +1,243 @@
+package persist
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const (
+	// genPrefix/genSuffix frame a published generation file name:
+	// checkpoint-%016d.dsck.
+	genPrefix = "checkpoint-"
+	genSuffix = ".dsck"
+	// tmpSuffix marks an in-flight (or crash-orphaned) write.
+	tmpSuffix = ".tmp"
+)
+
+// genName formats a generation number into its published file name.
+func genName(gen uint64) string {
+	return fmt.Sprintf("%s%016d%s", genPrefix, gen, genSuffix)
+}
+
+// parseGen extracts the generation number from a published file name;
+// ok is false for anything that is not a well-formed generation file.
+func parseGen(name string) (gen uint64, ok bool) {
+	if !strings.HasPrefix(name, genPrefix) || !strings.HasSuffix(name, genSuffix) {
+		return 0, false
+	}
+	digits := name[len(genPrefix) : len(name)-len(genSuffix)]
+	if len(digits) != 16 {
+		return 0, false
+	}
+	gen, err := strconv.ParseUint(digits, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return gen, true
+}
+
+// scanDir splits dir into published generations (descending, newest
+// first) and stray temp files left by crashed writes.
+func scanDir(fsys FS, dir string) (gens []uint64, tmps []string, err error) {
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, name := range names {
+		if g, ok := parseGen(name); ok {
+			gens = append(gens, g)
+		} else if strings.HasSuffix(name, tmpSuffix) {
+			tmps = append(tmps, name)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] > gens[j] })
+	return gens, tmps, nil
+}
+
+// WriteInfo reports what a successful Write produced.
+type WriteInfo struct {
+	// Gen is the generation number the checkpoint was published under.
+	Gen uint64
+	// Path is the published file's full path.
+	Path string
+	// Bytes is the encoded checkpoint size.
+	Bytes int64
+	// Pruned counts older generations removed to honor keep.
+	Pruned int
+}
+
+// Write publishes cp into dir as the next generation, keeping at most
+// keep generations (keep <= 0 keeps exactly one). The write is atomic:
+// the checkpoint streams into a temp file which is fsynced, closed,
+// renamed to its final name, and made durable with a directory fsync.
+// On any error the temp file is removed (best effort) and the
+// previously published generations are untouched.
+func Write(fsys FS, dir string, cp *Checkpoint, keep int) (WriteInfo, error) {
+	if keep <= 0 {
+		keep = 1
+	}
+	gens, tmps, err := scanDir(fsys, dir)
+	if err != nil {
+		return WriteInfo{}, fmt.Errorf("persist: scanning %s: %w", dir, err)
+	}
+	var gen uint64 = 1
+	if len(gens) > 0 {
+		gen = gens[0] + 1
+	}
+	final := filepath.Join(dir, genName(gen))
+	tmp := final + tmpSuffix
+
+	bytes, err := writeFile(fsys, tmp, cp)
+	if err != nil {
+		_ = fsys.Remove(tmp) // best effort; stray tmps are GC'd later anyway
+		return WriteInfo{}, err
+	}
+	info := WriteInfo{Gen: gen, Path: final, Bytes: bytes}
+	if err := fsys.Rename(tmp, final); err != nil {
+		_ = fsys.Remove(tmp)
+		return WriteInfo{}, fmt.Errorf("persist: publishing %s: %w", final, err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return WriteInfo{}, fmt.Errorf("persist: syncing %s: %w", dir, err)
+	}
+
+	// Read-back verification: decode the just-published file end to end
+	// before counting it as a generation. This catches a disk that tore
+	// the write while reporting success — without it, a stream of torn
+	// "successful" checkpoints would prune away the last good
+	// generation. (It cannot catch a lost fsync: the read-back is served
+	// from cache. That case is covered by the loader's fallback.)
+	if _, err := loadFile(fsys, final); err != nil {
+		_ = fsys.Remove(final)
+		return WriteInfo{}, fmt.Errorf("persist: read-back verification of %s failed: %w", final, err)
+	}
+
+	// The new generation is durable and verified; now garbage-collect
+	// stray temp files and excess generations (best effort — the
+	// checkpoint is already safe).
+	for _, name := range tmps {
+		_ = fsys.Remove(filepath.Join(dir, name))
+	}
+	for _, g := range gens {
+		if keep <= 1 || countNewer(gens, g)+1 >= keep {
+			if fsys.Remove(filepath.Join(dir, genName(g))) == nil {
+				info.Pruned++
+			}
+		}
+	}
+	return info, nil
+}
+
+// countNewer counts generations in gens strictly newer than g (gens is
+// descending). The freshly published generation is counted by +1 at the
+// call site.
+func countNewer(gens []uint64, g uint64) int {
+	n := 0
+	for _, o := range gens {
+		if o > g {
+			n++
+		}
+	}
+	return n
+}
+
+// writeFile streams cp into path and makes the file itself durable,
+// returning the encoded size.
+func writeFile(fsys FS, path string, cp *Checkpoint) (int64, error) {
+	f, err := fsys.Create(path)
+	if err != nil {
+		return 0, fmt.Errorf("persist: creating %s: %w", path, err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	n, err := encodeCheckpoint(bw, cp)
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	cerr := f.Close()
+	if err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return 0, fmt.Errorf("persist: writing %s: %w", path, err)
+	}
+	return n, nil
+}
+
+// Skipped describes one generation file Load could not use.
+type Skipped struct {
+	Name string
+	Err  error
+}
+
+// LoadInfo reports which generation Load recovered and what it skipped.
+type LoadInfo struct {
+	// Gen is the recovered generation number.
+	Gen uint64
+	// Path is the recovered file's full path.
+	Path string
+	// Skipped lists newer generation files rejected as torn or corrupt,
+	// newest first.
+	Skipped []Skipped
+}
+
+// Load recovers the newest fully verified checkpoint from dir. Torn or
+// corrupt generations are skipped (recorded in LoadInfo) and the next
+// older one is tried. A missing directory or no usable generation
+// returns ErrNoCheckpoint.
+func Load(fsys FS, dir string) (*Checkpoint, LoadInfo, error) {
+	gens, _, err := scanDir(fsys, dir)
+	if err != nil {
+		// A directory that does not exist simply holds no checkpoint.
+		return nil, LoadInfo{}, fmt.Errorf("%w: %v", ErrNoCheckpoint, err)
+	}
+	var info LoadInfo
+	for _, g := range gens {
+		path := filepath.Join(dir, genName(g))
+		cp, err := loadFile(fsys, path)
+		if err != nil {
+			info.Skipped = append(info.Skipped, Skipped{Name: genName(g), Err: err})
+			continue
+		}
+		info.Gen = g
+		info.Path = path
+		return cp, info, nil
+	}
+	return nil, info, fmt.Errorf("%w in %s (%d file(s) rejected)", ErrNoCheckpoint, dir, len(info.Skipped))
+}
+
+// loadFile reads and fully verifies a single checkpoint file.
+func loadFile(fsys FS, path string) (*Checkpoint, error) {
+	f, err := fsys.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptCheckpoint, err)
+	}
+	cp, derr := decodeCheckpoint(bufio.NewReaderSize(onlyReader{f}, 1<<16))
+	cerr := f.Close()
+	if derr != nil {
+		return nil, derr
+	}
+	if cerr != nil {
+		return nil, fmt.Errorf("%w: close: %v", ErrCorruptCheckpoint, cerr)
+	}
+	return cp, nil
+}
+
+// onlyReader hides any optional interfaces (ReadFrom/WriteTo) a
+// concrete file type may carry, so decoding always goes through the
+// FS seam's Read and the fault layer sees every byte.
+type onlyReader struct{ r io.Reader }
+
+func (o onlyReader) Read(p []byte) (int, error) { return o.r.Read(p) }
+
+// ErrCheckpointInterrupted reports a checkpoint attempt canceled by
+// context before it could publish.
+var ErrCheckpointInterrupted = errors.New("persist: checkpoint interrupted")

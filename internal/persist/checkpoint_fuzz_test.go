@@ -1,0 +1,66 @@
+package persist
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeCheckpoint throws arbitrary bytes at the checkpoint
+// decoder: it must never panic, and anything it accepts must be
+// internally consistent (validate passes, re-encode/re-decode is a
+// fixed point).
+func FuzzDecodeCheckpoint(f *testing.F) {
+	seed := func(cp *Checkpoint) []byte {
+		var buf bytes.Buffer
+		if _, err := encodeCheckpoint(&buf, cp); err != nil {
+			f.Fatalf("encode seed: %v", err)
+		}
+		return buf.Bytes()
+	}
+	small := seed(&Checkpoint{
+		Meta:   Meta{Threads: 1, Depth: 1, Width: 1, Seed: 1},
+		Shards: [][]byte{{0xDE, 0xAD}},
+		Totals: []uint64{3},
+	})
+	big := seed(&Checkpoint{
+		Meta:   Meta{Threads: 2, Depth: 4, Width: 32, Seed: 9, Backend: 1, TrackTopK: true},
+		Shards: [][]byte{bytes.Repeat([]byte{1}, 100), bytes.Repeat([]byte{2}, 100)},
+		Totals: []uint64{10, 20},
+		TopK: []ShardTopK{
+			{Total: 10, Entries: []TopKEntry{{Key: 1, Count: 2, Err: 3}}},
+			{Total: 20, Entries: nil},
+		},
+	})
+	f.Add(small)
+	f.Add(big)
+	f.Add(small[:8])                // magic only
+	f.Add(small[:len(small)-1])     // torn END
+	f.Add(big[:len(big)/2])         // torn mid-file
+	f.Add([]byte{})                 // empty
+	f.Add([]byte("DSCKPT99nope"))   // future magic
+	f.Add(append(bytes.Clone(small), small...)) // trailing bytes
+	flip := bytes.Clone(big)
+	flip[20] ^= 0x01
+	f.Add(flip)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cp, err := decodeCheckpoint(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := cp.validate(); verr != nil {
+			t.Fatalf("accepted checkpoint fails validate: %v", verr)
+		}
+		var buf bytes.Buffer
+		if _, err := encodeCheckpoint(&buf, cp); err != nil {
+			t.Fatalf("re-encoding an accepted checkpoint: %v", err)
+		}
+		again, err := decodeCheckpoint(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decoding an accepted checkpoint: %v", err)
+		}
+		if !checkpointEqual(cp, again) {
+			t.Fatal("round trip changed the checkpoint")
+		}
+	})
+}

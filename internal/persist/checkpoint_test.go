@@ -1,0 +1,377 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dsketch/internal/sketch"
+)
+
+// testCheckpoint builds a realistic checkpoint: T encoded Count-Min
+// payloads with distinct contents plus optional top-k state.
+func testCheckpoint(t *testing.T, threads int, topk bool) *Checkpoint {
+	t.Helper()
+	cp := &Checkpoint{
+		Meta: Meta{
+			Threads: threads, Depth: 3, Width: 64,
+			Seed: 99, Backend: 1, TrackTopK: topk,
+		},
+		Shards: make([][]byte, threads),
+		Totals: make([]uint64, threads),
+	}
+	if topk {
+		cp.TopK = make([]ShardTopK, threads)
+	}
+	for i := 0; i < threads; i++ {
+		s := sketch.NewCountMin(sketch.Config{Depth: 3, Width: 64, Seed: uint64(100 + i)})
+		for k := uint64(0); k < 50; k++ {
+			s.Insert(k*uint64(i+1), k+1)
+		}
+		var buf bytes.Buffer
+		if err := s.Encode(&buf); err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		cp.Shards[i] = buf.Bytes()
+		cp.Totals[i] = s.Total()
+		if topk {
+			cp.TopK[i] = ShardTopK{
+				Total: s.Total(),
+				Entries: []TopKEntry{
+					{Key: 7, Count: 100 + uint64(i), Err: 3},
+					{Key: 9, Count: 50, Err: 0},
+				},
+			}
+		}
+	}
+	return cp
+}
+
+func checkpointEqual(a, b *Checkpoint) bool {
+	if a.Meta != b.Meta || len(a.TopK) != len(b.TopK) {
+		return false
+	}
+	for i := range a.Shards {
+		if !bytes.Equal(a.Shards[i], b.Shards[i]) || a.Totals[i] != b.Totals[i] {
+			return false
+		}
+	}
+	for i := range a.TopK {
+		if a.TopK[i].Total != b.TopK[i].Total || len(a.TopK[i].Entries) != len(b.TopK[i].Entries) {
+			return false
+		}
+		for j := range a.TopK[i].Entries {
+			if a.TopK[i].Entries[j] != b.TopK[i].Entries[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func sameCheckpoint(t *testing.T, a, b *Checkpoint) {
+	t.Helper()
+	if a.Meta != b.Meta {
+		t.Fatalf("meta mismatch: %+v vs %+v", a.Meta, b.Meta)
+	}
+	for i := range a.Shards {
+		if !bytes.Equal(a.Shards[i], b.Shards[i]) {
+			t.Fatalf("shard %d payload mismatch", i)
+		}
+		if a.Totals[i] != b.Totals[i] {
+			t.Fatalf("shard %d total mismatch: %d vs %d", i, a.Totals[i], b.Totals[i])
+		}
+	}
+	if len(a.TopK) != len(b.TopK) {
+		t.Fatalf("top-k length mismatch: %d vs %d", len(a.TopK), len(b.TopK))
+	}
+	for i := range a.TopK {
+		if a.TopK[i].Total != b.TopK[i].Total || len(a.TopK[i].Entries) != len(b.TopK[i].Entries) {
+			t.Fatalf("top-k %d mismatch", i)
+		}
+		for j := range a.TopK[i].Entries {
+			if a.TopK[i].Entries[j] != b.TopK[i].Entries[j] {
+				t.Fatalf("top-k %d entry %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	for _, topk := range []bool{false, true} {
+		dir := t.TempDir()
+		cp := testCheckpoint(t, 4, topk)
+		wi, err := Write(OS, dir, cp, 3)
+		if err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		if wi.Gen != 1 || wi.Bytes <= 0 {
+			t.Fatalf("WriteInfo = %+v", wi)
+		}
+		got, li, err := Load(OS, dir)
+		if err != nil {
+			t.Fatalf("Load: %v", err)
+		}
+		if li.Gen != 1 || len(li.Skipped) != 0 {
+			t.Fatalf("LoadInfo = %+v", li)
+		}
+		sameCheckpoint(t, cp, got)
+	}
+}
+
+func TestLoadEmptyAndMissingDir(t *testing.T) {
+	if _, _, err := Load(OS, t.TempDir()); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("empty dir: err = %v, want ErrNoCheckpoint", err)
+	}
+	if _, _, err := Load(OS, filepath.Join(t.TempDir(), "nope")); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("missing dir: err = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestGenerationsAdvanceAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	cp := testCheckpoint(t, 2, false)
+	for i := 0; i < 5; i++ {
+		cp.Totals[0]++ // make generations distinguishable
+		wi, err := Write(OS, dir, cp, 3)
+		if err != nil {
+			t.Fatalf("Write %d: %v", i, err)
+		}
+		if wi.Gen != uint64(i+1) {
+			t.Fatalf("generation %d, want %d", wi.Gen, i+1)
+		}
+	}
+	gens, tmps, err := scanDir(OS, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 3 || len(tmps) != 0 {
+		t.Fatalf("after 5 writes keep=3: gens=%v tmps=%v", gens, tmps)
+	}
+	if gens[0] != 5 || gens[2] != 3 {
+		t.Fatalf("kept wrong generations: %v", gens)
+	}
+	got, li, err := Load(OS, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if li.Gen != 5 || got.Totals[0] != cp.Totals[0] {
+		t.Fatalf("loaded gen %d total %d, want newest", li.Gen, got.Totals[0])
+	}
+}
+
+func TestKeepOneIsDefault(t *testing.T) {
+	dir := t.TempDir()
+	cp := testCheckpoint(t, 1, false)
+	for i := 0; i < 3; i++ {
+		if _, err := Write(OS, dir, cp, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gens, _, err := scanDir(OS, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 1 || gens[0] != 3 {
+		t.Fatalf("keep<=0 must retain exactly the newest: %v", gens)
+	}
+}
+
+// TestLoadFallsBackPastCorruptNewest damages the newest generation in
+// several ways; Load must skip it and recover the previous one.
+func TestLoadFallsBackPastCorruptNewest(t *testing.T) {
+	damage := map[string]func([]byte) []byte{
+		"truncated-half":  func(b []byte) []byte { return b[:len(b)/2] },
+		"truncated-1byte": func(b []byte) []byte { return b[:len(b)-1] },
+		"bit-flip":        func(b []byte) []byte { c := bytes.Clone(b); c[len(c)/2] ^= 1; return c },
+		"empty":           func(b []byte) []byte { return nil },
+		"bad-magic":       func(b []byte) []byte { c := bytes.Clone(b); c[0] = 'X'; return c },
+		"trailing-junk":   func(b []byte) []byte { return append(bytes.Clone(b), 0xAA) },
+	}
+	for name, fn := range damage {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			old := testCheckpoint(t, 3, true)
+			if _, err := Write(OS, dir, old, 3); err != nil {
+				t.Fatal(err)
+			}
+			fresh := testCheckpoint(t, 3, true)
+			fresh.Totals[1] += 17
+			wi, err := Write(OS, dir, fresh, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw, err := os.ReadFile(wi.Path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(wi.Path, fn(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			got, li, err := Load(OS, dir)
+			if err != nil {
+				t.Fatalf("Load: %v", err)
+			}
+			if li.Gen != 1 || len(li.Skipped) != 1 {
+				t.Fatalf("LoadInfo = %+v, want fallback to gen 1", li)
+			}
+			if !errors.Is(li.Skipped[0].Err, ErrCorruptCheckpoint) {
+				t.Fatalf("skip reason = %v, want ErrCorruptCheckpoint", li.Skipped[0].Err)
+			}
+			sameCheckpoint(t, old, got)
+		})
+	}
+}
+
+// TestLoadRejectsEveryTruncation simulates a crash that tears the
+// newest generation at every byte boundary. Whatever the cut point, the
+// loader must reject the torn file and fall back to the previous good
+// generation — this is the core crash-at-every-cut-point guarantee.
+func TestLoadRejectsEveryTruncation(t *testing.T) {
+	dir := t.TempDir()
+	old := testCheckpoint(t, 2, true)
+	if _, err := Write(OS, dir, old, 2); err != nil {
+		t.Fatal(err)
+	}
+	fresh := testCheckpoint(t, 2, true)
+	fresh.Totals[0] += 5
+	wi, err := Write(OS, dir, fresh, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(wi.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(raw); cut++ {
+		if err := os.WriteFile(wi.Path, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, li, err := Load(OS, dir)
+		if err != nil {
+			t.Fatalf("cut %d: Load: %v", cut, err)
+		}
+		if li.Gen != 1 {
+			t.Fatalf("cut %d: recovered gen %d, want fallback to 1", cut, li.Gen)
+		}
+		sameCheckpoint(t, old, got)
+	}
+	// Restore the full file: the newest generation must win again.
+	if err := os.WriteFile(wi.Path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, li, err := Load(OS, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if li.Gen != wi.Gen {
+		t.Fatalf("recovered gen %d, want %d", li.Gen, wi.Gen)
+	}
+	sameCheckpoint(t, fresh, got)
+}
+
+// TestDecodeRejectsSplicedSections splices a shard section from one
+// checkpoint into another. Every section CRC is intact, but the END
+// redundancy (totals sum) must reject the chimera.
+func TestDecodeRejectsSplicedSections(t *testing.T) {
+	a := testCheckpoint(t, 2, false)
+	b := testCheckpoint(t, 2, false)
+	b.Totals[1] += 1000
+	var bufA, bufB bytes.Buffer
+	if _, err := encodeCheckpoint(&bufA, a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := encodeCheckpoint(&bufB, b); err != nil {
+		t.Fatal(err)
+	}
+	// Find shard 1's section in both files and transplant B's into A.
+	secA := findSection(t, bufA.Bytes(), secShard, 1)
+	secB := findSection(t, bufB.Bytes(), secShard, 1)
+	spliced := bytes.Clone(bufA.Bytes()[:secA.start])
+	spliced = append(spliced, bufB.Bytes()[secB.start:secB.end]...)
+	spliced = append(spliced, bufA.Bytes()[secA.end:]...)
+	if _, err := decodeCheckpoint(bytes.NewReader(spliced)); !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Fatalf("spliced checkpoint: err = %v, want ErrCorruptCheckpoint", err)
+	}
+}
+
+type span struct{ start, end int }
+
+// findSection walks the section framing and returns the byte span of
+// the nth section of the given type (n counts from 0).
+func findSection(t *testing.T, raw []byte, typ byte, nth int) span {
+	t.Helper()
+	off := len(ckptMagic)
+	seen := 0
+	for off < len(raw) {
+		if off+13 > len(raw) {
+			t.Fatal("ran off the end while scanning sections")
+		}
+		length := int(uint32(raw[off+1]) | uint32(raw[off+2])<<8 | uint32(raw[off+3])<<16 | uint32(raw[off+4])<<24)
+		end := off + 9 + length + 4
+		if raw[off] == typ {
+			if seen == nth {
+				return span{off, end}
+			}
+			seen++
+		}
+		off = end
+	}
+	t.Fatalf("section %#x #%d not found", typ, nth)
+	return span{}
+}
+
+func TestWriteRejectsInconsistentCheckpoint(t *testing.T) {
+	cp := testCheckpoint(t, 2, false)
+	cp.Totals = cp.Totals[:1]
+	if _, err := Write(OS, t.TempDir(), cp, 2); !errors.Is(err, ErrBadCheckpoint) {
+		t.Fatalf("err = %v, want ErrBadCheckpoint", err)
+	}
+	cp = testCheckpoint(t, 2, false)
+	cp.TopK = make([]ShardTopK, 2) // top-k present but meta says untracked
+	if _, err := Write(OS, t.TempDir(), cp, 2); !errors.Is(err, ErrBadCheckpoint) {
+		t.Fatalf("err = %v, want ErrBadCheckpoint", err)
+	}
+}
+
+func TestStrayTempFilesIgnoredAndCollected(t *testing.T) {
+	dir := t.TempDir()
+	// Simulate a crash mid-write: a stray temp file with garbage.
+	stray := filepath.Join(dir, genName(7)+tmpSuffix)
+	if err := os.WriteFile(stray, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(OS, dir); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("stray tmp must not load: %v", err)
+	}
+	cp := testCheckpoint(t, 1, false)
+	if _, err := Write(OS, dir, cp, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Fatalf("stray temp file survived a successful write: %v", err)
+	}
+}
+
+func TestParseGen(t *testing.T) {
+	cases := []struct {
+		name string
+		gen  uint64
+		ok   bool
+	}{
+		{genName(1), 1, true},
+		{genName(123456), 123456, true},
+		{"checkpoint-1.dsck", 0, false},       // not zero-padded to 16
+		{"checkpoint-x.dsck", 0, false},       // not a number
+		{genName(3) + ".tmp", 0, false},       // temp file
+		{"other-0000000000000001.dsck", 0, false},
+	}
+	for _, c := range cases {
+		gen, ok := parseGen(c.name)
+		if ok != c.ok || gen != c.gen {
+			t.Fatalf("parseGen(%q) = %d,%v want %d,%v", c.name, gen, ok, c.gen, c.ok)
+		}
+	}
+}

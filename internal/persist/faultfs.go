@@ -1,0 +1,132 @@
+package persist
+
+import (
+	"errors"
+	"io"
+
+	"dsketch/internal/fault"
+)
+
+// ErrInjected is the error a FaultFS *.err point surfaces, so chaos
+// tests can tell injected failures from genuine filesystem ones.
+var ErrInjected = errors.New("persist: injected fault")
+
+// FaultFS wraps an FS and fires an internal/fault Injector at every
+// hazardous filesystem operation, letting the chaos suites simulate a
+// crash or misbehaving disk at each cut point of the checkpoint
+// write/read path. Points (all drop-style unless noted):
+//
+//	persist.create      Create fails with ErrInjected
+//	persist.write       the write silently writes only half its bytes
+//	persist.write.err   the write fails with ErrInjected
+//	persist.sync        fsync silently skipped (lying disk)
+//	persist.sync.err    fsync fails with ErrInjected
+//	persist.rename      rename silently dropped (crash before publish)
+//	persist.rename.err  rename fails with ErrInjected
+//	persist.read        the read flips one bit of what it returns
+//	persist.read.err    the read fails with ErrInjected
+//
+// "Silent" faults model a crash or firmware lie: the operation reports
+// success but its effect is missing, which is exactly what the loader's
+// verification has to survive.
+type FaultFS struct {
+	Inner FS
+	In    *fault.Injector
+}
+
+func (f *FaultFS) Create(name string) (File, error) {
+	if f.In.Fire("persist.create") {
+		return nil, ErrInjected
+	}
+	inner, err := f.Inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{inner: inner, in: f.In}, nil
+}
+
+func (f *FaultFS) Open(name string) (io.ReadCloser, error) {
+	inner, err := f.Inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultReader{inner: inner, in: f.In}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if f.In.Fire("persist.rename") {
+		return nil // crash between write and publish: rename never happened
+	}
+	if f.In.Fire("persist.rename.err") {
+		return ErrInjected
+	}
+	return f.Inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error { return f.Inner.Remove(name) }
+
+func (f *FaultFS) ReadDir(dir string) ([]string, error) { return f.Inner.ReadDir(dir) }
+
+func (f *FaultFS) SyncDir(dir string) error {
+	if f.In.Fire("persist.sync") {
+		return nil
+	}
+	if f.In.Fire("persist.sync.err") {
+		return ErrInjected
+	}
+	return f.Inner.SyncDir(dir)
+}
+
+// faultFile intercepts the write path of one checkpoint temp file.
+type faultFile struct {
+	inner File
+	in    *fault.Injector
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if f.in.Fire("persist.write") {
+		// Torn write: half the bytes land, success reported. The next
+		// writes continue at the wrong offset, exactly like a partial
+		// page flush before a crash.
+		n, err := f.inner.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return len(p), nil
+	}
+	if f.in.Fire("persist.write.err") {
+		return 0, ErrInjected
+	}
+	return f.inner.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	if f.in.Fire("persist.sync") {
+		return nil // fsync lied
+	}
+	if f.in.Fire("persist.sync.err") {
+		return ErrInjected
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Close() error { return f.inner.Close() }
+
+// faultReader intercepts the read path of one checkpoint file.
+type faultReader struct {
+	inner io.ReadCloser
+	in    *fault.Injector
+}
+
+func (f *faultReader) Read(p []byte) (int, error) {
+	if f.in.Fire("persist.read.err") {
+		return 0, ErrInjected
+	}
+	n, err := f.inner.Read(p)
+	if n > 0 && f.in.Fire("persist.read") {
+		p[n/2] ^= 0x04 // bit rot in the middle of whatever was read
+	}
+	return n, err
+}
+
+func (f *faultReader) Close() error { return f.inner.Close() }

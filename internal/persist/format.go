@@ -1,0 +1,345 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Binary layout of one checkpoint file (all integers little-endian):
+//
+//	magic   "DSCKPT01" (8 bytes)
+//	section*                      (META, then SHARD×T, TOPK×T?, END)
+//
+// Every section is independently checksummed:
+//
+//	type    uint8
+//	length  uint64                (payload bytes)
+//	payload [length]byte
+//	crc32   uint32                (IEEE, over type+length+payload)
+//
+// Section payloads:
+//
+//	META   threads,depth,width,backend uint32; seed,flags uint64
+//	SHARD  owner uint32; total uint64; encoded Count-Min payload
+//	TOPK   owner uint32; total uint64; n uint32; n×(key,count,err uint64)
+//	END    shards uint32; sum-of-shard-totals uint64
+//
+// The END section is mandatory and must be the last byte of the file;
+// its redundancy (shard count + totals sum) rejects files assembled
+// from sections of different checkpoints even if every section's own
+// CRC is intact. Any violation — unknown or out-of-order section, bad
+// CRC, duplicate or missing owner, trailing bytes — invalidates the
+// whole file: recovery is generation-granular, never partial.
+
+var ckptMagic = [8]byte{'D', 'S', 'C', 'K', 'P', 'T', '0', '1'}
+
+const (
+	secMeta  = 0x01
+	secShard = 0x02
+	secTopK  = 0x03
+	secEnd   = 0xEE
+
+	// metaFlagTopK marks a checkpoint carrying heavy-hitter sections.
+	metaFlagTopK = 1 << 0
+
+	// maxSectionLen bounds a single section payload, rejecting corrupt
+	// length fields before they turn into huge allocations.
+	maxSectionLen = 1 << 31
+)
+
+// writeSection frames one section onto w and returns the bytes written.
+func writeSection(w io.Writer, typ byte, payload []byte) (int64, error) {
+	hdr := make([]byte, 9)
+	hdr[0] = typ
+	binary.LittleEndian.PutUint64(hdr[1:], uint64(len(payload)))
+	sum := crc32.NewIEEE()
+	sum.Write(hdr)     // hash.Hash writes never fail
+	sum.Write(payload) //
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], sum.Sum32())
+	for _, part := range [][]byte{hdr, payload, trailer[:]} {
+		if _, err := w.Write(part); err != nil {
+			return 0, fmt.Errorf("persist: writing section %#x: %w", typ, err)
+		}
+	}
+	return int64(len(hdr) + len(payload) + 4), nil
+}
+
+// readSection reads and verifies one section from r. io.EOF (clean, at
+// a section boundary) is returned as-is so the caller can detect a file
+// that ends without an END section.
+func readSection(r io.Reader) (typ byte, payload []byte, err error) {
+	hdr := make([]byte, 9)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("%w: torn section header: %v", ErrCorruptCheckpoint, err)
+	}
+	length := binary.LittleEndian.Uint64(hdr[1:])
+	if length > maxSectionLen {
+		return 0, nil, fmt.Errorf("%w: implausible section length %d", ErrCorruptCheckpoint, length)
+	}
+	payload = make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("%w: torn section payload: %v", ErrCorruptCheckpoint, err)
+	}
+	var trailer [4]byte
+	if _, err := io.ReadFull(r, trailer[:]); err != nil {
+		return 0, nil, fmt.Errorf("%w: torn section checksum: %v", ErrCorruptCheckpoint, err)
+	}
+	sum := crc32.NewIEEE()
+	sum.Write(hdr)
+	sum.Write(payload)
+	if binary.LittleEndian.Uint32(trailer[:]) != sum.Sum32() {
+		return 0, nil, fmt.Errorf("%w: section %#x checksum mismatch", ErrCorruptCheckpoint, hdr[0])
+	}
+	return hdr[0], payload, nil
+}
+
+// encodeMeta serializes the META payload.
+func encodeMeta(m Meta) []byte {
+	buf := make([]byte, 4*4+8*2)
+	binary.LittleEndian.PutUint32(buf[0:], uint32(m.Threads))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(m.Depth))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(m.Width))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(m.Backend))
+	binary.LittleEndian.PutUint64(buf[16:], m.Seed)
+	var flags uint64
+	if m.TrackTopK {
+		flags |= metaFlagTopK
+	}
+	binary.LittleEndian.PutUint64(buf[24:], flags)
+	return buf
+}
+
+func decodeMeta(payload []byte) (Meta, error) {
+	if len(payload) != 4*4+8*2 {
+		return Meta{}, fmt.Errorf("%w: META payload is %d bytes", ErrCorruptCheckpoint, len(payload))
+	}
+	flags := binary.LittleEndian.Uint64(payload[24:])
+	m := Meta{
+		Threads:   int(binary.LittleEndian.Uint32(payload[0:])),
+		Depth:     int(binary.LittleEndian.Uint32(payload[4:])),
+		Width:     int(binary.LittleEndian.Uint32(payload[8:])),
+		Backend:   int(binary.LittleEndian.Uint32(payload[12:])),
+		Seed:      binary.LittleEndian.Uint64(payload[16:]),
+		TrackTopK: flags&metaFlagTopK != 0,
+	}
+	const maxThreads = 1 << 16
+	if m.Threads <= 0 || m.Threads > maxThreads || m.Depth <= 0 || m.Width <= 0 {
+		return Meta{}, fmt.Errorf("%w: implausible META %+v", ErrCorruptCheckpoint, m)
+	}
+	return m, nil
+}
+
+// encodeShard serializes one SHARD payload.
+func encodeShard(owner int, total uint64, cm []byte) []byte {
+	buf := make([]byte, 12+len(cm))
+	binary.LittleEndian.PutUint32(buf[0:], uint32(owner))
+	binary.LittleEndian.PutUint64(buf[4:], total)
+	copy(buf[12:], cm)
+	return buf
+}
+
+func decodeShard(payload []byte) (owner int, total uint64, cm []byte, err error) {
+	if len(payload) < 12 {
+		return 0, 0, nil, fmt.Errorf("%w: SHARD payload is %d bytes", ErrCorruptCheckpoint, len(payload))
+	}
+	return int(binary.LittleEndian.Uint32(payload[0:])),
+		binary.LittleEndian.Uint64(payload[4:]),
+		payload[12:], nil
+}
+
+// encodeTopK serializes one TOPK payload.
+func encodeTopK(owner int, st ShardTopK) []byte {
+	buf := make([]byte, 16+24*len(st.Entries))
+	binary.LittleEndian.PutUint32(buf[0:], uint32(owner))
+	binary.LittleEndian.PutUint64(buf[4:], st.Total)
+	binary.LittleEndian.PutUint32(buf[12:], uint32(len(st.Entries)))
+	for i, e := range st.Entries {
+		off := 16 + 24*i
+		binary.LittleEndian.PutUint64(buf[off:], e.Key)
+		binary.LittleEndian.PutUint64(buf[off+8:], e.Count)
+		binary.LittleEndian.PutUint64(buf[off+16:], e.Err)
+	}
+	return buf
+}
+
+func decodeTopK(payload []byte) (owner int, st ShardTopK, err error) {
+	if len(payload) < 16 {
+		return 0, ShardTopK{}, fmt.Errorf("%w: TOPK payload is %d bytes", ErrCorruptCheckpoint, len(payload))
+	}
+	n := int(binary.LittleEndian.Uint32(payload[12:]))
+	if len(payload) != 16+24*n {
+		return 0, ShardTopK{}, fmt.Errorf("%w: TOPK payload %d bytes for %d entries", ErrCorruptCheckpoint, len(payload), n)
+	}
+	st.Total = binary.LittleEndian.Uint64(payload[4:])
+	st.Entries = make([]TopKEntry, n)
+	for i := range st.Entries {
+		off := 16 + 24*i
+		st.Entries[i] = TopKEntry{
+			Key:   binary.LittleEndian.Uint64(payload[off:]),
+			Count: binary.LittleEndian.Uint64(payload[off+8:]),
+			Err:   binary.LittleEndian.Uint64(payload[off+16:]),
+		}
+	}
+	return int(binary.LittleEndian.Uint32(payload[0:])), st, nil
+}
+
+// encodeEnd serializes the END payload.
+func encodeEnd(shards int, totalsSum uint64) []byte {
+	buf := make([]byte, 12)
+	binary.LittleEndian.PutUint32(buf[0:], uint32(shards))
+	binary.LittleEndian.PutUint64(buf[4:], totalsSum)
+	return buf
+}
+
+func decodeEnd(payload []byte) (shards int, totalsSum uint64, err error) {
+	if len(payload) != 12 {
+		return 0, 0, fmt.Errorf("%w: END payload is %d bytes", ErrCorruptCheckpoint, len(payload))
+	}
+	return int(binary.LittleEndian.Uint32(payload[0:])),
+		binary.LittleEndian.Uint64(payload[4:]), nil
+}
+
+// encodeCheckpoint streams cp onto w and returns the bytes written.
+func encodeCheckpoint(w io.Writer, cp *Checkpoint) (int64, error) {
+	if err := cp.validate(); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(ckptMagic[:]); err != nil {
+		return 0, fmt.Errorf("persist: writing magic: %w", err)
+	}
+	written := int64(len(ckptMagic))
+	emit := func(typ byte, payload []byte) error {
+		n, err := writeSection(w, typ, payload)
+		written += n
+		return err
+	}
+	if err := emit(secMeta, encodeMeta(cp.Meta)); err != nil {
+		return written, err
+	}
+	var totalsSum uint64
+	for i, cm := range cp.Shards {
+		totalsSum += cp.Totals[i]
+		if err := emit(secShard, encodeShard(i, cp.Totals[i], cm)); err != nil {
+			return written, err
+		}
+	}
+	for i, st := range cp.TopK {
+		if err := emit(secTopK, encodeTopK(i, st)); err != nil {
+			return written, err
+		}
+	}
+	if err := emit(secEnd, encodeEnd(len(cp.Shards), totalsSum)); err != nil {
+		return written, err
+	}
+	return written, nil
+}
+
+// decodeCheckpoint reads and fully verifies one checkpoint from r.
+func decodeCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: torn magic: %v", ErrCorruptCheckpoint, err)
+	}
+	if magic != ckptMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorruptCheckpoint, magic[:])
+	}
+	typ, payload, err := readSection(r)
+	if err != nil {
+		return nil, firstSectionErr(err)
+	}
+	if typ != secMeta {
+		return nil, fmt.Errorf("%w: first section is %#x, want META", ErrCorruptCheckpoint, typ)
+	}
+	meta, err := decodeMeta(payload)
+	if err != nil {
+		return nil, err
+	}
+	cp := &Checkpoint{
+		Meta:   meta,
+		Shards: make([][]byte, meta.Threads),
+		Totals: make([]uint64, meta.Threads),
+	}
+	if meta.TrackTopK {
+		cp.TopK = make([]ShardTopK, meta.Threads)
+	}
+	seenShard := make([]bool, meta.Threads)
+	seenTopK := make([]bool, meta.Threads)
+	shards := 0
+	var totalsSum uint64
+	ended := false
+	for !ended {
+		typ, payload, err := readSection(r)
+		if err != nil {
+			return nil, firstSectionErr(err)
+		}
+		switch typ {
+		case secShard:
+			owner, total, cm, err := decodeShard(payload)
+			if err != nil {
+				return nil, err
+			}
+			if owner < 0 || owner >= meta.Threads || seenShard[owner] {
+				return nil, fmt.Errorf("%w: duplicate or out-of-range shard %d", ErrCorruptCheckpoint, owner)
+			}
+			seenShard[owner] = true
+			cp.Shards[owner] = cm
+			cp.Totals[owner] = total
+			totalsSum += total
+			shards++
+		case secTopK:
+			owner, st, err := decodeTopK(payload)
+			if err != nil {
+				return nil, err
+			}
+			if !meta.TrackTopK || owner < 0 || owner >= meta.Threads || seenTopK[owner] {
+				return nil, fmt.Errorf("%w: unexpected, duplicate or out-of-range top-k section %d", ErrCorruptCheckpoint, owner)
+			}
+			seenTopK[owner] = true
+			cp.TopK[owner] = st
+		case secEnd:
+			endShards, endSum, err := decodeEnd(payload)
+			if err != nil {
+				return nil, err
+			}
+			if endShards != shards || endSum != totalsSum {
+				return nil, fmt.Errorf("%w: END records %d shards / sum %d, file holds %d / %d",
+					ErrCorruptCheckpoint, endShards, endSum, shards, totalsSum)
+			}
+			ended = true
+		default:
+			return nil, fmt.Errorf("%w: unknown section type %#x", ErrCorruptCheckpoint, typ)
+		}
+	}
+	if shards != meta.Threads {
+		return nil, fmt.Errorf("%w: %d shard sections for %d threads", ErrCorruptCheckpoint, shards, meta.Threads)
+	}
+	if meta.TrackTopK {
+		for i, ok := range seenTopK {
+			if !ok {
+				return nil, fmt.Errorf("%w: missing top-k section for owner %d", ErrCorruptCheckpoint, i)
+			}
+		}
+	}
+	// END must be the last byte of the file: trailing data means the
+	// file was not produced by one atomic write.
+	var one [1]byte
+	if n, _ := io.ReadFull(r, one[:]); n != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes after END section", ErrCorruptCheckpoint)
+	}
+	return cp, nil
+}
+
+// firstSectionErr normalizes a clean EOF at a section boundary into a
+// corruption error: a checkpoint may only end via its END section.
+func firstSectionErr(err error) error {
+	if err == io.EOF {
+		return fmt.Errorf("%w: file ends without an END section", ErrCorruptCheckpoint)
+	}
+	return err
+}

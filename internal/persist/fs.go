@@ -1,0 +1,76 @@
+package persist
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// File is the writable half of the FS seam: what the checkpoint writer
+// needs from a file — streaming writes, a durability barrier, and a
+// close whose error must not be dropped (a failed close can mean the
+// data never reached the disk).
+type File interface {
+	io.Writer
+	// Sync flushes the file's data to stable storage.
+	Sync() error
+	// Close releases the file, reporting any deferred write-back error.
+	Close() error
+}
+
+// FS abstracts the filesystem operations the checkpoint path performs,
+// so the chaos suites can inject short writes, fsync failures, dropped
+// renames and read corruption (see FaultFS). Production code uses OS.
+type FS interface {
+	// Create truncates/creates name for writing.
+	Create(name string) (File, error)
+	// Open opens name for reading.
+	Open(name string) (io.ReadCloser, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// ReadDir lists the file names in dir (no directories).
+	ReadDir(dir string) ([]string, error)
+	// SyncDir flushes dir's entries to stable storage, making a
+	// preceding Rename durable.
+	SyncDir(dir string) error
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) Create(name string) (File, error) { return os.Create(name) }
+
+func (osFS) Open(name string) (io.ReadCloser, error) { return os.Open(name) }
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	//lint:ignore closecheck read-only directory handle; the Sync error above is the signal
+	d.Close()
+	return serr
+}

@@ -1,0 +1,120 @@
+// Package persist is the crash-safe durability layer for the delegation
+// sketch's serving stack: a versioned, section-checksummed binary
+// checkpoint format plus an atomic, generation-retaining writer and a
+// torn-file-tolerant loader.
+//
+// # Why sketches checkpoint cheaply
+//
+// The paper's quiescent-snapshot design (delegation-filter flush +
+// domain splitting) gives the pool a natural consistent cut: once the
+// two-phase barrier has parked every worker and the filters are flushed,
+// each owner's state is exactly one mergeable Count-Min counter array.
+// A checkpoint is therefore T opaque Count-Min payloads plus a small
+// amount of metadata — no log, no fine-grained locking, no coordination
+// beyond the barrier the pool already has.
+//
+// # Crash-consistency argument
+//
+// The writer never mutates a published checkpoint: it streams the new
+// generation into a temporary file in the same directory, fsyncs the
+// file, atomically renames it to its final generation name, and fsyncs
+// the directory. A crash therefore leaves either (a) the previous
+// generations untouched and possibly a stray temp file (ignored and
+// garbage-collected by the next successful write), or (b) the new
+// generation fully visible. A torn rename target — possible only when
+// fsync lies or is injected away — is caught at load time: every section
+// carries a CRC32, the file ends in a mandatory END section that records
+// the shard count and the sum of shard totals, and any structural or
+// checksum damage rejects the whole file. Load scans generations
+// newest-first and returns the first fully verified one, so restart
+// always recovers the most recent consistent checkpoint, never a
+// partial one.
+//
+// All filesystem access goes through the FS seam; FaultFS (faultfs.go)
+// threads an internal/fault Injector through every call so the chaos
+// suites can tear writes, drop fsyncs and renames, and corrupt reads at
+// exact, scripted points.
+package persist
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors returned by the checkpoint reader/writer.
+var (
+	// ErrNoCheckpoint reports a load from a directory holding no fully
+	// valid checkpoint (missing directory, no generation files, or every
+	// generation torn/corrupt).
+	ErrNoCheckpoint = errors.New("persist: no valid checkpoint found")
+	// ErrCorruptCheckpoint reports a single generation file that failed
+	// structural or checksum verification (Load skips such files; the
+	// error surfaces only through LoadInfo.Skipped and direct readers).
+	ErrCorruptCheckpoint = errors.New("persist: corrupt checkpoint file")
+	// ErrBadCheckpoint reports a Checkpoint value that is internally
+	// inconsistent and cannot be written.
+	ErrBadCheckpoint = errors.New("persist: inconsistent checkpoint")
+)
+
+// Meta identifies the sketch geometry a checkpoint was taken from. A
+// restore must match it exactly — counters only make sense under the
+// same owner mapping, dimensions and hash seeds.
+type Meta struct {
+	// Threads is the owner/shard count T.
+	Threads int
+	// Depth and Width are the per-owner Count-Min dimensions.
+	Depth, Width int
+	// Seed is the top-level seed (owner seeds derive from it).
+	Seed uint64
+	// Backend is the delegation backend ordinal.
+	Backend int
+	// TrackTopK records whether per-owner heavy-hitter state follows.
+	TrackTopK bool
+}
+
+// TopKEntry is one serialized Space-Saving entry.
+type TopKEntry struct {
+	Key, Count, Err uint64
+}
+
+// ShardTopK is one owner's serialized heavy-hitter tracker.
+type ShardTopK struct {
+	// Total is the tracker's observed-occurrence total (not recoverable
+	// from the entries because of evictions).
+	Total   uint64
+	Entries []TopKEntry
+}
+
+// Checkpoint is one consistent cut of the pool's durable state.
+type Checkpoint struct {
+	Meta Meta
+	// Shards holds one encoded Count-Min payload per owner (index =
+	// owner id). The payloads are opaque here; internal/sketch owns
+	// their format (and their own inner checksum).
+	Shards [][]byte
+	// Totals holds each shard's insertion total, duplicated outside the
+	// opaque payloads so the loader can cross-check the END section and
+	// the restorer can verify the decoded sketches.
+	Totals []uint64
+	// TopK holds per-owner heavy-hitter state; nil unless
+	// Meta.TrackTopK, in which case len(TopK) == Meta.Threads.
+	TopK []ShardTopK
+}
+
+// validate checks the checkpoint's internal consistency before writing.
+func (cp *Checkpoint) validate() error {
+	t := cp.Meta.Threads
+	switch {
+	case t <= 0:
+		return fmt.Errorf("%w: non-positive thread count %d", ErrBadCheckpoint, t)
+	case len(cp.Shards) != t:
+		return fmt.Errorf("%w: %d shards for %d threads", ErrBadCheckpoint, len(cp.Shards), t)
+	case len(cp.Totals) != t:
+		return fmt.Errorf("%w: %d totals for %d threads", ErrBadCheckpoint, len(cp.Totals), t)
+	case cp.Meta.TrackTopK && len(cp.TopK) != t:
+		return fmt.Errorf("%w: %d top-k states for %d threads", ErrBadCheckpoint, len(cp.TopK), t)
+	case !cp.Meta.TrackTopK && len(cp.TopK) != 0:
+		return fmt.Errorf("%w: top-k state present but not tracked in meta", ErrBadCheckpoint)
+	}
+	return nil
+}

@@ -1,0 +1,255 @@
+package pool
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"dsketch/internal/persist"
+)
+
+// CheckpointOptions configures the pool's crash-safe durability: when
+// enabled, the pool periodically captures a consistent cut of the
+// sketch inside its quiescence barrier and publishes it atomically via
+// internal/persist, and a graceful Drain/Close takes one final
+// checkpoint after the last insertion has landed.
+//
+// Only the capture pauses serving (one barrier, then cloning T counter
+// arrays); encoding and disk IO happen after the workers resume.
+type CheckpointOptions struct {
+	// Dir is the checkpoint directory. Empty disables checkpointing.
+	Dir string
+	// Interval is the background checkpoint period (jittered ±10% so
+	// fleets do not checkpoint in lockstep). Zero or negative disables
+	// the background checkpointer; manual Checkpoint calls and the
+	// final drain checkpoint still work when Dir is set.
+	Interval time.Duration
+	// Keep is how many checkpoint generations to retain (default 1).
+	Keep int
+	// FS overrides the filesystem (fault injection); nil uses the OS.
+	FS persist.FS
+}
+
+// enabled reports whether any checkpoint machinery should run.
+func (o CheckpointOptions) enabled() bool { return o.Dir != "" }
+
+func (o CheckpointOptions) fsys() persist.FS {
+	if o.FS != nil {
+		return o.FS
+	}
+	return persist.OS
+}
+
+// ckptMetrics is the pool's checkpoint telemetry (all atomics; read via
+// Metrics).
+type ckptMetrics struct {
+	count    atomic.Uint64 // successful checkpoints
+	failures atomic.Uint64 // failed attempts (capture or write)
+	lastGen  atomic.Uint64 // generation of the last success
+	lastSize atomic.Uint64 // bytes of the last success
+	lastUnix atomic.Int64  // wall time of the last success (UnixNano)
+	lastDur  atomic.Int64  // duration of the last success (ns)
+}
+
+// Checkpoint captures a consistent cut and publishes it into dir,
+// returning the generation info. On a live pool the capture runs inside
+// the quiescence barrier; on a draining or drained pool it waits for
+// shutdown to complete and captures the quiescent state directly, so a
+// checkpoint requested around Close still reflects every acknowledged
+// insertion. ctx bounds only the wait for a draining pool; the write
+// itself is not interruptible (interrupting mid-publish is exactly what
+// the atomic rename protects against).
+func (p *Pool) Checkpoint(ctx context.Context, dir string) (persist.WriteInfo, error) {
+	cp, err := p.capture(ctx)
+	if err != nil {
+		p.ckpt.failures.Add(1)
+		return persist.WriteInfo{}, err
+	}
+	return p.publish(dir, cp)
+}
+
+// capture produces the checkpoint value (no IO).
+func (p *Pool) capture(ctx context.Context) (*persist.Checkpoint, error) {
+	var cp *persist.Checkpoint
+	var err error
+	if p.quiesceLive(func() { cp, err = p.ds.Checkpoint() }) == nil {
+		return cp, err
+	}
+	// Draining or drained: wait for full quiescence, bounded by ctx.
+	var ctxDone <-chan struct{}
+	if ctx != nil {
+		ctxDone = ctx.Done()
+	}
+	select {
+	case <-p.closedDone:
+	case <-ctxDone:
+		return nil, ctx.Err()
+	}
+	p.quiesceMu.Lock()
+	defer p.quiesceMu.Unlock()
+	return p.ds.Checkpoint()
+}
+
+// DisableCheckpoints permanently stops this pool from publishing any
+// further checkpoint — background, manual, or the final drain one. A
+// restore path that failed uses it before Close, so the empty or
+// half-restored pool can never overwrite durable generations a later
+// startup still needs.
+func (p *Pool) DisableCheckpoints() { p.ckptOff.Store(true) }
+
+// ErrCheckpointsDisabled reports a publish attempt on a pool whose
+// checkpointing was turned off by DisableCheckpoints.
+var ErrCheckpointsDisabled = fmt.Errorf("pool: checkpoint publishing disabled on this pool")
+
+// publish writes cp into dir (serialized per pool, so a manual
+// checkpoint cannot interleave generation numbering with the background
+// one) and records the telemetry.
+func (p *Pool) publish(dir string, cp *persist.Checkpoint) (persist.WriteInfo, error) {
+	if p.ckptOff.Load() {
+		return persist.WriteInfo{}, ErrCheckpointsDisabled
+	}
+	t0 := time.Now()
+	p.ckptWriteMu.Lock()
+	wi, err := persist.Write(p.opt.Checkpoint.fsys(), dir, cp, p.opt.Checkpoint.Keep)
+	p.ckptWriteMu.Unlock()
+	if err != nil {
+		p.ckpt.failures.Add(1)
+		return wi, err
+	}
+	p.ckpt.count.Add(1)
+	p.ckpt.lastGen.Store(wi.Gen)
+	p.ckpt.lastSize.Store(uint64(wi.Bytes))
+	p.ckpt.lastUnix.Store(time.Now().UnixNano())
+	p.ckpt.lastDur.Store(int64(time.Since(t0)))
+	return wi, nil
+}
+
+// checkpointer is the background goroutine: one jittered-interval loop
+// that checkpoints into the configured directory until Drain closes the
+// done channel. It never blocks on closedDone — finishShutdown waits
+// this goroutine out before taking the final checkpoint.
+func (p *Pool) checkpointer() {
+	defer p.ckptWG.Done()
+	// Last-resort containment: checkpointTick already recovers
+	// per-attempt panics, so anything reaching here stops background
+	// checkpointing (counted as a failure) without killing the process;
+	// drain still takes its final checkpoint.
+	defer func() {
+		if r := recover(); r != nil {
+			p.ckpt.failures.Add(1)
+		}
+	}()
+	if p.opt.Checkpoint.Interval <= 0 {
+		<-p.done
+		return
+	}
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	timer := time.NewTimer(jitter(rng, p.opt.Checkpoint.Interval))
+	defer timer.Stop()
+	for {
+		select {
+		case <-p.done:
+			return
+		case <-timer.C:
+			p.checkpointTick()
+			timer.Reset(jitter(rng, p.opt.Checkpoint.Interval))
+		}
+	}
+}
+
+// checkpointTick contains one background attempt: a panic out of the
+// capture or publish path (poisoned state, injected fault) is a counted
+// failure, not the end of the checkpointer.
+func (p *Pool) checkpointTick() {
+	defer func() {
+		if r := recover(); r != nil {
+			p.ckpt.failures.Add(1)
+		}
+	}()
+	p.checkpointLive()
+}
+
+// jitter spreads d by ±10%.
+func jitter(rng *rand.Rand, d time.Duration) time.Duration {
+	span := int64(d) / 5
+	if span <= 0 {
+		return d
+	}
+	return d - time.Duration(span/2) + time.Duration(rng.Int63n(span))
+}
+
+// checkpointLive takes one background checkpoint; a pool that started
+// draining meanwhile is left to finishShutdown's final checkpoint.
+func (p *Pool) checkpointLive() {
+	var cp *persist.Checkpoint
+	var err error
+	if p.quiesceLive(func() { cp, err = p.ds.Checkpoint() }) != nil {
+		return // draining: the final drain checkpoint covers it
+	}
+	if err != nil {
+		p.ckpt.failures.Add(1)
+		return
+	}
+	_, _ = p.publish(p.opt.Checkpoint.Dir, cp)
+}
+
+// checkpointQuiescent is the final drain checkpoint, called by
+// finishShutdown with every worker exited, buffers swept and filters
+// flushed; the sketch is fully quiescent and no other checkpoint writer
+// is running.
+func (p *Pool) checkpointQuiescent() {
+	cp, err := p.ds.Checkpoint()
+	if err != nil {
+		p.ckpt.failures.Add(1)
+		return
+	}
+	_, _ = p.publish(p.opt.Checkpoint.Dir, cp)
+}
+
+// Restore loads the newest valid checkpoint from dir into the pool's
+// sketch. It must run before any insertion (the delegation layer
+// refuses otherwise). Returns persist.ErrNoCheckpoint when dir holds no
+// usable checkpoint. Intended for construction time: build the DS,
+// restore, then start serving.
+func (p *Pool) Restore(dir string) (persist.LoadInfo, error) {
+	cp, li, err := persist.Load(p.opt.Checkpoint.fsys(), dir)
+	if err != nil {
+		return li, err
+	}
+	var rerr error
+	if qerr := p.quiesceLive(func() { rerr = p.ds.Restore(cp) }); qerr != nil {
+		return li, fmt.Errorf("pool: restore on a draining pool: %w", qerr)
+	}
+	return li, rerr
+}
+
+// CheckpointMetrics is the telemetry snapshot for the checkpoint path.
+type CheckpointMetrics struct {
+	// Checkpoints counts successful publishes; Failures failed attempts.
+	Checkpoints, Failures uint64
+	// LastGen and LastBytes describe the most recent success.
+	LastGen   uint64
+	LastBytes uint64
+	// LastAt is the wall time of the most recent success (zero if none).
+	LastAt time.Time
+	// LastDuration is capture+encode+write time of the most recent
+	// success.
+	LastDuration time.Duration
+}
+
+// CheckpointMetrics returns the checkpoint telemetry. Safe at any time.
+func (p *Pool) CheckpointMetrics() CheckpointMetrics {
+	m := CheckpointMetrics{
+		Checkpoints:  p.ckpt.count.Load(),
+		Failures:     p.ckpt.failures.Load(),
+		LastGen:      p.ckpt.lastGen.Load(),
+		LastBytes:    p.ckpt.lastSize.Load(),
+		LastDuration: time.Duration(p.ckpt.lastDur.Load()),
+	}
+	if ns := p.ckpt.lastUnix.Load(); ns != 0 {
+		m.LastAt = time.Unix(0, ns)
+	}
+	return m
+}

@@ -116,6 +116,9 @@ type Options struct {
 	// positive duration makes idle workers block and help only every
 	// IdleHelp, trading tail latency for CPU (use ~100µs for daemons).
 	IdleHelp time.Duration
+	// Checkpoint configures crash-safe durability (see CheckpointOptions
+	// in checkpoint.go). The zero value disables it.
+	Checkpoint CheckpointOptions
 	// Hooks are test seams; see Hooks.
 	Hooks Hooks
 }
@@ -212,6 +215,11 @@ type Pool struct {
 	panics       atomic.Uint64 // worker panics recovered
 	quiesces     atomic.Uint64
 	pauseHist    metrics.SharedHistogram // quiesce pause durations
+
+	ckptWG      sync.WaitGroup // the background checkpointer goroutine
+	ckptWriteMu sync.Mutex     // serializes checkpoint dir writes
+	ckptOff     atomic.Bool    // publishing disabled (failed restore)
+	ckpt        ckptMetrics    // see checkpoint.go
 }
 
 // New wraps ds — whose thread ids must not be driven by any other
@@ -238,6 +246,10 @@ func New(ds *delegation.DS, opt Options) *Pool {
 	p.wg.Add(t)
 	for tid := 0; tid < t; tid++ {
 		go p.worker(tid)
+	}
+	if opt.Checkpoint.enabled() {
+		p.ckptWG.Add(1)
+		go p.checkpointer()
 	}
 	return p
 }
@@ -477,14 +489,27 @@ func (p *Pool) answerQuiescent(ctx context.Context, keys, out []uint64) error {
 // InsertCount call returned before Quiesce was called. Insertions and
 // queries issued during the pause are buffered and served after resume.
 func (p *Pool) Quiesce(fn func()) {
+	if p.quiesceLive(fn) == nil {
+		return
+	}
+	// The pool is draining or drained. Once shutdown completes the
+	// sketch is quiescent; wait it out rather than racing it.
+	<-p.closedDone
+	p.quiesceMu.Lock()
+	defer p.quiesceMu.Unlock()
+	fn()
+}
+
+// quiesceLive is Quiesce for callers that must not block on a draining
+// pool (the background checkpointer: waiting for closedDone there would
+// deadlock finishShutdown, which waits the checkpointer out before its
+// final checkpoint). It returns ErrClosed without running fn if the
+// pool is draining or drained.
+func (p *Pool) quiesceLive(fn func()) error {
 	p.quiesceMu.Lock()
 	defer p.quiesceMu.Unlock()
 	if p.closed.Load() {
-		// The pool is draining or drained. Once shutdown completes the
-		// sketch is quiescent; wait it out rather than racing it.
-		<-p.closedDone
-		fn()
-		return
+		return ErrClosed
 	}
 	p.quiesces.Add(1)
 	t0 := time.Now()
@@ -507,6 +532,7 @@ func (p *Pool) Quiesce(fn func()) {
 	fn()
 	close(req.resume)
 	p.pausesDone(t0)
+	return nil
 }
 
 func (p *Pool) pausesDone(t0 time.Time) {
@@ -586,6 +612,14 @@ func (p *Pool) finishShutdown() {
 		}
 	}
 	p.ds.Flush()
+	// The background checkpointer saw done close and is winding down
+	// (it never blocks on closedDone). Wait it out, then take the final
+	// checkpoint from this fully quiescent state, so a clean shutdown
+	// always persists every acknowledged insertion.
+	p.ckptWG.Wait()
+	if p.opt.Checkpoint.enabled() && !p.ckptOff.Load() {
+		p.checkpointQuiescent()
+	}
 	close(p.closedDone)
 }
 

@@ -1,6 +1,10 @@
 package sketch
 
-import "dsketch/internal/filter"
+import (
+	"fmt"
+
+	"dsketch/internal/filter"
+)
 
 // Augmented is the Augmented Sketch of Roy et al. (SIGMOD'16, the paper's
 // [32]): a small filter that tracks (hopefully) the hottest keys in front
@@ -63,6 +67,46 @@ func (a *Augmented) Estimate(key uint64) uint64 {
 		return c
 	}
 	return a.sk.Estimate(key)
+}
+
+// CountMinSnapshot returns a Count-Min copy of the full augmented state:
+// a clone of the backing sketch with every filter entry's outstanding
+// count folded in. The filter itself is untouched, so the live sketch
+// keeps its exact hot-key counts — this is the checkpoint capture path,
+// which must not perturb serving accuracy. Estimates from the snapshot
+// are ≥ the augmented sketch's own (filter-exact counts become Count-Min
+// upper bounds), so a checkpoint never under-reports an acknowledged
+// insertion. Requires a *CountMin backing.
+func (a *Augmented) CountMinSnapshot() (*CountMin, error) {
+	cm, ok := a.sk.(*CountMin)
+	if !ok {
+		return nil, fmt.Errorf("sketch: augmented backing is %T, not a Count-Min", a.sk)
+	}
+	c := cm.Clone()
+	a.flt.Iterate(func(item, newCount, oldCount uint64) {
+		if newCount > oldCount {
+			c.Insert(item, newCount-oldCount)
+		}
+	})
+	return c, nil
+}
+
+// RestoreFromCountMin loads a checkpointed Count-Min snapshot into an
+// empty augmented sketch: the counters go to the backing sketch and the
+// filter starts cold (it re-learns hot keys from live traffic).
+func (a *Augmented) RestoreFromCountMin(cm *CountMin) error {
+	backing, ok := a.sk.(*CountMin)
+	if !ok {
+		return fmt.Errorf("sketch: augmented backing is %T, not a Count-Min", a.sk)
+	}
+	if a.total != 0 {
+		return fmt.Errorf("sketch: restore target already holds %d insertions", a.total)
+	}
+	if err := backing.RestoreFrom(cm); err != nil {
+		return err
+	}
+	a.total = cm.Total()
+	return nil
 }
 
 // Drain flushes every filter entry's outstanding count into the backing

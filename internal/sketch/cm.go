@@ -1,6 +1,10 @@
 package sketch
 
-import "dsketch/internal/hash"
+import (
+	"fmt"
+
+	"dsketch/internal/hash"
+)
 
 // CountMin is the sequential Count-Min sketch of §2.1: a d×w array of
 // counters, one pairwise-independent hash function per row. Point queries
@@ -26,6 +30,35 @@ func NewCountMin(cfg Config) *CountMin {
 
 // Depth returns the number of rows d.
 func (s *CountMin) Depth() int { return s.cfg.Depth }
+
+// Config returns the configuration the sketch was built with. Two
+// sketches with equal Configs are mergeable and restore-compatible.
+func (s *CountMin) Config() Config { return s.cfg }
+
+// Clone returns a deep copy sharing no mutable state with s.
+func (s *CountMin) Clone() *CountMin {
+	c := NewCountMin(s.cfg)
+	copy(c.counters, s.counters)
+	c.total = s.total
+	return c
+}
+
+// RestoreFrom copies other's counters and total into s, which must be
+// empty (no insertions yet) and share other's exact Config. It is the
+// checkpoint-recovery path: unlike Merge it asserts the target is
+// pristine, so a restored sketch is bit-identical to the checkpointed
+// one.
+func (s *CountMin) RestoreFrom(other *CountMin) error {
+	if s.cfg != other.cfg {
+		return fmt.Errorf("sketch: restore config mismatch: have %+v, checkpoint %+v", s.cfg, other.cfg)
+	}
+	if s.total != 0 {
+		return fmt.Errorf("sketch: restore target already holds %d insertions", s.total)
+	}
+	copy(s.counters, other.counters)
+	s.total = other.total
+	return nil
+}
 
 // Width returns the counters per row w.
 func (s *CountMin) Width() int { return s.cfg.Width }

@@ -1,6 +1,10 @@
 package sketch
 
-import "dsketch/internal/hash"
+import (
+	"fmt"
+
+	"dsketch/internal/hash"
+)
 
 // ConservativeCountMin is the conservative-update ("CU") variant of
 // Count-Min: an insert raises each row counter only as far as
@@ -71,3 +75,27 @@ func (s *ConservativeCountMin) Estimate(key uint64) uint64 {
 
 // MemoryBytes returns the counter array footprint.
 func (s *ConservativeCountMin) MemoryBytes() int { return len(s.counters) * 8 }
+
+// CountMinSnapshot copies the counters and total into a plain Count-Min
+// carrier for serialization. The counter array is the complete CU state,
+// so a later RestoreFromCountMin round-trips the sketch exactly.
+func (s *ConservativeCountMin) CountMinSnapshot() *CountMin {
+	c := NewCountMin(s.cfg)
+	copy(c.counters, s.counters)
+	c.total = s.total
+	return c
+}
+
+// RestoreFromCountMin loads a checkpointed counter array into an empty
+// CU sketch. The carrier must share the exact Config.
+func (s *ConservativeCountMin) RestoreFromCountMin(cm *CountMin) error {
+	if s.cfg != cm.cfg {
+		return fmt.Errorf("sketch: restore config mismatch: have %+v, checkpoint %+v", s.cfg, cm.cfg)
+	}
+	if s.total != 0 {
+		return fmt.Errorf("sketch: restore target already holds %d insertions", s.total)
+	}
+	copy(s.counters, cm.counters)
+	s.total = cm.total
+	return nil
+}

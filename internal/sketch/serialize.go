@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
@@ -13,23 +14,49 @@ import (
 // sketches in distributed monitoring [13]. The format stores the exact
 // Config, so a decoded sketch is mergeable with any sketch built from the
 // same Config.
+//
+// Format (version 02): a 6-byte magic "DSCM02" (4-byte family tag plus a
+// 2-digit format version), a 32-byte header (depth, width, seed, total;
+// little-endian uint64s), the row-major counters, and a 4-byte CRC32
+// (IEEE) trailer covering everything after the magic. The trailer turns
+// a torn or bit-flipped payload into a hard decode error instead of a
+// silently wrong sketch — the property the crash-safe checkpoint layer
+// (internal/persist) builds on.
 
-var cmMagic = [6]byte{'D', 'S', 'C', 'M', '0', '1'}
+// cmMagicTag identifies the payload family; the two bytes after it carry
+// the format version.
+var cmMagicTag = [4]byte{'D', 'S', 'C', 'M'}
 
-// ErrBadSketchFormat reports an input that is not an encoded Count-Min.
-var ErrBadSketchFormat = errors.New("sketch: bad magic, not an encoded Count-Min sketch")
+var cmMagic = [6]byte{'D', 'S', 'C', 'M', '0', '2'}
 
-// Encode writes the sketch (config, total, counters) to w.
+// Errors returned by DecodeCountMin, distinguishable so callers can tell
+// "not ours" from "ours but damaged" from "ours but newer".
+var (
+	// ErrBadSketchFormat reports an input that is not an encoded
+	// Count-Min at all (wrong magic).
+	ErrBadSketchFormat = errors.New("sketch: bad magic, not an encoded Count-Min sketch")
+	// ErrSketchVersion reports an encoded Count-Min of an unsupported
+	// format version.
+	ErrSketchVersion = errors.New("sketch: unsupported Count-Min format version")
+	// ErrCorruptSketch reports an encoded Count-Min whose structure or
+	// checksum is damaged (truncation, bit flips, implausible header).
+	ErrCorruptSketch = errors.New("sketch: corrupt Count-Min payload")
+)
+
+// Encode writes the sketch (config, total, counters) to w, followed by a
+// CRC32 trailer over the header and counters.
 func (s *CountMin) Encode(w io.Writer) error {
 	if _, err := w.Write(cmMagic[:]); err != nil {
 		return fmt.Errorf("sketch: writing header: %w", err)
 	}
+	sum := crc32.NewIEEE()
+	cw := io.MultiWriter(w, sum)
 	hdr := make([]byte, 8*4)
 	binary.LittleEndian.PutUint64(hdr[0:], uint64(s.cfg.Depth))
 	binary.LittleEndian.PutUint64(hdr[8:], uint64(s.cfg.Width))
 	binary.LittleEndian.PutUint64(hdr[16:], s.cfg.Seed)
 	binary.LittleEndian.PutUint64(hdr[24:], s.total)
-	if _, err := w.Write(hdr); err != nil {
+	if _, err := cw.Write(hdr); err != nil {
 		return fmt.Errorf("sketch: writing dimensions: %w", err)
 	}
 	buf := make([]byte, 8*1024)
@@ -40,31 +67,44 @@ func (s *CountMin) Encode(w io.Writer) error {
 			n++
 			off++
 		}
-		if _, err := w.Write(buf[:n*8]); err != nil {
+		if _, err := cw.Write(buf[:n*8]); err != nil {
 			return fmt.Errorf("sketch: writing counters: %w", err)
 		}
+	}
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], sum.Sum32())
+	if _, err := w.Write(trailer[:]); err != nil {
+		return fmt.Errorf("sketch: writing checksum: %w", err)
 	}
 	return nil
 }
 
-// DecodeCountMin reads a sketch previously written by Encode.
+// DecodeCountMin reads a sketch previously written by Encode, verifying
+// the CRC32 trailer. It returns ErrBadSketchFormat for foreign input,
+// ErrSketchVersion for an unsupported format version, and an error
+// wrapping ErrCorruptSketch for a damaged payload.
 func DecodeCountMin(r io.Reader) (*CountMin, error) {
 	var magic [6]byte
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
 		return nil, fmt.Errorf("sketch: reading header: %w", err)
 	}
-	if magic != cmMagic {
+	if [4]byte(magic[:4]) != cmMagicTag {
 		return nil, ErrBadSketchFormat
 	}
+	if magic != cmMagic {
+		return nil, fmt.Errorf("%w %q", ErrSketchVersion, string(magic[4:]))
+	}
+	sum := crc32.NewIEEE()
+	cr := io.TeeReader(r, sum)
 	hdr := make([]byte, 8*4)
-	if _, err := io.ReadFull(r, hdr); err != nil {
-		return nil, fmt.Errorf("sketch: reading dimensions: %w", err)
+	if _, err := io.ReadFull(cr, hdr); err != nil {
+		return nil, fmt.Errorf("sketch: reading dimensions: %w (%w)", err, ErrCorruptSketch)
 	}
 	depth := binary.LittleEndian.Uint64(hdr[0:])
 	width := binary.LittleEndian.Uint64(hdr[8:])
 	const maxDim = 1 << 28 // 2 GiB of counters; reject corrupt headers
 	if depth == 0 || width == 0 || depth > maxDim || width > maxDim || depth*width > maxDim {
-		return nil, fmt.Errorf("sketch: implausible dimensions %dx%d", depth, width)
+		return nil, fmt.Errorf("%w: implausible dimensions %dx%d", ErrCorruptSketch, depth, width)
 	}
 	s := NewCountMin(Config{
 		Depth: int(depth),
@@ -78,13 +118,20 @@ func DecodeCountMin(r io.Reader) (*CountMin, error) {
 		if want > len(buf) {
 			want = len(buf)
 		}
-		if _, err := io.ReadFull(r, buf[:want]); err != nil {
-			return nil, fmt.Errorf("sketch: reading counters: %w", err)
+		if _, err := io.ReadFull(cr, buf[:want]); err != nil {
+			return nil, fmt.Errorf("sketch: reading counters: %w (%w)", err, ErrCorruptSketch)
 		}
 		for b := 0; b < want; b += 8 {
 			s.counters[off] = binary.LittleEndian.Uint64(buf[b:])
 			off++
 		}
+	}
+	var trailer [4]byte
+	if _, err := io.ReadFull(r, trailer[:]); err != nil {
+		return nil, fmt.Errorf("sketch: reading checksum: %w (%w)", err, ErrCorruptSketch)
+	}
+	if binary.LittleEndian.Uint32(trailer[:]) != sum.Sum32() {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorruptSketch)
 	}
 	return s, nil
 }

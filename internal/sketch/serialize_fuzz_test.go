@@ -1,0 +1,69 @@
+package sketch
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeCountMin throws arbitrary bytes at the decoder. The decoder
+// must never panic, never allocate an implausible sketch, and — when it
+// does accept an input — produce a sketch whose re-encoding decodes to
+// identical estimates (accepted inputs are internally consistent).
+//
+// The seed corpus covers the interesting boundary shapes: valid
+// encodings, every kind of truncation, version skew, and flipped bits,
+// so plain `go test` (and the CI fuzz step) already exercises the
+// rejection paths without a fuzzing engine.
+func FuzzDecodeCountMin(f *testing.F) {
+	valid := func(depth, width int, keys ...uint64) []byte {
+		s := NewCountMin(Config{Depth: depth, Width: width, Seed: 42})
+		for i, k := range keys {
+			s.Insert(k, uint64(i+1))
+		}
+		var buf bytes.Buffer
+		if err := s.Encode(&buf); err != nil {
+			f.Fatalf("Encode: %v", err)
+		}
+		return buf.Bytes()
+	}
+	whole := valid(3, 16, 1, 2, 3, 1<<40)
+	f.Add(whole)
+	f.Add(valid(1, 1))
+	f.Add(whole[:4])                  // magic tag only
+	f.Add(whole[:6])                  // full magic, no header
+	f.Add(whole[:20])                 // mid-header
+	f.Add(whole[:len(whole)-4])       // missing trailer
+	f.Add(whole[:len(whole)-5])       // torn trailer
+	f.Add([]byte{})                   // empty
+	f.Add([]byte("DSCM01garbage"))    // old version
+	f.Add([]byte("DSCM99whoknows"))   // future version
+	f.Add(bytes.Repeat(whole, 2))     // trailing garbage after a valid payload
+	flip := bytes.Clone(whole)
+	flip[10] ^= 0x80
+	f.Add(flip)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeCountMin(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted: the payload must be self-consistent under re-encode.
+		var buf bytes.Buffer
+		if err := s.Encode(&buf); err != nil {
+			t.Fatalf("re-encoding an accepted sketch: %v", err)
+		}
+		again, err := DecodeCountMin(&buf)
+		if err != nil {
+			t.Fatalf("re-decoding an accepted sketch: %v", err)
+		}
+		if again.Total() != s.Total() || again.Depth() != s.Depth() || again.Width() != s.Width() {
+			t.Fatalf("round trip changed metadata: %d/%d/%d vs %d/%d/%d",
+				s.Depth(), s.Width(), s.Total(), again.Depth(), again.Width(), again.Total())
+		}
+		for k := uint64(0); k < 64; k++ {
+			if s.Estimate(k) != again.Estimate(k) {
+				t.Fatalf("round trip changed estimate for key %d", k)
+			}
+		}
+	})
+}

@@ -2,6 +2,7 @@ package sketch
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -52,21 +53,65 @@ func TestDecodedSketchMergeable(t *testing.T) {
 }
 
 func TestDecodeRejectsGarbage(t *testing.T) {
-	if _, err := DecodeCountMin(bytes.NewReader([]byte("definitely not a sketch"))); err != ErrBadSketchFormat {
+	if _, err := DecodeCountMin(bytes.NewReader([]byte("definitely not a sketch"))); !errors.Is(err, ErrBadSketchFormat) {
 		t.Fatalf("err = %v, want ErrBadSketchFormat", err)
 	}
 }
 
-func TestDecodeRejectsTruncated(t *testing.T) {
+func TestDecodeRejectsUnknownVersion(t *testing.T) {
 	s := NewCountMin(Config{Depth: 2, Width: 32, Seed: 1})
-	s.Insert(1, 1)
 	var buf bytes.Buffer
 	if err := s.Encode(&buf); err != nil {
 		t.Fatalf("Encode: %v", err)
 	}
-	trunc := buf.Bytes()[:buf.Len()-8]
-	if _, err := DecodeCountMin(bytes.NewReader(trunc)); err == nil {
-		t.Fatal("expected error on truncated input")
+	raw := buf.Bytes()
+	raw[4], raw[5] = '9', '9' // future format version
+	if _, err := DecodeCountMin(bytes.NewReader(raw)); !errors.Is(err, ErrSketchVersion) {
+		t.Fatalf("err = %v, want ErrSketchVersion", err)
+	}
+}
+
+// TestDecodeRejectsEveryTruncation cuts a valid encoding at every byte
+// boundary; no prefix may decode (the trailer is unreachable or the
+// checksum wrong), and none may panic.
+func TestDecodeRejectsEveryTruncation(t *testing.T) {
+	s := NewCountMin(Config{Depth: 2, Width: 8, Seed: 1})
+	s.Insert(1, 3)
+	s.Insert(9, 5)
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	raw := buf.Bytes()
+	for cut := 0; cut < len(raw); cut++ {
+		if _, err := DecodeCountMin(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation at byte %d/%d decoded successfully", cut, len(raw))
+		}
+	}
+}
+
+// TestDecodeRejectsEveryBitFlip flips one bit in every byte after the
+// magic; the CRC trailer must reject each damaged payload (a flip inside
+// the magic is a format/version error instead).
+func TestDecodeRejectsEveryBitFlip(t *testing.T) {
+	s := NewCountMin(Config{Depth: 2, Width: 8, Seed: 1})
+	s.Insert(1, 3)
+	s.Insert(9, 5)
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	raw := buf.Bytes()
+	for i := len(cmMagic); i < len(raw); i++ {
+		flipped := bytes.Clone(raw)
+		flipped[i] ^= 0x40
+		_, err := DecodeCountMin(bytes.NewReader(flipped))
+		if err == nil {
+			t.Fatalf("bit flip at byte %d decoded successfully", i)
+		}
+		if !errors.Is(err, ErrCorruptSketch) {
+			t.Fatalf("bit flip at byte %d: err = %v, want ErrCorruptSketch", i, err)
+		}
 	}
 }
 

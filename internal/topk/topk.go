@@ -5,7 +5,10 @@
 // Delegation Sketch frequency estimates.
 package topk
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+)
 
 // Entry is one monitored key with its (over-)estimated count and the
 // maximum possible overestimation.
@@ -89,4 +92,32 @@ func (s *SpaceSaving) Top(k int) []Entry {
 // above threshold (its lower bound clears it).
 func Guaranteed(e Entry, threshold uint64) bool {
 	return e.Count-e.Err > threshold
+}
+
+// State returns the tracker's complete state — the observation total and
+// every monitored entry in deterministic (Top) order — for
+// checkpointing. The total is returned separately because evictions make
+// it unrecoverable from the entries.
+func (s *SpaceSaving) State() (total uint64, entries []Entry) {
+	return s.total, s.Top(len(s.entries))
+}
+
+// Restore loads a State snapshot into an empty tracker of the same
+// capacity class (entries must fit). It refuses a tracker that has
+// already observed anything, so a restore can never mix streams.
+func (s *SpaceSaving) Restore(total uint64, entries []Entry) error {
+	if s.total != 0 || len(s.entries) != 0 {
+		return fmt.Errorf("topk: restore target already holds %d entries (total %d)", len(s.entries), s.total)
+	}
+	if len(entries) > s.capacity {
+		return fmt.Errorf("topk: %d checkpointed entries exceed capacity %d", len(entries), s.capacity)
+	}
+	for _, e := range entries {
+		if _, dup := s.entries[e.Key]; dup {
+			return fmt.Errorf("topk: duplicate key %d in checkpointed entries", e.Key)
+		}
+		s.entries[e.Key] = &ssEntry{key: e.Key, count: e.Count, err: e.Err}
+	}
+	s.total = total
+	return nil
 }

@@ -1,0 +1,203 @@
+package dsketch_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"dsketch"
+)
+
+// ckptPoolConfig is a checkpoint-enabled pool small enough for exact
+// assertions: CountMin backend (never underestimates; with few distinct
+// keys and a wide sketch, counts are exact in practice).
+func ckptPoolConfig(dir string) dsketch.PoolConfig {
+	return dsketch.PoolConfig{
+		Config: dsketch.Config{
+			Threads: 4, Width: 1 << 12, Depth: 8, Seed: 42,
+			Backend:           dsketch.BackendCountMin,
+			TrackHeavyHitters: true,
+		},
+		IdleHelp:   100 * time.Microsecond,
+		Checkpoint: dsketch.CheckpointConfig{Dir: dir, Interval: time.Hour, Keep: 3},
+	}
+}
+
+func TestPoolCheckpointRestoreEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	p := dsketch.NewPool(ckptPoolConfig(dir))
+	for k := uint64(1); k <= 300; k++ {
+		p.InsertCount(k, k%11+1)
+	}
+	info, err := p.Checkpoint(context.Background(), dir)
+	if err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if info.Gen != 1 || info.Bytes <= 0 || !strings.HasSuffix(info.Path, ".dsck") {
+		t.Fatalf("CheckpointInfo = %+v", info)
+	}
+	p.Close()
+	if m := p.Metrics(); m.Checkpoints != 2 || m.LastCheckpointGen != 2 {
+		// Gen 1 manual + gen 2 final drain checkpoint.
+		t.Fatalf("metrics = %+v", m)
+	}
+
+	r, ri, err := dsketch.RestorePool(ckptPoolConfig(dir))
+	if err != nil {
+		t.Fatalf("RestorePool: %v", err)
+	}
+	defer r.Close()
+	if ri == nil || ri.Gen != 2 {
+		t.Fatalf("RestoreInfo = %+v, want recovery of generation 2", ri)
+	}
+	for k := uint64(1); k <= 300; k++ {
+		if got, want := r.Query(k), k%11+1; got != want {
+			t.Fatalf("key %d after restore: got %d want %d", k, got, want)
+		}
+	}
+	// Heavy-hitter state came back too.
+	hh := r.Snapshot(5).HeavyHitters
+	if len(hh) == 0 {
+		t.Fatal("restored pool lost heavy-hitter tracking state")
+	}
+}
+
+func TestRestorePoolColdStart(t *testing.T) {
+	p, ri, err := dsketch.RestorePool(ckptPoolConfig(t.TempDir()))
+	if err != nil {
+		t.Fatalf("cold start: %v", err)
+	}
+	defer p.Close()
+	if ri != nil {
+		t.Fatalf("cold start returned RestoreInfo %+v", ri)
+	}
+	p.Insert(7)
+}
+
+func TestRestorePoolRejectsAllTornState(t *testing.T) {
+	dir := t.TempDir()
+	p := dsketch.NewPool(ckptPoolConfig(dir))
+	p.Insert(1)
+	p.Close()
+	// Corrupt every generation in the directory.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if err := os.WriteFile(filepath.Join(dir, e.Name()), []byte("scrambled"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := dsketch.RestorePool(ckptPoolConfig(dir)); err == nil {
+		t.Fatal("RestorePool must fail when every generation is corrupt")
+	}
+}
+
+func TestRestorePoolFallsBackPastTornNewest(t *testing.T) {
+	dir := t.TempDir()
+	cfg := ckptPoolConfig(dir)
+	p := dsketch.NewPool(cfg)
+	p.InsertCount(9, 5)
+	if _, err := p.Checkpoint(context.Background(), dir); err != nil {
+		t.Fatal(err)
+	}
+	p.InsertCount(9, 2)
+	info, err := p.Checkpoint(context.Background(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash here: abandon the pool without draining (no
+	// final checkpoint), and tear the newest generation on disk.
+	raw, err := os.ReadFile(info.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(info.Path, raw[:len(raw)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, ri, err := dsketch.RestorePool(cfg)
+	if err != nil {
+		t.Fatalf("RestorePool: %v", err)
+	}
+	defer r.Close()
+	if ri == nil || ri.Gen != 1 || len(ri.SkippedFiles) != 1 {
+		t.Fatalf("RestoreInfo = %+v, want fallback to gen 1 with 1 skipped file", ri)
+	}
+	if got := r.Query(9); got != 5 {
+		t.Fatalf("fallback count = %d, want the 5 acknowledged at gen 1", got)
+	}
+}
+
+func TestRestorePoolGeometryMismatch(t *testing.T) {
+	dir := t.TempDir()
+	p := dsketch.NewPool(ckptPoolConfig(dir))
+	p.Insert(1)
+	p.Close()
+	cfg := ckptPoolConfig(dir)
+	cfg.Threads = 2
+	if _, _, err := dsketch.RestorePool(cfg); err == nil {
+		t.Fatal("RestorePool with mismatched geometry must fail")
+	}
+}
+
+// TestFailedRestoreLeavesDirectoryUntouched pins the failure-path
+// contract: a RestorePool that refuses to start (here: geometry
+// mismatch) must not write anything into the checkpoint directory —
+// its teardown previously published the empty mismatched pool as the
+// newest generation, burying the good state it just refused to load.
+func TestFailedRestoreLeavesDirectoryUntouched(t *testing.T) {
+	dir := t.TempDir()
+	p := dsketch.NewPool(ckptPoolConfig(dir))
+	p.InsertCount(3, 9)
+	p.Close()
+	before, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := ckptPoolConfig(dir)
+	bad.Threads = 2
+	if _, _, err := dsketch.RestorePool(bad); err == nil {
+		t.Fatal("mismatched RestorePool must fail")
+	}
+	after, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("failed restore changed the directory: %d files before, %d after", len(before), len(after))
+	}
+	// And the original config still recovers the original counts.
+	r, ri, err := dsketch.RestorePool(ckptPoolConfig(dir))
+	if err != nil {
+		t.Fatalf("good config after failed restore: %v", err)
+	}
+	defer r.Close()
+	if ri == nil || r.Query(3) != 9 {
+		t.Fatalf("original state lost: info=%+v count=%d", ri, r.Query(3))
+	}
+}
+
+func TestPoolConfigCheckpointValidation(t *testing.T) {
+	bad := []dsketch.PoolConfig{
+		{Checkpoint: dsketch.CheckpointConfig{Dir: "x", Interval: -time.Second}},
+		{Checkpoint: dsketch.CheckpointConfig{Dir: "x", Keep: -1}},
+		{Checkpoint: dsketch.CheckpointConfig{Interval: time.Second}}, // no dir
+		{
+			Config:     dsketch.Config{Backend: dsketch.BackendCountSketch},
+			Checkpoint: dsketch.CheckpointConfig{Dir: "x"},
+		},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("config %d must fail validation", i)
+		}
+	}
+	ok := dsketch.PoolConfig{Checkpoint: dsketch.CheckpointConfig{Dir: "x"}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid checkpoint config rejected: %v", err)
+	}
+}

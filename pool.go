@@ -86,6 +86,9 @@ type PoolConfig struct {
 	// positive duration makes idle workers sleep and help only every
 	// IdleHelp (use ~100µs for long-running daemons).
 	IdleHelp time.Duration
+	// Checkpoint enables crash-safe durability (see CheckpointConfig).
+	// The zero value disables it.
+	Checkpoint CheckpointConfig
 }
 
 // Validate reports the first problem with cfg, or nil. Zero values are
@@ -104,6 +107,12 @@ func (cfg PoolConfig) Validate() error {
 	case cfg.IdleHelp < 0:
 		return fmt.Errorf("dsketch: IdleHelp must be >= 0 (0 busy-polls), got %v", cfg.IdleHelp)
 	}
+	if err := cfg.Checkpoint.validate(); err != nil {
+		return err
+	}
+	if cfg.Checkpoint.Dir != "" && cfg.Backend == BackendCountSketch {
+		return fmt.Errorf("dsketch: checkpointing is not supported with BackendCountSketch (signed counters are not Count-Min-representable)")
+	}
 	return nil
 }
 
@@ -114,6 +123,7 @@ func NewPoolChecked(cfg PoolConfig) (*Pool, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	ckpt := cfg.Checkpoint.withDefaults()
 	s := New(cfg.Config)
 	return &Pool{
 		s: s,
@@ -122,6 +132,11 @@ func NewPoolChecked(cfg PoolConfig) (*Pool, error) {
 			QueueCapacity: cfg.QueueCapacity,
 			Policy:        cfg.Policy.internal(),
 			IdleHelp:      cfg.IdleHelp,
+			Checkpoint: pool.CheckpointOptions{
+				Dir:      ckpt.Dir,
+				Interval: ckpt.Interval,
+				Keep:     ckpt.Keep,
+			},
 		}),
 	}, nil
 }
@@ -282,12 +297,30 @@ type PoolMetrics struct {
 	EnqueueP50, EnqueueP99, EnqueueMax time.Duration
 	// PauseMean/PauseMax describe full Quiesce pauses (barrier + fn).
 	PauseMean, PauseMax time.Duration
+	// Checkpoints counts successful checkpoint publishes;
+	// CheckpointFailures counts attempts that failed (capture, write, or
+	// read-back verification). Zero everywhere unless checkpointing is
+	// configured or Checkpoint was called.
+	Checkpoints, CheckpointFailures uint64
+	// LastCheckpointGen/Bytes/At/Duration describe the most recent
+	// successful checkpoint (zero values if none yet).
+	LastCheckpointGen      uint64
+	LastCheckpointBytes    uint64
+	LastCheckpointAt       time.Time
+	LastCheckpointDuration time.Duration
 }
 
 // Metrics returns a snapshot of the pool's serving metrics.
 func (p *Pool) Metrics() PoolMetrics {
 	m := p.p.Metrics()
+	cm := p.p.CheckpointMetrics()
 	return PoolMetrics{
+		Checkpoints:            cm.Checkpoints,
+		CheckpointFailures:     cm.Failures,
+		LastCheckpointGen:      cm.LastGen,
+		LastCheckpointBytes:    cm.LastBytes,
+		LastCheckpointAt:       cm.LastAt,
+		LastCheckpointDuration: cm.LastDuration,
 		Inserts:      m.Inserts,
 		Queries:      m.Queries,
 		QueryKeys:    m.QueryKeys,
