@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check ci vet build test race chaos fuzz lint dslint bench
+.PHONY: check ci vet build test race chaos fuzz lint dslint bench microbench
 
 ## check: everything CI runs — vet, build, tests, static analysis, the
 ## -race stress suites for the concurrency-critical packages, and the
@@ -43,5 +43,14 @@ lint: vet dslint
 dslint:
 	$(GO) run ./cmd/dslint ./...
 
+## bench: the dsbench ingestion smoke — emit the perf trajectory
+## (results/BENCH_6.json) in the quick configuration and re-validate it
+## (valid JSON, complete structure, 1→8 shard insert scaling >= 3x).
 bench:
+	$(GO) run ./cmd/dsbench -bench 6 -quick
+	$(GO) run ./cmd/dsbench -check results/BENCH_6.json
+
+## microbench: the go-test micro-benchmarks (hot paths, ablations,
+## mutex-lane vs SPSC-lane pool ingestion).
+microbench:
 	$(GO) test -run='^$$' -bench=. -benchmem .

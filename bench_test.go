@@ -14,6 +14,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"dsketch"
 	"dsketch/internal/delegation"
@@ -331,6 +332,55 @@ func BenchmarkPoolInsert(b *testing.B) {
 			})
 			b.StopTimer()
 			p.close()
+		})
+	}
+}
+
+// BenchmarkPoolInsertParallel pits the shared mutex lane against the
+// registered-producer SPSC lane at fixed producer counts: every
+// producer goroutine hammers the same 4-shard pool, using either
+// Pool.Insert (one mutex acquisition per key) or a per-goroutine
+// Producer handle (one wait-free ring enqueue per key). The acceptance
+// bar: the SPSC lane's throughput should not degrade as producers are
+// added the way the mutex lane's does (on multi-core hosts; a
+// single-core runner still shows the per-op constant-factor win).
+func BenchmarkPoolInsertParallel(b *testing.B) {
+	keys := benchKeys(100_000, 1.5)
+	run := func(b *testing.B, producers int, spsc bool) {
+		p := dsketch.NewPool(dsketch.PoolConfig{
+			Config:   dsketch.Config{Threads: 4, Width: 4096, Depth: 8},
+			IdleHelp: 50 * time.Microsecond, // don't busy-spin 4 workers on the bench host
+		})
+		var wg sync.WaitGroup
+		per := b.N / producers
+		b.ResetTimer()
+		for g := 0; g < producers; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				if spsc {
+					pr := p.Producer()
+					defer pr.Close()
+					for i := 0; i < per; i++ {
+						pr.Insert(keys[(g*per+i)&(1<<16-1)])
+					}
+					return
+				}
+				for i := 0; i < per; i++ {
+					p.Insert(keys[(g*per+i)&(1<<16-1)])
+				}
+			}(g)
+		}
+		wg.Wait()
+		b.StopTimer()
+		p.Close()
+	}
+	for _, producers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("mutex/producers=%d", producers), func(b *testing.B) {
+			run(b, producers, false)
+		})
+		b.Run(fmt.Sprintf("spsc/producers=%d", producers), func(b *testing.B) {
+			run(b, producers, true)
 		})
 	}
 }

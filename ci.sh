@@ -17,7 +17,10 @@
 #   dslint  — the repository's concurrency-invariant analyzers
 #             (internal/lint): mutexcopy, lockpair, atomicmix,
 #             goroutinelifecycle, recoverguard, sleepysync,
-#             errchecklite, closecheck
+#             errchecklite, closecheck, padcheck
+#   bench   — the dsbench ingestion smoke: emit the quick perf
+#             trajectory (results/BENCH_6.json) and re-validate it
+#             (valid JSON, 1→8 shard insert scaling >= 3x)
 set -eu
 
 GO=${GO:-go}
@@ -42,5 +45,9 @@ $GO test -count=1 -timeout=5m -run '^Fuzz' ./internal/sketch ./internal/persist
 
 echo "==> dslint"
 $GO run ./cmd/dslint ./...
+
+echo "==> bench smoke (ingestion perf trajectory)"
+$GO run ./cmd/dsbench -bench 6 -quick
+$GO run ./cmd/dsbench -check results/BENCH_6.json
 
 echo "CI gate passed."

@@ -7,13 +7,20 @@
 //	dsbench -experiment fig5            # simulated platform A scaling
 //	dsbench -experiment fig5 -mode both # also run natively on this host
 //	dsbench -experiment all -quick -format csv > results.csv
+//	dsbench -bench 6                    # emit results/BENCH_6.json
+//	dsbench -bench 6 -quick -out results/BENCH_6.json -cpuprofile drain.pprof
+//	dsbench -check results/BENCH_6.json # validate an emitted trajectory
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"time"
 
 	"dsketch/internal/expt"
 )
@@ -22,15 +29,30 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dsbench: ")
 	var (
-		id     = flag.String("experiment", "", "experiment id (e.g. fig5, table1) or 'all'")
-		list   = flag.Bool("list", false, "list available experiments")
-		mode   = flag.String("mode", "sim", "throughput engine: sim | native | both")
-		quick  = flag.Bool("quick", false, "shrink sweeps for a fast run")
-		format = flag.String("format", "text", "output format: text | csv")
-		ops    = flag.Int("ops", 0, "operations per thread (0 = experiment default)")
-		seed   = flag.Uint64("seed", 42, "workload and hash seed")
+		id      = flag.String("experiment", "", "experiment id (e.g. fig5, table1) or 'all'")
+		list    = flag.Bool("list", false, "list available experiments")
+		mode    = flag.String("mode", "sim", "throughput engine: sim | native | both")
+		quick   = flag.Bool("quick", false, "shrink sweeps for a fast run")
+		format  = flag.String("format", "text", "output format: text | csv")
+		ops     = flag.Int("ops", 0, "operations per thread (0 = experiment default)")
+		seed    = flag.Uint64("seed", 42, "workload and hash seed")
+		bench   = flag.Int("bench", 0, "emit the ingestion perf trajectory BENCH_<n>.json (n = issue number)")
+		out     = flag.String("out", "", "bench output path (default results/BENCH_<n>.json)")
+		check   = flag.String("check", "", "validate an existing BENCH_<n>.json and exit")
+		cpuprof = flag.String("cpuprofile", "", "write a CPU profile of the bench run (covers the worker drain loop)")
 	)
 	flag.Parse()
+
+	if *check != "" {
+		runCheck(*check)
+		return
+	}
+	if *bench > 0 {
+		runBench(*bench, *out, *cpuprof, expt.Options{
+			Quick: *quick, OpsPerThread: *ops, Seed: *seed,
+		})
+		return
+	}
 
 	if *list || *id == "" {
 		fmt.Println("Available experiments (paper artifact -> id):")
@@ -73,4 +95,72 @@ func main() {
 			}
 		}
 	}
+}
+
+// runBench emits one ingestion perf trajectory (results/BENCH_<n>.json):
+// a simulated insert-only scaling sweep plus native pool enqueue
+// latencies, validated before it is written so CI never archives a
+// regressed or malformed report.
+func runBench(n int, out, cpuprof string, o expt.Options) {
+	if out == "" {
+		out = filepath.Join("results", fmt.Sprintf("BENCH_%d.json", n))
+	}
+	if cpuprof != "" {
+		f, err := os.Create(cpuprof)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
+	r := expt.RunIngestBench(o)
+	r.Bench = n
+	r.Unix = time.Now().Unix()
+	if err := r.Validate(); err != nil {
+		log.Fatalf("bench run failed validation: %v", err)
+	}
+	if err := os.MkdirAll(filepath.Dir(out), 0o755); err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	for _, tbl := range r.Tables() {
+		tbl.Render(os.Stdout)
+	}
+	fmt.Printf("wrote %s (scaling 1→8 = %.2f×)\n", out, r.ScalingRatio1to8)
+}
+
+// runCheck re-validates a previously emitted trajectory: valid JSON,
+// structurally complete, scaling gate still met.
+func runCheck(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, rerr := expt.ReadBenchReport(f)
+	if cerr := f.Close(); cerr != nil {
+		log.Fatal(cerr)
+	}
+	if rerr != nil {
+		log.Fatalf("%s: %v", path, rerr)
+	}
+	fmt.Printf("%s: ok (bench %d, %d scaling points, %d native points, scaling 1→8 = %.2f×)\n",
+		path, r.Bench, len(r.Scaling), len(r.Native), r.ScalingRatio1to8)
 }

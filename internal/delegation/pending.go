@@ -11,10 +11,12 @@ import "sync/atomic"
 // flags do not false-share with neighbours — on the paper's 72/288-thread
 // platforms this is what keeps the array from becoming a bottleneck.
 type pendingSlot struct {
-	key    atomic.Uint64
+	key atomic.Uint64
+	//lint:ignore padcheck key/result/flag are one message between a single querier/owner pair; the flag handoff transfers the whole line by design
 	result atomic.Uint64
-	flag   atomic.Uint32
-	_      [44]byte // pad the 20 payload bytes out to 64
+	//lint:ignore padcheck intra-slot sharing is the protocol — the pad below prevents the harmful inter-slot kind
+	flag atomic.Uint32
+	_    [44]byte // pad the 20 payload bytes out to 64
 }
 
 // pendingQueries is one owner's array of T slots plus an O(1) "is there

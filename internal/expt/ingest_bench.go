@@ -1,0 +1,211 @@
+package expt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"dsketch/internal/delegation"
+	"dsketch/internal/parallel"
+	"dsketch/internal/pool"
+	"dsketch/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "ingest",
+		Title: "Ingestion trajectory: inserts/sec by shard count and Zipf skew (sim), pool enqueue latency (native)",
+		Run: func(o Options) []*Table {
+			return RunIngestBench(o).Tables()
+		},
+	})
+}
+
+// BenchPoint is one simulated scaling measurement: insert-only
+// throughput of the delegation design at a shard (thread) count and
+// input skew, from the cost-model engine — deterministic on any host,
+// which is what makes the scaling ratio assertable in CI regardless of
+// how many cores the runner happens to have.
+type BenchPoint struct {
+	Shards        int     `json:"shards"`
+	Skew          float64 `json:"skew"`
+	InsertsPerSec float64 `json:"inserts_per_sec"`
+}
+
+// BenchLatency is one native measurement of the pool's registered
+// producer lane on this host: wall-clock insert throughput plus the
+// sampled enqueue-latency percentiles from the pool's own histogram.
+type BenchLatency struct {
+	Producers     int     `json:"producers"`
+	InsertsPerSec float64 `json:"inserts_per_sec"`
+	EnqueueP50Ns  int64   `json:"enqueue_p50_ns"`
+	EnqueueP99Ns  int64   `json:"enqueue_p99_ns"`
+	EnqueueMaxNs  int64   `json:"enqueue_max_ns"`
+}
+
+// BenchReport is the persistent perf trajectory one dsbench -bench run
+// emits (results/BENCH_<n>.json): later PRs diff these files to catch
+// ingestion regressions.
+type BenchReport struct {
+	Bench   int            `json:"bench"` // issue number the trajectory belongs to
+	Mode    string         `json:"mode"`  // scaling engine + latency engine
+	GOOS    string         `json:"goos"`
+	GOARCH  string         `json:"goarch"`
+	CPUs    int            `json:"cpus"`
+	Quick   bool           `json:"quick"`
+	Seed    uint64         `json:"seed"`
+	Unix    int64          `json:"unix,omitempty"` // stamped by cmd/dsbench
+	Scaling []BenchPoint   `json:"scaling"`
+	Native  []BenchLatency `json:"native"`
+	// ScalingRatio1to8 is simulated insert throughput at 8 shards over
+	// 1 shard (skew 1.5) — the CI non-regression gate (must stay >= 3).
+	ScalingRatio1to8 float64 `json:"scaling_ratio_1_to_8"`
+}
+
+// RunIngestBench measures the ingestion trajectory: a simulated
+// insert-only scaling sweep (shards × skew) and a native pool run per
+// producer count for real enqueue latencies.
+func RunIngestBench(o Options) *BenchReport {
+	o = o.withDefaults()
+	r := &BenchReport{
+		Bench:  6,
+		Mode:   "sim-scaling+native-latency",
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		CPUs:   runtime.NumCPU(),
+		Quick:  o.Quick,
+		Seed:   o.Seed,
+	}
+	ops := o.ops(60_000, 10_000)
+	skews := []float64{0.5, 1.5, 2.5}
+	plat := sim.PlatformA()
+	ratio := map[int]float64{}
+	for _, shards := range []int{1, 2, 4, 8} {
+		for _, skew := range skews {
+			res := sim.Run(parallel.KindDelegation, plat, shards, 8, sim.DefaultCosts(), sim.Workload{
+				OpsPerThread: ops, QueryRatio: 0,
+				Universe: 1_000_000, Skew: skew, Seed: o.Seed,
+			})
+			r.Scaling = append(r.Scaling, BenchPoint{
+				Shards: shards, Skew: skew, InsertsPerSec: res.Throughput,
+			})
+			if skew == 1.5 {
+				ratio[shards] = res.Throughput
+			}
+		}
+	}
+	if ratio[1] > 0 {
+		r.ScalingRatio1to8 = ratio[8] / ratio[1]
+	}
+	natOps := ops * 4
+	for _, producers := range []int{1, 4} {
+		r.Native = append(r.Native, nativeIngest(o, producers, natOps))
+	}
+	return r
+}
+
+// nativeIngest drives one real pool through registered Producer handles
+// and reads the enqueue histogram back out of its metrics.
+func nativeIngest(o Options, producers, totalOps int) BenchLatency {
+	ds := delegation.New(delegation.Config{
+		Threads: 2, Depth: 8, Width: 1 << 12, Seed: o.Seed,
+		Backend: delegation.BackendCountMin,
+	})
+	p := pool.New(ds, pool.Options{IdleHelp: 50 * time.Microsecond})
+	keys := sharedZipf(1_000_000, 1.5, o.Seed)
+	per := totalOps / producers
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for g := 0; g < producers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			pr := p.Producer()
+			defer pr.Close()
+			next := keys(g)
+			for i := 0; i < per; i++ {
+				pr.Insert(next())
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+	m := p.Metrics()
+	p.Close()
+	return BenchLatency{
+		Producers:     producers,
+		InsertsPerSec: float64(producers*per) / elapsed.Seconds(),
+		EnqueueP50Ns:  m.Enqueue.Percentile(50).Nanoseconds(),
+		EnqueueP99Ns:  m.Enqueue.Percentile(99).Nanoseconds(),
+		EnqueueMaxNs:  m.Enqueue.Max().Nanoseconds(),
+	}
+}
+
+// Validate is the CI smoke contract for an emitted report: structural
+// completeness plus the scaling gate. It is what dsbench -check runs.
+func (r *BenchReport) Validate() error {
+	if r.Bench <= 0 {
+		return fmt.Errorf("expt: bench report missing bench number")
+	}
+	if len(r.Scaling) == 0 {
+		return fmt.Errorf("expt: bench report has no scaling points")
+	}
+	for _, pt := range r.Scaling {
+		if pt.Shards <= 0 || pt.InsertsPerSec <= 0 {
+			return fmt.Errorf("expt: invalid scaling point %+v", pt)
+		}
+	}
+	if len(r.Native) == 0 {
+		return fmt.Errorf("expt: bench report has no native latency points")
+	}
+	for _, n := range r.Native {
+		if n.Producers <= 0 || n.InsertsPerSec <= 0 {
+			return fmt.Errorf("expt: invalid native point %+v", n)
+		}
+		if n.EnqueueP50Ns > n.EnqueueP99Ns || n.EnqueueP99Ns > n.EnqueueMaxNs {
+			return fmt.Errorf("expt: native point %+v: percentiles not monotone", n)
+		}
+	}
+	if r.ScalingRatio1to8 < 3.0 {
+		return fmt.Errorf("expt: insert scaling 1→8 shards = %.2f×, want >= 3× (regression against the delegation design's own trajectory)",
+			r.ScalingRatio1to8)
+	}
+	return nil
+}
+
+// ReadBenchReport parses and validates a report previously written by
+// dsbench -bench.
+func ReadBenchReport(rd io.Reader) (*BenchReport, error) {
+	var r BenchReport
+	dec := json.NewDecoder(rd)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("expt: bench report not valid JSON: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// Tables renders the report for dsbench's human-readable output.
+func (r *BenchReport) Tables() []*Table {
+	scal := NewTable(
+		"Insert-only throughput (Mops/s, simulated platform A) by shard count and Zipf skew",
+		"shards", "skew", "Mops/s")
+	for _, pt := range r.Scaling {
+		scal.Add(fmt.Sprint(pt.Shards), F(pt.Skew), Mops(pt.InsertsPerSec))
+	}
+	scal.Add("1→8 ratio", "1.5", F(r.ScalingRatio1to8))
+	nat := NewTable(
+		"Registered-producer enqueue latency (native on this host, sampled 1/32)",
+		"producers", "Minserts/s", "p50 ns", "p99 ns", "max ns")
+	for _, n := range r.Native {
+		nat.Add(fmt.Sprint(n.Producers), Mops(n.InsertsPerSec),
+			fmt.Sprint(n.EnqueueP50Ns), fmt.Sprint(n.EnqueueP99Ns), fmt.Sprint(n.EnqueueMaxNs))
+	}
+	return []*Table{scal, nat}
+}

@@ -1,0 +1,42 @@
+package expt
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestIngestBenchQuickValidates is the full quick trajectory: run,
+// validate (including the >= 3x 1-to-8 scaling gate), round-trip
+// through JSON, and re-validate what a reader would see.
+func TestIngestBenchQuickValidates(t *testing.T) {
+	r := RunIngestBench(Options{Quick: true, OpsPerThread: 4000})
+	if err := r.Validate(); err != nil {
+		t.Fatalf("quick ingest bench invalid: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(r); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	back, err := ReadBenchReport(&buf)
+	if err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if back.ScalingRatio1to8 != r.ScalingRatio1to8 {
+		t.Fatalf("ratio changed across round-trip: %v != %v",
+			back.ScalingRatio1to8, r.ScalingRatio1to8)
+	}
+	if len(r.Tables()) != 2 {
+		t.Fatal("ingest bench should render two tables")
+	}
+}
+
+func TestReadBenchReportRejectsGarbage(t *testing.T) {
+	if _, err := ReadBenchReport(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadBenchReport(strings.NewReader(`{"bench":6,"scaling":[]}`)); err == nil {
+		t.Fatal("empty scaling accepted")
+	}
+}

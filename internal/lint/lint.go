@@ -83,6 +83,7 @@ func Analyzers() []*Analyzer {
 		SleepySync,
 		ErrCheckLite,
 		CloseCheck,
+		PadCheck,
 	}
 }
 

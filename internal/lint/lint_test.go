@@ -25,6 +25,7 @@ var fixtures = map[string]string{
 	"errchecklite":       "errchecklite",
 	"errcheckmain":       "errchecklite",
 	"closecheck":         "closecheck",
+	"padcheck":           "padcheck",
 }
 
 func analyzerByName(t *testing.T, name string) *Analyzer {

@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PadCheck guards the cache-conscious struct layouts the ingestion hot
+// path depends on (pool.shard, spsc.Ring): in a struct that has opted
+// into cache-line padding — it contains at least one blank `_ [N]byte`
+// pad field — two sync/atomic-typed fields declared directly next to
+// each other share a cache line, so a store by one side (a producer)
+// invalidates the line the other side (the consumer) spins on. That
+// false sharing is exactly what the pads exist to prevent, and it
+// creeps back in silently when a field is added later.
+//
+// The check is deliberately minimal: only structs with a pad field are
+// examined (plain structs are free to group their atomics), and only
+// directly adjacent atomic fields are flagged — any intervening field
+// resets adjacency, since layouts like spsc.Ring legitimately pair an
+// atomic index with the same goroutine's plain cache field. Two
+// atomics that really are written by the same side belong behind one
+// pad and may carry a //lint:ignore padcheck <reason> directive.
+var PadCheck = &Analyzer{
+	Name: "padcheck",
+	Doc:  "adjacent sync/atomic fields in a cache-line-padded struct (false sharing)",
+	Run:  runPadCheck,
+}
+
+func runPadCheck(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			checkPaddedStruct(p, info, ts.Name.Name, st)
+			return true
+		})
+	}
+}
+
+// structField is one flattened field in declaration order.
+type structField struct {
+	name   *ast.Ident
+	isPad  bool
+	atomic bool
+}
+
+func checkPaddedStruct(p *Pass, info *types.Info, structName string, st *ast.StructType) {
+	var fields []structField
+	hasPad := false
+	for _, fld := range st.Fields.List {
+		names := fld.Names
+		if len(names) == 0 {
+			// Embedded field: counts as a non-pad, non-atomic separator.
+			fields = append(fields, structField{})
+			continue
+		}
+		for _, name := range names {
+			sf := structField{name: name}
+			if v, ok := info.Defs[name].(*types.Var); ok {
+				sf.isPad = name.Name == "_" && isBytePad(v.Type())
+				sf.atomic = isAtomicType(v.Type())
+			}
+			hasPad = hasPad || sf.isPad
+			fields = append(fields, sf)
+		}
+	}
+	if !hasPad {
+		return // struct never opted into cache-line layout
+	}
+	for i := 1; i < len(fields); i++ {
+		prev, cur := fields[i-1], fields[i]
+		if prev.atomic && cur.atomic {
+			p.Reportf(cur.name.Pos(),
+				"atomic fields %s and %s of cache-padded struct %s are adjacent and share a cache line; separate them with a _ [N]byte pad (or suppress with a reason if one goroutine writes both)",
+				prev.name.Name, cur.name.Name, structName)
+		}
+	}
+}
+
+// isBytePad reports whether t is a [N]byte array (the padding idiom).
+func isBytePad(t types.Type) bool {
+	arr, ok := t.Underlying().(*types.Array)
+	if !ok {
+		return false
+	}
+	basic, ok := arr.Elem().Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Byte
+}
+
+// isAtomicType reports whether t is a named type declared in
+// sync/atomic (Uint64, Bool, Pointer[T], Value, ...).
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}

@@ -1,0 +1,62 @@
+// Package padcheck is a golden fixture for the padcheck analyzer.
+package padcheck
+
+import "sync/atomic"
+
+// padded opted into cache-line layout (it contains pad fields), so
+// atomics that slipped next to each other are findings.
+type padded struct {
+	head atomic.Uint64
+	tail atomic.Uint64 // want "atomic fields head and tail of cache-padded struct padded are adjacent"
+	_    [48]byte
+
+	a atomic.Bool
+	_ [63]byte
+	b atomic.Uint64 // ok: a pad separates a and b
+	_ [56]byte
+}
+
+// generic instantiations from sync/atomic count as atomics too.
+type pointered struct {
+	list atomic.Pointer[int]
+	seq  atomic.Uint64 // want "atomic fields list and seq of cache-padded struct pointered are adjacent"
+	_    [48]byte
+}
+
+// unpadded never opted in: plain structs may group their atomics.
+type unpadded struct {
+	x atomic.Uint64
+	y atomic.Uint64
+}
+
+// separated is the spsc.Ring shape: an atomic index next to the same
+// goroutine's plain cache field resets adjacency — no finding.
+type separated struct {
+	head      atomic.Uint64
+	tailCache uint64
+	_         [48]byte
+	tail      atomic.Uint64
+	headCache uint64
+	_         [48]byte
+}
+
+// suppressed documents a deliberate same-writer pairing.
+type suppressed struct {
+	m atomic.Uint64
+	//lint:ignore padcheck m and n are both written only by the owner goroutine
+	n atomic.Uint64
+	_ [48]byte
+}
+
+func use() {
+	var p padded
+	var q pointered
+	var u unpadded
+	var s separated
+	var d suppressed
+	p.head.Add(1)
+	q.seq.Add(1)
+	u.x.Add(1)
+	s.head.Add(1)
+	d.m.Add(1)
+}

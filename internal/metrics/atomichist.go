@@ -1,0 +1,60 @@
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// AtomicHistogram is a lock-free histogram with the same log2 bucketing
+// as Histogram, for recording from paths that must not take a mutex —
+// the pool's registered-producer insert lane samples its enqueue
+// latency here. Every write is a handful of uncontended atomic adds
+// (plus a CAS loop for the max that almost always exits on the first
+// load), so concurrent producers never serialize on a histogram lock
+// the way SharedHistogram would make them.
+//
+// Snapshot is not a single atomic cut: a snapshot taken during
+// concurrent writes may see a count without its sum or bucket (or vice
+// versa). That is fine for telemetry — the skew is bounded by the
+// writes in flight — and is the same contract Pool.Metrics already has
+// for its counter set.
+type AtomicHistogram struct {
+	buckets [64]atomic.Uint64
+	sum     atomic.Uint64
+	count   atomic.Uint64
+	max     atomic.Uint64
+}
+
+// Record adds one duration observation (thread-safe, lock-free).
+func (a *AtomicHistogram) Record(d time.Duration) {
+	ns := uint64(d.Nanoseconds())
+	if d < 0 {
+		ns = 0
+	}
+	a.RecordValue(ns)
+}
+
+// RecordValue adds one unitless observation (thread-safe, lock-free).
+func (a *AtomicHistogram) RecordValue(v uint64) {
+	a.buckets[bucketOf(v)].Add(1)
+	a.sum.Add(v)
+	a.count.Add(1)
+	for {
+		cur := a.max.Load()
+		if v <= cur || a.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Snapshot copies the current totals into a plain Histogram.
+func (a *AtomicHistogram) Snapshot() Histogram {
+	var h Histogram
+	for i := range a.buckets {
+		h.buckets[i] = a.buckets[i].Load()
+	}
+	h.sum = a.sum.Load()
+	h.count = a.count.Load()
+	h.max = a.max.Load()
+	return h
+}

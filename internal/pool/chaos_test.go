@@ -231,6 +231,68 @@ func TestChaosShedKeepsLatencyBoundedAndAccountsRejections(t *testing.T) {
 	verifyExact(t, p, keys, acceptedPerKey)
 }
 
+// TestChaosProducerRingsSurviveFaults drives all traffic through
+// registered Producer handles (the SPSC ring path) while panics and
+// delays are scripted into the drain seam and wake notifications are
+// dropped: ring sweeps must be requeued across worker restarts, half
+// the handles retire mid-storm (exercising drain-to-empty unlink), the
+// rest race Drain's final ring sweep — and every accepted insertion
+// must still be counted exactly once.
+func TestChaosProducerRingsSurviveFaults(t *testing.T) {
+	in := fault.New(5)
+	in.DelayProb("drain", 0.2, 300*time.Microsecond)
+	in.PanicAt("drain", 3, 17, 53, 131)
+	in.DropProb("wake", 0.2)
+	p, _ := chaosRig(t, in, Options{
+		BatchSize:    32,
+		RingCapacity: 64,
+		IdleHelp:     200 * time.Microsecond,
+	})
+	keys := chaosKeys(256)
+	const producers = 4
+	const perProducer = 2500
+	accepted := make([]atomic.Uint64, len(keys))
+	var wg sync.WaitGroup
+	for g := 0; g < producers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			pr := p.Producer()
+			for i := 0; i < perProducer; i++ {
+				if g%2 == 0 && i == perProducer/2 {
+					// Retire mid-storm and continue on a fresh handle:
+					// the old rings must drain to empty and unlink
+					// without losing the entries behind them.
+					pr.Close()
+					pr = p.Producer()
+				}
+				ki := (g + i) % len(keys)
+				if err := pr.InsertCtx(context.Background(), keys[ki]); err != nil {
+					t.Errorf("producer InsertCtx: %v", err)
+					return
+				}
+				accepted[ki].Add(1)
+			}
+			if g%2 == 1 {
+				pr.Close() // the even handles stay live into Drain's ring sweep
+			}
+		}(g)
+	}
+	wg.Wait()
+	if fired := in.Stats("drain").Panics; fired == 0 {
+		t.Fatal("no scripted panic fired during the ring storm")
+	}
+	in.Disarm()
+	want := make([]uint64, len(keys))
+	for i := range accepted {
+		want[i] = accepted[i].Load()
+	}
+	verifyExact(t, p, keys, want)
+	if st := in.Stats("wake"); st.Drops == 0 {
+		t.Fatalf("wake stats = %+v: the lost-wakeup fault never fired", st)
+	}
+}
+
 // TestChaosDrainDeadlineThenCleanDrain arms heavy drain delays so a
 // short-deadline Drain must time out, then disarms and verifies the
 // background shutdown still completes cleanly with exact counts.

@@ -8,11 +8,15 @@
 // protocol. Producers never touch a Handle; they interact with three
 // goroutine-safe mechanisms:
 //
-//   - Batched ingestion: InsertCount appends to a per-shard buffer under
-//     a short mutex; the shard's worker drains the buffer in chunks and
-//     feeds the delegation filters. One lock acquisition replaces one
-//     channel send per key, and the worker amortizes its loop overhead
-//     over whole chunks instead of paying a channel receive per key.
+//   - Two-tier ingestion: a registered Producer handle owns one
+//     wait-free SPSC ring per shard, so its steady-state InsertCount is
+//     atomic-only — no mutex, no channel operation — and insert
+//     throughput scales with producer count; the shard's worker sweeps
+//     its rings in chunks into the delegation filters. Unregistered
+//     callers use the shared fallback lane: InsertCount appends to a
+//     per-shard buffer under a short mutex, which the worker drains the
+//     same way. Both lanes obey the same backpressure, accounting and
+//     loss-free-shutdown contracts.
 //   - Delegated queries: Query/QueryBatch hand a request to a worker
 //     over a channel; the worker answers through the protocol's pending
 //     array (with squashing), so concurrent hot-key queries stay cheap.
@@ -26,11 +30,13 @@
 // # Overload and failure semantics
 //
 // Ingestion is bounded: each shard buffers at most QueueCapacity
-// insertions. When a buffer is full the Policy decides — Block (the
-// default) backs the producer off until the worker catches up, honoring
-// the caller's context on the InsertCtx path, while Shed rejects the
-// insertion immediately with ErrOverloaded so producer latency stays
-// bounded. Every refused insertion is counted (Metrics.Rejected), every
+// insertions on the fallback lane, and each registered producer at most
+// RingCapacity per shard on its rings. When a buffer or ring is full
+// the Policy decides — Block (the default) backs the producer off until
+// the worker catches up, honoring the caller's context on the InsertCtx
+// path, while Shed rejects the insertion immediately with ErrOverloaded
+// so producer latency stays bounded. Every refused insertion is counted
+// (Metrics.Rejected), every
 // insertion discarded because the pool was closing is counted
 // (Metrics.Dropped), and an insertion whose Insert call succeeded is
 // never silently lost: Drain's final sweep lands even the entries that
@@ -58,6 +64,7 @@ import (
 
 	"dsketch/internal/delegation"
 	"dsketch/internal/metrics"
+	"dsketch/internal/spsc"
 )
 
 // Policy selects what ingestion does when a shard's buffer is full.
@@ -103,10 +110,16 @@ type Options struct {
 	// sketch per chunk (default 256). Smaller chunks bound the latency
 	// of queries queued behind a drain; larger chunks amortize better.
 	BatchSize int
-	// QueueCapacity caps each shard's ingest buffer (default 4096
-	// entries). A producer that finds the buffer full backs off or is
-	// shed, per Policy, bounding memory under overload.
+	// QueueCapacity caps each shard's shared fallback ingest buffer
+	// (default 4096 entries). A producer that finds the buffer full
+	// backs off or is shed, per Policy, bounding memory under overload.
 	QueueCapacity int
+	// RingCapacity caps each registered producer's per-shard SPSC ring,
+	// in entries (default 1024, rounded up to a power of two). A
+	// registered producer that finds its ring full backs off or is
+	// shed, per Policy, exactly like the fallback lane. Memory per
+	// registered producer is Threads × RingCapacity × 16 bytes.
+	RingCapacity int
 	// Policy selects the full-buffer behavior: Block (default) or Shed.
 	Policy Policy
 	// IdleHelp selects the workers' idle behavior. Zero (the default)
@@ -130,14 +143,15 @@ func (o Options) withDefaults() Options {
 	if o.QueueCapacity <= 0 {
 		o.QueueCapacity = 4096
 	}
+	if o.RingCapacity <= 0 {
+		o.RingCapacity = 1024
+	}
 	return o
 }
 
-// entry is one buffered insertion.
-type entry struct {
-	key   uint64
-	count uint64
-}
+// entry is one buffered insertion; it is the ring's Entry so sweeps
+// and fallback drains share one batch representation.
+type entry = spsc.Entry
 
 // queryReq asks a worker to answer point queries for keys, writing
 // results into out (len(out) == len(keys)) and closing done.
@@ -159,24 +173,75 @@ type pauseReq struct {
 	resume chan struct{} // closed by the coordinator after fn runs
 }
 
-// shard is one worker's ingest lane: the buffer producers append to,
-// the channels carrying queries and pause requests, and the shard's
-// share of the pool metrics.
+// shard is one worker's ingest lane set: the registered producers'
+// SPSC rings the worker sweeps, the shared fallback buffer producers
+// append to under a mutex, the channels carrying queries and pause
+// requests, and the shard's share of the pool metrics.
+//
+// The layout is cache-conscious: fields written by different parties at
+// steady state (fallback producers, registered producers, the worker)
+// are padded onto separate cache lines so one side's stores do not
+// invalidate the line another side spins on. padcheck (internal/lint)
+// watches structs like this one for atomics that drift back onto a
+// shared line.
 type shard struct {
+	// Shared fallback lane, producer-written under mu.
 	mu      sync.Mutex
 	buf     []entry // appended by producers, swapped out by the worker
 	spare   []entry // the drained buffer, recycled at the next swap
-	inserts uint64  // accepted insert ops (guarded by mu)
+	inserts uint64  // accepted fallback insert ops (guarded by mu)
 	swept   bool    // shutdown's final sweep ran; no append may follow (mu)
+	_       [spsc.CacheLine]byte
 
-	wake    chan struct{} // capacity 1: buffer went non-empty
+	// pending mirrors len(buf) (stored under mu, read lock-free) so the
+	// worker's spin loop and Metrics can check for fallback work
+	// without taking the mutex.
+	pending atomic.Uint64
+	_       [spsc.CacheLine - 8]byte
+
+	// seq is the fallback lane's enqueue-latency sampling counter
+	// (producer-written, contended only among fallback producers).
+	seq atomic.Uint64
+	_   [spsc.CacheLine - 8]byte
+
+	// sleeping is worker-written: it is true only while the worker may
+	// be blocked in its idle select, and gates the producers' wake
+	// sends so the steady-state ring path touches no channel.
+	sleeping atomic.Bool
+	_        [spsc.CacheLine - 1]byte
+
+	// rings is the copy-on-write list of registered producer lanes,
+	// written at registration/retirement (under Pool.regMu) and read
+	// lock-free by the worker on every sweep.
+	rings atomic.Pointer[[]*lane]
+	_     [spsc.CacheLine - 8]byte
+
+	wake    chan struct{} // capacity 1: work arrived while sleeping
 	queries chan *queryReq
 	pauses  chan pauseReq
 
-	seq     atomic.Uint64 // enqueue-latency sampling counter
-	enqueue metrics.SharedHistogram
+	enqueue metrics.AtomicHistogram // sampled enqueue latency, both lanes
 	batches metrics.SharedHistogram // chunk sizes fed to the sketch
-	depths  metrics.SharedHistogram // buffer length at each drain
+	depths  metrics.SharedHistogram // fallback buffer length at each drain
+}
+
+// lanes returns the shard's current registered-lane list (never nil).
+func (sh *shard) lanes() []*lane {
+	if l := sh.rings.Load(); l != nil {
+		return *l
+	}
+	return nil
+}
+
+// ringsPending reports whether any registered lane has buffered
+// entries. Lock-free; used by the worker before blocking.
+func (sh *shard) ringsPending() bool {
+	for _, ln := range sh.lanes() {
+		if ln.ring.Len() > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // notify wakes the shard's worker if it is blocked; a pending signal is
@@ -197,6 +262,12 @@ type Pool struct {
 	opt    Options
 	shards []*shard
 	next   atomic.Uint64 // round-robin shard cursor
+
+	// regMu guards producer registration and lane unlinking (the
+	// copy-on-write writes to each shard's rings list) plus the
+	// producers slice. Never taken on an insert path.
+	regMu     sync.Mutex
+	producers []*Producer
 
 	closed     atomic.Bool
 	done       chan struct{} // closed by Drain: workers wind down
@@ -323,11 +394,11 @@ func (p *Pool) insert(ctx context.Context, key, count uint64) error {
 			return ErrClosed
 		}
 		if len(sh.buf) < p.opt.QueueCapacity {
-			sh.buf = append(sh.buf, entry{key, count})
-			n := len(sh.buf)
+			sh.buf = append(sh.buf, entry{Key: key, Count: count})
+			sh.pending.Store(uint64(len(sh.buf)))
 			sh.inserts++
 			sh.mu.Unlock()
-			if n == 1 {
+			if sh.sleeping.Load() {
 				p.notify(sh)
 			}
 			if sample {
@@ -341,7 +412,9 @@ func (p *Pool) insert(ctx context.Context, key, count uint64) error {
 			return ErrOverloaded
 		}
 		p.backpressure.Add(1)
-		p.notify(sh)
+		if sh.sleeping.Load() {
+			p.notify(sh)
+		}
 		if ctx != nil {
 			select {
 			case <-ctx.Done():
@@ -584,6 +657,20 @@ func (p *Pool) Close() { _ = p.Drain(context.Background()) }
 // the delegation filters, and publish completion.
 func (p *Pool) finishShutdown() {
 	p.wg.Wait()
+	// Wait out every registered producer's in-flight enqueue attempt.
+	// closed is already set (Drain swapped it before spawning this
+	// goroutine), so the Dekker handshake in Producer.insert guarantees
+	// that after each inflight reads 0 here, every accepted entry is
+	// visible in its ring and every later attempt refuses with
+	// ErrClosed — the ring sweep below misses nothing.
+	p.regMu.Lock()
+	producers := append([]*Producer(nil), p.producers...)
+	p.regMu.Unlock()
+	for _, pr := range producers {
+		for pr.inflight.Load() != 0 {
+			runtime.Gosched()
+		}
+	}
 	for tid, sh := range p.shards {
 		for {
 			select {
@@ -597,18 +684,32 @@ func (p *Pool) finishShutdown() {
 			}
 			break
 		}
-		// Final sweep. A producer that passed the closed check before
-		// Drain set it may have appended after this worker's last
-		// drain. Marking the shard swept under its lock closes the
-		// race: an append either happened before (visible here, landed
-		// now) or its producer observes swept and gets ErrClosed.
+		// Ring sweep: entries registered producers enqueued after this
+		// shard's worker made its last pass. Workers are gone (wg.Wait
+		// above), so this goroutine is each ring's only consumer.
+		for _, pr := range producers {
+			r := pr.lanes[tid].ring
+			for {
+				e, ok := r.Dequeue()
+				if !ok {
+					break
+				}
+				p.ds.InsertCountSequential(tid, e.Key, e.Count)
+			}
+		}
+		// Fallback-lane final sweep. A producer that passed the closed
+		// check before Drain set it may have appended after this
+		// worker's last drain. Marking the shard swept under its lock
+		// closes the race: an append either happened before (visible
+		// here, landed now) or its producer observes swept and gets
+		// ErrClosed.
 		sh.mu.Lock()
 		rest := sh.buf
 		sh.buf = nil
 		sh.swept = true
 		sh.mu.Unlock()
 		for _, e := range rest {
-			p.ds.InsertCountSequential(tid, e.key, e.count)
+			p.ds.InsertCountSequential(tid, e.Key, e.Count)
 		}
 	}
 	p.ds.Flush()
@@ -649,6 +750,9 @@ func (p *Pool) worker(tid int) {
 		}
 		p.wg.Done()
 	}()
+	// scratch is the worker-private batch buffer ring sweeps dequeue
+	// into; a replacement worker allocates its own.
+	scratch := make([]entry, p.opt.BatchSize)
 	spin := p.opt.IdleHelp <= 0
 	var idleC <-chan time.Time
 	if !spin {
@@ -657,38 +761,118 @@ func (p *Pool) worker(tid int) {
 		idleC = t.C
 	}
 	for {
+		// Control traffic first: queries, quiesce barriers, shutdown. A
+		// stale wake token is consumed here so the channel never fills
+		// with signals for work already swept.
 		select {
-		case <-sh.wake:
-			p.drain(tid, sh)
 		case q := <-sh.queries:
 			p.serve(tid, q)
+			continue
 		case pr := <-sh.pauses:
-			p.pause(tid, sh, pr)
+			p.pause(tid, sh, pr, scratch)
+			continue
 		case <-p.done:
-			p.shutdown(tid, sh)
+			p.shutdown(tid, sh, scratch)
 			return
+		case <-sh.wake:
 		default:
-			if spin {
-				p.ds.Help(tid)
-				runtime.Gosched()
-				continue
-			}
-			select {
-			case <-sh.wake:
-				p.drain(tid, sh)
-			case q := <-sh.queries:
-				p.serve(tid, q)
-			case pr := <-sh.pauses:
-				p.pause(tid, sh, pr)
-			case <-p.done:
-				p.shutdown(tid, sh)
-				return
-			case <-idleC:
-				p.drain(tid, sh) // catch anything a lost race (or fault) left behind
-				p.ds.Help(tid)
-			}
+		}
+		// Work pass: registered-producer rings, then the fallback lane.
+		// Both checks are lock-free when there is nothing to do.
+		worked := p.sweep(tid, sh, scratch)
+		if sh.pending.Load() > 0 {
+			p.drain(tid, sh)
+			worked = true
+		}
+		if worked {
+			continue
+		}
+		if spin {
+			p.ds.Help(tid)
+			runtime.Gosched()
+			continue
+		}
+		// Idle, blocking mode: publish sleeping, then re-check for work
+		// that raced the publish — a producer reads sleeping only after
+		// its entry is visible, so either it sees true and wakes us or
+		// this re-check sees its entry (never neither).
+		sh.sleeping.Store(true)
+		if sh.ringsPending() || sh.pending.Load() > 0 {
+			sh.sleeping.Store(false)
+			continue
+		}
+		select {
+		case <-sh.wake:
+			sh.sleeping.Store(false)
+		case q := <-sh.queries:
+			sh.sleeping.Store(false)
+			p.serve(tid, q)
+		case pr := <-sh.pauses:
+			sh.sleeping.Store(false)
+			p.pause(tid, sh, pr, scratch)
+		case <-p.done:
+			sh.sleeping.Store(false)
+			p.shutdown(tid, sh, scratch)
+			return
+		case <-idleC:
+			// The liveness net: even a lost wakeup (WakeDrop fault) only
+			// delays work until this tick.
+			sh.sleeping.Store(false)
+			p.sweep(tid, sh, scratch)
+			p.drain(tid, sh)
+			p.ds.Help(tid)
 		}
 	}
+}
+
+// sweep drains every registered lane's ring into the sketch in
+// BatchSize chunks, reporting whether any entry landed. A lane whose
+// producer has retired it is drained to empty and unlinked — the
+// retired store is ordered after the producer's last enqueue, so an
+// empty retired ring stays empty. Worker-side only (the rings'
+// consumer end), except for the post-wg finisher in finishShutdown.
+func (p *Pool) sweep(tid int, sh *shard, scratch []entry) bool {
+	worked := false
+	var dead []*lane
+	for _, ln := range sh.lanes() {
+		for {
+			n := ln.ring.DequeueBatch(scratch)
+			if n == 0 {
+				break
+			}
+			worked = true
+			p.feed(tid, sh, scratch[:n])
+		}
+		if ln.retired.Load() && ln.ring.Len() == 0 {
+			dead = append(dead, ln)
+		}
+	}
+	if dead != nil {
+		p.unlink(sh, dead)
+	}
+	return worked
+}
+
+// unlink removes retired, drained lanes from the shard's sweep list
+// (copy-on-write under regMu, same discipline as registration).
+func (p *Pool) unlink(sh *shard, dead []*lane) {
+	p.regMu.Lock()
+	defer p.regMu.Unlock()
+	cur := sh.lanes()
+	next := make([]*lane, 0, len(cur))
+	for _, ln := range cur {
+		keep := true
+		for _, d := range dead {
+			if ln == d {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			next = append(next, ln)
+		}
+	}
+	sh.rings.Store(&next)
 }
 
 // contain runs f, absorbing a panic in place (counted, hook notified)
@@ -731,6 +915,7 @@ func (p *Pool) drain(tid int, sh *shard) {
 		} else {
 			sh.buf = make([]entry, 0, p.opt.QueueCapacity)
 		}
+		sh.pending.Store(0)
 		sh.mu.Unlock()
 
 		sh.depths.RecordValue(uint64(n))
@@ -759,6 +944,7 @@ func (p *Pool) feed(tid int, sh *shard, batch []entry) {
 			if rest := batch[from:]; len(rest) > 0 {
 				sh.mu.Lock()
 				sh.buf = append(sh.buf, rest...)
+				sh.pending.Store(uint64(len(sh.buf)))
 				sh.mu.Unlock()
 				// Direct notify: recovery wakeups must not be lost, so
 				// this bypasses the WakeDrop fault seam.
@@ -775,7 +961,7 @@ func (p *Pool) feed(tid int, sh *shard, batch []entry) {
 		}
 		for i := off; i < end; i++ {
 			cur, recorded = i, false
-			p.ds.InsertCountRecorded(tid, batch[i].key, batch[i].count, &recorded)
+			p.ds.InsertCountRecorded(tid, batch[i].Key, batch[i].Count, &recorded)
 		}
 		sh.batches.RecordValue(uint64(end - off))
 	}
@@ -792,14 +978,17 @@ func (p *Pool) serve(tid int, q *queryReq) {
 	}
 }
 
-// pause executes one quiescence barrier from the worker's side: drain
-// the ingest buffer (so completed insertions are visible to fn), ack
-// phase 1 and keep helping until everyone arrives, ack phase 2, then
-// wait passively for resume. Drain and help panics are contained (not
-// restarted) because the Quiesce coordinator is blocked on this frame's
-// acks.
-func (p *Pool) pause(tid int, sh *shard, pr pauseReq) {
-	p.contain(tid, func() { p.drain(tid, sh) })
+// pause executes one quiescence barrier from the worker's side: sweep
+// the producer rings and drain the fallback buffer (so completed
+// insertions on both lanes are visible to fn), ack phase 1 and keep
+// helping until everyone arrives, ack phase 2, then wait passively for
+// resume. Sweep, drain and help panics are contained (not restarted)
+// because the Quiesce coordinator is blocked on this frame's acks.
+func (p *Pool) pause(tid int, sh *shard, pr pauseReq, scratch []entry) {
+	p.contain(tid, func() {
+		p.sweep(tid, sh, scratch)
+		p.drain(tid, sh)
+	})
 	pr.parked <- struct{}{}
 	holding := true
 	for holding {
@@ -821,13 +1010,18 @@ func (p *Pool) pause(tid int, sh *shard, pr pauseReq) {
 // are contained here (the peers' tails and finishShutdown depend on the
 // exited count this frame maintains); anything a contained panic leaves
 // buffered is landed by finishShutdown's sweep.
-func (p *Pool) shutdown(tid int, sh *shard) {
-	p.contain(tid, func() { p.drain(tid, sh) })
+func (p *Pool) shutdown(tid int, sh *shard, scratch []entry) {
+	p.contain(tid, func() {
+		p.sweep(tid, sh, scratch)
+		p.drain(tid, sh)
+	})
 	t := int32(len(p.shards))
 	p.exited.Add(1)
 	for p.exited.Load() < t {
 		p.contain(tid, func() {
-			p.drain(tid, sh) // a racing insert may still land in our lane
+			// A racing insert may still land in our lanes.
+			p.sweep(tid, sh, scratch)
+			p.drain(tid, sh)
 			p.ds.Help(tid)
 		})
 		runtime.Gosched()
@@ -849,7 +1043,8 @@ type Metrics struct {
 	Dropped  uint64
 	Rejected uint64
 	// QueueDepth is the instantaneous number of buffered insertions
-	// across all shards at the moment of the snapshot.
+	// across all shards at the moment of the snapshot — fallback
+	// buffers plus registered-producer rings.
 	QueueDepth uint64
 	// WorkerPanics counts panics recovered in worker goroutines; each
 	// either restarted the shard's worker or was contained in place.
@@ -879,10 +1074,19 @@ func (p *Pool) Metrics() Metrics {
 		m.Inserts += sh.inserts
 		m.QueueDepth += uint64(len(sh.buf))
 		sh.mu.Unlock()
+		for _, ln := range sh.lanes() {
+			m.QueueDepth += uint64(ln.ring.Len())
+		}
 		e, b, d := sh.enqueue.Snapshot(), sh.batches.Snapshot(), sh.depths.Snapshot()
 		m.Enqueue.Merge(&e)
 		m.Batches.Merge(&b)
 		m.Depths.Merge(&d)
+	}
+	p.regMu.Lock()
+	producers := append([]*Producer(nil), p.producers...)
+	p.regMu.Unlock()
+	for _, pr := range producers {
+		m.Inserts += pr.inserts.Load()
 	}
 	return m
 }

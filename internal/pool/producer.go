@@ -1,0 +1,200 @@
+package pool
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"dsketch/internal/spsc"
+)
+
+// lane is one registered producer's wait-free path into one shard: a
+// single-producer single-consumer ring whose producer side is the
+// Producer's owning goroutine and whose consumer side is the shard's
+// worker (and, after shutdown, the one finisher goroutine).
+type lane struct {
+	ring *spsc.Ring
+	prod *Producer // handshake state for the loss-free final sweep
+	// retired is set by Producer.Close after its last enqueue; the
+	// worker drains the ring to empty and then unlinks the lane.
+	retired atomic.Bool
+}
+
+// Producer is a registered ingestion handle: it owns one SPSC ring per
+// shard, so its steady-state Insert path is atomic-only — no mutex, no
+// channel send, no allocation — which is what lets insert throughput
+// scale with producer count instead of serializing on a per-shard lock
+// (the paper's §6 hand-work-to-owners-over-lock-free-structures result,
+// applied to the serving front-end).
+//
+// A Producer is single-goroutine: the SPSC contract means at most one
+// goroutine may call its Insert methods at a time (handing the whole
+// handle from one goroutine to another is fine, racing two goroutines
+// on it is not — that is what the shared Pool.Insert lane is for).
+// Close retires the handle; the pool sweeps and unlinks its rings.
+// Backpressure, shedding, context cancellation, drain/close accounting
+// and the loss-free shutdown sweep behave exactly as on the shared
+// lane: an insert that returned nil is never silently lost.
+type Producer struct {
+	pool  *Pool
+	lanes []*lane
+
+	// Producer-goroutine-private state (no synchronization needed).
+	next   uint64 // round-robin shard cursor
+	seq    uint64 // enqueue-latency sampling counter
+	closed bool   // set by Close; later inserts refuse with ErrClosed
+
+	// inflight is the Dekker-style handshake with the final drain
+	// sweep: it is 1 exactly while an enqueue attempt that has not yet
+	// re-checked p.closed may publish into a ring. The sweeper sets
+	// closed, then waits inflight out; after that, every accepted entry
+	// is visible in its ring and every later attempt refuses.
+	inflight atomic.Uint64
+
+	// inserts counts accepted insert operations (read by Metrics).
+	inserts atomic.Uint64
+}
+
+// Producer registers and returns a new producer handle with one
+// RingCapacity-slot SPSC ring per shard. Registration takes a mutex
+// (it is not the hot path); the returned handle's Insert methods do
+// not. Handles registered on a closed pool work but refuse every
+// insert with ErrClosed. Call Producer once per ingesting goroutine
+// and reuse the handle for the connection/goroutine's lifetime.
+func (p *Pool) Producer() *Producer {
+	pr := &Producer{pool: p, lanes: make([]*lane, len(p.shards))}
+	for i := range p.shards {
+		pr.lanes[i] = &lane{ring: spsc.NewRing(p.opt.RingCapacity), prod: pr}
+	}
+	p.regMu.Lock()
+	for i, sh := range p.shards {
+		cur := sh.rings.Load()
+		next := make([]*lane, 0, 1+lenLanes(cur))
+		if cur != nil {
+			next = append(next, *cur...)
+		}
+		next = append(next, pr.lanes[i])
+		sh.rings.Store(&next)
+	}
+	p.producers = append(p.producers, pr)
+	p.regMu.Unlock()
+	return pr
+}
+
+func lenLanes(l *[]*lane) int {
+	if l == nil {
+		return 0
+	}
+	return len(*l)
+}
+
+// Insert records one occurrence of key through the wait-free lane.
+// Single-goroutine (see Producer). A refused insertion is visible only
+// in Metrics; use InsertCtx to observe it as an error.
+func (pr *Producer) Insert(key uint64) { _ = pr.insert(nil, key, 1) }
+
+// InsertCount records count occurrences of key (a zero count is a
+// no-op). Single-goroutine; see Insert for refusal semantics.
+func (pr *Producer) InsertCount(key, count uint64) { _ = pr.insert(nil, key, count) }
+
+// InsertCtx records one occurrence of key, bounding a Block-policy
+// backoff by ctx. Same error contract as Pool.InsertCtx.
+func (pr *Producer) InsertCtx(ctx context.Context, key uint64) error {
+	return pr.insert(ctx, key, 1)
+}
+
+// InsertCountCtx is InsertCtx for count occurrences.
+func (pr *Producer) InsertCountCtx(ctx context.Context, key, count uint64) error {
+	return pr.insert(ctx, key, count)
+}
+
+// insert is the registered-producer ingestion path. Steady state
+// (ring not full, pool open) performs no mutex acquisition, no channel
+// operation and no allocation: a handful of uncontended atomics plus
+// one SPSC enqueue.
+func (pr *Producer) insert(ctx context.Context, key, count uint64) error {
+	if count == 0 {
+		return nil
+	}
+	p := pr.pool
+	if pr.closed {
+		p.dropped.Add(1)
+		return ErrClosed
+	}
+	idx := int(pr.next % uint64(len(pr.lanes)))
+	pr.next++
+	ln, sh := pr.lanes[idx], p.shards[idx]
+	pr.seq++
+	sample := pr.seq&enqueueSampleMask == 0
+	var t0 time.Time
+	if sample {
+		t0 = time.Now()
+	}
+	e := entry{Key: key, Count: count}
+	for {
+		// The handshake order is load-bearing: raise inflight, then
+		// check closed, then publish. The final sweep sets closed and
+		// waits inflight out, so an entry enqueued here is either seen
+		// by a worker or by the sweep — never stranded (see
+		// finishShutdown).
+		pr.inflight.Store(1)
+		if p.closed.Load() {
+			pr.inflight.Store(0)
+			p.dropped.Add(1)
+			return ErrClosed
+		}
+		ok := ln.ring.Enqueue(e)
+		pr.inflight.Store(0)
+		if ok {
+			pr.inserts.Add(1)
+			if sh.sleeping.Load() {
+				p.notify(sh)
+			}
+			if sample {
+				sh.enqueue.Record(time.Since(t0))
+			}
+			return nil
+		}
+		// Ring full: shed, or back off until the worker sweeps.
+		if p.opt.Policy == Shed {
+			p.rejected.Add(1)
+			return ErrOverloaded
+		}
+		p.backpressure.Add(1)
+		if sh.sleeping.Load() {
+			p.notify(sh)
+		}
+		if ctx != nil {
+			select {
+			case <-ctx.Done():
+				p.rejected.Add(1)
+				return ctx.Err()
+			default:
+			}
+		}
+		runtime.Gosched()
+	}
+}
+
+// Close retires the handle: subsequent inserts refuse with ErrClosed,
+// and each shard's worker drains the handle's ring to empty and then
+// unlinks it from its sweep list. Entries accepted before Close are
+// never lost. Idempotent; must be called from the handle's owning
+// goroutine (same single-goroutine contract as Insert).
+func (pr *Producer) Close() {
+	if pr.closed {
+		return
+	}
+	pr.closed = true
+	for i, ln := range pr.lanes {
+		// The retired store is ordered after every enqueue this
+		// goroutine made (program order + seq-cst atomics), so a worker
+		// observing retired sees every accepted entry before unlinking.
+		ln.retired.Store(true)
+		sh := pr.pool.shards[i]
+		if sh.sleeping.Load() {
+			pr.pool.notify(sh)
+		}
+	}
+}

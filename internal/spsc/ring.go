@@ -2,16 +2,49 @@ package spsc
 
 import "sync/atomic"
 
-// Ring is a bounded single-producer single-consumer queue of uint64 values
-// (keys), wait-free on both sides. The trace-replay tooling uses it to feed
-// per-thread sub-streams without locks, mirroring the paper's system model
-// where "each thread has its own input sub-stream" handed over from an
-// upstream pipeline stage (§2.2).
+// CacheLine is the coherence granule the padded layouts in this package
+// (and the pool's shard metadata) assume. 64 bytes is correct for every
+// mainstream x86 and arm64 part; a larger true granule only wastes the
+// padding, it never breaks correctness.
+const CacheLine = 64
+
+// Entry is one buffered insertion: a key and how many occurrences of it
+// the producer recorded. Generalizing the ring from bare keys to
+// (key, count) pairs lets the pool's ingestion lanes carry InsertCount
+// traffic without a side channel.
+type Entry struct {
+	Key   uint64
+	Count uint64
+}
+
+// Ring is a bounded single-producer single-consumer queue of Entry
+// values, wait-free on both sides. The pool uses one ring per
+// (producer, shard) pair so the steady-state insert path is atomic-only
+// (the paper's §2.2 system model: each thread owns its input sub-stream,
+// handed over without coordination), and the trace-replay tooling uses
+// it to feed per-thread sub-streams without locks.
+//
+// Layout is cache-conscious: the producer-written index (tail) and the
+// consumer-written index (head) live on separate cache lines, so a
+// producer's Store never invalidates the line the consumer is spinning
+// on, and each side keeps a private cache of the opposite index
+// (headCache/tailCache) so the common case of a non-full, non-empty
+// ring touches no shared-but-foreign line at all ("One Table to Count
+// Them All"-style layout discipline).
 type Ring struct {
-	buf  []uint64
+	buf  []Entry
 	mask uint64
-	head atomic.Uint64 // next slot to read (consumer)
-	tail atomic.Uint64 // next slot to write (producer)
+	_    [CacheLine - 32]byte // keep the read-only header off the index lines
+
+	// Consumer-owned line: head plus the consumer's private view of tail.
+	head      atomic.Uint64 // next slot to read
+	tailCache uint64        // consumer-private; refreshed from tail on empty
+	_         [CacheLine - 16]byte
+
+	// Producer-owned line: tail plus the producer's private view of head.
+	tail      atomic.Uint64 // next slot to write
+	headCache uint64        // producer-private; refreshed from head on full
+	_         [CacheLine - 16]byte
 }
 
 // NewRing returns a ring with the given capacity, rounded up to a power of
@@ -24,35 +57,84 @@ func NewRing(capacity int) *Ring {
 	for size < capacity {
 		size <<= 1
 	}
-	return &Ring{buf: make([]uint64, size), mask: uint64(size - 1)}
+	return &Ring{buf: make([]Entry, size), mask: uint64(size - 1)}
 }
 
 // Capacity returns the usable slot count.
 func (r *Ring) Capacity() int { return len(r.buf) }
 
-// Enqueue appends v; it reports false when the ring is full.
+// Enqueue appends e; it reports false when the ring is full.
 // Producer-side only.
-func (r *Ring) Enqueue(v uint64) bool {
-	tail := r.tail.Load()
-	if tail-r.head.Load() == uint64(len(r.buf)) {
-		return false
+func (r *Ring) Enqueue(e Entry) bool {
+	tail := r.tail.Load() // our own index: no one else writes it
+	if tail-r.headCache >= uint64(len(r.buf)) {
+		r.headCache = r.head.Load()
+		if tail-r.headCache >= uint64(len(r.buf)) {
+			return false
+		}
 	}
-	r.buf[tail&r.mask] = v
+	r.buf[tail&r.mask] = e
 	r.tail.Store(tail + 1) // release: publishes the slot write
 	return true
 }
 
-// Dequeue removes the oldest value; ok is false when the ring is empty.
+// Dequeue removes the oldest entry; ok is false when the ring is empty.
 // Consumer-side only.
-func (r *Ring) Dequeue() (v uint64, ok bool) {
-	head := r.head.Load()
-	if head == r.tail.Load() {
-		return 0, false
+func (r *Ring) Dequeue() (e Entry, ok bool) {
+	head := r.head.Load() // our own index: no one else writes it
+	if head == r.tailCache {
+		r.tailCache = r.tail.Load()
+		if head == r.tailCache {
+			return Entry{}, false
+		}
 	}
-	v = r.buf[head&r.mask]
+	e = r.buf[head&r.mask]
 	r.head.Store(head + 1)
-	return v, true
+	return e, true
 }
 
-// Len returns the number of buffered values at the instant of the check.
-func (r *Ring) Len() int { return int(r.tail.Load() - r.head.Load()) }
+// DequeueBatch moves up to len(dst) entries into dst and returns how
+// many it moved, paying the index synchronization once per batch
+// instead of once per entry. Consumer-side only.
+func (r *Ring) DequeueBatch(dst []Entry) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	head := r.head.Load()
+	avail := r.tailCache - head
+	if avail == 0 {
+		r.tailCache = r.tail.Load()
+		avail = r.tailCache - head
+		if avail == 0 {
+			return 0
+		}
+	}
+	n := uint64(len(dst))
+	if avail < n {
+		n = avail
+	}
+	for i := uint64(0); i < n; i++ {
+		dst[i] = r.buf[(head+i)&r.mask]
+	}
+	r.head.Store(head + n)
+	return int(n)
+}
+
+// Len returns the number of buffered entries at the instant of the
+// check. head is loaded before tail: tail read later can only be >=
+// the head read earlier (both are monotone and tail >= head always),
+// so the difference never underflows into a bogus huge value the way
+// the tail-first order could when a dequeue lands between the two
+// loads. An observer racing both sides can still see a momentarily
+// stale sum, so the result is additionally clamped to Capacity; from
+// the producer or consumer goroutine the value is exact-or-conservative
+// without the clamp.
+func (r *Ring) Len() int {
+	head := r.head.Load() // must be first: see above
+	tail := r.tail.Load()
+	n := tail - head
+	if n > uint64(len(r.buf)) {
+		n = uint64(len(r.buf))
+	}
+	return int(n)
+}

@@ -86,17 +86,17 @@ func TestStackMPSCAllNodesDeliveredExactlyOnce(t *testing.T) {
 func TestRingFIFO(t *testing.T) {
 	r := NewRing(4)
 	for i := uint64(0); i < 4; i++ {
-		if !r.Enqueue(i) {
+		if !r.Enqueue(Entry{Key: i, Count: i + 1}) {
 			t.Fatalf("Enqueue(%d) failed on non-full ring", i)
 		}
 	}
-	if r.Enqueue(99) {
+	if r.Enqueue(Entry{Key: 99}) {
 		t.Fatal("Enqueue on full ring should fail")
 	}
 	for i := uint64(0); i < 4; i++ {
-		v, ok := r.Dequeue()
-		if !ok || v != i {
-			t.Fatalf("Dequeue = (%d,%v), want (%d,true)", v, ok, i)
+		e, ok := r.Dequeue()
+		if !ok || e.Key != i || e.Count != i+1 {
+			t.Fatalf("Dequeue = (%+v,%v), want key %d count %d", e, ok, i, i+1)
 		}
 	}
 	if _, ok := r.Dequeue(); ok {
@@ -117,14 +117,14 @@ func TestRingWrapAround(t *testing.T) {
 	r := NewRing(4)
 	for round := 0; round < 100; round++ {
 		for i := uint64(0); i < 3; i++ {
-			if !r.Enqueue(uint64(round)*10 + i) {
+			if !r.Enqueue(Entry{Key: uint64(round)*10 + i}) {
 				t.Fatal("enqueue failed")
 			}
 		}
 		for i := uint64(0); i < 3; i++ {
-			v, ok := r.Dequeue()
-			if !ok || v != uint64(round)*10+i {
-				t.Fatalf("round %d: got (%d,%v)", round, v, ok)
+			e, ok := r.Dequeue()
+			if !ok || e.Key != uint64(round)*10+i {
+				t.Fatalf("round %d: got (%+v,%v)", round, e, ok)
 			}
 		}
 	}
@@ -138,7 +138,7 @@ func TestRingConcurrentSPSC(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := uint64(0); i < n; {
-			if r.Enqueue(i) {
+			if r.Enqueue(Entry{Key: i, Count: i * 2}) {
 				i++
 			} else {
 				runtime.Gosched() // ring full: let the consumer run
@@ -146,9 +146,9 @@ func TestRingConcurrentSPSC(t *testing.T) {
 		}
 	}()
 	for i := uint64(0); i < n; {
-		if v, ok := r.Dequeue(); ok {
-			if v != i {
-				t.Fatalf("out of order: got %d want %d", v, i)
+		if e, ok := r.Dequeue(); ok {
+			if e.Key != i || e.Count != i*2 {
+				t.Fatalf("out of order or corrupt: got %+v want key %d", e, i)
 			}
 			i++
 		} else {
@@ -158,6 +158,98 @@ func TestRingConcurrentSPSC(t *testing.T) {
 	wg.Wait()
 	if r.Len() != 0 {
 		t.Fatalf("ring should be empty, Len=%d", r.Len())
+	}
+}
+
+func TestRingDequeueBatch(t *testing.T) {
+	r := NewRing(8)
+	for i := uint64(0); i < 6; i++ {
+		if !r.Enqueue(Entry{Key: i, Count: 1}) {
+			t.Fatal("enqueue failed")
+		}
+	}
+	dst := make([]Entry, 4)
+	if n := r.DequeueBatch(dst); n != 4 {
+		t.Fatalf("DequeueBatch = %d, want 4", n)
+	}
+	for i, e := range dst {
+		if e.Key != uint64(i) {
+			t.Fatalf("batch[%d].Key = %d, want %d", i, e.Key, i)
+		}
+	}
+	if n := r.DequeueBatch(dst); n != 2 {
+		t.Fatalf("second DequeueBatch = %d, want 2", n)
+	}
+	if dst[0].Key != 4 || dst[1].Key != 5 {
+		t.Fatalf("second batch = %+v, want keys 4,5", dst[:2])
+	}
+	if n := r.DequeueBatch(dst); n != 0 {
+		t.Fatalf("DequeueBatch on empty ring = %d, want 0", n)
+	}
+	if n := r.DequeueBatch(nil); n != 0 {
+		t.Fatal("DequeueBatch(nil) should be a no-op")
+	}
+}
+
+// TestRingLenBoundedUnderRace is the regression test for the Len load
+// order: with tail loaded before head, a dequeue landing between the
+// two loads made tail-head underflow and Len report a value vastly
+// larger than Capacity. head must be loaded first (and the result
+// clamped for third-party observers), so Len stays within [0, Capacity]
+// no matter how the loads interleave with a concurrent enqueue/dequeue
+// storm. Run under -race via the spsc stress suite.
+func TestRingLenBoundedUnderRace(t *testing.T) {
+	r := NewRing(16)
+	cap := r.Capacity()
+	const n = 20000
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // producer, also checks Len from its own side
+		defer wg.Done()
+		for i := uint64(0); i < n; {
+			if r.Enqueue(Entry{Key: i}) {
+				i++
+			} else {
+				runtime.Gosched()
+			}
+			if l := r.Len(); l < 0 || l > cap {
+				t.Errorf("producer-side Len = %d, want within [0,%d]", l, cap)
+				return
+			}
+		}
+	}()
+	go func() { // consumer, also checks Len from its own side
+		defer wg.Done()
+		for i := uint64(0); i < n; {
+			if _, ok := r.Dequeue(); ok {
+				i++
+			} else {
+				runtime.Gosched()
+			}
+			if l := r.Len(); l < 0 || l > cap {
+				t.Errorf("consumer-side Len = %d, want within [0,%d]", l, cap)
+				return
+			}
+		}
+	}()
+	// Third-party observer (what Pool.Metrics does across all rings).
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done); close(stop) }()
+	for {
+		select {
+		case <-stop:
+			<-done
+			if l := r.Len(); l != 0 {
+				t.Fatalf("drained ring Len = %d, want 0", l)
+			}
+			return
+		default:
+			if l := r.Len(); l < 0 || l > cap {
+				t.Fatalf("observer Len = %d, want within [0,%d]", l, cap)
+			}
+			runtime.Gosched() // single-core CI: let the two sides run
+		}
 	}
 }
 
@@ -173,7 +265,19 @@ func BenchmarkStackPushPop(b *testing.B) {
 func BenchmarkRingEnqueueDequeue(b *testing.B) {
 	r := NewRing(1024)
 	for i := 0; i < b.N; i++ {
-		r.Enqueue(uint64(i))
+		r.Enqueue(Entry{Key: uint64(i), Count: 1})
 		r.Dequeue()
+	}
+}
+
+func BenchmarkRingDequeueBatch(b *testing.B) {
+	r := NewRing(1024)
+	dst := make([]Entry, 256)
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 256; j++ {
+			r.Enqueue(Entry{Key: uint64(j), Count: 1})
+		}
+		for r.DequeueBatch(dst) > 0 {
+		}
 	}
 }

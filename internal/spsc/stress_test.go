@@ -86,7 +86,7 @@ func TestRingIrregularProgressStress(t *testing.T) {
 		burst := 1
 		for i := uint64(0); i < n; {
 			for b := 0; b < burst && i < n; b++ {
-				if !r.Enqueue(i) {
+				if !r.Enqueue(Entry{Key: i, Count: i ^ 0xabcd}) {
 					runtime.Gosched()
 					break
 				}
@@ -98,13 +98,13 @@ func TestRingIrregularProgressStress(t *testing.T) {
 	burst := 3
 	for i := uint64(0); i < n; {
 		for b := 0; b < burst && i < n; b++ {
-			v, ok := r.Dequeue()
+			e, ok := r.Dequeue()
 			if !ok {
 				runtime.Gosched()
 				break
 			}
-			if v != i {
-				t.Fatalf("out of order: got %d want %d", v, i)
+			if e.Key != i || e.Count != i^0xabcd {
+				t.Fatalf("out of order or corrupt: got %+v want key %d", e, i)
 			}
 			i++
 		}

@@ -46,12 +46,16 @@ func (p OverloadPolicy) internal() pool.Policy {
 // servers, pipeline stages) instead of the one-goroutine-per-Handle
 // model the core protocol requires.
 //
-// Ingestion is batched: Insert appends to a per-shard buffer under a
-// short critical section, and the shard's worker drains whole chunks
-// into the delegation filters, amortizing hand-off overhead that a
-// channel send per key would pay. Queries are delegated to a worker and
-// answered through the protocol's pending array, so concurrent hot-key
-// queries benefit from squashing.
+// Ingestion is two-tier. A goroutine that will insert repeatedly should
+// register a Producer handle: its steady-state Insert is wait-free —
+// one SPSC ring enqueue per shard, no mutex, no channel operation — so
+// insert throughput scales with the number of producers. Ad-hoc callers
+// use Pool.Insert, the shared fallback lane: it appends to a per-shard
+// buffer under a short critical section. Either way the shard's worker
+// drains whole chunks into the delegation filters, amortizing hand-off
+// overhead that a channel send per key would pay. Queries are delegated
+// to a worker and answered through the protocol's pending array, so
+// concurrent hot-key queries benefit from squashing.
 //
 // Consistency: an insertion becomes visible to queries when its worker
 // drains it — normally within microseconds, since workers are woken as
@@ -74,10 +78,16 @@ type PoolConfig struct {
 	// sketch per chunk (default 256). Smaller values bound the latency
 	// of queries queued behind a drain; larger values amortize better.
 	BatchSize int
-	// QueueCapacity caps each shard's ingest buffer, in insertions
-	// (default 4096). A producer that finds its shard full is handled
-	// per Policy, so memory stays bounded under overload.
+	// QueueCapacity caps each shard's shared ingest buffer, in
+	// insertions (default 4096). A producer that finds its shard full
+	// is handled per Policy, so memory stays bounded under overload.
 	QueueCapacity int
+	// RingCapacity caps each registered Producer's per-shard SPSC ring,
+	// in insertions (default 1024, rounded up to a power of two). A
+	// registered producer that finds its ring full is handled per
+	// Policy, exactly like the shared lane. Each registered producer
+	// holds Threads × RingCapacity × 16 bytes.
+	RingCapacity int
 	// Policy selects the full-buffer behavior: OverloadBlock (default)
 	// or OverloadShed.
 	Policy OverloadPolicy
@@ -102,6 +112,8 @@ func (cfg PoolConfig) Validate() error {
 		return fmt.Errorf("dsketch: BatchSize must be >= 0 (0 selects the default), got %d", cfg.BatchSize)
 	case cfg.QueueCapacity < 0:
 		return fmt.Errorf("dsketch: QueueCapacity must be >= 0 (0 selects the default), got %d", cfg.QueueCapacity)
+	case cfg.RingCapacity < 0:
+		return fmt.Errorf("dsketch: RingCapacity must be >= 0 (0 selects the default), got %d", cfg.RingCapacity)
 	case cfg.Policy != OverloadBlock && cfg.Policy != OverloadShed:
 		return fmt.Errorf("dsketch: unknown OverloadPolicy %d", cfg.Policy)
 	case cfg.IdleHelp < 0:
@@ -130,6 +142,7 @@ func NewPoolChecked(cfg PoolConfig) (*Pool, error) {
 		p: pool.New(s.ds, pool.Options{
 			BatchSize:     cfg.BatchSize,
 			QueueCapacity: cfg.QueueCapacity,
+			RingCapacity:  cfg.RingCapacity,
 			Policy:        cfg.Policy.internal(),
 			IdleHelp:      cfg.IdleHelp,
 			Checkpoint: pool.CheckpointOptions{
@@ -180,6 +193,55 @@ func (p *Pool) InsertCtx(ctx context.Context, key uint64) error {
 func (p *Pool) InsertCountCtx(ctx context.Context, key, count uint64) error {
 	return p.p.InsertCountCtx(ctx, key, count)
 }
+
+// Producer is a registered ingestion handle bound to one goroutine: it
+// owns a wait-free SPSC ring per shard, so its steady-state Insert does
+// no locking at all. Obtain one per long-lived ingesting goroutine via
+// Pool.Producer, and Close it when the goroutine is done so the pool
+// can reclaim the rings.
+//
+// A Producer is NOT goroutine-safe: at most one goroutine may use it at
+// a time (handing the whole handle off between goroutines is fine).
+// Goroutines that cannot hold a handle use the Pool's own Insert
+// methods, which share a per-shard mutex-guarded lane. Both paths give
+// the same guarantees: bounded buffering per Policy, exact accounting
+// in PoolMetrics, and no accepted insertion lost across Drain/Close.
+type Producer struct {
+	pr *pool.Producer
+}
+
+// Producer registers and returns a new ingestion handle (see Producer).
+// Registration itself takes a lock; the handle's inserts do not.
+func (p *Pool) Producer() *Producer { return &Producer{pr: p.p.Producer()} }
+
+// Insert records one occurrence of key through the wait-free lane.
+func (pr *Producer) Insert(key uint64) { pr.pr.Insert(key) }
+
+// InsertCount records count occurrences of key (a zero count is a
+// no-op).
+func (pr *Producer) InsertCount(key, count uint64) { pr.pr.InsertCount(key, count) }
+
+// InsertString records one occurrence of a string key (fingerprinted to
+// 64 bits; use the same form consistently for inserts and queries).
+func (pr *Producer) InsertString(key string) { pr.pr.Insert(hash.FingerprintString(key)) }
+
+// InsertCtx records one occurrence of key, bounding any OverloadBlock
+// backoff by ctx. Same error contract as Pool.InsertCtx.
+func (pr *Producer) InsertCtx(ctx context.Context, key uint64) error {
+	return pr.pr.InsertCtx(ctx, key)
+}
+
+// InsertCountCtx is InsertCtx for count occurrences (a zero count is a
+// no-op).
+func (pr *Producer) InsertCountCtx(ctx context.Context, key, count uint64) error {
+	return pr.pr.InsertCountCtx(ctx, key, count)
+}
+
+// Close retires the handle: later inserts refuse with ErrClosed, the
+// pool drains and reclaims its rings, and every previously accepted
+// insertion remains exactly counted. Idempotent; call it from the
+// handle's owning goroutine.
+func (pr *Producer) Close() { pr.pr.Close() }
 
 // Query estimates key's frequency. Goroutine-safe; see Pool's
 // consistency note.
@@ -321,25 +383,25 @@ func (p *Pool) Metrics() PoolMetrics {
 		LastCheckpointBytes:    cm.LastBytes,
 		LastCheckpointAt:       cm.LastAt,
 		LastCheckpointDuration: cm.LastDuration,
-		Inserts:      m.Inserts,
-		Queries:      m.Queries,
-		QueryKeys:    m.QueryKeys,
-		Backpressure: m.Backpressure,
-		Dropped:      m.Dropped,
-		Rejected:     m.Rejected,
-		QueueDepth:   m.QueueDepth,
-		WorkerPanics: m.WorkerPanics,
-		Quiesces:     m.Quiesces,
-		Batches:      m.Batches.Count(),
-		BatchMean:    m.Batches.MeanValue(),
-		BatchMax:     m.Batches.MaxValue(),
-		DepthMean:    m.Depths.MeanValue(),
-		DepthMax:     m.Depths.MaxValue(),
-		EnqueueP50:   m.Enqueue.Percentile(50),
-		EnqueueP99:   m.Enqueue.Percentile(99),
-		EnqueueMax:   m.Enqueue.Max(),
-		PauseMean:    m.Pauses.Mean(),
-		PauseMax:     m.Pauses.Max(),
+		Inserts:                m.Inserts,
+		Queries:                m.Queries,
+		QueryKeys:              m.QueryKeys,
+		Backpressure:           m.Backpressure,
+		Dropped:                m.Dropped,
+		Rejected:               m.Rejected,
+		QueueDepth:             m.QueueDepth,
+		WorkerPanics:           m.WorkerPanics,
+		Quiesces:               m.Quiesces,
+		Batches:                m.Batches.Count(),
+		BatchMean:              m.Batches.MeanValue(),
+		BatchMax:               m.Batches.MaxValue(),
+		DepthMean:              m.Depths.MeanValue(),
+		DepthMax:               m.Depths.MaxValue(),
+		EnqueueP50:             m.Enqueue.Percentile(50),
+		EnqueueP99:             m.Enqueue.Percentile(99),
+		EnqueueMax:             m.Enqueue.Max(),
+		PauseMean:              m.Pauses.Mean(),
+		PauseMax:               m.Pauses.Max(),
 	}
 }
 
