@@ -21,7 +21,7 @@ test:
 	$(GO) test -shuffle=on -timeout=5m ./...
 
 race:
-	$(GO) test -race -shuffle=on -timeout=5m ./internal/pool ./internal/delegation ./internal/spsc ./internal/filter ./internal/persist
+	$(GO) test -race -shuffle=on -timeout=5m ./internal/pool ./internal/delegation ./internal/spsc ./internal/filter ./internal/persist ./internal/sketch ./internal/metrics
 
 ## chaos: the fault-injection suites under -race — injected delays,
 ## lost wakeups, worker panics, overload shedding, and torn checkpoint
@@ -43,12 +43,16 @@ lint: vet dslint
 dslint:
 	$(GO) run ./cmd/dslint ./...
 
-## bench: the dsbench ingestion smoke — emit the perf trajectory
-## (results/BENCH_6.json) in the quick configuration and re-validate it
-## (valid JSON, complete structure, 1→8 shard insert scaling >= 3x).
+## bench: the dsbench perf smokes — emit each perf trajectory in the
+## quick configuration and re-validate it. Bench 6 is the insert-only
+## ingestion sweep (1→8 shard scaling >= 3x); bench 7 is the pause-free
+## read path (90/10 mixed workload retention, zero quiesce pauses on the
+## view arm, accuracy-vs-staleness bound).
 bench:
 	$(GO) run ./cmd/dsbench -bench 6 -quick
 	$(GO) run ./cmd/dsbench -check results/BENCH_6.json
+	$(GO) run ./cmd/dsbench -bench 7 -quick
+	$(GO) run ./cmd/dsbench -check results/BENCH_7.json
 
 ## microbench: the go-test micro-benchmarks (hot paths, ablations,
 ## mutex-lane vs SPSC-lane pool ingestion).

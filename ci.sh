@@ -18,9 +18,12 @@
 #             (internal/lint): mutexcopy, lockpair, atomicmix,
 #             goroutinelifecycle, recoverguard, sleepysync,
 #             errchecklite, closecheck, padcheck
-#   bench   — the dsbench ingestion smoke: emit the quick perf
-#             trajectory (results/BENCH_6.json) and re-validate it
-#             (valid JSON, 1→8 shard insert scaling >= 3x)
+#   bench   — the dsbench perf smokes: emit each quick perf trajectory
+#             and re-validate it. BENCH_6.json is the insert-only
+#             ingestion sweep (1→8 shard scaling >= 3x); BENCH_7.json is
+#             the pause-free read path (mixed-workload ingest retention,
+#             zero quiesce pauses on the view arm, and the
+#             truth−lag ≤ estimate ≤ truth+εN staleness bound)
 set -eu
 
 GO=${GO:-go}
@@ -34,8 +37,8 @@ $GO vet ./...
 echo "==> test"
 $GO test -shuffle=on -timeout=5m ./...
 
-echo "==> race stress (pool, delegation, spsc, filter, persist)"
-$GO test -race -count=1 -shuffle=on -timeout=5m ./internal/pool ./internal/delegation ./internal/spsc ./internal/filter ./internal/persist
+echo "==> race stress (pool, delegation, spsc, filter, persist, sketch, metrics)"
+$GO test -race -count=1 -shuffle=on -timeout=5m ./internal/pool ./internal/delegation ./internal/spsc ./internal/filter ./internal/persist ./internal/sketch ./internal/metrics
 
 echo "==> chaos (fault injection under -race)"
 $GO test -race -count=1 -timeout=5m -run '^TestChaos' ./internal/pool ./internal/delegation ./internal/persist
@@ -49,5 +52,9 @@ $GO run ./cmd/dslint ./...
 echo "==> bench smoke (ingestion perf trajectory)"
 $GO run ./cmd/dsbench -bench 6 -quick
 $GO run ./cmd/dsbench -check results/BENCH_6.json
+
+echo "==> bench smoke (pause-free read path: mixed workload + staleness bound)"
+$GO run ./cmd/dsbench -bench 7 -quick
+$GO run ./cmd/dsbench -check results/BENCH_7.json
 
 echo "CI gate passed."

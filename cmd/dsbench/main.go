@@ -9,10 +9,18 @@
 //	dsbench -experiment all -quick -format csv > results.csv
 //	dsbench -bench 6                    # emit results/BENCH_6.json
 //	dsbench -bench 6 -quick -out results/BENCH_6.json -cpuprofile drain.pprof
+//	dsbench -bench 7                    # 90/10 mixed workload + staleness sweep
 //	dsbench -check results/BENCH_6.json # validate an emitted trajectory
+//
+// Bench numbers map to issues: 6 is the insert-only ingestion trajectory,
+// 7 is the pause-free read path (mixed 90/10 workload plus the
+// accuracy-vs-staleness sweep; also writes results/STALENESS_7.txt).
+// -check sniffs the report's "bench" field and applies the matching
+// validator.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -97,10 +105,18 @@ func main() {
 	}
 }
 
-// runBench emits one ingestion perf trajectory (results/BENCH_<n>.json):
-// a simulated insert-only scaling sweep plus native pool enqueue
-// latencies, validated before it is written so CI never archives a
-// regressed or malformed report.
+// benchReport is what every bench family must produce: validated before
+// it is written so CI never archives a regressed or malformed report.
+type benchReport interface {
+	Validate() error
+	Tables() []*expt.Table
+}
+
+// runBench emits one perf trajectory (results/BENCH_<n>.json). Bench 6
+// is the simulated insert-only scaling sweep plus native pool enqueue
+// latencies; bench 7 is the 90/10 mixed workload over the pause-free
+// read path, which additionally renders its accuracy-vs-staleness sweep
+// to results/STALENESS_7.txt next to the JSON.
 func runBench(n int, out, cpuprof string, o expt.Options) {
 	if out == "" {
 		out = filepath.Join("results", fmt.Sprintf("BENCH_%d.json", n))
@@ -120,9 +136,22 @@ func runBench(n int, out, cpuprof string, o expt.Options) {
 			}
 		}()
 	}
-	r := expt.RunIngestBench(o)
-	r.Bench = n
-	r.Unix = time.Now().Unix()
+	var r benchReport
+	var summary string
+	switch n {
+	case 7:
+		m := expt.RunMixedBench(o)
+		m.Unix = time.Now().Unix()
+		r = m
+		summary = fmt.Sprintf("ingest retention %.3f over %d arms", m.IngestRetention, len(m.Arms))
+		defer writeStalenessTables(filepath.Join(filepath.Dir(out), fmt.Sprintf("STALENESS_%d.txt", n)), m)
+	default:
+		b := expt.RunIngestBench(o)
+		b.Bench = n
+		b.Unix = time.Now().Unix()
+		r = b
+		summary = fmt.Sprintf("scaling 1→8 = %.2f×", b.ScalingRatio1to8)
+	}
 	if err := r.Validate(); err != nil {
 		log.Fatalf("bench run failed validation: %v", err)
 	}
@@ -144,23 +173,53 @@ func runBench(n int, out, cpuprof string, o expt.Options) {
 	for _, tbl := range r.Tables() {
 		tbl.Render(os.Stdout)
 	}
-	fmt.Printf("wrote %s (scaling 1→8 = %.2f×)\n", out, r.ScalingRatio1to8)
+	fmt.Printf("wrote %s (%s)\n", out, summary)
 }
 
-// runCheck re-validates a previously emitted trajectory: valid JSON,
-// structurally complete, scaling gate still met.
-func runCheck(path string) {
-	f, err := os.Open(path)
+// writeStalenessTables renders the bench-7 accuracy-vs-staleness sweep
+// as the committed results table the experiment satellite calls for.
+func writeStalenessTables(path string, m *expt.MixedBenchReport) {
+	f, err := os.Create(path)
 	if err != nil {
 		log.Fatal(err)
 	}
-	r, rerr := expt.ReadBenchReport(f)
-	if cerr := f.Close(); cerr != nil {
-		log.Fatal(cerr)
+	for _, tbl := range expt.StalenessTables(m.Staleness) {
+		tbl.Render(f)
 	}
-	if rerr != nil {
-		log.Fatalf("%s: %v", path, rerr)
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
 	}
-	fmt.Printf("%s: ok (bench %d, %d scaling points, %d native points, scaling 1→8 = %.2f×)\n",
-		path, r.Bench, len(r.Scaling), len(r.Native), r.ScalingRatio1to8)
+	fmt.Printf("wrote %s\n", path)
+}
+
+// runCheck re-validates a previously emitted trajectory: valid JSON,
+// structurally complete, its family's gates still met. The bench number
+// in the report selects the validator.
+func runCheck(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var head struct {
+		Bench int `json:"bench"`
+	}
+	if err := json.Unmarshal(data, &head); err != nil {
+		log.Fatalf("%s: not valid JSON: %v", path, err)
+	}
+	switch head.Bench {
+	case 7:
+		r, err := expt.ReadMixedBenchReport(bytes.NewReader(data))
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		fmt.Printf("%s: ok (bench %d, %d arms, ingest retention %.3f, %d staleness points)\n",
+			path, r.Bench, len(r.Arms), r.IngestRetention, len(r.Staleness))
+	default:
+		r, err := expt.ReadBenchReport(bytes.NewReader(data))
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		fmt.Printf("%s: ok (bench %d, %d scaling points, %d native points, scaling 1→8 = %.2f×)\n",
+			path, r.Bench, len(r.Scaling), len(r.Native), r.ScalingRatio1to8)
+	}
 }

@@ -15,6 +15,14 @@
 //	GET  /stats
 //	GET  /healthz          (200 serving, 503 recovering or draining)
 //
+// Freshness: /query and /topk default to the exact delegated path. With
+// mode=stale they answer from the workers' published snapshot views
+// instead — no pause and no worker round-trip, at the cost of bounded
+// staleness, reported in the X-Staleness-Lag-Inserts, X-Staleness-Age
+// and X-Staleness-Views response headers (X-Staleness-Fresh: true means
+// no view was available and the exact path answered). The publication
+// cadence is tuned with -viewinterval; -noviews disables the tier.
+//
 // Overload and shutdown semantics: each request gets a deadline
 // (-reqtimeout); an insertion refused under overload (-policy shed) or
 // during shutdown answers 503, and a request that outlives its deadline
@@ -72,6 +80,8 @@ type config struct {
 	idleHelp     time.Duration
 	reqTimeout   time.Duration // per-request operation deadline (0 = none)
 	drainTimeout time.Duration // bound on the shutdown drain
+	viewInterval time.Duration // snapshot-view publication period (0 = library default)
+	noViews      bool          // disable the bounded-staleness tier
 
 	ckptDir      string        // checkpoint directory ("" disables durability)
 	ckptInterval time.Duration // background checkpoint period
@@ -100,6 +110,8 @@ func (c config) poolConfig() (dsketch.PoolConfig, error) {
 		QueueCapacity: c.queue,
 		Policy:        policy,
 		IdleHelp:      c.idleHelp,
+		ViewInterval:  c.viewInterval,
+		DisableViews:  c.noViews,
 	}
 	if c.ckptDir != "" {
 		pcfg.Checkpoint = dsketch.CheckpointConfig{
@@ -326,10 +338,38 @@ func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusAccepted)
 }
 
+// staleMode reports whether the request opted into the bounded-staleness
+// tier, rejecting unknown mode values.
+func staleMode(w http.ResponseWriter, r *http.Request) (stale, ok bool) {
+	switch r.URL.Query().Get("mode") {
+	case "":
+		return false, true
+	case "stale":
+		return true, true
+	default:
+		http.Error(w, "mode must be stale (or omitted for exact)", http.StatusBadRequest)
+		return false, false
+	}
+}
+
+// stalenessHeaders reports the watermark of a bounded-staleness answer.
+// Headers must be set before the first body write.
+func stalenessHeaders(w http.ResponseWriter, st dsketch.ViewStaleness) {
+	h := w.Header()
+	h.Set("X-Staleness-Fresh", strconv.FormatBool(st.Fresh))
+	h.Set("X-Staleness-Views", strconv.Itoa(st.Views))
+	h.Set("X-Staleness-Lag-Inserts", strconv.FormatUint(st.LagInserts, 10))
+	h.Set("X-Staleness-Age", st.Age.String())
+}
+
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	raws := r.URL.Query()["key"]
 	if len(raws) == 0 {
 		http.Error(w, "missing key parameter", http.StatusBadRequest)
+		return
+	}
+	stale, ok := staleMode(w, r)
+	if !ok {
 		return
 	}
 	keys := make([]uint64, len(raws))
@@ -341,13 +381,22 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		keys[i] = k
 	}
-	ctx, cancel := s.opCtx(r)
-	defer cancel()
-	// A multi-key query is answered by one worker in a single pass.
-	counts, err := s.pool.QueryBatchCtx(ctx, keys)
-	if err != nil {
-		failOp(w, err)
-		return
+	var counts []uint64
+	if stale {
+		// Published-view path: no worker round-trip, watermark in headers.
+		var st dsketch.ViewStaleness
+		counts, st = s.pool.QueryStaleBatch(keys)
+		stalenessHeaders(w, st)
+	} else {
+		ctx, cancel := s.opCtx(r)
+		defer cancel()
+		// A multi-key query is answered by one worker in a single pass.
+		var err error
+		counts, err = s.pool.QueryBatchCtx(ctx, keys)
+		if err != nil {
+			failOp(w, err)
+			return
+		}
 	}
 	if len(keys) == 1 {
 		writef(w, "%d\n", counts[0])
@@ -371,9 +420,26 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			k = v
 		}
 	}
-	// One quiescent pause: flush, snapshot the heavy hitters, resume.
-	snap := s.pool.Snapshot(k)
-	for i, e := range snap.HeavyHitters {
+	stale, ok := staleMode(w, r)
+	if !ok {
+		return
+	}
+	var hh []dsketch.HeavyHitter
+	if stale {
+		// Published-view path. A Fresh answer means no views exist yet;
+		// fall through to the quiescent snapshot rather than answer empty.
+		var st dsketch.ViewStaleness
+		if hh, st = s.pool.HeavyHittersStale(k); !st.Fresh {
+			stalenessHeaders(w, st)
+		} else {
+			stale = false
+		}
+	}
+	if !stale {
+		// One quiescent pause: flush, snapshot the heavy hitters, resume.
+		hh = s.pool.Snapshot(k).HeavyHitters
+	}
+	for i, e := range hh {
 		if !writef(w, "%2d. key=%d count=%d (±%d)\n", i+1, e.Key, e.Count, e.Err) {
 			return
 		}
@@ -402,6 +468,15 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	}
 	if !writef(w, "enqueue_p50=%v enqueue_p99=%v enqueue_max=%v pause_mean=%v pause_max=%v\n",
 		m.EnqueueP50, m.EnqueueP99, m.EnqueueMax, m.PauseMean, m.PauseMax) {
+		return
+	}
+	if !writef(w, "views_published=%d stale_queries=%d stale_fallbacks=%d view_age_p50=%v view_age_p99=%v view_age_max=%v\n",
+		m.ViewsPublished, m.StaleQueries, m.StaleFallbacks, m.ViewAgeP50, m.ViewAgeP99, m.ViewAgeMax) {
+		return
+	}
+	vs := s.pool.ViewStaleness()
+	if !writef(w, "view_shards=%d view_lag_inserts=%d view_age=%v\n",
+		vs.Views, vs.LagInserts, vs.Age) {
 		return
 	}
 	if !writef(w, "uptime_seconds=%.0f\n", time.Since(s.started).Seconds()) {
@@ -466,6 +541,10 @@ func main() {
 			"per-request pool operation deadline (0 disables)")
 		drainTimeout = flag.Duration("draintimeout", 10*time.Second,
 			"bound on the graceful shutdown drain")
+		viewInterval = flag.Duration("viewinterval", 100*time.Millisecond,
+			"snapshot-view publication period for mode=stale reads")
+		noViews = flag.Bool("noviews", false,
+			"disable snapshot views (mode=stale then answers via the exact path)")
 		ckptDir = flag.String("checkpoint-dir", "",
 			"directory for atomic sketch checkpoints (empty disables durability)")
 		ckptInterval = flag.Duration("checkpoint-interval", time.Minute,
@@ -486,6 +565,8 @@ func main() {
 		idleHelp:     *idle,
 		reqTimeout:   *reqTimeout,
 		drainTimeout: *drainTimeout,
+		viewInterval: *viewInterval,
+		noViews:      *noViews,
 		ckptDir:      *ckptDir,
 	}
 	if *ckptDir != "" {

@@ -169,3 +169,116 @@ func TestGracefulShutdownKeepsAcceptedInserts(t *testing.T) {
 		t.Fatalf("post-shutdown insert status = %d, want 503", rec.Code)
 	}
 }
+
+// TestStaleModeRoundTrip drives the mode=stale tier end to end: stale
+// queries converge on the inserted counts with watermark headers, an
+// unknown mode is rejected, /topk?mode=stale answers from views once
+// they carry entries, and /stats reports the view counters.
+func TestStaleModeRoundTrip(t *testing.T) {
+	cfg := testConfig()
+	cfg.topk = true
+	cfg.viewInterval = 5 * time.Millisecond
+	s, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.pool.Close()
+	mux := s.mux()
+	get := func(url string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+		return rec
+	}
+
+	// Enough distinct keys that the delegation filters drain (feeding
+	// the heavy-hitter trackers), plus a hot key for /topk to find.
+	for i := 0; i < 400; i++ {
+		url := fmt.Sprintf("/insert?key=%d", 5000+i)
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, url, nil))
+		if rec.Code != http.StatusAccepted {
+			t.Fatalf("insert status = %d, want 202", rec.Code)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/insert?key=9&count=2", nil))
+		if rec.Code != http.StatusAccepted {
+			t.Fatalf("insert status = %d, want 202", rec.Code)
+		}
+	}
+
+	if rec := get("/query?key=9&mode=exactly"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("unknown mode status = %d, want 400", rec.Code)
+	}
+
+	// Stale reads converge on the full count once views republish.
+	testutil.WaitUntil(t, 10*time.Second, func() bool {
+		rec := get("/query?key=9&mode=stale")
+		return rec.Code == http.StatusOK &&
+			strings.TrimSpace(rec.Body.String()) == "100" &&
+			rec.Header().Get("X-Staleness-Fresh") == "false"
+	})
+	rec := get("/query?key=9&key=5000&mode=stale")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stale batch query status = %d", rec.Code)
+	}
+	for _, h := range []string{"X-Staleness-Fresh", "X-Staleness-Views", "X-Staleness-Lag-Inserts", "X-Staleness-Age"} {
+		if rec.Header().Get(h) == "" {
+			t.Fatalf("stale query missing %s header", h)
+		}
+	}
+	if lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n"); len(lines) != 2 {
+		t.Fatalf("stale batch body = %q, want 2 lines", rec.Body.String())
+	}
+
+	testutil.WaitUntil(t, 10*time.Second, func() bool {
+		rec := get("/topk?k=3&mode=stale")
+		return rec.Code == http.StatusOK &&
+			strings.Contains(rec.Body.String(), "key=9") &&
+			rec.Header().Get("X-Staleness-Fresh") == "false"
+	})
+
+	rec = get("/stats")
+	for _, frag := range []string{"views_published=", "stale_queries=", "stale_fallbacks=", "view_age_p50=", "view_shards=", "view_lag_inserts="} {
+		if !strings.Contains(rec.Body.String(), frag) {
+			t.Fatalf("/stats missing %q:\n%s", frag, rec.Body.String())
+		}
+	}
+}
+
+// TestStaleModeWithViewsDisabled checks -noviews degrades to the exact
+// path: correct counts, Fresh watermark, and /topk falls back to the
+// quiescent snapshot (no staleness headers).
+func TestStaleModeWithViewsDisabled(t *testing.T) {
+	cfg := testConfig()
+	cfg.topk = true
+	cfg.noViews = true
+	s, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.pool.Close()
+	mux := s.mux()
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/insert?key=4&count=6", nil))
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("insert status = %d, want 202", rec.Code)
+	}
+	testutil.WaitUntil(t, 10*time.Second, func() bool {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/query?key=4&mode=stale", nil))
+		return rec.Code == http.StatusOK && strings.TrimSpace(rec.Body.String()) == "6"
+	})
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/query?key=4&mode=stale", nil))
+	if got := rec.Header().Get("X-Staleness-Fresh"); got != "true" {
+		t.Fatalf("X-Staleness-Fresh = %q, want true (exact fallback)", got)
+	}
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/topk?mode=stale", nil))
+	if rec.Code != http.StatusOK || rec.Header().Get("X-Staleness-Fresh") != "" {
+		t.Fatalf("topk fallback = %d (fresh header %q), want quiescent snapshot without staleness headers",
+			rec.Code, rec.Header().Get("X-Staleness-Fresh"))
+	}
+}

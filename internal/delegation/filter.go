@@ -3,6 +3,7 @@ package delegation
 import (
 	"sync/atomic"
 
+	"dsketch/internal/sketch"
 	"dsketch/internal/spsc"
 )
 
@@ -23,6 +24,14 @@ type dfilter struct {
 	counts []uint64
 	size   atomic.Uint32
 	node   *spsc.Node // allocated once; the hot path never allocates
+	// recorded is the cumulative count ever inserted through this
+	// filter (never decremented by drains). Bumped producer-side after
+	// the slot publish, summed by DS.Recorded to derive the staleness
+	// watermark of published views: loading it before a capture's
+	// filter fold guarantees every occurrence it counts is visible to
+	// that fold (see DS.CaptureView). Per-(owner, producer) like the
+	// filter itself, so the insert hot path never contends on it.
+	recorded atomic.Uint64
 }
 
 func newDFilter(capacity int) *dfilter {
@@ -42,12 +51,14 @@ func (f *dfilter) insert(key, count uint64) (nowFull bool) {
 	for k := 0; k < n; k++ {
 		if f.keys[k] == key {
 			atomic.AddUint64(&f.counts[k], count)
+			f.recorded.Add(count)
 			return false
 		}
 	}
 	f.keys[n] = key
 	atomic.StoreUint64(&f.counts[n], count)
 	f.size.Store(uint32(n + 1)) // publish the new slot
+	f.recorded.Add(count)
 	return n+1 == len(f.keys)
 }
 
@@ -93,6 +104,23 @@ func (f *dfilter) drainInto(sink func(key, count uint64)) {
 		atomic.StoreUint64(&f.counts[k], 0)
 	}
 	f.size.Store(0) // hand the filter back to the producer
+}
+
+// foldInto adds every published, not-yet-retired (key, count) pair
+// into a capture-time view. Owner-side, concurrent with producer
+// inserts: it uses exactly lookup's published-slot discipline (atomic
+// size load bounds the scan, atomic count loads), so it may miss an
+// in-flight insertion but never reads an unpublished slot or a torn
+// count. Entries already retired by a (possibly interrupted) drain
+// read as zero and are skipped — their counts live in the owner's
+// sketch, which the view cloned, so nothing is double counted.
+func (f *dfilter) foldInto(v *sketch.View) {
+	n := int(f.size.Load())
+	for k := 0; k < n; k++ {
+		if c := atomic.LoadUint64(&f.counts[k]); c != 0 {
+			v.Add(f.keys[k], c)
+		}
+	}
 }
 
 // memoryBytes is the footprint of the two slot arrays.

@@ -1,8 +1,6 @@
 package delegation
 
 import (
-	"sort"
-
 	"dsketch/internal/topk"
 )
 
@@ -55,12 +53,7 @@ func (d *DS) HeavyHitters(k int) []topk.Entry {
 			all = append(all, e)
 		}
 	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].Count != all[j].Count {
-			return all[i].Count > all[j].Count
-		}
-		return all[i].Key < all[j].Key
-	})
+	topk.SortEntries(all)
 	if k < len(all) {
 		all = all[:k]
 	}

@@ -1,0 +1,123 @@
+package delegation
+
+import (
+	"dsketch/internal/sketch"
+	"dsketch/internal/topk"
+)
+
+// Published snapshot views (ROADMAP item 2, after Rinberg et al.'s
+// snapshot idea in *Fast Concurrent Data Sketches*).
+//
+// A View is an immutable copy of everything one owner can see — its
+// sketch, the undrained delegation-filter entries reserved at it, and
+// its heavy-hitter tracker — captured on the owner's own goroutine so
+// no barrier and no lock is ever needed. The pool publishes each
+// capture behind an atomic.Pointer swap and readers answer from the
+// latest published view with a *bounded staleness* guarantee instead
+// of the exact delegated protocol:
+//
+//	true_count(key) − lag_i  ≤  view.Estimate(key)  ≤  true_count(key) + ε·N
+//
+// where i = Owner(key), lag_i = Recorded(i) − view.Contained() is the
+// staleness watermark (occurrences recorded at owner i after the view
+// stopped seeing them), and ε·N is the backend's usual Count-Min
+// overestimate. The watermark is conservative by construction:
+// Contained is loaded from the per-filter recorded counters *before*
+// the capture folds the filters, so every occurrence it counts is
+// provably inside the view (the producer's slot publish precedes its
+// recorded bump, both sequentially consistent), and anything missing
+// from the view is therefore recorded after Contained — at most
+// Recorded(i) − Contained occurrences.
+
+// View is one owner's immutable published snapshot. All methods are
+// safe for any number of concurrent readers with no synchronization;
+// the view shares no mutable state with the live sketch.
+type View struct {
+	est       *sketch.View
+	hh        []topk.Entry // captured tracker state; nil if tracking is off
+	contained uint64       // recorded-counter floor proven inside est
+}
+
+// CaptureView snapshots owner tid's visible state into an immutable
+// View. It must run on the goroutine driving thread tid (the same
+// exclusivity every owner-side operation needs): the owner sketch is
+// cloned, then every delegation filter reserved at this owner is
+// folded in with the published-slot read discipline, concurrent with
+// producer inserts but never with a drain. No other thread is stalled
+// for any part of the capture.
+func (d *DS) CaptureView(tid int) *View {
+	o := d.owners[tid]
+	// Load the watermark floor before touching sketch or filters: every
+	// occurrence counted here is already filter-published (or drained
+	// into the sketch), so the capture below is guaranteed to contain it.
+	contained := d.Recorded(tid)
+	v := &View{
+		est:       sketch.CaptureView(o.sk),
+		contained: contained,
+	}
+	for _, f := range o.filters {
+		f.foldInto(v.est)
+	}
+	if o.hh != nil {
+		// Space-Saving state only changes on the owner's drain path, which
+		// cannot run concurrently with this capture; Top copies entries.
+		v.hh = o.hh.Top(trackerCapacity)
+	}
+	return v
+}
+
+// Recorded returns the cumulative count of occurrences of keys owned
+// by thread i that producers have recorded (filter-published) since
+// this DS was created. It is monotone, safe to call from any
+// goroutine, and together with View.Contained yields the staleness
+// watermark: Recorded(i) − view.Contained() bounds the occurrences a
+// published view of owner i can be missing. Counts restored from a
+// checkpoint are not included — the watermark measures lag within the
+// current process lifetime, matching the views themselves.
+func (d *DS) Recorded(i int) uint64 {
+	var sum uint64
+	for _, f := range d.owners[i].filters {
+		sum += f.recorded.Load()
+	}
+	return sum
+}
+
+// Estimate answers a point query against the captured state: the
+// cloned sketch plus the folded filter entries. Concurrent-reader
+// safe; never under-estimates the count the view contains.
+func (v *View) Estimate(key uint64) uint64 { return v.est.Estimate(key) }
+
+// Contained returns the recorded-counter floor the capture proved to
+// be inside this view (see Recorded).
+func (v *View) Contained() uint64 { return v.contained }
+
+// Total returns the total count the captured sketch held (the N of the
+// ε·N overestimate bound).
+func (v *View) Total() uint64 { return v.est.Total() }
+
+// HeavyHitters returns the view's top-k keys, refined the same way the
+// quiescent DS.HeavyHitters path refines them: each Space-Saving count
+// (an upper bound) is tightened with the view's own sketch estimate.
+// The returned slice is freshly allocated per call — views are shared
+// by concurrent readers, so callers get their own copy to sort and
+// truncate. Returns nil when heavy-hitter tracking is disabled.
+func (v *View) HeavyHitters(k int) []topk.Entry {
+	if v.hh == nil {
+		return nil
+	}
+	all := make([]topk.Entry, 0, len(v.hh))
+	for _, e := range v.hh {
+		if est := v.est.Estimate(e.Key); est < e.Count {
+			e.Count = est
+		}
+		all = append(all, e)
+	}
+	topk.SortEntries(all)
+	if k < len(all) {
+		all = all[:k]
+	}
+	return all
+}
+
+// MemoryBytes returns the captured counter footprint of the view.
+func (v *View) MemoryBytes() int { return v.est.MemoryBytes() }

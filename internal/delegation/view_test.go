@@ -1,0 +1,191 @@
+package delegation
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"dsketch/internal/zipf"
+)
+
+// A single-goroutine capture must contain every insertion recorded
+// before it: filter-resident entries are folded in, drained entries
+// come with the sketch clone. For the Count-Min-family backends the
+// view never under-estimates, and Contained equals everything
+// recorded.
+func TestCaptureViewContainsRecordedInsertions(t *testing.T) {
+	for _, backend := range []Backend{BackendCountMin, BackendConservative, BackendAugmented} {
+		t.Run(backend.String(), func(t *testing.T) {
+			d := New(Config{Threads: 3, Depth: 4, Width: 1 << 11, Seed: 9, Backend: backend})
+			truth := map[uint64]uint64{}
+			var total uint64
+			for i := 0; i < 4000; i++ {
+				k, c := uint64(i%151), uint64(1+i%4)
+				d.InsertCountSequential(0, k, c)
+				truth[k] += c
+				total += c
+			}
+			var recorded, contained uint64
+			for i := 0; i < d.Threads(); i++ {
+				recorded += d.Recorded(i)
+				v := d.CaptureView(i)
+				contained += v.Contained()
+				for k, want := range truth {
+					if d.Owner(k) != i {
+						continue
+					}
+					if got := v.Estimate(k); got < want {
+						t.Fatalf("owner %d key %d: view %d < true %d", i, k, got, want)
+					}
+				}
+			}
+			if recorded != total {
+				t.Fatalf("sum of Recorded = %d, want %d", recorded, total)
+			}
+			if contained != total {
+				t.Fatalf("sum of Contained = %d, want %d (quiescent capture must contain everything)", contained, total)
+			}
+		})
+	}
+}
+
+func TestRecordedSplitsByOwner(t *testing.T) {
+	d := New(Config{Threads: 4, Depth: 4, Width: 256, Seed: 2, Backend: BackendCountMin})
+	want := make([]uint64, 4)
+	for i := 0; i < 1000; i++ {
+		k, c := uint64(i), uint64(1+i%3)
+		d.InsertCountSequential(0, k, c)
+		want[d.Owner(k)] += c
+	}
+	for i := range want {
+		if got := d.Recorded(i); got != want[i] {
+			t.Fatalf("Recorded(%d) = %d, want %d", i, got, want[i])
+		}
+	}
+}
+
+// Owner 0 captures views while every thread (including remote
+// producers filling owner 0's filters) inserts concurrently. Under
+// -race this exercises foldInto against live producer inserts; the
+// assertions are the watermark's core promises: Contained is monotone
+// and a capture always contains the capturing thread's own completed
+// insertions.
+func TestCaptureViewConcurrentWithProducers(t *testing.T) {
+	const threads = 4
+	const perThread = 15000
+	d := New(Config{Threads: threads, Depth: 4, Width: 1 << 10, Seed: 13, Backend: BackendCountMin})
+	// probe is owned by thread 0, chosen so thread 0's own inserts of it
+	// must be visible in thread 0's own captures.
+	probe := uint64(0)
+	for d.Owner(probe) != 0 {
+		probe++
+	}
+	var mu sync.Mutex
+	var captures []*View
+	runWorkers(d, func(tid int) {
+		g := zipf.New(zipf.Config{Universe: 4000, Skew: 1.1, Seed: uint64(tid + 21)})
+		var own uint64
+		for i := 0; i < perThread; i++ {
+			if tid == 0 && i%64 == 0 {
+				d.Insert(0, probe)
+				own++
+			} else {
+				d.Insert(tid, g.Next())
+			}
+			if tid == 0 && i%2000 == 0 {
+				v := d.CaptureView(0)
+				if got := v.Estimate(probe); got < own {
+					t.Errorf("capture after %d own probe inserts estimates %d", own, got)
+				}
+				mu.Lock()
+				captures = append(captures, v)
+				mu.Unlock()
+			}
+		}
+	})
+	var prev uint64
+	for i, v := range captures {
+		if v.Contained() < prev {
+			t.Fatalf("capture %d: Contained went backwards (%d after %d)", i, v.Contained(), prev)
+		}
+		prev = v.Contained()
+	}
+	// Quiescent now: a fresh capture has zero lag and full content.
+	d.Flush()
+	for i := 0; i < threads; i++ {
+		v := d.CaptureView(i)
+		if lag := d.Recorded(i) - v.Contained(); lag != 0 {
+			t.Fatalf("owner %d: quiescent capture lag = %d, want 0", i, lag)
+		}
+	}
+}
+
+// Old views must stay readable and frozen while new captures and live
+// inserts continue (no reuse-after-publish).
+func TestCapturedViewIsImmutable(t *testing.T) {
+	d := New(Config{Threads: 2, Depth: 4, Width: 1 << 10, Seed: 4, Backend: BackendCountMin})
+	for i := 0; i < 500; i++ {
+		d.InsertCountSequential(0, uint64(i%37), 1)
+	}
+	v := d.CaptureView(0)
+	before := make([]uint64, 64)
+	for k := range before {
+		before[k] = v.Estimate(uint64(k))
+	}
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for k := uint64(0); !stop.Load(); k++ {
+			if got := v.Estimate(k % 64); got != before[k%64] {
+				t.Errorf("retained view moved for key %d", k%64)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 5000; i++ {
+		d.InsertCountSequential(0, uint64(i%37), 3)
+		if i%500 == 0 {
+			_ = d.CaptureView(0) // newer captures must not disturb v
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	for k := range before {
+		if got := v.Estimate(uint64(k)); got != before[k] {
+			t.Fatalf("key %d: retained view moved from %d to %d", k, before[k], got)
+		}
+	}
+}
+
+func TestViewHeavyHitters(t *testing.T) {
+	d := New(Config{Threads: 2, Depth: 4, Width: 1 << 11, Seed: 6, FilterSize: 4, Backend: BackendCountMin})
+	d.EnableHeavyHitters()
+	const heavy = uint64(99)
+	var heavyCount uint64
+	for i := 0; i < 3000; i++ {
+		d.InsertSequential(0, uint64(1000+i%400)) // spread keys force drains
+		if i%3 == 0 {
+			d.InsertSequential(0, heavy)
+			heavyCount++
+		}
+	}
+	d.Flush()
+	v := d.CaptureView(d.Owner(heavy))
+	top := v.HeavyHitters(5)
+	if len(top) == 0 {
+		t.Fatal("no heavy hitters in view")
+	}
+	if top[0].Key != heavy {
+		t.Fatalf("top view key = %d, want %d", top[0].Key, heavy)
+	}
+	if top[0].Count < heavyCount {
+		t.Fatalf("view heavy count %d < true %d after flush", top[0].Count, heavyCount)
+	}
+	// Disabled tracking ⇒ nil, not a panic.
+	d2 := New(Config{Threads: 1, Depth: 2, Width: 64, Seed: 1, Backend: BackendCountMin})
+	if got := d2.CaptureView(0).HeavyHitters(3); got != nil {
+		t.Fatalf("expected nil heavy hitters, got %v", got)
+	}
+}

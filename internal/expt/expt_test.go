@@ -10,7 +10,7 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"appendix", "fig10", "fig2", "fig3", "fig4", "fig5",
-		"fig6", "fig7", "fig8", "fig9", "ingest", "table1"}
+		"fig6", "fig7", "fig8", "fig9", "ingest", "staleness", "table1"}
 	got := All()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))

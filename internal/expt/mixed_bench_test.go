@@ -1,0 +1,46 @@
+package expt
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestMixedBenchQuick is the CI form of the bench-7 contract: the
+// view-read arm must take zero quiesce pauses, answer from views, and
+// retain >= 90% of write-only ingest throughput; the embedded staleness
+// sweep must stay within the documented bound.
+func TestMixedBenchQuick(t *testing.T) {
+	r := RunMixedBench(Options{Quick: true, Seed: 7})
+	if err := r.Validate(); err != nil {
+		t.Fatalf("validate: %v\narms: %+v retention=%.3f", err, r.Arms, r.IngestRetention)
+	}
+	// Round-trip through the persisted form dsbench emits.
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(r); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMixedBenchReport(&buf)
+	if err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if back.IngestRetention != r.IngestRetention || len(back.Arms) != len(r.Arms) {
+		t.Fatalf("round-trip mismatch: %+v vs %+v", back, r)
+	}
+	if tables := r.Tables(); len(tables) < 2 {
+		t.Fatalf("Tables() = %d tables, want mixed + staleness", len(tables))
+	}
+}
+
+// TestMixedBenchReportRejectsBadReports covers the -check error paths.
+func TestMixedBenchReportRejectsBadReports(t *testing.T) {
+	if _, err := ReadMixedBenchReport(bytes.NewBufferString("{")); err == nil {
+		t.Fatal("truncated JSON accepted")
+	}
+	if _, err := ReadMixedBenchReport(bytes.NewBufferString(`{"bench": 6}`)); err == nil {
+		t.Fatal("wrong bench number accepted")
+	}
+	if _, err := ReadMixedBenchReport(bytes.NewBufferString(`{"bench": 7, "unknown_field": 1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}

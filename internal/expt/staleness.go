@@ -1,0 +1,175 @@
+package expt
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"dsketch/internal/delegation"
+	"dsketch/internal/pool"
+	"dsketch/internal/sketch"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "staleness",
+		Title: "Accuracy vs staleness: bounded-staleness view reads against exact truth across ViewInterval settings",
+		Run: func(o Options) []*Table {
+			return StalenessTables(RunStaleness(o))
+		},
+	})
+}
+
+// StalenessPoint is one accuracy-vs-staleness measurement: a Zipfian
+// stream ingested through the native pool with a given count-trigger
+// publication cadence, then probed through QueryStale against exact
+// per-key truth. The documented bound per probe is
+//
+//	truth − LagInserts  ≤  stale estimate  ≤  truth + ε·N
+//
+// where LagInserts is the probe's reported watermark and ε·N the
+// backend's Count-Min overestimate for the whole stream. WithinBound
+// reports whether every probe satisfied both sides.
+type StalenessPoint struct {
+	ViewEvery     int     `json:"view_every"`
+	Inserts       int     `json:"inserts"`
+	Probes        int     `json:"probes"`
+	MaxLagInserts uint64  `json:"max_lag_inserts"`
+	MaxUnder      uint64  `json:"max_under"` // worst truth − estimate over the probes
+	MaxOver       uint64  `json:"max_over"`  // worst estimate − truth over the probes
+	EpsN          float64 `json:"eps_n"`     // the ε·N overestimate bound
+	WithinBound   bool    `json:"within_bound"`
+}
+
+const stalenessWidth = 1 << 12
+
+// RunStaleness sweeps the count-based publication cadence: smaller
+// ViewEvery means fresher views (smaller watermark) at more clone work.
+// The time trigger is parked at an hour so the cadence under test is
+// the only publisher after startup.
+func RunStaleness(o Options) []StalenessPoint {
+	o = o.withDefaults()
+	ops := o.ops(200_000, 8_000)
+	sweep := []int{256, 4096, 65_536}
+	if o.Quick {
+		sweep = []int{64, 512}
+	}
+	var out []StalenessPoint
+	for _, ve := range sweep {
+		out = append(out, stalenessPoint(o, ve, ops))
+	}
+	return out
+}
+
+// stalenessPoint ingests one Zipfian stream and probes the published
+// views. Truth is tracked exactly alongside the generator, so the
+// comparison needs no second sketch.
+func stalenessPoint(o Options, viewEvery, ops int) StalenessPoint {
+	ds := delegation.New(delegation.Config{
+		Threads: 2, Depth: 4, Width: stalenessWidth, Seed: o.Seed,
+		Backend: delegation.BackendCountMin,
+	})
+	p := pool.New(ds, pool.Options{
+		IdleHelp:     50 * time.Microsecond,
+		ViewInterval: time.Hour,
+		ViewEvery:    viewEvery,
+	})
+	defer p.Close()
+	next := sharedZipf(100_000, 1.2, o.Seed)(0)
+	truth := make(map[uint64]uint64, 1<<14)
+	pr := p.Producer()
+	for i := 0; i < ops; i++ {
+		k := next()
+		truth[k]++
+		pr.Insert(k)
+	}
+	pr.Close()
+	// Quiesce (without flushing the filters) so every insertion is
+	// recorded: the watermark is then complete and stable while the
+	// views keep whatever lag the cadence left them with.
+	p.Quiesce(func() {})
+
+	keys := make([]uint64, 0, len(truth))
+	for k := range truth {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return truth[keys[i]] > truth[keys[j]] })
+	probes := len(keys)
+	if probes > 256 {
+		probes = 256
+	}
+	pt := StalenessPoint{
+		ViewEvery:   viewEvery,
+		Inserts:     ops,
+		EpsN:        sketch.OverestimateBound(stalenessWidth, uint64(ops)),
+		WithinBound: true,
+	}
+	for _, k := range keys[:probes] {
+		est, st := p.QueryStale(k)
+		if st.Fresh {
+			// Never-published shard: the fallback is exact, trivially in
+			// bound, but it means the cadence under test did not publish —
+			// count it as out of bound so the sweep cannot silently pass
+			// by falling back everywhere.
+			pt.WithinBound = false
+			continue
+		}
+		pt.Probes++
+		if st.LagInserts > pt.MaxLagInserts {
+			pt.MaxLagInserts = st.LagInserts
+		}
+		t := truth[k]
+		if est < t {
+			under := t - est
+			if under > pt.MaxUnder {
+				pt.MaxUnder = under
+			}
+			if under > st.LagInserts {
+				pt.WithinBound = false
+			}
+		} else {
+			over := est - t
+			if over > pt.MaxOver {
+				pt.MaxOver = over
+			}
+			if float64(over) > pt.EpsN {
+				pt.WithinBound = false
+			}
+		}
+	}
+	if pt.Probes == 0 {
+		pt.WithinBound = false
+	}
+	return pt
+}
+
+// ValidateStaleness is the CI contract over a sweep: every point must
+// have probed published views and stayed within the documented bound.
+func ValidateStaleness(points []StalenessPoint) error {
+	if len(points) == 0 {
+		return fmt.Errorf("expt: staleness sweep is empty")
+	}
+	for _, pt := range points {
+		if pt.Probes == 0 {
+			return fmt.Errorf("expt: staleness point ViewEvery=%d probed no published views", pt.ViewEvery)
+		}
+		if !pt.WithinBound {
+			return fmt.Errorf("expt: staleness point ViewEvery=%d violated truth−lag ≤ estimate ≤ truth+εN (max_under=%d max_lag=%d max_over=%d eps_n=%.1f)",
+				pt.ViewEvery, pt.MaxUnder, pt.MaxLagInserts, pt.MaxOver, pt.EpsN)
+		}
+	}
+	return nil
+}
+
+// StalenessTables renders the sweep.
+func StalenessTables(points []StalenessPoint) []*Table {
+	tb := NewTable(
+		"Bounded-staleness accuracy: QueryStale vs exact truth (native, Zipf 1.2; bound: truth−lag ≤ est ≤ truth+εN)",
+		"view_every", "inserts", "probes", "max_lag", "max_under", "max_over", "εN", "within_bound")
+	for _, pt := range points {
+		tb.Add(fmt.Sprint(pt.ViewEvery), fmt.Sprint(pt.Inserts), fmt.Sprint(pt.Probes),
+			fmt.Sprint(pt.MaxLagInserts), fmt.Sprint(pt.MaxUnder), fmt.Sprint(pt.MaxOver),
+			F(pt.EpsN), fmt.Sprint(pt.WithinBound))
+	}
+	return []*Table{tb}
+}

@@ -1,0 +1,23 @@
+package expt
+
+import "testing"
+
+// TestStalenessBoundQuick is the CI form of the accuracy-vs-staleness
+// assertion: every probe of every sweep point must satisfy
+// truth − lag ≤ estimate ≤ truth + εN.
+func TestStalenessBoundQuick(t *testing.T) {
+	points := RunStaleness(Options{Quick: true, Seed: 7})
+	if err := ValidateStaleness(points); err != nil {
+		t.Fatal(err)
+	}
+	// The sweep must exercise genuinely different cadences: the coarser
+	// cadence can only lag at least as much as the finer one allows.
+	if len(points) < 2 {
+		t.Fatalf("sweep has %d points, want >= 2 cadences", len(points))
+	}
+	for _, pt := range points {
+		if uint64(pt.ViewEvery) < pt.MaxLagInserts/4 {
+			t.Logf("note: ViewEvery=%d saw max lag %d (drain batching can exceed the trigger)", pt.ViewEvery, pt.MaxLagInserts)
+		}
+	}
+}

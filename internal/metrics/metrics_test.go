@@ -241,3 +241,37 @@ func TestHistogramValueObservations(t *testing.T) {
 		t.Fatalf("Record(10ns) recorded %d", d.MaxValue())
 	}
 }
+
+// AtomicHistogram serves the pool's view-age and enqueue-latency paths:
+// many writers, concurrent snapshotters, no lock. Under -race this also
+// proves the lock-freedom claim is not hiding a plain field.
+func TestAtomicHistogramConcurrent(t *testing.T) {
+	var ah AtomicHistogram
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			for i := 0; i < 1000; i++ {
+				ah.RecordValue(uint64(g*1000 + i))
+			}
+			done <- struct{}{}
+		}(g)
+	}
+	// Snapshot concurrently with the writers: skew is allowed, torn
+	// state is not (counts must never exceed the final totals).
+	for s := 0; s < 50; s++ {
+		snap := ah.Snapshot()
+		if snap.Count() > 4000 {
+			t.Fatalf("mid-write snapshot Count = %d > 4000 writes", snap.Count())
+		}
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	snap := ah.Snapshot()
+	if got := snap.Count(); got != 4000 {
+		t.Fatalf("Count = %d, want 4000", got)
+	}
+	if got := snap.MaxValue(); got != 3999 {
+		t.Fatalf("MaxValue = %d, want 3999", got)
+	}
+}

@@ -100,6 +100,10 @@ type Hooks struct {
 	// notification — a lost-wakeup fault. Liveness then rests on the
 	// IdleHelp tick, which is exactly what the chaos suite verifies.
 	WakeDrop func() bool
+	// BeforeViewSwap runs worker-side between capturing a snapshot view
+	// and publishing it (the atomic pointer swap). A panic here models a
+	// worker dying mid-publish: the previous view must stay intact.
+	BeforeViewSwap func()
 }
 
 // Options tunes the front-end (the sketch itself is configured on the
@@ -129,6 +133,23 @@ type Options struct {
 	// positive duration makes idle workers block and help only every
 	// IdleHelp, trading tail latency for CPU (use ~100µs for daemons).
 	IdleHelp time.Duration
+	// ViewInterval is the target republish period for each shard's
+	// published snapshot view (default 100ms): a worker that went that
+	// long without publishing captures and swaps in a fresh view on its
+	// next loop pass, so bounded-staleness reads never fall further
+	// behind than roughly ViewInterval plus one work pass. See view.go.
+	ViewInterval time.Duration
+	// ViewEvery additionally republishes a shard's view after that many
+	// buffered entries have been fed to its sketch since the last
+	// publish (0 disables the count trigger, leaving time-based
+	// publication only). It bounds the staleness watermark in inserts
+	// rather than wall time, which is what the accuracy experiments
+	// sweep.
+	ViewEvery int
+	// DisableViews turns snapshot-view publication off entirely;
+	// bounded-staleness reads then fall back to the exact delegated
+	// path.
+	DisableViews bool
 	// Checkpoint configures crash-safe durability (see CheckpointOptions
 	// in checkpoint.go). The zero value disables it.
 	Checkpoint CheckpointOptions
@@ -145,6 +166,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RingCapacity <= 0 {
 		o.RingCapacity = 1024
+	}
+	if o.ViewInterval <= 0 {
+		o.ViewInterval = 100 * time.Millisecond
 	}
 	return o
 }
@@ -216,9 +240,24 @@ type shard struct {
 	rings atomic.Pointer[[]*lane]
 	_     [spsc.CacheLine - 8]byte
 
+	// view is the shard's published snapshot (view.go): swapped whole
+	// by the worker every ViewInterval/ViewEvery, loaded lock-free by
+	// bounded-staleness readers. On its own line so reader loads never
+	// contend with the worker's or the producers' hot fields.
+	view atomic.Pointer[viewRecord]
+	_    [spsc.CacheLine - 8]byte
+
 	wake    chan struct{} // capacity 1: work arrived while sleeping
 	queries chan *queryReq
 	pauses  chan pauseReq
+
+	// View-publication cadence state, owned by the shard's worker (a
+	// replacement worker inherits it through the go-statement
+	// happens-before edge, like the shard itself).
+	viewFed  int       // entries fed to the sketch since the last publish
+	viewTick int       // loop passes since the last clock check
+	viewDue  time.Time // next time-triggered publish
+	viewSeq  uint64    // publish sequence, strictly increasing per shard
 
 	enqueue metrics.AtomicHistogram // sampled enqueue latency, both lanes
 	batches metrics.SharedHistogram // chunk sizes fed to the sketch
@@ -287,6 +326,12 @@ type Pool struct {
 	quiesces     atomic.Uint64
 	pauseHist    metrics.SharedHistogram // quiesce pause durations
 
+	started        time.Time               // for the age of a never-published shard
+	viewsPublished atomic.Uint64           // snapshot views swapped in
+	staleQueries   atomic.Uint64           // reads served from published views
+	staleFallbacks atomic.Uint64           // stale reads that fell back to the exact path
+	viewAge        metrics.AtomicHistogram // age of the view behind each stale read
+
 	ckptWG      sync.WaitGroup // the background checkpointer goroutine
 	ckptWriteMu sync.Mutex     // serializes checkpoint dir writes
 	ckptOff     atomic.Bool    // publishing disabled (failed restore)
@@ -304,6 +349,7 @@ func New(ds *delegation.DS, opt Options) *Pool {
 		shards:     make([]*shard, t),
 		done:       make(chan struct{}),
 		closedDone: make(chan struct{}),
+		started:    time.Now(),
 	}
 	for i := range p.shards {
 		p.shards[i] = &shard{
@@ -784,6 +830,7 @@ func (p *Pool) worker(tid int) {
 			p.drain(tid, sh)
 			worked = true
 		}
+		p.maybeView(tid, sh, false)
 		if worked {
 			continue
 		}
@@ -821,6 +868,9 @@ func (p *Pool) worker(tid int) {
 			p.sweep(tid, sh, scratch)
 			p.drain(tid, sh)
 			p.ds.Help(tid)
+			// Idle passes are IdleHelp apart, so don't wait out the
+			// clock-check interval before honoring ViewInterval.
+			p.maybeView(tid, sh, true)
 		}
 	}
 }
@@ -953,6 +1003,7 @@ func (p *Pool) feed(tid int, sh *shard, batch []entry) {
 			panic(r)
 		}
 	}()
+	sh.viewFed += len(batch)
 	n := len(batch)
 	for off := 0; off < n; off += p.opt.BatchSize {
 		end := off + p.opt.BatchSize
@@ -1050,10 +1101,21 @@ type Metrics struct {
 	// either restarted the shard's worker or was contained in place.
 	WorkerPanics uint64
 	Quiesces     uint64
-	Enqueue      metrics.Histogram
-	Batches      metrics.Histogram
-	Depths       metrics.Histogram
-	Pauses       metrics.Histogram
+	// ViewsPublished counts snapshot views swapped in across all
+	// shards; StaleQueries counts bounded-staleness reads served from
+	// published views, StaleFallbacks the ones that fell back to the
+	// exact delegated path (no view published yet, or views disabled).
+	ViewsPublished uint64
+	StaleQueries   uint64
+	StaleFallbacks uint64
+	Enqueue        metrics.Histogram
+	Batches        metrics.Histogram
+	Depths         metrics.Histogram
+	Pauses         metrics.Histogram
+	// ViewAge records, for each view-served read, how old the consulted
+	// view was at that moment — the wall-time half of the staleness
+	// watermark as actually observed by readers.
+	ViewAge metrics.Histogram
 }
 
 // Metrics aggregates the per-shard histograms and counters. Safe to call
@@ -1068,6 +1130,11 @@ func (p *Pool) Metrics() Metrics {
 		WorkerPanics: p.panics.Load(),
 		Quiesces:     p.quiesces.Load(),
 		Pauses:       p.pauseHist.Snapshot(),
+
+		ViewsPublished: p.viewsPublished.Load(),
+		StaleQueries:   p.staleQueries.Load(),
+		StaleFallbacks: p.staleFallbacks.Load(),
+		ViewAge:        p.viewAge.Snapshot(),
 	}
 	for _, sh := range p.shards {
 		sh.mu.Lock()

@@ -1,0 +1,266 @@
+// Published snapshot views: the pool's pause-free read path.
+//
+// Every shard's worker periodically captures its owner's visible state
+// (delegation.CaptureView — sketch clone plus undrained filter folds,
+// all on the worker's own goroutine) and publishes it with a single
+// atomic.Pointer swap. No lock is taken, no barrier is raised, and
+// writers never wait: the capture races only producer filter inserts,
+// which the fold reads with the filters' published-slot discipline.
+//
+// Readers answer from the latest published views with BOUNDED
+// STALENESS instead of exactness: alongside every estimate they get a
+// watermark — the maximum per-shard lag in recorded insertions and the
+// maximum view age in wall time — and the documented bound
+//
+//	true − LagInserts  ≤  estimate  ≤  true + ε·N
+//
+// (derivation in delegation/view.go and DESIGN.md). The exact
+// delegated path (Query) and the full Quiesce barrier remain the
+// strongly-fresh options; QueryStale falls back to the exact path for
+// any shard that has never published (startup, DisableViews), so it
+// degrades to freshness, never to zeros.
+package pool
+
+import (
+	"time"
+
+	"dsketch/internal/delegation"
+	"dsketch/internal/topk"
+)
+
+// viewRecord is what a shard's view pointer holds: the immutable
+// delegation view plus its publication metadata. Records are never
+// mutated after the swap — a reader that loaded an old record keeps a
+// fully consistent (just staler) snapshot while newer ones are
+// published.
+type viewRecord struct {
+	view *delegation.View
+	seq  uint64    // strictly increasing per shard; never reused
+	at   time.Time // publication time (the age watermark's origin)
+}
+
+// viewClockEvery bounds how often a busy worker reads the clock for
+// the time-based publish trigger: once per this many loop passes. Idle
+// workers force the check on every IdleHelp tick instead.
+const viewClockEvery = 64
+
+// maybeView runs on the worker loop and publishes a fresh view when a
+// trigger fires: ViewEvery entries fed since the last publish, or
+// ViewInterval elapsed (checked every viewClockEvery passes, or always
+// when force is set — the idle tick).
+func (p *Pool) maybeView(tid int, sh *shard, force bool) {
+	if p.opt.DisableViews {
+		return
+	}
+	if p.opt.ViewEvery > 0 && sh.viewFed >= p.opt.ViewEvery {
+		p.publishView(tid, sh)
+		return
+	}
+	sh.viewTick++
+	if !force && sh.viewTick < viewClockEvery {
+		return
+	}
+	sh.viewTick = 0
+	if !time.Now().Before(sh.viewDue) {
+		p.publishView(tid, sh)
+	}
+}
+
+// publishView captures owner tid's state and swaps it in as the
+// shard's published view. Worker-side only. The record is fully
+// constructed before the single atomic store, so readers see either
+// the old view or the complete new one — never a torn or partial
+// record; a panic during capture (or the BeforeViewSwap fault seam)
+// leaves the old view published and the worker's restart retries
+// later.
+func (p *Pool) publishView(tid int, sh *shard) {
+	v := p.ds.CaptureView(tid)
+	if h := p.opt.Hooks.BeforeViewSwap; h != nil {
+		h()
+	}
+	sh.viewSeq++
+	sh.view.Store(&viewRecord{view: v, seq: sh.viewSeq, at: time.Now()})
+	sh.viewFed = 0
+	sh.viewDue = time.Now().Add(p.opt.ViewInterval)
+	p.viewsPublished.Add(1)
+}
+
+// Staleness is the freshness watermark reported with every
+// bounded-staleness answer.
+type Staleness struct {
+	// Fresh reports that the whole answer came from the exact delegated
+	// path instead of published views (no view was available, or views
+	// are disabled) — the answer is as fresh as a plain Query.
+	Fresh bool
+	// Views is the number of distinct shard views the answer consulted.
+	Views int
+	// LagInserts bounds how many recorded insertions (within this
+	// process lifetime) the answer can be missing: the maximum, over
+	// the shards consulted, of insertions recorded at that shard after
+	// its view stopped being guaranteed to contain them. A shard with
+	// no published view contributes everything it has recorded.
+	LagInserts uint64
+	// Age is the maximum wall-clock age of the views consulted (time
+	// since the pool started, for a shard with no published view).
+	Age time.Duration
+}
+
+// mergeWatermark folds one shard's (lag, age) pair into the running
+// watermark — the max across shards, per the bound's definition.
+func mergeWatermark(st *Staleness, lag uint64, age time.Duration) {
+	if lag > st.LagInserts {
+		st.LagInserts = lag
+	}
+	if age > st.Age {
+		st.Age = age
+	}
+}
+
+// shardLag returns shard i's current staleness against rec (which may
+// be nil: everything recorded counts as lag, aged from pool start).
+// Recorded is monotone and rec.view.Contained() was loaded from the
+// same counters at capture, so the subtraction cannot underflow.
+func (p *Pool) shardLag(i int, rec *viewRecord, now time.Time) (uint64, time.Duration) {
+	if rec == nil {
+		return p.ds.Recorded(i), now.Sub(p.started)
+	}
+	return p.ds.Recorded(i) - rec.view.Contained(), now.Sub(rec.at)
+}
+
+// QueryStale answers a point query from the key's owner view with
+// bounded staleness: no lock, no delegation round-trip, no quiesce —
+// the worker is never involved. If the owner shard has not published a
+// view yet (or views are disabled), it falls back to the exact
+// delegated Query and reports Fresh. Goroutine-safe.
+func (p *Pool) QueryStale(key uint64) (uint64, Staleness) {
+	i := p.ds.Owner(key)
+	rec := p.shards[i].view.Load()
+	if rec == nil {
+		p.staleFallbacks.Add(1)
+		return p.Query(key), Staleness{Fresh: true}
+	}
+	p.staleQueries.Add(1)
+	now := time.Now()
+	lag, age := p.shardLag(i, rec, now)
+	p.viewAge.Record(age)
+	return rec.view.Estimate(key), Staleness{Views: 1, LagInserts: lag, Age: age}
+}
+
+// QueryStaleBatch answers a point query per key from the owners'
+// published views, appending results to out (which may be nil) and
+// returning it with the merged watermark. Each shard's view is loaded
+// once, so all keys of one owner are answered from one consistent
+// snapshot. Keys whose owner has never published are answered by one
+// exact delegated batch; Fresh is set only when every key took that
+// path.
+func (p *Pool) QueryStaleBatch(keys []uint64, out []uint64) ([]uint64, Staleness) {
+	base := len(out)
+	need := base + len(keys)
+	if cap(out) < need {
+		grown := make([]uint64, need)
+		copy(grown, out)
+		out = grown
+	} else {
+		out = out[:need]
+	}
+	res := out[base:]
+	if len(keys) == 0 {
+		return out, Staleness{Fresh: true}
+	}
+	recs := make([]*viewRecord, len(p.shards))
+	loaded := make([]bool, len(p.shards))
+	var st Staleness
+	var missKeys []uint64
+	var missIdx []int
+	now := time.Now()
+	for j, k := range keys {
+		i := p.ds.Owner(k)
+		if !loaded[i] {
+			recs[i], loaded[i] = p.shards[i].view.Load(), true
+			if recs[i] != nil {
+				st.Views++
+				lag, age := p.shardLag(i, recs[i], now)
+				mergeWatermark(&st, lag, age)
+				p.viewAge.Record(age)
+			}
+		}
+		if recs[i] == nil {
+			missKeys = append(missKeys, k)
+			missIdx = append(missIdx, j)
+			continue
+		}
+		res[j] = recs[i].view.Estimate(k)
+	}
+	if st.Views > 0 {
+		p.staleQueries.Add(1)
+	}
+	if len(missKeys) > 0 {
+		p.staleFallbacks.Add(1)
+		exact := p.QueryBatch(missKeys, nil)
+		for n, j := range missIdx {
+			res[j] = exact[n]
+		}
+		st.Fresh = st.Views == 0
+	}
+	return out, st
+}
+
+// HeavyHittersStale merges the published views' heavy-hitter summaries
+// without pausing anything: per-owner Space-Saving entries, refined by
+// each view's own sketch estimate, merged and clamped to k exactly
+// like the quiescent DS.HeavyHitters path. Shards without a published
+// view contribute no entries but do raise the watermark (their whole
+// recorded count is potentially missing). If no shard has published —
+// or heavy-hitter tracking is disabled — it returns (nil, Fresh):
+// callers needing data then should use the quiescent Snapshot path.
+func (p *Pool) HeavyHittersStale(k int) ([]topk.Entry, Staleness) {
+	var st Staleness
+	all := []topk.Entry{}
+	tracked := false
+	now := time.Now()
+	for i, sh := range p.shards {
+		rec := sh.view.Load()
+		lag, age := p.shardLag(i, rec, now)
+		mergeWatermark(&st, lag, age)
+		if rec == nil {
+			continue
+		}
+		st.Views++
+		p.viewAge.Record(age)
+		// A nil per-view report means tracking is disabled; an empty
+		// non-nil one means tracking is on but nothing was observed yet.
+		if hhs := rec.view.HeavyHitters(k); hhs != nil {
+			tracked = true
+			all = append(all, hhs...)
+		}
+	}
+	if st.Views == 0 || !tracked {
+		p.staleFallbacks.Add(1)
+		return nil, Staleness{Fresh: true}
+	}
+	p.staleQueries.Add(1)
+	topk.SortEntries(all)
+	if k < len(all) {
+		all = all[:k]
+	}
+	return all, st
+}
+
+// ViewStaleness reports the current merged watermark across all shards
+// without answering anything: how stale a bounded-staleness read
+// issued right now could be. Fresh is set when no shard has a
+// published view (reads would fall back to the exact path).
+func (p *Pool) ViewStaleness() Staleness {
+	var st Staleness
+	now := time.Now()
+	for i, sh := range p.shards {
+		rec := sh.view.Load()
+		lag, age := p.shardLag(i, rec, now)
+		mergeWatermark(&st, lag, age)
+		if rec != nil {
+			st.Views++
+		}
+	}
+	st.Fresh = st.Views == 0
+	return st
+}

@@ -1,0 +1,162 @@
+package sketch
+
+import (
+	"fmt"
+
+	"dsketch/internal/hash"
+)
+
+// View is an immutable point-query estimator captured from a live
+// sketch. Unlike the live types — whose Estimate methods share a
+// per-sketch scratch buffer and therefore admit only one caller at a
+// time — a View owns a plain copy of the counters, shares only the
+// (immutable) hash families with its source, and estimates without any
+// mutable state. Once published it is safe for any number of
+// concurrent readers with no synchronization at all, which is what the
+// pool's pause-free read path hands out behind an atomic.Pointer swap.
+type View struct {
+	cfg      Config
+	fam      *hash.Family     // shared with the live sketch; read-only after construction
+	signs    *hash.SignFamily // Count-Sketch captures only
+	unsigned []uint64         // Count-Min-family counters, row-major
+	signed   []int64          // Count-Sketch counters, row-major
+	total    uint64
+}
+
+// CaptureView snapshots a live sketch into a View. The caller must
+// hold whatever exclusivity the live sketch's own operations need (the
+// delegation owner captures on its own worker goroutine); the returned
+// View shares no mutable state with the source. Augmented sketches are
+// captured as their backing Count-Min plus every filter entry's
+// outstanding count — the same fold CountMinSnapshot does — so filter
+// hot keys are never missing from the view. Capturing an unknown
+// backend is a programming error and panics.
+func CaptureView(s Sketch) *View {
+	switch sk := s.(type) {
+	case *CountMin:
+		return &View{
+			cfg:      sk.cfg,
+			fam:      sk.fam,
+			unsigned: append([]uint64(nil), sk.counters...),
+			total:    sk.total,
+		}
+	case *ConservativeCountMin:
+		// The CU counter array estimates exactly like a Count-Min array;
+		// capture-time Adds use plain addition, which keeps the
+		// never-under-estimate property (it only loosens CU's tightening).
+		return &View{
+			cfg:      sk.cfg,
+			fam:      sk.fam,
+			unsigned: append([]uint64(nil), sk.counters...),
+			total:    sk.total,
+		}
+	case *CountSketch:
+		return &View{
+			cfg:    sk.cfg,
+			fam:    sk.fam,
+			signs:  sk.signs,
+			signed: append([]int64(nil), sk.counters...),
+			total:  sk.total,
+		}
+	case *Augmented:
+		v := CaptureView(sk.sk)
+		sk.flt.Iterate(func(item, newCount, oldCount uint64) {
+			if newCount > oldCount {
+				v.Add(item, newCount-oldCount)
+			}
+		})
+		v.total = sk.total
+		return v
+	default:
+		panic(fmt.Sprintf("sketch: cannot capture a view of %T", s))
+	}
+}
+
+// Add folds count occurrences of key into the view. It exists for
+// capture time only: the single capturing goroutine may Add before the
+// view is published (the delegation layer folds undrained filter
+// entries in), never after — a View has no internal synchronization
+// and published readers assume immutability.
+func (v *View) Add(key, count uint64) {
+	if v.signed != nil {
+		for row := 0; row < v.cfg.Depth; row++ {
+			col := v.fam.Hash(row, key)
+			v.signed[row*v.cfg.Width+int(col)] += v.signs.Sign(row, key) * int64(count)
+		}
+		v.total += count
+		return
+	}
+	for row := 0; row < v.cfg.Depth; row++ {
+		col := v.fam.Hash(row, key)
+		v.unsigned[row*v.cfg.Width+int(col)] += count
+	}
+	v.total += count
+}
+
+// Estimate answers a point query against the captured counters. It is
+// safe to call from any number of goroutines concurrently: each call
+// hashes with the shared immutable family and keeps its row readings
+// on the stack (no scratch buffer, no allocation).
+func (v *View) Estimate(key uint64) uint64 {
+	if v.signed != nil {
+		return v.estimateSigned(key)
+	}
+	min := v.unsigned[int(v.fam.Hash(0, key))]
+	for row := 1; row < v.cfg.Depth; row++ {
+		if c := v.unsigned[row*v.cfg.Width+int(v.fam.Hash(row, key))]; c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// estimateSigned is the Count-Sketch median estimator over the
+// captured counters, with a stack-allocated reading buffer so
+// concurrent readers never share scratch. Depths beyond the inline
+// buffer fall back to a per-call allocation.
+func (v *View) estimateSigned(key uint64) uint64 {
+	var inline [64]int64
+	d := v.cfg.Depth
+	readings := inline[:0]
+	if d > len(inline) {
+		readings = make([]int64, 0, d)
+	}
+	for row := 0; row < d; row++ {
+		col := v.fam.Hash(row, key)
+		r := v.signs.Sign(row, key) * v.signed[row*v.cfg.Width+int(col)]
+		// insertion sort keeps readings ordered without sort.Slice's
+		// interface allocation
+		i := len(readings)
+		readings = append(readings, r)
+		for i > 0 && readings[i-1] > r {
+			readings[i] = readings[i-1]
+			i--
+		}
+		readings[i] = r
+	}
+	var med int64
+	if d%2 == 1 {
+		med = readings[d/2]
+	} else {
+		med = (readings[d/2-1] + readings[d/2]) / 2
+	}
+	if med < 0 {
+		return 0
+	}
+	return uint64(med)
+}
+
+// Total returns the total count the view had captured (N for its
+// ε·N error bound).
+func (v *View) Total() uint64 { return v.total }
+
+// Depth returns the number of rows d.
+func (v *View) Depth() int { return v.cfg.Depth }
+
+// Width returns the counters per row w.
+func (v *View) Width() int { return v.cfg.Width }
+
+// MemoryBytes returns the captured counter footprint.
+func (v *View) MemoryBytes() int {
+	return len(v.unsigned)*8 + len(v.signed)*8
+}

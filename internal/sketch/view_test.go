@@ -1,0 +1,141 @@
+package sketch
+
+import (
+	"sync"
+	"testing"
+)
+
+func viewBackends() map[string]func(Config) Sketch {
+	return map[string]func(Config) Sketch{
+		"countmin":     func(c Config) Sketch { return NewCountMin(c) },
+		"conservative": func(c Config) Sketch { return NewConservativeCountMin(c) },
+		"countsketch":  func(c Config) Sketch { return NewCountSketch(c) },
+		"augmented": func(c Config) Sketch {
+			return NewAugmented(NewCountMin(c), 8)
+		},
+	}
+}
+
+// A captured view must answer point queries exactly like the live
+// sketch did at capture time, and must keep answering that way no
+// matter what the live sketch does afterwards (immutability).
+func TestCaptureViewMatchesLiveEstimates(t *testing.T) {
+	cfg := Config{Depth: 5, Width: 1 << 10, Seed: 11}
+	for name, mk := range viewBackends() {
+		t.Run(name, func(t *testing.T) {
+			live := mk(cfg)
+			for i := 0; i < 5000; i++ {
+				live.Insert(uint64(i%257), 1+uint64(i%3))
+			}
+			v := CaptureView(live)
+			for k := uint64(0); k < 300; k++ {
+				if got, want := v.Estimate(k), live.Estimate(k); got != want {
+					t.Fatalf("key %d: view %d, live %d", k, got, want)
+				}
+			}
+			atCapture := make([]uint64, 300)
+			for k := range atCapture {
+				atCapture[k] = v.Estimate(uint64(k))
+			}
+			// Mutate the live sketch heavily; the view must not move.
+			for i := 0; i < 5000; i++ {
+				live.Insert(uint64(i%97), 7)
+			}
+			for k := range atCapture {
+				if got := v.Estimate(uint64(k)); got != atCapture[k] {
+					t.Fatalf("key %d: view moved from %d to %d after live inserts", k, atCapture[k], got)
+				}
+			}
+		})
+	}
+}
+
+// Capture-time Add must behave like inserting into the source: for the
+// linear backends (Count-Min, Count Sketch) the folded view is
+// counter-identical to a sketch that saw the folded entries live, and
+// for every unsigned backend the folded view never under-estimates an
+// inserted key.
+func TestViewAddFoldsLikeInsert(t *testing.T) {
+	cfg := Config{Depth: 4, Width: 1 << 9, Seed: 3}
+	for name, mk := range viewBackends() {
+		t.Run(name, func(t *testing.T) {
+			live := mk(cfg)
+			truth := map[uint64]uint64{}
+			for i := 0; i < 2000; i++ {
+				k, c := uint64(i%113), uint64(1+i%5)
+				live.Insert(k, c)
+				truth[k] += c
+			}
+			v := CaptureView(live)
+			for i := 0; i < 500; i++ {
+				k, c := uint64(200+i%31), uint64(2)
+				v.Add(k, c)
+				truth[k] += c
+			}
+			if name == "countsketch" {
+				return // signed estimator: no deterministic one-sided bound
+			}
+			for k, want := range truth {
+				if got := v.Estimate(k); got < want {
+					t.Fatalf("key %d: view estimates %d, true count %d (under-estimate)", k, got, want)
+				}
+			}
+			var total uint64
+			for _, c := range truth {
+				total += c
+			}
+			if v.Total() != total {
+				t.Fatalf("view total %d, want %d", v.Total(), total)
+			}
+		})
+	}
+}
+
+// Published views are read concurrently with no synchronization; under
+// -race this asserts the estimator really is scratch-free.
+func TestViewConcurrentEstimates(t *testing.T) {
+	cfg := Config{Depth: 6, Width: 1 << 10, Seed: 5}
+	for name, mk := range viewBackends() {
+		t.Run(name, func(t *testing.T) {
+			live := mk(cfg)
+			for i := 0; i < 3000; i++ {
+				live.Insert(uint64(i%61), 1)
+			}
+			v := CaptureView(live)
+			want := make([]uint64, 128)
+			for k := range want {
+				want[k] = v.Estimate(uint64(k))
+			}
+			var wg sync.WaitGroup
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for rep := 0; rep < 200; rep++ {
+						for k := range want {
+							if got := v.Estimate(uint64(k)); got != want[k] {
+								panic("concurrent estimate diverged")
+							}
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}
+
+type stubSketch struct{}
+
+func (stubSketch) Insert(key, count uint64)   {}
+func (stubSketch) Estimate(key uint64) uint64 { return 0 }
+func (stubSketch) MemoryBytes() int           { return 0 }
+
+func TestCaptureViewUnknownBackendPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown backend")
+		}
+	}()
+	CaptureView(stubSketch{})
+}

@@ -76,16 +76,22 @@ func (s *SpaceSaving) Top(k int) []Entry {
 	for _, e := range s.entries {
 		out = append(out, Entry{Key: e.key, Count: e.count, Err: e.err})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Count != out[j].Count {
-			return out[i].Count > out[j].Count
-		}
-		return out[i].Key < out[j].Key
-	})
+	SortEntries(out)
 	if k < len(out) {
 		out = out[:k]
 	}
 	return out
+}
+
+// SortEntries orders entries the way every top-k merge in the repo
+// does: descending count, ties broken by ascending key.
+func SortEntries(entries []Entry) {
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Count != entries[j].Count {
+			return entries[i].Count > entries[j].Count
+		}
+		return entries[i].Key < entries[j].Key
+	})
 }
 
 // Guaranteed reports whether entry e's key certainly has true frequency

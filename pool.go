@@ -99,6 +99,22 @@ type PoolConfig struct {
 	// Checkpoint enables crash-safe durability (see CheckpointConfig).
 	// The zero value disables it.
 	Checkpoint CheckpointConfig
+
+	// ViewInterval is the time-based cadence at which each worker
+	// publishes a snapshot view for the bounded-staleness read path
+	// (default 100ms); it also bounds ViewStaleness.Age under load.
+	// See QueryStale.
+	ViewInterval time.Duration
+	// ViewEvery adds a count-based publish trigger: a worker also
+	// republishes after feeding this many insertions since its last
+	// view (0, the default, publishes on ViewInterval alone). Lower
+	// values tighten ViewStaleness.LagInserts at the cost of more
+	// frequent sketch clones.
+	ViewEvery int
+	// DisableViews turns the view publication machinery off entirely;
+	// the stale read methods then always fall back to the exact
+	// delegated path.
+	DisableViews bool
 }
 
 // Validate reports the first problem with cfg, or nil. Zero values are
@@ -118,6 +134,10 @@ func (cfg PoolConfig) Validate() error {
 		return fmt.Errorf("dsketch: unknown OverloadPolicy %d", cfg.Policy)
 	case cfg.IdleHelp < 0:
 		return fmt.Errorf("dsketch: IdleHelp must be >= 0 (0 busy-polls), got %v", cfg.IdleHelp)
+	case cfg.ViewInterval < 0:
+		return fmt.Errorf("dsketch: ViewInterval must be >= 0 (0 selects the default), got %v", cfg.ViewInterval)
+	case cfg.ViewEvery < 0:
+		return fmt.Errorf("dsketch: ViewEvery must be >= 0 (0 disables the count trigger), got %d", cfg.ViewEvery)
 	}
 	if err := cfg.Checkpoint.validate(); err != nil {
 		return err
@@ -145,6 +165,9 @@ func NewPoolChecked(cfg PoolConfig) (*Pool, error) {
 			RingCapacity:  cfg.RingCapacity,
 			Policy:        cfg.Policy.internal(),
 			IdleHelp:      cfg.IdleHelp,
+			ViewInterval:  cfg.ViewInterval,
+			ViewEvery:     cfg.ViewEvery,
+			DisableViews:  cfg.DisableViews,
 			Checkpoint: pool.CheckpointOptions{
 				Dir:      ckpt.Dir,
 				Interval: ckpt.Interval,
@@ -359,6 +382,14 @@ type PoolMetrics struct {
 	EnqueueP50, EnqueueP99, EnqueueMax time.Duration
 	// PauseMean/PauseMax describe full Quiesce pauses (barrier + fn).
 	PauseMean, PauseMax time.Duration
+	// ViewsPublished counts snapshot views published by workers;
+	// StaleQueries counts bounded-staleness read operations answered
+	// from views, and StaleFallbacks those that fell back to the exact
+	// delegated path (no view available, or views disabled).
+	ViewsPublished, StaleQueries, StaleFallbacks uint64
+	// ViewAgeP50/P99/Max describe the wall-clock age of the views
+	// consulted by stale reads, at the moment each read consulted them.
+	ViewAgeP50, ViewAgeP99, ViewAgeMax time.Duration
 	// Checkpoints counts successful checkpoint publishes;
 	// CheckpointFailures counts attempts that failed (capture, write, or
 	// read-back verification). Zero everywhere unless checkpointing is
@@ -402,6 +433,12 @@ func (p *Pool) Metrics() PoolMetrics {
 		EnqueueMax:             m.Enqueue.Max(),
 		PauseMean:              m.Pauses.Mean(),
 		PauseMax:               m.Pauses.Max(),
+		ViewsPublished:         m.ViewsPublished,
+		StaleQueries:           m.StaleQueries,
+		StaleFallbacks:         m.StaleFallbacks,
+		ViewAgeP50:             m.ViewAge.Percentile(50),
+		ViewAgeP99:             m.ViewAge.Percentile(99),
+		ViewAgeMax:             m.ViewAge.Max(),
 	}
 }
 
@@ -430,4 +467,17 @@ func (p *Pool) Close() { p.p.Close() }
 // Sketch returns the underlying Sketch. Its quiescent-only operations
 // (Flush, HeavyHitters, Sketch.Query) are safe only inside Quiesce or
 // after Close; Stats and MemoryBytes are safe at any time.
+//
+// This is the strictest of the pool's three freshness tiers, in
+// decreasing strength and cost:
+//
+//  1. Quiesce/Snapshot (and Sketch inside them): a global pause — every
+//     worker parks, every completed insertion is visible, the Sketch's
+//     quiescent-only operations are safe.
+//  2. Query/QueryBatch: the exact delegated path — no pause, answers
+//     reflect everything the owner has drained (normally microseconds
+//     behind), served through the cooperative protocol.
+//  3. QueryStale/HeavyHittersStale/StatsView: published snapshot views —
+//     no pause, no worker involvement at all, answers carry an explicit
+//     staleness watermark (see ViewStaleness).
 func (p *Pool) Sketch() *Sketch { return p.s }

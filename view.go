@@ -1,0 +1,141 @@
+package dsketch
+
+import (
+	"time"
+
+	"dsketch/internal/hash"
+	"dsketch/internal/pool"
+)
+
+// Bounded-staleness reads: the pool's pause-free query tier.
+//
+// Each worker periodically clones its owned slice of the sketch (plus
+// the undrained delegation-filter entries reserved at it) into an
+// immutable view and publishes it with one atomic pointer swap — no
+// lock, no barrier, and ingestion never waits. The QueryStale family
+// answers from those views and reports how stale the answer can be,
+// giving monitoring and dashboard reads a path that costs the writers
+// nothing. The bound, per key (derivation in DESIGN.md):
+//
+//	true − LagInserts  ≤  estimate  ≤  true + ε·N
+//
+// where LagInserts and the view ages come back in the ViewStaleness
+// watermark. Publication cadence — and therefore the watermark — is
+// tuned with PoolConfig.ViewInterval and ViewEvery.
+
+// ViewStaleness is the freshness watermark attached to every
+// bounded-staleness answer.
+type ViewStaleness struct {
+	// Fresh reports that the answer came entirely from the exact
+	// delegated path (no published view was available, or views are
+	// disabled): it is as fresh as a plain Query and the other fields
+	// are zero.
+	Fresh bool
+	// Views is the number of distinct per-shard views consulted.
+	Views int
+	// LagInserts bounds how many insertions (accepted by the sketch
+	// within this process lifetime) the answer can be missing: the
+	// maximum per-shard lag between what producers have recorded and
+	// what the shard's view provably contains.
+	LagInserts uint64
+	// Age is the maximum wall-clock age of the views consulted.
+	Age time.Duration
+}
+
+// QueryStale estimates key's frequency from the owner shard's published
+// snapshot view: no lock, no delegation round-trip, no pause — workers
+// are never involved. The watermark bounds the staleness:
+// true − LagInserts ≤ estimate ≤ true + εN. If the owner shard has not
+// published a view yet (startup, or PoolConfig.DisableViews), the call
+// transparently falls back to the exact Query and reports Fresh.
+// Goroutine-safe.
+func (p *Pool) QueryStale(key uint64) (uint64, ViewStaleness) {
+	est, st := p.p.QueryStale(key)
+	return est, publicStaleness(st)
+}
+
+// QueryStaleString is QueryStale for a string key (fingerprinted to 64
+// bits; use the same form consistently for inserts and queries).
+func (p *Pool) QueryStaleString(key string) (uint64, ViewStaleness) {
+	return p.QueryStale(hash.FingerprintString(key))
+}
+
+// QueryStaleBatch estimates each key's frequency from the published
+// views, positionally like QueryBatch, with one merged watermark. Each
+// shard's view is loaded once for the whole batch, so all keys of one
+// owner are answered from a single consistent snapshot; keys whose
+// owner has never published are answered by one exact delegated batch
+// (Fresh is set only when every key took that path).
+func (p *Pool) QueryStaleBatch(keys []uint64) ([]uint64, ViewStaleness) {
+	out, st := p.p.QueryStaleBatch(keys, nil)
+	return out, publicStaleness(st)
+}
+
+// HeavyHittersStale returns the k most frequent keys merged from the
+// published views' per-owner trackers — the pause-free analog of the
+// Snapshot heavy-hitter report. Requires Config.TrackHeavyHitters.
+// Shards without a published view contribute no entries but raise the
+// watermark. When no shard has published (or tracking is off) it
+// returns (nil, Fresh) — use Snapshot for a strongly-fresh report.
+func (p *Pool) HeavyHittersStale(k int) ([]HeavyHitter, ViewStaleness) {
+	entries, st := p.p.HeavyHittersStale(k)
+	if entries == nil {
+		return nil, publicStaleness(st)
+	}
+	out := make([]HeavyHitter, len(entries))
+	for i, e := range entries {
+		out[i] = HeavyHitter{Key: e.Key, Count: e.Count, Err: e.Err}
+	}
+	return out, publicStaleness(st)
+}
+
+// ViewStaleness reports the current merged watermark across all shards
+// without answering anything: how stale a bounded-staleness read issued
+// right now could be. Fresh means no shard has a published view (stale
+// reads would fall back to the exact path).
+func (p *Pool) ViewStaleness() ViewStaleness {
+	return publicStaleness(p.p.ViewStaleness())
+}
+
+// ViewSnapshot is the pause-free analog of PoolSnapshot, assembled
+// entirely from published views and always-safe counters.
+type ViewSnapshot struct {
+	// HeavyHitters holds the view-merged top-k report when
+	// Config.TrackHeavyHitters is set and views have been published
+	// (nil otherwise).
+	HeavyHitters []HeavyHitter
+	// Stats are the sketch's cumulative event counters (atomic reads,
+	// exact at the moment of the call).
+	Stats Stats
+	// MemoryBytes is the live sketch footprint.
+	MemoryBytes int
+	// Metrics are the pool's serving metrics.
+	Metrics PoolMetrics
+	// Staleness is the watermark covering the HeavyHitters report.
+	Staleness ViewStaleness
+}
+
+// StatsView captures a ViewSnapshot without pausing anything: where
+// Snapshot quiesces the pool to flush and read the sketch exactly,
+// StatsView reads the published views and the always-safe counters. k
+// bounds the heavy-hitter report size.
+func (p *Pool) StatsView(k int) ViewSnapshot {
+	hh, st := p.HeavyHittersStale(k)
+	return ViewSnapshot{
+		HeavyHitters: hh,
+		Stats:        p.Stats(),
+		MemoryBytes:  p.MemoryBytes(),
+		Metrics:      p.Metrics(),
+		Staleness:    st,
+	}
+}
+
+// publicStaleness converts the internal watermark (field-for-field).
+func publicStaleness(st pool.Staleness) ViewStaleness {
+	return ViewStaleness{
+		Fresh:      st.Fresh,
+		Views:      st.Views,
+		LagInserts: st.LagInserts,
+		Age:        st.Age,
+	}
+}

@@ -1,0 +1,86 @@
+package dsketch_test
+
+import (
+	"testing"
+	"time"
+
+	"dsketch"
+	"dsketch/internal/testutil"
+)
+
+// TestPoolStaleReadsPublicAPI drives the bounded-staleness tier through
+// the public surface: QueryStale converges on the exact counts without
+// ever quiescing, the watermark comes back populated, and StatsView
+// assembles the pause-free snapshot.
+func TestPoolStaleReadsPublicAPI(t *testing.T) {
+	p := dsketch.NewPool(dsketch.PoolConfig{
+		Config:    dsketch.Config{Threads: 2, Width: 4096, Depth: 8, TrackHeavyHitters: true},
+		ViewEvery: 8,
+		IdleHelp:  50 * time.Microsecond,
+	})
+	defer p.Close()
+	const key, want = uint64(77), uint64(40)
+	for i := uint64(0); i < want; i++ {
+		p.Insert(key)
+		p.InsertString("other")
+		// Spread keys fill the delegation filters so drains happen —
+		// the heavy-hitter trackers only observe drained counts.
+		for j := uint64(0); j < 20; j++ {
+			p.Insert(1000 + i*20 + j)
+		}
+	}
+	testutil.WaitUntil(t, 10*time.Second, func() bool {
+		got, st := p.QueryStale(key)
+		sgot, sst := p.QueryStaleString("other")
+		return got >= want && !st.Fresh && st.Views == 1 && sgot >= want && !sst.Fresh
+	})
+	out, st := p.QueryStaleBatch([]uint64{key, 12345})
+	if out[0] < want {
+		t.Fatalf("QueryStaleBatch[0] = %d, want >= %d", out[0], want)
+	}
+	if st.LagInserts > 2*want || st.Age < 0 {
+		t.Fatalf("batch watermark %+v out of range", st)
+	}
+	quiesces := p.Metrics().Quiesces
+	var snap dsketch.ViewSnapshot
+	testutil.WaitUntil(t, 10*time.Second, func() bool {
+		snap = p.StatsView(4)
+		return !snap.Staleness.Fresh && len(snap.HeavyHitters) > 0
+	})
+	if snap.MemoryBytes == 0 {
+		t.Fatal("StatsView missing memory footprint")
+	}
+	if m := p.Metrics(); m.Quiesces != quiesces {
+		t.Fatalf("StatsView quiesced (%d -> %d)", quiesces, m.Quiesces)
+	}
+	if m := p.Metrics(); m.ViewsPublished == 0 || m.StaleQueries == 0 {
+		t.Fatalf("metrics %+v: view counters not wired through", m)
+	}
+	if ws := p.ViewStaleness(); ws.Fresh || ws.Views != p.Threads() {
+		t.Fatalf("ViewStaleness = %+v, want views from every shard", ws)
+	}
+}
+
+// TestPoolViewConfigValidation covers the new PoolConfig knobs.
+func TestPoolViewConfigValidation(t *testing.T) {
+	base := dsketch.Config{Threads: 2, Width: 64, Depth: 2}
+	if _, err := dsketch.NewPoolChecked(dsketch.PoolConfig{Config: base, ViewInterval: -time.Second}); err == nil {
+		t.Fatal("negative ViewInterval accepted")
+	}
+	if _, err := dsketch.NewPoolChecked(dsketch.PoolConfig{Config: base, ViewEvery: -1}); err == nil {
+		t.Fatal("negative ViewEvery accepted")
+	}
+	p, err := dsketch.NewPoolChecked(dsketch.PoolConfig{Config: base, DisableViews: true})
+	if err != nil {
+		t.Fatalf("DisableViews rejected: %v", err)
+	}
+	defer p.Close()
+	p.Insert(9)
+	p.Quiesce(func(*dsketch.Sketch) {})
+	if got, st := p.QueryStale(9); got != 1 || !st.Fresh {
+		t.Fatalf("QueryStale with views disabled = %d (%+v), want exact fallback", got, st)
+	}
+	if hh, st := p.HeavyHittersStale(3); hh != nil || !st.Fresh {
+		t.Fatalf("HeavyHittersStale with views disabled = %v (%+v), want nil+Fresh", hh, st)
+	}
+}
