@@ -21,15 +21,16 @@ test:
 	$(GO) test -shuffle=on -timeout=5m ./...
 
 race:
-	$(GO) test -race -shuffle=on -timeout=5m ./internal/pool ./internal/delegation ./internal/spsc ./internal/filter ./internal/persist ./internal/sketch ./internal/metrics
+	$(GO) test -race -shuffle=on -timeout=5m ./internal/pool ./internal/delegation ./internal/spsc ./internal/filter ./internal/persist ./internal/sketch ./internal/metrics ./internal/router
 
 ## chaos: the fault-injection suites under -race — injected delays,
-## lost wakeups, worker panics, overload shedding, and torn checkpoint
-## writes at every cut point; graceful drains must account every
-## accepted insertion exactly and recovery must never lose a
-## checkpointed count.
+## lost wakeups, worker panics, overload shedding, torn checkpoint
+## writes at every cut point, and killed cluster nodes; graceful drains
+## must account every accepted insertion exactly, recovery must never
+## lose a checkpointed count, and the router must never lose or
+## double-apply an accepted insert across a node kill.
 chaos:
-	$(GO) test -race -count=1 -timeout=5m -run '^TestChaos' ./internal/pool ./internal/delegation ./internal/persist
+	$(GO) test -race -count=1 -timeout=5m -run '^TestChaos' ./internal/pool ./internal/delegation ./internal/persist ./internal/router
 
 ## fuzz: execute the decoder fuzz targets over their seed corpora
 ## (deterministic; use 'go test -fuzz' manually for open-ended runs).

@@ -6,12 +6,13 @@
 #   vet     — the toolchain's own static checks
 #   test    — the full unit/property suite (shuffled order, 5m timeout)
 #   race    — the -race stress suites for the concurrency-critical
-#             packages (pool, delegation, spsc, filter)
+#             packages (pool, delegation, spsc, filter, router)
 #   chaos   — the fault-injection suites under -race: injected delays,
-#             lost wakeups, worker panics, overload shedding, and torn
-#             checkpoint writes must never lose an accepted insertion
-#             across a graceful drain nor a checkpointed count across a
-#             crash-recovery
+#             lost wakeups, worker panics, overload shedding, torn
+#             checkpoint writes and killed cluster nodes must never lose
+#             an accepted insertion across a graceful drain, a
+#             checkpointed count across a crash-recovery, or a
+#             router-accepted insert across a node kill
 #   fuzz    — the decoder fuzz targets over their seed corpora
 #             (sketch and checkpoint deserializers)
 #   dslint  — the repository's concurrency-invariant analyzers
@@ -37,11 +38,11 @@ $GO vet ./...
 echo "==> test"
 $GO test -shuffle=on -timeout=5m ./...
 
-echo "==> race stress (pool, delegation, spsc, filter, persist, sketch, metrics)"
-$GO test -race -count=1 -shuffle=on -timeout=5m ./internal/pool ./internal/delegation ./internal/spsc ./internal/filter ./internal/persist ./internal/sketch ./internal/metrics
+echo "==> race stress (pool, delegation, spsc, filter, persist, sketch, metrics, router)"
+$GO test -race -count=1 -shuffle=on -timeout=5m ./internal/pool ./internal/delegation ./internal/spsc ./internal/filter ./internal/persist ./internal/sketch ./internal/metrics ./internal/router
 
 echo "==> chaos (fault injection under -race)"
-$GO test -race -count=1 -timeout=5m -run '^TestChaos' ./internal/pool ./internal/delegation ./internal/persist
+$GO test -race -count=1 -timeout=5m -run '^TestChaos' ./internal/pool ./internal/delegation ./internal/persist ./internal/router
 
 echo "==> fuzz seed corpora (decoders)"
 $GO test -count=1 -timeout=5m -run '^Fuzz' ./internal/sketch ./internal/persist

@@ -139,6 +139,12 @@ func runBench(n int, out, cpuprof string, o expt.Options) {
 	var r benchReport
 	var summary string
 	switch n {
+	case 6:
+		b := expt.RunIngestBench(o)
+		b.Bench = n
+		b.Unix = time.Now().Unix()
+		r = b
+		summary = fmt.Sprintf("scaling 1→8 = %.2f×", b.ScalingRatio1to8)
 	case 7:
 		m := expt.RunMixedBench(o)
 		m.Unix = time.Now().Unix()
@@ -146,11 +152,9 @@ func runBench(n int, out, cpuprof string, o expt.Options) {
 		summary = fmt.Sprintf("ingest retention %.3f over %d arms", m.IngestRetention, len(m.Arms))
 		defer writeStalenessTables(filepath.Join(filepath.Dir(out), fmt.Sprintf("STALENESS_%d.txt", n)), m)
 	default:
-		b := expt.RunIngestBench(o)
-		b.Bench = n
-		b.Unix = time.Now().Unix()
-		r = b
-		summary = fmt.Sprintf("scaling 1→8 = %.2f×", b.ScalingRatio1to8)
+		// An unknown number must not silently run some other family and
+		// archive a mislabeled trajectory.
+		log.Fatalf("unknown -bench %d: known bench numbers are 6 (insert-only ingestion sweep) and 7 (pause-free read path, 90/10 mixed workload)", n)
 	}
 	if err := r.Validate(); err != nil {
 		log.Fatalf("bench run failed validation: %v", err)
@@ -207,6 +211,13 @@ func runCheck(path string) {
 		log.Fatalf("%s: not valid JSON: %v", path, err)
 	}
 	switch head.Bench {
+	case 6:
+		r, err := expt.ReadBenchReport(bytes.NewReader(data))
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		fmt.Printf("%s: ok (bench %d, %d scaling points, %d native points, scaling 1→8 = %.2f×)\n",
+			path, r.Bench, len(r.Scaling), len(r.Native), r.ScalingRatio1to8)
 	case 7:
 		r, err := expt.ReadMixedBenchReport(bytes.NewReader(data))
 		if err != nil {
@@ -215,11 +226,6 @@ func runCheck(path string) {
 		fmt.Printf("%s: ok (bench %d, %d arms, ingest retention %.3f, %d staleness points)\n",
 			path, r.Bench, len(r.Arms), r.IngestRetention, len(r.Staleness))
 	default:
-		r, err := expt.ReadBenchReport(bytes.NewReader(data))
-		if err != nil {
-			log.Fatalf("%s: %v", path, err)
-		}
-		fmt.Printf("%s: ok (bench %d, %d scaling points, %d native points, scaling 1→8 = %.2f×)\n",
-			path, r.Bench, len(r.Scaling), len(r.Native), r.ScalingRatio1to8)
+		log.Fatalf("%s: unknown bench number %d in report: known bench numbers are 6 and 7", path, head.Bench)
 	}
 }

@@ -1,0 +1,159 @@
+// Command dsrouter serves a multi-node delegation-sketch cluster: it
+// shards keys across N dsserve backends with a consistent-hash ring
+// (the paper's Owner(K) = hash(K) mod T rule lifted from threads to
+// processes), batch-forwards inserts to each key's owner, and fans out
+// /query and /topk with an exact merge — the Count-Min-family sketches
+// are mergeable and the per-node key domains are disjoint.
+//
+// Robustness is the headline:
+//
+//   - an active health checker probes every backend's /healthz on a
+//     jittered interval; -failk consecutive failures eject a node,
+//     -readym consecutive successes readmit it;
+//   - every forwarded request gets a deadline (-reqtimeout) and bounded
+//     retries (-retries) with exponential backoff + jitter, paid from a
+//     router-wide retry budget (-retry-budget) so a dying backend
+//     cannot multiply load; reads retry freely, inserts retry only
+//     when the backend provably applied nothing;
+//   - when an owner is down, queries degrade to partial answers with
+//     X-Degraded-Shards / X-Degraded-Keys headers instead of failing
+//     closed, and inserts for the dead owner are parked in a bounded
+//     buffer (-buffer, -buffer-policy block|shed) and replayed after
+//     readmission — or refused with 503 + Retry-After.
+//
+// Endpoints mirror dsserve: POST /insert, POST /insertbatch,
+// GET /query, GET /topk, GET /stats, GET /healthz (JSON membership).
+//
+// Usage:
+//
+//	dsrouter -addr :8080 -nodes localhost:8081,localhost:8082,localhost:8083
+//	curl -X POST 'localhost:8080/insert?key=10.0.0.1'
+//	curl 'localhost:8080/topk?k=5'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dsketch/internal/router"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", ":8080", "listen address")
+		nodes = flag.String("nodes", "", "comma-separated backend base URLs (required)")
+
+		replicas = flag.Int("replicas", 64, "virtual nodes per backend on the hash ring")
+
+		probeInterval = flag.Duration("probe-interval", time.Second, "health probe period (jittered)")
+		probeJitter   = flag.Duration("probe-jitter", 0, "probe jitter half-width (0 = interval/4)")
+		probeTimeout  = flag.Duration("probe-timeout", 0, "per-probe deadline (0 = interval, capped at 2s)")
+		failK         = flag.Int("failk", 3, "consecutive probe failures that eject a backend")
+		readyM        = flag.Int("readym", 2, "consecutive probe successes that readmit a backend")
+
+		reqTimeout = flag.Duration("reqtimeout", 2*time.Second, "per-forwarded-attempt deadline")
+		retries    = flag.Int("retries", 2, "max retries per forwarded request")
+		retryBase  = flag.Duration("retry-base", 10*time.Millisecond, "backoff base (exponential, full jitter)")
+		retryCap   = flag.Duration("retry-cap", 500*time.Millisecond, "backoff cap")
+		budget     = flag.Float64("retry-budget", 0.1, "retry tokens earned per forwarded request")
+
+		bufferCap    = flag.Int("buffer", 65536, "parked inserts per down owner (0 disables buffering)")
+		bufferPolicy = flag.String("buffer-policy", "shed",
+			"full-buffer policy for down-owner inserts: block (backpressure) or shed (503 + Retry-After)")
+		blockTimeout = flag.Duration("block-timeout", 5*time.Second,
+			"bound on a block-policy wait for buffer space")
+
+		drainTimeout = flag.Duration("draintimeout", 10*time.Second,
+			"bound on the shutdown drain (in-flight requests + parked insert replay)")
+
+		seed = flag.Int64("seed", 1, "jitter RNG seed")
+	)
+	flag.Parse()
+
+	if *nodes == "" {
+		log.Fatal("dsrouter: -nodes is required (comma-separated dsserve base URLs)")
+	}
+	var nodeList []string
+	for _, n := range strings.Split(*nodes, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			nodeList = append(nodeList, n)
+		}
+	}
+
+	rt, err := router.New(router.Config{
+		Nodes:    nodeList,
+		Replicas: *replicas,
+		Health: router.HealthConfig{
+			Interval: *probeInterval,
+			Jitter:   *probeJitter,
+			Timeout:  *probeTimeout,
+			FailK:    *failK,
+			ReadyM:   *readyM,
+			Seed:     *seed,
+		},
+		Retry: router.RetryConfig{
+			Max:         *retries,
+			Base:        *retryBase,
+			Cap:         *retryCap,
+			BudgetRatio: *budget,
+			Seed:        *seed,
+		},
+		Buffer: router.BufferConfig{
+			Capacity: *bufferCap,
+			Policy:   *bufferPolicy,
+		},
+		ReqTimeout:   *reqTimeout,
+		BlockTimeout: *blockTimeout,
+		Logf:         log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt.Start()
+	log.Printf("dsrouter: %d backends, listening on %s", len(nodeList), ln.Addr())
+
+	srv := &http.Server{
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		cctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if cerr := rt.Close(cctx); cerr != nil {
+			log.Printf("dsrouter: %v", cerr)
+		}
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	err = srv.Shutdown(shCtx) // stop accepting, wait out in-flight requests
+	if cerr := rt.Close(shCtx); err == nil {
+		err = cerr
+	}
+	<-errc // Serve has returned http.ErrServerClosed by now
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	log.Printf("dsrouter: drained and exiting")
+}

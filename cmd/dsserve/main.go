@@ -10,10 +10,16 @@
 // Endpoints:
 //
 //	POST /insert?key=<uint64|string>[&count=n]
+//	POST /insertbatch      (body: "key [count]" lines; X-Accepted reports
+//	                        the applied prefix, so routers can retry or
+//	                        account partial failures exactly)
 //	GET  /query?key=<uint64|string>[&key=...]   (repeat key for a batch)
 //	GET  /topk?k=10        (requires -topk)
 //	GET  /stats
-//	GET  /healthz          (200 serving, 503 recovering or draining)
+//	GET  /healthz          (200 serving, 503 recovering or draining; the
+//	                        JSON body {"state":...} lets a router tell a
+//	                        draining node — do not retry here — from a
+//	                        recovering one — retry soon)
 //
 // Freshness: /query and /topk default to the exact delegated path. With
 // mode=stale they answer from the workers' published snapshot views
@@ -60,6 +66,7 @@ import (
 	"os/signal"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -234,6 +241,7 @@ func newServer(cfg config) (*server, error) {
 func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/insert", s.recovered(s.handleInsert))
+	mux.HandleFunc("/insertbatch", s.recovered(s.handleInsertBatch))
 	mux.HandleFunc("/query", s.recovered(s.handleQuery))
 	mux.HandleFunc("/topk", s.recovered(s.handleTopK))
 	mux.HandleFunc("/stats", s.recovered(s.handleStats))
@@ -241,10 +249,14 @@ func (s *server) mux() *http.ServeMux {
 	return mux
 }
 
-// recovered answers 503 until startup recovery has completed.
+// recovered answers 503 until startup recovery has completed. Recovery
+// is transient, so the refusal carries Retry-After (and X-Accepted: 0 —
+// the gate runs before any handler, so nothing was applied).
 func (s *server) recovered(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if s.health.Load() == healthRecovering {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("X-Accepted", "0")
 			http.Error(w, "recovering", http.StatusServiceUnavailable)
 			return
 		}
@@ -252,16 +264,22 @@ func (s *server) recovered(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// handleHealthz is the load-balancer probe: 200 only while the server is
-// fully up — recovery done, drain not begun.
+// handleHealthz is the load-balancer and router probe: 200 only while
+// the server is fully up — recovery done, drain not begun. The JSON
+// state lets a router distinguish a recovering node (retry soon, hence
+// Retry-After) from a draining one (going away; no Retry-After).
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
 	switch s.health.Load() {
 	case healthServing:
-		writef(w, "ok\n")
+		writef(w, "{\"state\":\"serving\"}\n")
 	case healthRecovering:
-		http.Error(w, "recovering", http.StatusServiceUnavailable)
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		writef(w, "{\"state\":\"recovering\"}\n")
 	default:
-		http.Error(w, "draining", http.StatusServiceUnavailable)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		writef(w, "{\"state\":\"draining\"}\n")
 	}
 }
 
@@ -277,10 +295,16 @@ func (s *server) opCtx(r *http.Request) (context.Context, context.CancelFunc) {
 
 // failOp translates a pool-operation error to an HTTP status: refused
 // work (overload shedding, shutdown) is 503 so load balancers retry
-// elsewhere; a blown deadline is 504.
+// elsewhere; a blown deadline is 504. Overload sheds carry Retry-After —
+// the refusal is transient and the work was provably not applied — while
+// a draining server deliberately does not: retrying against a node that
+// is going away only slows the client down.
 func failOp(w http.ResponseWriter, err error) {
 	switch {
-	case errors.Is(err, dsketch.ErrOverloaded) || errors.Is(err, dsketch.ErrClosed):
+	case errors.Is(err, dsketch.ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, dsketch.ErrClosed):
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	case errors.Is(err, context.DeadlineExceeded):
 		http.Error(w, "operation deadline exceeded", http.StatusGatewayTimeout)
@@ -335,6 +359,70 @@ func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	}
 	// 202 is the durability contract the shutdown test leans on: once a
 	// client has seen it, the insertion survives a graceful drain.
+	w.WriteHeader(http.StatusAccepted)
+}
+
+// maxBatchBytes bounds an /insertbatch request body.
+const maxBatchBytes = 8 << 20
+
+// handleInsertBatch ingests a batch of "key [count]" lines (count
+// defaults to 1). The whole body is parsed before anything is applied,
+// so a 400 provably applied nothing; after that, lines are applied in
+// order and every response carries X-Accepted — the length of the
+// applied prefix — so a router can account partial failures exactly and
+// knows a resend after "X-Accepted: 0" cannot double-count.
+func (s *server) handleInsertBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBatchBytes))
+	if err != nil {
+		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	type batchEntry struct{ key, count uint64 }
+	var entries []batchEntry
+	for ln, line := range strings.Split(string(body), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) > 2 {
+			http.Error(w, fmt.Sprintf("line %d: want \"key [count]\", got %q", ln+1, line), http.StatusBadRequest)
+			return
+		}
+		key, err := parseKey(fields[0])
+		if err != nil {
+			http.Error(w, fmt.Sprintf("line %d: %v", ln+1, err), http.StatusBadRequest)
+			return
+		}
+		count := uint64(1)
+		if len(fields) == 2 {
+			count, err = strconv.ParseUint(fields[1], 10, 64)
+			if err != nil || count == 0 {
+				http.Error(w, fmt.Sprintf("line %d: bad count %q", ln+1, fields[1]), http.StatusBadRequest)
+				return
+			}
+		}
+		entries = append(entries, batchEntry{key, count})
+	}
+	if len(entries) == 0 {
+		http.Error(w, "empty batch", http.StatusBadRequest)
+		return
+	}
+	ctx, cancel := s.opCtx(r)
+	defer cancel()
+	for i, e := range entries {
+		if err := s.pool.InsertCountCtx(ctx, e.key, e.count); err != nil {
+			w.Header().Set("X-Accepted", strconv.Itoa(i))
+			failOp(w, err)
+			return
+		}
+	}
+	w.Header().Set("X-Accepted", strconv.Itoa(len(entries)))
+	// Same durability contract as /insert: once 202 is out, every line
+	// of the batch survives a graceful drain.
 	w.WriteHeader(http.StatusAccepted)
 }
 

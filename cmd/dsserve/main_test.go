@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"dsketch"
 	"dsketch/internal/testutil"
 )
 
@@ -280,5 +281,165 @@ func TestStaleModeWithViewsDisabled(t *testing.T) {
 	if rec.Code != http.StatusOK || rec.Header().Get("X-Staleness-Fresh") != "" {
 		t.Fatalf("topk fallback = %d (fresh header %q), want quiescent snapshot without staleness headers",
 			rec.Code, rec.Header().Get("X-Staleness-Fresh"))
+	}
+}
+
+// TestInsertBatchRoundTrip pins the batch contract the router leans on:
+// a clean batch answers 202 with X-Accepted equal to the number of
+// lines (blank lines skipped, counts defaulting to 1), and the
+// aggregate lands in the sketch.
+func TestInsertBatchRoundTrip(t *testing.T) {
+	s, err := newServer(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.pool.Close()
+	mux := s.mux()
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/insertbatch",
+		strings.NewReader("7 3\n\n8\n7 2\n")))
+	if rec.Code != http.StatusAccepted || rec.Header().Get("X-Accepted") != "3" {
+		t.Fatalf("batch = %d X-Accepted=%q, want 202/3", rec.Code, rec.Header().Get("X-Accepted"))
+	}
+	// 202 means accepted, not yet applied: lines can still sit in the
+	// ingestion queue, so poll until the full batch is visible.
+	for key, want := range map[string]string{"7": "5", "8": "1"} {
+		var code int
+		var body string
+		testutil.WaitUntil(t, 10*time.Second, func() bool {
+			rec = httptest.NewRecorder()
+			mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/query?key="+key, nil))
+			code, body = rec.Code, strings.TrimSpace(rec.Body.String())
+			return code == http.StatusOK && body == want
+		})
+		if code != http.StatusOK || body != want {
+			t.Fatalf("query key %s = %d %q, want 200 %q", key, code, body, want)
+		}
+	}
+}
+
+// TestInsertBatchParseAllBeforeApply pins that a malformed line rejects
+// the whole batch with 400 before anything is applied — a 400 provably
+// applied nothing, so the sender may rebuild and resend without
+// double-counting.
+func TestInsertBatchParseAllBeforeApply(t *testing.T) {
+	s, err := newServer(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.pool.Close()
+	mux := s.mux()
+
+	for _, body := range []string{
+		"1 1\n2 zero\n",    // bad count after a good line
+		"1 1\n2 3 extra\n", // too many fields
+		"1 0\n",            // zero count
+		"",                 // empty batch
+	} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/insertbatch", strings.NewReader(body)))
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("batch %q = %d, want 400", body, rec.Code)
+		}
+	}
+	// Key 1 appeared on the good line of every rejected batch; none of
+	// it may have landed.
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/query?key=1", nil))
+	if rec.Code != http.StatusOK || strings.TrimSpace(rec.Body.String()) != "0" {
+		t.Fatalf("query after rejected batches = %d %q, want 200 \"0\"", rec.Code, rec.Body.String())
+	}
+	if got := s.pool.Metrics().Inserts; got != 0 {
+		t.Fatalf("pool applied %d inserts from rejected batches, want 0", got)
+	}
+}
+
+// TestInsertBatchClosedPool pins the draining refusal shape: a batch
+// against a closed pool answers 503 with X-Accepted: 0 and — because a
+// draining node must not invite retries — no Retry-After.
+func TestInsertBatchClosedPool(t *testing.T) {
+	s, err := newServer(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.pool.Close()
+	rec := httptest.NewRecorder()
+	s.mux().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/insertbatch", strings.NewReader("1 1\n")))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("batch on closed pool = %d, want 503", rec.Code)
+	}
+	if got := rec.Header().Get("X-Accepted"); got != "0" {
+		t.Fatalf("X-Accepted = %q, want 0", got)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra != "" {
+		t.Fatalf("closed-pool refusal carries Retry-After %q; draining must not invite retries", ra)
+	}
+}
+
+// TestFailOpStatusShapes pins failOp's error-to-HTTP translation table,
+// which the router's retry-safety classification depends on.
+func TestFailOpStatusShapes(t *testing.T) {
+	cases := []struct {
+		err        error
+		status     int
+		retryAfter bool
+	}{
+		{dsketch.ErrOverloaded, http.StatusServiceUnavailable, true},
+		{dsketch.ErrClosed, http.StatusServiceUnavailable, false},
+		{context.DeadlineExceeded, http.StatusGatewayTimeout, false},
+		{fmt.Errorf("wrapped: %w", dsketch.ErrOverloaded), http.StatusServiceUnavailable, true},
+	}
+	for _, c := range cases {
+		rec := httptest.NewRecorder()
+		failOp(rec, c.err)
+		if rec.Code != c.status {
+			t.Fatalf("failOp(%v) = %d, want %d", c.err, rec.Code, c.status)
+		}
+		if got := rec.Header().Get("Retry-After") != ""; got != c.retryAfter {
+			t.Fatalf("failOp(%v) Retry-After present = %v, want %v", c.err, got, c.retryAfter)
+		}
+	}
+}
+
+// TestHealthzStates pins the JSON healthz contract the router's probe
+// parses: the state string, the status code, and Retry-After only on
+// the transient (recovering) refusal.
+func TestHealthzStates(t *testing.T) {
+	s, err := newServer(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.pool.Close()
+	mux := s.mux()
+
+	probe := func() *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+		return rec
+	}
+	type expect struct {
+		state      int32
+		code       int
+		body       string
+		retryAfter bool
+	}
+	for _, e := range []expect{
+		{healthServing, http.StatusOK, `{"state":"serving"}`, false},
+		{healthRecovering, http.StatusServiceUnavailable, `{"state":"recovering"}`, true},
+		{healthDraining, http.StatusServiceUnavailable, `{"state":"draining"}`, false},
+	} {
+		s.health.Store(e.state)
+		rec := probe()
+		if rec.Code != e.code || strings.TrimSpace(rec.Body.String()) != e.body {
+			t.Fatalf("healthz in state %d = %d %q, want %d %q",
+				e.state, rec.Code, rec.Body.String(), e.code, e.body)
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("healthz Content-Type = %q, want application/json", ct)
+		}
+		if got := rec.Header().Get("Retry-After") != ""; got != e.retryAfter {
+			t.Fatalf("healthz in state %d: Retry-After present = %v, want %v", e.state, got, e.retryAfter)
+		}
 	}
 }

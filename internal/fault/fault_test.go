@@ -2,6 +2,7 @@ package fault
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -111,6 +112,81 @@ func TestDelayActuallySleeps(t *testing.T) {
 	}
 	if st := in.Stats("p"); st.Delays != 1 {
 		t.Fatalf("Delays = %d, want 1", st.Delays)
+	}
+}
+
+// TestZeroProbabilityNeverFires pins the fast path: a rule armed with
+// probability zero is a pure counter — hits accumulate, faults never
+// trigger, and the rng draw stays deterministic for other points.
+func TestZeroProbabilityNeverFires(t *testing.T) {
+	in := New(3)
+	in.DropProb("p", 0)
+	in.DelayProb("p", 0, time.Second)
+	in.PanicProb("p", 0)
+	for i := 0; i < 1000; i++ {
+		if in.Fire("p") {
+			t.Fatalf("zero-probability drop fired on hit %d", i+1)
+		}
+	}
+	if st := in.Stats("p"); st.Hits != 1000 || st.Delays != 0 || st.Drops != 0 || st.Panics != 0 {
+		t.Fatalf("stats = %+v, want 1000 pure hits", st)
+	}
+}
+
+// TestExhaustedScriptGoesInert pins that a scripted rule whose hit
+// numbers have all passed never fires again — it does not wrap, repeat
+// or fall back to a probability.
+func TestExhaustedScriptGoesInert(t *testing.T) {
+	in := New(1)
+	in.DropAt("p", 3)
+	for i := 1; i <= 200; i++ {
+		got := in.Fire("p")
+		if want := i == 3; got != want {
+			t.Fatalf("hit %d: drop=%v, want %v", i, got, want)
+		}
+	}
+	if st := in.Stats("p"); st.Hits != 200 || st.Drops != 1 {
+		t.Fatalf("stats = %+v, want Hits=200 Drops=1", st)
+	}
+}
+
+// TestConcurrentHooks exercises the Hook/DropHook adapters — the shape
+// production seams actually call — from many goroutines under -race,
+// and checks no hit is lost.
+func TestConcurrentHooks(t *testing.T) {
+	in := New(11)
+	in.DropProb("drop", 0.25)
+	in.DelayProb("bare", 0.01, time.Microsecond)
+	bare := in.Hook("bare")
+	drop := in.DropHook("drop")
+	const goroutines, each = 8, 500
+	var wg sync.WaitGroup
+	var dropped atomic.Uint64
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				bare()
+				if drop() {
+					dropped.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if st := in.Stats("bare"); st.Hits != goroutines*each {
+		t.Fatalf("bare hook hits = %d, want %d", st.Hits, goroutines*each)
+	}
+	st := in.Stats("drop")
+	if st.Hits != goroutines*each {
+		t.Fatalf("drop hook hits = %d, want %d", st.Hits, goroutines*each)
+	}
+	if st.Drops != dropped.Load() {
+		t.Fatalf("injector counted %d drops, callers observed %d", st.Drops, dropped.Load())
+	}
+	if st.Drops == 0 || st.Drops == st.Hits {
+		t.Fatalf("drops = %d of %d hits; want a nontrivial mix", st.Drops, st.Hits)
 	}
 }
 

@@ -1,0 +1,129 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// ErrInjectedConnect is the error an injected connect-level failure
+// carries. It is wrapped in a *net.OpError with Op "dial", matching
+// what a real refused connection looks like to the caller's error
+// classification.
+var ErrInjectedConnect = errors.New("fault: injected connect failure")
+
+// FaultTransport is the process-level fault seam for HTTP clients: it
+// wraps an http.RoundTripper and injects faults per destination host,
+// driven by the same seeded Injector the in-process chaos suites use —
+// so a router-level chaos run replays exactly for a fixed seed.
+//
+// Four injection points exist per host, named by TransportPoint:
+//
+//	host "+delay"     — delay rules sleep inside Fire before forwarding
+//	host "+connect"   — a drop rule becomes a dial-refused error: the
+//	                    request provably never reached the server
+//	host "+5xx"       — a drop rule becomes a synthesized 503 carrying
+//	                    Retry-After and X-Accepted: 0, the shape of a
+//	                    backend that shed before applying anything
+//	host "+blackhole" — a drop rule parks the request until its context
+//	                    expires, the shape of a switch eating packets
+//
+// Independently, Kill(host) hard-fails every request to host with a
+// connect error until Revive(host) — the seam tests use to take a node
+// off the network without tearing down its process state.
+type FaultTransport struct {
+	inner http.RoundTripper
+	in    *Injector
+
+	mu     sync.Mutex
+	killed map[string]bool
+}
+
+// NewTransport wraps inner (nil means http.DefaultTransport) with
+// fault injection driven by in.
+func NewTransport(inner http.RoundTripper, in *Injector) *FaultTransport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &FaultTransport{inner: inner, in: in, killed: make(map[string]bool)}
+}
+
+// TransportPoint names one host's injection point of the given kind
+// ("delay", "connect", "5xx", "blackhole"), for arming rules:
+//
+//	in.DropProb(fault.TransportPoint("127.0.0.1:8081", "5xx"), 0.2)
+func TransportPoint(host, kind string) string {
+	return "rt:" + host + "+" + kind
+}
+
+// Kill makes every request to host fail with a connect error.
+func (t *FaultTransport) Kill(host string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.killed[host] = true
+}
+
+// Revive undoes Kill.
+func (t *FaultTransport) Revive(host string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.killed, host)
+}
+
+// connectRefused builds the injected dial failure.
+func connectRefused(host string) error {
+	return &net.OpError{Op: "dial", Net: "tcp", Err: ErrInjectedConnect, Addr: nil, Source: nil}
+}
+
+// RoundTrip applies the armed faults for the request's host, then
+// forwards to the wrapped transport if the request survived.
+func (t *FaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	host := req.URL.Host
+	t.mu.Lock()
+	dead := t.killed[host]
+	t.mu.Unlock()
+	if dead {
+		return nil, connectRefused(host)
+	}
+	// Delay rules sleep inside Fire; its drop result is meaningless on
+	// this point and ignored.
+	t.in.Fire(TransportPoint(host, "delay"))
+	if t.in.Fire(TransportPoint(host, "connect")) {
+		return nil, connectRefused(host)
+	}
+	if t.in.Fire(TransportPoint(host, "blackhole")) {
+		<-req.Context().Done()
+		return nil, req.Context().Err()
+	}
+	if t.in.Fire(TransportPoint(host, "5xx")) {
+		return synthesized503(req), nil
+	}
+	return t.inner.RoundTrip(req)
+}
+
+// synthesized503 is the injected overload answer: the backend shed the
+// request before applying anything, so it reports zero accepted work
+// and invites a retry — the exact contract dsserve's shed path speaks.
+func synthesized503(req *http.Request) *http.Response {
+	body := []byte("fault: injected overload\n")
+	h := http.Header{}
+	h.Set("Retry-After", "0")
+	h.Set("X-Accepted", "0")
+	h.Set("X-Fault-Injected", "1")
+	h.Set("Content-Type", "text/plain; charset=utf-8")
+	return &http.Response{
+		Status:        strconv.Itoa(http.StatusServiceUnavailable) + " " + http.StatusText(http.StatusServiceUnavailable),
+		StatusCode:    http.StatusServiceUnavailable,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        h,
+		Body:          io.NopCloser(bytes.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}

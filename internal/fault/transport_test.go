@@ -1,0 +1,178 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// transportFixture is a live backend plus a client whose transport
+// injects faults for that backend's host.
+type transportFixture struct {
+	srv  *httptest.Server
+	host string
+	in   *Injector
+	tr   *FaultTransport
+	cl   *http.Client
+}
+
+func newTransportFixture(t *testing.T, seed int64) *transportFixture {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, err := io.Copy(io.Discard, r.Body); err != nil {
+			t.Errorf("drain body: %v", err)
+		}
+		w.WriteHeader(http.StatusAccepted)
+	}))
+	t.Cleanup(srv.Close)
+	in := New(seed)
+	tr := NewTransport(srv.Client().Transport, in)
+	return &transportFixture{
+		srv:  srv,
+		host: strings.TrimPrefix(srv.URL, "http://"),
+		in:   in,
+		tr:   tr,
+		cl:   &http.Client{Transport: tr},
+	}
+}
+
+func (f *transportFixture) get(ctx context.Context) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.srv.URL, nil)
+	if err != nil {
+		panic(err)
+	}
+	resp, err := f.cl.Do(req)
+	if resp != nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+	}
+	return resp, err
+}
+
+// TestTransportKillRevive pins the node-kill seam: a killed host fails
+// every request with a dial-shaped connect error carrying
+// ErrInjectedConnect, and Revive restores it without touching the
+// server process.
+func TestTransportKillRevive(t *testing.T) {
+	f := newTransportFixture(t, 1)
+	f.tr.Kill(f.host)
+	_, err := f.get(context.Background())
+	if err == nil {
+		t.Fatal("request to a killed host succeeded")
+	}
+	if !errors.Is(err, ErrInjectedConnect) {
+		t.Fatalf("killed host error = %v, want ErrInjectedConnect", err)
+	}
+	var op *net.OpError
+	if !errors.As(err, &op) || op.Op != "dial" {
+		t.Fatalf("killed host error = %v, want a *net.OpError with Op dial", err)
+	}
+	f.tr.Revive(f.host)
+	resp, err := f.get(context.Background())
+	if err != nil || resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("revived host: resp=%v err=%v, want 202", resp, err)
+	}
+}
+
+// TestTransportSynthesized5xx pins the injected-overload shape: the
+// 503 must look exactly like a backend that shed before applying
+// anything — Retry-After set, X-Accepted: 0 — and be marked as
+// injected.
+func TestTransportSynthesized5xx(t *testing.T) {
+	f := newTransportFixture(t, 1)
+	f.in.DropAt(TransportPoint(f.host, "5xx"), 1)
+	resp, err := f.get(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	h := resp.Header
+	if h.Get("X-Accepted") != "0" || h.Get("Retry-After") == "" || h.Get("X-Fault-Injected") != "1" {
+		t.Fatalf("injected 503 headers = %v, want X-Accepted=0, Retry-After set, X-Fault-Injected=1", h)
+	}
+	// The script is spent: the next request goes through.
+	resp, err = f.get(context.Background())
+	if err != nil || resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("after spent script: resp=%v err=%v, want 202", resp, err)
+	}
+}
+
+// TestTransportConnectDrop pins that a connect-point drop surfaces as
+// the same dial-shaped error as Kill — provably never reached the
+// server.
+func TestTransportConnectDrop(t *testing.T) {
+	f := newTransportFixture(t, 1)
+	f.in.DropAt(TransportPoint(f.host, "connect"), 1)
+	if _, err := f.get(context.Background()); !errors.Is(err, ErrInjectedConnect) {
+		t.Fatalf("connect drop error = %v, want ErrInjectedConnect", err)
+	}
+	if st := f.in.Stats(TransportPoint(f.host, "connect")); st.Drops != 1 {
+		t.Fatalf("connect stats = %+v, want 1 drop", st)
+	}
+}
+
+// TestTransportDelay pins that delay rules stall the request before it
+// is forwarded.
+func TestTransportDelay(t *testing.T) {
+	f := newTransportFixture(t, 1)
+	const d = 20 * time.Millisecond
+	f.in.DelayAt(TransportPoint(f.host, "delay"), d, 1)
+	t0 := time.Now()
+	resp, err := f.get(context.Background())
+	if err != nil || resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("delayed request: resp=%v err=%v", resp, err)
+	}
+	if elapsed := time.Since(t0); elapsed < d {
+		t.Fatalf("request returned after %v, want at least %v", elapsed, d)
+	}
+}
+
+// TestTransportBlackhole pins the packet-eating network: the request
+// parks until its context expires and surfaces the context's error, so
+// the caller sees an indeterminate timeout — not a clean refusal.
+func TestTransportBlackhole(t *testing.T) {
+	f := newTransportFixture(t, 1)
+	f.in.DropAt(TransportPoint(f.host, "blackhole"), 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	_, err := f.get(ctx)
+	if err == nil {
+		t.Fatal("blackholed request succeeded")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blackhole error = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(t0); elapsed < 30*time.Millisecond {
+		t.Fatalf("blackhole released after %v, before the deadline", elapsed)
+	}
+}
+
+// TestTransportPointOrder pins the injection order documented on
+// RoundTrip: a connect failure fires before — and therefore suppresses
+// — a 5xx armed for the same request.
+func TestTransportPointOrder(t *testing.T) {
+	f := newTransportFixture(t, 1)
+	f.in.DropAt(TransportPoint(f.host, "connect"), 1)
+	f.in.DropAt(TransportPoint(f.host, "5xx"), 1)
+	if _, err := f.get(context.Background()); !errors.Is(err, ErrInjectedConnect) {
+		t.Fatalf("error = %v, want the connect failure to win", err)
+	}
+	// The 5xx point was never reached, so its scripted hit 1 is still
+	// pending and fires on the next request.
+	resp, err := f.get(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("X-Fault-Injected") != "1" {
+		t.Fatalf("second request: status=%d, want the deferred injected 503", resp.StatusCode)
+	}
+}

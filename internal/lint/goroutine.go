@@ -9,11 +9,14 @@ import (
 // goroutineScopePathFragments names the packages GoroutineLifecycle
 // applies to: the concurrency-core packages whose goroutines must be
 // joinable (the pool's worker registry and the parallel driver's
-// cooperative tail both depend on it), plus the analyzer's own fixture
-// package under testdata.
+// cooperative tail both depend on it, and the router's fan-out,
+// health-probe and buffer-flusher goroutines must all be joined before
+// Close may report the drain complete), plus the analyzer's own
+// fixture package under testdata.
 var goroutineScopePathFragments = []string{
 	"internal/pool",
 	"internal/parallel",
+	"internal/router",
 	"goroutinelifecycle",
 }
 

@@ -9,10 +9,14 @@ import (
 // recoverGuardScopePathFragments names the packages RecoverGuard applies
 // to: the concurrency-core packages whose long-lived goroutines hold
 // protocol obligations (the pool's workers, the parallel driver's
-// threads), plus the analyzer's own fixture package under testdata.
+// threads, the router's health checker and buffer flusher — losing
+// either silently removes the cluster's failure detector or strands
+// accepted-but-parked inserts), plus the analyzer's own fixture package
+// under testdata.
 var recoverGuardScopePathFragments = []string{
 	"internal/pool",
 	"internal/parallel",
+	"internal/router",
 	"recoverguard",
 }
 

@@ -1,0 +1,325 @@
+package router
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"dsketch"
+)
+
+// testBackend is a compact pool-backed stand-in for cmd/dsserve that the
+// router tests can kill and restart on a fixed address. It speaks the
+// exact HTTP contract the router depends on — /insertbatch with the
+// X-Accepted applied-prefix header, /query single and batch bodies,
+// /topk in dsserve's line format, and the JSON /healthz — over a real
+// dsketch.Pool, so merge-exactness tests compare genuine sketch state,
+// not canned responses.
+//
+// kill() is a crash, not a shutdown: the listener and all connections
+// close immediately and the pool's contents are discarded. start()
+// after kill() rebinds the same address with a fresh, empty pool —
+// checkpoint-based durability is the server's own story, not the
+// router's.
+type testBackend struct {
+	t       *testing.T
+	threads int
+	seed    uint64 // set before the first start(); aligns hash families
+	addr    string // fixed host:port, stable across kill/restart
+
+	mu   sync.Mutex
+	ln   net.Listener // bound but not yet serving (pre-start only)
+	pool *dsketch.Pool
+	srv  *http.Server
+	wg   sync.WaitGroup
+}
+
+// newTestBackend binds a listener (so the backend's address — and hence
+// its position in the router's sorted member list — is known before any
+// pool exists) but does not serve until start().
+func newTestBackend(t *testing.T, threads int) *testBackend {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &testBackend{t: t, threads: threads, seed: 1, ln: ln, addr: ln.Addr().String()}
+	t.Cleanup(b.stop)
+	return b
+}
+
+// url returns the backend's base URL, valid across kill/restart.
+func (b *testBackend) url() string { return "http://" + b.addr }
+
+// start brings the backend up: a fresh pool behind an HTTP server on
+// the fixed address.
+func (b *testBackend) start() {
+	b.t.Helper()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.srv != nil {
+		b.t.Fatal("testBackend already running")
+	}
+	ln := b.ln
+	b.ln = nil
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", b.addr)
+		if err != nil {
+			b.t.Fatalf("rebinding %s: %v", b.addr, err)
+		}
+	}
+	pool, err := dsketch.NewPoolChecked(dsketch.PoolConfig{
+		Config: dsketch.Config{
+			Threads:           b.threads,
+			Width:             1024,
+			Depth:             4,
+			Seed:              b.seed,
+			TrackHeavyHitters: true,
+		},
+		// Idle workers must sleep, not busy-poll: on a small-CPU host,
+		// spinning workers keep every P busy and network-ready HTTP
+		// goroutines wait out sysmon's ~10ms netpoll cadence — turning
+		// each request into ~20ms and the chaos runs into minutes.
+		IdleHelp: 100 * time.Microsecond,
+	})
+	if err != nil {
+		b.t.Fatal(err)
+	}
+	b.pool = pool
+	b.srv = &http.Server{Handler: b.handler()}
+	srv := b.srv
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		// Serve returns http.ErrServerClosed on kill; anything else is
+		// the listener dying underneath a live backend.
+		if err := srv.Serve(ln); err != http.ErrServerClosed {
+			b.t.Logf("testBackend %s: serve: %v", b.addr, err)
+		}
+	}()
+}
+
+// kill crashes the backend: connections drop, the address stops
+// answering, and the pool's state is lost.
+func (b *testBackend) kill() {
+	b.mu.Lock()
+	srv, pool := b.srv, b.pool
+	b.srv, b.pool = nil, nil
+	b.mu.Unlock()
+	if srv != nil {
+		if err := srv.Close(); err != nil {
+			b.t.Logf("testBackend %s: close: %v", b.addr, err)
+		}
+	}
+	b.wg.Wait()
+	if pool != nil {
+		pool.Close() // join worker goroutines; the state is discarded
+	}
+}
+
+// stop is the cleanup hook: like kill, but also releases a listener
+// that was bound and never started.
+func (b *testBackend) stop() {
+	b.kill()
+	b.mu.Lock()
+	ln := b.ln
+	b.ln = nil
+	b.mu.Unlock()
+	if ln != nil {
+		if err := ln.Close(); err != nil {
+			b.t.Logf("testBackend %s: listener close: %v", b.addr, err)
+		}
+	}
+}
+
+// currentPool returns the live pool, or nil while killed.
+func (b *testBackend) currentPool() *dsketch.Pool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.pool
+}
+
+// inserts reports the backend's accepted insert-operation count — with
+// one-line-one-op batches, exactly the number of applied entries. Zero
+// while killed.
+func (b *testBackend) inserts() uint64 {
+	p := b.currentPool()
+	if p == nil {
+		return 0
+	}
+	return p.Metrics().Inserts
+}
+
+func (b *testBackend) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/insertbatch", b.handleInsertBatch)
+	mux.HandleFunc("/query", b.handleQuery)
+	mux.HandleFunc("/topk", b.handleTopK)
+	mux.HandleFunc("/healthz", b.handleHealthz)
+	return mux
+}
+
+// failBackendOp mirrors dsserve's failOp contract: overload sheds are
+// transient and carry Retry-After, a closed (draining/crashed) pool
+// answers 503 without one.
+func failBackendOp(w http.ResponseWriter, err error) {
+	if errors.Is(err, dsketch.ErrOverloaded) {
+		w.Header().Set("Retry-After", "1")
+	}
+	http.Error(w, err.Error(), http.StatusServiceUnavailable)
+}
+
+func (b *testBackend) handleInsertBatch(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	entries, err := parseBatchBody(body)
+	if err != nil || len(entries) == 0 {
+		w.Header().Set("X-Accepted", "0")
+		http.Error(w, "bad batch", http.StatusBadRequest)
+		return
+	}
+	pool := b.currentPool()
+	if pool == nil {
+		w.Header().Set("X-Accepted", "0")
+		http.Error(w, "closed", http.StatusServiceUnavailable)
+		return
+	}
+	for i, e := range entries {
+		if err := pool.InsertCountCtx(r.Context(), e.key, e.count); err != nil {
+			w.Header().Set("X-Accepted", strconv.Itoa(i))
+			failBackendOp(w, err)
+			return
+		}
+	}
+	w.Header().Set("X-Accepted", strconv.Itoa(len(entries)))
+	w.WriteHeader(http.StatusAccepted)
+}
+
+func (b *testBackend) handleQuery(w http.ResponseWriter, r *http.Request) {
+	raws := r.URL.Query()["key"]
+	if len(raws) == 0 {
+		http.Error(w, "missing key", http.StatusBadRequest)
+		return
+	}
+	keys := make([]uint64, len(raws))
+	for i, raw := range raws {
+		k, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		keys[i] = k
+	}
+	pool := b.currentPool()
+	if pool == nil {
+		http.Error(w, "closed", http.StatusServiceUnavailable)
+		return
+	}
+	counts, err := pool.QueryBatchCtx(r.Context(), keys)
+	if err != nil {
+		failBackendOp(w, err)
+		return
+	}
+	if len(keys) == 1 {
+		fmt.Fprintf(w, "%d\n", counts[0])
+		return
+	}
+	for i, c := range counts {
+		fmt.Fprintf(w, "%s %d\n", raws[i], c)
+	}
+}
+
+func (b *testBackend) handleTopK(w http.ResponseWriter, r *http.Request) {
+	k := 10
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		if v, err := strconv.Atoi(raw); err == nil && v > 0 {
+			k = v
+		}
+	}
+	pool := b.currentPool()
+	if pool == nil {
+		http.Error(w, "closed", http.StatusServiceUnavailable)
+		return
+	}
+	for i, e := range pool.Snapshot(k).HeavyHitters {
+		fmt.Fprintf(w, "%2d. key=%d count=%d (±%d)\n", i+1, e.Key, e.Count, e.Err)
+	}
+}
+
+func (b *testBackend) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if b.currentPool() == nil {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "{\"state\":\"draining\"}\n")
+		return
+	}
+	fmt.Fprintf(w, "{\"state\":\"serving\"}\n")
+}
+
+// startCluster brings up n backends and a started router over them.
+// Tweak the config (partition, buffering, chaos transport) via mut
+// before the router is built.
+func startCluster(t *testing.T, n, threads int, mut func(*Config)) ([]*testBackend, *Router) {
+	t.Helper()
+	backends := make([]*testBackend, n)
+	nodes := make([]string, n)
+	for i := range backends {
+		backends[i] = newTestBackend(t, threads)
+		nodes[i] = backends[i].url()
+	}
+	cfg := Config{
+		Nodes: nodes,
+		Health: HealthConfig{
+			Interval: 5 * time.Millisecond, // tests wait on real probe transitions
+			Timeout:  time.Second,          // (the Interval-derived default is too tight here)
+			FailK:    2,
+			ReadyM:   2,
+			Seed:     1,
+		},
+		Buffer: BufferConfig{Capacity: 1 << 16},
+		Retry:  RetryConfig{Seed: 1},
+		Logf:   t.Logf,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	for _, b := range backends {
+		b.start()
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := rt.Close(ctx); err != nil {
+			t.Logf("router close: %v", err)
+		}
+	})
+	return backends, rt
+}
+
+// backendByURL finds the testBackend serving the given member URL.
+func backendByURL(t *testing.T, backends []*testBackend, u string) *testBackend {
+	t.Helper()
+	for _, b := range backends {
+		if b.url() == u {
+			return b
+		}
+	}
+	t.Fatalf("no backend serves %s", u)
+	return nil
+}

@@ -1,0 +1,141 @@
+package router
+
+import (
+	"context"
+	"sync"
+)
+
+// BufferConfig tunes the dead-owner insert buffer. When a shard's
+// owner is ejected, inserts for it are parked in a bounded per-node
+// buffer and replayed after readmission, so a brief outage costs
+// latency instead of data. The full-buffer policies mirror the pool's
+// overload semantics: Block applies backpressure to the client (bounded
+// by the request deadline), Shed refuses with 503 + Retry-After.
+type BufferConfig struct {
+	// Capacity is the per-node bound in insert entries; 0 disables
+	// buffering entirely (inserts for a down owner get 503 +
+	// Retry-After immediately).
+	Capacity int
+	// Policy is "block" or "shed" (default "shed").
+	Policy string
+}
+
+func (c BufferConfig) validate() error {
+	switch c.Policy {
+	case "", "block", "shed":
+		return nil
+	}
+	return errBadBufferPolicy
+}
+
+// entry is one parked insert.
+type entry struct {
+	key   uint64
+	count uint64
+}
+
+// nodeBuffer is the bounded FIFO of inserts parked for one down owner.
+// Producers (HTTP handlers) push under the configured policy; the
+// flusher pops batches and re-pushes a suffix at the front if the node
+// flaps back down mid-replay, preserving order.
+type nodeBuffer struct {
+	mu      sync.Mutex
+	notFull *sync.Cond
+	entries []entry
+	cap     int
+}
+
+func newNodeBuffer(capacity int) *nodeBuffer {
+	b := &nodeBuffer{cap: capacity}
+	b.notFull = sync.NewCond(&b.mu)
+	return b
+}
+
+// push parks a prefix of es, honoring the bound. Under "shed" it
+// accepts whatever fits right now; under "block" it waits for space
+// (waking on flusher progress) until ctx expires. Returns how many
+// entries were accepted — always a prefix, so the caller's X-Accepted
+// arithmetic stays exact.
+func (b *nodeBuffer) push(ctx context.Context, es []entry, block bool) int {
+	if b.cap <= 0 || len(es) == 0 {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	accepted := 0
+	for accepted < len(es) {
+		space := b.cap - len(b.entries)
+		if space > 0 {
+			n := space
+			if rem := len(es) - accepted; n > rem {
+				n = rem
+			}
+			b.entries = append(b.entries, es[accepted:accepted+n]...)
+			accepted += n
+			continue
+		}
+		if !block {
+			break
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		// Condition variables cannot select on ctx; a helper wakes all
+		// waiters when ctx ends so a blocked client cannot hang past
+		// its deadline.
+		done := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			select {
+			case <-ctx.Done():
+				b.notFull.Broadcast()
+			case <-done:
+			}
+		}()
+		b.notFull.Wait()
+		close(done)
+		b.mu.Unlock()
+		wg.Wait()
+		b.mu.Lock()
+	}
+	return accepted
+}
+
+// pop removes and returns up to max entries from the front.
+func (b *nodeBuffer) pop(max int) []entry {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := len(b.entries)
+	if n == 0 {
+		return nil
+	}
+	if n > max {
+		n = max
+	}
+	out := make([]entry, n)
+	copy(out, b.entries[:n])
+	b.entries = append(b.entries[:0], b.entries[n:]...)
+	b.notFull.Broadcast()
+	return out
+}
+
+// unpop returns entries the flusher could not deliver to the front of
+// the queue, preserving order. It may transiently exceed the bound —
+// the entries were already accepted, so dropping them is worse.
+func (b *nodeBuffer) unpop(es []entry) {
+	if len(es) == 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.entries = append(es, b.entries...)
+}
+
+// len reports the current queue depth.
+func (b *nodeBuffer) len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.entries)
+}

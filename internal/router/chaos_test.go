@@ -1,0 +1,310 @@
+package router
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dsketch/internal/fault"
+	"dsketch/internal/testutil"
+)
+
+// This file is the router's node-kill chaos harness (run by `make
+// chaos` alongside the pool and parallel chaos suites). The tests drive
+// a real 3-backend cluster through crashes, flaky transports and
+// blackholes, and check the accounting invariant that makes the router
+// trustworthy in front of a counting sketch: an entry the router
+// acknowledged is applied to its owner exactly once — never lost from a
+// surviving shard, never double-applied by a retry or a buffer replay.
+
+// insertOne sends a single-entry insert and reports whether the router
+// accepted it. Single-entry requests make the accounting exact: 202
+// means this entry is owned by the cluster, anything else means it
+// provably is not.
+func insertOne(t *testing.T, front string, key uint64) bool {
+	t.Helper()
+	status, h, _ := doReq(t, http.MethodPost, fmt.Sprintf("%s/insert?key=%d", front, key), "")
+	switch status {
+	case http.StatusAccepted:
+		return true
+	case http.StatusServiceUnavailable:
+		if h.Get("X-Accepted") != "0" {
+			t.Fatalf("refused insert with X-Accepted=%q, want 0", h.Get("X-Accepted"))
+		}
+		return false
+	default:
+		t.Fatalf("insert key %d: unexpected status %d", key, status)
+		return false
+	}
+}
+
+// TestChaosRouterNodeKill is the acceptance scenario: kill one of three
+// backends mid-stream, keep inserting, verify queries during the outage
+// answer partially with X-Degraded-Shards set, restart the node, and
+// prove the accounting afterwards —
+//
+//   - surviving shards hold exactly the accepted entries they own: zero
+//     loss, zero double-application;
+//   - the restarted shard holds exactly the entries accepted for it
+//     after the kill (buffered during the outage and replayed on
+//     readmission, or sent directly after); what its pre-kill pool held
+//     died with the crash, which is the durability layer's story
+//     (checkpointing), not the router's;
+//   - the node is readmitted and serves its shard again.
+func TestChaosRouterNodeKill(t *testing.T) {
+	backends, rt := startCluster(t, 3, 2, func(cfg *Config) {
+		// Tight backoff keeps the pre-ejection retry window short; the
+		// semantics under test do not depend on the sleep lengths.
+		cfg.Retry = RetryConfig{Seed: 1, Base: time.Millisecond, Cap: 10 * time.Millisecond}
+	})
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	members := rt.Members()
+	victim := members[1]
+	vb := backendByURL(t, backends, victim)
+
+	// Background read traffic for the whole run: batch queries and
+	// top-k fan-outs must answer 200 (partial while degraded) no matter
+	// what the insert stream and the crash are doing.
+	stopReads := make(chan struct{})
+	var readers sync.WaitGroup
+	sample := []uint64{
+		keysOwnedBy(t, rt, members[0], 1, 1)[0],
+		keysOwnedBy(t, rt, members[1], 1, 1)[0],
+		keysOwnedBy(t, rt, members[2], 1, 1)[0],
+	}
+	readers.Add(1)
+	//lint:ignore recoverguard test reader: a panic here fails the run loudly, which is the right outcome
+	go func() {
+		defer readers.Done()
+		q := fmt.Sprintf("%s/query?key=%d&key=%d&key=%d", front.URL, sample[0], sample[1], sample[2])
+		for i := 0; ; i++ {
+			select {
+			case <-stopReads:
+				return
+			default:
+			}
+			if status, _, _ := doReq(t, http.MethodGet, q, ""); status != http.StatusOK {
+				t.Errorf("background batch query: status %d", status)
+				return
+			}
+			// Top-k quiesces every backend pool; sample it rather than
+			// hammering it, or the reader serializes the whole cluster.
+			if i%128 == 0 {
+				if status, _, _ := doReq(t, http.MethodGet, front.URL+"/topk?k=5", ""); status != http.StatusOK {
+					t.Errorf("background topk: status %d", status)
+					return
+				}
+			}
+		}
+	}()
+
+	// The insert stream: one entry per request, tallied per owner, with
+	// separate tallies before and after the crash (the victim's pre-kill
+	// entries die with its pool; everyone else's must survive).
+	preKill := make(map[string]uint64)
+	postKill := make(map[string]uint64)
+	tally := preKill
+	insert := func(key uint64) {
+		if insertOne(t, front.URL, key) {
+			tally[rt.Owner(key)]++
+		}
+	}
+	for key := uint64(0); key < 500; key++ {
+		insert(key)
+	}
+
+	vb.kill() // mid-stream: 500 in, 700 still to come
+	tally = postKill
+	for key := uint64(500); key < 900; key++ {
+		insert(key)
+	}
+
+	// The outage is observable: the checker ejects the victim, and a
+	// query spanning it answers partially with the shard named.
+	testutil.WaitUntil(t, 10*time.Second, func() bool { return !rt.NodeUp(victim) })
+	q := fmt.Sprintf("%s/query?key=%d&key=%d&key=%d", front.URL, sample[0], sample[1], sample[2])
+	status, h, body := doReq(t, http.MethodGet, q, "")
+	if status != http.StatusOK {
+		t.Fatalf("query during outage: status=%d", status)
+	}
+	if got := h.Get("X-Degraded-Shards"); got != victim {
+		t.Fatalf("X-Degraded-Shards = %q, want %q", got, victim)
+	}
+	answered := bodyKeys(body)
+	if !answered[fmt.Sprintf("%d", sample[0])] || !answered[fmt.Sprintf("%d", sample[2])] {
+		t.Fatalf("degraded query lost surviving shards' answers: %q", body)
+	}
+
+	// Keep streaming into the hole: the victim's entries park.
+	for key := uint64(900); key < 1100; key++ {
+		insert(key)
+	}
+	if rt.Metrics().EntriesBuffered == 0 {
+		t.Fatal("no entries were buffered during the outage; the test exercised nothing")
+	}
+
+	// Restart, readmission, replay. Then stream the tail with the
+	// cluster whole again.
+	vb.start()
+	testutil.WaitUntil(t, 10*time.Second, func() bool { return rt.NodeUp(victim) })
+	testutil.WaitUntil(t, 10*time.Second, func() bool {
+		m := rt.Metrics()
+		return m.BufferDepth == 0 && m.EntriesBuffered == m.BufferReplayed+m.BufferDropped
+	})
+	for key := uint64(1100); key < 1200; key++ {
+		insert(key)
+	}
+
+	close(stopReads)
+	readers.Wait()
+
+	// The ledger. Nothing was dropped, and every shard holds exactly
+	// what the router accepted for it — the victim counted from the
+	// crash onward.
+	m := rt.Metrics()
+	if m.BufferDropped != 0 {
+		t.Fatalf("router dropped %d parked inserts", m.BufferDropped)
+	}
+	for _, node := range members {
+		b := backendByURL(t, backends, node)
+		want := postKill[node]
+		if node != victim {
+			want += preKill[node]
+		}
+		if got := b.inserts(); got != want {
+			t.Fatalf("shard %s holds %d entries, want exactly %d (pre-kill %d, post-kill %d)",
+				node, got, want, preKill[node], postKill[node])
+		}
+	}
+
+	// The readmitted node serves its shard again: an entry accepted
+	// after restart is queryable through the router.
+	vkey := keysOwnedBy(t, rt, victim, 1, 1100)[0]
+	if vkey >= 1200 {
+		t.Fatalf("no victim-owned key in the post-restart stream (first is %d)", vkey)
+	}
+	status, h, body = doReq(t, http.MethodGet, fmt.Sprintf("%s/query?key=%d", front.URL, vkey), "")
+	if status != http.StatusOK || h.Get("X-Degraded-Shards") != "" || strings.TrimSpace(body) != "1" {
+		t.Fatalf("query via readmitted shard: status=%d degraded=%q body=%q",
+			status, h.Get("X-Degraded-Shards"), body)
+	}
+}
+
+// TestChaosRouterFlakyTransport runs concurrent insert streams through
+// a seeded fault transport injecting delays, connect failures and
+// shed-shaped 5xxs on every backend (probes included), then checks the
+// exactly-once ledger: the cluster holds precisely the accepted
+// entries — retries, parking and replay never double-applied or lost
+// one.
+func TestChaosRouterFlakyTransport(t *testing.T) {
+	in := fault.New(12345)
+	tr := fault.NewTransport(nil, in)
+	backends, rt := startCluster(t, 3, 2, func(cfg *Config) {
+		cfg.Transport = tr
+		cfg.Health.FailK = 3 // ride out probe-level flakes a little longer
+		cfg.Retry = RetryConfig{Seed: 1, Base: time.Millisecond, Cap: 20 * time.Millisecond,
+			BudgetMin: 10_000, BudgetCap: 10_000}
+	})
+	for _, m := range rt.Members() {
+		host := strings.TrimPrefix(m, "http://")
+		in.DelayProb(fault.TransportPoint(host, "delay"), 0.05, 5*time.Millisecond)
+		in.DropProb(fault.TransportPoint(host, "connect"), 0.05)
+		in.DropProb(fault.TransportPoint(host, "5xx"), 0.10)
+	}
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	const (
+		writers   = 4
+		perWriter = 400
+	)
+	acceptedBy := make([]uint64, writers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			base := uint64(w) * perWriter
+			for i := uint64(0); i < perWriter; i++ {
+				if insertOne(t, front.URL, base+i) {
+					acceptedBy[w]++
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Storm over: disarm, let readmissions and replay finish, then
+	// audit. Every accepted entry must be applied exactly once.
+	in.Disarm()
+	testutil.WaitUntil(t, 20*time.Second, func() bool {
+		m := rt.Metrics()
+		return m.BufferDepth == 0 && m.EntriesBuffered == m.BufferReplayed+m.BufferDropped
+	})
+	m := rt.Metrics()
+	if m.BufferDropped != 0 {
+		t.Fatalf("router dropped %d parked inserts", m.BufferDropped)
+	}
+	var accepted, applied uint64
+	for _, a := range acceptedBy {
+		accepted += a
+	}
+	for _, b := range backends {
+		applied += b.inserts()
+	}
+	if applied != accepted {
+		t.Fatalf("cluster holds %d entries, router accepted %d: %s",
+			applied, accepted,
+			map[bool]string{true: "entries were double-applied", false: "accepted entries were lost"}[applied > accepted])
+	}
+	if m.Retries == 0 {
+		t.Fatal("the storm caused no retries; the injection did not engage")
+	}
+	// Reads still answer through the disarmed transport.
+	status, _, _ := doReq(t, http.MethodGet, front.URL+"/query?key=1", "")
+	if status != http.StatusOK {
+		t.Fatalf("query after storm: status=%d", status)
+	}
+}
+
+// TestChaosRouterBlackhole parks a request in a packet-eating network
+// until the attempt deadline. The failure is indeterminate, so the
+// insert must NOT be retried or parked — it surfaces as a refusal that
+// provably applied nothing anywhere.
+func TestChaosRouterBlackhole(t *testing.T) {
+	in := fault.New(7)
+	tr := fault.NewTransport(nil, in)
+	backends, rt := startCluster(t, 1, 1, func(cfg *Config) {
+		cfg.Transport = tr
+		cfg.ReqTimeout = 100 * time.Millisecond
+		cfg.Health.Interval = time.Hour // no probes: scripted hits count only test requests
+	})
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	host := strings.TrimPrefix(rt.Members()[0], "http://")
+	in.DropAt(fault.TransportPoint(host, "blackhole"), 1)
+
+	status, h, _ := doReq(t, http.MethodPost, front.URL+"/insert?key=9", "")
+	if status != http.StatusServiceUnavailable || h.Get("X-Accepted") != "0" {
+		t.Fatalf("blackholed insert: status=%d X-Accepted=%q, want 503/0", status, h.Get("X-Accepted"))
+	}
+	if got := backends[0].inserts(); got != 0 {
+		t.Fatalf("backend applied %d entries through a blackhole, want 0", got)
+	}
+	// The network heals; the same client retry lands exactly once.
+	status, _, _ = doReq(t, http.MethodPost, front.URL+"/insert?key=9", "")
+	if status != http.StatusAccepted {
+		t.Fatalf("insert after blackhole: status=%d", status)
+	}
+	if got := backends[0].inserts(); got != 1 {
+		t.Fatalf("backend holds %d entries, want exactly 1", got)
+	}
+}

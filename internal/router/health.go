@@ -1,0 +1,269 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// HealthConfig tunes the active health checker.
+type HealthConfig struct {
+	// Interval is the base probe period; every round sleeps
+	// Interval ± Jitter so a fleet of routers does not synchronize its
+	// probes against the backends. Defaults: 1s, Interval/4.
+	Interval time.Duration
+	Jitter   time.Duration
+	// Timeout bounds one probe request. Default: Interval (capped at 2s).
+	Timeout time.Duration
+	// FailK consecutive probe failures eject a node from the serving
+	// set; ReadyM consecutive successes readmit it. Defaults: 3, 2.
+	// Asymmetry is deliberate: ejecting too slowly strands requests on
+	// a dead node, readmitting too eagerly flaps on a node that is up
+	// but still recovering.
+	FailK  int
+	ReadyM int
+	// Seed feeds the jitter RNG so a test run is replayable.
+	Seed int64
+}
+
+func (c HealthConfig) withDefaults() HealthConfig {
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.Jitter <= 0 {
+		c.Jitter = c.Interval / 4
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = c.Interval
+		if c.Timeout > 2*time.Second {
+			c.Timeout = 2 * time.Second
+		}
+	}
+	if c.FailK <= 0 {
+		c.FailK = 3
+	}
+	if c.ReadyM <= 0 {
+		c.ReadyM = 2
+	}
+	return c
+}
+
+// NodeStatus is one node's membership state as seen by the checker.
+type NodeStatus struct {
+	Up bool `json:"up"`
+	// Status is the last probe classification: "serving", "recovering",
+	// "draining" (the backend's own /healthz states), "unreachable"
+	// (transport failure), "malformed" (non-JSON healthz), or "assumed"
+	// (never probed yet).
+	Status      string `json:"status"`
+	ConsecFail  int    `json:"consec_fail"`
+	ConsecOK    int    `json:"consec_ok"`
+	Ejections   uint64 `json:"ejections"`
+	Readmits    uint64 `json:"readmits"`
+	LastProbeMS int64  `json:"last_probe_ms"` // unix millis, 0 if never
+}
+
+// nodeHealth is the per-node state machine.
+type nodeHealth struct {
+	mu sync.Mutex
+	NodeStatus
+}
+
+// healthChecker actively drives every member's /healthz on a jittered
+// interval and runs the K-failures-down / M-successes-up state machine.
+// Nodes start optimistically Up ("assumed") so a router is usable the
+// moment it boots; the first probe round corrects the assumption.
+type healthChecker struct {
+	cfg      HealthConfig
+	client   *http.Client
+	nodes    map[string]*nodeHealth
+	onChange func(node string, up bool)
+	logf     func(string, ...any)
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+func newHealthChecker(members []string, cfg HealthConfig, transport http.RoundTripper,
+	onChange func(string, bool), logf func(string, ...any)) *healthChecker {
+	cfg = cfg.withDefaults()
+	hc := &healthChecker{
+		cfg:      cfg,
+		client:   &http.Client{Transport: transport, Timeout: cfg.Timeout},
+		nodes:    make(map[string]*nodeHealth, len(members)),
+		onChange: onChange,
+		logf:     logf,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		done:     make(chan struct{}),
+	}
+	for _, m := range members {
+		hc.nodes[m] = &nodeHealth{NodeStatus: NodeStatus{Up: true, Status: "assumed"}}
+	}
+	return hc
+}
+
+// start launches the probe loop. Safe to skip entirely (unit tests
+// drive observe directly); stop is then still safe to call.
+func (hc *healthChecker) start() {
+	hc.wg.Add(1)
+	go func() {
+		defer hc.wg.Done()
+		defer func() {
+			// A panic here would silently remove the cluster's failure
+			// detector; surface it instead of unwinding the process.
+			if r := recover(); r != nil && hc.logf != nil {
+				hc.logf("router: health checker panicked: %v", r)
+			}
+		}()
+		timer := time.NewTimer(hc.nextInterval())
+		defer timer.Stop()
+		for {
+			select {
+			case <-hc.done:
+				return
+			case <-timer.C:
+			}
+			hc.probeAll()
+			timer.Reset(hc.nextInterval())
+		}
+	}()
+}
+
+func (hc *healthChecker) stop() {
+	select {
+	case <-hc.done:
+	default:
+		close(hc.done)
+	}
+	hc.wg.Wait()
+}
+
+// nextInterval returns Interval ± Jitter, uniformly.
+func (hc *healthChecker) nextInterval() time.Duration {
+	hc.rngMu.Lock()
+	defer hc.rngMu.Unlock()
+	j := time.Duration(hc.rng.Int63n(int64(2*hc.cfg.Jitter) + 1))
+	return hc.cfg.Interval - hc.cfg.Jitter + j
+}
+
+// probeAll probes every member concurrently and feeds the results to
+// the state machine. One slow node must not delay probes of the others.
+func (hc *healthChecker) probeAll() {
+	var wg sync.WaitGroup
+	for node := range hc.nodes {
+		node := node
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ok, status := hc.probe(node)
+			hc.observe(node, ok, status)
+		}()
+	}
+	wg.Wait()
+}
+
+// probe issues one GET /healthz and classifies the answer. A node is
+// healthy only when it answers 200 with state "serving"; the JSON body
+// lets the router distinguish a draining node (going away — do not
+// retry against it) from a recovering one (will serve soon).
+func (hc *healthChecker) probe(node string) (ok bool, status string) {
+	ctx, cancel := context.WithTimeout(context.Background(), hc.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, node+"/healthz", nil)
+	if err != nil {
+		return false, "unreachable"
+	}
+	resp, err := hc.client.Do(req)
+	if err != nil {
+		return false, "unreachable"
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	_ = resp.Body.Close() // read-side close carries no lost data
+	if err != nil {
+		return false, "unreachable"
+	}
+	var hz struct {
+		State string `json:"state"`
+	}
+	if jerr := json.Unmarshal(body, &hz); jerr != nil || hz.State == "" {
+		// Pre-JSON backends said "ok"; treat any 200 as serving so the
+		// router still works against them.
+		if resp.StatusCode == http.StatusOK {
+			return true, "serving"
+		}
+		return false, "malformed"
+	}
+	return resp.StatusCode == http.StatusOK && hz.State == "serving", hz.State
+}
+
+// observe advances node's state machine with one probe result. Exported
+// to tests via the router so the K/M transitions are verifiable without
+// real probe timing.
+func (hc *healthChecker) observe(node string, ok bool, status string) {
+	n := hc.nodes[node]
+	if n == nil {
+		return
+	}
+	n.mu.Lock()
+	n.Status = status
+	n.LastProbeMS = time.Now().UnixMilli()
+	var changed, nowUp bool
+	if ok {
+		n.ConsecFail = 0
+		n.ConsecOK++
+		if !n.Up && n.ConsecOK >= hc.cfg.ReadyM {
+			n.Up, changed = true, true
+			n.Readmits++
+		}
+	} else {
+		n.ConsecOK = 0
+		n.ConsecFail++
+		if n.Up && n.ConsecFail >= hc.cfg.FailK {
+			n.Up, changed = false, true
+			n.Ejections++
+		}
+	}
+	nowUp = n.Up
+	n.mu.Unlock()
+	if changed {
+		if hc.logf != nil {
+			if nowUp {
+				hc.logf("router: readmitted %s (%s)", node, status)
+			} else {
+				hc.logf("router: ejected %s (%s)", node, status)
+			}
+		}
+		if hc.onChange != nil {
+			hc.onChange(node, nowUp)
+		}
+	}
+}
+
+// up reports whether node is currently in the serving set.
+func (hc *healthChecker) up(node string) bool {
+	n := hc.nodes[node]
+	if n == nil {
+		return false
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.Up
+}
+
+// status snapshots one node's state.
+func (hc *healthChecker) status(node string) NodeStatus {
+	n := hc.nodes[node]
+	if n == nil {
+		return NodeStatus{}
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.NodeStatus
+}

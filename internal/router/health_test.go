@@ -1,0 +1,165 @@
+package router
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dsketch/internal/testutil"
+)
+
+func testChecker(t *testing.T, members []string, cfg HealthConfig, onChange func(string, bool)) *healthChecker {
+	t.Helper()
+	hc := newHealthChecker(members, cfg, http.DefaultTransport, onChange, t.Logf)
+	t.Cleanup(hc.stop)
+	return hc
+}
+
+// TestHealthStateMachine drives the K-failures-down / M-successes-up
+// transitions directly, without probe timing.
+func TestHealthStateMachine(t *testing.T) {
+	var transitions []string
+	hc := testChecker(t, []string{"n"}, HealthConfig{FailK: 3, ReadyM: 2},
+		func(node string, up bool) {
+			if up {
+				transitions = append(transitions, "up")
+			} else {
+				transitions = append(transitions, "down")
+			}
+		})
+
+	if !hc.up("n") {
+		t.Fatal("node should start optimistically up")
+	}
+	// Two failures: still up (K=3).
+	hc.observe("n", false, "unreachable")
+	hc.observe("n", false, "unreachable")
+	if !hc.up("n") {
+		t.Fatal("ejected before K consecutive failures")
+	}
+	// A success in between resets the failure streak.
+	hc.observe("n", true, "serving")
+	hc.observe("n", false, "unreachable")
+	hc.observe("n", false, "unreachable")
+	if !hc.up("n") {
+		t.Fatal("failure streak not reset by an intervening success")
+	}
+	hc.observe("n", false, "unreachable")
+	if hc.up("n") {
+		t.Fatal("not ejected after K consecutive failures")
+	}
+	// One success: still down (M=2); a failure resets the streak.
+	hc.observe("n", true, "serving")
+	hc.observe("n", false, "recovering")
+	hc.observe("n", true, "serving")
+	if hc.up("n") {
+		t.Fatal("readmitted before M consecutive successes")
+	}
+	hc.observe("n", true, "serving")
+	if !hc.up("n") {
+		t.Fatal("not readmitted after M consecutive successes")
+	}
+	want := []string{"down", "up"}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", transitions, want)
+		}
+	}
+	st := hc.status("n")
+	if st.Ejections != 1 || st.Readmits != 1 || st.Status != "serving" {
+		t.Fatalf("status = %+v, want 1 ejection, 1 readmit, serving", st)
+	}
+}
+
+// TestHealthProbeClassification exercises the real probe against the
+// three healthz shapes dsserve answers, plus a legacy non-JSON 200 and
+// a dead listener.
+func TestHealthProbeClassification(t *testing.T) {
+	var state atomic.Value
+	state.Store(`{"state":"serving"}`)
+	var code atomic.Int64
+	code.Store(http.StatusOK)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz" {
+			http.NotFound(w, r)
+			return
+		}
+		w.WriteHeader(int(code.Load()))
+		if _, err := w.Write([]byte(state.Load().(string))); err != nil {
+			t.Logf("write: %v", err)
+		}
+	}))
+	defer srv.Close()
+
+	hc := testChecker(t, []string{srv.URL}, HealthConfig{Timeout: time.Second}, nil)
+	if ok, status := hc.probe(srv.URL); !ok || status != "serving" {
+		t.Fatalf("serving probe = %v %q", ok, status)
+	}
+	state.Store(`{"state":"recovering"}`)
+	code.Store(http.StatusServiceUnavailable)
+	if ok, status := hc.probe(srv.URL); ok || status != "recovering" {
+		t.Fatalf("recovering probe = %v %q", ok, status)
+	}
+	state.Store(`{"state":"draining"}`)
+	if ok, status := hc.probe(srv.URL); ok || status != "draining" {
+		t.Fatalf("draining probe = %v %q", ok, status)
+	}
+	// Legacy plain-text 200 still counts as serving.
+	state.Store("ok\n")
+	code.Store(http.StatusOK)
+	if ok, status := hc.probe(srv.URL); !ok || status != "serving" {
+		t.Fatalf("legacy ok probe = %v %q", ok, status)
+	}
+	srv.Close()
+	if ok, status := hc.probe(srv.URL); ok || status != "unreachable" {
+		t.Fatalf("dead probe = %v %q", ok, status)
+	}
+}
+
+// TestHealthCheckerEjectsAndReadmits runs the full active loop against
+// a backend that goes down and comes back.
+func TestHealthCheckerEjectsAndReadmits(t *testing.T) {
+	var healthy atomic.Bool
+	healthy.Store(true)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if !healthy.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			if err := json.NewEncoder(w).Encode(map[string]string{"state": "recovering"}); err != nil {
+				t.Logf("encode: %v", err)
+			}
+			return
+		}
+		if err := json.NewEncoder(w).Encode(map[string]string{"state": "serving"}); err != nil {
+			t.Logf("encode: %v", err)
+		}
+	}))
+	defer srv.Close()
+
+	hc := testChecker(t, []string{srv.URL}, HealthConfig{
+		Interval: 5 * time.Millisecond,
+		Jitter:   time.Millisecond,
+		Timeout:  time.Second,
+		FailK:    2,
+		ReadyM:   2,
+		Seed:     1,
+	}, nil)
+	hc.start()
+
+	testutil.WaitUntil(t, 5*time.Second, func() bool {
+		return hc.status(srv.URL).Status == "serving"
+	})
+	healthy.Store(false)
+	testutil.WaitUntil(t, 5*time.Second, func() bool { return !hc.up(srv.URL) })
+	if st := hc.status(srv.URL); st.Status != "recovering" {
+		t.Fatalf("down status = %+v, want recovering", st)
+	}
+	healthy.Store(true)
+	testutil.WaitUntil(t, 5*time.Second, func() bool { return hc.up(srv.URL) })
+}

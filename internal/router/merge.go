@@ -1,0 +1,102 @@
+package router
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file parses backend response bodies and merges fan-out answers.
+// Merging is exact because the key domains are disjoint: every key
+// lives in exactly one backend's sketch, so the cluster-wide top-k is
+// the union of the per-node top-k lists re-sorted — no count from two
+// nodes is ever summed, and the per-key estimates are bit-identical to
+// what a single node owning that key would answer.
+
+// hhEntry is one parsed heavy hitter from a backend /topk response.
+type hhEntry struct {
+	key   uint64
+	count uint64
+	err   uint64
+}
+
+// parseTopK parses a dsserve /topk body: lines of
+// "%2d. key=%d count=%d (±%d)".
+func parseTopK(body []byte) ([]hhEntry, error) {
+	var out []hhEntry
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rank int
+		var e hhEntry
+		if _, err := fmt.Sscanf(line, "%d. key=%d count=%d (±%d)", &rank, &e.key, &e.count, &e.err); err != nil {
+			return nil, fmt.Errorf("router: malformed topk line %q: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}
+
+// mergeTopK unions per-node heavy-hitter lists and returns the global
+// top k, ordered by count descending with the key as a deterministic
+// tie-break.
+func mergeTopK(lists [][]hhEntry, k int) []hhEntry {
+	var all []hhEntry
+	for _, l := range lists {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].count != all[j].count {
+			return all[i].count > all[j].count
+		}
+		return all[i].key < all[j].key
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// parseQueryCounts parses a dsserve /query body for the keys the
+// router asked for (decimal key strings, in request order). A one-key
+// request answers a bare count; a batch answers "key count" lines.
+func parseQueryCounts(body []byte, keys []uint64) ([]uint64, error) {
+	if len(keys) == 1 {
+		v, err := strconv.ParseUint(strings.TrimSpace(string(body)), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("router: malformed single-key query response %q: %w", string(body), err)
+		}
+		return []uint64{v}, nil
+	}
+	counts := make(map[uint64]uint64, len(keys))
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var k, c uint64
+		if _, err := fmt.Sscanf(line, "%d %d", &k, &c); err != nil {
+			return nil, fmt.Errorf("router: malformed query line %q: %w", line, err)
+		}
+		counts[k] = c
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]uint64, len(keys))
+	for i, k := range keys {
+		c, ok := counts[k]
+		if !ok {
+			return nil, fmt.Errorf("router: backend answer missing key %d", k)
+		}
+		out[i] = c
+	}
+	return out, nil
+}

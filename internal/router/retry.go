@@ -1,0 +1,184 @@
+package router
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"net/http"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// RetryConfig tunes the per-request retry policy and the router-wide
+// retry budget.
+type RetryConfig struct {
+	// Max is the number of retries after the first attempt. Default 2
+	// (so up to 3 attempts total).
+	Max int
+	// Base and Cap bound the exponential backoff: attempt i sleeps a
+	// full-jittered duration in [d/2, d] where d = min(Cap, Base<<i).
+	// Defaults: 10ms, 500ms.
+	Base time.Duration
+	Cap  time.Duration
+	// BudgetRatio is the fraction of forwarded requests earned back as
+	// retry tokens; BudgetMin is the bucket's starting balance (and
+	// floor refill target) so low-traffic periods can still retry;
+	// BudgetCap bounds the bucket. A retry storm therefore costs at
+	// most BudgetRatio of the offered load in extra requests, instead
+	// of multiplying every failure by Max. Defaults: 0.1, 10, 100.
+	BudgetRatio float64
+	BudgetMin   float64
+	BudgetCap   float64
+	// Seed feeds the jitter RNG so a test run is replayable.
+	Seed int64
+}
+
+func (c RetryConfig) withDefaults() RetryConfig {
+	if c.Max < 0 {
+		c.Max = 0
+	} else if c.Max == 0 {
+		c.Max = 2
+	}
+	if c.Base <= 0 {
+		c.Base = 10 * time.Millisecond
+	}
+	if c.Cap <= 0 {
+		c.Cap = 500 * time.Millisecond
+	}
+	if c.BudgetRatio <= 0 {
+		c.BudgetRatio = 0.1
+	}
+	if c.BudgetMin <= 0 {
+		c.BudgetMin = 10
+	}
+	if c.BudgetCap < c.BudgetMin {
+		c.BudgetCap = 100
+		if c.BudgetCap < c.BudgetMin {
+			c.BudgetCap = c.BudgetMin
+		}
+	}
+	return c
+}
+
+// retrier is the shared retry state: the token budget and the seeded
+// jitter source.
+type retrier struct {
+	cfg RetryConfig
+
+	mu           sync.Mutex
+	rng          *rand.Rand
+	tokens       float64
+	retries      uint64 // retries actually performed
+	budgetDenied uint64 // retries refused because the bucket was empty
+}
+
+func newRetrier(cfg RetryConfig) *retrier {
+	cfg = cfg.withDefaults()
+	return &retrier{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		tokens: cfg.BudgetMin,
+	}
+}
+
+// onRequest deposits the budget earned by one client-facing request.
+func (rt *retrier) onRequest() {
+	rt.mu.Lock()
+	rt.tokens += rt.cfg.BudgetRatio
+	if rt.tokens > rt.cfg.BudgetCap {
+		rt.tokens = rt.cfg.BudgetCap
+	}
+	rt.mu.Unlock()
+}
+
+// allowRetry withdraws one token; a false return means the budget is
+// exhausted and the failure must surface instead of being retried.
+func (rt *retrier) allowRetry() bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.tokens < 1 {
+		rt.budgetDenied++
+		return false
+	}
+	rt.tokens--
+	rt.retries++
+	return true
+}
+
+// backoff returns the sleep before retry attempt (0-based): full jitter
+// over an exponentially growing, capped window.
+func (rt *retrier) backoff(attempt int) time.Duration {
+	d := rt.cfg.Base
+	for i := 0; i < attempt && d < rt.cfg.Cap; i++ {
+		d *= 2
+	}
+	if d > rt.cfg.Cap {
+		d = rt.cfg.Cap
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return d/2 + time.Duration(rt.rng.Int63n(int64(d/2)+1))
+}
+
+// stats snapshots the budget counters.
+func (rt *retrier) stats() (tokens float64, retries, denied uint64) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.tokens, rt.retries, rt.budgetDenied
+}
+
+// verdict classifies one forwarding outcome for the retry loop.
+type verdict int
+
+const (
+	// vOK: 2xx — done.
+	vOK verdict = iota
+	// vRetrySafe: the backend provably applied nothing — a
+	// connect-level failure (the request never reached a server) or a
+	// 5xx that reports zero applied work. Safe to retry even for
+	// inserts: a resend cannot double-apply counts.
+	vRetrySafe
+	// vRetryRead: the attempt failed but the backend may have applied
+	// it (timeout or connection loss mid-request, or a 5xx of unknown
+	// application state — including a draining backend, which sends no
+	// Retry-After precisely because resending there is pointless).
+	// Idempotent reads retry; inserts must surface the failure.
+	vRetryRead
+	// vFatal: a 4xx — the request itself is wrong; retrying cannot
+	// help.
+	vFatal
+)
+
+// classifyErr classifies a transport-level error. Only failures that
+// provably precede the request reaching a server — dial/connect
+// refusals — are vRetrySafe; everything else (deadline, reset, EOF
+// mid-body) is indeterminate.
+func classifyErr(err error) verdict {
+	var op *net.OpError
+	if errors.As(err, &op) && op.Op == "dial" {
+		return vRetrySafe
+	}
+	if errors.Is(err, syscall.ECONNREFUSED) {
+		return vRetrySafe
+	}
+	return vRetryRead
+}
+
+// classifyResponse classifies an HTTP status + headers. The insert
+// contract with dsserve: every /insertbatch response carries
+// X-Accepted (the applied prefix length), and a 503 that applied
+// nothing and is worth retrying (overload shed, startup recovery)
+// carries Retry-After — a draining backend deliberately does not.
+func classifyResponse(status int, h http.Header) verdict {
+	switch {
+	case status < 300:
+		return vOK
+	case status < 500:
+		return vFatal
+	}
+	if h.Get("X-Accepted") == "0" && h.Get("Retry-After") != "" {
+		return vRetrySafe
+	}
+	return vRetryRead
+}

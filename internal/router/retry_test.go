@@ -1,0 +1,120 @@
+package router
+
+import (
+	"errors"
+	"net"
+	"net/http"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	rt := newRetrier(RetryConfig{Base: 10 * time.Millisecond, Cap: 80 * time.Millisecond, Seed: 42})
+	// Attempt i draws full jitter from [d/2, d] with d = min(cap, base<<i).
+	wantMax := []time.Duration{10, 20, 40, 80, 80, 80}
+	for i, m := range wantMax {
+		m *= time.Millisecond
+		for trial := 0; trial < 100; trial++ {
+			d := rt.backoff(i)
+			if d < m/2 || d > m {
+				t.Fatalf("backoff(%d) = %v, want in [%v, %v]", i, d, m/2, m)
+			}
+		}
+	}
+}
+
+func TestRetryBudgetDepletesAndRefills(t *testing.T) {
+	rt := newRetrier(RetryConfig{BudgetRatio: 0.5, BudgetMin: 2, BudgetCap: 3, Seed: 1})
+	// Starting balance is BudgetMin.
+	if !rt.allowRetry() || !rt.allowRetry() {
+		t.Fatal("initial budget should cover BudgetMin retries")
+	}
+	if rt.allowRetry() {
+		t.Fatal("budget not exhausted after BudgetMin retries")
+	}
+	// Two requests earn one token at ratio 0.5.
+	rt.onRequest()
+	if rt.allowRetry() {
+		t.Fatal("half a token should not buy a retry")
+	}
+	rt.onRequest()
+	if !rt.allowRetry() {
+		t.Fatal("earned token refused")
+	}
+	// The bucket caps: a quiet burst of requests cannot bank unlimited
+	// retries.
+	for i := 0; i < 100; i++ {
+		rt.onRequest()
+	}
+	got := 0
+	for rt.allowRetry() {
+		got++
+	}
+	if got != 3 {
+		t.Fatalf("bucket held %d tokens, want BudgetCap=3", got)
+	}
+	_, retries, denied := rt.stats()
+	if retries == 0 || denied == 0 {
+		t.Fatalf("stats retries=%d denied=%d, want both nonzero", retries, denied)
+	}
+}
+
+func TestClassifyErr(t *testing.T) {
+	dial := &net.OpError{Op: "dial", Net: "tcp", Err: syscall.ECONNREFUSED}
+	if classifyErr(dial) != vRetrySafe {
+		t.Fatal("dial error should be retry-safe: the request never reached a server")
+	}
+	if classifyErr(errors.New("read tcp: connection reset mid-body")) != vRetryRead {
+		t.Fatal("generic transport error must be indeterminate (reads only)")
+	}
+	readReset := &net.OpError{Op: "read", Net: "tcp", Err: syscall.ECONNRESET}
+	if classifyErr(readReset) != vRetryRead {
+		t.Fatal("mid-request reset may have been applied; must not be insert-retryable")
+	}
+}
+
+func TestClassifyResponse(t *testing.T) {
+	h := func(kv ...string) http.Header {
+		out := http.Header{}
+		for i := 0; i < len(kv); i += 2 {
+			out.Set(kv[i], kv[i+1])
+		}
+		return out
+	}
+	cases := []struct {
+		status int
+		header http.Header
+		want   verdict
+	}{
+		{202, h(), vOK},
+		{200, h(), vOK},
+		{400, h(), vFatal},
+		{404, h(), vFatal},
+		// Shed/recovering: provably applied nothing, invited back.
+		{503, h("X-Accepted", "0", "Retry-After", "1"), vRetrySafe},
+		// Draining: no Retry-After — do not retry here.
+		{503, h("X-Accepted", "0"), vRetryRead},
+		// Partial application: a resend would double-count the prefix.
+		{503, h("X-Accepted", "17", "Retry-After", "1"), vRetryRead},
+		// Unknown 5xx with no accounting: indeterminate.
+		{500, h(), vRetryRead},
+		{504, h(), vRetryRead},
+	}
+	for _, c := range cases {
+		if got := classifyResponse(c.status, c.header); got != c.want {
+			t.Fatalf("classifyResponse(%d, %v) = %d, want %d", c.status, c.header, got, c.want)
+		}
+	}
+}
+
+func TestRetryConfigDefaults(t *testing.T) {
+	cfg := RetryConfig{}.withDefaults()
+	if cfg.Max != 2 || cfg.Base != 10*time.Millisecond || cfg.Cap != 500*time.Millisecond {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	// Max -1 means "no retries", distinct from the zero value.
+	if got := (RetryConfig{Max: -1}).withDefaults().Max; got != 0 {
+		t.Fatalf("Max=-1 → %d, want 0", got)
+	}
+}

@@ -1,0 +1,137 @@
+// Package router shards keys across multiple dsserve backends and
+// keeps the cluster usable while individual backends are slow, shedding
+// or dead. It is the process-level generalization of the paper's
+// domain-splitting rule Owner(K) = hash(K) mod T: where the delegation
+// sketch maps every key to exactly one worker thread, the router maps
+// every key to exactly one backend node, batch-forwards inserts to the
+// owner, and fans out merge queries — which are exact, because the
+// Count-Min-family sketches are mergeable and the per-node key domains
+// are disjoint.
+//
+// Robustness is the point of the package, not an afterthought:
+//
+//   - membership is health-gated by an active checker driving /healthz
+//     on a jittered interval with an up/down state machine (K
+//     consecutive failures eject a node, M consecutive successes
+//     readmit it);
+//   - every forwarded request carries a deadline and a bounded retry
+//     policy (exponential backoff with jitter, spent from a per-client
+//     retry budget) — reads retry freely because they are idempotent,
+//     inserts retry only on connect-level errors or a 5xx that
+//     provably applied nothing, so counts are never double-applied;
+//   - when a shard's owner is down the router degrades instead of
+//     failing closed: queries return partial results with explicit
+//     X-Degraded-Shards / X-Degraded-Keys headers, and inserts for the
+//     dead owner are either buffered (bounded, Block/Shed policies
+//     mirroring the pool's overload semantics) or refused with 503 +
+//     Retry-After.
+package router
+
+import (
+	"fmt"
+	"sort"
+
+	"dsketch/internal/hash"
+)
+
+// PartitionFunc maps a key to its owner among the (full, not merely
+// healthy) member list. Ownership must not depend on health: a key's
+// owner stays its owner while the node is down — that is what makes
+// buffered inserts land on the right shard after readmission, and what
+// keeps the fan-out/merge exact (no key is ever double-counted on two
+// nodes).
+type PartitionFunc func(key uint64, members []string) string
+
+// ModPartition is the paper's Owner(K) = mix64(K) mod T rule lifted to
+// processes: member i owns the keys whose mixed hash is ≡ i (mod N).
+// With it, an N-node cluster of single-thread backends partitions the
+// key domain exactly like one N-thread delegation sketch partitions it
+// across worker threads — the property the merge-exactness test leans
+// on. Its weakness is remapping: removing one member reshuffles almost
+// every key, which is why the ring below is the default.
+func ModPartition(key uint64, members []string) string {
+	if len(members) == 0 {
+		return ""
+	}
+	return members[hash.Mix64(key)%uint64(len(members))]
+}
+
+// Ring is a consistent-hash ring with virtual nodes: each member is
+// hashed onto the ring at Replicas points, and a key is owned by the
+// member whose point follows the key's hash clockwise. Adding or
+// removing one member moves only ~1/N of the key domain.
+type Ring struct {
+	replicas int
+	members  []string
+	points   []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds a ring over members with the given number of virtual
+// nodes per member. Members must be non-empty and unique.
+func NewRing(members []string, replicas int) (*Ring, error) {
+	if replicas <= 0 {
+		replicas = 64
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("router: ring needs at least one member")
+	}
+	seen := make(map[string]bool, len(members))
+	r := &Ring{replicas: replicas}
+	for _, m := range members {
+		if m == "" {
+			return nil, fmt.Errorf("router: empty member name")
+		}
+		if seen[m] {
+			return nil, fmt.Errorf("router: duplicate member %q", m)
+		}
+		seen[m] = true
+		r.members = append(r.members, m)
+		h := hash.FingerprintString(m)
+		for i := 0; i < replicas; i++ {
+			r.points = append(r.points, ringPoint{
+				// Mix the replica index through the member fingerprint so
+				// virtual nodes scatter rather than cluster.
+				hash: hash.Mix64(h + uint64(i)*0x9e3779b97f4a7c15),
+				node: m,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Tie-break on name so two members colliding on a point still
+		// order deterministically on every router instance.
+		return r.points[i].node < r.points[j].node
+	})
+	sort.Strings(r.members)
+	return r, nil
+}
+
+// Members returns the full member list in sorted order.
+func (r *Ring) Members() []string {
+	out := make([]string, len(r.members))
+	copy(out, r.members)
+	return out
+}
+
+// Owner returns the member owning key: the first ring point at or after
+// the key's mixed hash, wrapping at the top.
+func (r *Ring) Owner(key uint64) string {
+	h := hash.Mix64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// Partition adapts the ring to the PartitionFunc seam. The members
+// argument is ignored — the ring was built over the authoritative
+// member list and ownership must not drift with health.
+func (r *Ring) Partition(key uint64, _ []string) string { return r.Owner(key) }

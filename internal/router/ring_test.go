@@ -1,0 +1,124 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingRejectsBadMembers(t *testing.T) {
+	if _, err := NewRing(nil, 64); err == nil {
+		t.Fatal("empty member list accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 64); err == nil {
+		t.Fatal("empty member name accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 64); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+}
+
+func TestRingOwnerDeterministicAndComplete(t *testing.T) {
+	members := []string{"http://n1:1", "http://n2:1", "http://n3:1"}
+	r1, err := NewRing(members, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same members in a different order must produce the same ownership
+	// on every router instance, or two routers would split the domain
+	// differently and double-count keys.
+	r2, err := NewRing([]string{members[2], members[0], members[1]}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]int)
+	for k := uint64(0); k < 10000; k++ {
+		o := r1.Owner(k)
+		if o2 := r2.Owner(k); o2 != o {
+			t.Fatalf("key %d: owner %q vs %q under member-order permutation", k, o, o2)
+		}
+		seen[o]++
+	}
+	for _, m := range members {
+		if seen[m] == 0 {
+			t.Fatalf("member %s owns no keys out of 10000: distribution %v", m, seen)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	var members []string
+	for i := 0; i < 8; i++ {
+		members = append(members, fmt.Sprintf("http://node-%d:8080", i))
+	}
+	r, err := NewRing(members, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	const keys = 100000
+	for k := uint64(0); k < keys; k++ {
+		counts[r.Owner(k)]++
+	}
+	// Virtual nodes keep the split coarse-balanced; a 3x spread across 8
+	// members would indicate broken point scattering.
+	want := keys / len(members)
+	for m, c := range counts {
+		if c < want/3 || c > want*3 {
+			t.Fatalf("member %s owns %d keys, want within [%d,%d]: %v", m, c, want/3, want*3, counts)
+		}
+	}
+}
+
+// TestRingMinimalRemap is the property consistent hashing exists for:
+// removing one member remaps only that member's keys — every key owned
+// by a surviving member keeps its owner.
+func TestRingMinimalRemap(t *testing.T) {
+	members := []string{"http://n1:1", "http://n2:1", "http://n3:1", "http://n4:1"}
+	full, err := NewRing(members, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := NewRing(members[:3], 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := members[3]
+	moved := 0
+	for k := uint64(0); k < 20000; k++ {
+		was := full.Owner(k)
+		now := reduced.Owner(k)
+		if was == removed {
+			moved++
+			continue
+		}
+		if was != now {
+			t.Fatalf("key %d moved %s -> %s though its owner survived", k, was, now)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed member owned no keys; test proves nothing")
+	}
+}
+
+func TestModPartitionMatchesDelegationOwnerRule(t *testing.T) {
+	members := []string{"n0", "n1", "n2"}
+	// ModPartition must index members by mix64(key) mod N — the same
+	// rule the delegation sketch uses for threads — so an N-node
+	// cluster of single-thread backends partitions the domain exactly
+	// like one N-thread sketch. The merge-exactness test depends on it.
+	for k := uint64(0); k < 1000; k++ {
+		got := ModPartition(k, members)
+		if got == "" {
+			t.Fatal("empty owner")
+		}
+	}
+	if ModPartition(1, nil) != "" {
+		t.Fatal("nil members should return empty owner")
+	}
+	// Stability: same key, same answer.
+	for k := uint64(0); k < 100; k++ {
+		if ModPartition(k, members) != ModPartition(k, members) {
+			t.Fatalf("unstable ownership for key %d", k)
+		}
+	}
+}

@@ -1,0 +1,952 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dsketch/internal/hash"
+)
+
+var errBadBufferPolicy = errors.New("router: buffer policy must be block or shed")
+
+// maxBodyBytes bounds request and response bodies the router will read.
+const maxBodyBytes = 8 << 20
+
+// Config wires a Router.
+type Config struct {
+	// Nodes are the backend base URLs (scheme optional; "host:port"
+	// gets http://). They are the authoritative member set — health
+	// gates which members receive traffic, never which member owns a
+	// key.
+	Nodes []string
+	// Replicas is the number of virtual nodes per member on the
+	// consistent-hash ring (default 64).
+	Replicas int
+	// Partition overrides the ring's ownership function (used by the
+	// merge-exactness tests to mirror the delegation sketch's
+	// Owner(K) = mix64(K) mod T rule; the default ring moves only ~1/N
+	// of the domain per membership change).
+	Partition PartitionFunc
+	Health    HealthConfig
+	Retry     RetryConfig
+	Buffer    BufferConfig
+	// ReqTimeout bounds one forwarded attempt (default 2s).
+	ReqTimeout time.Duration
+	// BlockTimeout bounds how long an insert may wait on a full
+	// dead-owner buffer under the block policy (default 5s).
+	BlockTimeout time.Duration
+	// FlushInterval is the buffer replay poll period (default 25ms;
+	// readmission also wakes the flusher immediately).
+	FlushInterval time.Duration
+	// Transport is the HTTP client seam — chaos tests install a
+	// fault.FaultTransport here. Default http.DefaultTransport.
+	Transport http.RoundTripper
+	Logf      func(string, ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.ReqTimeout <= 0 {
+		c.ReqTimeout = 2 * time.Second
+	}
+	if c.BlockTimeout <= 0 {
+		c.BlockTimeout = 5 * time.Second
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 25 * time.Millisecond
+	}
+	if c.Transport == nil {
+		c.Transport = http.DefaultTransport
+	}
+	return c
+}
+
+// Metrics is a snapshot of the router's serving counters.
+type Metrics struct {
+	Requests        uint64 // client-facing requests handled
+	InsertEntries   uint64 // insert entries received
+	EntriesApplied  uint64 // entries a backend acknowledged
+	EntriesBuffered uint64 // entries parked for a down owner
+	BufferReplayed  uint64 // parked entries later applied
+	// BufferDropped counts parked entries abandoned because a replay
+	// failed indeterminately (the backend may have applied them;
+	// resending could double-count, and for a counting sketch silent
+	// overcounts are worse than visible gaps).
+	BufferDropped     uint64
+	BufferDepth       int // entries currently parked, all nodes
+	Retries           uint64
+	RetryBudgetDenied uint64
+	RetryBudgetTokens float64
+	DegradedQueries   uint64 // queries answered partially
+	DegradedKeys      uint64 // keys omitted from degraded answers
+	Ejections         uint64 // node down-transitions, all nodes
+	Readmits          uint64 // node up-transitions, all nodes
+}
+
+// Router shards keys across the configured backends. See the package
+// comment for the full contract.
+type Router struct {
+	cfg     Config
+	ring    *Ring
+	part    PartitionFunc
+	members []string
+	health  *healthChecker
+	retry   *retrier
+	client  *http.Client
+	buffers map[string]*nodeBuffer
+
+	flushc chan struct{}
+	done   chan struct{}
+	wg     sync.WaitGroup
+
+	requests        atomic.Uint64
+	insertEntries   atomic.Uint64
+	entriesApplied  atomic.Uint64
+	entriesBuffered atomic.Uint64
+	bufferReplayed  atomic.Uint64
+	bufferDropped   atomic.Uint64
+	degradedQueries atomic.Uint64
+	degradedKeys    atomic.Uint64
+}
+
+// New validates cfg and builds a stopped Router: Start launches the
+// health checker and buffer flusher, Close tears them down.
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Buffer.validate(); err != nil {
+		return nil, err
+	}
+	members := make([]string, 0, len(cfg.Nodes))
+	seen := make(map[string]bool, len(cfg.Nodes))
+	for _, n := range cfg.Nodes {
+		m, err := normalizeNode(n)
+		if err != nil {
+			return nil, err
+		}
+		if seen[m] {
+			return nil, fmt.Errorf("router: duplicate node %q", m)
+		}
+		seen[m] = true
+		members = append(members, m)
+	}
+	ring, err := NewRing(members, cfg.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	r := &Router{
+		cfg:     cfg,
+		ring:    ring,
+		members: ring.Members(),
+		retry:   newRetrier(cfg.Retry),
+		client:  &http.Client{Transport: cfg.Transport},
+		buffers: make(map[string]*nodeBuffer, len(members)),
+		flushc:  make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+	r.part = cfg.Partition
+	if r.part == nil {
+		r.part = ring.Partition
+	}
+	for _, m := range r.members {
+		r.buffers[m] = newNodeBuffer(cfg.Buffer.Capacity)
+	}
+	r.health = newHealthChecker(r.members, cfg.Health, cfg.Transport,
+		func(node string, up bool) {
+			if up {
+				r.wakeFlusher()
+			}
+		}, cfg.Logf)
+	return r, nil
+}
+
+// normalizeNode canonicalizes one backend address to a base URL.
+func normalizeNode(n string) (string, error) {
+	n = strings.TrimRight(strings.TrimSpace(n), "/")
+	if n == "" {
+		return "", fmt.Errorf("router: empty node address")
+	}
+	if !strings.Contains(n, "://") {
+		n = "http://" + n
+	}
+	u, err := url.Parse(n)
+	if err != nil || u.Host == "" {
+		return "", fmt.Errorf("router: bad node address %q", n)
+	}
+	return n, nil
+}
+
+// Start launches the health checker and the buffer flusher.
+func (r *Router) Start() {
+	r.health.start()
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		defer func() {
+			// The flusher owns accepted-but-parked inserts; a panic must
+			// be visible, not a silent goroutine death.
+			if p := recover(); p != nil {
+				r.logf("router: buffer flusher panicked: %v", p)
+			}
+		}()
+		t := time.NewTicker(r.cfg.FlushInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-r.done:
+				return
+			case <-t.C:
+			case <-r.flushc:
+			}
+			r.flushOnce()
+		}
+	}()
+}
+
+// Close stops probing, replays what the still-up backends will take
+// (bounded by ctx), and stops the flusher. A non-nil error means
+// parked inserts could not be delivered before the deadline.
+func (r *Router) Close(ctx context.Context) error {
+	r.health.stop()
+	select {
+	case <-r.done:
+	default:
+		close(r.done)
+	}
+	r.wg.Wait()
+	// Final replay on the caller's goroutine, after the background
+	// flusher has exited, so the two never race on the same buffer.
+	for ctx.Err() == nil && r.bufferDepth() > 0 {
+		if r.flushOnce() == 0 {
+			select {
+			case <-ctx.Done():
+			case <-time.After(r.cfg.FlushInterval):
+			}
+		}
+	}
+	if n := r.bufferDepth(); n > 0 {
+		return fmt.Errorf("router: %d parked inserts undelivered at close", n)
+	}
+	return nil
+}
+
+func (r *Router) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
+func (r *Router) wakeFlusher() {
+	select {
+	case r.flushc <- struct{}{}:
+	default:
+	}
+}
+
+// Owner returns the member owning key under the configured partition.
+func (r *Router) Owner(key uint64) string { return r.part(key, r.members) }
+
+// Members returns the configured member set.
+func (r *Router) Members() []string { return r.ring.Members() }
+
+// NodeUp reports whether node is currently in the serving set.
+func (r *Router) NodeUp(node string) bool { return r.health.up(node) }
+
+// ObserveHealth feeds one synthetic probe result into node's state
+// machine — the seam the state-machine tests (and operators' manual
+// ejection tooling) use instead of waiting for probe timing.
+func (r *Router) ObserveHealth(node string, ok bool, status string) {
+	r.health.observe(node, ok, status)
+}
+
+// Statuses snapshots every member's health state.
+func (r *Router) Statuses() map[string]NodeStatus {
+	out := make(map[string]NodeStatus, len(r.members))
+	for _, m := range r.members {
+		out[m] = r.health.status(m)
+	}
+	return out
+}
+
+func (r *Router) bufferDepth() int {
+	n := 0
+	for _, b := range r.buffers {
+		n += b.len()
+	}
+	return n
+}
+
+// Metrics snapshots the router's counters.
+func (r *Router) Metrics() Metrics {
+	tokens, retries, denied := r.retry.stats()
+	m := Metrics{
+		Requests:          r.requests.Load(),
+		InsertEntries:     r.insertEntries.Load(),
+		EntriesApplied:    r.entriesApplied.Load(),
+		EntriesBuffered:   r.entriesBuffered.Load(),
+		BufferReplayed:    r.bufferReplayed.Load(),
+		BufferDropped:     r.bufferDropped.Load(),
+		BufferDepth:       r.bufferDepth(),
+		Retries:           retries,
+		RetryBudgetDenied: denied,
+		RetryBudgetTokens: tokens,
+		DegradedQueries:   r.degradedQueries.Load(),
+		DegradedKeys:      r.degradedKeys.Load(),
+	}
+	for _, st := range r.Statuses() {
+		m.Ejections += st.Ejections
+		m.Readmits += st.Readmits
+	}
+	return m
+}
+
+// ---------------------------------------------------------------------
+// Forwarding with retries.
+
+// fwdResult is one forward's terminal outcome: either a transport
+// error, or a fully-read response.
+type fwdResult struct {
+	status   int
+	header   http.Header
+	body     []byte
+	err      error
+	attempts int
+}
+
+func (res fwdResult) verdict() verdict {
+	if res.err != nil {
+		return classifyErr(res.err)
+	}
+	return classifyResponse(res.status, res.header)
+}
+
+// doOnce performs a single forwarded attempt under ReqTimeout.
+func (r *Router) doOnce(ctx context.Context, method, u string, body []byte) fwdResult {
+	actx, cancel := context.WithTimeout(ctx, r.cfg.ReqTimeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, u, rd)
+	if err != nil {
+		return fwdResult{err: err}
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return fwdResult{err: err}
+	}
+	b, rerr := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	_ = resp.Body.Close() // read-side close carries no lost data
+	if rerr != nil {
+		return fwdResult{err: rerr}
+	}
+	return fwdResult{status: resp.StatusCode, header: resp.Header, body: b}
+}
+
+// forward retries doOnce under the retry policy. Idempotent requests
+// (reads) may retry any failure; non-idempotent ones (inserts) retry
+// only verdicts that prove the backend applied nothing, so a count can
+// never be applied twice. Every retry costs a budget token and sleeps
+// an exponentially backed-off, jittered delay.
+func (r *Router) forward(ctx context.Context, method, u string, body []byte, idempotent bool) fwdResult {
+	for attempt := 0; ; attempt++ {
+		res := r.doOnce(ctx, method, u, body)
+		res.attempts = attempt + 1
+		switch res.verdict() {
+		case vOK, vFatal:
+			return res
+		case vRetryRead:
+			if !idempotent {
+				return res
+			}
+		}
+		if attempt >= r.retry.cfg.Max || ctx.Err() != nil || !r.retry.allowRetry() {
+			return res
+		}
+		select {
+		case <-ctx.Done():
+			return res
+		case <-time.After(r.retry.backoff(attempt)):
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Insert path.
+
+// encodeEntries renders entries as the /insertbatch wire body.
+func encodeEntries(es []entry) []byte {
+	var b bytes.Buffer
+	for _, e := range es {
+		fmt.Fprintf(&b, "%d %d\n", e.key, e.count)
+	}
+	return b.Bytes()
+}
+
+// sendBatch forwards one owner-ordered batch to node and reports how
+// many entries were applied (always a prefix: the backend applies
+// lines in order and reports X-Accepted on failure) plus whether the
+// remainder is provably unapplied and may be parked or retried.
+func (r *Router) sendBatch(ctx context.Context, node string, es []entry) (applied int, safeRemainder bool) {
+	res := r.forward(ctx, http.MethodPost, node+"/insertbatch", encodeEntries(es), false)
+	switch res.verdict() {
+	case vOK:
+		return len(es), false
+	case vRetrySafe:
+		// Connect-level failure or a zero-applied 5xx: nothing landed.
+		return 0, true
+	}
+	if res.err == nil {
+		// The backend answered: X-Accepted is the exact applied prefix.
+		if n, err := strconv.Atoi(res.header.Get("X-Accepted")); err == nil && n >= 0 && n <= len(es) {
+			return n, false
+		}
+	}
+	return 0, false
+}
+
+// routeInserts re-batches entries by owner, forwards each owner batch,
+// and parks provably-unapplied remainders for down owners. Returns the
+// number of accepted entries (applied or parked — both survive, parked
+// ones after readmission) and the nodes that could not take their
+// share.
+func (r *Router) routeInserts(ctx context.Context, entries []entry) (accepted int, failed []string) {
+	r.insertEntries.Add(uint64(len(entries)))
+	type group struct {
+		node    string
+		entries []entry
+	}
+	groups := make(map[string]*group)
+	var order []*group
+	for _, e := range entries {
+		node := r.part(e.key, r.members)
+		g := groups[node]
+		if g == nil {
+			g = &group{node: node}
+			groups[node] = g
+			order = append(order, g)
+		}
+		g.entries = append(g.entries, e)
+	}
+	results := make([]int, len(order))
+	fails := make([]bool, len(order))
+	var wg sync.WaitGroup
+	for i, g := range order {
+		i, g := i, g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], fails[i] = r.routeOwnerBatch(ctx, g.node, g.entries)
+		}()
+	}
+	wg.Wait()
+	for i, g := range order {
+		accepted += results[i]
+		if fails[i] {
+			failed = append(failed, g.node)
+		}
+	}
+	sort.Strings(failed)
+	return accepted, failed
+}
+
+// routeOwnerBatch delivers one owner's batch: forward when the owner is
+// in the serving set, park when it is down (or turns out to be —
+// connect failures surface faster than the next probe round). Returns
+// accepted count and whether any entries were refused.
+func (r *Router) routeOwnerBatch(ctx context.Context, node string, es []entry) (accepted int, anyFailed bool) {
+	remainder := es
+	if r.health.up(node) {
+		applied, safe := r.sendBatch(ctx, node, es)
+		r.entriesApplied.Add(uint64(applied))
+		accepted = applied
+		remainder = es[applied:]
+		if len(remainder) == 0 {
+			return accepted, false
+		}
+		if !safe {
+			// The backend may have seen the remainder (indeterminate
+			// failure) or refused it while serving (drain, overload past
+			// the retry budget). Either way it must not be parked: a
+			// replay could double-apply. The client sees the miss via
+			// X-Accepted and decides.
+			return accepted, true
+		}
+	}
+	parked := r.parkEntries(ctx, node, remainder)
+	accepted += parked
+	return accepted, parked < len(remainder)
+}
+
+// parkEntries buffers provably-unapplied entries for a down owner.
+func (r *Router) parkEntries(ctx context.Context, node string, es []entry) int {
+	buf := r.buffers[node]
+	if buf == nil || len(es) == 0 {
+		return 0
+	}
+	block := r.cfg.Buffer.Policy == "block"
+	if block {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.cfg.BlockTimeout)
+		defer cancel()
+	}
+	n := buf.push(ctx, es, block)
+	r.entriesBuffered.Add(uint64(n))
+	return n
+}
+
+// flushOnce replays parked inserts to every readmitted owner. Returns
+// the number of entries it delivered. Replay uses single attempts (the
+// loop itself is the retry, without spending client budget); a
+// connect-level failure re-parks the batch, a reported prefix re-parks
+// the suffix, and only an indeterminate transport failure abandons the
+// batch (see Metrics.BufferDropped).
+func (r *Router) flushOnce() int {
+	delivered := 0
+	for _, node := range r.members {
+		buf := r.buffers[node]
+		for buf.len() > 0 && r.health.up(node) {
+			es := buf.pop(256)
+			if len(es) == 0 {
+				break
+			}
+			res := r.doOnce(context.Background(), http.MethodPost, node+"/insertbatch", encodeEntries(es))
+			switch res.verdict() {
+			case vOK:
+				delivered += len(es)
+				r.bufferReplayed.Add(uint64(len(es)))
+				r.entriesApplied.Add(uint64(len(es)))
+				continue
+			case vRetrySafe:
+				buf.unpop(es)
+			default:
+				if res.err == nil {
+					// Applied prefix is exact; re-park only the suffix.
+					if n, err := strconv.Atoi(res.header.Get("X-Accepted")); err == nil && n >= 0 && n <= len(es) {
+						delivered += n
+						r.bufferReplayed.Add(uint64(n))
+						r.entriesApplied.Add(uint64(n))
+						buf.unpop(es[n:])
+					} else {
+						r.bufferDropped.Add(uint64(len(es)))
+						r.logf("router: dropped %d parked inserts for %s (unparseable backend answer)", len(es), node)
+					}
+				} else {
+					r.bufferDropped.Add(uint64(len(es)))
+					r.logf("router: dropped %d parked inserts for %s (indeterminate failure: %v)", len(es), node, res.err)
+				}
+			}
+			break // stop this node for now; next round continues
+		}
+	}
+	return delivered
+}
+
+// ---------------------------------------------------------------------
+// HTTP surface.
+
+// Handler returns the router's HTTP mux:
+//
+//	POST /insert?key=<uint64|string>[&count=n]
+//	POST /insertbatch            (body: "key [count]" lines)
+//	GET  /query?key=...[&key=...][&mode=stale]
+//	GET  /topk?k=10[&mode=stale]
+//	GET  /stats
+//	GET  /healthz                (JSON cluster membership)
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/insert", r.handleInsert)
+	mux.HandleFunc("/insertbatch", r.handleInsertBatch)
+	mux.HandleFunc("/query", r.handleQuery)
+	mux.HandleFunc("/topk", r.handleTopK)
+	mux.HandleFunc("/stats", r.handleStats)
+	mux.HandleFunc("/healthz", r.handleHealthz)
+	return mux
+}
+
+// parseKeyToken accepts a decimal uint64 or an arbitrary string key
+// (fingerprinted, matching dsserve and the library's InsertString).
+func parseKeyToken(raw string) (uint64, error) {
+	if raw == "" {
+		return 0, fmt.Errorf("missing key")
+	}
+	if k, err := strconv.ParseUint(raw, 10, 64); err == nil {
+		return k, nil
+	}
+	return hash.FingerprintString(raw), nil
+}
+
+// answerInserts maps a routeInserts outcome onto the response: 202
+// when every entry was accepted, 503 + Retry-After otherwise, always
+// with X-Accepted so clients can account exactly.
+func answerInserts(w http.ResponseWriter, total, accepted int, failed []string) {
+	w.Header().Set("X-Accepted", strconv.Itoa(accepted))
+	if accepted == total {
+		w.WriteHeader(http.StatusAccepted)
+		return
+	}
+	w.Header().Set("Retry-After", "1")
+	if len(failed) > 0 {
+		w.Header().Set("X-Degraded-Shards", strings.Join(failed, ","))
+	}
+	http.Error(w, fmt.Sprintf("accepted %d/%d inserts", accepted, total), http.StatusServiceUnavailable)
+}
+
+func (r *Router) handleInsert(w http.ResponseWriter, req *http.Request) {
+	r.requests.Add(1)
+	if req.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	key, err := parseKeyToken(req.URL.Query().Get("key"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	count := uint64(1)
+	if c := req.URL.Query().Get("count"); c != "" {
+		count, err = strconv.ParseUint(c, 10, 64)
+		if err != nil || count == 0 {
+			http.Error(w, "bad count", http.StatusBadRequest)
+			return
+		}
+	}
+	accepted, failed := r.routeInserts(req.Context(), []entry{{key: key, count: count}})
+	answerInserts(w, 1, accepted, failed)
+}
+
+func (r *Router) handleInsertBatch(w http.ResponseWriter, req *http.Request) {
+	r.requests.Add(1)
+	if req.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(req.Body, maxBodyBytes))
+	if err != nil {
+		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	entries, err := parseBatchBody(body)
+	if err != nil {
+		// Parse-before-apply: a malformed batch applies nothing, so the
+		// client may fix and resend without double-counting.
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(entries) == 0 {
+		http.Error(w, "empty batch", http.StatusBadRequest)
+		return
+	}
+	accepted, failed := r.routeInserts(req.Context(), entries)
+	answerInserts(w, len(entries), accepted, failed)
+}
+
+// parseBatchBody parses "key [count]" lines (count defaults to 1).
+func parseBatchBody(body []byte) ([]entry, error) {
+	var out []entry
+	for ln, line := range strings.Split(string(body), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) > 2 {
+			return nil, fmt.Errorf("line %d: want \"key [count]\", got %q", ln+1, line)
+		}
+		key, err := parseKeyToken(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", ln+1, err)
+		}
+		count := uint64(1)
+		if len(fields) == 2 {
+			count, err = strconv.ParseUint(fields[1], 10, 64)
+			if err != nil || count == 0 {
+				return nil, fmt.Errorf("line %d: bad count %q", ln+1, fields[1])
+			}
+		}
+		out = append(out, entry{key: key, count: count})
+	}
+	return out, nil
+}
+
+// degradedHeaders reports a partial answer. Headers must precede the
+// first body write.
+func (r *Router) degradedHeaders(w http.ResponseWriter, shards []string, keys int) {
+	if len(shards) == 0 {
+		return
+	}
+	sort.Strings(shards)
+	w.Header().Set("X-Degraded-Shards", strings.Join(shards, ","))
+	w.Header().Set("X-Degraded-Keys", strconv.Itoa(keys))
+	r.degradedQueries.Add(1)
+	r.degradedKeys.Add(uint64(keys))
+}
+
+// mergeStaleness max-merges the backends' bounded-staleness watermarks
+// into the client-facing headers: the cluster answer is at most as
+// fresh as its stalest shard.
+func mergeStaleness(w http.ResponseWriter, headers []http.Header) {
+	var lag uint64
+	var age time.Duration
+	seen := false
+	for _, h := range headers {
+		if h.Get("X-Staleness-Lag-Inserts") == "" && h.Get("X-Staleness-Age") == "" {
+			continue
+		}
+		seen = true
+		if v, err := strconv.ParseUint(h.Get("X-Staleness-Lag-Inserts"), 10, 64); err == nil && v > lag {
+			lag = v
+		}
+		if d, err := time.ParseDuration(h.Get("X-Staleness-Age")); err == nil && d > age {
+			age = d
+		}
+	}
+	if seen {
+		w.Header().Set("X-Staleness-Lag-Inserts", strconv.FormatUint(lag, 10))
+		w.Header().Set("X-Staleness-Age", age.String())
+	}
+}
+
+func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
+	r.requests.Add(1)
+	raws := req.URL.Query()["key"]
+	if len(raws) == 0 {
+		http.Error(w, "missing key parameter", http.StatusBadRequest)
+		return
+	}
+	mode := req.URL.Query().Get("mode")
+	if mode != "" && mode != "stale" {
+		http.Error(w, "mode must be stale (or omitted for exact)", http.StatusBadRequest)
+		return
+	}
+	keys := make([]uint64, len(raws))
+	for i, raw := range raws {
+		k, err := parseKeyToken(raw)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		keys[i] = k
+	}
+	// Group request positions by owner so each backend answers its own
+	// keys in one round trip.
+	type group struct {
+		node string
+		idx  []int
+	}
+	groups := make(map[string]*group)
+	var order []*group
+	for i, k := range keys {
+		node := r.part(k, r.members)
+		g := groups[node]
+		if g == nil {
+			g = &group{node: node}
+			groups[node] = g
+			order = append(order, g)
+		}
+		g.idx = append(g.idx, i)
+	}
+	counts := make([]uint64, len(keys))
+	served := make([]bool, len(keys))
+	fails := make([]bool, len(order))
+	staleHeaders := make([]http.Header, len(order))
+	var wg sync.WaitGroup
+	for gi, g := range order {
+		if !r.health.up(g.node) {
+			fails[gi] = true
+			continue
+		}
+		gi, g := gi, g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			vals := url.Values{}
+			gkeys := make([]uint64, len(g.idx))
+			for j, i := range g.idx {
+				gkeys[j] = keys[i]
+				vals.Add("key", strconv.FormatUint(keys[i], 10))
+			}
+			if mode != "" {
+				vals.Set("mode", mode)
+			}
+			res := r.forward(req.Context(), http.MethodGet, g.node+"/query?"+vals.Encode(), nil, true)
+			if res.verdict() != vOK {
+				fails[gi] = true
+				return
+			}
+			got, err := parseQueryCounts(res.body, gkeys)
+			if err != nil {
+				r.logf("router: %v", err)
+				fails[gi] = true
+				return
+			}
+			staleHeaders[gi] = res.header
+			for j, i := range g.idx {
+				counts[i] = got[j]
+				served[i] = true
+			}
+		}()
+	}
+	wg.Wait()
+	var degraded []string
+	degradedKeys := 0
+	var okHeaders []http.Header
+	for gi, g := range order {
+		if fails[gi] {
+			degraded = append(degraded, g.node)
+			degradedKeys += len(g.idx)
+		} else {
+			okHeaders = append(okHeaders, staleHeaders[gi])
+		}
+	}
+	if mode == "stale" {
+		mergeStaleness(w, okHeaders)
+	}
+	r.degradedHeaders(w, degraded, degradedKeys)
+	if len(keys) == 1 {
+		if served[0] {
+			fmt.Fprintf(w, "%d\n", counts[0])
+		}
+		return
+	}
+	for i, raw := range raws {
+		if !served[i] {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", raw, counts[i]); err != nil {
+			return
+		}
+	}
+}
+
+func (r *Router) handleTopK(w http.ResponseWriter, req *http.Request) {
+	r.requests.Add(1)
+	k := 10
+	if raw := req.URL.Query().Get("k"); raw != "" {
+		if v, err := strconv.Atoi(raw); err == nil && v > 0 {
+			k = v
+		}
+	}
+	mode := req.URL.Query().Get("mode")
+	if mode != "" && mode != "stale" {
+		http.Error(w, "mode must be stale (or omitted for exact)", http.StatusBadRequest)
+		return
+	}
+	lists := make([][]hhEntry, len(r.members))
+	fails := make([]bool, len(r.members))
+	fatal := make([]bool, len(r.members))
+	staleHeaders := make([]http.Header, len(r.members))
+	var wg sync.WaitGroup
+	for i, node := range r.members {
+		if !r.health.up(node) {
+			fails[i] = true
+			continue
+		}
+		i, node := i, node
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			u := fmt.Sprintf("%s/topk?k=%d", node, k)
+			if mode != "" {
+				u += "&mode=" + mode
+			}
+			res := r.forward(req.Context(), http.MethodGet, u, nil, true)
+			if res.verdict() != vOK {
+				fails[i] = true
+				fatal[i] = res.verdict() == vFatal
+				return
+			}
+			l, err := parseTopK(res.body)
+			if err != nil {
+				r.logf("router: %v", err)
+				fails[i] = true
+				return
+			}
+			lists[i] = l
+			staleHeaders[i] = res.header
+		}()
+	}
+	wg.Wait()
+	var degraded []string
+	var okLists [][]hhEntry
+	var okHeaders []http.Header
+	anyFatal, anyOK := false, false
+	for i, node := range r.members {
+		if fails[i] {
+			degraded = append(degraded, node)
+			anyFatal = anyFatal || fatal[i]
+			continue
+		}
+		anyOK = true
+		okLists = append(okLists, lists[i])
+		okHeaders = append(okHeaders, staleHeaders[i])
+	}
+	if !anyOK && anyFatal {
+		// Every shard refused outright (e.g. backends started without
+		// -topk): an empty 200 would be a silently wrong answer.
+		http.Error(w, "no backend serves /topk", http.StatusBadGateway)
+		return
+	}
+	if mode == "stale" {
+		mergeStaleness(w, okHeaders)
+	}
+	r.degradedHeaders(w, degraded, k)
+	for i, e := range mergeTopK(okLists, k) {
+		if _, err := fmt.Fprintf(w, "%2d. key=%d count=%d (±%d)\n", i+1, e.key, e.count, e.err); err != nil {
+			return
+		}
+	}
+}
+
+// handleHealthz reports the router's own health: serving while every
+// member is up, degraded while at least one is, down (503) when none
+// are. The JSON shape extends dsserve's so the same probes work.
+func (r *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	statuses := r.Statuses()
+	up := 0
+	for _, st := range statuses {
+		if st.Up {
+			up++
+		}
+	}
+	state := "serving"
+	code := http.StatusOK
+	switch {
+	case up == 0:
+		state, code = "down", http.StatusServiceUnavailable
+	case up < len(statuses):
+		state = "degraded"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(struct {
+		State string                `json:"state"`
+		Up    int                   `json:"up"`
+		Nodes map[string]NodeStatus `json:"nodes"`
+	}{state, up, statuses})
+}
+
+func (r *Router) handleStats(w http.ResponseWriter, _ *http.Request) {
+	m := r.Metrics()
+	fmt.Fprintf(w, "requests=%d insert_entries=%d entries_applied=%d entries_buffered=%d buffer_replayed=%d buffer_dropped=%d buffer_depth=%d\n",
+		m.Requests, m.InsertEntries, m.EntriesApplied, m.EntriesBuffered, m.BufferReplayed, m.BufferDropped, m.BufferDepth)
+	fmt.Fprintf(w, "retries=%d retry_budget_denied=%d retry_budget_tokens=%.1f\n",
+		m.Retries, m.RetryBudgetDenied, m.RetryBudgetTokens)
+	fmt.Fprintf(w, "degraded_queries=%d degraded_keys=%d ejections=%d readmits=%d\n",
+		m.DegradedQueries, m.DegradedKeys, m.Ejections, m.Readmits)
+	for _, node := range r.members {
+		st := r.health.status(node)
+		fmt.Fprintf(w, "node=%s up=%t status=%s consec_fail=%d consec_ok=%d buffered=%d\n",
+			node, st.Up, st.Status, st.ConsecFail, st.ConsecOK, r.buffers[node].len())
+	}
+}

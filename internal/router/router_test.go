@@ -1,0 +1,539 @@
+package router
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"dsketch"
+	"dsketch/internal/fault"
+	"dsketch/internal/testutil"
+)
+
+// doReq performs one request against the router's client-facing server
+// and returns the fully-read response.
+func doReq(t *testing.T, method, u, body string) (int, http.Header, string) {
+	t.Helper()
+	req, err := http.NewRequest(method, u, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, string(b)
+}
+
+// bodyKeys returns the first token of every non-empty line of a batch
+// query response — the keys the answer actually covers.
+func bodyKeys(body string) map[string]bool {
+	out := make(map[string]bool)
+	for _, line := range strings.Split(body, "\n") {
+		f := strings.Fields(line)
+		if len(f) > 0 {
+			out[f[0]] = true
+		}
+	}
+	return out
+}
+
+// keysOwnedBy returns n keys the router maps to node, scanning upward
+// from start.
+func keysOwnedBy(t *testing.T, rt *Router, node string, n int, start uint64) []uint64 {
+	t.Helper()
+	var out []uint64
+	for k := start; len(out) < n && k < start+1_000_000; k++ {
+		if rt.Owner(k) == node {
+			out = append(out, k)
+		}
+	}
+	if len(out) < n {
+		t.Fatalf("found only %d/%d keys owned by %s", len(out), n, node)
+	}
+	return out
+}
+
+func TestRouterConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("no nodes accepted")
+	}
+	if _, err := New(Config{Nodes: []string{"host:1", "http://host:1"}}); err == nil {
+		t.Fatal("duplicate node (post-normalization) accepted")
+	}
+	if _, err := New(Config{Nodes: []string{"host:1"}, Buffer: BufferConfig{Policy: "banana"}}); err == nil {
+		t.Fatal("bad buffer policy accepted")
+	}
+	rt, err := New(Config{Nodes: []string{"host:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Members()[0]; got != "http://host:1" {
+		t.Fatalf("normalized member = %q, want scheme added", got)
+	}
+}
+
+// TestRouterEndToEnd drives the full cluster path: batch inserts
+// re-batched to their owners, single inserts, exact single and batch
+// queries, the merged top-k, and the serving /healthz and /stats.
+func TestRouterEndToEnd(t *testing.T) {
+	backends, rt := startCluster(t, 3, 2, nil)
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	// One key owned by each member, inserted with distinct counts via
+	// one batch body plus a single /insert.
+	members := rt.Members()
+	keys := make([]uint64, len(members))
+	var batch strings.Builder
+	for i, m := range members {
+		keys[i] = keysOwnedBy(t, rt, m, 1, 1)[0]
+		fmt.Fprintf(&batch, "%d %d\n", keys[i], (i+1)*10)
+	}
+	status, h, body := doReq(t, http.MethodPost, front.URL+"/insertbatch", batch.String())
+	if status != http.StatusAccepted || h.Get("X-Accepted") != "3" {
+		t.Fatalf("insertbatch: status=%d X-Accepted=%q body=%q", status, h.Get("X-Accepted"), body)
+	}
+	status, _, _ = doReq(t, http.MethodPost,
+		fmt.Sprintf("%s/insert?key=%d&count=5", front.URL, keys[0]), "")
+	if status != http.StatusAccepted {
+		t.Fatalf("single insert: status=%d", status)
+	}
+
+	// Single-key query answers a bare count.
+	status, h, body = doReq(t, http.MethodGet, fmt.Sprintf("%s/query?key=%d", front.URL, keys[0]), "")
+	if status != http.StatusOK || strings.TrimSpace(body) != "15" {
+		t.Fatalf("single query: status=%d body=%q", status, body)
+	}
+	if h.Get("X-Degraded-Shards") != "" {
+		t.Fatalf("healthy query reported degradation: %q", h.Get("X-Degraded-Shards"))
+	}
+
+	// Batch query spans all three owners in one client request.
+	q := fmt.Sprintf("%s/query?key=%d&key=%d&key=%d", front.URL, keys[0], keys[1], keys[2])
+	status, _, body = doReq(t, http.MethodGet, q, "")
+	if status != http.StatusOK {
+		t.Fatalf("batch query: status=%d", status)
+	}
+	want := map[uint64]string{keys[0]: "15", keys[1]: "20", keys[2]: "30"}
+	for k, w := range want {
+		if !strings.Contains(body, fmt.Sprintf("%d %s", k, w)) {
+			t.Fatalf("batch query body %q missing %d=%s", body, k, w)
+		}
+	}
+
+	// The merged top-k sees all three keys, best first.
+	status, _, body = doReq(t, http.MethodGet, front.URL+"/topk?k=10", "")
+	if status != http.StatusOK {
+		t.Fatalf("topk: status=%d", status)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("topk returned %d lines, want 3: %q", len(lines), body)
+	}
+	if !strings.Contains(lines[0], fmt.Sprintf("key=%d count=30", keys[2])) {
+		t.Fatalf("topk best line = %q, want key %d count 30", lines[0], keys[2])
+	}
+
+	// Healthz is serving with every member up.
+	status, _, body = doReq(t, http.MethodGet, front.URL+"/healthz", "")
+	if status != http.StatusOK || !strings.Contains(body, `"state":"serving"`) {
+		t.Fatalf("healthz: status=%d body=%q", status, body)
+	}
+	status, _, body = doReq(t, http.MethodGet, front.URL+"/stats", "")
+	if status != http.StatusOK || !strings.Contains(body, "insert_entries=4") {
+		t.Fatalf("stats: status=%d body=%q", status, body)
+	}
+
+	// Every accepted entry landed on exactly one backend.
+	var applied uint64
+	for _, b := range backends {
+		applied += b.inserts()
+	}
+	if applied != 4 {
+		t.Fatalf("backends applied %d entries, want 4", applied)
+	}
+	if m := rt.Metrics(); m.InsertEntries != 4 || m.EntriesApplied != 4 {
+		t.Fatalf("metrics = %+v, want 4 entries routed and applied", m)
+	}
+}
+
+func TestRouterHandlerValidation(t *testing.T) {
+	_, rt := startCluster(t, 1, 1, nil)
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	cases := []struct {
+		method, path string
+		want         int
+	}{
+		{http.MethodGet, "/insert?key=1", http.StatusMethodNotAllowed},
+		{http.MethodPost, "/insert?key=", http.StatusBadRequest},
+		{http.MethodPost, "/insert?key=1&count=0", http.StatusBadRequest},
+		{http.MethodGet, "/query", http.StatusBadRequest},
+		{http.MethodGet, "/query?key=1&mode=banana", http.StatusBadRequest},
+		{http.MethodGet, "/topk?mode=banana", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		status, _, _ := doReq(t, c.method, front.URL+c.path, "")
+		if status != c.want {
+			t.Fatalf("%s %s = %d, want %d", c.method, c.path, status, c.want)
+		}
+	}
+	// A malformed batch applies nothing and reports the offending line.
+	status, _, body := doReq(t, http.MethodPost, front.URL+"/insertbatch", "1 2 3\n")
+	if status != http.StatusBadRequest || !strings.Contains(body, "line 1") {
+		t.Fatalf("malformed batch: status=%d body=%q", status, body)
+	}
+}
+
+// TestRouterDegradedQueries kills one backend and verifies queries keep
+// answering partially, with the outage named in X-Degraded-Shards.
+func TestRouterDegradedQueries(t *testing.T) {
+	backends, rt := startCluster(t, 3, 1, nil)
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	members := rt.Members()
+	victim := members[1]
+	keys := make([]uint64, len(members))
+	for i, m := range members {
+		keys[i] = keysOwnedBy(t, rt, m, 1, 1)[0]
+		status, _, _ := doReq(t, http.MethodPost, fmt.Sprintf("%s/insert?key=%d&count=7", front.URL, keys[i]), "")
+		if status != http.StatusAccepted {
+			t.Fatalf("seed insert for %s: status=%d", m, status)
+		}
+	}
+
+	backendByURL(t, backends, victim).kill()
+	testutil.WaitUntil(t, 10*time.Second, func() bool { return !rt.NodeUp(victim) })
+
+	// Batch query spanning all owners: 200, survivors answered, the
+	// victim's key omitted and the shard named.
+	q := fmt.Sprintf("%s/query?key=%d&key=%d&key=%d", front.URL, keys[0], keys[1], keys[2])
+	status, h, body := doReq(t, http.MethodGet, q, "")
+	if status != http.StatusOK {
+		t.Fatalf("degraded batch query: status=%d", status)
+	}
+	if got := h.Get("X-Degraded-Shards"); got != victim {
+		t.Fatalf("X-Degraded-Shards = %q, want %q", got, victim)
+	}
+	if h.Get("X-Degraded-Keys") != "1" {
+		t.Fatalf("X-Degraded-Keys = %q, want 1", h.Get("X-Degraded-Keys"))
+	}
+	answered := bodyKeys(body)
+	for _, i := range []int{0, 2} {
+		if !answered[fmt.Sprintf("%d", keys[i])] {
+			t.Fatalf("degraded body %q missing surviving key %d", body, keys[i])
+		}
+	}
+	if answered[fmt.Sprintf("%d", keys[1])] {
+		t.Fatalf("degraded body %q contains the dead owner's key", body)
+	}
+
+	// Single-key query for the dead shard: 200, empty body, explicit
+	// degradation header — the client can tell "no data" from "zero".
+	status, h, body = doReq(t, http.MethodGet, fmt.Sprintf("%s/query?key=%d", front.URL, keys[1]), "")
+	if status != http.StatusOK || strings.TrimSpace(body) != "" {
+		t.Fatalf("single degraded query: status=%d body=%q", status, body)
+	}
+	if h.Get("X-Degraded-Shards") != victim {
+		t.Fatalf("single degraded query header = %q, want %q", h.Get("X-Degraded-Shards"), victim)
+	}
+
+	// Top-k merges the survivors and names the missing shard.
+	status, h, body = doReq(t, http.MethodGet, front.URL+"/topk?k=10", "")
+	if status != http.StatusOK || h.Get("X-Degraded-Shards") != victim {
+		t.Fatalf("degraded topk: status=%d header=%q", status, h.Get("X-Degraded-Shards"))
+	}
+	if !strings.Contains(body, fmt.Sprintf("key=%d", keys[0])) {
+		t.Fatalf("degraded topk body %q missing surviving key", body)
+	}
+
+	// The router itself reports degraded, still 200: it is serving.
+	status, _, body = doReq(t, http.MethodGet, front.URL+"/healthz", "")
+	if status != http.StatusOK || !strings.Contains(body, `"state":"degraded"`) {
+		t.Fatalf("healthz during outage: status=%d body=%q", status, body)
+	}
+}
+
+// TestRouterBufferAndReplay parks inserts for a dead owner and verifies
+// they land on the shard after readmission — the brief outage cost
+// latency, not data.
+func TestRouterBufferAndReplay(t *testing.T) {
+	backends, rt := startCluster(t, 3, 1, nil)
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	victim := rt.Members()[0]
+	vb := backendByURL(t, backends, victim)
+	keys := keysOwnedBy(t, rt, victim, 5, 1)
+
+	vb.kill()
+	testutil.WaitUntil(t, 10*time.Second, func() bool { return !rt.NodeUp(victim) })
+
+	var batch strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&batch, "%d 3\n", k)
+	}
+	status, h, _ := doReq(t, http.MethodPost, front.URL+"/insertbatch", batch.String())
+	if status != http.StatusAccepted || h.Get("X-Accepted") != "5" {
+		t.Fatalf("parked insert: status=%d X-Accepted=%q", status, h.Get("X-Accepted"))
+	}
+	if m := rt.Metrics(); m.EntriesBuffered != 5 || m.BufferDepth != 5 {
+		t.Fatalf("metrics after park = %+v, want 5 buffered", m)
+	}
+
+	vb.start()
+	testutil.WaitUntil(t, 10*time.Second, func() bool { return rt.NodeUp(victim) })
+	// Depth hits zero while the replay batch is still in flight; wait on
+	// the outcome counters, not the queue.
+	testutil.WaitUntil(t, 10*time.Second, func() bool {
+		m := rt.Metrics()
+		return m.BufferDepth == 0 && m.BufferReplayed+m.BufferDropped == 5
+	})
+
+	if m := rt.Metrics(); m.BufferReplayed != 5 || m.BufferDropped != 0 {
+		t.Fatalf("metrics after replay = %+v, want 5 replayed, 0 dropped", m)
+	}
+	if got := vb.inserts(); got != 5 {
+		t.Fatalf("restarted shard applied %d entries, want 5", got)
+	}
+	status, _, body := doReq(t, http.MethodGet, fmt.Sprintf("%s/query?key=%d", front.URL, keys[0]), "")
+	if status != http.StatusOK || strings.TrimSpace(body) != "3" {
+		t.Fatalf("query after replay: status=%d body=%q, want 3", status, body)
+	}
+}
+
+// TestRouterShedsWithoutBuffer verifies the Capacity=0 configuration
+// fails closed but politely: 503, Retry-After, X-Accepted: 0.
+func TestRouterShedsWithoutBuffer(t *testing.T) {
+	backends, rt := startCluster(t, 2, 1, func(cfg *Config) {
+		cfg.Buffer = BufferConfig{Capacity: 0}
+	})
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	victim := rt.Members()[0]
+	key := keysOwnedBy(t, rt, victim, 1, 1)[0]
+	backendByURL(t, backends, victim).kill()
+	testutil.WaitUntil(t, 10*time.Second, func() bool { return !rt.NodeUp(victim) })
+
+	status, h, _ := doReq(t, http.MethodPost, fmt.Sprintf("%s/insert?key=%d", front.URL, key), "")
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("unbuffered insert to dead owner: status=%d, want 503", status)
+	}
+	if h.Get("Retry-After") == "" || h.Get("X-Accepted") != "0" {
+		t.Fatalf("refusal headers = Retry-After %q, X-Accepted %q", h.Get("Retry-After"), h.Get("X-Accepted"))
+	}
+	if h.Get("X-Degraded-Shards") != victim {
+		t.Fatalf("X-Degraded-Shards = %q, want %q", h.Get("X-Degraded-Shards"), victim)
+	}
+}
+
+// TestRouterRetriesSafe503 injects a shed-shaped 503 (X-Accepted: 0 +
+// Retry-After) on the first attempt and verifies the insert retries and
+// lands exactly once.
+func TestRouterRetriesSafe503(t *testing.T) {
+	in := fault.New(7)
+	tr := fault.NewTransport(nil, in)
+	backends, rt := startCluster(t, 1, 1, func(cfg *Config) {
+		cfg.Transport = tr
+		// No probes during the scripted window: hit numbers below count
+		// only the test's own requests.
+		cfg.Health.Interval = time.Hour
+	})
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	host := strings.TrimPrefix(rt.Members()[0], "http://")
+	in.DropAt(fault.TransportPoint(host, "5xx"), 1)
+
+	status, _, _ := doReq(t, http.MethodPost, front.URL+"/insert?key=42", "")
+	if status != http.StatusAccepted {
+		t.Fatalf("insert through injected 503: status=%d, want 202", status)
+	}
+	if got := backends[0].inserts(); got != 1 {
+		t.Fatalf("backend applied %d entries, want exactly 1 (no double-apply)", got)
+	}
+	if m := rt.Metrics(); m.Retries != 1 {
+		t.Fatalf("retries = %d, want 1", m.Retries)
+	}
+}
+
+// TestRouterRetriesConnectFailure injects a dial-level failure — the
+// request provably never reached a server — and verifies the insert
+// retries safely.
+func TestRouterRetriesConnectFailure(t *testing.T) {
+	in := fault.New(7)
+	tr := fault.NewTransport(nil, in)
+	backends, rt := startCluster(t, 1, 1, func(cfg *Config) {
+		cfg.Transport = tr
+		cfg.Health.Interval = time.Hour
+	})
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	host := strings.TrimPrefix(rt.Members()[0], "http://")
+	in.DropAt(fault.TransportPoint(host, "connect"), 1)
+
+	status, _, _ := doReq(t, http.MethodPost, front.URL+"/insert?key=42", "")
+	if status != http.StatusAccepted {
+		t.Fatalf("insert through injected connect failure: status=%d, want 202", status)
+	}
+	if got := backends[0].inserts(); got != 1 {
+		t.Fatalf("backend applied %d entries, want exactly 1", got)
+	}
+}
+
+// TestRouterMergeExactness is the property the whole design leans on:
+// fanning out over 3 single-thread backends and merging is EXACT — the
+// cluster answers bit-identically to one 3-thread delegation sketch fed
+// the same stream. Two alignments make it hold: ModPartition is the
+// sketch's own Owner(K) = mix64(K) mod T rule, and backend i (in the
+// router's sorted member order) gets base seed S+i so its one owner
+// sketch hashes exactly like the reference's thread i (the library
+// seeds owner i's sketch with mix64(Seed + i)).
+func TestRouterMergeExactness(t *testing.T) {
+	const baseSeed = uint64(99)
+	backends := make([]*testBackend, 3)
+	urls := make([]string, 3)
+	for i := range backends {
+		backends[i] = newTestBackend(t, 1)
+		urls[i] = backends[i].url()
+	}
+	sorted := append([]string(nil), urls...)
+	sort.Strings(sorted)
+	for i, u := range sorted {
+		backendByURL(t, backends, u).seed = baseSeed + uint64(i)
+	}
+	for _, b := range backends {
+		b.start()
+	}
+	rt, err := New(Config{
+		Nodes:     urls,
+		Partition: ModPartition,
+		Health:    HealthConfig{Interval: 5 * time.Millisecond, Timeout: time.Second, FailK: 2, ReadyM: 2, Seed: 1},
+		Buffer:    BufferConfig{Capacity: 1 << 16},
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := rt.Close(ctx); err != nil {
+			t.Logf("router close: %v", err)
+		}
+	})
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	ref, err := dsketch.NewPoolChecked(dsketch.PoolConfig{
+		Config: dsketch.Config{
+			Threads:           3,
+			Width:             1024,
+			Depth:             4,
+			Seed:              baseSeed,
+			TrackHeavyHitters: true,
+		},
+		IdleHelp: 100 * time.Microsecond, // don't busy-poll the backends off the CPU
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+
+	// A deterministic skewed stream: 240 distinct keys (under the
+	// per-owner tracker capacity, so Space-Saving stays exact and
+	// order-independent), inserted over several rounds with varying
+	// counts, through the router in batches and into the reference
+	// directly.
+	const distinct = 240
+	ctx := context.Background()
+	var batch strings.Builder
+	flush := func() {
+		if batch.Len() == 0 {
+			return
+		}
+		status, h, body := doReq(t, http.MethodPost, front.URL+"/insertbatch", batch.String())
+		if status != http.StatusAccepted {
+			t.Fatalf("stream batch: status=%d X-Accepted=%q body=%q", status, h.Get("X-Accepted"), body)
+		}
+		batch.Reset()
+	}
+	for round := uint64(0); round < 5; round++ {
+		for k := uint64(1); k <= distinct; k++ {
+			count := (k*(round+1))%7 + 1
+			fmt.Fprintf(&batch, "%d %d\n", k, count)
+			if err := ref.InsertCountCtx(ctx, k, count); err != nil {
+				t.Fatal(err)
+			}
+			if batch.Len() > 700 {
+				flush()
+			}
+		}
+	}
+	flush()
+
+	// Exact top-k: the cluster's merged answer must equal the single
+	// node's, byte for byte, at several k cutting through ties.
+	for _, k := range []int{1, 10, 100, 300} {
+		var want strings.Builder
+		for i, e := range ref.Snapshot(k).HeavyHitters {
+			fmt.Fprintf(&want, "%2d. key=%d count=%d (±%d)\n", i+1, e.Key, e.Count, e.Err)
+		}
+		status, _, got := doReq(t, http.MethodGet, fmt.Sprintf("%s/topk?k=%d", front.URL, k), "")
+		if status != http.StatusOK {
+			t.Fatalf("topk k=%d: status=%d", k, status)
+		}
+		if got != want.String() {
+			t.Fatalf("topk k=%d diverges from the single-node answer:\ncluster:\n%s\nsingle node:\n%s", k, got, want.String())
+		}
+	}
+
+	// Exact point queries: every key's estimate must match the single
+	// node's bit for bit.
+	keys := make([]uint64, distinct)
+	var q strings.Builder
+	q.WriteString(front.URL + "/query?")
+	for i := range keys {
+		keys[i] = uint64(i + 1)
+		if i > 0 {
+			q.WriteString("&")
+		}
+		fmt.Fprintf(&q, "key=%d", keys[i])
+	}
+	wantCounts, err := ref.QueryBatchCtx(ctx, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, _, body := doReq(t, http.MethodGet, q.String(), "")
+	if status != http.StatusOK {
+		t.Fatalf("batch query: status=%d", status)
+	}
+	got := make(map[string]bool)
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		got[strings.TrimSpace(line)] = true
+	}
+	for i, k := range keys {
+		if !got[fmt.Sprintf("%d %d", k, wantCounts[i])] {
+			t.Fatalf("key %d: cluster answer missing or diverging from single-node count %d\nbody:\n%s", k, wantCounts[i], body)
+		}
+	}
+}
