@@ -25,10 +25,12 @@ race:
 
 ## chaos: the fault-injection suites under -race — injected delays,
 ## lost wakeups, worker panics, overload shedding, torn checkpoint
-## writes at every cut point, and killed cluster nodes; graceful drains
-## must account every accepted insertion exactly, recovery must never
-## lose a checkpointed count, and the router must never lose or
-## double-apply an accepted insert across a node kill.
+## writes at every cut point, killed cluster nodes, and live-membership
+## rebalances (TestChaosRebalance*) with the donor killed mid-handoff;
+## graceful drains must account every accepted insertion exactly,
+## recovery must never lose a checkpointed count, and the router must
+## never lose or double-apply an accepted insert across a node kill or
+## a membership change.
 chaos:
 	$(GO) test -race -count=1 -timeout=5m -run '^TestChaos' ./internal/pool ./internal/delegation ./internal/persist ./internal/router
 

@@ -9,10 +9,12 @@
 #             packages (pool, delegation, spsc, filter, router)
 #   chaos   — the fault-injection suites under -race: injected delays,
 #             lost wakeups, worker panics, overload shedding, torn
-#             checkpoint writes and killed cluster nodes must never lose
-#             an accepted insertion across a graceful drain, a
-#             checkpointed count across a crash-recovery, or a
-#             router-accepted insert across a node kill
+#             checkpoint writes, killed cluster nodes, and live
+#             rebalances with the donor killed mid-handoff
+#             (TestChaosRebalance*) must never lose an accepted
+#             insertion across a graceful drain, a checkpointed count
+#             across a crash-recovery, or a router-accepted insert
+#             across a node kill or membership change
 #   fuzz    — the decoder fuzz targets over their seed corpora
 #             (sketch and checkpoint deserializers)
 #   dslint  — the repository's concurrency-invariant analyzers

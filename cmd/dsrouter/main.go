@@ -24,11 +24,23 @@
 // Endpoints mirror dsserve: POST /insert, POST /insertbatch,
 // GET /query, GET /topk, GET /stats, GET /healthz (JSON membership).
 //
+// Live membership (admin plane): POST /admin/join?node=URL and
+// POST /admin/leave?node=URL change the member set while the cluster
+// serves traffic, driving the three-phase rebalance (fence + checkpoint
+// handoff + staged cutover — see internal/router) against the backends'
+// transfer endpoints; GET /admin/members reports the serving member
+// list and any rebalance in flight. The handoff is tuned with
+// -pair-timeout (per moved-pair deadline), -move-attempts (restarts per
+// pair before the move is abandoned) and -pull-chunk (checkpoint pull
+// chunk size). A joining or restarted backend needs -checkpoint-dir on
+// the dsserve side for the checkpoint lanes to exist.
+//
 // Usage:
 //
 //	dsrouter -addr :8080 -nodes localhost:8081,localhost:8082,localhost:8083
 //	curl -X POST 'localhost:8080/insert?key=10.0.0.1'
 //	curl 'localhost:8080/topk?k=5'
+//	curl -X POST 'localhost:8080/admin/join?node=localhost:8084'
 package main
 
 import (
@@ -75,6 +87,13 @@ func main() {
 		drainTimeout = flag.Duration("draintimeout", 10*time.Second,
 			"bound on the shutdown drain (in-flight requests + parked insert replay)")
 
+		pairTimeout = flag.Duration("pair-timeout", 2*time.Minute,
+			"deadline for moving one rebalance pair (fence + copy + drain + cutover)")
+		moveAttempts = flag.Int("move-attempts", 3,
+			"restart attempts per rebalance pair before the move is abandoned")
+		pullChunk = flag.Int64("pull-chunk", 256<<10,
+			"checkpoint pull chunk size in bytes during a rebalance handoff")
+
 		seed = flag.Int64("seed", 1, "jitter RNG seed")
 	)
 	flag.Parse()
@@ -110,6 +129,11 @@ func main() {
 		Buffer: router.BufferConfig{
 			Capacity: *bufferCap,
 			Policy:   *bufferPolicy,
+		},
+		Rebalance: router.RebalanceConfig{
+			PairTimeout:    *pairTimeout,
+			MaxAttempts:    *moveAttempts,
+			PullChunkBytes: *pullChunk,
 		},
 		ReqTimeout:   *reqTimeout,
 		BlockTimeout: *blockTimeout,

@@ -21,6 +21,16 @@
 //	                        draining node — do not retry here — from a
 //	                        recovering one — retry soon)
 //
+// Rebalance transfer plane (driven by dsrouter's /admin/join and
+// /admin/leave, see internal/transfer): POST /checkpoint/take publishes
+// a fresh checkpoint generation, GET /checkpoint/export streams it in
+// resumable CRC-verified chunks (rate-bounded by -transfer-rate), POST
+// /checkpoint/import folds a pulled checkpoint into the live pool, and
+// /staging/insertbatch + /staging/drain + /staging/abort run the
+// dual-routed staging lane for inserts that arrive while a key range is
+// mid-move. The checkpoint lanes require -checkpoint-dir; the staging
+// lane works without it.
+//
 // Freshness: /query and /topk default to the exact delegated path. With
 // mode=stale they answer from the workers' published snapshot views
 // instead — no pause and no worker round-trip, at the cost of bounded
@@ -72,6 +82,7 @@ import (
 	"time"
 
 	"dsketch"
+	"dsketch/internal/transfer"
 )
 
 // config collects everything main parses from flags, so tests can build
@@ -93,6 +104,8 @@ type config struct {
 	ckptDir      string        // checkpoint directory ("" disables durability)
 	ckptInterval time.Duration // background checkpoint period
 	ckptKeep     int           // retained checkpoint generations
+
+	transferRate int64 // /checkpoint/export bytes/sec bound (0 = unlimited)
 }
 
 // poolConfig translates the flag surface into the library config.
@@ -181,6 +194,18 @@ type server struct {
 	health   atomic.Int32
 	started  time.Time
 	restored *dsketch.RestoreInfo // non-nil after a successful recovery
+
+	// xfer is the rebalance transfer plane; it and xferMux are built at
+	// the end of open() (they need the pool), so the dispatcher in mux()
+	// answers 503 recovering until then.
+	xfer    *transfer.Server
+	xferMux atomic.Pointer[http.ServeMux]
+
+	// restoreBarrier is a test seam: when non-nil, open() blocks on it
+	// after the pool (and transfer plane) exist but before the server
+	// flips to serving — holding the server in the recovering state so
+	// tests can verify nothing is admitted while recovery is in flight.
+	restoreBarrier chan struct{}
 }
 
 // prepServer validates cfg and returns a server with no pool yet: its
@@ -216,9 +241,62 @@ func (s *server) open() error {
 		}
 		s.pool = pool
 	}
+	if err := s.openTransfer(pcfg); err != nil {
+		s.pool.Close()
+		s.pool = nil
+		return err
+	}
+	if s.restoreBarrier != nil {
+		<-s.restoreBarrier
+	}
 	s.started = time.Now()
 	s.health.Store(healthServing)
 	return nil
+}
+
+// openTransfer builds the rebalance transfer plane over the just-opened
+// pool and publishes its mux, making /checkpoint/export live even while
+// the server is still recovering (a restarted donor must keep serving
+// its generations or a mid-transfer copy could never resume); the gated
+// transfer endpoints stay behind the same recovering gate as inserts.
+func (s *server) openTransfer(pcfg dsketch.PoolConfig) error {
+	xfer, err := transfer.NewServer(transfer.ServerConfig{
+		Main: s.pool,
+		Dir:  s.cfg.ckptDir,
+		NewStaging: func() (*dsketch.Pool, error) {
+			// Same sketch geometry as the main pool — the drain is a
+			// checkpoint merge and the geometry check refuses drift — but
+			// no durability (the lane is discardable by design) and no
+			// snapshot views (nothing reads stale answers from it).
+			scfg := pcfg
+			scfg.Checkpoint = dsketch.CheckpointConfig{}
+			scfg.DisableViews = true
+			return dsketch.NewPoolChecked(scfg)
+		},
+		ExportRate: s.cfg.transferRate,
+	})
+	if err != nil {
+		return err
+	}
+	xm := http.NewServeMux()
+	xfer.Register(xm, s.recovered)
+	s.xfer = xfer
+	s.xferMux.Store(xm)
+	return nil
+}
+
+// dispatchTransfer routes a transfer-plane request to the mux built in
+// open(). Before open() has run there is no pool to transfer against,
+// so the refusal mirrors the recovering gate (Retry-After, X-Accepted 0).
+func (s *server) dispatchTransfer(w http.ResponseWriter, r *http.Request) {
+	xm := s.xferMux.Load()
+	if xm == nil {
+		w.Header().Set("Retry-After", "1")
+		w.Header().Set(transfer.HeaderAccepted, "0")
+		http.Error(w, "recovering", http.StatusServiceUnavailable)
+		return
+	}
+	xm.ServeHTTP(w, r)
 }
 
 // newServer validates cfg, builds the pool under it, and recovers
@@ -246,6 +324,13 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/topk", s.recovered(s.handleTopK))
 	mux.HandleFunc("/stats", s.recovered(s.handleStats))
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	for _, p := range []string{
+		"/checkpoint/take", "/checkpoint/export", "/checkpoint/provenance",
+		"/checkpoint/import",
+		"/staging/insertbatch", "/staging/drain", "/staging/abort",
+	} {
+		mux.HandleFunc(p, s.dispatchTransfer)
+	}
 	return mux
 }
 
@@ -597,6 +682,7 @@ func (s *server) serve(ctx context.Context, ln net.Listener) error {
 		// The listener failed before any shutdown was requested; the
 		// pool still holds accepted insertions, so drain it anyway.
 		s.pool.Close()
+		s.closeTransfer()
 		return err
 	case <-ctx.Done():
 	}
@@ -608,8 +694,18 @@ func (s *server) serve(ctx context.Context, ln net.Listener) error {
 		err = derr
 	}
 	s.pool.Close() // wait out any background drain; idempotent when clean
-	<-errc         // Serve has returned http.ErrServerClosed by now
+	s.closeTransfer()
+	<-errc // Serve has returned http.ErrServerClosed by now
 	return err
+}
+
+// closeTransfer discards any live staging lane; its counts are refused
+// entries or duplicates the donor still serves, so dropping them on
+// shutdown loses nothing.
+func (s *server) closeTransfer() {
+	if s.xfer != nil {
+		s.xfer.Close()
+	}
 }
 
 func main() {
@@ -639,6 +735,8 @@ func main() {
 			"background checkpoint period (requires -checkpoint-dir)")
 		ckptKeep = flag.Int("checkpoint-keep", 2,
 			"checkpoint generations to retain (requires -checkpoint-dir)")
+		transferRate = flag.Int64("transfer-rate", 0,
+			"rebalance /checkpoint/export rate bound in bytes/sec (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -656,6 +754,7 @@ func main() {
 		viewInterval: *viewInterval,
 		noViews:      *noViews,
 		ckptDir:      *ckptDir,
+		transferRate: *transferRate,
 	}
 	if *ckptDir != "" {
 		// Only carry the dependent knobs when durability is on, so their

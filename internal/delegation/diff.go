@@ -1,0 +1,210 @@
+package delegation
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+
+	"dsketch/internal/persist"
+	"dsketch/internal/sketch"
+)
+
+// Checkpoint arithmetic for the rebalance protocol's exactly-once
+// accounting. Checkpoints are cumulative cuts of a monotonically growing
+// pool, so for two cuts of the SAME pool the cell-wise difference
+// newer − older is itself a valid checkpoint: it summarizes exactly the
+// insertions that landed between the two cuts. A rebalance recipient
+// uses this to fold a repeat transfer from the same donor without
+// re-counting state it already absorbed, and the cell-wise sum to keep
+// its per-donor baseline current as staged traffic drains in.
+
+// checkMetaEqual refuses checkpoint arithmetic across geometries: the
+// counters of differently-shaped or differently-seeded sketches are not
+// comparable cell by cell.
+func checkMetaEqual(op string, a, b *persist.Checkpoint) error {
+	if a.Meta != b.Meta {
+		return fmt.Errorf("delegation: %s geometry mismatch: %+v vs %+v", op, a.Meta, b.Meta)
+	}
+	if len(a.Shards) != a.Meta.Threads || len(b.Shards) != b.Meta.Threads {
+		return fmt.Errorf("delegation: %s on malformed checkpoint (%d/%d shards for %d threads)",
+			op, len(a.Shards), len(b.Shards), a.Meta.Threads)
+	}
+	return nil
+}
+
+// decodeShard decodes one owner's Count-Min payload, cross-checking the
+// duplicated total like Restore/Merge do.
+func decodeShard(cp *persist.Checkpoint, i int) (*sketch.CountMin, error) {
+	cm, err := sketch.DecodeCountMin(bytes.NewReader(cp.Shards[i]))
+	if err != nil {
+		return nil, fmt.Errorf("delegation: decoding owner %d: %w", i, err)
+	}
+	if cm.Total() != cp.Totals[i] {
+		return nil, fmt.Errorf("delegation: owner %d payload total %d disagrees with checkpoint total %d",
+			i, cm.Total(), cp.Totals[i])
+	}
+	return cm, nil
+}
+
+// encodeShard re-encodes one owner's sketch into checkpoint payload form.
+func encodeShard(cp *persist.Checkpoint, i int, cm *sketch.CountMin) error {
+	var buf bytes.Buffer
+	if err := cm.Encode(&buf); err != nil {
+		return fmt.Errorf("delegation: encoding owner %d: %w", i, err)
+	}
+	cp.Shards[i] = buf.Bytes()
+	cp.Totals[i] = cm.Total()
+	return nil
+}
+
+// emptyLike builds an all-zero checkpoint shell matching meta.
+func emptyLike(meta persist.Meta) *persist.Checkpoint {
+	cp := &persist.Checkpoint{
+		Meta:   meta,
+		Shards: make([][]byte, meta.Threads),
+		Totals: make([]uint64, meta.Threads),
+	}
+	if meta.TrackTopK {
+		cp.TopK = make([]persist.ShardTopK, meta.Threads)
+	}
+	return cp
+}
+
+// DiffCheckpoint returns newer − older as a fresh checkpoint. Both
+// arguments must be cuts of the same pool (equal geometry, newer taken
+// later); a cell where newer < older wraps sketch.ErrNotSuperset — the
+// "older" state cannot be a prefix of "newer", e.g. the source pool was
+// wiped and rebuilt in between — and the caller must treat the pair as
+// incomparable rather than fold anything.
+//
+// Heavy-hitter sections are differenced per key (count in newer minus
+// count in older, entries dropping to ≤ 0 omitted, error bounds carried
+// from newer). Space-Saving state is approximate and not strictly
+// monotone per key across evictions, so unlike the counter sections this
+// is best-effort: the result is a sound tracker increment, not an exact
+// inverse.
+func DiffCheckpoint(newer, older *persist.Checkpoint) (*persist.Checkpoint, error) {
+	if err := checkMetaEqual("diff", newer, older); err != nil {
+		return nil, err
+	}
+	out := emptyLike(newer.Meta)
+	for i := 0; i < newer.Meta.Threads; i++ {
+		cmN, err := decodeShard(newer, i)
+		if err != nil {
+			return nil, err
+		}
+		cmO, err := decodeShard(older, i)
+		if err != nil {
+			return nil, err
+		}
+		d, err := sketch.DiffCountMin(cmN, cmO)
+		if err != nil {
+			return nil, fmt.Errorf("delegation: diffing owner %d: %w", i, err)
+		}
+		if err := encodeShard(out, i, d); err != nil {
+			return nil, err
+		}
+		if newer.Meta.TrackTopK {
+			out.TopK[i] = diffTopK(newer.TopK[i], older.TopK[i])
+		}
+	}
+	return out, nil
+}
+
+// SumCheckpoint returns a + b as a fresh checkpoint (cell-wise counter
+// addition, heavy-hitter entries united with counts added). Both
+// arguments must share geometry.
+func SumCheckpoint(a, b *persist.Checkpoint) (*persist.Checkpoint, error) {
+	if err := checkMetaEqual("sum", a, b); err != nil {
+		return nil, err
+	}
+	out := emptyLike(a.Meta)
+	for i := 0; i < a.Meta.Threads; i++ {
+		cmA, err := decodeShard(a, i)
+		if err != nil {
+			return nil, err
+		}
+		cmB, err := decodeShard(b, i)
+		if err != nil {
+			return nil, err
+		}
+		sum := cmA.Clone()
+		sum.Merge(cmB)
+		if err := encodeShard(out, i, sum); err != nil {
+			return nil, err
+		}
+		if a.Meta.TrackTopK {
+			out.TopK[i] = sumTopK(a.TopK[i], b.TopK[i])
+		}
+	}
+	return out, nil
+}
+
+// AdvanceCut reconciles two cuts of one origin's insertion lineage: the
+// cut a donor carried here against the cut this node already absorbed.
+// It returns the fold still owed — carried − have when carried is the
+// later cut, nil when have already covers everything carried — and the
+// later of the two cuts, which becomes the node's new record for that
+// origin. Cuts of one monotone lineage are always cell-wise ordered, so
+// a pair that is ordered in neither direction is not one lineage at all
+// (the origin was wiped and rebuilt in between); that wraps
+// sketch.ErrNotSuperset and the caller must refuse rather than guess.
+func AdvanceCut(carried, have *persist.Checkpoint) (fold, later *persist.Checkpoint, err error) {
+	if have == nil {
+		return carried, carried, nil
+	}
+	fold, err = DiffCheckpoint(carried, have)
+	if err == nil {
+		return fold, carried, nil
+	}
+	if !errors.Is(err, sketch.ErrNotSuperset) {
+		return nil, nil, err
+	}
+	if _, rerr := DiffCheckpoint(have, carried); rerr == nil {
+		return nil, have, nil // carried is the older cut: nothing to fold
+	}
+	return nil, nil, fmt.Errorf("delegation: cuts ordered in neither direction: %w", err)
+}
+
+// diffTopK subtracts older's per-key counts from newer's entries,
+// dropping keys whose count does not grow.
+func diffTopK(newer, older persist.ShardTopK) persist.ShardTopK {
+	prev := make(map[uint64]uint64, len(older.Entries))
+	for _, e := range older.Entries {
+		prev[e.Key] = e.Count
+	}
+	out := persist.ShardTopK{}
+	if newer.Total > older.Total {
+		out.Total = newer.Total - older.Total
+	}
+	for _, e := range newer.Entries {
+		if e.Count > prev[e.Key] {
+			out.Entries = append(out.Entries, persist.TopKEntry{Key: e.Key, Count: e.Count - prev[e.Key], Err: e.Err})
+		}
+	}
+	return out
+}
+
+// sumTopK unites two serialized trackers: counts add per key, error
+// bounds take the max (the looser, still-sound bound).
+func sumTopK(a, b persist.ShardTopK) persist.ShardTopK {
+	merged := make(map[uint64]persist.TopKEntry, len(a.Entries)+len(b.Entries))
+	for _, src := range [][]persist.TopKEntry{a.Entries, b.Entries} {
+		for _, e := range src {
+			m := merged[e.Key]
+			m.Key = e.Key
+			m.Count += e.Count
+			if e.Err > m.Err {
+				m.Err = e.Err
+			}
+			merged[e.Key] = m
+		}
+	}
+	out := persist.ShardTopK{Total: a.Total + b.Total}
+	for _, e := range merged {
+		out.Entries = append(out.Entries, e)
+	}
+	sort.Slice(out.Entries, func(i, j int) bool { return out.Entries[i].Key < out.Entries[j].Key })
+	return out
+}

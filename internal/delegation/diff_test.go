@@ -1,0 +1,124 @@
+package delegation
+
+import (
+	"errors"
+	"testing"
+
+	"dsketch/internal/sketch"
+)
+
+// Checkpoint arithmetic: DiffCheckpoint/SumCheckpoint are the pieces a
+// rebalance recipient uses to fold a repeat transfer from the same
+// donor exactly once. The invariant under test is the algebra the
+// protocol relies on: older ⊎ diff(newer, older) answers point queries
+// exactly like newer, and sum is the same fold Merge performs.
+
+func TestDiffCheckpointReconstructsNewerCut(t *testing.T) {
+	d := New(mergeTestConfig(BackendCountMin, 21))
+	d.EnableHeavyHitters()
+	fill(d, 0, 64)
+	older, err := d.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(d, 32, 64) // overlaps the first range and extends past it
+	newer, err := d.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	diff, err := DiffCheckpoint(newer, older)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A pristine sketch restored from older, with diff merged on top,
+	// answers every key exactly like the sketch that saw both fills.
+	rebuilt := New(mergeTestConfig(BackendCountMin, 21))
+	rebuilt.EnableHeavyHitters()
+	if err := rebuilt.Restore(older); err != nil {
+		t.Fatal(err)
+	}
+	if err := rebuilt.Merge(diff); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 96; k++ {
+		if got, want := rebuilt.EstimateQuiescent(k), d.EstimateQuiescent(k); got != want {
+			t.Fatalf("key %d: rebuilt %d, original %d", k, got, want)
+		}
+	}
+}
+
+func TestSumCheckpointMatchesMerge(t *testing.T) {
+	a := New(mergeTestConfig(BackendCountMin, 22))
+	a.EnableHeavyHitters()
+	b := New(mergeTestConfig(BackendCountMin, 22))
+	b.EnableHeavyHitters()
+	fill(a, 0, 48)
+	fill(b, 2000, 48)
+	cpA, err := a.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpB, err := b.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := SumCheckpoint(cpA, cpB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := New(mergeTestConfig(BackendCountMin, 22))
+	restored.EnableHeavyHitters()
+	if err := restored.Restore(sum); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 48; k++ {
+		if got, want := restored.EstimateQuiescent(k), a.EstimateQuiescent(k); got != want {
+			t.Fatalf("key %d: sum %d, a %d", k, got, want)
+		}
+		if got, want := restored.EstimateQuiescent(k+2000), b.EstimateQuiescent(k+2000); got != want {
+			t.Fatalf("key %d: sum %d, b %d", k+2000, got, want)
+		}
+	}
+}
+
+func TestDiffCheckpointRefusesRegression(t *testing.T) {
+	d := New(mergeTestConfig(BackendCountMin, 23))
+	fill(d, 0, 32)
+	older, err := d.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A freshly rebuilt pool with less data is NOT a later cut of the
+	// same stream, even though the geometry matches.
+	rebuilt := New(mergeTestConfig(BackendCountMin, 23))
+	fill(rebuilt, 0, 8)
+	newer, err := rebuilt.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DiffCheckpoint(newer, older); !errors.Is(err, sketch.ErrNotSuperset) {
+		t.Fatalf("diff of a regressed pool: err %v, want ErrNotSuperset", err)
+	}
+}
+
+func TestDiffCheckpointRefusesGeometryDrift(t *testing.T) {
+	a := New(mergeTestConfig(BackendCountMin, 24))
+	fill(a, 0, 8)
+	b := New(mergeTestConfig(BackendCountMin, 25)) // different seed
+	fill(b, 0, 8)
+	cpA, err := a.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpB, err := b.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DiffCheckpoint(cpA, cpB); err == nil {
+		t.Fatal("diff across seeds succeeded")
+	}
+	if _, err := SumCheckpoint(cpA, cpB); err == nil {
+		t.Fatal("sum across seeds succeeded")
+	}
+}

@@ -1,0 +1,174 @@
+package delegation
+
+import (
+	"testing"
+
+	"dsketch/internal/persist"
+)
+
+// DS.Merge is the state-transfer fold: a checkpoint captured on one
+// sketch is added into another live sketch of identical geometry. The
+// rebalance protocol's exactly-once guarantee reduces to these
+// properties — the fold is additive, all-or-nothing, and refused on any
+// geometry drift.
+
+func mergeTestConfig(backend Backend, seed uint64) Config {
+	return Config{Threads: 2, Depth: 4, Width: 1 << 10, Seed: seed, Backend: backend}
+}
+
+// fill inserts keys [base, base+n) with count key+1 each, via owner 0
+// (delegation forwards to the right owner; single-goroutine use plus a
+// flush keeps the test quiescent).
+func fill(d *DS, base, n uint64) {
+	for k := base; k < base+n; k++ {
+		d.InsertCountSequential(0, k, k+1)
+	}
+	d.Flush()
+}
+
+func TestDSMergeCountMinExact(t *testing.T) {
+	live := New(mergeTestConfig(BackendCountMin, 9))
+	live.EnableHeavyHitters()
+	donor := New(mergeTestConfig(BackendCountMin, 9))
+	donor.EnableHeavyHitters()
+	union := New(mergeTestConfig(BackendCountMin, 9))
+	union.EnableHeavyHitters()
+
+	fill(live, 0, 64)
+	fill(donor, 1000, 64)
+	fill(union, 0, 64)
+	fill(union, 1000, 64)
+
+	cp, err := donor.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := live.Merge(cp); err != nil {
+		t.Fatal(err)
+	}
+	// Count-Min merge is exact: every point query answers as the union.
+	for k := uint64(0); k < 64; k++ {
+		if got, want := live.EstimateQuiescent(k), union.EstimateQuiescent(k); got != want {
+			t.Fatalf("key %d: merged %d, union %d", k, got, want)
+		}
+		if got, want := live.EstimateQuiescent(k+1000), union.EstimateQuiescent(k+1000); got != want {
+			t.Fatalf("key %d: merged %d, union %d", k+1000, got, want)
+		}
+	}
+	// Heavy hitters folded too: the donor's hottest key surfaces.
+	found := false
+	for _, e := range live.HeavyHitters(8) {
+		if e.Key == 1063 && e.Count == 1064 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("donor heavy hitter missing after merge: %+v", live.HeavyHitters(8))
+	}
+}
+
+func TestDSMergeRefusesGeometryDrift(t *testing.T) {
+	live := New(mergeTestConfig(BackendCountMin, 9))
+	fill(live, 0, 8)
+	before := live.EstimateQuiescent(3)
+
+	donor := New(mergeTestConfig(BackendCountMin, 10)) // different seed
+	fill(donor, 0, 8)
+	cp, err := donor.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := live.Merge(cp); err == nil {
+		t.Fatal("merge across seeds must be refused")
+	}
+	if got := live.EstimateQuiescent(3); got != before {
+		t.Fatalf("refused merge mutated state: %d -> %d", before, got)
+	}
+}
+
+func TestDSMergeVerifiesBeforeApplying(t *testing.T) {
+	live := New(mergeTestConfig(BackendCountMin, 9))
+	fill(live, 0, 8)
+	donor := New(mergeTestConfig(BackendCountMin, 9))
+	fill(donor, 100, 8)
+	cp, err := donor.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Damage the SECOND shard: if Merge applied incrementally, shard 0
+	// would already be folded when the damage surfaced.
+	cp.Shards[1] = []byte{0xde, 0xad}
+	before := make([]uint64, 8)
+	for k := range before {
+		before[k] = live.EstimateQuiescent(uint64(k))
+	}
+	if err := live.Merge(cp); err == nil {
+		t.Fatal("merge of a damaged checkpoint must fail")
+	}
+	for k := range before {
+		if got := live.EstimateQuiescent(uint64(k)); got != before[k] {
+			t.Fatalf("failed merge half-applied: key %d %d -> %d", k, before[k], got)
+		}
+	}
+}
+
+func TestDSMergeTotalsCrossChecked(t *testing.T) {
+	live := New(mergeTestConfig(BackendCountMin, 9))
+	donor := New(mergeTestConfig(BackendCountMin, 9))
+	fill(donor, 0, 8)
+	cp, err := donor.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.Totals[0]++ // claim one more than the payload holds
+	if err := live.Merge(cp); err == nil {
+		t.Fatal("total disagreement must be refused")
+	}
+}
+
+func TestDSMergeAugmentedSound(t *testing.T) {
+	live := New(mergeTestConfig(BackendAugmented, 9))
+	donor := New(mergeTestConfig(BackendAugmented, 9))
+	fill(live, 0, 32)
+	fill(donor, 0, 32) // same keys: counts must add
+	cp, err := donor.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := live.Merge(cp); err != nil {
+		t.Fatal(err)
+	}
+	// The fold never under-reports: estimate ≥ the summed true count.
+	for k := uint64(0); k < 32; k++ {
+		if got, want := live.EstimateQuiescent(k), 2*(k+1); got < want {
+			t.Fatalf("key %d: merged estimate %d under true union count %d", k, got, want)
+		}
+	}
+}
+
+func TestDSMergeTopKOptional(t *testing.T) {
+	// A checkpoint without heavy-hitter state merges into a tracker-less
+	// sketch; one WITH it is refused there (counts would silently drop
+	// from /topk answers otherwise).
+	donorPlain := New(mergeTestConfig(BackendCountMin, 9))
+	fill(donorPlain, 0, 4)
+	cpPlain, err := donorPlain.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := New(mergeTestConfig(BackendCountMin, 9))
+	if err := live.Merge(cpPlain); err != nil {
+		t.Fatal(err)
+	}
+
+	donorHH := New(mergeTestConfig(BackendCountMin, 9))
+	donorHH.EnableHeavyHitters()
+	fill(donorHH, 0, 4)
+	var cpHH *persist.Checkpoint
+	if cpHH, err = donorHH.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := live.Merge(cpHH); err == nil {
+		t.Fatal("merge of heavy-hitter state into a tracker-less sketch must be refused")
+	}
+}

@@ -143,6 +143,76 @@ func (o *owner) restoreFromCountMin(cm *sketch.CountMin) error {
 	}
 }
 
+// Merge folds cp — a checkpoint captured from a sketch with the exact
+// same geometry — into the *live* state: per-owner counter-wise
+// Count-Min addition plus a heavy-hitter summary union. Because the
+// Count-Min family is mergeable, the result answers every point query
+// as if both input streams had been inserted here (exactly for plain
+// Count-Min; as a sound upper bound for the CU and Augmented backends,
+// see their MergeFromCountMin docs). This is the state-transfer
+// primitive behind live rebalancing: a new owner folds the old owner's
+// shipped checkpoint into whatever it has already absorbed.
+//
+// d.Flush() runs first so delegation-filter counts participate in the
+// merged owner totals, and every shard is decoded and verified before
+// any owner is touched — a damaged checkpoint cannot half-merge.
+// Quiescent only (the pool takes it inside its barrier).
+func (d *DS) Merge(cp *persist.Checkpoint) error {
+	m := cp.Meta
+	if m.Threads != d.cfg.Threads || m.Depth != d.cfg.Depth || m.Width != d.cfg.Width ||
+		m.Seed != d.cfg.Seed || m.Backend != int(d.cfg.Backend) {
+		return fmt.Errorf("delegation: checkpoint geometry %+v does not match sketch config (threads=%d depth=%d width=%d seed=%d backend=%d)",
+			m, d.cfg.Threads, d.cfg.Depth, d.cfg.Width, d.cfg.Seed, int(d.cfg.Backend))
+	}
+	if m.TrackTopK && !d.HeavyHittersEnabled() {
+		return fmt.Errorf("delegation: checkpoint carries heavy-hitter state but tracking is not enabled")
+	}
+	d.Flush()
+	cms := make([]*sketch.CountMin, d.cfg.Threads)
+	for i := range d.owners {
+		cm, err := sketch.DecodeCountMin(bytes.NewReader(cp.Shards[i]))
+		if err != nil {
+			return fmt.Errorf("delegation: decoding owner %d: %w", i, err)
+		}
+		if cm.Total() != cp.Totals[i] {
+			return fmt.Errorf("delegation: owner %d payload total %d disagrees with checkpoint total %d",
+				i, cm.Total(), cp.Totals[i])
+		}
+		cms[i] = cm
+	}
+	for i, o := range d.owners {
+		if err := o.mergeFromCountMin(cms[i]); err != nil {
+			return fmt.Errorf("delegation: merging owner %d: %w", i, err)
+		}
+		if m.TrackTopK && d.HeavyHittersEnabled() {
+			st := cp.TopK[i]
+			entries := make([]topk.Entry, len(st.Entries))
+			for j, e := range st.Entries {
+				entries[j] = topk.Entry{Key: e.Key, Count: e.Count, Err: e.Err}
+			}
+			o.hh.Merge(st.Total, entries)
+		}
+	}
+	return nil
+}
+
+func (o *owner) mergeFromCountMin(cm *sketch.CountMin) error {
+	switch sk := o.sk.(type) {
+	case *sketch.Augmented:
+		return sk.MergeFromCountMin(cm)
+	case *sketch.ConservativeCountMin:
+		return sk.MergeFromCountMin(cm)
+	case *sketch.CountMin:
+		if sk.Config() != cm.Config() {
+			return fmt.Errorf("sketch: merge config mismatch: have %+v, checkpoint %+v", sk.Config(), cm.Config())
+		}
+		sk.Merge(cm)
+		return nil
+	default:
+		return ErrCheckpointUnsupported
+	}
+}
+
 // HeavyHittersEnabled reports whether EnableHeavyHitters has attached
 // per-owner trackers.
 func (d *DS) HeavyHittersEnabled() bool { return d.owners[0].hh != nil }

@@ -1,0 +1,37 @@
+package persist
+
+import "io"
+
+// Streaming access to the checkpoint wire format for state transfer.
+//
+// The rebalance path ships a donor's published checkpoint generation to
+// a new owner over HTTP and folds it there. Reusing the on-disk format
+// as the wire format means the transfer inherits every integrity
+// property the durability layer already has — versioned magic,
+// per-section CRC32 framing, and the END-section shard/total
+// cross-check — so a torn or corrupted transfer is rejected by the same
+// decoder that rejects a torn disk file.
+
+// EncodeTo streams cp onto w in the checkpoint file format and returns
+// the bytes written. The output is byte-identical to what Write would
+// publish to disk for the same checkpoint.
+func EncodeTo(w io.Writer, cp *Checkpoint) (int64, error) {
+	return encodeCheckpoint(w, cp)
+}
+
+// DecodeFrom reads and fully verifies one checkpoint from r: magic,
+// every section CRC, and the END cross-check. It returns
+// ErrCorruptCheckpoint-wrapped errors on any damage, so a caller can
+// distinguish a bad stream from an I/O failure.
+func DecodeFrom(r io.Reader) (*Checkpoint, error) {
+	return decodeCheckpoint(r)
+}
+
+// GenName formats a generation number into its published file name
+// (checkpoint-%016d.dsck). Exported so the transfer layer can serve a
+// specific generation from a checkpoint directory by number.
+func GenName(gen uint64) string { return genName(gen) }
+
+// ParseGenName extracts the generation number from a published file
+// name; ok is false for anything that is not a generation file.
+func ParseGenName(name string) (gen uint64, ok bool) { return parseGen(name) }

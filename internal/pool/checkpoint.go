@@ -208,6 +208,29 @@ func (p *Pool) checkpointQuiescent() {
 	_, _ = p.publish(p.opt.Checkpoint.Dir, cp)
 }
 
+// CaptureCheckpoint produces a consistent in-memory checkpoint of the
+// pool's sketch without touching disk — the state-transfer capture
+// path. Same quiescence semantics as Checkpoint: a live pool pauses
+// inside the barrier for the clone, a draining one waits (bounded by
+// ctx) for shutdown and captures the quiescent state.
+func (p *Pool) CaptureCheckpoint(ctx context.Context) (*persist.Checkpoint, error) {
+	return p.capture(ctx)
+}
+
+// MergeCheckpoint folds cp into the live sketch inside the quiescence
+// barrier: the delegation layer verifies the whole checkpoint against
+// the pool's geometry before adding it counter-wise, so a mismatched or
+// damaged checkpoint changes nothing. Unlike Restore, the pool may
+// already hold insertions — this is how a rebalanced owner absorbs a
+// shipped shard on top of its own traffic.
+func (p *Pool) MergeCheckpoint(cp *persist.Checkpoint) error {
+	var merr error
+	if qerr := p.quiesceLive(func() { merr = p.ds.Merge(cp) }); qerr != nil {
+		return fmt.Errorf("pool: merge on a draining pool: %w", qerr)
+	}
+	return merr
+}
+
 // Restore loads the newest valid checkpoint from dir into the pool's
 // sketch. It must run before any insertion (the delegation layer
 // refuses otherwise). Returns persist.ErrNoCheckpoint when dir holds no

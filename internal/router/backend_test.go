@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"dsketch"
+	"dsketch/internal/transfer"
 )
 
 // testBackend is a compact pool-backed stand-in for cmd/dsserve that the
@@ -34,10 +35,23 @@ type testBackend struct {
 	seed    uint64 // set before the first start(); aligns hash families
 	addr    string // fixed host:port, stable across kill/restart
 
+	// Rebalance knobs, set before start(). backend's zero value is the
+	// library default; width 0 means the stock 1024. A non-empty ckptDir
+	// makes start() a dsserve-style restart — the newest intact
+	// checkpoint generation is recovered — and mounts the transfer
+	// plane (checkpoint handoff + staging lanes) like cmd/dsserve does;
+	// kill() then disables checkpointing before closing the pool, so a
+	// "crash" persists nothing after the last published generation.
+	backend  dsketch.Backend
+	width    int
+	ckptDir  string
+	xferRate int64 // /checkpoint/export pacing, bytes/sec
+
 	mu   sync.Mutex
 	ln   net.Listener // bound but not yet serving (pre-start only)
 	pool *dsketch.Pool
 	srv  *http.Server
+	xfer *transfer.Server
 	wg   sync.WaitGroup
 }
 
@@ -76,12 +90,13 @@ func (b *testBackend) start() {
 			b.t.Fatalf("rebinding %s: %v", b.addr, err)
 		}
 	}
-	pool, err := dsketch.NewPoolChecked(dsketch.PoolConfig{
+	pcfg := dsketch.PoolConfig{
 		Config: dsketch.Config{
 			Threads:           b.threads,
-			Width:             1024,
+			Width:             b.width,
 			Depth:             4,
 			Seed:              b.seed,
+			Backend:           b.backend,
 			TrackHeavyHitters: true,
 		},
 		// Idle workers must sleep, not busy-poll: on a small-CPU host,
@@ -89,12 +104,39 @@ func (b *testBackend) start() {
 		// goroutines wait out sysmon's ~10ms netpoll cadence — turning
 		// each request into ~20ms and the chaos runs into minutes.
 		IdleHelp: 100 * time.Microsecond,
-	})
+	}
+	if pcfg.Width == 0 {
+		pcfg.Width = 1024
+	}
+	var pool *dsketch.Pool
+	var err error
+	if b.ckptDir != "" {
+		// The background interval is an hour: tests control exactly when
+		// generations are published (the rebalance fence's take, or an
+		// explicit Checkpoint call).
+		pcfg.Checkpoint = dsketch.CheckpointConfig{Dir: b.ckptDir, Interval: time.Hour, Keep: 4}
+		pool, _, err = dsketch.RestorePool(pcfg)
+	} else {
+		pool, err = dsketch.NewPoolChecked(pcfg)
+	}
 	if err != nil {
 		b.t.Fatal(err)
 	}
 	b.pool = pool
-	b.srv = &http.Server{Handler: b.handler()}
+	b.xfer, err = transfer.NewServer(transfer.ServerConfig{
+		Main: pool,
+		Dir:  b.ckptDir,
+		NewStaging: func() (*dsketch.Pool, error) {
+			scfg := pcfg
+			scfg.Checkpoint = dsketch.CheckpointConfig{}
+			return dsketch.NewPoolChecked(scfg)
+		},
+		ExportRate: b.xferRate,
+	})
+	if err != nil {
+		b.t.Fatal(err)
+	}
+	b.srv = &http.Server{Handler: b.handler(b.xfer)}
 	srv := b.srv
 	b.wg.Add(1)
 	go func() {
@@ -111,8 +153,8 @@ func (b *testBackend) start() {
 // answering, and the pool's state is lost.
 func (b *testBackend) kill() {
 	b.mu.Lock()
-	srv, pool := b.srv, b.pool
-	b.srv, b.pool = nil, nil
+	srv, pool, xfer := b.srv, b.pool, b.xfer
+	b.srv, b.pool, b.xfer = nil, nil, nil
 	b.mu.Unlock()
 	if srv != nil {
 		if err := srv.Close(); err != nil {
@@ -120,8 +162,15 @@ func (b *testBackend) kill() {
 		}
 	}
 	b.wg.Wait()
+	if xfer != nil {
+		xfer.Close() // discard any staging lane, like a crash would
+	}
 	if pool != nil {
-		pool.Close() // join worker goroutines; the state is discarded
+		// A crash persists nothing: suppress the graceful-shutdown
+		// checkpoint so only generations published before the kill
+		// survive on disk, exactly like a killed process.
+		pool.DisableCheckpoints()
+		pool.Close() // join worker goroutines; the live state is discarded
 	}
 }
 
@@ -158,12 +207,13 @@ func (b *testBackend) inserts() uint64 {
 	return p.Metrics().Inserts
 }
 
-func (b *testBackend) handler() http.Handler {
+func (b *testBackend) handler(xfer *transfer.Server) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/insertbatch", b.handleInsertBatch)
 	mux.HandleFunc("/query", b.handleQuery)
 	mux.HandleFunc("/topk", b.handleTopK)
 	mux.HandleFunc("/healthz", b.handleHealthz)
+	xfer.Register(mux, nil) // this start()'s transfer plane (pool recovery is synchronous, no gate needed)
 	return mux
 }
 

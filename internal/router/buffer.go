@@ -3,6 +3,7 @@ package router
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 )
 
 // BufferConfig tunes the dead-owner insert buffer. When a shard's
@@ -43,6 +44,12 @@ type nodeBuffer struct {
 	notFull *sync.Cond
 	entries []entry
 	cap     int
+
+	// Per-node ledger, surfaced on /stats so an operator can see which
+	// member's outages are parking, replaying, or dropping inserts.
+	buffered atomic.Uint64
+	replayed atomic.Uint64
+	dropped  atomic.Uint64
 }
 
 func newNodeBuffer(capacity int) *nodeBuffer {

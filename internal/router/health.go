@@ -17,7 +17,13 @@ type HealthConfig struct {
 	// probes against the backends. Defaults: 1s, Interval/4.
 	Interval time.Duration
 	Jitter   time.Duration
-	// Timeout bounds one probe request. Default: Interval (capped at 2s).
+	// Timeout bounds one probe request. Default: Interval (capped at
+	// 2s). This per-probe bound is what isolates members from each
+	// other's failure detection: probes run concurrently and each is
+	// individually cut off at Timeout, so a member that blackholes its
+	// /healthz (accepts the connection and never answers) delays a
+	// probe round by at most Timeout — it can never stall the ejection
+	// of a different member that is actually dead.
 	Timeout time.Duration
 	// FailK consecutive probe failures eject a node from the serving
 	// set; ReadyM consecutive successes readmit it. Defaults: 3, 2.
@@ -80,6 +86,7 @@ type nodeHealth struct {
 type healthChecker struct {
 	cfg      HealthConfig
 	client   *http.Client
+	nodesMu  sync.Mutex // guards the nodes map (live membership adds/removes entries)
 	nodes    map[string]*nodeHealth
 	onChange func(node string, up bool)
 	logf     func(string, ...any)
@@ -107,6 +114,44 @@ func newHealthChecker(members []string, cfg HealthConfig, transport http.RoundTr
 		hc.nodes[m] = &nodeHealth{NodeStatus: NodeStatus{Up: true, Status: "assumed"}}
 	}
 	return hc
+}
+
+// node looks one member's state up under the map lock.
+func (hc *healthChecker) node(name string) *nodeHealth {
+	hc.nodesMu.Lock()
+	defer hc.nodesMu.Unlock()
+	return hc.nodes[name]
+}
+
+// add admits a node to the probe set mid-flight. Unlike the boot-time
+// members (assumed up), a joiner starts in the given state — the
+// rebalance coordinator passes up=false/"joining" so the node must
+// earn ReadyM consecutive probe successes before any data moves to it.
+// Adding an existing node is a no-op.
+func (hc *healthChecker) add(name string, up bool, status string) {
+	hc.nodesMu.Lock()
+	defer hc.nodesMu.Unlock()
+	if hc.nodes[name] == nil {
+		hc.nodes[name] = &nodeHealth{NodeStatus: NodeStatus{Up: up, Status: status}}
+	}
+}
+
+// remove drops a departed node from the probe set.
+func (hc *healthChecker) remove(name string) {
+	hc.nodesMu.Lock()
+	defer hc.nodesMu.Unlock()
+	delete(hc.nodes, name)
+}
+
+// names snapshots the probed member set.
+func (hc *healthChecker) names() []string {
+	hc.nodesMu.Lock()
+	defer hc.nodesMu.Unlock()
+	out := make([]string, 0, len(hc.nodes))
+	for n := range hc.nodes {
+		out = append(out, n)
+	}
+	return out
 }
 
 // start launches the probe loop. Safe to skip entirely (unit tests
@@ -157,7 +202,7 @@ func (hc *healthChecker) nextInterval() time.Duration {
 // the state machine. One slow node must not delay probes of the others.
 func (hc *healthChecker) probeAll() {
 	var wg sync.WaitGroup
-	for node := range hc.nodes {
+	for _, node := range hc.names() {
 		node := node
 		wg.Add(1)
 		go func() {
@@ -207,7 +252,7 @@ func (hc *healthChecker) probe(node string) (ok bool, status string) {
 // to tests via the router so the K/M transitions are verifiable without
 // real probe timing.
 func (hc *healthChecker) observe(node string, ok bool, status string) {
-	n := hc.nodes[node]
+	n := hc.node(node)
 	if n == nil {
 		return
 	}
@@ -248,7 +293,7 @@ func (hc *healthChecker) observe(node string, ok bool, status string) {
 
 // up reports whether node is currently in the serving set.
 func (hc *healthChecker) up(node string) bool {
-	n := hc.nodes[node]
+	n := hc.node(node)
 	if n == nil {
 		return false
 	}
@@ -259,11 +304,22 @@ func (hc *healthChecker) up(node string) bool {
 
 // status snapshots one node's state.
 func (hc *healthChecker) status(node string) NodeStatus {
-	n := hc.nodes[node]
+	n := hc.node(node)
 	if n == nil {
 		return NodeStatus{}
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.NodeStatus
+}
+
+// allStatuses snapshots every probed node, including a mid-join one
+// that is not yet in the serving member list.
+func (hc *healthChecker) allStatuses() map[string]NodeStatus {
+	names := hc.names()
+	out := make(map[string]NodeStatus, len(names))
+	for _, n := range names {
+		out[n] = hc.status(n)
+	}
+	return out
 }

@@ -1,0 +1,993 @@
+package router
+
+// Live membership: this file is the router half of the rebalance
+// protocol whose backend half lives in internal/transfer. A membership
+// change (join or leave) is decomposed into per-(donor, recipient)
+// moves, and each move runs an eight-step state machine:
+//
+//	FENCE    publish the pair with a closed insert gate for its moving
+//	         keys, wait for every in-flight insert routed under the old
+//	         topology to settle and for the donor's dead-owner buffer to
+//	         drain — after this, every acknowledged insertion for a
+//	         moving key is in the donor's main pool.
+//	TAKE     POST donor /checkpoint/take: a fresh generation G that is a
+//	         superset of everything acknowledged so far.
+//	DUAL     open the gate: inserts for moving keys now go to the
+//	         recipient's staging lane first, then the donor, and are
+//	         acknowledged only as the prefix the donor accepted.
+//	COPY     pull G from donor /checkpoint/export in bounded chunks,
+//	         resumable by offset across a donor crash and restart,
+//	         CRC-verified over the reassembled file.
+//	IMPORT   POST recipient /checkpoint/import?id=…, idempotent per id,
+//	         decode-verified before any fold. This is the point of no
+//	         return: before it, any failure restarts the move with a new
+//	         take and a fresh staging epoch; after it, a failure poisons
+//	         the pair (restarting would fold G twice).
+//	BARRIER  re-close the gate, wait in-flight inserts to settle, and
+//	         check the dual-routing dirty bit — a batch that was staged
+//	         but not donor-acknowledged (or vice versa, indeterminately)
+//	         would break the exactly-once ledger.
+//	DRAIN    POST recipient /staging/drain?epoch=E: fold the staged
+//	         counts into the recipient's main pool, exactly once per
+//	         epoch.
+//	CUTOVER  publish done[pair] — the moving keys' effective owner flips
+//	         to the recipient — and open the gate.
+//
+// Queries for a moving key route to the donor until CUTOVER, so the
+// answer is always full-count: the donor holds every acknowledged
+// insertion (main pool + dual-routed copies) up to the instant the
+// recipient holds checkpoint ⊎ staging, which is the same multiset.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dsketch/internal/transfer"
+)
+
+// Rebalance coordination errors surfaced to admins.
+var (
+	// ErrRebalanceBusy: another Join/Leave is running right now.
+	ErrRebalanceBusy = errors.New("router: a rebalance is already running")
+	// ErrRebalanceConflict: an interrupted rebalance for a different
+	// node must be resumed (re-issue the same op) before a new one.
+	ErrRebalanceConflict = errors.New("router: conflicting unfinished rebalance")
+	// errBadAdminRequest marks validation failures (400, not 500).
+	errBadAdminRequest = errors.New("router: bad admin request")
+	// errMoveRestart wraps failures before the import point of no
+	// return: safe to retry the move from FENCE with a fresh take.
+	errMoveRestart = errors.New("router: move attempt restartable")
+	// errMovePoison wraps failures after the import: the recipient may
+	// hold a fold that was never cut over, so the pair must not retry.
+	errMovePoison = errors.New("router: move pair poisoned")
+)
+
+// RebalanceConfig tunes the move coordinator.
+type RebalanceConfig struct {
+	// PairTimeout bounds one move attempt for one (donor, recipient)
+	// pair, including waiting out a donor crash mid-copy (default 2m).
+	PairTimeout time.Duration
+	// MaxAttempts bounds restarts per pair (default 3).
+	MaxAttempts int
+	// PullChunkBytes is the per-request cap when pulling a checkpoint
+	// from the donor (default 256 KiB). Small chunks keep the copy
+	// resumable: a donor crash loses at most one chunk of progress.
+	PullChunkBytes int64
+	// PollInterval paces the fence/barrier condition polls (default 5ms).
+	PollInterval time.Duration
+}
+
+func (c RebalanceConfig) withDefaults() RebalanceConfig {
+	if c.PairTimeout <= 0 {
+		c.PairTimeout = 2 * time.Minute
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.PullChunkBytes <= 0 {
+		c.PullChunkBytes = 256 << 10
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 5 * time.Millisecond
+	}
+	return c
+}
+
+// RebalanceStatus snapshots the coordinator for /admin/members and tests.
+type RebalanceStatus struct {
+	// Active: a Join/Leave call is running right now. Pending: an
+	// interrupted rebalance left unfinished state (re-issue the same
+	// op to resume it).
+	Active     bool   `json:"active"`
+	Pending    bool   `json:"pending"`
+	Op         string `json:"op,omitempty"`
+	Node       string `json:"node,omitempty"`
+	Phase      string `json:"phase,omitempty"`
+	Donor      string `json:"donor,omitempty"`
+	Recipient  string `json:"recipient,omitempty"`
+	PairsDone  int    `json:"pairs_done"`
+	PairsTotal int    `json:"pairs_total"`
+	LastError  string `json:"last_error,omitempty"`
+}
+
+// ---------------------------------------------------------------------
+// Topology: the immutable routing snapshot.
+
+// pairKey identifies one (donor, recipient) move.
+type pairKey struct{ donor, recipient string }
+
+// pairState is the in-motion pair embedded in the published topology.
+// The insert path consults it for every key whose ownership is moving:
+// with dual set, the key dual-routes (stage to recipient, forward to
+// donor); otherwise the insert holds on gate until the coordinator
+// opens it (gate closes exactly once, via gateOnce). The counters are
+// shared pointers so the phase-change republishes (fence→dual→barrier)
+// keep one ledger.
+type pairState struct {
+	donor, recipient string
+	epoch            string
+	dual             bool
+	gate             chan struct{}
+	gateOnce         *sync.Once
+	dirty            *atomic.Bool
+	staged           *atomic.Uint64
+	acked            *atomic.Uint64
+}
+
+func newPairState(pk pairKey, epoch string) *pairState {
+	return &pairState{
+		donor: pk.donor, recipient: pk.recipient, epoch: epoch,
+		gate: make(chan struct{}), gateOnce: new(sync.Once),
+		dirty: new(atomic.Bool), staged: new(atomic.Uint64), acked: new(atomic.Uint64),
+	}
+}
+
+// openGate unblocks inserts held on this phase's gate. Idempotent.
+func (ps *pairState) openGate() { ps.gateOnce.Do(func() { close(ps.gate) }) }
+
+// moveState is the membership change in progress. done is copy-on-write:
+// each cutover publishes a new map, so readers of a topology snapshot
+// never see it mutate.
+type moveState struct {
+	op         string // "join" or "leave"
+	node       string
+	newRing    *Ring
+	newMembers []string
+	done       map[pairKey]bool
+	pair       *pairState // the single pair in motion, nil between pairs
+}
+
+// topology is the router's immutable routing snapshot, swapped
+// atomically. custom (a Partition override) disables rebalancing — the
+// router cannot enumerate moved ranges for an opaque function.
+type topology struct {
+	ring    *Ring
+	members []string
+	custom  PartitionFunc
+	move    *moveState
+}
+
+func (t *topology) baseOwner(key uint64) string {
+	if t.custom != nil {
+		return t.custom(key, t.members)
+	}
+	return t.ring.Owner(key)
+}
+
+// route resolves key's effective owner. A non-nil pairState means the
+// key belongs to the pair in motion: the caller must dual-route (dual
+// set) or hold on the gate (dual clear). Keys of already-cut-over pairs
+// route to their new owner; everything else stays on the old one.
+func (t *topology) route(key uint64) (string, *pairState) {
+	o := t.baseOwner(key)
+	m := t.move
+	if m == nil || t.custom != nil {
+		return o, nil
+	}
+	n := m.newRing.Owner(key)
+	if n == o {
+		return o, nil
+	}
+	if m.done[pairKey{o, n}] {
+		return n, nil
+	}
+	if p := m.pair; p != nil && p.donor == o && p.recipient == n {
+		return o, p
+	}
+	return o, nil
+}
+
+// effOwner is route without the pair: where queries (and settled
+// inserts) go right now.
+func (t *topology) effOwner(key uint64) string {
+	node, _ := t.route(key)
+	return node
+}
+
+// queryMembers is every node that may effectively own a key under t:
+// the current members plus, mid-move, the incoming one.
+func (t *topology) queryMembers() []string {
+	if t.move == nil {
+		return t.members
+	}
+	seen := make(map[string]bool, len(t.members)+1)
+	var out []string
+	for _, m := range t.members {
+		seen[m] = true
+		out = append(out, m)
+	}
+	for _, m := range t.move.newMembers {
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// movedPairs enumerates the distinct (old owner, new owner) pairs whose
+// key ranges change hands between the two rings. Ring ownership is
+// piecewise constant between ring points, so evaluating both rings at
+// every point hash of either ring covers every range exactly.
+func movedPairs(oldR, newR *Ring) []pairKey {
+	hs := append(oldR.pointHashes(), newR.pointHashes()...)
+	sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
+	seen := make(map[pairKey]bool)
+	var out []pairKey
+	for i, h := range hs {
+		if i > 0 && hs[i-1] == h {
+			continue
+		}
+		pk := pairKey{oldR.ownerOfHash(h), newR.ownerOfHash(h)}
+		if pk.donor == pk.recipient || seen[pk] {
+			continue
+		}
+		seen[pk] = true
+		out = append(out, pk)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].donor != out[j].donor {
+			return out[i].donor < out[j].donor
+		}
+		return out[i].recipient < out[j].recipient
+	})
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Coordinator.
+
+// Join rebalances node into the member set: data moves first, the ring
+// flips last, and a failure part-way leaves resumable state (re-issue
+// the same Join). Blocks until the rebalance completes or fails.
+func (r *Router) Join(ctx context.Context, node string) error {
+	return r.rebalance(ctx, "join", node)
+}
+
+// Leave rebalances node out of the member set: every range it owns is
+// handed off before the ring flips, so an acknowledged insertion
+// survives the departure. Blocks like Join; resumable the same way.
+func (r *Router) Leave(ctx context.Context, node string) error {
+	return r.rebalance(ctx, "leave", node)
+}
+
+func (r *Router) rebalance(ctx context.Context, op, rawNode string) (err error) {
+	node, err := normalizeNode(rawNode)
+	if err != nil {
+		return fmt.Errorf("%w: %v", errBadAdminRequest, err)
+	}
+	if !r.adminMu.TryLock() {
+		return ErrRebalanceBusy
+	}
+	defer r.adminMu.Unlock()
+
+	t := r.top.Load()
+	if t.custom != nil {
+		return fmt.Errorf("%w: rebalance requires ring partitioning (a custom Partition is configured)", errBadAdminRequest)
+	}
+	ms := t.move
+	if ms != nil {
+		if ms.op != op || ms.node != node {
+			return fmt.Errorf("%w: %s of %s is unfinished; re-issue it to resume", ErrRebalanceConflict, ms.op, ms.node)
+		}
+	} else {
+		ms, err = r.beginMove(t, op, node)
+		if err != nil {
+			return err
+		}
+	}
+
+	pairs := movedPairs(t.ring, ms.newRing)
+	r.setRebStatus(func(st *RebalanceStatus) {
+		*st = RebalanceStatus{Active: true, Pending: true, Op: op, Node: node, PairsTotal: len(pairs)}
+		for _, pk := range pairs {
+			if ms.done[pk] {
+				st.PairsDone++
+			}
+		}
+	})
+	defer func() {
+		r.setRebStatus(func(st *RebalanceStatus) {
+			st.Active = false
+			st.Phase, st.Donor, st.Recipient = "", "", ""
+			if err != nil {
+				st.LastError = err.Error()
+			} else {
+				*st = RebalanceStatus{}
+			}
+		})
+	}()
+
+	for _, pk := range pairs {
+		if r.top.Load().move.done[pk] {
+			continue
+		}
+		if err = r.movePair(ctx, pk); err != nil {
+			return err
+		}
+		r.setRebStatus(func(st *RebalanceStatus) { st.PairsDone++ })
+	}
+
+	// Every range has been handed off: flip the ring.
+	ms = r.top.Load().move
+	r.top.Store(&topology{ring: ms.newRing, members: ms.newMembers})
+	if op == "leave" {
+		r.retireNode(ctx, node)
+	}
+	r.logf("router: %s of %s complete, members now %v", op, node, ms.newMembers)
+	return nil
+}
+
+// beginMove validates the membership change, computes the target ring,
+// and publishes the move so the routing plane knows it is on. A joiner
+// is admitted to the health checker (down, "joining" — the ReadyM
+// probe streak must pass before any data moves to it) and given a
+// dead-owner buffer.
+func (r *Router) beginMove(t *topology, op, node string) (*moveState, error) {
+	member := false
+	for _, m := range t.members {
+		if m == node {
+			member = true
+		}
+	}
+	var newMembers []string
+	switch op {
+	case "join":
+		if member {
+			return nil, fmt.Errorf("%w: %s is already a member", errBadAdminRequest, node)
+		}
+		newMembers = append(append([]string{}, t.members...), node)
+	case "leave":
+		if !member {
+			return nil, fmt.Errorf("%w: %s is not a member", errBadAdminRequest, node)
+		}
+		if len(t.members) == 1 {
+			return nil, fmt.Errorf("%w: cannot remove the last member", errBadAdminRequest)
+		}
+		for _, m := range t.members {
+			if m != node {
+				newMembers = append(newMembers, m)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown op %q", errBadAdminRequest, op)
+	}
+	newRing, err := NewRing(newMembers, r.cfg.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	ms := &moveState{op: op, node: node, newRing: newRing,
+		newMembers: newRing.Members(), done: make(map[pairKey]bool)}
+	if op == "join" {
+		r.bufMu.Lock()
+		if r.buffers[node] == nil {
+			r.buffers[node] = newNodeBuffer(r.cfg.Buffer.Capacity)
+		}
+		r.bufMu.Unlock()
+		r.health.add(node, false, "joining")
+	}
+	r.top.Store(&topology{ring: t.ring, members: t.members, move: ms})
+	return ms, nil
+}
+
+// retireNode removes a departed member from the health checker and
+// accounts its buffer leftovers. Anything still parked for the leaver
+// is a dual-routed duplicate — its authoritative copy was staged and
+// drained into the recipient — so it is retired, not lost; the
+// equilibrium ledger becomes Buffered == Replayed + Dropped + Retired.
+func (r *Router) retireNode(ctx context.Context, node string) {
+	// Give the flusher a bounded chance to replay into the (harmless,
+	// no-longer-queried) leaver first, so retirement is usually zero.
+	dctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	_ = r.waitCond(dctx, "leaver buffer to drain", func() bool {
+		r.wakeFlusher()
+		return r.bufferLen(node) == 0
+	})
+	cancel()
+	r.health.remove(node)
+	r.bufMu.Lock()
+	buf := r.buffers[node]
+	delete(r.buffers, node)
+	r.bufMu.Unlock()
+	if buf == nil {
+		return
+	}
+	// The flusher no longer sees this buffer; sweep a few intervals to
+	// also catch a batch it had popped and re-parked mid-removal.
+	retired := 0
+	for i := 0; i < 4; i++ {
+		for {
+			es := buf.pop(1 << 20)
+			if len(es) == 0 {
+				break
+			}
+			retired += len(es)
+		}
+		time.Sleep(r.cfg.FlushInterval)
+	}
+	if retired > 0 {
+		r.bufferRetired.Add(uint64(retired))
+		r.logf("router: retired %d parked inserts for departed %s (staged duplicates)", retired, node)
+	}
+}
+
+// movePair hands one (donor, recipient) pair's ranges off, restarting
+// up to MaxAttempts times on pre-import failures.
+func (r *Router) movePair(ctx context.Context, pk pairKey) error {
+	if r.isPoisoned(pk) {
+		return fmt.Errorf("%w: %s->%s imported state that was never cut over; rebuild the recipient before retrying", errMovePoison, pk.donor, pk.recipient)
+	}
+	var err error
+	for attempt := 1; attempt <= r.cfg.Rebalance.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			r.moveRestarts.Add(1)
+			r.logf("router: restarting move %s->%s (attempt %d/%d): %v",
+				pk.donor, pk.recipient, attempt, r.cfg.Rebalance.MaxAttempts, err)
+		}
+		if err = r.movePairAttempt(ctx, pk); err == nil {
+			return nil
+		}
+		if !errors.Is(err, errMoveRestart) || ctx.Err() != nil {
+			return err
+		}
+		select {
+		case <-r.done:
+			return err
+		default:
+		}
+	}
+	return err
+}
+
+// movePairAttempt runs one full FENCE→…→CUTOVER pass for pk. Errors
+// are wrapped errMoveRestart before the import and escalated to
+// errMovePoison after it.
+func (r *Router) movePairAttempt(ctx context.Context, pk pairKey) error {
+	dctx, cancel := context.WithTimeout(ctx, r.cfg.Rebalance.PairTimeout)
+	defer cancel()
+	epoch := fmt.Sprintf("%s->%s#%d", pk.donor, pk.recipient, r.epochSeq.Add(1))
+	ps := newPairState(pk, epoch)
+	published := ps
+	imported := false
+	donorEj0 := r.health.status(pk.donor).Ejections
+	fail := func(err error) error {
+		r.withdrawPair(published)
+		if imported || errors.Is(err, errMovePoison) {
+			r.markPoisoned(pk)
+			if !errors.Is(err, errMovePoison) {
+				err = fmt.Errorf("%w: %v", errMovePoison, err)
+			}
+			return err
+		}
+		// A restart discards the staging lane (its unacknowledged
+		// entries must not survive — the client may retry them). That is
+		// safe only while the donor still holds its copy of every
+		// dual-acknowledged insert. If the donor was ejected during this
+		// attempt it may have crashed and lost them, leaving the lane as
+		// the only copy — refuse the restart rather than silently drop
+		// acknowledged data. (A network flap looks the same from here;
+		// the coordinator cannot tell it from a crash, so it refuses
+		// either way.)
+		if acked := ps.acked.Load(); acked > 0 && r.health.status(pk.donor).Ejections > donorEj0 {
+			r.markPoisoned(pk)
+			return fmt.Errorf("%w: donor %s went down with %d dual-acknowledged inserts held only in the staging lane; restarting would discard them (%v)",
+				errMovePoison, pk.donor, acked, err)
+		}
+		// Pre-import: hygiene-discard the staged lane. Even if this
+		// fails, the next attempt's fresh epoch supersedes the lane and
+		// its drain can never run.
+		r.abortStaging(pk.recipient, epoch)
+		return err
+	}
+
+	// FENCE — after this, every acknowledged insert for a moving key is
+	// in the donor's main pool, so the take below covers them all.
+	r.setPhase("fence", pk)
+	r.publishPair(ps)
+	if err := r.waitCond(dctx, "in-flight inserts to settle", func() bool {
+		return r.routeInflight.Load() == 0
+	}); err != nil {
+		return fail(restartable(err))
+	}
+	for _, n := range []string{pk.donor, pk.recipient} {
+		n := n
+		if err := r.waitCond(dctx, n+" to be healthy", func() bool { return r.health.up(n) }); err != nil {
+			return fail(restartable(err))
+		}
+	}
+	if err := r.waitCond(dctx, "donor buffer to drain", func() bool {
+		r.wakeFlusher()
+		return r.bufferLen(pk.donor) == 0
+	}); err != nil {
+		return fail(restartable(err))
+	}
+
+	// TAKE
+	r.setPhase("take", pk)
+	gen, err := r.takeCheckpoint(dctx, pk.donor)
+	if err != nil {
+		return fail(err)
+	}
+
+	// DUAL — publish first, then open the gate, so a woken insert
+	// always re-resolves into the dual-routing pair.
+	dual := &pairState{donor: ps.donor, recipient: ps.recipient, epoch: epoch,
+		dual: true, gate: ps.gate, gateOnce: ps.gateOnce,
+		dirty: ps.dirty, staged: ps.staged, acked: ps.acked}
+	r.publishPair(dual)
+	published = dual
+	ps.openGate()
+
+	// COPY — the generation itself, then its provenance bundle (the
+	// donor's origin-attributed decomposition of that generation). The
+	// two are captured atomically on the donor; shipping both lets the
+	// recipient fold each origin's lineage independently instead of
+	// treating the whole cumulative checkpoint as donor-original mass.
+	r.setPhase("copy", pk)
+	data, err := r.pullCheckpoint(dctx, pk.donor, gen)
+	if err != nil {
+		return fail(err)
+	}
+	prov, err := r.pullProvenance(dctx, pk.donor, gen)
+	if err != nil {
+		return fail(err)
+	}
+	if ps.dirty.Load() {
+		return fail(restartable(fmt.Errorf("staging lane for %s went dirty during copy", epoch)))
+	}
+
+	// IMPORT — the point of no return. Naming the donor as source makes
+	// the fold baseline-aware on the recipient: a later transfer from the
+	// same donor (whose checkpoint is cumulative, still carrying ranges
+	// that moved here before) folds only the difference.
+	r.setPhase("import", pk)
+	id := fmt.Sprintf("%s->%s/gen%d", pk.donor, pk.recipient, gen)
+	body := append(prov, data...)
+	if err := r.importCheckpoint(dctx, pk.recipient, id, pk.donor, body); err != nil {
+		return fail(err)
+	}
+	imported = true
+
+	// BARRIER — stop dual traffic, settle it, audit the ledger.
+	r.setPhase("barrier", pk)
+	barrier := &pairState{donor: ps.donor, recipient: ps.recipient, epoch: epoch,
+		gate: make(chan struct{}), gateOnce: new(sync.Once),
+		dirty: ps.dirty, staged: ps.staged, acked: ps.acked}
+	r.publishPair(barrier)
+	published = barrier
+	if err := r.waitCond(dctx, "dual-routed inserts to settle", func() bool {
+		return r.routeInflight.Load() == 0
+	}); err != nil {
+		return fail(err)
+	}
+	if ps.dirty.Load() {
+		return fail(fmt.Errorf("staging lane for %s is dirty (a batch staged and acknowledged disagree)", epoch))
+	}
+
+	// DRAIN — also names the donor, so the staged counts (which the
+	// donor applied to its own pool too) are credited to its baseline on
+	// the recipient and can never be re-imported by a later transfer.
+	r.setPhase("drain", pk)
+	drained, err := r.drainStaging(dctx, pk.recipient, epoch, pk.donor)
+	if err != nil {
+		return fail(err)
+	}
+
+	// CUTOVER — publish the flip, then unblock held inserts so they
+	// re-resolve onto the recipient.
+	t := r.top.Load()
+	msCopy := *t.move
+	done := make(map[pairKey]bool, len(msCopy.done)+1)
+	for k, v := range msCopy.done {
+		done[k] = v
+	}
+	done[pk] = true
+	msCopy.done, msCopy.pair = done, nil
+	r.top.Store(&topology{ring: t.ring, members: t.members, custom: t.custom, move: &msCopy})
+	barrier.openGate()
+
+	staged := ps.staged.Load()
+	r.rebStaged.Add(staged)
+	r.rebDrained.Add(drained)
+	r.rebPairs.Add(1)
+	if staged != drained {
+		r.logf("router: move %s->%s ledger mismatch: router staged %d, recipient drained %d",
+			pk.donor, pk.recipient, staged, drained)
+	}
+	r.logf("router: moved %s->%s (gen %d, %d bytes, %d staged inserts)",
+		pk.donor, pk.recipient, gen, len(data), staged)
+	return nil
+}
+
+func restartable(err error) error { return fmt.Errorf("%w: %v", errMoveRestart, err) }
+
+// publishPair swaps the topology's in-motion pair. Only the coordinator
+// (under adminMu) publishes, so read-modify-write on top is safe.
+func (r *Router) publishPair(ps *pairState) {
+	t := r.top.Load()
+	msCopy := *t.move
+	msCopy.pair = ps
+	r.top.Store(&topology{ring: t.ring, members: t.members, custom: t.custom, move: &msCopy})
+}
+
+// withdrawPair removes the in-motion pair (moving keys fall back to
+// plain donor routing) and unblocks anything held on its gate.
+func (r *Router) withdrawPair(ps *pairState) {
+	t := r.top.Load()
+	if t.move != nil && t.move.pair != nil {
+		msCopy := *t.move
+		msCopy.pair = nil
+		r.top.Store(&topology{ring: t.ring, members: t.members, custom: t.custom, move: &msCopy})
+	}
+	ps.openGate()
+}
+
+// waitCond polls cond at the rebalance poll interval until it holds,
+// ctx expires, or the router closes.
+func (r *Router) waitCond(ctx context.Context, what string, cond func() bool) error {
+	for !cond() {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("waiting for %s: %w", what, ctx.Err())
+		case <-r.done:
+			return fmt.Errorf("router closed while waiting for %s", what)
+		case <-time.After(r.cfg.Rebalance.PollInterval):
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Transfer-protocol client calls.
+
+func fwdErrString(res fwdResult) string {
+	if res.err != nil {
+		return res.err.Error()
+	}
+	return fmt.Sprintf("HTTP %d: %s", res.status, string(res.body))
+}
+
+// takeCheckpoint asks the donor for a fresh generation. Retried takes
+// just publish extra (consistent) generations, so this may retry
+// freely; a donor without a checkpoint directory is a terminal
+// configuration error, not a transient one.
+func (r *Router) takeCheckpoint(ctx context.Context, donor string) (uint64, error) {
+	res := r.forward(ctx, http.MethodPost, donor+"/checkpoint/take", nil, true)
+	if res.verdict() != vOK {
+		if res.err == nil && res.status == http.StatusNotFound {
+			return 0, fmt.Errorf("donor %s has no checkpoint directory (start it with -checkpoint-dir to allow rebalancing)", donor)
+		}
+		return 0, restartable(fmt.Errorf("checkpoint take on %s: %s", donor, fwdErrString(res)))
+	}
+	var out struct {
+		Gen uint64 `json:"gen"`
+	}
+	if err := json.Unmarshal(res.body, &out); err != nil {
+		return 0, restartable(fmt.Errorf("checkpoint take on %s: bad answer %q", donor, string(res.body)))
+	}
+	return out.Gen, nil
+}
+
+// pullCheckpoint downloads generation gen from the donor in bounded
+// chunks. A transport failure mid-copy waits for the donor to come
+// back (it may have been killed and restarted — the generation file
+// survives on disk) and resumes from the current offset; the
+// reassembled file must match the advertised size and CRC32.
+func (r *Router) pullCheckpoint(ctx context.Context, donor string, gen uint64) ([]byte, error) {
+	var data []byte
+	size := int64(-1)
+	var wantCRC uint64
+	for {
+		u := fmt.Sprintf("%s/checkpoint/export?gen=%d&offset=%d&limit=%d",
+			donor, gen, len(data), r.cfg.Rebalance.PullChunkBytes)
+		res := r.forward(ctx, http.MethodGet, u, nil, true)
+		if res.verdict() != vOK {
+			if res.err == nil && res.status == http.StatusNotFound {
+				return nil, restartable(fmt.Errorf("generation %d pruned or unknown on %s", gen, donor))
+			}
+			if ctx.Err() != nil {
+				return nil, restartable(fmt.Errorf("pulling generation %d from %s: %w", gen, donor, ctx.Err()))
+			}
+			if len(data) > 0 {
+				r.copyResumes.Add(1)
+				r.logf("router: checkpoint copy from %s interrupted at offset %d, waiting to resume", donor, len(data))
+			}
+			if err := r.waitCond(ctx, donor+" to serve exports again", func() bool { return r.health.up(donor) }); err != nil {
+				return nil, restartable(err)
+			}
+			continue
+		}
+		sz, err1 := strconv.ParseInt(res.header.Get(transfer.HeaderSize), 10, 64)
+		crc, err2 := strconv.ParseUint(res.header.Get(transfer.HeaderCRC32), 10, 64)
+		if err1 != nil || err2 != nil {
+			return nil, restartable(fmt.Errorf("export from %s missing size/CRC headers", donor))
+		}
+		if size == -1 {
+			size, wantCRC = sz, crc
+		} else if sz != size || crc != wantCRC {
+			return nil, restartable(fmt.Errorf("generation %d changed identity mid-copy on %s", gen, donor))
+		}
+		if len(res.body) == 0 && int64(len(data)) < size {
+			return nil, restartable(fmt.Errorf("empty export chunk at offset %d from %s", len(data), donor))
+		}
+		data = append(data, res.body...)
+		if int64(len(data)) > size {
+			return nil, restartable(fmt.Errorf("export from %s overran advertised size", donor))
+		}
+		if int64(len(data)) == size {
+			if uint64(crc32.ChecksumIEEE(data)) != wantCRC {
+				return nil, restartable(fmt.Errorf("generation %d from %s fails CRC after reassembly", gen, donor))
+			}
+			return data, nil
+		}
+	}
+}
+
+// pullProvenance fetches the provenance bundle snapshotted alongside
+// generation gen on the donor. Bundles are served whole (they hold at
+// most a handful of origin cuts); a transport failure waits the donor
+// out like the export path, and a 404 restarts the move — the bundle
+// was pruned, and a fresh take republishes both pieces together.
+func (r *Router) pullProvenance(ctx context.Context, donor string, gen uint64) ([]byte, error) {
+	for {
+		u := fmt.Sprintf("%s/checkpoint/provenance?gen=%d", donor, gen)
+		res := r.forward(ctx, http.MethodGet, u, nil, true)
+		if res.verdict() != vOK {
+			if res.err == nil && res.status == http.StatusNotFound {
+				return nil, restartable(fmt.Errorf("provenance for generation %d pruned or unknown on %s", gen, donor))
+			}
+			if ctx.Err() != nil {
+				return nil, restartable(fmt.Errorf("pulling provenance for generation %d from %s: %w", gen, donor, ctx.Err()))
+			}
+			if err := r.waitCond(ctx, donor+" to serve provenance again", func() bool { return r.health.up(donor) }); err != nil {
+				return nil, restartable(err)
+			}
+			continue
+		}
+		crc, err := strconv.ParseUint(res.header.Get(transfer.HeaderCRC32), 10, 64)
+		if err != nil {
+			return nil, restartable(fmt.Errorf("provenance from %s missing CRC header", donor))
+		}
+		if uint64(crc32.ChecksumIEEE(res.body)) != crc {
+			return nil, restartable(fmt.Errorf("provenance for generation %d from %s fails CRC", gen, donor))
+		}
+		return res.body, nil
+	}
+}
+
+// importCheckpoint folds data into the recipient under id. The server
+// dedups by id, so retrying after an indeterminate answer is safe —
+// but giving up after one is not: the fold may have landed, and a
+// restarted attempt would fold a superset on top of it. Hence the
+// explicit maybeApplied → poison escalation.
+func (r *Router) importCheckpoint(ctx context.Context, recipient, id, source string, data []byte) error {
+	maybeApplied := false
+	for {
+		res := r.forward(ctx, http.MethodPost,
+			recipient+"/checkpoint/import?id="+url.QueryEscape(id)+
+				"&source="+url.QueryEscape(source)+"&self="+url.QueryEscape(recipient), data, false)
+		switch res.verdict() {
+		case vOK:
+			return nil
+		case vFatal:
+			err := fmt.Errorf("import refused by %s: %s", recipient, fwdErrString(res))
+			if res.err == nil && res.status == http.StatusBadRequest {
+				// The recipient could not decode the stream: re-take and
+				// re-copy rather than pushing the same bytes again.
+				return restartable(err)
+			}
+			return err
+		case vRetrySafe:
+			// Provably nothing folded; wait the recipient out and retry.
+		default:
+			maybeApplied = true
+		}
+		if ctx.Err() != nil {
+			if maybeApplied {
+				return fmt.Errorf("%w: import outcome on %s unknown for id %s", errMovePoison, recipient, id)
+			}
+			return restartable(fmt.Errorf("importing into %s: %w", recipient, ctx.Err()))
+		}
+		if err := r.waitCond(ctx, recipient+" to accept the import", func() bool { return r.health.up(recipient) }); err != nil {
+			if maybeApplied {
+				return fmt.Errorf("%w: import outcome on %s unknown for id %s", errMovePoison, recipient, id)
+			}
+			return restartable(err)
+		}
+	}
+}
+
+// drainStaging folds the epoch's staged counts into the recipient's
+// main pool. The server caches the result per epoch, so retries —
+// including after an indeterminate answer — are exactly-once. Runs
+// after the import, so failure poisons rather than restarts.
+func (r *Router) drainStaging(ctx context.Context, recipient, epoch, source string) (uint64, error) {
+	for {
+		res := r.forward(ctx, http.MethodPost,
+			recipient+"/staging/drain?epoch="+url.QueryEscape(epoch)+"&source="+url.QueryEscape(source), nil, true)
+		if res.verdict() == vOK {
+			var out struct {
+				Entries uint64 `json:"entries"`
+			}
+			if err := json.Unmarshal(res.body, &out); err != nil {
+				return 0, fmt.Errorf("%w: drain on %s answered %q", errMovePoison, recipient, string(res.body))
+			}
+			return out.Entries, nil
+		}
+		if res.verdict() == vFatal {
+			return 0, fmt.Errorf("%w: drain refused by %s: %s", errMovePoison, recipient, fwdErrString(res))
+		}
+		if ctx.Err() != nil {
+			return 0, fmt.Errorf("%w: draining epoch %s on %s: %v", errMovePoison, epoch, recipient, ctx.Err())
+		}
+		if err := r.waitCond(ctx, recipient+" to drain staging", func() bool { return r.health.up(recipient) }); err != nil {
+			return 0, fmt.Errorf("%w: %v", errMovePoison, err)
+		}
+	}
+}
+
+// abortStaging best-effort discards a dead attempt's staging lane.
+func (r *Router) abortStaging(recipient, epoch string) {
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.ReqTimeout)
+	defer cancel()
+	res := r.doOnce(ctx, http.MethodPost, recipient+"/staging/abort?epoch="+url.QueryEscape(epoch), nil)
+	if res.verdict() != vOK {
+		r.logf("router: could not abort staging epoch %s on %s (superseded by the next epoch anyway)", epoch, recipient)
+	}
+}
+
+// dualRouteBatch routes one batch of moving keys during the DUAL
+// phase: stage to the recipient first, then forward the staged prefix
+// down the donor lane, and acknowledge only what the donor lane
+// accepted. The ordering gives the two invariants the audit needs —
+// every acknowledged entry is both on the donor (answering queries
+// now) and staged (surviving the cutover) — and any divergence the
+// retry semantics cannot reconcile marks the pair dirty, which forces
+// a restart (fresh epoch, staged state discarded) before the import
+// or poisons the pair after it.
+func (r *Router) dualRouteBatch(ctx context.Context, ps *pairState, es []entry) (accepted int, anyFailed bool) {
+	u := ps.recipient + "/staging/insertbatch?epoch=" + url.QueryEscape(ps.epoch)
+	sAcc, safe, exact := r.sendEntriesTo(ctx, u, es)
+	if sAcc < len(es) && !safe && !exact {
+		// Indeterminate staging outcome: the lane may hold entries the
+		// client will retry (and double-stage).
+		ps.dirty.Store(true)
+	}
+	if sAcc == 0 {
+		return 0, true
+	}
+	ps.staged.Add(uint64(sAcc))
+	dAcc, donorFailed := r.routeOwnerBatch(ctx, ps.donor, es[:sAcc])
+	ps.acked.Add(uint64(dAcc))
+	if dAcc < sAcc {
+		// Staged but never acknowledged: a client retry would stage the
+		// tail twice.
+		ps.dirty.Store(true)
+	}
+	return dAcc, donorFailed || sAcc < len(es)
+}
+
+// ---------------------------------------------------------------------
+// Status bookkeeping.
+
+func (r *Router) setRebStatus(mut func(*RebalanceStatus)) {
+	r.rebMu.Lock()
+	mut(&r.rebStat)
+	r.rebMu.Unlock()
+}
+
+func (r *Router) setPhase(phase string, pk pairKey) {
+	r.setRebStatus(func(st *RebalanceStatus) {
+		st.Phase, st.Donor, st.Recipient = phase, pk.donor, pk.recipient
+	})
+}
+
+func (r *Router) markPoisoned(pk pairKey) {
+	r.rebMu.Lock()
+	if r.poisoned == nil {
+		r.poisoned = make(map[pairKey]bool)
+	}
+	r.poisoned[pk] = true
+	r.rebMu.Unlock()
+}
+
+func (r *Router) isPoisoned(pk pairKey) bool {
+	r.rebMu.Lock()
+	defer r.rebMu.Unlock()
+	return r.poisoned[pk]
+}
+
+// RebalanceStatus snapshots the coordinator state.
+func (r *Router) RebalanceStatus() RebalanceStatus {
+	r.rebMu.Lock()
+	st := r.rebStat
+	r.rebMu.Unlock()
+	st.Pending = r.top.Load().move != nil
+	return st
+}
+
+// ---------------------------------------------------------------------
+// Admin HTTP surface.
+
+func (r *Router) handleAdminJoin(w http.ResponseWriter, req *http.Request) {
+	r.adminOp(w, req, r.Join)
+}
+
+func (r *Router) handleAdminLeave(w http.ResponseWriter, req *http.Request) {
+	r.adminOp(w, req, r.Leave)
+}
+
+func (r *Router) adminOp(w http.ResponseWriter, req *http.Request, op func(context.Context, string) error) {
+	r.requests.Add(1)
+	if req.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	node := req.URL.Query().Get("node")
+	if node == "" {
+		http.Error(w, "missing node parameter", http.StatusBadRequest)
+		return
+	}
+	if err := op(req.Context(), node); err != nil {
+		code := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, errBadAdminRequest):
+			code = http.StatusBadRequest
+		case errors.Is(err, ErrRebalanceBusy), errors.Is(err, ErrRebalanceConflict), errors.Is(err, errMovePoison):
+			code = http.StatusConflict
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(struct {
+		OK      bool     `json:"ok"`
+		Members []string `json:"members"`
+	}{true, r.Members()})
+}
+
+func (r *Router) handleAdminMembers(w http.ResponseWriter, req *http.Request) {
+	r.requests.Add(1)
+	if req.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	t := r.top.Load()
+	out := struct {
+		Members   []string        `json:"members"`
+		Rebalance RebalanceStatus `json:"rebalance"`
+	}{append([]string{}, t.members...), r.RebalanceStatus()}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
+}

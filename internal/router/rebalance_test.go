@@ -1,0 +1,917 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dsketch"
+	"dsketch/internal/fault"
+	"dsketch/internal/hash"
+	"dsketch/internal/testutil"
+)
+
+// ---------------------------------------------------------------------
+// Harness for rebalance tests: clusters whose backends carry the full
+// transfer plane (checkpoint directory + staging lanes), CountMin
+// sketches so merged state is cell-additive and audits can demand
+// byte-identical answers, and a wide sketch so a checkpoint is big
+// enough for the export rate limiter to stretch a copy across many
+// chunks.
+
+const (
+	rebWidth   = 4096
+	rebThreads = 2
+)
+
+func newRebBackend(t *testing.T, xferRate int64) *testBackend {
+	t.Helper()
+	b := newTestBackend(t, rebThreads)
+	b.backend = dsketch.BackendCountMin
+	b.width = rebWidth
+	b.ckptDir = t.TempDir()
+	b.xferRate = xferRate
+	return b
+}
+
+// startRebCluster is startCluster with rebalance-ready backends: every
+// node restores from its own checkpoint directory on start() and mounts
+// /checkpoint/* + /staging/*. xferRate paces /checkpoint/export so
+// tests can schedule a kill mid-copy (0 = unlimited).
+func startRebCluster(t *testing.T, n int, xferRate int64, mut func(*Config)) ([]*testBackend, *Router) {
+	t.Helper()
+	backends := make([]*testBackend, n)
+	nodes := make([]string, n)
+	for i := range backends {
+		backends[i] = newRebBackend(t, xferRate)
+		nodes[i] = backends[i].url()
+	}
+	cfg := Config{
+		Nodes:    nodes,
+		Replicas: 64,
+		Health: HealthConfig{
+			Interval: 5 * time.Millisecond,
+			Timeout:  time.Second,
+			FailK:    2,
+			ReadyM:   2,
+			Seed:     1,
+		},
+		Buffer: BufferConfig{Capacity: 1 << 16},
+		Retry:  RetryConfig{Seed: 1},
+		Rebalance: RebalanceConfig{
+			PairTimeout:    60 * time.Second,
+			MaxAttempts:    5,
+			PullChunkBytes: 64 << 10, // several chunks per checkpoint: copies are resumable mid-file
+			PollInterval:   time.Millisecond,
+		},
+		Logf: t.Logf,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	for _, b := range backends {
+		b.start()
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := rt.Close(ctx); err != nil {
+			t.Logf("router close: %v", err)
+		}
+	})
+	return backends, rt
+}
+
+// refPool builds the audit reference: a single standalone pool with the
+// exact sketch geometry and hash family of every cluster backend, fed
+// the same acknowledged insert stream. CountMin state is cell-additive,
+// so checkpoint import + staging drain + direct inserts on the cluster
+// side must reproduce this pool's cells — and therefore its answers —
+// byte for byte.
+func refPool(t *testing.T) *dsketch.Pool {
+	t.Helper()
+	ref, err := dsketch.NewPoolChecked(dsketch.PoolConfig{
+		Config: dsketch.Config{
+			Threads:           rebThreads,
+			Width:             rebWidth,
+			Depth:             4,
+			Seed:              1,
+			Backend:           dsketch.BackendCountMin,
+			TrackHeavyHitters: true,
+		},
+		IdleHelp: 100 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ref.Close)
+	return ref
+}
+
+// movePlan describes the keys a join will rehome: a set of keys that
+// hop from one donor to the joiner, plus one control key that stays put
+// on the same donor. Moved keys sit in delegation thread 0 and the kept
+// key in thread 1 (Owner(K) = Mix64(K) mod threads), so inside the
+// donor and the reference the two groups live in disjoint sub-sketches
+// and the kept key's count stays exact regardless of traffic on the
+// moved ones.
+type movePlan struct {
+	donor string
+	moved []uint64
+	kept  uint64
+}
+
+func planJoin(t *testing.T, rt *Router, joiner string, nMoved int) movePlan {
+	t.Helper()
+	oldRing := rt.top.Load().ring
+	newRing, err := NewRing(append(append([]string(nil), rt.Members()...), joiner), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p movePlan
+	for k := uint64(1); k < 2_000_000 && len(p.moved) < nMoved; k++ {
+		if hash.Mix64(k)%rebThreads != 0 || newRing.Owner(k) != joiner {
+			continue
+		}
+		o := oldRing.Owner(k)
+		if p.donor == "" {
+			p.donor = o
+		}
+		if o == p.donor {
+			p.moved = append(p.moved, k)
+		}
+	}
+	if len(p.moved) < nMoved {
+		t.Fatalf("found only %d/%d keys moving %s -> %s", len(p.moved), nMoved, p.donor, joiner)
+	}
+	for k := uint64(2_000_001); ; k++ {
+		if k > 4_000_000 {
+			t.Fatalf("no kept key found for donor %s", p.donor)
+		}
+		if hash.Mix64(k)%rebThreads == 1 && oldRing.Owner(k) == p.donor && newRing.Owner(k) == p.donor {
+			p.kept = k
+			return p
+		}
+	}
+}
+
+func mustInsertCount(t *testing.T, front string, key, count uint64) {
+	t.Helper()
+	status, h, body := doReq(t, http.MethodPost,
+		fmt.Sprintf("%s/insert?key=%d&count=%d", front, key, count), "")
+	if status != http.StatusAccepted {
+		t.Fatalf("insert key=%d count=%d: status=%d X-Accepted=%q body=%q",
+			key, count, status, h.Get("X-Accepted"), body)
+	}
+}
+
+func frontQuery(t *testing.T, front string, key uint64) string {
+	t.Helper()
+	status, _, body := doReq(t, http.MethodGet, fmt.Sprintf("%s/query?key=%d", front, key), "")
+	if status != http.StatusOK {
+		t.Fatalf("query key=%d: status=%d body=%q", key, status, body)
+	}
+	return strings.TrimSpace(body)
+}
+
+// quiesceCluster barriers every live pool so all acknowledged inserts
+// are visible to queries before an audit compares counts.
+func quiesceCluster(backends ...*testBackend) {
+	for _, b := range backends {
+		if p := b.currentPool(); p != nil {
+			p.Quiesce(func(*dsketch.Sketch) {})
+		}
+	}
+}
+
+// waitEquilibrium blocks until no inserts are parked and the buffer
+// ledger balances — the cluster holds no in-flight state that could
+// still change an audit's counts.
+func waitEquilibrium(t *testing.T, rt *Router) {
+	t.Helper()
+	testutil.WaitUntil(t, 15*time.Second, func() bool {
+		m := rt.Metrics()
+		return m.BufferDepth == 0 && m.EntriesBuffered == m.BufferReplayed+m.BufferDropped
+	})
+}
+
+// auditMoved asserts that for every moved key the cluster's answer is
+// byte-identical to the reference pool fed the same acknowledged
+// stream — the zero-loss/zero-duplication acceptance bar.
+func auditMoved(t *testing.T, front string, ref *dsketch.Pool, moved []uint64, tally []atomic.Uint64) {
+	t.Helper()
+	// Swap, don't Load: the tally drains into the reference exactly once,
+	// so a test may audit again after further membership changes.
+	for i, k := range moved {
+		if c := tally[i].Swap(0); c > 0 {
+			ref.InsertCount(k, c)
+		}
+	}
+	ref.Quiesce(func(*dsketch.Sketch) {})
+	for _, k := range moved {
+		got := frontQuery(t, front, k)
+		want := fmt.Sprintf("%d", ref.Query(k))
+		if got != want {
+			t.Errorf("moved key %d: cluster answers %s, reference says %s", k, got, want)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Unit coverage for the pair enumeration the whole protocol hangs off.
+
+// TestMovedPairsCoverOwnershipChanges brute-forces both directions of a
+// membership change: any key whose owner differs between the rings must
+// have its (old owner, new owner) pair enumerated by movedPairs, with no
+// self-pairs and no duplicates. A missed pair would mean a key range
+// silently changing hands with no data movement.
+func TestMovedPairsCoverOwnershipChanges(t *testing.T) {
+	three, err := NewRing([]string{"http://a:1", "http://b:1", "http://c:1"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := NewRing([]string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(oldR, newR *Ring) {
+		t.Helper()
+		idx := make(map[pairKey]bool)
+		for _, pk := range movedPairs(oldR, newR) {
+			if pk.donor == pk.recipient {
+				t.Fatalf("self pair %+v", pk)
+			}
+			if idx[pk] {
+				t.Fatalf("duplicate pair %+v", pk)
+			}
+			idx[pk] = true
+		}
+		for k := uint64(0); k < 200_000; k++ {
+			o, n := oldR.Owner(k), newR.Owner(k)
+			if o != n && !idx[pairKey{donor: o, recipient: n}] {
+				t.Fatalf("key %d moves %s -> %s but the pair is not enumerated", k, o, n)
+			}
+		}
+	}
+	check(three, four) // join
+	check(four, three) // leave
+}
+
+// TestAdminEndpointValidation exercises the admin plane's input
+// checking — bad requests must be rejected before any move state is
+// created.
+func TestAdminEndpointValidation(t *testing.T) {
+	_, rt := startCluster(t, 2, 1, nil)
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+	member := rt.Members()[0]
+
+	for _, tc := range []struct {
+		method, path string
+		want         int
+	}{
+		{http.MethodGet, "/admin/join?node=http://x:1", http.StatusMethodNotAllowed},
+		{http.MethodGet, "/admin/leave?node=http://x:1", http.StatusMethodNotAllowed},
+		{http.MethodPost, "/admin/join", http.StatusBadRequest},                   // missing node
+		{http.MethodPost, "/admin/join?node=" + url.QueryEscape(member), http.StatusBadRequest},  // already a member
+		{http.MethodPost, "/admin/leave?node=" + url.QueryEscape("http://127.0.0.1:1"), http.StatusBadRequest}, // not a member
+	} {
+		status, _, body := doReq(t, tc.method, front.URL+tc.path, "")
+		if status != tc.want {
+			t.Errorf("%s %s: status=%d want %d (body %q)", tc.method, tc.path, status, tc.want, body)
+		}
+	}
+	if st := rt.RebalanceStatus(); st.Active || st.Pending {
+		t.Fatalf("rejected admin requests left rebalance state: %+v", st)
+	}
+
+	status, _, body := doReq(t, http.MethodGet, front.URL+"/admin/members", "")
+	if status != http.StatusOK {
+		t.Fatalf("/admin/members: status=%d", status)
+	}
+	var members struct {
+		Members   []string        `json:"members"`
+		Rebalance RebalanceStatus `json:"rebalance"`
+	}
+	if err := json.Unmarshal([]byte(body), &members); err != nil {
+		t.Fatalf("/admin/members: %v (body %q)", err, body)
+	}
+	if len(members.Members) != 2 || members.Rebalance.Active {
+		t.Fatalf("/admin/members: %+v", members)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Satellite: a hung health probe must not stall ejection of others.
+
+// TestHungHealthProbeDoesNotStallEjection blackholes one member's
+// /healthz (requests park until their deadline — a firewall eating
+// packets) and then kills another member. Probes are concurrent and
+// individually bounded by HealthConfig.Timeout, so the dead member must
+// still be ejected promptly; without the per-probe deadline the hung
+// probe would wedge the round forever and the victim would never
+// accumulate FailK failures.
+func TestHungHealthProbeDoesNotStallEjection(t *testing.T) {
+	in := fault.New(99)
+	tr := fault.NewTransport(nil, in)
+	backends, rt := startCluster(t, 3, 1, func(cfg *Config) {
+		cfg.Transport = tr
+		cfg.Health = HealthConfig{
+			Interval: 10 * time.Millisecond,
+			Timeout:  150 * time.Millisecond,
+			FailK:    2,
+			ReadyM:   2,
+			Seed:     1,
+		}
+	})
+	hung := rt.Members()[0]
+	victim := rt.Members()[1]
+	in.DropProb(fault.TransportPoint(strings.TrimPrefix(hung, "http://"), "blackhole"), 1)
+	backendByURL(t, backends, victim).kill()
+
+	// Ejection is bounded by FailK probe rounds of at most
+	// Timeout+Interval each. 2 seconds is an order of magnitude of
+	// headroom over that; an unbounded hung probe never gets there.
+	testutil.WaitUntil(t, 2*time.Second, func() bool { return !rt.NodeUp(victim) })
+	// The hung member itself times out probe after probe and is ejected
+	// too, rather than lingering as a healthy-looking blackhole.
+	testutil.WaitUntil(t, 5*time.Second, func() bool { return !rt.NodeUp(hung) })
+}
+
+// ---------------------------------------------------------------------
+// The acceptance chaos tests.
+
+// TestChaosRebalanceNodeJoin grows a serving 3-node cluster to 4 while
+// writers hammer the keys being rehomed. Every phase of the move —
+// fence, checkpoint handoff, dual-routed staging, barrier, drain,
+// cutover — runs under live traffic, and the audit at the end demands
+// the strongest possible outcome: for every moved key the merged
+// cluster answers byte-identically to a single reference pool fed the
+// same acknowledged stream, and a control key that stayed on the donor
+// still answers its exact pre-join count.
+func TestChaosRebalanceNodeJoin(t *testing.T) {
+	backends, rt := startRebCluster(t, 3, 512<<10, nil)
+	joiner := newRebBackend(t, 512<<10)
+	joiner.start()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	plan := planJoin(t, rt, joiner.url(), 32)
+	tally := make([]atomic.Uint64, len(plan.moved))
+
+	// Seed history the checkpoint handoff must carry: the control key's
+	// full count and a few rounds on every moved key.
+	mustInsertCount(t, front.URL, plan.kept, 500)
+	for i, k := range plan.moved {
+		mustInsertCount(t, front.URL, k, 5)
+		tally[i].Add(5)
+	}
+
+	// Writers churn the moved keys through every phase of the join;
+	// a reader keeps asserting that queries never degrade (the donor
+	// serves its ranges until the instant of cutover).
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		//lint:ignore recoverguard test traffic generator; a panic fails the test through testing.T
+		go func(w int) {
+			defer wg.Done()
+			for i := w; ; i += 3 {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				idx := i % len(plan.moved)
+				if insertOne(t, front.URL, plan.moved[idx]) {
+					tally[idx].Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	//lint:ignore recoverguard test reader; a panic fails the test through testing.T
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(5 * time.Millisecond):
+			}
+			status, h, _ := doReq(t, http.MethodGet,
+				fmt.Sprintf("%s/query?key=%d", front.URL, plan.moved[0]), "")
+			if status != http.StatusOK || h.Get("X-Degraded-Shards") != "" {
+				t.Errorf("mid-join query: status=%d degraded=%q", status, h.Get("X-Degraded-Shards"))
+			}
+		}
+	}()
+
+	status, _, body := doReq(t, http.MethodPost,
+		front.URL+"/admin/join?node="+url.QueryEscape(joiner.url()), "")
+	if status != http.StatusOK {
+		t.Fatalf("/admin/join: status=%d body=%q", status, body)
+	}
+	if !strings.Contains(body, joiner.url()) {
+		t.Fatalf("/admin/join answer omits the joiner: %q", body)
+	}
+
+	close(stop)
+	wg.Wait()
+	waitEquilibrium(t, rt)
+
+	if got := rt.Members(); len(got) != 4 {
+		t.Fatalf("members after join: %v", got)
+	}
+	for _, k := range plan.moved {
+		if o := rt.Owner(k); o != joiner.url() {
+			t.Fatalf("moved key %d still routes to %s", k, o)
+		}
+	}
+	if st := rt.RebalanceStatus(); st.Active || st.Pending || st.LastError != "" {
+		t.Fatalf("rebalance state not clean after join: %+v", st)
+	}
+	m := rt.Metrics()
+	if m.BufferDropped != 0 {
+		t.Fatalf("join dropped %d buffered inserts", m.BufferDropped)
+	}
+	if m.StagedEntries != m.DrainedEntries {
+		t.Fatalf("staging ledger broken: staged %d, drained %d", m.StagedEntries, m.DrainedEntries)
+	}
+	if m.RebalancePairs == 0 {
+		t.Fatal("no pairs cut over")
+	}
+
+	// The audit: byte-identical answers for every moved key, exact
+	// count for the key that never moved.
+	quiesceCluster(append(backends, joiner)...)
+	auditMoved(t, front.URL, refPool(t), plan.moved, tally)
+	if got := frontQuery(t, front.URL, plan.kept); got != "500" {
+		t.Fatalf("kept key %d: answers %s, want exactly 500", plan.kept, got)
+	}
+	// The control key is the cluster-wide heavy hitter and must survive
+	// the membership change in /topk, served from the donor's list.
+	status, _, body = doReq(t, http.MethodGet, front.URL+"/topk?k=3", "")
+	if status != http.StatusOK || !strings.Contains(body, fmt.Sprintf("key=%d", plan.kept)) {
+		t.Fatalf("/topk after join: status=%d body=%q", status, body)
+	}
+}
+
+// TestChaosRebalanceNodeKillDuringExport is the hard acceptance case:
+// the donor is killed in the middle of shipping its checkpoint
+// generation, restarted from its own checkpoint directory, and the move
+// must resume the copy mid-file and finish with zero loss — the merged
+// cluster's answer for every moved key byte-identical to a reference
+// pool fed the same acknowledged stream, and the restarted donor
+// serving its exact pre-crash count for a key that never moved.
+//
+// The export rate bound stretches the donor's ~256 KiB checkpoint over
+// multiple paced chunks so the kill lands mid-copy deterministically.
+// Writers pause around the kill instant itself: an insert in flight to
+// a dying connection fails indeterminately, and the coordinator
+// (correctly) refuses to resolve that ambiguity silently — that path is
+// covered by TestChaosRouterBlackhole at the routing layer.
+func TestChaosRebalanceNodeKillDuringExport(t *testing.T) {
+	backends, rt := startRebCluster(t, 3, 64<<10, nil)
+	joiner := newRebBackend(t, 64<<10)
+	joiner.start()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	plan := planJoin(t, rt, joiner.url(), 24)
+	donor := backendByURL(t, backends, plan.donor)
+	tally := make([]atomic.Uint64, len(plan.moved))
+
+	mustInsertCount(t, front.URL, plan.kept, 500)
+	for i, k := range plan.moved {
+		mustInsertCount(t, front.URL, k, 3)
+		tally[i].Add(3)
+	}
+
+	var pauseMu sync.RWMutex
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		//lint:ignore recoverguard test traffic generator; a panic fails the test through testing.T
+		go func(w int) {
+			defer wg.Done()
+			for i := w; ; i += 3 {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				idx := i % len(plan.moved)
+				pauseMu.RLock()
+				ok := insertOne(t, front.URL, plan.moved[idx])
+				pauseMu.RUnlock()
+				if ok {
+					tally[idx].Add(1)
+				}
+			}
+		}(w)
+	}
+
+	joinErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+		defer cancel()
+		joinErr <- rt.Join(ctx, joiner.url())
+	}()
+
+	// Wait for the donor's own pair to enter its paced copy, let a
+	// chunk or two land, then crash the donor.
+	testutil.WaitUntil(t, 60*time.Second, func() bool {
+		st := rt.RebalanceStatus()
+		return st.Phase == "copy" && st.Donor == plan.donor
+	})
+	// The export is rate-limited to ~0.5s per 64 KiB chunk; 800ms puts
+	// the kill a chunk or two into the file. There is no event to block
+	// on — mid-file progress is exactly the absence of completion.
+	//lint:ignore sleepysync scheduling a kill partway through a paced copy; no observable event marks "mid-file"
+	time.Sleep(800 * time.Millisecond)
+	pauseMu.Lock()
+	donor.kill()
+	pauseMu.Unlock() // writers resume against the dead donor: their inserts stage + park
+
+	// The copy must notice the outage and hold position mid-file.
+	testutil.WaitUntil(t, 30*time.Second, func() bool { return rt.Metrics().CopyResumes >= 1 })
+	donor.start() // restart from the checkpoint directory: recovers the exported generation
+
+	if err := <-joinErr; err != nil {
+		t.Fatalf("join across donor kill: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	waitEquilibrium(t, rt)
+
+	m := rt.Metrics()
+	if m.CopyResumes == 0 {
+		t.Fatal("copy never resumed — the kill missed the export window")
+	}
+	if m.BufferDropped != 0 {
+		t.Fatalf("dropped %d buffered inserts across the kill", m.BufferDropped)
+	}
+	if m.StagedEntries != m.DrainedEntries {
+		t.Fatalf("staging ledger broken: staged %d, drained %d", m.StagedEntries, m.DrainedEntries)
+	}
+	for _, k := range plan.moved {
+		if o := rt.Owner(k); o != joiner.url() {
+			t.Fatalf("moved key %d still routes to %s", k, o)
+		}
+	}
+	if st := rt.RebalanceStatus(); st.Active || st.Pending || st.LastError != "" {
+		t.Fatalf("rebalance state not clean: %+v", st)
+	}
+
+	quiesceCluster(append(backends, joiner)...)
+	// The restarted donor recovered the generation it exported and
+	// serves its pre-crash count for the key that never moved.
+	if got := frontQuery(t, front.URL, plan.kept); got != "500" {
+		t.Fatalf("kept key %d after donor restart: answers %s, want exactly 500", plan.kept, got)
+	}
+	auditMoved(t, front.URL, refPool(t), plan.moved, tally)
+}
+
+// TestChaosRebalanceNodeLeave retires a member: every range it owns is
+// handed off via its checkpoint generation before the ring flips, the
+// departed node stops being probed, and the survivors answer
+// byte-identically to a reference pool fed the same stream. The insert
+// stream is static (all writes precede the leave), so each recipient's
+// post-leave state is exactly the leaver's checkpoint — the audit holds
+// per-cell even across CountMin collisions.
+func TestChaosRebalanceNodeLeave(t *testing.T) {
+	backends, rt := startRebCluster(t, 3, 512<<10, nil)
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	leaver := rt.Members()[0]
+	keys := keysOwnedBy(t, rt, leaver, 40, 1)
+	ref := refPool(t)
+	for i, k := range keys {
+		c := uint64(10 + i)
+		mustInsertCount(t, front.URL, k, c)
+		ref.InsertCount(k, c)
+	}
+
+	status, _, body := doReq(t, http.MethodPost,
+		front.URL+"/admin/leave?node="+url.QueryEscape(leaver), "")
+	if status != http.StatusOK {
+		t.Fatalf("/admin/leave: status=%d body=%q", status, body)
+	}
+
+	waitEquilibrium(t, rt)
+	members := rt.Members()
+	if len(members) != 2 {
+		t.Fatalf("members after leave: %v", members)
+	}
+	for _, mb := range members {
+		if mb == leaver {
+			t.Fatalf("leaver %s still a member", leaver)
+		}
+	}
+	for _, k := range keys {
+		if o := rt.Owner(k); o == leaver {
+			t.Fatalf("key %d still routes to the departed %s", k, o)
+		}
+	}
+	m := rt.Metrics()
+	if m.RebalancePairs == 0 {
+		t.Fatal("no pairs cut over")
+	}
+	if m.BufferDropped != 0 {
+		t.Fatalf("leave dropped %d buffered inserts", m.BufferDropped)
+	}
+	if m.StagedEntries != m.DrainedEntries {
+		t.Fatalf("staging ledger broken: staged %d, drained %d", m.StagedEntries, m.DrainedEntries)
+	}
+	// The departed node is out of the probe set and out of /healthz.
+	status, _, body = doReq(t, http.MethodGet, front.URL+"/healthz", "")
+	if status != http.StatusOK || strings.Contains(body, leaver) {
+		t.Fatalf("/healthz still reports the departed node: status=%d body=%q", status, body)
+	}
+
+	quiesceCluster(backends...)
+	ref.Quiesce(func(*dsketch.Sketch) {})
+	for _, k := range keys {
+		got := frontQuery(t, front.URL, k)
+		want := fmt.Sprintf("%d", ref.Query(k))
+		if got != want {
+			t.Errorf("key %d after leave: cluster answers %s, reference says %s", k, got, want)
+		}
+	}
+}
+
+// TestChaosRebalanceJoinThenLeave chains membership changes that
+// repeat a (donor, recipient) pair: a join moves ranges from a donor to
+// the new node, then the SAME donor leaves, shipping its cumulative
+// checkpoint generation — which still carries the cells of every key
+// that already moved at join time — to the same recipient. Without the
+// per-source baseline fold the second import re-adds that residue and
+// every join-moved key answers exactly double. The audit demands
+// byte-identical answers against a reference pool fed the same
+// acknowledged stream, for the join-moved keys (exactly once), for keys
+// rehomed leaver→joiner by the leave itself, and for a control key that
+// rode the leave to a survivor.
+//
+// A THIRD membership change then retires another original member. That
+// survivor absorbed the first leaver's entire generation, so its own
+// outgoing generation carries first-leaver cells THIRD-hand — mass the
+// joiner also absorbed directly at join time. Pairwise baselines cannot
+// see that (the carrier is a different source); only the origin-keyed
+// provenance fold keeps the re-audit exact.
+func TestChaosRebalanceJoinThenLeave(t *testing.T) {
+	backends, rt := startRebCluster(t, 3, 512<<10, nil)
+	joiner := newRebBackend(t, 512<<10)
+	joiner.start()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	plan := planJoin(t, rt, joiner.url(), 24)
+	tally := make([]atomic.Uint64, len(plan.moved))
+
+	mustInsertCount(t, front.URL, plan.kept, 500)
+	for i, k := range plan.moved {
+		mustInsertCount(t, front.URL, k, 5)
+		tally[i].Add(5)
+	}
+
+	// Writers churn the moved keys through the join so the dual-routed
+	// window is non-empty: the drained staging entries must be credited
+	// to the donor's baseline, or the leave below re-imports them.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		//lint:ignore recoverguard test traffic generator; a panic fails the test through testing.T
+		go func(w int) {
+			defer wg.Done()
+			for i := w; ; i += 3 {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				idx := i % len(plan.moved)
+				if insertOne(t, front.URL, plan.moved[idx]) {
+					tally[idx].Add(1)
+				}
+			}
+		}(w)
+	}
+
+	status, _, body := doReq(t, http.MethodPost,
+		front.URL+"/admin/join?node="+url.QueryEscape(joiner.url()), "")
+	if status != http.StatusOK {
+		t.Fatalf("/admin/join: status=%d body=%q", status, body)
+	}
+	close(stop)
+	wg.Wait()
+	waitEquilibrium(t, rt)
+	if st := rt.RebalanceStatus(); st.Active || st.Pending || st.LastError != "" {
+		t.Fatalf("rebalance state not clean after join: %+v", st)
+	}
+
+	// Between the two changes the donor keeps absorbing writes: these
+	// are the delta its leave-time generation must contribute — and the
+	// only thing it may contribute — to the joiner.
+	postJoin, err := NewRing(func() []string {
+		var rest []string
+		for _, m := range rt.Members() {
+			if m != plan.donor {
+				rest = append(rest, m)
+			}
+		}
+		return rest
+	}(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bridge []uint64 // owned by the leaver now, rehomed to the joiner by the leave
+	for k := uint64(4_000_001); k < 6_000_000 && len(bridge) < 8; k++ {
+		if rt.Owner(k) == plan.donor && postJoin.Owner(k) == joiner.url() {
+			bridge = append(bridge, k)
+		}
+	}
+	if len(bridge) == 0 {
+		t.Fatalf("no key moves %s -> %s on leave; ring too coarse for this regression", plan.donor, joiner.url())
+	}
+	ref := refPool(t)
+	for i, k := range bridge {
+		c := uint64(30 + i)
+		mustInsertCount(t, front.URL, k, c)
+		ref.InsertCount(k, c)
+	}
+
+	// The leaver is the join's donor: its outgoing generation is a
+	// superset of everything the joiner already absorbed from it.
+	status, _, body = doReq(t, http.MethodPost,
+		front.URL+"/admin/leave?node="+url.QueryEscape(plan.donor), "")
+	if status != http.StatusOK {
+		t.Fatalf("/admin/leave: status=%d body=%q", status, body)
+	}
+	waitEquilibrium(t, rt)
+
+	if got := rt.Members(); len(got) != 3 {
+		t.Fatalf("members after join+leave: %v", got)
+	}
+	if st := rt.RebalanceStatus(); st.Active || st.Pending || st.LastError != "" {
+		t.Fatalf("rebalance state not clean after leave: %+v", st)
+	}
+	m := rt.Metrics()
+	if m.BufferDropped != 0 {
+		t.Fatalf("dropped %d buffered inserts", m.BufferDropped)
+	}
+	if m.StagedEntries != m.DrainedEntries {
+		t.Fatalf("staging ledger broken: staged %d, drained %d", m.StagedEntries, m.DrainedEntries)
+	}
+
+	quiesceCluster(append(backends, joiner)...)
+	// The regression at the heart of this test: keys that moved at join
+	// time sit in the joiner AND in the leaver's final generation; they
+	// must answer exactly once, not twice.
+	auditMoved(t, front.URL, ref, plan.moved, tally)
+	ref.Quiesce(func(*dsketch.Sketch) {})
+	for _, k := range bridge {
+		got := frontQuery(t, front.URL, k)
+		want := fmt.Sprintf("%d", ref.Query(k))
+		if got != want {
+			t.Errorf("bridge key %d after leave: cluster answers %s, reference says %s", k, got, want)
+		}
+	}
+	if got := frontQuery(t, front.URL, plan.kept); got != "500" {
+		t.Fatalf("kept key %d after its owner left: answers %s, want exactly 500", plan.kept, got)
+	}
+
+	// Second leave: retire another ORIGINAL member. It absorbed the first
+	// leaver's full generation above, so its outgoing generation carries
+	// first-leaver mass as a third party — the transitive-residue shape.
+	var second string
+	for _, mb := range rt.Members() {
+		if mb != joiner.url() {
+			second = mb
+			break
+		}
+	}
+	if second == "" {
+		t.Fatal("no original member left to retire")
+	}
+	status, _, body = doReq(t, http.MethodPost,
+		front.URL+"/admin/leave?node="+url.QueryEscape(second), "")
+	if status != http.StatusOK {
+		t.Fatalf("second /admin/leave: status=%d body=%q", status, body)
+	}
+	waitEquilibrium(t, rt)
+	if got := rt.Members(); len(got) != 2 {
+		t.Fatalf("members after second leave: %v", got)
+	}
+	if st := rt.RebalanceStatus(); st.Active || st.Pending || st.LastError != "" {
+		t.Fatalf("rebalance state not clean after second leave: %+v", st)
+	}
+	m = rt.Metrics()
+	if m.BufferDropped != 0 {
+		t.Fatalf("second leave dropped %d buffered inserts", m.BufferDropped)
+	}
+	if m.StagedEntries != m.DrainedEntries {
+		t.Fatalf("staging ledger broken after second leave: staged %d, drained %d", m.StagedEntries, m.DrainedEntries)
+	}
+
+	quiesceCluster(append(backends, joiner)...)
+	// Every tracked key must STILL answer exactly once: the join-moved
+	// keys' original mass has now traveled donor→survivor→joiner, and a
+	// fold that cannot attribute it to its origin counts it twice.
+	auditMoved(t, front.URL, ref, plan.moved, tally)
+	for _, k := range bridge {
+		got := frontQuery(t, front.URL, k)
+		want := fmt.Sprintf("%d", ref.Query(k))
+		if got != want {
+			t.Errorf("bridge key %d after second leave: cluster answers %s, reference says %s", k, got, want)
+		}
+	}
+	if got := frontQuery(t, front.URL, plan.kept); got != "500" {
+		t.Fatalf("kept key %d after second leave: answers %s, want exactly 500", plan.kept, got)
+	}
+}
+
+// TestChaosRebalanceJoinerRetires scales up and back down: a join moves
+// ranges to a fresh node, traffic grows them, then the JOINER leaves and
+// its generation — which opens with the donor's own mass absorbed at
+// join time — ships straight back to the donor. The returning copy of
+// the donor's mass never left the donor's pool; only the joiner's own
+// post-join delta may fold, or every moved key doubles its pre-join
+// count the moment it comes home.
+func TestChaosRebalanceJoinerRetires(t *testing.T) {
+	backends, rt := startRebCluster(t, 3, 512<<10, nil)
+	joiner := newRebBackend(t, 512<<10)
+	joiner.start()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	plan := planJoin(t, rt, joiner.url(), 24)
+	tally := make([]atomic.Uint64, len(plan.moved))
+
+	mustInsertCount(t, front.URL, plan.kept, 500)
+	for i, k := range plan.moved {
+		mustInsertCount(t, front.URL, k, 5)
+		tally[i].Add(5)
+	}
+
+	status, _, body := doReq(t, http.MethodPost,
+		front.URL+"/admin/join?node="+url.QueryEscape(joiner.url()), "")
+	if status != http.StatusOK {
+		t.Fatalf("/admin/join: status=%d body=%q", status, body)
+	}
+	waitEquilibrium(t, rt)
+	if st := rt.RebalanceStatus(); st.Active || st.Pending || st.LastError != "" {
+		t.Fatalf("rebalance state not clean after join: %+v", st)
+	}
+
+	// The joiner's own era: post-join inserts to the moved keys are its
+	// OWN lineage and are exactly what its leave must hand back.
+	for i, k := range plan.moved {
+		mustInsertCount(t, front.URL, k, uint64(2+i))
+		tally[i].Add(uint64(2 + i))
+	}
+
+	status, _, body = doReq(t, http.MethodPost,
+		front.URL+"/admin/leave?node="+url.QueryEscape(joiner.url()), "")
+	if status != http.StatusOK {
+		t.Fatalf("/admin/leave joiner: status=%d body=%q", status, body)
+	}
+	waitEquilibrium(t, rt)
+	if got := rt.Members(); len(got) != 3 {
+		t.Fatalf("members after joiner retired: %v", got)
+	}
+	if st := rt.RebalanceStatus(); st.Active || st.Pending || st.LastError != "" {
+		t.Fatalf("rebalance state not clean after joiner retired: %+v", st)
+	}
+	m := rt.Metrics()
+	if m.BufferDropped != 0 {
+		t.Fatalf("retiring the joiner dropped %d buffered inserts", m.BufferDropped)
+	}
+	if m.StagedEntries != m.DrainedEntries {
+		t.Fatalf("staging ledger broken: staged %d, drained %d", m.StagedEntries, m.DrainedEntries)
+	}
+
+	quiesceCluster(append(backends, joiner)...)
+	ref := refPool(t)
+	auditMoved(t, front.URL, ref, plan.moved, tally)
+	if got := frontQuery(t, front.URL, plan.kept); got != "500" {
+		t.Fatalf("kept key %d after scale-up-and-down: answers %s, want exactly 500", plan.kept, got)
+	}
+}

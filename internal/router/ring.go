@@ -135,3 +135,25 @@ func (r *Ring) Owner(key uint64) string {
 // argument is ignored — the ring was built over the authoritative
 // member list and ownership must not drift with health.
 func (r *Ring) Partition(key uint64, _ []string) string { return r.Owner(key) }
+
+// pointHashes returns every ring point's hash, sorted ascending. The
+// rebalance planner uses them: ownership is piecewise constant between
+// points, so evaluating two rings at the union of their point hashes
+// enumerates every key range that changes hands.
+func (r *Ring) pointHashes() []uint64 {
+	out := make([]uint64, len(r.points))
+	for i, p := range r.points {
+		out[i] = p.hash
+	}
+	return out
+}
+
+// ownerOfHash returns the member owning ring position h (Owner without
+// the key mixing — h is already a ring coordinate).
+func (r *Ring) ownerOfHash(h uint64) string {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}

@@ -42,6 +42,7 @@ type Config struct {
 	Health    HealthConfig
 	Retry     RetryConfig
 	Buffer    BufferConfig
+	Rebalance RebalanceConfig
 	// ReqTimeout bounds one forwarded attempt (default 2s).
 	ReqTimeout time.Duration
 	// BlockTimeout bounds how long an insert may wait on a full
@@ -69,46 +70,82 @@ func (c Config) withDefaults() Config {
 	if c.Transport == nil {
 		c.Transport = http.DefaultTransport
 	}
+	c.Rebalance = c.Rebalance.withDefaults()
 	return c
 }
 
-// Metrics is a snapshot of the router's serving counters.
+// Metrics is a snapshot of the router's serving counters. The JSON
+// tags are the /stats wire names.
 type Metrics struct {
-	Requests        uint64 // client-facing requests handled
-	InsertEntries   uint64 // insert entries received
-	EntriesApplied  uint64 // entries a backend acknowledged
-	EntriesBuffered uint64 // entries parked for a down owner
-	BufferReplayed  uint64 // parked entries later applied
+	Requests        uint64 `json:"requests"`         // client-facing requests handled
+	InsertEntries   uint64 `json:"insert_entries"`   // insert entries received
+	EntriesApplied  uint64 `json:"entries_applied"`  // entries a backend acknowledged
+	EntriesBuffered uint64 `json:"entries_buffered"` // entries parked for a down owner
+	BufferReplayed  uint64 `json:"buffer_replayed"`  // parked entries later applied
 	// BufferDropped counts parked entries abandoned because a replay
 	// failed indeterminately (the backend may have applied them;
 	// resending could double-count, and for a counting sketch silent
 	// overcounts are worse than visible gaps).
-	BufferDropped     uint64
-	BufferDepth       int // entries currently parked, all nodes
-	Retries           uint64
-	RetryBudgetDenied uint64
-	RetryBudgetTokens float64
-	DegradedQueries   uint64 // queries answered partially
-	DegradedKeys      uint64 // keys omitted from degraded answers
-	Ejections         uint64 // node down-transitions, all nodes
-	Readmits          uint64 // node up-transitions, all nodes
+	BufferDropped uint64 `json:"buffer_dropped"`
+	// BufferRetired counts parked entries discarded when their owner
+	// left the cluster: their key ranges had already been handed off
+	// (the entries were dual-routed duplicates), so retiring them loses
+	// nothing. Equilibrium: Buffered == Replayed + Dropped + Retired.
+	BufferRetired     uint64  `json:"buffer_retired"`
+	BufferDepth       int     `json:"buffer_depth"` // entries currently parked, all nodes
+	Retries           uint64  `json:"retries"`
+	RetryBudgetDenied uint64  `json:"retry_budget_denied"`
+	RetryBudgetTokens float64 `json:"retry_budget_tokens"`
+	DegradedQueries   uint64  `json:"degraded_queries"` // queries answered partially
+	DegradedKeys      uint64  `json:"degraded_keys"`    // keys omitted from degraded answers
+	Ejections         uint64  `json:"ejections"`        // node down-transitions, all nodes
+	Readmits          uint64  `json:"readmits"`         // node up-transitions, all nodes
+
+	// Rebalance ledger (see rebalance.go). StagedEntries is the
+	// router's count of dual-routed inserts it staged on recipients;
+	// DrainedEntries is what the recipients reported folding — the two
+	// must agree for every clean move, which is the exactly-once audit.
+	RebalancePairs uint64 `json:"rebalance_pairs"` // pairs cut over
+	MoveRestarts   uint64 `json:"move_restarts"`   // move attempts restarted pre-import
+	CopyResumes    uint64 `json:"copy_resumes"`    // checkpoint copies resumed mid-file after a donor outage
+	StagedEntries  uint64 `json:"staged_entries"`
+	DrainedEntries uint64 `json:"drained_entries"`
 }
 
 // Router shards keys across the configured backends. See the package
 // comment for the full contract.
 type Router struct {
-	cfg     Config
-	ring    *Ring
-	part    PartitionFunc
-	members []string
-	health  *healthChecker
-	retry   *retrier
-	client  *http.Client
+	cfg    Config
+	health *healthChecker
+	retry  *retrier
+	client *http.Client
+
+	// top is the immutable routing snapshot (ring, members, in-flight
+	// move); the rebalance coordinator swaps it atomically, the hot
+	// paths load it once per request.
+	top atomic.Pointer[topology]
+	// routeInflight counts insert routings between topology load and
+	// dispatch completion. The coordinator's fence publishes a new
+	// topology and then waits for this to hit zero: from that point,
+	// every in-flight insert has settled and every later one sees the
+	// fenced topology. The Add(1)-before-Load ordering on the insert
+	// path is what makes the wait sound.
+	routeInflight atomic.Int64
+
+	bufMu   sync.Mutex
 	buffers map[string]*nodeBuffer
 
 	flushc chan struct{}
 	done   chan struct{}
 	wg     sync.WaitGroup
+
+	// adminMu serializes membership changes; TryLock turns a
+	// concurrent admin request into ErrRebalanceBusy instead of a queue.
+	adminMu  sync.Mutex
+	epochSeq atomic.Uint64
+	rebMu    sync.Mutex
+	rebStat  RebalanceStatus
+	poisoned map[pairKey]bool
 
 	requests        atomic.Uint64
 	insertEntries   atomic.Uint64
@@ -116,8 +153,14 @@ type Router struct {
 	entriesBuffered atomic.Uint64
 	bufferReplayed  atomic.Uint64
 	bufferDropped   atomic.Uint64
+	bufferRetired   atomic.Uint64
 	degradedQueries atomic.Uint64
 	degradedKeys    atomic.Uint64
+	rebPairs        atomic.Uint64
+	moveRestarts    atomic.Uint64
+	copyResumes     atomic.Uint64
+	rebStaged       atomic.Uint64
+	rebDrained      atomic.Uint64
 }
 
 // New validates cfg and builds a stopped Router: Start launches the
@@ -146,22 +189,17 @@ func New(cfg Config) (*Router, error) {
 	}
 	r := &Router{
 		cfg:     cfg,
-		ring:    ring,
-		members: ring.Members(),
 		retry:   newRetrier(cfg.Retry),
 		client:  &http.Client{Transport: cfg.Transport},
 		buffers: make(map[string]*nodeBuffer, len(members)),
 		flushc:  make(chan struct{}, 1),
 		done:    make(chan struct{}),
 	}
-	r.part = cfg.Partition
-	if r.part == nil {
-		r.part = ring.Partition
-	}
-	for _, m := range r.members {
+	r.top.Store(&topology{ring: ring, members: ring.Members(), custom: cfg.Partition})
+	for _, m := range ring.Members() {
 		r.buffers[m] = newNodeBuffer(cfg.Buffer.Capacity)
 	}
-	r.health = newHealthChecker(r.members, cfg.Health, cfg.Transport,
+	r.health = newHealthChecker(ring.Members(), cfg.Health, cfg.Transport,
 		func(node string, up bool) {
 			if up {
 				r.wakeFlusher()
@@ -253,11 +291,17 @@ func (r *Router) wakeFlusher() {
 	}
 }
 
-// Owner returns the member owning key under the configured partition.
-func (r *Router) Owner(key uint64) string { return r.part(key, r.members) }
+// Owner returns the member currently answering for key: the configured
+// partition's owner, except for key ranges a completed move has already
+// cut over to their new owner.
+func (r *Router) Owner(key uint64) string { return r.top.Load().effOwner(key) }
 
-// Members returns the configured member set.
-func (r *Router) Members() []string { return r.ring.Members() }
+// Members returns the current authoritative member set (mid-rebalance,
+// a joiner appears here only after the final ring flip).
+func (r *Router) Members() []string {
+	t := r.top.Load()
+	return append([]string{}, t.members...)
+}
 
 // NodeUp reports whether node is currently in the serving set.
 func (r *Router) NodeUp(node string) bool { return r.health.up(node) }
@@ -269,18 +313,47 @@ func (r *Router) ObserveHealth(node string, ok bool, status string) {
 	r.health.observe(node, ok, status)
 }
 
-// Statuses snapshots every member's health state.
+// Statuses snapshots every probed node's health state, including a
+// mid-join node not yet in the member list.
 func (r *Router) Statuses() map[string]NodeStatus {
-	out := make(map[string]NodeStatus, len(r.members))
-	for _, m := range r.members {
-		out[m] = r.health.status(m)
+	return r.health.allStatuses()
+}
+
+// buffer returns node's dead-owner buffer, nil if node is unknown.
+func (r *Router) buffer(node string) *nodeBuffer {
+	r.bufMu.Lock()
+	defer r.bufMu.Unlock()
+	return r.buffers[node]
+}
+
+// bufferLen reports one node's parked-entry depth.
+func (r *Router) bufferLen(node string) int {
+	if b := r.buffer(node); b != nil {
+		return b.len()
 	}
-	return out
+	return 0
+}
+
+// bufferSnapshot lists the buffers in deterministic node order.
+func (r *Router) bufferSnapshot() ([]string, []*nodeBuffer) {
+	r.bufMu.Lock()
+	nodes := make([]string, 0, len(r.buffers))
+	for n := range r.buffers {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	bufs := make([]*nodeBuffer, len(nodes))
+	for i, n := range nodes {
+		bufs[i] = r.buffers[n]
+	}
+	r.bufMu.Unlock()
+	return nodes, bufs
 }
 
 func (r *Router) bufferDepth() int {
+	_, bufs := r.bufferSnapshot()
 	n := 0
-	for _, b := range r.buffers {
+	for _, b := range bufs {
 		n += b.len()
 	}
 	return n
@@ -296,12 +369,18 @@ func (r *Router) Metrics() Metrics {
 		EntriesBuffered:   r.entriesBuffered.Load(),
 		BufferReplayed:    r.bufferReplayed.Load(),
 		BufferDropped:     r.bufferDropped.Load(),
+		BufferRetired:     r.bufferRetired.Load(),
 		BufferDepth:       r.bufferDepth(),
 		Retries:           retries,
 		RetryBudgetDenied: denied,
 		RetryBudgetTokens: tokens,
 		DegradedQueries:   r.degradedQueries.Load(),
 		DegradedKeys:      r.degradedKeys.Load(),
+		RebalancePairs:    r.rebPairs.Load(),
+		MoveRestarts:      r.moveRestarts.Load(),
+		CopyResumes:       r.copyResumes.Load(),
+		StagedEntries:     r.rebStaged.Load(),
+		DrainedEntries:    r.rebDrained.Load(),
 	}
 	for _, st := range r.Statuses() {
 		m.Ejections += st.Ejections
@@ -394,68 +473,130 @@ func encodeEntries(es []entry) []byte {
 	return b.Bytes()
 }
 
-// sendBatch forwards one owner-ordered batch to node and reports how
-// many entries were applied (always a prefix: the backend applies
-// lines in order and reports X-Accepted on failure) plus whether the
-// remainder is provably unapplied and may be parked or retried.
-func (r *Router) sendBatch(ctx context.Context, node string, es []entry) (applied int, safeRemainder bool) {
-	res := r.forward(ctx, http.MethodPost, node+"/insertbatch", encodeEntries(es), false)
+// sendEntriesTo forwards one batch to an insert-shaped endpoint and
+// reports the applied prefix. safe means the remainder is provably
+// unapplied (connect-level failure or zero-applied 5xx) and may be
+// parked or retried; exact means the endpoint answered and the prefix
+// is its own X-Accepted arithmetic, so the remainder was refused, not
+// lost in flight. Neither flag set is the indeterminate case.
+func (r *Router) sendEntriesTo(ctx context.Context, u string, es []entry) (applied int, safe, exact bool) {
+	res := r.forward(ctx, http.MethodPost, u, encodeEntries(es), false)
 	switch res.verdict() {
 	case vOK:
-		return len(es), false
+		return len(es), false, true
 	case vRetrySafe:
-		// Connect-level failure or a zero-applied 5xx: nothing landed.
-		return 0, true
+		return 0, true, false
 	}
 	if res.err == nil {
-		// The backend answered: X-Accepted is the exact applied prefix.
 		if n, err := strconv.Atoi(res.header.Get("X-Accepted")); err == nil && n >= 0 && n <= len(es) {
-			return n, false
+			return n, false, true
 		}
 	}
-	return 0, false
+	return 0, false, false
 }
 
-// routeInserts re-batches entries by owner, forwards each owner batch,
-// and parks provably-unapplied remainders for down owners. Returns the
-// number of accepted entries (applied or parked — both survive, parked
-// ones after readmission) and the nodes that could not take their
-// share.
+// sendBatch forwards one owner-ordered batch to node's /insertbatch.
+func (r *Router) sendBatch(ctx context.Context, node string, es []entry) (applied int, safeRemainder bool) {
+	applied, safe, _ := r.sendEntriesTo(ctx, node+"/insertbatch", es)
+	return applied, safe
+}
+
+// routeInserts re-batches entries by effective owner under the current
+// topology snapshot, forwards each owner batch, and parks
+// provably-unapplied remainders for down owners. Keys in a moving
+// range are dual-routed (staged on the recipient, acknowledged by the
+// donor) during the DUAL phase and held on the pair's gate during the
+// FENCE and BARRIER phases — held entries release the in-flight count
+// before blocking, so the coordinator's fence cannot deadlock on them,
+// and re-resolve against the new topology once the gate opens. Returns
+// the number of accepted entries (applied, parked, or dual-routed) and
+// the nodes that could not take their share.
 func (r *Router) routeInserts(ctx context.Context, entries []entry) (accepted int, failed []string) {
 	r.insertEntries.Add(uint64(len(entries)))
-	type group struct {
-		node    string
-		entries []entry
-	}
-	groups := make(map[string]*group)
-	var order []*group
-	for _, e := range entries {
-		node := r.part(e.key, r.members)
-		g := groups[node]
-		if g == nil {
-			g = &group{node: node}
-			groups[node] = g
-			order = append(order, g)
+	failedSet := make(map[string]bool)
+	pending := entries
+	for len(pending) > 0 {
+		// Order matters: count the routing as in-flight BEFORE loading
+		// the topology. When the fence later observes zero in-flight, no
+		// insert routed under an older snapshot can still be running.
+		r.routeInflight.Add(1)
+		t := r.top.Load()
+		type group struct {
+			node    string
+			entries []entry
+			pair    *pairState
 		}
-		g.entries = append(g.entries, e)
-	}
-	results := make([]int, len(order))
-	fails := make([]bool, len(order))
-	var wg sync.WaitGroup
-	for i, g := range order {
-		i, g := i, g
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			results[i], fails[i] = r.routeOwnerBatch(ctx, g.node, g.entries)
-		}()
-	}
-	wg.Wait()
-	for i, g := range order {
-		accepted += results[i]
-		if fails[i] {
-			failed = append(failed, g.node)
+		groups := make(map[string]*group)
+		var order []*group
+		var held []entry
+		var gate chan struct{}
+		for _, e := range pending {
+			node, ps := t.route(e.key)
+			if ps != nil && !ps.dual {
+				held = append(held, e)
+				gate = ps.gate
+				continue
+			}
+			// A dual-routed group is keyed separately from a plain batch
+			// for the same donor (non-moving keys it still owns).
+			mapKey := node
+			if ps != nil {
+				mapKey = "\x00dual|" + node
+			}
+			g := groups[mapKey]
+			if g == nil {
+				g = &group{node: node, pair: ps}
+				groups[mapKey] = g
+				order = append(order, g)
+			}
+			g.entries = append(g.entries, e)
 		}
+		results := make([]int, len(order))
+		fails := make([]bool, len(order))
+		var wg sync.WaitGroup
+		for i, g := range order {
+			i, g := i, g
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if g.pair != nil {
+					results[i], fails[i] = r.dualRouteBatch(ctx, g.pair, g.entries)
+				} else {
+					results[i], fails[i] = r.routeOwnerBatch(ctx, g.node, g.entries)
+				}
+			}()
+		}
+		wg.Wait()
+		for i, g := range order {
+			accepted += results[i]
+			if fails[i] {
+				failedSet[g.node] = true
+			}
+		}
+		r.routeInflight.Add(-1)
+		if len(held) == 0 {
+			break
+		}
+		pending = held
+		select {
+		case <-gate:
+			// Re-resolve the held entries against the post-gate topology.
+		case <-ctx.Done():
+			// Refuse rather than apply late: the entries were never sent
+			// anywhere, so the client may retry them safely.
+			for _, e := range pending {
+				failedSet[t.baseOwner(e.key)] = true
+			}
+			pending = nil
+		case <-r.done:
+			for _, e := range pending {
+				failedSet[t.baseOwner(e.key)] = true
+			}
+			pending = nil
+		}
+	}
+	for n := range failedSet {
+		failed = append(failed, n)
 	}
 	sort.Strings(failed)
 	return accepted, failed
@@ -491,7 +632,7 @@ func (r *Router) routeOwnerBatch(ctx context.Context, node string, es []entry) (
 
 // parkEntries buffers provably-unapplied entries for a down owner.
 func (r *Router) parkEntries(ctx context.Context, node string, es []entry) int {
-	buf := r.buffers[node]
+	buf := r.buffer(node)
 	if buf == nil || len(es) == 0 {
 		return 0
 	}
@@ -503,6 +644,7 @@ func (r *Router) parkEntries(ctx context.Context, node string, es []entry) int {
 	}
 	n := buf.push(ctx, es, block)
 	r.entriesBuffered.Add(uint64(n))
+	buf.buffered.Add(uint64(n))
 	return n
 }
 
@@ -514,8 +656,9 @@ func (r *Router) parkEntries(ctx context.Context, node string, es []entry) int {
 // batch (see Metrics.BufferDropped).
 func (r *Router) flushOnce() int {
 	delivered := 0
-	for _, node := range r.members {
-		buf := r.buffers[node]
+	nodes, bufs := r.bufferSnapshot()
+	for bi, node := range nodes {
+		buf := bufs[bi]
 		for buf.len() > 0 && r.health.up(node) {
 			es := buf.pop(256)
 			if len(es) == 0 {
@@ -526,6 +669,7 @@ func (r *Router) flushOnce() int {
 			case vOK:
 				delivered += len(es)
 				r.bufferReplayed.Add(uint64(len(es)))
+				buf.replayed.Add(uint64(len(es)))
 				r.entriesApplied.Add(uint64(len(es)))
 				continue
 			case vRetrySafe:
@@ -536,14 +680,17 @@ func (r *Router) flushOnce() int {
 					if n, err := strconv.Atoi(res.header.Get("X-Accepted")); err == nil && n >= 0 && n <= len(es) {
 						delivered += n
 						r.bufferReplayed.Add(uint64(n))
+						buf.replayed.Add(uint64(n))
 						r.entriesApplied.Add(uint64(n))
 						buf.unpop(es[n:])
 					} else {
 						r.bufferDropped.Add(uint64(len(es)))
+						buf.dropped.Add(uint64(len(es)))
 						r.logf("router: dropped %d parked inserts for %s (unparseable backend answer)", len(es), node)
 					}
 				} else {
 					r.bufferDropped.Add(uint64(len(es)))
+					buf.dropped.Add(uint64(len(es)))
 					r.logf("router: dropped %d parked inserts for %s (indeterminate failure: %v)", len(es), node, res.err)
 				}
 			}
@@ -562,8 +709,11 @@ func (r *Router) flushOnce() int {
 //	POST /insertbatch            (body: "key [count]" lines)
 //	GET  /query?key=...[&key=...][&mode=stale]
 //	GET  /topk?k=10[&mode=stale]
-//	GET  /stats
+//	GET  /stats                  (JSON serving + rebalance counters)
 //	GET  /healthz                (JSON cluster membership)
+//	POST /admin/join?node=H      (rebalance a node into the cluster)
+//	POST /admin/leave?node=H     (rebalance a node out of the cluster)
+//	GET  /admin/members          (JSON member set + rebalance status)
 func (r *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/insert", r.handleInsert)
@@ -572,6 +722,9 @@ func (r *Router) Handler() http.Handler {
 	mux.HandleFunc("/topk", r.handleTopK)
 	mux.HandleFunc("/stats", r.handleStats)
 	mux.HandleFunc("/healthz", r.handleHealthz)
+	mux.HandleFunc("/admin/join", r.handleAdminJoin)
+	mux.HandleFunc("/admin/leave", r.handleAdminLeave)
+	mux.HandleFunc("/admin/members", r.handleAdminMembers)
 	return mux
 }
 
@@ -738,8 +891,12 @@ func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
 		}
 		keys[i] = k
 	}
-	// Group request positions by owner so each backend answers its own
-	// keys in one round trip.
+	// Group request positions by effective owner so each backend
+	// answers its own keys in one round trip. Mid-move keys stay with
+	// their donor until cutover — the donor holds every acknowledged
+	// insertion (its own pool plus the dual-routed copies), so answers
+	// never dip while a range is in flight.
+	t := r.top.Load()
 	type group struct {
 		node string
 		idx  []int
@@ -747,7 +904,7 @@ func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
 	groups := make(map[string]*group)
 	var order []*group
 	for i, k := range keys {
-		node := r.part(k, r.members)
+		node := t.effOwner(k)
 		g := groups[node]
 		if g == nil {
 			g = &group{node: node}
@@ -842,12 +999,20 @@ func (r *Router) handleTopK(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, "mode must be stale (or omitted for exact)", http.StatusBadRequest)
 		return
 	}
-	lists := make([][]hhEntry, len(r.members))
-	fails := make([]bool, len(r.members))
-	fatal := make([]bool, len(r.members))
-	staleHeaders := make([]http.Header, len(r.members))
+	// Fan to every node that may effectively own keys right now —
+	// mid-move that includes the incoming one. Each node's list is then
+	// filtered to the keys it effectively owns, so a key range that has
+	// copies on both ends of an in-flight move (donor still serving,
+	// recipient already holding the fold) is counted exactly once, from
+	// the end queries route to.
+	t := r.top.Load()
+	members := t.queryMembers()
+	lists := make([][]hhEntry, len(members))
+	fails := make([]bool, len(members))
+	fatal := make([]bool, len(members))
+	staleHeaders := make([]http.Header, len(members))
 	var wg sync.WaitGroup
-	for i, node := range r.members {
+	for i, node := range members {
 		if !r.health.up(node) {
 			fails[i] = true
 			continue
@@ -872,7 +1037,13 @@ func (r *Router) handleTopK(w http.ResponseWriter, req *http.Request) {
 				fails[i] = true
 				return
 			}
-			lists[i] = l
+			kept := l[:0]
+			for _, e := range l {
+				if t.effOwner(e.key) == node {
+					kept = append(kept, e)
+				}
+			}
+			lists[i] = kept
 			staleHeaders[i] = res.header
 		}()
 	}
@@ -881,7 +1052,7 @@ func (r *Router) handleTopK(w http.ResponseWriter, req *http.Request) {
 	var okLists [][]hhEntry
 	var okHeaders []http.Header
 	anyFatal, anyOK := false, false
-	for i, node := range r.members {
+	for i, node := range members {
 		if fails[i] {
 			degraded = append(degraded, node)
 			anyFatal = anyFatal || fatal[i]
@@ -936,17 +1107,41 @@ func (r *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	}{state, up, statuses})
 }
 
+// statsNode is one member's /stats entry: health-state plus the
+// dead-owner buffer ledger (current occupancy and the cumulative
+// replayed/dropped counters), so an operator can see which member's
+// outages are costing inserts without correlating logs.
+type statsNode struct {
+	Up         bool   `json:"up"`
+	Status     string `json:"status"`
+	ConsecFail int    `json:"consec_fail"`
+	ConsecOK   int    `json:"consec_ok"`
+	Buffered   int    `json:"buffered"`
+	Replayed   uint64 `json:"replayed"`
+	Dropped    uint64 `json:"dropped"`
+}
+
 func (r *Router) handleStats(w http.ResponseWriter, _ *http.Request) {
 	m := r.Metrics()
-	fmt.Fprintf(w, "requests=%d insert_entries=%d entries_applied=%d entries_buffered=%d buffer_replayed=%d buffer_dropped=%d buffer_depth=%d\n",
-		m.Requests, m.InsertEntries, m.EntriesApplied, m.EntriesBuffered, m.BufferReplayed, m.BufferDropped, m.BufferDepth)
-	fmt.Fprintf(w, "retries=%d retry_budget_denied=%d retry_budget_tokens=%.1f\n",
-		m.Retries, m.RetryBudgetDenied, m.RetryBudgetTokens)
-	fmt.Fprintf(w, "degraded_queries=%d degraded_keys=%d ejections=%d readmits=%d\n",
-		m.DegradedQueries, m.DegradedKeys, m.Ejections, m.Readmits)
-	for _, node := range r.members {
+	nodes, bufs := r.bufferSnapshot()
+	nodeStats := make(map[string]statsNode, len(nodes))
+	for i, node := range nodes {
 		st := r.health.status(node)
-		fmt.Fprintf(w, "node=%s up=%t status=%s consec_fail=%d consec_ok=%d buffered=%d\n",
-			node, st.Up, st.Status, st.ConsecFail, st.ConsecOK, r.buffers[node].len())
+		nodeStats[node] = statsNode{
+			Up: st.Up, Status: st.Status,
+			ConsecFail: st.ConsecFail, ConsecOK: st.ConsecOK,
+			Buffered: bufs[i].len(),
+			Replayed: bufs[i].replayed.Load(),
+			Dropped:  bufs[i].dropped.Load(),
+		}
 	}
+	out := struct {
+		Metrics
+		Rebalance RebalanceStatus      `json:"rebalance"`
+		Nodes     map[string]statsNode `json:"nodes"`
+	}{m, r.RebalanceStatus(), nodeStats}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(out)
 }

@@ -2,6 +2,7 @@ package router
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -154,8 +155,31 @@ func TestRouterEndToEnd(t *testing.T) {
 		t.Fatalf("healthz: status=%d body=%q", status, body)
 	}
 	status, _, body = doReq(t, http.MethodGet, front.URL+"/stats", "")
-	if status != http.StatusOK || !strings.Contains(body, "insert_entries=4") {
+	if status != http.StatusOK {
 		t.Fatalf("stats: status=%d body=%q", status, body)
+	}
+	var stats struct {
+		InsertEntries uint64 `json:"insert_entries"`
+		Nodes         map[string]struct {
+			Up       bool   `json:"up"`
+			Buffered int    `json:"buffered"`
+			Replayed uint64 `json:"replayed"`
+			Dropped  uint64 `json:"dropped"`
+		} `json:"nodes"`
+	}
+	if err := json.Unmarshal([]byte(body), &stats); err != nil {
+		t.Fatalf("stats is not JSON: %v (body=%q)", err, body)
+	}
+	if stats.InsertEntries != 4 {
+		t.Fatalf("stats insert_entries=%d, want 4 (body=%q)", stats.InsertEntries, body)
+	}
+	if len(stats.Nodes) != len(backends) {
+		t.Fatalf("stats reports %d nodes, want %d", len(stats.Nodes), len(backends))
+	}
+	for node, ns := range stats.Nodes {
+		if !ns.Up || ns.Buffered != 0 || ns.Dropped != 0 {
+			t.Fatalf("stats node %s = %+v, want up with empty buffer ledger", node, ns)
+		}
 	}
 
 	// Every accepted entry landed on exactly one backend.

@@ -109,6 +109,29 @@ func (a *Augmented) RestoreFromCountMin(cm *CountMin) error {
 	return nil
 }
 
+// MergeFromCountMin folds a checkpointed Count-Min snapshot into the
+// *live* augmented sketch (unlike RestoreFromCountMin, the target may
+// already hold insertions). The filter is drained into the backing
+// first, then the carrier is added counter-wise — draining is what
+// keeps the fold sound: a filter entry's exact count shadows the
+// backing counters in Estimate, so folding foreign mass under a shadow
+// would silently hide it until eviction. After the merge the filter
+// re-learns hot keys from live traffic, exactly as after a restore.
+// Requires a *CountMin backing and an identical Config.
+func (a *Augmented) MergeFromCountMin(cm *CountMin) error {
+	backing, ok := a.sk.(*CountMin)
+	if !ok {
+		return fmt.Errorf("sketch: augmented backing is %T, not a Count-Min", a.sk)
+	}
+	if backing.cfg != cm.cfg {
+		return fmt.Errorf("sketch: merge config mismatch: have %+v, checkpoint %+v", backing.cfg, cm.cfg)
+	}
+	a.Drain()
+	backing.Merge(cm)
+	a.total += cm.Total()
+	return nil
+}
+
 // Drain flushes every filter entry's outstanding count into the backing
 // sketch and empties the filter. Used before whole-sketch accounting
 // (e.g. row-sum checks) where the filter would otherwise hide counts.

@@ -86,6 +86,25 @@ func (s *ConservativeCountMin) CountMinSnapshot() *CountMin {
 	return c
 }
 
+// MergeFromCountMin folds a checkpointed counter array into the live CU
+// sketch, counter-wise. Conservative update is not exactly mergeable —
+// replaying the union stream through the CU rule would usually leave
+// *smaller* counters — but counter-wise addition preserves the one
+// guarantee point queries rely on: every row counter stays an upper
+// bound on the true count of the keys hashing into it, so the min over
+// rows still never under-reports. The carrier must share the exact
+// Config.
+func (s *ConservativeCountMin) MergeFromCountMin(cm *CountMin) error {
+	if s.cfg != cm.cfg {
+		return fmt.Errorf("sketch: merge config mismatch: have %+v, checkpoint %+v", s.cfg, cm.cfg)
+	}
+	for i, c := range cm.counters {
+		s.counters[i] += c
+	}
+	s.total += cm.total
+	return nil
+}
+
 // RestoreFromCountMin loads a checkpointed counter array into an empty
 // CU sketch. The carrier must share the exact Config.
 func (s *ConservativeCountMin) RestoreFromCountMin(cm *CountMin) error {

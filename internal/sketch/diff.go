@@ -1,0 +1,35 @@
+package sketch
+
+import "fmt"
+
+// ErrNotSuperset reports a DiffCountMin call whose newer argument is not
+// a counter-wise superset of the older one — the two snapshots cannot be
+// consecutive cuts of the same growing sketch.
+var ErrNotSuperset = fmt.Errorf("sketch: newer snapshot is not a superset of the older one")
+
+// DiffCountMin returns a sketch holding newer − older, counter by
+// counter. Count-Min counters are monotone non-decreasing under Insert
+// and Merge, so two snapshots of the same sketch taken at different
+// times always satisfy newer ≥ older cell-wise; the difference is then
+// itself a valid Count-Min summarizing exactly the insertions that
+// happened between the two cuts. Any cell (or the total) where newer <
+// older proves the snapshots are NOT from one growing sketch — e.g. the
+// source was rebuilt from scratch in between — and the call refuses with
+// ErrNotSuperset rather than fabricate counts.
+func DiffCountMin(newer, older *CountMin) (*CountMin, error) {
+	if newer.cfg != older.cfg {
+		return nil, fmt.Errorf("sketch: diff config mismatch: newer %+v, older %+v", newer.cfg, older.cfg)
+	}
+	if newer.total < older.total {
+		return nil, fmt.Errorf("%w: total %d < %d", ErrNotSuperset, newer.total, older.total)
+	}
+	d := NewCountMin(newer.cfg)
+	for i, c := range newer.counters {
+		if c < older.counters[i] {
+			return nil, fmt.Errorf("%w: counter %d is %d < %d", ErrNotSuperset, i, c, older.counters[i])
+		}
+		d.counters[i] = c - older.counters[i]
+	}
+	d.total = newer.total - older.total
+	return d, nil
+}

@@ -1,0 +1,71 @@
+package sketch
+
+import (
+	"errors"
+	"testing"
+)
+
+// DiffCountMin underpins the rebalance baseline fold: for two cuts of
+// one growing sketch, newer = older + diff must hold exactly, cell for
+// cell, and anything that is not such a pair must be refused.
+
+func TestDiffCountMinExactBetweenCuts(t *testing.T) {
+	cfg := Config{Depth: 4, Width: 512, Seed: 11}
+	s := NewCountMin(cfg)
+	for k := uint64(0); k < 300; k++ {
+		s.Insert(k, k%7+1)
+	}
+	older := s.Clone()
+	for k := uint64(100); k < 400; k++ {
+		s.Insert(k, 5)
+	}
+
+	d, err := DiffCountMin(s, older)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := d.Total(), s.Total()-older.Total(); got != want {
+		t.Fatalf("diff total %d, want %d", got, want)
+	}
+	// older + diff reconstructs the newer cut bit for bit.
+	rebuilt := older.Clone()
+	rebuilt.Merge(d)
+	for i, c := range s.counters {
+		if rebuilt.counters[i] != c {
+			t.Fatalf("counter %d: rebuilt %d, newer %d", i, rebuilt.counters[i], c)
+		}
+	}
+	// The diff alone answers the between-cuts stream.
+	between := NewCountMin(cfg)
+	for k := uint64(100); k < 400; k++ {
+		between.Insert(k, 5)
+	}
+	for k := uint64(0); k < 400; k++ {
+		if got, want := d.Estimate(k), between.Estimate(k); got != want {
+			t.Fatalf("key %d: diff estimates %d, between-stream sketch %d", k, got, want)
+		}
+	}
+}
+
+func TestDiffCountMinRefusesNonSuperset(t *testing.T) {
+	cfg := Config{Depth: 2, Width: 64, Seed: 3}
+	a := NewCountMin(cfg)
+	b := NewCountMin(cfg)
+	a.Insert(1, 10)
+	b.Insert(2, 10) // same total, different cells: neither extends the other
+	if _, err := DiffCountMin(a, b); !errors.Is(err, ErrNotSuperset) {
+		t.Fatalf("diff of unrelated sketches: err %v, want ErrNotSuperset", err)
+	}
+	small := NewCountMin(cfg)
+	if _, err := DiffCountMin(small, a); !errors.Is(err, ErrNotSuperset) {
+		t.Fatalf("diff below baseline: err %v, want ErrNotSuperset", err)
+	}
+}
+
+func TestDiffCountMinRefusesConfigMismatch(t *testing.T) {
+	a := NewCountMin(Config{Depth: 2, Width: 64, Seed: 3})
+	b := NewCountMin(Config{Depth: 2, Width: 128, Seed: 3})
+	if _, err := DiffCountMin(a, b); err == nil {
+		t.Fatal("diff across configs succeeded")
+	}
+}

@@ -1,0 +1,109 @@
+package sketch
+
+import (
+	"strings"
+	"testing"
+)
+
+// The MergeFromCountMin folds are the per-owner halves of live state
+// transfer (DS.Merge): a shipped checkpoint shard is added counter-wise
+// into a live, already-serving sketch. These tests pin the properties
+// the rebalance protocol depends on: totals add, plain Count-Min merges
+// exactly, CU and Augmented merges never under-report, and a config
+// mismatch changes nothing.
+
+func TestConservativeMergeFromCountMin(t *testing.T) {
+	cfg := Config{Depth: 4, Width: 256, Seed: 7}
+	live := NewConservativeCountMin(cfg)
+	donor := NewConservativeCountMin(cfg)
+	for k := uint64(0); k < 100; k++ {
+		live.Insert(k, k+1)
+		donor.Insert(k+1000, 2*k+1)
+	}
+	liveBefore := make(map[uint64]uint64)
+	donorBefore := make(map[uint64]uint64)
+	for k := uint64(0); k < 100; k++ {
+		liveBefore[k] = live.Estimate(k)
+		donorBefore[k+1000] = donor.Estimate(k + 1000)
+	}
+	if err := live.MergeFromCountMin(donor.CountMinSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := live.Total(), uint64(100*101/2+100*100); got != want {
+		t.Fatalf("merged total = %d, want %d", got, want)
+	}
+	// Counter-wise addition can only raise counters, so every estimate
+	// stays an upper bound on the true count from either stream.
+	for k := uint64(0); k < 100; k++ {
+		if live.Estimate(k) < liveBefore[k] {
+			t.Fatalf("key %d: estimate dropped from %d to %d", k, liveBefore[k], live.Estimate(k))
+		}
+		if live.Estimate(k+1000) < donorBefore[k+1000] {
+			t.Fatalf("key %d: merged estimate %d under donor's %d", k+1000, live.Estimate(k+1000), donorBefore[k+1000])
+		}
+		if live.Estimate(k) < k+1 {
+			t.Fatalf("key %d: estimate %d under true count %d", k, live.Estimate(k), k+1)
+		}
+	}
+	// Mismatched geometry is refused.
+	other := NewCountMin(Config{Depth: 4, Width: 128, Seed: 7})
+	if err := live.MergeFromCountMin(other); err == nil || !strings.Contains(err.Error(), "mismatch") {
+		t.Fatalf("mismatched merge: err = %v, want config mismatch", err)
+	}
+}
+
+func TestAugmentedMergeFromCountMin(t *testing.T) {
+	cfg := Config{Depth: 4, Width: 1024, Seed: 3}
+	live := NewAugmented(NewCountMin(cfg), 8)
+	donor := NewAugmented(NewCountMin(cfg), 8)
+	// Few distinct keys in a wide sketch: no collisions, estimates exact.
+	live.Insert(1, 10)
+	live.Insert(2, 20)
+	donor.Insert(2, 5)
+	donor.Insert(3, 7)
+	cm, err := donor.CountMinSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := live.MergeFromCountMin(cm); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := live.Total(), uint64(42); got != want {
+		t.Fatalf("merged total = %d, want %d", got, want)
+	}
+	// The filter was drained before the fold, so no pre-merge filter
+	// entry can shadow merged mass: key 2 must answer both streams.
+	for _, tc := range []struct{ key, want uint64 }{{1, 10}, {2, 25}, {3, 7}} {
+		if got := live.Estimate(tc.key); got != tc.want {
+			t.Fatalf("key %d: estimate %d, want %d", tc.key, got, tc.want)
+		}
+	}
+	// Non-Count-Min backing is refused.
+	cu := NewAugmented(NewConservativeCountMin(cfg), 8)
+	if err := cu.MergeFromCountMin(cm); err == nil {
+		t.Fatal("merge into a CU-backed augmented sketch must be refused")
+	}
+}
+
+func TestCountMinMergeAdditive(t *testing.T) {
+	cfg := Config{Depth: 4, Width: 512, Seed: 11}
+	a := NewCountMin(cfg)
+	b := NewCountMin(cfg)
+	union := NewCountMin(cfg)
+	for k := uint64(0); k < 200; k++ {
+		a.Insert(k, k)
+		union.Insert(k, k)
+		b.Insert(k*3, 2)
+		union.Insert(k*3, 2)
+	}
+	a.Merge(b)
+	if a.Total() != union.Total() {
+		t.Fatalf("merged total %d != union total %d", a.Total(), union.Total())
+	}
+	// Count-Min merge is exact: the merged sketch is the union sketch.
+	for k := uint64(0); k < 600; k++ {
+		if a.Estimate(k) != union.Estimate(k) {
+			t.Fatalf("key %d: merged %d != union %d", k, a.Estimate(k), union.Estimate(k))
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package topk
+
+import "testing"
+
+// Merge is the heavy-hitter half of shard state transfer: the recipient
+// folds the donor's Space-Saving summary into its own. Under capacity
+// the union is exact; over capacity the eviction must be the
+// deterministic SortEntries order so every replica of a merge agrees.
+
+func TestMergeExactUnderCapacity(t *testing.T) {
+	a := New(16)
+	b := New(16)
+	want := map[uint64]uint64{}
+	for k := uint64(1); k <= 6; k++ {
+		a.Observe(k, k*10)
+		want[k] += k * 10
+	}
+	for k := uint64(4); k <= 9; k++ {
+		b.Observe(k, k)
+		want[k] += k
+	}
+	total, entries := b.State()
+	a.Merge(total, entries)
+	if got, wantT := a.Total(), uint64(10+20+30+40+50+60+4+5+6+7+8+9); got != wantT {
+		t.Fatalf("merged total = %d, want %d", got, wantT)
+	}
+	got := a.Top(len(want))
+	if len(got) != len(want) {
+		t.Fatalf("merged tracker holds %d keys, want %d", len(got), len(want))
+	}
+	for _, e := range got {
+		if e.Count != want[e.Key] || e.Err != 0 {
+			t.Fatalf("key %d: count=%d err=%d, want count=%d err=0", e.Key, e.Count, e.Err, want[e.Key])
+		}
+	}
+}
+
+func TestMergeEvictsDeterministically(t *testing.T) {
+	build := func() *SpaceSaving {
+		s := New(4)
+		s.Observe(1, 100)
+		s.Observe(2, 90)
+		s.Observe(3, 80)
+		s.Observe(4, 5)
+		return s
+	}
+	donorEntries := []Entry{{Key: 10, Count: 70}, {Key: 11, Count: 6}, {Key: 4, Count: 1}}
+
+	first := build()
+	first.Merge(77, donorEntries)
+	second := build()
+	second.Merge(77, donorEntries)
+
+	top := first.Top(4)
+	wantKeys := []uint64{1, 2, 3, 10} // 100, 90, 80, 70 survive; 4 (6) and 11 (6) evicted
+	for i, k := range wantKeys {
+		if top[i].Key != k {
+			t.Fatalf("rank %d: key %d, want %d (full: %+v)", i, top[i].Key, k, top)
+		}
+	}
+	// Replayability: the same merge on the same state gives the same set.
+	again := second.Top(4)
+	for i := range top {
+		if top[i] != again[i] {
+			t.Fatalf("merge is not deterministic: %+v vs %+v", top, again)
+		}
+	}
+	if first.Total() != 275+77 {
+		t.Fatalf("total = %d, want %d", first.Total(), 275+77)
+	}
+}
+
+func TestMergeAccumulatesErrBounds(t *testing.T) {
+	s := New(8)
+	s.Observe(1, 10)
+	s.Merge(12, []Entry{{Key: 1, Count: 9, Err: 3}})
+	top := s.Top(1)
+	if top[0].Count != 19 || top[0].Err != 3 {
+		t.Fatalf("merged entry = %+v, want count=19 err=3", top[0])
+	}
+	// Both directions of the bound survive: count ≥ truth ≥ count−err.
+	if !Guaranteed(top[0], 15) {
+		t.Fatal("lower bound 16 must clear threshold 15")
+	}
+}

@@ -108,6 +108,36 @@ func (s *SpaceSaving) State() (total uint64, entries []Entry) {
 	return s.total, s.Top(len(s.entries))
 }
 
+// Merge folds another tracker's State snapshot into the live tracker
+// (the standard mergeable-summaries union): per-key counts and error
+// bounds add — both streams' Count is an upper bound on that stream's
+// true count and Count−Err a lower bound, so the sums bound the union
+// stream the same way — and if the union exceeds capacity the smallest
+// entries are evicted in deterministic (SortEntries) order. Evicting an
+// entry forfeits its guarantee, exactly as in single-stream
+// Space-Saving: the merged tracker still surfaces every key whose union
+// frequency exceeds total/capacity when both trackers share the
+// capacity. Duplicate keys inside entries are tolerated (their counts
+// just add).
+func (s *SpaceSaving) Merge(total uint64, entries []Entry) {
+	s.total += total
+	for _, e := range entries {
+		if ex, ok := s.entries[e.Key]; ok {
+			ex.count += e.Count
+			ex.err += e.Err
+			continue
+		}
+		s.entries[e.Key] = &ssEntry{key: e.Key, count: e.Count, err: e.Err}
+	}
+	if len(s.entries) <= s.capacity {
+		return
+	}
+	ordered := s.Top(len(s.entries))
+	for _, e := range ordered[s.capacity:] {
+		delete(s.entries, e.Key)
+	}
+}
+
 // Restore loads a State snapshot into an empty tracker of the same
 // capacity class (entries must fit). It refuses a tracker that has
 // already observed anything, so a restore can never mix streams.

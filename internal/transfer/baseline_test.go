@@ -1,0 +1,176 @@
+package transfer
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dsketch"
+)
+
+// Per-source baseline tests: a donor's checkpoint generations are
+// cumulative, so a recipient that absorbs one and later absorbs a newer
+// one from the same donor must end up with the donor's counts exactly
+// once. This is the repeat-transfer scenario behind a join followed by
+// a leave — without the baseline the second fold doubles every count
+// the first one already shipped.
+
+// importFrom posts data as a source-tagged import and returns the
+// response status and body.
+func importFrom(t *testing.T, recipient *node, id, source string, data []byte) (int, string) {
+	t.Helper()
+	status, _, body := post(t, recipient.http.URL+"/checkpoint/import?id="+id+"&source="+source, string(data))
+	return status, body
+}
+
+func TestRepeatImportFromSameSourceFoldsDelta(t *testing.T) {
+	donor := newNode(t, nil)
+	recipient := newNode(t, nil)
+
+	for k := uint64(0); k < 100; k++ {
+		donor.pool.InsertCount(k, 10)
+	}
+	gen1 := take(t, donor)
+	if st, body := importFrom(t, recipient, "move1", "nodeA", pull(t, donor, gen1, 4096)); st != http.StatusOK {
+		t.Fatalf("first import: status %d body %q", st, body)
+	}
+
+	// The donor keeps growing (new keys AND more of the old ones), then
+	// ships its full cumulative state again — the join-then-leave shape.
+	for k := uint64(50); k < 150; k++ {
+		donor.pool.InsertCount(k, 7)
+	}
+	gen2 := take(t, donor)
+	if st, body := importFrom(t, recipient, "move2", "nodeA", pull(t, donor, gen2, 4096)); st != http.StatusOK {
+		t.Fatalf("second import: status %d body %q", st, body)
+	}
+
+	recipient.pool.Quiesce(func(*dsketch.Sketch) {})
+	for k := uint64(0); k < 150; k++ {
+		if got, want := recipient.pool.Query(k), donor.pool.Query(k); got != want {
+			t.Fatalf("key %d after repeat import: recipient %d, donor %d (double-fold?)", k, got, want)
+		}
+	}
+}
+
+func TestDrainCreditsStagedCountsToSourceBaseline(t *testing.T) {
+	donor := newNode(t, nil)
+	recipient := newNode(t, nil)
+
+	donor.pool.InsertCount(1, 100)
+	gen1 := take(t, donor)
+	if st, body := importFrom(t, recipient, "move1", "nodeA", pull(t, donor, gen1, 4096)); st != http.StatusOK {
+		t.Fatalf("import: status %d body %q", st, body)
+	}
+
+	// Dual-routed traffic during the move: the same inserts land in the
+	// recipient's staging lane AND the donor's main pool.
+	if st, _, body := post(t, recipient.http.URL+"/staging/insertbatch?epoch=e1", "2 40\n3 8"); st != http.StatusAccepted {
+		t.Fatalf("staging insert: status %d body %q", st, body)
+	}
+	donor.pool.InsertCount(2, 40)
+	donor.pool.InsertCount(3, 8)
+	if st, _, body := post(t, recipient.http.URL+"/staging/drain?epoch=e1&source=nodeA", ""); st != http.StatusOK {
+		t.Fatalf("drain: status %d body %q", st, body)
+	}
+
+	// A later transfer ships the donor's next cumulative generation,
+	// which contains those dual-routed inserts too. The drain credited
+	// them to the baseline, so they must not fold a second time.
+	donor.pool.InsertCount(4, 5)
+	gen2 := take(t, donor)
+	if st, body := importFrom(t, recipient, "move2", "nodeA", pull(t, donor, gen2, 4096)); st != http.StatusOK {
+		t.Fatalf("repeat import: status %d body %q", st, body)
+	}
+
+	recipient.pool.Quiesce(func(*dsketch.Sketch) {})
+	for k, want := range map[uint64]uint64{1: 100, 2: 40, 3: 8, 4: 5} {
+		if got := recipient.pool.Query(k); got != want {
+			t.Fatalf("key %d: recipient %d, want %d (staged counts re-imported?)", k, got, want)
+		}
+	}
+}
+
+func TestImportRefusesRegressedSource(t *testing.T) {
+	donor := newNode(t, nil)
+	recipient := newNode(t, nil)
+
+	donor.pool.InsertCount(1, 50)
+	gen1 := take(t, donor)
+	data1 := pull(t, donor, gen1, 4096)
+	donor.pool.InsertCount(2, 50)
+	gen2 := take(t, donor)
+	data2 := pull(t, donor, gen2, 4096)
+
+	if st, body := importFrom(t, recipient, "move1", "nodeA", data2); st != http.StatusOK {
+		t.Fatalf("import: status %d body %q", st, body)
+	}
+	// An older cut from the same source is not a superset of the
+	// baseline: the fold must refuse, not invent a difference.
+	st, body := importFrom(t, recipient, "move2", "nodeA", data1)
+	if st != http.StatusConflict || !strings.Contains(body, "does not extend") {
+		t.Fatalf("regressed import: status %d body %q, want 409", st, body)
+	}
+	// Untagged imports keep the legacy unconditional-fold contract.
+	if st, _, body := post(t, recipient.http.URL+"/checkpoint/import?id=legacy", string(data1)); st != http.StatusOK {
+		t.Fatalf("untagged import: status %d body %q", st, body)
+	}
+}
+
+func TestBaselineSurvivesRecipientRestart(t *testing.T) {
+	donor := newNode(t, nil)
+	recipient := newNode(t, nil)
+
+	donor.pool.InsertCount(7, 30)
+	gen1 := take(t, donor)
+	if st, body := importFrom(t, recipient, "move1", "nodeA", pull(t, donor, gen1, 4096)); st != http.StatusOK {
+		t.Fatalf("import: status %d body %q", st, body)
+	}
+	// Persist the recipient's pool (as its own checkpointer would), then
+	// "restart" it: a fresh pool restored from the same directory and a
+	// fresh transfer server over it. The in-memory baseline map is gone;
+	// the on-disk one must take over.
+	take(t, recipient)
+	recipient.http.Close()
+	recipient.xfer.Close()
+	recipient.pool.DisableCheckpoints()
+	recipient.pool.Close()
+
+	cfg := poolCfg()
+	cfg.Checkpoint = dsketch.CheckpointConfig{Dir: recipient.ckdir, Interval: 1 << 40, Keep: 4}
+	pool2, _, err := dsketch.RestorePool(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xfer2, err := NewServer(ServerConfig{
+		Main: pool2,
+		Dir:  recipient.ckdir,
+		NewStaging: func() (*dsketch.Pool, error) {
+			return dsketch.NewPoolChecked(poolCfg())
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	xfer2.Register(mux, nil)
+	srv2 := httptest.NewServer(mux)
+	defer func() {
+		srv2.Close()
+		xfer2.Close()
+		pool2.DisableCheckpoints()
+		pool2.Close()
+	}()
+
+	donor.pool.InsertCount(7, 12)
+	gen2 := take(t, donor)
+	data := pull(t, donor, gen2, 4096)
+	if st, _, body := post(t, srv2.URL+"/checkpoint/import?id=move2&source=nodeA", string(data)); st != http.StatusOK {
+		t.Fatalf("post-restart import: status %d body %q", st, body)
+	}
+	pool2.Quiesce(func(*dsketch.Sketch) {})
+	if got := pool2.Query(7); got != 42 {
+		t.Fatalf("key 7 after restart + repeat import: %d, want 42 (baseline lost => 72)", got)
+	}
+}

@@ -1,0 +1,181 @@
+package transfer
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"dsketch/internal/persist"
+)
+
+// Provenance: the origin-attributed decomposition of a checkpoint
+// generation. Every node's pool is (its own insertions) ⊎ (for each
+// origin X, the mass it absorbed of X's insertions) — and the per-origin
+// parts are exactly the baseline checkpoints the server already keeps.
+// When a generation ships to a recipient, this table ships with it, so
+// the recipient can fold each origin's lineage independently:
+//
+//   - mass originating at the recipient itself folds to zero (it never
+//     left the recipient's pool; folding it back would double it the
+//     moment the ring hands those keys home again),
+//   - mass of an origin the recipient already absorbed — directly or
+//     carried by ANY earlier donor — folds only the lineage difference,
+//   - mass of an unknown origin folds whole, and is recorded so the
+//     NEXT hop folds it to zero.
+//
+// That closes residue resurrection at any hop count: a donor's
+// cumulative generation can carry third-party cells through a chain of
+// moves, and each recipient subtracts exactly what it already holds of
+// each origin's lineage.
+//
+// Wire/disk format ("DSPROV01"): magic, uvarint entry count, then per
+// entry uvarint origin length + origin bytes + uvarint payload length +
+// payload (a complete checkpoint stream, self-checksummed). An import
+// body is this bundle with the generation's checkpoint stream appended;
+// a body that starts with the checkpoint magic instead is a bundle-less
+// import (no provenance — the pre-provenance wire contract).
+
+const provMagic = "DSPROV01"
+
+// provKeep bounds how many per-generation provenance files a donor
+// retains; generations older than that are re-take-able anyway.
+const provKeep = 8
+
+type provEntry struct {
+	origin string
+	data   []byte // complete checkpoint stream for this origin's absorbed cut
+}
+
+// encodeProv serializes entries (sorted by origin for determinism).
+func encodeProv(entries []provEntry) []byte {
+	sort.Slice(entries, func(i, j int) bool { return entries[i].origin < entries[j].origin })
+	out := []byte(provMagic)
+	out = binary.AppendUvarint(out, uint64(len(entries)))
+	for _, e := range entries {
+		out = binary.AppendUvarint(out, uint64(len(e.origin)))
+		out = append(out, e.origin...)
+		out = binary.AppendUvarint(out, uint64(len(e.data)))
+		out = append(out, e.data...)
+	}
+	return out
+}
+
+// splitImportBody separates an import body into its provenance entries
+// and the generation checkpoint stream. A body without the provenance
+// magic is all generation.
+func splitImportBody(body []byte) ([]provEntry, []byte, error) {
+	if !bytes.HasPrefix(body, []byte(provMagic)) {
+		return nil, body, nil
+	}
+	rest := body[len(provMagic):]
+	n, k := binary.Uvarint(rest)
+	if k <= 0 || n > 1<<20 {
+		return nil, nil, fmt.Errorf("transfer: corrupt provenance bundle: bad entry count")
+	}
+	rest = rest[k:]
+	entries := make([]provEntry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		ol, k := binary.Uvarint(rest)
+		if k <= 0 || uint64(len(rest[k:])) < ol {
+			return nil, nil, fmt.Errorf("transfer: corrupt provenance bundle: entry %d origin", i)
+		}
+		origin := string(rest[k : k+int(ol)])
+		rest = rest[k+int(ol):]
+		dl, k := binary.Uvarint(rest)
+		if k <= 0 || uint64(len(rest[k:])) < dl {
+			return nil, nil, fmt.Errorf("transfer: corrupt provenance bundle: entry %d payload", i)
+		}
+		entries = append(entries, provEntry{origin: origin, data: rest[k : k+int(dl)]})
+		rest = rest[k+int(dl):]
+	}
+	return entries, rest, nil
+}
+
+// provPath names the provenance file snapshotted for one generation.
+func (s *Server) provPath(gen uint64) string {
+	return filepath.Join(s.baselineDir(), fmt.Sprintf("prov-gen-%016d.dspv", gen))
+}
+
+// snapshotProvenanceLocked captures the full baseline table — memory
+// union disk — as encoded provenance entries. Caller holds s.mu.
+func (s *Server) snapshotProvenanceLocked() ([]provEntry, error) {
+	sources := make(map[string]bool)
+	for src := range s.baselines {
+		sources[src] = true
+	}
+	if dir := s.baselineDir(); dir != "" {
+		names, err := os.ReadDir(dir)
+		if err != nil && !os.IsNotExist(err) {
+			return nil, err
+		}
+		for _, de := range names {
+			name := de.Name()
+			if !strings.HasPrefix(name, "from-") || !strings.HasSuffix(name, ".dsck") {
+				continue
+			}
+			raw, err := hex.DecodeString(strings.TrimSuffix(strings.TrimPrefix(name, "from-"), ".dsck"))
+			if err != nil {
+				return nil, fmt.Errorf("transfer: undecodable baseline file name %s: %w", name, err)
+			}
+			sources[string(raw)] = true
+		}
+	}
+	entries := make([]provEntry, 0, len(sources))
+	for src := range sources {
+		cp, err := s.baselineLocked(src)
+		if err != nil {
+			return nil, err
+		}
+		if cp == nil {
+			continue
+		}
+		var buf bytes.Buffer
+		if _, err := persist.EncodeTo(&buf, cp); err != nil {
+			return nil, err
+		}
+		entries = append(entries, provEntry{origin: src, data: buf.Bytes()})
+	}
+	return entries, nil
+}
+
+// writeProvLocked publishes the provenance snapshot for gen atomically
+// and prunes snapshots beyond provKeep. Caller holds s.mu.
+func (s *Server) writeProvLocked(gen uint64, bundle []byte) error {
+	if err := os.MkdirAll(s.baselineDir(), 0o755); err != nil {
+		return err
+	}
+	final := s.provPath(gen)
+	tmp := final + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(bundle)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	names, err := filepath.Glob(filepath.Join(s.baselineDir(), "prov-gen-*.dspv"))
+	if err == nil && len(names) > provKeep {
+		sort.Strings(names) // zero-padded gen => lexicographic == numeric
+		for _, old := range names[:len(names)-provKeep] {
+			_ = os.Remove(old)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+package transfer
+
+import (
+	"bytes"
+	"hash/crc32"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dsketch"
+)
+
+// Origin-keyed provenance tests: a donor's generation carries mass it
+// absorbed from THIRD parties (imports merge into its main pool and the
+// copies are unread, not gone), so pairwise baselines alone cannot stop
+// that mass from folding twice when it travels a chain of moves. The
+// provenance bundle shipped with each generation decomposes it by
+// origin, and the recipient folds each origin's lineage independently.
+
+// getProv fetches the provenance bundle for gen and verifies its CRC
+// header against the body.
+func getProv(t *testing.T, n *node, gen uint64) []byte {
+	t.Helper()
+	res, err := http.Get(n.http.URL + "/checkpoint/provenance?gen=" + strconv.FormatUint(gen, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("provenance fetch: status %d body %q", res.StatusCode, body)
+	}
+	crc, err := strconv.ParseUint(res.Header.Get(HeaderCRC32), 10, 64)
+	if err != nil || uint64(crc32.ChecksumIEEE(body)) != crc {
+		t.Fatalf("provenance CRC header %q does not cover the body (err %v)", res.Header.Get(HeaderCRC32), err)
+	}
+	return body
+}
+
+// importBundled posts a provenance bundle + generation as one import.
+func importBundled(t *testing.T, recipient *node, id, source, self string, prov, gen []byte) (int, string) {
+	t.Helper()
+	status, _, body := post(t,
+		recipient.http.URL+"/checkpoint/import?id="+id+"&source="+source+"&self="+self,
+		string(prov)+string(gen))
+	return status, body
+}
+
+// TestTransitiveResidueNotReimported is the three-hop shape behind two
+// successive leaves: A's mass reaches B, B's cumulative generation
+// (carrying A's cells) reaches C, then A ships directly to C. Without
+// origin attribution C counts A's mass twice — once inside B's
+// generation, once from A itself.
+func TestTransitiveResidueNotReimported(t *testing.T) {
+	a := newNode(t, nil)
+	b := newNode(t, nil)
+	c := newNode(t, nil)
+
+	for k := uint64(1); k <= 50; k++ {
+		a.pool.InsertCount(k, 10)
+	}
+	genA := take(t, a)
+	if st, body := importFrom(t, b, "m1", "nodeA", pull(t, a, genA, 4096)); st != http.StatusOK {
+		t.Fatalf("A->B import: status %d body %q", st, body)
+	}
+
+	// B grows its own mass, then its generation — A residue and all —
+	// moves on to C with its provenance attached.
+	for k := uint64(100); k < 120; k++ {
+		b.pool.InsertCount(k, 5)
+	}
+	genB := take(t, b)
+	prov := getProv(t, b, genB)
+	if len(prov) <= len(provMagic) {
+		t.Fatalf("B's provenance bundle is empty (%d bytes); it absorbed A and must say so", len(prov))
+	}
+	if st, body := importBundled(t, c, "m2", "nodeB", "nodeC", prov, pull(t, b, genB, 4096)); st != http.StatusOK {
+		t.Fatalf("B->C import: status %d body %q", st, body)
+	}
+
+	// A keeps growing, then ships its cumulative state straight to C.
+	// C never imported from A before, but it absorbed A's older cut
+	// through B — only the difference may fold.
+	for k := uint64(1); k <= 50; k++ {
+		a.pool.InsertCount(k, 3)
+	}
+	genA2 := take(t, a)
+	provA := getProv(t, a, genA2)
+	if st, body := importBundled(t, c, "m3", "nodeA", "nodeC", provA, pull(t, a, genA2, 4096)); st != http.StatusOK {
+		t.Fatalf("A->C import: status %d body %q", st, body)
+	}
+
+	c.pool.Quiesce(func(*dsketch.Sketch) {})
+	for k := uint64(1); k <= 50; k++ {
+		if got := c.pool.Query(k); got != 13 {
+			t.Fatalf("key %d on C: %d, want 13 (A residue carried via B re-folded?)", k, got)
+		}
+	}
+	for k := uint64(100); k < 120; k++ {
+		if got := c.pool.Query(k); got != 5 {
+			t.Fatalf("key %d on C: %d, want 5", k, got)
+		}
+	}
+}
+
+// TestReturnToOriginFoldsZero is the scale-up-then-down shape: a node's
+// mass moves to a joiner, and later the joiner retires and ships its
+// generation back. The returning copy of the origin's own mass never
+// left the origin's pool, so none of it may fold.
+func TestReturnToOriginFoldsZero(t *testing.T) {
+	a := newNode(t, nil)
+	b := newNode(t, nil)
+
+	a.pool.InsertCount(1, 100)
+	genA := take(t, a)
+	if st, body := importFrom(t, b, "m1", "nodeA", pull(t, a, genA, 4096)); st != http.StatusOK {
+		t.Fatalf("A->B import: status %d body %q", st, body)
+	}
+
+	b.pool.InsertCount(2, 40)
+	genB := take(t, b)
+	prov := getProv(t, b, genB)
+	if st, body := importBundled(t, a, "m2", "nodeB", "nodeA", prov, pull(t, b, genB, 4096)); st != http.StatusOK {
+		t.Fatalf("B->A return import: status %d body %q", st, body)
+	}
+
+	a.pool.Quiesce(func(*dsketch.Sketch) {})
+	if got := a.pool.Query(1); got != 100 {
+		t.Fatalf("key 1 back home on A: %d, want 100 (own mass doubled on return)", got)
+	}
+	if got := a.pool.Query(2); got != 40 {
+		t.Fatalf("key 2 on A: %d, want 40 (B's own delta must fold)", got)
+	}
+}
+
+func TestProvenanceBundleRoundtrip(t *testing.T) {
+	entries := []provEntry{
+		{origin: "nodeZ", data: []byte("zzzz")},
+		{origin: "nodeA", data: []byte("aa")},
+	}
+	gen := []byte("GENBYTES")
+	body := append(encodeProv(entries), gen...)
+	got, gotGen, err := splitImportBody(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotGen, gen) {
+		t.Fatalf("generation tail %q, want %q", gotGen, gen)
+	}
+	if len(got) != 2 || got[0].origin != "nodeA" || got[1].origin != "nodeZ" ||
+		string(got[0].data) != "aa" || string(got[1].data) != "zzzz" {
+		t.Fatalf("entries round-tripped as %+v", got)
+	}
+
+	// A body without the magic is all generation (the legacy contract).
+	e, g, err := splitImportBody([]byte("DSCKPT01..."))
+	if err != nil || e != nil || string(g) != "DSCKPT01..." {
+		t.Fatalf("magic-less body: entries %v gen %q err %v", e, g, err)
+	}
+
+	// Truncations anywhere inside the bundle must error, not panic or
+	// misparse.
+	for cut := len(provMagic) + 1; cut < len(body)-len(gen); cut++ {
+		if _, _, err := splitImportBody(body[:cut]); err == nil {
+			t.Fatalf("truncation at %d parsed cleanly", cut)
+		}
+	}
+}
+
+func TestImportRejectsCorruptBundle(t *testing.T) {
+	a := newNode(t, nil)
+	b := newNode(t, nil)
+	a.pool.InsertCount(1, 5)
+	gen := pull(t, a, take(t, a), 4096)
+
+	// A bundle that claims entries it does not carry.
+	bad := append([]byte(provMagic), 0x02)
+	if st, body := importBundled(t, b, "x1", "nodeA", "nodeB", bad, gen); st != http.StatusBadRequest {
+		t.Fatalf("corrupt bundle: status %d body %q, want 400", st, body)
+	}
+	// A bundle without ?source= has no lineage to attribute to.
+	okBundle := encodeProv(nil)
+	if st, _, body := post(t, b.http.URL+"/checkpoint/import?id=x2", string(okBundle)+string(gen)); st != http.StatusBadRequest || !strings.Contains(body, "source") {
+		t.Fatalf("unsourced bundle: status %d body %q, want 400", st, body)
+	}
+	// A provenance entry claiming mass the generation does not contain.
+	big := newNode(t, nil)
+	big.pool.InsertCount(9, 1_000_000)
+	lie := encodeProv([]provEntry{{origin: "nodeX", data: pull(t, big, take(t, big), 1 << 20)}})
+	if st, body := importBundled(t, b, "x3", "nodeA", "nodeB", lie, gen); st != http.StatusConflict {
+		t.Fatalf("overclaiming bundle: status %d body %q, want 409", st, body)
+	}
+}
+
+func TestProvenanceEndpointUnknownGen(t *testing.T) {
+	n := newNode(t, nil)
+	res, err := http.Get(n.http.URL + "/checkpoint/provenance?gen=424242")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown generation: status %d, want 404", res.StatusCode)
+	}
+}

@@ -1,0 +1,869 @@
+// Package transfer is the backend half of live shard rebalancing: the
+// HTTP surface a dsserve-style node exposes so a router can move its
+// key ranges to another node without losing an acknowledged insertion.
+//
+// The protocol has two lanes, mirroring the rebalance phases:
+//
+//   - Checkpoint handoff (the bulk state): /checkpoint/take captures
+//     and publishes a fresh generation on the donor; /checkpoint/export
+//     serves any published generation in bounded, resumable,
+//     rate-limited chunks with a whole-file CRC; /checkpoint/import
+//     folds a complete checkpoint stream into the recipient's live
+//     pool, idempotently per transfer id.
+//   - Staging lane (the in-flight traffic): while a range is moving,
+//     the router dual-routes its inserts into /staging/insertbatch on
+//     the recipient, an isolated pool keyed by a move epoch; after
+//     cutover /staging/drain folds the staged counts into the main
+//     pool exactly once (idempotent per epoch), and /staging/abort
+//     discards a dead move's lane.
+//
+// Everything idempotent here is idempotent *in process memory*: the
+// import and drain dedup maps die exactly with the pool state they
+// guard, so a recipient crash cannot leave a "already done" marker for
+// state that no longer exists.
+//
+// # Per-donor baselines: why a repeat transfer folds a difference
+//
+// A donor's checkpoint generation is a cumulative cut of its whole pool
+// — including counts for ranges that already moved away in an earlier
+// rebalance. If this node simply folded every incoming checkpoint, a
+// second transfer from the same donor (say a join handed us some of its
+// ranges, then a later leave hands us the rest) would re-add mass we
+// already hold, and queries for those keys would answer double. So the
+// server remembers, per source node, the cell-wise state it has already
+// absorbed from that source: the last imported generation, plus every
+// staged lane drained on its behalf (the donor applied those same
+// dual-routed inserts to its own pool, so they appear in its next
+// generation too). A repeat import with the same ?source= folds only
+// checkpoint − baseline, which is exactly the donor's insertions since
+// — valid because generations are monotone cell-wise cuts of one
+// growing pool. A cell that shrank instead proves the donor was rebuilt
+// in between; the import refuses (409) rather than fabricate counts.
+//
+// Baselines persist as checkpoint files under Dir/imported-from/ so
+// they survive the same restarts the pool's own state survives; without
+// a Dir they are process-memory only, dying with the unreplicated pool
+// state they describe.
+package transfer
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"dsketch"
+	"dsketch/internal/delegation"
+	"dsketch/internal/persist"
+)
+
+// Wire headers shared by both ends of the transfer.
+const (
+	// HeaderAccepted is the applied-prefix contract inherited from
+	// /insertbatch: the first N entries were applied, the rest were not.
+	HeaderAccepted = "X-Accepted"
+	// HeaderGen names the generation an export response serves.
+	HeaderGen = "X-Checkpoint-Gen"
+	// HeaderSize is the full size in bytes of the exported generation
+	// file (not of this chunk).
+	HeaderSize = "X-Checkpoint-Size"
+	// HeaderCRC32 is the IEEE CRC32 of the FULL generation file, in
+	// decimal. The puller verifies it over the reassembled bytes, so a
+	// resume that mixed chunks from two different files is rejected.
+	HeaderCRC32 = "X-Checkpoint-CRC32"
+)
+
+// ServerConfig assembles a transfer Server.
+type ServerConfig struct {
+	// Main is the node's serving pool — the fold target for imports and
+	// staging drains, and the capture source for /checkpoint/take.
+	Main *dsketch.Pool
+	// Dir is the checkpoint directory /checkpoint/take publishes into
+	// and /checkpoint/export serves from. Empty disables the checkpoint
+	// lane (404) while the staging lane keeps working — a node without
+	// durability can still be a rebalance recipient.
+	Dir string
+	// NewStaging builds an isolated staging pool with the exact same
+	// sketch geometry as Main (the drain is a checkpoint merge and the
+	// geometry check would refuse anything else) and no checkpointing.
+	NewStaging func() (*dsketch.Pool, error)
+	// ExportRate bounds /checkpoint/export to roughly this many body
+	// bytes per second per request (0 = unlimited), so a bulk handoff
+	// cannot starve serving traffic.
+	ExportRate int64
+	// MaxImportBytes bounds an import body (default 1 GiB).
+	MaxImportBytes int64
+	// DrainTimeout bounds the staging-pool drain inside /staging/drain
+	// (default 30s).
+	DrainTimeout time.Duration
+}
+
+// Server implements the transfer endpoints over one node's pools.
+type Server struct {
+	cfg ServerConfig
+
+	mu        sync.Mutex
+	imported  map[string]bool // transfer ids already folded into Main
+	staging   *dsketch.Pool   // current staging lane, nil when none
+	epoch     string          // the epoch the staging lane belongs to
+	quiesced  bool            // the current lane has already been drained loss-free
+	drained   map[string]drainResult
+	baselined map[string]bool                // epochs whose staged counts are already in a baseline
+	baselines map[string]*persist.Checkpoint // per-source state already folded into Main
+}
+
+type drainResult struct {
+	Entries uint64 `json:"entries"`
+	Bytes   int64  `json:"bytes"`
+}
+
+// NewServer validates cfg and builds the server.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Main == nil {
+		return nil, fmt.Errorf("transfer: ServerConfig.Main is required")
+	}
+	if cfg.NewStaging == nil {
+		return nil, fmt.Errorf("transfer: ServerConfig.NewStaging is required")
+	}
+	if cfg.MaxImportBytes <= 0 {
+		cfg.MaxImportBytes = 1 << 30
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 30 * time.Second
+	}
+	return &Server{
+		cfg:       cfg,
+		imported:  make(map[string]bool),
+		drained:   make(map[string]drainResult),
+		baselined: make(map[string]bool),
+		baselines: make(map[string]*persist.Checkpoint),
+	}, nil
+}
+
+// Register mounts the endpoints on mux. gate wraps every handler that
+// touches live pool state — a dsserve passes its recovering/draining
+// gate so transfer traffic obeys the same lifecycle as inserts. Export
+// is deliberately NOT gated: it serves already-published files from
+// disk, and a recovering donor must keep serving its generations or a
+// mid-transfer donor restart could never resume the copy.
+func (s *Server) Register(mux *http.ServeMux, gate func(http.HandlerFunc) http.HandlerFunc) {
+	if gate == nil {
+		gate = func(h http.HandlerFunc) http.HandlerFunc { return h }
+	}
+	mux.HandleFunc("/checkpoint/take", gate(s.handleTake))
+	mux.HandleFunc("/checkpoint/export", s.handleExport)
+	mux.HandleFunc("/checkpoint/provenance", s.handleProvenance)
+	mux.HandleFunc("/checkpoint/import", gate(s.handleImport))
+	mux.HandleFunc("/staging/insertbatch", gate(s.handleStagingInsert))
+	mux.HandleFunc("/staging/drain", gate(s.handleStagingDrain))
+	mux.HandleFunc("/staging/abort", gate(s.handleStagingAbort))
+}
+
+// Close discards any live staging lane. Call when the node shuts down.
+func (s *Server) Close() {
+	s.mu.Lock()
+	st := s.staging
+	s.staging, s.epoch = nil, ""
+	s.mu.Unlock()
+	if st != nil {
+		st.Close()
+	}
+}
+
+// handleTake captures a fresh checkpoint generation and publishes it to
+// the node's checkpoint directory, returning {"gen":N,"bytes":M}. The
+// donor side of a move calls this after the fence, so the generation
+// holds every insertion acknowledged before dual-routing began. Extra
+// generations from restarted attempts are harmless — each is a
+// consistent superset of the last.
+func (s *Server) handleTake(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.cfg.Dir == "" {
+		http.Error(w, "no checkpoint directory configured", http.StatusNotFound)
+		return
+	}
+	info, err := s.cfg.Main.Checkpoint(r.Context(), s.cfg.Dir)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	// Snapshot the baseline table as this generation's provenance: the
+	// generation is (own insertions) ⊎ (the absorbed per-origin cuts in
+	// the table), and a recipient needs that decomposition to fold each
+	// origin's lineage exactly once. Baselines only change when this node
+	// is itself a rebalance recipient, and the coordinator runs one pair
+	// at a time, so the table cannot drift between the capture above and
+	// this snapshot.
+	s.mu.Lock()
+	entries, perr := s.snapshotProvenanceLocked()
+	if perr == nil {
+		perr = s.writeProvLocked(info.Gen, encodeProv(entries))
+	}
+	s.mu.Unlock()
+	if perr != nil {
+		// A generation without its provenance must not be shipped: an
+		// importer would misread absorbed mass as this node's own and
+		// re-fold third-party residue. Fail the take loudly.
+		http.Error(w, fmt.Sprintf("generation %d captured but provenance not durable: %v", info.Gen, perr), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{"gen": info.Gen, "bytes": info.Bytes})
+}
+
+// handleProvenance serves the provenance bundle snapshotted with one
+// generation: GET /checkpoint/provenance?gen=N. The bundle is small (one
+// baseline per origin this node ever absorbed from) and immutable once
+// written, so it ships whole with a CRC header — no chunking or pacing.
+// 404 means the generation is unknown, pruned, or predates provenance;
+// the coordinator restarts the move with a fresh take.
+func (s *Server) handleProvenance(w http.ResponseWriter, r *http.Request) {
+	gen, err := strconv.ParseUint(r.URL.Query().Get("gen"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad gen", http.StatusBadRequest)
+		return
+	}
+	if s.cfg.Dir == "" {
+		http.Error(w, "no checkpoint directory configured", http.StatusNotFound)
+		return
+	}
+	data, err := os.ReadFile(s.provPath(gen))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			http.Error(w, "provenance pruned or unknown", http.StatusNotFound)
+		} else {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	w.Header().Set(HeaderGen, strconv.FormatUint(gen, 10))
+	w.Header().Set(HeaderCRC32, strconv.FormatUint(uint64(crc32.ChecksumIEEE(data)), 10))
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	_, _ = w.Write(data)
+}
+
+// handleExport serves one published generation file in bounded chunks:
+// GET /checkpoint/export?gen=N&offset=O&limit=L. Every response carries
+// the full file's size and CRC32, so the puller can verify the
+// reassembled checkpoint even when chunks straddle a donor restart. A
+// pruned or unknown generation answers 404 — the router treats that as
+// "restart the move with a fresh take".
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	gen, err := strconv.ParseUint(r.URL.Query().Get("gen"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad gen", http.StatusBadRequest)
+		return
+	}
+	if s.cfg.Dir == "" {
+		http.Error(w, "no checkpoint directory configured", http.StatusNotFound)
+		return
+	}
+	data, err := os.ReadFile(filepath.Join(s.cfg.Dir, persist.GenName(gen)))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			http.Error(w, "generation pruned or unknown", http.StatusNotFound)
+		} else {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	offset := int64(0)
+	if raw := r.URL.Query().Get("offset"); raw != "" {
+		if offset, err = strconv.ParseInt(raw, 10, 64); err != nil || offset < 0 || offset > int64(len(data)) {
+			http.Error(w, "bad offset", http.StatusBadRequest)
+			return
+		}
+	}
+	limit := int64(len(data)) - offset
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		l, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || l <= 0 {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+		if l < limit {
+			limit = l
+		}
+	}
+	w.Header().Set(HeaderGen, strconv.FormatUint(gen, 10))
+	w.Header().Set(HeaderSize, strconv.FormatInt(int64(len(data)), 10))
+	w.Header().Set(HeaderCRC32, strconv.FormatUint(uint64(crc32.ChecksumIEEE(data)), 10))
+	w.Header().Set("Content-Length", strconv.FormatInt(limit, 10))
+	s.rateLimitedWrite(r.Context(), w, data[offset:offset+limit])
+}
+
+// rateLimitedWrite streams body in small slices, pacing to ExportRate.
+func (s *Server) rateLimitedWrite(ctx context.Context, w http.ResponseWriter, body []byte) {
+	const slice = 32 << 10
+	for len(body) > 0 {
+		n := len(body)
+		if n > slice {
+			n = slice
+		}
+		if _, err := w.Write(body[:n]); err != nil {
+			return
+		}
+		body = body[n:]
+		if s.cfg.ExportRate > 0 && len(body) > 0 {
+			pause := time.Duration(int64(n) * int64(time.Second) / s.cfg.ExportRate)
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(pause):
+			}
+		}
+	}
+}
+
+// handleImport folds one complete checkpoint stream into the main pool:
+// POST /checkpoint/import?id=ID[&source=NODE&self=ME] with the body
+// either a bare checkpoint stream or a provenance bundle with the
+// stream appended. Everything is fully decoded and CRC-verified before
+// any state changes; a bad stream is 400 (fatal — retrying the same
+// bytes cannot help), a draining pool is 503 (transient). Repeating an
+// id that already folded is a 200 no-op, which is what makes the
+// router's retry after an indeterminate import response safe.
+//
+// With ?source=, the fold is origin-aware. The donor's generation
+// decomposes into its own insertions plus the per-origin cuts in the
+// attached provenance; each lineage folds independently against this
+// node's baseline for that origin (AdvanceCut: the difference when the
+// carried cut is newer, nothing when it is older, 409 when the two are
+// incomparable — the origin was wiped and rebuilt, and no difference is
+// meaningful). Mass whose origin is this node itself (?self=) folds to
+// zero: it never left this pool, and keys coming home must not count
+// their own history twice. Without ?source= the whole stream folds
+// unconditionally (the pre-baseline wire contract).
+func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		http.Error(w, "missing id", http.StatusBadRequest)
+		return
+	}
+	source := r.URL.Query().Get("source")
+	self := r.URL.Query().Get("self")
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxImportBytes+1))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if int64(len(body)) > s.cfg.MaxImportBytes {
+		http.Error(w, "import body too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	provEntries, genBytes, err := splitImportBody(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if provEntries != nil && source == "" {
+		http.Error(w, "provenance bundle requires ?source=", http.StatusBadRequest)
+		return
+	}
+	// One import at a time: the dedup check, the fold and the baseline
+	// advances must be atomic or a retried id could fold twice. Imports
+	// are rare (one per move attempt), so a plain critical section is
+	// fine.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.imported[id] {
+		// Repair path: the fold landed but a baseline write may have
+		// failed. The retry carries the same bytes; re-running the
+		// baseline advances is idempotent (AdvanceCut keeps the later
+		// cut) and re-records anything missing.
+		if source != "" {
+			if plan, err := s.planImportLocked(source, self, provEntries, genBytes); err == nil {
+				_ = s.recordBaselinesLocked(plan)
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{"ok": true, "duplicate": true})
+		return
+	}
+
+	if source == "" {
+		cp, err := persist.DecodeFrom(bytes.NewReader(genBytes))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := s.mergeLocked(cp); err != nil {
+			if errors.Is(err, persist.ErrCorruptCheckpoint) {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+			} else {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			}
+			return
+		}
+		s.imported[id] = true
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{"ok": true})
+		return
+	}
+
+	plan, err := s.planImportLocked(source, self, provEntries, genBytes)
+	if err != nil {
+		var sc statusError
+		if errors.As(err, &sc) {
+			http.Error(w, sc.msg, sc.code)
+		} else {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	if plan.fold != nil {
+		if err := s.mergeLocked(plan.fold); err != nil {
+			if errors.Is(err, persist.ErrCorruptCheckpoint) {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+			} else {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			}
+			return
+		}
+	}
+	s.imported[id] = true
+	if err := s.recordBaselinesLocked(plan); err != nil {
+		// The fold landed but a baseline did not reach disk: a repeat
+		// transfer after a restart of this node could double-fold. Fail
+		// the move loudly instead of succeeding into that trap; the
+		// in-memory baselines still cover the current process lifetime.
+		http.Error(w, fmt.Sprintf("state folded but baselines not durable: %v", err), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{"ok": true})
+}
+
+// statusError carries an HTTP status through the import planning path.
+type statusError struct {
+	code int
+	msg  string
+}
+
+func (e statusError) Error() string { return e.msg }
+
+// importPlan is the outcome of reconciling an incoming generation
+// against this node's baselines: the net state to fold into Main (nil
+// when nothing new) and the per-origin cuts to record afterwards.
+type importPlan struct {
+	fold      *persist.Checkpoint
+	baselines map[string]*persist.Checkpoint
+}
+
+// planImportLocked decomposes the incoming generation by origin and
+// reconciles each lineage. Caller holds s.mu. No state is mutated: the
+// returned plan is applied by mergeLocked + recordBaselinesLocked, so a
+// failure anywhere in here refuses the import with nothing half-done.
+func (s *Server) planImportLocked(source, self string, provEntries []provEntry, genBytes []byte) (importPlan, error) {
+	plan := importPlan{baselines: make(map[string]*persist.Checkpoint)}
+	cp, err := persist.DecodeFrom(bytes.NewReader(genBytes))
+	if err != nil {
+		return plan, statusError{http.StatusBadRequest, err.Error()}
+	}
+	// Peel the carried per-origin cuts off the generation; what remains
+	// is the donor's own-insertion lineage.
+	own := cp
+	carried := make(map[string]*persist.Checkpoint, len(provEntries))
+	for _, e := range provEntries {
+		if e.origin == source {
+			return plan, statusError{http.StatusBadRequest, fmt.Sprintf("provenance lists the donor %s as its own origin", source)}
+		}
+		ccp, err := persist.DecodeFrom(bytes.NewReader(e.data))
+		if err != nil {
+			return plan, statusError{http.StatusBadRequest, fmt.Sprintf("provenance entry for %s: %v", e.origin, err)}
+		}
+		carried[e.origin] = ccp
+		if own, err = delegation.DiffCheckpoint(own, ccp); err != nil {
+			return plan, statusError{http.StatusConflict, fmt.Sprintf("generation from %s does not contain the %s mass its provenance claims (%v)", source, e.origin, err)}
+		}
+	}
+	// The donor's own lineage always folds against our record of it: its
+	// own insertions only grow, so a non-superset proves the donor was
+	// wiped and rebuilt — refuse, never guess.
+	base, err := s.baselineLocked(source)
+	if err != nil {
+		return plan, fmt.Errorf("reading baseline for %s: %w", source, err)
+	}
+	fold := own
+	if base != nil {
+		if fold, err = delegation.DiffCheckpoint(own, base); err != nil {
+			return plan, statusError{http.StatusConflict, fmt.Sprintf("checkpoint from %s does not extend the state already imported from it (%v); rebuild this recipient or clear %s", source, err, s.baselineDir())}
+		}
+	}
+	plan.baselines[source] = own
+	for origin, ccp := range carried {
+		if origin == self && self != "" {
+			// Our own mass coming home: every cell of it is still in our
+			// pool (residue is unread, never removed), so nothing folds
+			// and no baseline is kept — we are not "absorbing" ourselves.
+			continue
+		}
+		have, err := s.baselineLocked(origin)
+		if err != nil {
+			return plan, fmt.Errorf("reading baseline for %s: %w", origin, err)
+		}
+		part, later, err := delegation.AdvanceCut(ccp, have)
+		if err != nil {
+			return plan, statusError{http.StatusConflict, fmt.Sprintf("carried %s state and the state already absorbed from it are not cuts of one lineage (%v); rebuild this recipient or clear %s", origin, err, s.baselineDir())}
+		}
+		plan.baselines[origin] = later
+		if part != nil {
+			if fold, err = delegation.SumCheckpoint(fold, part); err != nil {
+				return plan, fmt.Errorf("summing %s fold: %w", origin, err)
+			}
+		}
+	}
+	plan.fold = fold
+	return plan, nil
+}
+
+// mergeLocked folds cp into Main. Caller holds s.mu.
+func (s *Server) mergeLocked(cp *persist.Checkpoint) error {
+	var buf bytes.Buffer
+	if _, err := persist.EncodeTo(&buf, cp); err != nil {
+		return err
+	}
+	return s.cfg.Main.MergeState(&buf)
+}
+
+// recordBaselinesLocked persists every baseline advance in the plan.
+// Caller holds s.mu.
+func (s *Server) recordBaselinesLocked(plan importPlan) error {
+	for origin, cut := range plan.baselines {
+		if err := s.setBaselineLocked(origin, cut); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// baselineDir is where per-source baselines persist (inside the
+// checkpoint directory, so wiping a node's state wipes its baselines
+// with it — the two must live and die together).
+func (s *Server) baselineDir() string {
+	if s.cfg.Dir == "" {
+		return ""
+	}
+	return filepath.Join(s.cfg.Dir, "imported-from")
+}
+
+// baselinePath names one source's baseline file. The source is a node
+// URL; hex keeps the name filesystem-safe and collision-free.
+func (s *Server) baselinePath(source string) string {
+	return filepath.Join(s.baselineDir(), fmt.Sprintf("from-%x.dsck", source))
+}
+
+// baselineLocked returns the state already absorbed from source — nil
+// when none. Caller holds s.mu. A baseline file that exists but cannot
+// be decoded is an error, never "no baseline": treating it as absent
+// would silently re-fold everything the file was recording.
+func (s *Server) baselineLocked(source string) (*persist.Checkpoint, error) {
+	if cp, ok := s.baselines[source]; ok {
+		return cp, nil
+	}
+	if s.cfg.Dir == "" {
+		return nil, nil
+	}
+	f, err := os.Open(s.baselinePath(source))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	cp, derr := persist.DecodeFrom(f)
+	cerr := f.Close()
+	if derr != nil {
+		return nil, fmt.Errorf("corrupt baseline %s: %w", s.baselinePath(source), derr)
+	}
+	if cerr != nil {
+		return nil, cerr
+	}
+	s.baselines[source] = cp
+	return cp, nil
+}
+
+// setBaselineLocked records cp as the total state absorbed from source.
+// Memory updates first — correctness for this process lifetime never
+// depends on the disk — then the file publishes atomically (temp,
+// fsync, rename) like a checkpoint generation.
+func (s *Server) setBaselineLocked(source string, cp *persist.Checkpoint) error {
+	s.baselines[source] = cp
+	if s.cfg.Dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(s.baselineDir(), 0o755); err != nil {
+		return err
+	}
+	final := s.baselinePath(source)
+	tmp := final + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	_, err = persist.EncodeTo(f, cp)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// handleStagingInsert applies a dual-routed batch to the staging lane:
+// POST /staging/insertbatch?epoch=E, body lines "key count". The first
+// batch of a new epoch atomically replaces any previous lane — that is
+// how a restarted move attempt discards staged state from its
+// predecessor. An epoch that has already drained is refused (X-Accepted
+// 0), so a straggler from before the barrier can never slip counts in
+// after the exactly-once audit.
+func (s *Server) handleStagingInsert(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	epoch := r.URL.Query().Get("epoch")
+	if epoch == "" {
+		w.Header().Set(HeaderAccepted, "0")
+		http.Error(w, "missing epoch", http.StatusBadRequest)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 8<<20))
+	if err != nil {
+		w.Header().Set(HeaderAccepted, "0")
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	entries, err := parseBatch(body)
+	if err != nil || len(entries) == 0 {
+		w.Header().Set(HeaderAccepted, "0")
+		http.Error(w, "bad batch", http.StatusBadRequest)
+		return
+	}
+	pool, err := s.stagingFor(epoch)
+	if err != nil {
+		w.Header().Set(HeaderAccepted, "0")
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	for i, e := range entries {
+		if err := pool.InsertCountCtx(r.Context(), e.key, e.count); err != nil {
+			w.Header().Set(HeaderAccepted, strconv.Itoa(i))
+			if errors.Is(err, dsketch.ErrOverloaded) {
+				w.Header().Set("Retry-After", "1")
+			}
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+	}
+	w.Header().Set(HeaderAccepted, strconv.Itoa(len(entries)))
+	w.WriteHeader(http.StatusAccepted)
+}
+
+// stagingFor returns the lane for epoch, rotating to a fresh pool when
+// the epoch is new.
+func (s *Server) stagingFor(epoch string) (*dsketch.Pool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, done := s.drained[epoch]; done {
+		return nil, fmt.Errorf("transfer: epoch %q already drained", epoch)
+	}
+	if s.staging != nil && s.epoch == epoch {
+		return s.staging, nil
+	}
+	fresh, err := s.cfg.NewStaging()
+	if err != nil {
+		return nil, err
+	}
+	if old := s.staging; old != nil {
+		old.Close()
+	}
+	s.staging, s.epoch, s.quiesced = fresh, epoch, false
+	return fresh, nil
+}
+
+// handleStagingDrain folds the epoch's staged counts into the main pool
+// exactly once: POST /staging/drain?epoch=E[&source=NODE] answers
+// {"entries":N} with the number of staged insert operations folded. The
+// result is cached per epoch, so any retry — including after an
+// indeterminate response — returns the first outcome without folding
+// again. An epoch that never staged anything (or whose lane was
+// superseded by a newer epoch) drains as zero entries, which is a
+// legitimate move of a quiet range.
+//
+// With ?source=, the staged counts are also added to that source's
+// baseline before they fold: the donor applied the same dual-routed
+// inserts to its own pool during the move, so they will reappear inside
+// its next checkpoint generation, and a future transfer from it must
+// not count them twice.
+func (s *Server) handleStagingDrain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	epoch := r.URL.Query().Get("epoch")
+	if epoch == "" {
+		http.Error(w, "missing epoch", http.StatusBadRequest)
+		return
+	}
+	source := r.URL.Query().Get("source")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res, done := s.drained[epoch]
+	if !done {
+		var err error
+		if res, err = s.drainLocked(epoch, source); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		s.drained[epoch] = res
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(res)
+}
+
+// drainLocked folds the current staging lane into Main (caller holds
+// s.mu). The lane is drained loss-free first, exported in checkpoint
+// format, credited to source's baseline, and merged — reusing the same
+// verified fold as the bulk handoff, so the staged counts arrive with
+// the same integrity checks. The lane is only destroyed on success:
+// every earlier step leaves it intact so a retry can finish the job
+// instead of losing acknowledged staged entries.
+func (s *Server) drainLocked(epoch, source string) (drainResult, error) {
+	if s.staging == nil || s.epoch != epoch {
+		// Nothing staged under this epoch. A lane from an older, aborted
+		// attempt is discarded rather than folded — its entries were
+		// refused to the client or re-staged under the new epoch.
+		if s.staging != nil {
+			s.staging.Close()
+			s.staging, s.epoch = nil, ""
+		}
+		return drainResult{}, nil
+	}
+	pool := s.staging
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	if !s.quiesced {
+		if err := pool.Drain(ctx); err != nil {
+			return drainResult{}, fmt.Errorf("transfer: draining staging lane: %w", err)
+		}
+		s.quiesced = true
+	}
+	entries := pool.Metrics().Inserts
+	var buf bytes.Buffer
+	n, err := pool.ExportState(ctx, &buf)
+	if err != nil {
+		return drainResult{}, fmt.Errorf("transfer: exporting staging lane: %w", err)
+	}
+	// Credit the baseline before folding into Main: if anything fails
+	// between the two, the baseline errs on the large side, and a future
+	// repeat transfer fails loudly (not a superset) instead of silently
+	// double-counting. The baselined guard keeps a retried drain from
+	// crediting the same lane twice.
+	if source != "" && entries > 0 && !s.baselined[epoch] {
+		staged, err := persist.DecodeFrom(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return drainResult{}, fmt.Errorf("transfer: decoding staging export: %w", err)
+		}
+		base, err := s.baselineLocked(source)
+		if err != nil {
+			return drainResult{}, fmt.Errorf("transfer: reading baseline for %s: %w", source, err)
+		}
+		merged := staged
+		if base != nil {
+			if merged, err = delegation.SumCheckpoint(base, staged); err != nil {
+				return drainResult{}, fmt.Errorf("transfer: crediting staged counts to %s baseline: %w", source, err)
+			}
+		}
+		if err := s.setBaselineLocked(source, merged); err != nil {
+			return drainResult{}, fmt.Errorf("transfer: persisting baseline for %s: %w", source, err)
+		}
+		s.baselined[epoch] = true
+	}
+	if err := s.cfg.Main.MergeState(&buf); err != nil {
+		return drainResult{}, fmt.Errorf("transfer: folding staging lane: %w", err)
+	}
+	s.staging, s.epoch = nil, ""
+	pool.Close()
+	return drainResult{Entries: entries, Bytes: n}, nil
+}
+
+// handleStagingAbort discards the epoch's staging lane without folding:
+// POST /staging/abort?epoch=E (empty epoch discards any lane). Used
+// when a move dies for good; the staged copies are refused entries or
+// duplicates of counts the donor still serves, so dropping them loses
+// nothing.
+func (s *Server) handleStagingAbort(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	epoch := r.URL.Query().Get("epoch")
+	s.mu.Lock()
+	var victim *dsketch.Pool
+	if s.staging != nil && (epoch == "" || s.epoch == epoch) {
+		victim = s.staging
+		s.staging, s.epoch = nil, ""
+	}
+	s.mu.Unlock()
+	if victim != nil {
+		victim.Close()
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+type stagedEntry struct{ key, count uint64 }
+
+// parseBatch decodes "key count" lines (count defaults to 1), the same
+// wire format as /insertbatch.
+func parseBatch(body []byte) ([]stagedEntry, error) {
+	var out []stagedEntry
+	for ln, line := range strings.Split(string(body), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) > 2 {
+			return nil, fmt.Errorf("line %d: want \"key [count]\", got %q", ln+1, line)
+		}
+		key, err := strconv.ParseUint(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad key %q", ln+1, fields[0])
+		}
+		count := uint64(1)
+		if len(fields) == 2 {
+			count, err = strconv.ParseUint(fields[1], 10, 64)
+			if err != nil || count == 0 {
+				return nil, fmt.Errorf("line %d: bad count %q", ln+1, fields[1])
+			}
+		}
+		out = append(out, stagedEntry{key: key, count: count})
+	}
+	return out, nil
+}

@@ -1,0 +1,308 @@
+package transfer
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dsketch"
+)
+
+// The transfer server is the backend half of a live rebalance. These
+// tests drive the HTTP surface the way the router's coordinator does —
+// take, chunked export with CRC verification, idempotent import,
+// staged dual-writes, exactly-once drain — and check the pool state
+// underneath after every step.
+
+type node struct {
+	pool  *dsketch.Pool
+	xfer  *Server
+	http  *httptest.Server
+	ckdir string
+}
+
+func poolCfg() dsketch.PoolConfig {
+	return dsketch.PoolConfig{Config: dsketch.Config{
+		Threads: 2, Width: 1024, Depth: 4, Seed: 5,
+		Backend: dsketch.BackendCountMin, TrackHeavyHitters: true,
+	}}
+}
+
+func newNode(t *testing.T, mut func(*ServerConfig)) *node {
+	t.Helper()
+	dir := t.TempDir()
+	cfg := poolCfg()
+	cfg.Checkpoint = dsketch.CheckpointConfig{Dir: dir, Interval: 1 << 40, Keep: 4}
+	pool, _, err := dsketch.RestorePool(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg := ServerConfig{
+		Main: pool,
+		Dir:  dir,
+		NewStaging: func() (*dsketch.Pool, error) {
+			return dsketch.NewPoolChecked(poolCfg())
+		},
+	}
+	if mut != nil {
+		mut(&scfg)
+	}
+	xfer, err := NewServer(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	xfer.Register(mux, nil)
+	srv := httptest.NewServer(mux)
+	n := &node{pool: pool, xfer: xfer, http: srv, ckdir: dir}
+	t.Cleanup(func() {
+		srv.Close()
+		xfer.Close()
+		pool.DisableCheckpoints()
+		pool.Close()
+	})
+	return n
+}
+
+func post(t *testing.T, url, body string) (int, http.Header, string) {
+	t.Helper()
+	resp, err := http.Post(url, "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, string(b)
+}
+
+// take POSTs /checkpoint/take and returns the published generation.
+func take(t *testing.T, n *node) uint64 {
+	t.Helper()
+	status, _, body := post(t, n.http.URL+"/checkpoint/take", "")
+	if status != http.StatusOK {
+		t.Fatalf("take: status %d body %q", status, body)
+	}
+	var out struct{ Gen uint64 }
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	return out.Gen
+}
+
+// pull fetches the full generation in chunkSize pieces, verifying the
+// whole-file CRC like the router's coordinator does.
+func pull(t *testing.T, n *node, gen uint64, chunkSize int) []byte {
+	t.Helper()
+	var assembled []byte
+	for {
+		u := fmt.Sprintf("%s/checkpoint/export?gen=%d&offset=%d&limit=%d",
+			n.http.URL, gen, len(assembled), chunkSize)
+		resp, err := http.Get(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chunk, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("export chunk at %d: status %d err %v", len(assembled), resp.StatusCode, err)
+		}
+		assembled = append(assembled, chunk...)
+		size, _ := strconv.ParseInt(resp.Header.Get(HeaderSize), 10, 64)
+		if int64(len(assembled)) >= size {
+			wantCRC, _ := strconv.ParseUint(resp.Header.Get(HeaderCRC32), 10, 32)
+			if got := crc32.ChecksumIEEE(assembled); got != uint32(wantCRC) {
+				t.Fatalf("assembled CRC %d, want %d", got, wantCRC)
+			}
+			return assembled
+		}
+	}
+}
+
+func TestTakeExportImportRoundTrip(t *testing.T) {
+	donor := newNode(t, nil)
+	recipient := newNode(t, nil)
+
+	for k := uint64(0); k < 200; k++ {
+		donor.pool.InsertCount(k, k+1)
+		recipient.pool.InsertCount(k+1000, 3)
+	}
+	gen := take(t, donor)
+	data := pull(t, donor, gen, 777) // deliberately unaligned chunk size
+
+	status, _, body := post(t, recipient.http.URL+"/checkpoint/import?id=move1", string(data))
+	if status != http.StatusOK {
+		t.Fatalf("import: status %d body %q", status, body)
+	}
+	for k := uint64(0); k < 200; k++ {
+		if got, want := recipient.pool.Query(k), donor.pool.Query(k); got != want {
+			t.Fatalf("key %d: recipient %d, donor %d", k, got, want)
+		}
+		if got := recipient.pool.Query(k + 1000); got != 3 {
+			t.Fatalf("key %d: recipient's own count became %d", k+1000, got)
+		}
+	}
+
+	// Idempotent by id: the same import again is a duplicate no-op.
+	status, _, body = post(t, recipient.http.URL+"/checkpoint/import?id=move1", string(data))
+	if status != http.StatusOK || !strings.Contains(body, "duplicate") {
+		t.Fatalf("repeat import: status %d body %q, want duplicate ok", status, body)
+	}
+	if got, want := recipient.pool.Query(5), donor.pool.Query(5); got != want {
+		t.Fatalf("repeat import double-folded: key 5 = %d, want %d", got, want)
+	}
+}
+
+func TestExportUnknownGenIs404(t *testing.T) {
+	donor := newNode(t, nil)
+	resp, err := http.Get(donor.http.URL + "/checkpoint/export?gen=424242")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pruned gen: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestImportRejectsCorruptStream(t *testing.T) {
+	donor := newNode(t, nil)
+	recipient := newNode(t, nil)
+	donor.pool.InsertCount(1, 10)
+	recipient.pool.InsertCount(2, 20)
+
+	gen := take(t, donor)
+	data := pull(t, donor, gen, 1<<20)
+	data[len(data)/2] ^= 0xff
+
+	status, _, _ := post(t, recipient.http.URL+"/checkpoint/import?id=bad", string(data))
+	if status != http.StatusBadRequest {
+		t.Fatalf("corrupt import: status %d, want 400", status)
+	}
+	if got := recipient.pool.Query(2); got != 20 {
+		t.Fatalf("refused import changed state: %d", got)
+	}
+	// The id did NOT burn: a good retry under the same id still folds.
+	good := pull(t, donor, gen, 1<<20)
+	if status, _, _ := post(t, recipient.http.URL+"/checkpoint/import?id=bad", string(good)); status != http.StatusOK {
+		t.Fatalf("good retry after corrupt attempt: status %d", status)
+	}
+	if got := recipient.pool.Query(1); got != 10 {
+		t.Fatalf("retried import missing donor counts: %d", got)
+	}
+}
+
+func TestStagingDrainExactlyOnce(t *testing.T) {
+	n := newNode(t, nil)
+	n.pool.InsertCount(7, 100)
+
+	status, h, _ := post(t, n.http.URL+"/staging/insertbatch?epoch=e1", "7 5\n8 2\n")
+	if status != http.StatusAccepted || h.Get(HeaderAccepted) != "2" {
+		t.Fatalf("stage: status %d accepted %q", status, h.Get(HeaderAccepted))
+	}
+	// Staged counts are isolated until the drain.
+	if got := n.pool.Query(8); got != 0 {
+		t.Fatalf("staged count leaked into main before drain: %d", got)
+	}
+	status, _, body := post(t, n.http.URL+"/staging/drain?epoch=e1", "")
+	if status != http.StatusOK || !strings.Contains(body, `"entries":2`) {
+		t.Fatalf("drain: status %d body %q", status, body)
+	}
+	if got := n.pool.Query(7); got != 105 {
+		t.Fatalf("key 7 after drain = %d, want 105", got)
+	}
+	if got := n.pool.Query(8); got != 2 {
+		t.Fatalf("key 8 after drain = %d, want 2", got)
+	}
+	// Drain is idempotent per epoch: a retry reports the same result and
+	// folds nothing.
+	status, _, body = post(t, n.http.URL+"/staging/drain?epoch=e1", "")
+	if status != http.StatusOK || !strings.Contains(body, `"entries":2`) {
+		t.Fatalf("repeat drain: status %d body %q", status, body)
+	}
+	if got := n.pool.Query(7); got != 105 {
+		t.Fatalf("repeat drain double-folded: key 7 = %d", got)
+	}
+	// A straggler batch for a drained epoch is refused outright.
+	status, h, _ = post(t, n.http.URL+"/staging/insertbatch?epoch=e1", "9 1\n")
+	if status != http.StatusConflict || h.Get(HeaderAccepted) != "0" {
+		t.Fatalf("straggler after drain: status %d accepted %q, want 409/0", status, h.Get(HeaderAccepted))
+	}
+}
+
+func TestStagingEpochRotationDiscardsOldLane(t *testing.T) {
+	n := newNode(t, nil)
+	// Attempt 1 stages, then dies; attempt 2 opens a new epoch.
+	post(t, n.http.URL+"/staging/insertbatch?epoch=a1", "1 100\n")
+	status, h, _ := post(t, n.http.URL+"/staging/insertbatch?epoch=a2", "2 7\n")
+	if status != http.StatusAccepted || h.Get(HeaderAccepted) != "1" {
+		t.Fatalf("stage under new epoch: status %d accepted %q", status, h.Get(HeaderAccepted))
+	}
+	status, _, body := post(t, n.http.URL+"/staging/drain?epoch=a2", "")
+	if status != http.StatusOK || !strings.Contains(body, `"entries":1`) {
+		t.Fatalf("drain a2: status %d body %q", status, body)
+	}
+	if got := n.pool.Query(1); got != 0 {
+		t.Fatalf("aborted attempt's staged count folded anyway: key 1 = %d", got)
+	}
+	if got := n.pool.Query(2); got != 7 {
+		t.Fatalf("key 2 = %d, want 7", got)
+	}
+	// Draining the dead epoch answers zero — and never the old counts.
+	status, _, body = post(t, n.http.URL+"/staging/drain?epoch=a1", "")
+	if status != http.StatusOK || !strings.Contains(body, `"entries":0`) {
+		t.Fatalf("drain a1: status %d body %q", status, body)
+	}
+	if got := n.pool.Query(1); got != 0 {
+		t.Fatalf("dead epoch folded on drain: key 1 = %d", got)
+	}
+}
+
+func TestStagingAbortDiscards(t *testing.T) {
+	n := newNode(t, nil)
+	post(t, n.http.URL+"/staging/insertbatch?epoch=x", "3 9\n")
+	if status, _, _ := post(t, n.http.URL+"/staging/abort?epoch=x", ""); status != http.StatusOK {
+		t.Fatalf("abort failed: %d", status)
+	}
+	status, _, body := post(t, n.http.URL+"/staging/drain?epoch=x", "")
+	if status != http.StatusOK || !strings.Contains(body, `"entries":0`) {
+		t.Fatalf("drain after abort: status %d body %q", status, body)
+	}
+	if got := n.pool.Query(3); got != 0 {
+		t.Fatalf("aborted staging folded: key 3 = %d", got)
+	}
+}
+
+func TestExportResumeFromOffset(t *testing.T) {
+	donor := newNode(t, nil)
+	for k := uint64(0); k < 50; k++ {
+		donor.pool.InsertCount(k, 1)
+	}
+	gen := take(t, donor)
+	whole := pull(t, donor, gen, 1<<20)
+
+	// A fresh request starting mid-file returns exactly the remainder —
+	// the resume path after a donor restart.
+	off := len(whole) / 3
+	resp, err := http.Get(fmt.Sprintf("%s/checkpoint/export?gen=%d&offset=%d", donor.http.URL, gen, off))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rest, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Equal(rest, whole[off:]) {
+		t.Fatalf("resumed read differs: %d bytes from offset %d, want %d", len(rest), off, len(whole)-off)
+	}
+	if got := resp.Header.Get(HeaderCRC32); got != strconv.FormatUint(uint64(crc32.ChecksumIEEE(whole)), 10) {
+		t.Fatalf("resumed response CRC header %q does not cover the full file", got)
+	}
+}

@@ -1,0 +1,52 @@
+package dsketch
+
+import (
+	"context"
+	"io"
+
+	"dsketch/internal/persist"
+)
+
+// State transfer: the primitives behind live rebalancing. A donor
+// exports its complete sketch state as one checkpoint-format stream; a
+// recipient folds such a stream into its live pool. Because the
+// Count-Min family is mergeable, export-then-merge moves a shard
+// between processes without losing or double-counting an acknowledged
+// insertion — the property the router's membership-change protocol is
+// built on.
+
+// ExportState captures a consistent cut of the pool's sketch (same
+// quiescence semantics as Checkpoint) and streams it onto w in the
+// checkpoint wire format — versioned magic, per-section CRC32 framing,
+// and an END cross-check, identical to the on-disk format. Returns the
+// bytes written. ctx bounds only the wait for a draining pool.
+func (p *Pool) ExportState(ctx context.Context, w io.Writer) (int64, error) {
+	cp, err := p.p.CaptureCheckpoint(ctx)
+	if err != nil {
+		return 0, err
+	}
+	return persist.EncodeTo(w, cp)
+}
+
+// MergeState decodes one checkpoint stream from r — fully verifying
+// magic, every section CRC and the END cross-check before any state is
+// touched — and folds it counter-wise into the live pool inside the
+// quiescence barrier. The stream's geometry (threads, depth, width,
+// seed, backend) must match this pool's exactly; on any mismatch or
+// corruption the pool is unchanged. Unlike a restore, the pool may
+// already hold insertions.
+func (p *Pool) MergeState(r io.Reader) error {
+	cp, err := persist.DecodeFrom(r)
+	if err != nil {
+		return err
+	}
+	return p.p.MergeCheckpoint(cp)
+}
+
+// DisableCheckpoints permanently stops this pool from publishing any
+// further checkpoint — background, manual, or the final drain one.
+// State-transfer tooling uses it to get true crash semantics from a
+// graceful Close (no parting checkpoint), and failed restore paths use
+// it so a half-restored pool can never overwrite generations a later
+// startup still needs.
+func (p *Pool) DisableCheckpoints() { p.p.DisableCheckpoints() }

@@ -1,0 +1,104 @@
+package dsketch
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// ExportState/MergeState are the public state-transfer pair: a donor
+// pool's complete sketch streams out in checkpoint format and folds
+// into a live recipient. These are the primitives the router's
+// rebalance protocol composes, so the properties pinned here — exact
+// additivity for Count-Min, all-or-nothing on corruption — are what its
+// exactly-once audit stands on.
+
+func transferPool(t *testing.T) *Pool {
+	t.Helper()
+	p, err := NewPoolChecked(PoolConfig{Config: Config{
+		Threads: 2, Width: 1024, Depth: 4, Seed: 5,
+		Backend: BackendCountMin, TrackHeavyHitters: true,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+func TestExportMergeStateRoundTrip(t *testing.T) {
+	donor := transferPool(t)
+	recipient := transferPool(t)
+	union := transferPool(t)
+
+	for k := uint64(0); k < 100; k++ {
+		donor.InsertCount(k, k+1)
+		union.InsertCount(k, k+1)
+		recipient.InsertCount(k+500, 2)
+		union.InsertCount(k+500, 2)
+	}
+	var buf bytes.Buffer
+	n, err := donor.ExportState(context.Background(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("ExportState reported %d bytes, wrote %d", n, buf.Len())
+	}
+	if err := recipient.MergeState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Count-Min is exactly mergeable: recipient == union, byte for byte.
+	for k := uint64(0); k < 600; k++ {
+		if got, want := recipient.Query(k), union.Query(k); got != want {
+			t.Fatalf("key %d: merged pool answers %d, union pool %d", k, got, want)
+		}
+	}
+	// The donor's heavy hitters came along.
+	top := recipient.Snapshot(5).HeavyHitters
+	if len(top) == 0 || top[0].Key != 99 || top[0].Count != 100 {
+		t.Fatalf("merged heavy hitters = %+v, want key 99 count 100 first", top)
+	}
+}
+
+func TestMergeStateRejectsCorruptionUntouched(t *testing.T) {
+	donor := transferPool(t)
+	recipient := transferPool(t)
+	donor.InsertCount(1, 10)
+	recipient.InsertCount(2, 20)
+
+	var buf bytes.Buffer
+	if _, err := donor.ExportState(context.Background(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)/2] ^= 0xff // flip a bit mid-stream
+	if err := recipient.MergeState(bytes.NewReader(raw)); err == nil {
+		t.Fatal("corrupted stream must be refused")
+	}
+	if got := recipient.Query(2); got != 20 {
+		t.Fatalf("refused merge changed state: key 2 = %d, want 20", got)
+	}
+	if got := recipient.Query(1); got != 0 {
+		t.Fatalf("refused merge leaked donor counts: key 1 = %d, want 0", got)
+	}
+}
+
+func TestMergeStateRejectsGeometryDrift(t *testing.T) {
+	donor, err := NewPoolChecked(PoolConfig{Config: Config{
+		Threads: 2, Width: 512, Depth: 4, Seed: 5, Backend: BackendCountMin,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer donor.Close()
+	recipient := transferPool(t) // width 1024
+	donor.InsertCount(1, 1)
+	var buf bytes.Buffer
+	if _, err := donor.ExportState(context.Background(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := recipient.MergeState(&buf); err == nil {
+		t.Fatal("merge across geometries must be refused")
+	}
+}
